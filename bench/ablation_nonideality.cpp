@@ -1,0 +1,113 @@
+// Ablation: which simulator nonideality breaks which fitted parameter?
+//
+// Sweeps the ground-truth machine's noise level, cap-region efficiency
+// droop, and OS-interference bursts, refits the capped model each time,
+// and reports per-parameter relative errors. This isolates the mechanisms
+// behind the paper's worst-fit platforms (droop -> Arndale GPU,
+// OS interference -> NUC GPU).
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "fit/model_fit.hpp"
+#include "microbench/suite.hpp"
+#include "platforms/platform_db.hpp"
+#include "report/si.hpp"
+#include "report/table.hpp"
+#include "sim/factory.hpp"
+
+namespace {
+
+using namespace archline;
+namespace rp = report;
+
+struct Ablation {
+  std::string label;
+  sim::NonidealityProfile profile;
+};
+
+double rel(double got, double want) { return got / want - 1.0; }
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Ablation: simulator nonidealities vs fit quality",
+      "Refit the capped model on GTX Titan ground truth under different "
+      "nonideality profiles; errors are (refit/published - 1).");
+
+  const platforms::PlatformSpec& spec = platforms::platform("GTX Titan");
+  const core::MachineParams truth = spec.machine();
+
+  std::vector<Ablation> ablations;
+  {
+    Ablation a;
+    a.label = "ideal (no noise)";
+    a.profile.noise.time_rel_sd = 0.0;
+    a.profile.noise.power_rel_sd = 0.0;
+    ablations.push_back(a);
+  }
+  for (const double sd : {0.005, 0.01, 0.02, 0.05}) {
+    Ablation a;
+    a.label = "noise sd " + rp::sig_format(sd, 2);
+    a.profile.noise.time_rel_sd = sd;
+    a.profile.noise.power_rel_sd = sd;
+    ablations.push_back(a);
+  }
+  for (const double eta : {0.05, 0.15, 0.3}) {
+    Ablation a;
+    a.label = "cap droop eta " + rp::sig_format(eta, 2);
+    a.profile.noise.time_rel_sd = 0.008;
+    a.profile.noise.power_rel_sd = 0.008;
+    a.profile.noise.cap_droop_eta = eta;
+    ablations.push_back(a);
+  }
+  {
+    Ablation a;
+    a.label = "OS bursts (NUC GPU profile)";
+    a.profile.noise.time_rel_sd = 0.02;
+    a.profile.noise.power_rel_sd = 0.02;
+    a.profile.noise.os_burst_rate_hz = 60.0;
+    a.profile.noise.os_burst_watts = 2.5;
+    a.profile.noise.os_burst_duration_s = 4e-3;
+    ablations.push_back(a);
+  }
+
+  rp::Table t({"Ablation", "tau_flop", "eps_flop", "tau_mem", "eps_mem",
+               "pi1", "delta_pi", "rss"});
+  rp::CsvWriter csv({"ablation", "tau_flop_err", "eps_flop_err",
+                     "tau_mem_err", "eps_mem_err", "pi1_err",
+                     "delta_pi_err", "rss"});
+
+  for (const Ablation& a : ablations) {
+    const sim::SimMachine machine = sim::make_machine(spec, a.profile);
+    stats::Rng rng(20140519);
+    microbench::SuiteOptions opt;
+    opt.repeats = 2;
+    opt.target_seconds = 0.1;
+    opt.include_double = false;
+    opt.include_caches = false;
+    opt.include_random = false;
+    const microbench::SuiteData data =
+        microbench::run_suite(machine, opt, rng);
+    const fit::FitResult r = fit::fit_observations(data.dram_sp);
+    const core::MachineParams& g = r.machine;
+    t.add_row({a.label, rp::percent_format(rel(g.tau_flop, truth.tau_flop)),
+               rp::percent_format(rel(g.eps_flop, truth.eps_flop)),
+               rp::percent_format(rel(g.tau_mem, truth.tau_mem)),
+               rp::percent_format(rel(g.eps_mem, truth.eps_mem)),
+               rp::percent_format(rel(g.pi1, truth.pi1)),
+               rp::percent_format(rel(g.delta_pi, truth.delta_pi)),
+               rp::sig_format(r.rss, 3)});
+    csv.add_row({a.label, rp::sig_format(rel(g.tau_flop, truth.tau_flop), 4),
+                 rp::sig_format(rel(g.eps_flop, truth.eps_flop), 4),
+                 rp::sig_format(rel(g.tau_mem, truth.tau_mem), 4),
+                 rp::sig_format(rel(g.eps_mem, truth.eps_mem), 4),
+                 rp::sig_format(rel(g.pi1, truth.pi1), 4),
+                 rp::sig_format(rel(g.delta_pi, truth.delta_pi), 4),
+                 rp::sig_format(r.rss, 4)});
+  }
+  std::printf("%s\n", t.to_text().c_str());
+  bench::write_csv(csv, "ablation_nonideality.csv");
+  return 0;
+}

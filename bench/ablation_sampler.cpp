@@ -1,0 +1,93 @@
+// Ablation: how much measurement stack do you actually need?
+//
+// Degrades the simulated PowerMon 2 (sampling rate, ADC resolution,
+// quantization on/off) and reports the energy-estimate error of the
+// paper's mean-power integrator against the exact trace integral.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "platforms/platform_db.hpp"
+#include "powermon/integrator.hpp"
+#include "report/si.hpp"
+#include "report/table.hpp"
+#include "sim/factory.hpp"
+#include "stats/descriptive.hpp"
+
+namespace {
+
+using namespace archline;
+namespace rp = report;
+
+/// Measures one Titan kernel with a given sampler config over many runs;
+/// returns mean |energy error| vs the exact trace integral.
+double mean_energy_error(const powermon::SamplerConfig& cfg,
+                         std::uint64_t seed, int runs) {
+  const sim::SimMachine machine =
+      sim::make_machine(platforms::platform("GTX Titan"));
+  sim::KernelDesc k;
+  k.label = "ablation";
+  k.flops = 4e11;
+  k.bytes = 4e10;
+  stats::Rng rng(seed);
+  std::vector<double> errs;
+  for (int i = 0; i < runs; ++i) {
+    const sim::RunResult r = machine.run(k, rng);
+    const powermon::SampledCapture sampled =
+        powermon::sample(r.capture, cfg, rng);
+    const powermon::Measurement m = powermon::integrate_mean(sampled);
+    errs.push_back(std::abs(m.joules / r.true_energy - 1.0));
+  }
+  return stats::mean(errs);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Ablation: measurement stack fidelity",
+      "Energy-estimate error of the mean-power integrator vs the exact "
+      "trace integral, as the sampler degrades (GTX Titan workload).");
+
+  rp::Table t({"Sampler", "mean |energy error|"});
+  rp::CsvWriter csv({"sampler", "mean_abs_energy_error"});
+
+  const auto emit = [&](const std::string& label,
+                        const powermon::SamplerConfig& cfg) {
+    const double err = mean_energy_error(cfg, 7, 20);
+    t.add_row({label, rp::sig_format(err * 100.0, 3) + "%"});
+    csv.add_row({label, rp::sig_format(err, 5)});
+  };
+
+  {
+    powermon::SamplerConfig cfg;
+    cfg.quantize = false;
+    cfg.timestamp_jitter_s = 0.0;
+    emit("ideal (no quantization, no jitter)", cfg);
+  }
+  emit("PowerMon 2 default (1024 Hz, 12-bit)", powermon::SamplerConfig{});
+  for (const double hz : {256.0, 64.0, 16.0}) {
+    powermon::SamplerConfig cfg;
+    cfg.per_channel_hz = hz;
+    cfg.aggregate_hz = hz * 3;
+    emit(rp::sig_format(hz, 4) + " Hz per channel", cfg);
+  }
+  for (const int bits : {10, 8, 6}) {
+    powermon::SamplerConfig cfg;
+    cfg.adc_bits = bits;
+    emit(rp::sig_format(bits, 2) + "-bit ADC", cfg);
+  }
+  {
+    powermon::SamplerConfig cfg;
+    cfg.timestamp_jitter_s = 500e-6;
+    emit("500 us timestamp jitter", cfg);
+  }
+
+  std::printf("%s\n", t.to_text().c_str());
+  std::printf("Reading: the paper's estimator is robust to rate reduction "
+              "on steady workloads; coarse ADCs dominate the error "
+              "budget.\n\n");
+  bench::write_csv(csv, "ablation_sampler.csv");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Extension study: multi-level (cache-aware) rooflines assembled from
+// Table I's per-level constants — the full-hierarchy view the paper
+// measures (§IV-g) but does not plot.
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "experiments/exp_cache_roofline.hpp"
+#include "report/ascii_plot.hpp"
+#include "report/si.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace archline;
+  namespace ex = experiments;
+  namespace rp = report;
+
+  bench::banner(
+      "Extension: cache-aware rooflines",
+      "Per-platform performance rooflines with the working set resident "
+      "in L1/scratchpad, L2, and DRAM (model lines + simulated dots).");
+
+  const auto platforms_data = ex::run_cache_rooflines();
+  rp::CsvWriter csv({"platform", "level", "intensity", "model_flops",
+                     "measured_flops", "model_flopJ", "measured_flopJ"});
+
+  for (const ex::CacheRooflinePlatform& p : platforms_data) {
+    std::printf("-- %s (ridge points:", p.platform.c_str());
+    for (const double r : p.ridge_points())
+      std::printf(" %s", rp::sig_format(r, 3).c_str());
+    std::printf(" flop:B)\n");
+
+    rp::AsciiPlot plot("   flop/s by resident level", 64, 12);
+    plot.set_y_scale(rp::AxisScale::Log2);
+    const char glyphs[] = {'1', '2', 'D'};
+    std::size_t gi = 0;
+    for (const ex::CacheRooflineLevel& lvl : p.levels) {
+      rp::Series s;
+      s.name = core::to_string(lvl.level);
+      s.glyph = glyphs[gi++ % 3];
+      for (const ex::CacheRooflinePoint& pt : lvl.points) {
+        s.x.push_back(pt.intensity);
+        s.y.push_back(pt.model_perf);
+        csv.add_row({p.platform, core::to_string(lvl.level),
+                     rp::sig_format(pt.intensity, 5),
+                     rp::sig_format(pt.model_perf, 5),
+                     rp::sig_format(pt.measured_perf, 5),
+                     rp::sig_format(pt.model_efficiency, 5),
+                     rp::sig_format(pt.measured_efficiency, 5)});
+      }
+      plot.add_series(std::move(s));
+    }
+    std::printf("%s\n", plot.render().c_str());
+  }
+  std::printf(
+      "Reading: each level's roofline ridge moves left as bandwidth "
+      "grows; cache-resident\nworking sets stay compute-bound far below "
+      "the DRAM balance point, which is why the\npaper's cache kernels "
+      "can measure eps_L1/eps_L2 cleanly.\n\n");
+  bench::write_csv(csv, "cache_rooflines.csv");
+  return 0;
+}

@@ -1,0 +1,34 @@
+#pragma once
+// Shared plumbing for the bench (figure/table regeneration) binaries:
+// banner printing and CSV output location.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "report/csv.hpp"
+
+namespace archline::bench {
+
+/// Directory where bench binaries drop their CSVs (created on demand).
+inline std::filesystem::path output_dir() {
+  return std::filesystem::path("bench_out");
+}
+
+/// Prints the standard banner for a regenerated paper artifact.
+inline void banner(const std::string& artifact, const std::string& caption) {
+  std::printf("=====================================================\n");
+  std::printf("archline | %s\n", artifact.c_str());
+  std::printf("%s\n", caption.c_str());
+  std::printf("=====================================================\n\n");
+}
+
+/// Writes a CSV into the bench output directory and reports the path.
+inline void write_csv(const report::CsvWriter& csv, const std::string& name) {
+  const std::filesystem::path path = output_dir() / name;
+  csv.write_file(path);
+  std::printf("[csv] wrote %s (%zu rows)\n", path.string().c_str(),
+              csv.row_count());
+}
+
+}  // namespace archline::bench

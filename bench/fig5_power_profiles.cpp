@@ -1,0 +1,90 @@
+// Regenerates Fig. 5: normalized power vs intensity for all twelve
+// platforms, with the per-panel annotations (peak Gflop/J and GB/J,
+// sustained fractions, constant power + cap) and the §V-C cross-platform
+// statistics.
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "experiments/exp_fig5.hpp"
+#include "report/ascii_plot.hpp"
+#include "report/si.hpp"
+#include "report/svg_plot.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace archline;
+  namespace ex = experiments;
+  namespace rp = report;
+
+  bench::banner(
+      "Figure 5",
+      "Normalized power vs intensity per platform (model line M/C/F "
+      "regimes + simulated measurement dots), in decreasing order of peak "
+      "energy efficiency.");
+
+  const ex::Fig5Result r = ex::run_fig5();
+
+  rp::CsvWriter csv({"platform", "intensity", "model_power_norm",
+                     "measured_power_norm", "regime"});
+
+  for (const ex::Fig5Panel& p : r.panels) {
+    std::printf("-- %s: %s, %s | %s sust [%s], %s sust [%s] | "
+                "%s (const) + %s (cap), peak measured %s of cap\n",
+                p.platform.c_str(),
+                rp::si_format(p.summary.peak_flops_per_joule, "flop/J", 2)
+                    .c_str(),
+                rp::si_format(p.summary.peak_bytes_per_joule, "B/J", 2)
+                    .c_str(),
+                rp::si_format(p.summary.sustained_flops, "flop/s", 3)
+                    .c_str(),
+                rp::percent_format(p.sustained_flop_fraction).c_str(),
+                rp::si_format(p.summary.sustained_bandwidth, "B/s", 3)
+                    .c_str(),
+                rp::percent_format(p.sustained_bw_fraction).c_str(),
+                rp::si_format(p.summary.pi1, "W", 3).c_str(),
+                rp::si_format(p.summary.delta_pi, "W", 3).c_str(),
+                rp::percent_format(p.measured_peak_power_fraction).c_str());
+
+    rp::AsciiPlot plot("   power / (pi1 + dpi)", 64, 10);
+    rp::Series model{.name = "model", .glyph = '-', .x = {}, .y = {}};
+    rp::Series meas{.name = "measured", .glyph = 'o', .x = {}, .y = {}};
+    for (std::size_t i = 0; i < p.intensity.size(); ++i) {
+      model.x.push_back(p.intensity[i]);
+      model.y.push_back(p.model_power_norm[i]);
+      if (i < p.measured_power_norm.size()) {
+        meas.x.push_back(p.intensity[i]);
+        meas.y.push_back(p.measured_power_norm[i]);
+      }
+      csv.add_row({p.platform, rp::sig_format(p.intensity[i], 5),
+                   rp::sig_format(p.model_power_norm[i], 5),
+                   i < p.measured_power_norm.size()
+                       ? rp::sig_format(p.measured_power_norm[i], 5)
+                       : "",
+                   std::string(1, core::regime_letter(p.regime[i]))});
+    }
+    rp::SvgPlot svg("Fig. 5: " + p.platform + " (power, normalized)");
+    svg.set_y_label("P / (pi1 + dpi)");
+    rp::Series svg_model = model;
+    rp::Series svg_meas = meas;
+    svg.add_line(std::move(svg_model));
+    svg.add_scatter(std::move(svg_meas));
+    std::string slug = p.platform;
+    for (char& c : slug)
+      if (c == ' ') c = '_';
+    svg.write_file(archline::bench::output_dir() / "fig5" /
+                   ("fig5_" + slug + ".svg"));
+
+    plot.add_series(std::move(model));
+    plot.add_series(std::move(meas));
+    std::printf("%s\n", plot.render().c_str());
+  }
+
+  std::printf("pi1 fraction > 50%% on %d / 12 platforms (paper: 7)\n",
+              r.over_half_constant);
+  std::printf("corr(pi1 fraction, peak flop/J) = %s (paper: ~ -0.6)\n\n",
+              rp::sig_format(r.pi1_fraction_correlation, 2).c_str());
+
+  bench::write_csv(csv, "fig5_power_profiles.csv");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Regenerates Fig. 6: hypothetical power as the usable power cap shrinks
+// to delta_pi / k, k in {1, 2, 4, 8}, per platform.
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "experiments/exp_throttle.hpp"
+#include "report/ascii_plot.hpp"
+#include "report/si.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace archline;
+  namespace ex = experiments;
+  namespace rp = report;
+
+  bench::banner(
+      "Figure 6",
+      "Power under cap reduction delta_pi/k, k in {1,2,4,8}. Power shrinks "
+      "by less than k because pi1 does not scale.");
+
+  const ex::ThrottleResult r = ex::run_throttle_study();
+  rp::CsvWriter csv({"platform", "cap_divisor", "intensity", "watts",
+                     "regime"});
+
+  for (const ex::ThrottlePanel& p : r.panels) {
+    std::printf("-- %s (power shrink at k=8: %sx of the ideal 8x)\n",
+                p.platform.c_str(),
+                rp::sig_format(p.power_reduction_at_max_divisor, 3).c_str());
+    rp::AsciiPlot plot("   power [W]", 64, 10);
+    plot.set_y_scale(rp::AxisScale::Log2);
+    const char glyphs[] = {'1', '2', '4', '8'};
+    std::size_t gi = 0;
+    for (const double k : p.cap_divisors) {
+      rp::Series s;
+      s.name = "dpi/" + rp::sig_format(k, 1);
+      s.glyph = glyphs[gi++ % 4];
+      for (const core::ThrottlePoint& pt : p.points) {
+        if (pt.cap_divisor != k) continue;
+        s.x.push_back(pt.intensity);
+        s.y.push_back(pt.power);
+        csv.add_row({p.platform, rp::sig_format(k, 3),
+                     rp::sig_format(pt.intensity, 5),
+                     rp::sig_format(pt.power, 5),
+                     std::string(1, core::regime_letter(pt.regime))});
+      }
+      plot.add_series(std::move(s));
+    }
+    std::printf("%s\n", plot.render().c_str());
+  }
+
+  std::printf("most reconfigurable: %s (paper: Arndale GPU)\n",
+              r.most_reconfigurable.c_str());
+  std::printf("least reconfigurable: %s (paper: Xeon Phi / APU CPU / "
+              "APU GPU group)\n\n",
+              r.least_reconfigurable.c_str());
+
+  bench::write_csv(csv, "fig6_power_throttling.csv");
+  return 0;
+}

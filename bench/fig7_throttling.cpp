@@ -1,0 +1,78 @@
+// Regenerates Fig. 7a/7b: hypothetical performance and energy efficiency
+// as the usable power cap shrinks to delta_pi / k.
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "experiments/exp_throttle.hpp"
+#include "platforms/platform_db.hpp"
+#include "report/ascii_plot.hpp"
+#include "report/si.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace archline;
+  namespace ex = experiments;
+  namespace rp = report;
+
+  bench::banner(
+      "Figure 7 (a: performance, b: energy efficiency)",
+      "Hypothetical performance and flop/J as the cap drops to delta_pi/k; "
+      "log-log, normalized per platform to its full-cap value.");
+
+  const ex::ThrottleResult r = ex::run_throttle_study();
+  rp::CsvWriter csv({"platform", "cap_divisor", "intensity",
+                     "flops_per_sec", "flops_per_joule"});
+
+  for (const ex::ThrottlePanel& p : r.panels) {
+    std::printf("-- %s\n", p.platform.c_str());
+    for (const char metric : {'a', 'b'}) {
+      rp::AsciiPlot plot(metric == 'a' ? "   7a: flop/s (normalized)"
+                                       : "   7b: flop/J (normalized)",
+                         64, 10);
+      plot.set_y_scale(rp::AxisScale::Log2);
+      const char glyphs[] = {'1', '2', '4', '8'};
+      std::size_t gi = 0;
+      // Normalize to the k = 1 curve's maximum.
+      double norm = 0.0;
+      for (const core::ThrottlePoint& pt : p.points)
+        if (pt.cap_divisor == 1.0)
+          norm = std::max(norm, metric == 'a' ? pt.performance
+                                              : pt.efficiency);
+      for (const double k : p.cap_divisors) {
+        rp::Series s;
+        s.name = "dpi/" + rp::sig_format(k, 1);
+        s.glyph = glyphs[gi++ % 4];
+        for (const core::ThrottlePoint& pt : p.points) {
+          if (pt.cap_divisor != k) continue;
+          const double v =
+              (metric == 'a' ? pt.performance : pt.efficiency) / norm;
+          s.x.push_back(pt.intensity);
+          s.y.push_back(v);
+        }
+        plot.add_series(std::move(s));
+      }
+      std::printf("%s\n", plot.render().c_str());
+    }
+    for (const core::ThrottlePoint& pt : p.points)
+      csv.add_row({p.platform, rp::sig_format(pt.cap_divisor, 3),
+                   rp::sig_format(pt.intensity, 5),
+                   rp::sig_format(pt.performance, 5),
+                   rp::sig_format(pt.efficiency, 5)});
+  }
+
+  // The paper's two degradation call-outs.
+  const double titan_low = ex::throttled_perf_ratio(
+      platforms::platform("GTX Titan").machine(), 0.25, 8.0);
+  const double nuc_high = ex::throttled_perf_ratio(
+      platforms::platform("NUC CPU").machine(), 128.0, 8.0);
+  std::printf("GTX Titan retains %s of its performance at I=1/4 under "
+              "dpi/8 (degrades least at low intensity)\n",
+              rp::percent_format(titan_low).c_str());
+  std::printf("NUC CPU retains %s at I=128 under dpi/8 (degrades least at "
+              "high intensity)\n\n",
+              rp::percent_format(nuc_high).c_str());
+
+  bench::write_csv(csv, "fig7_throttling.csv");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Extension study: parameter uncertainty by bootstrap.
+//
+// Table I publishes point estimates; this bench attaches 95% intervals
+// and shows the identifiability structure directly: delta_pi's interval
+// explodes exactly where the cap barely binds.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "fit/bootstrap_fit.hpp"
+#include "microbench/parallel.hpp"
+#include "sim/factory.hpp"
+#include "platforms/platform_db.hpp"
+#include "report/si.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace archline;
+  namespace rp = report;
+
+  bench::banner(
+      "Extension: bootstrap confidence intervals on fitted constants",
+      "95% percentile intervals over 40 observation resamples per "
+      "platform; width = how well the sweep determines each constant.");
+
+  microbench::SuiteOptions suite_opt;
+  suite_opt.repeats = 2;
+  suite_opt.target_seconds = 0.1;
+  suite_opt.include_double = false;
+  suite_opt.include_caches = false;
+  suite_opt.include_random = false;
+
+  rp::Table t({"Platform", "pi1 (pub)", "dpi (pub)", "eps_s half-width",
+               "eps_mem half-width", "pi1 half-width", "dpi half-width"});
+  rp::CsvWriter csv({"platform", "param", "estimate", "ci_lo", "ci_hi",
+                     "rel_halfwidth"});
+
+  for (const char* name :
+       {"GTX Titan", "Xeon Phi", "NUC CPU", "Arndale GPU",
+        "PandaBoard ES", "Desktop CPU"}) {
+    const platforms::PlatformSpec& spec = platforms::platform(name);
+    const sim::SimMachine machine = sim::make_machine(spec);
+    stats::Rng rng(microbench::campaign_seed(20140519, spec.name));
+    const microbench::SuiteData data =
+        microbench::run_suite(machine, suite_opt, rng);
+
+    fit::BootstrapFitOptions opt;
+    opt.replicates = 40;
+    opt.fit.idle_watts_hint = data.idle_watts;
+    for (const microbench::Observation& o : data.dram_sp)
+      opt.fit.max_watts_hint = std::max(opt.fit.max_watts_hint, o.watts);
+    const fit::FitConfidence c = fit::bootstrap_fit(data.dram_sp, opt);
+    const auto hw = c.relative_halfwidths();
+
+    t.add_row({name,
+               rp::sig_format(c.pi1.estimate, 3) + " (" +
+                   rp::sig_format(spec.pi1, 3) + ")",
+               rp::sig_format(c.delta_pi.estimate, 3) + " (" +
+                   rp::sig_format(spec.delta_pi, 3) + ")",
+               rp::percent_format(hw[1]), rp::percent_format(hw[3]),
+               rp::percent_format(hw[4]), rp::percent_format(hw[5])});
+
+    const char* names[] = {"tau_flop", "eps_flop", "tau_mem",
+                           "eps_mem", "pi1", "delta_pi"};
+    const stats::BootstrapInterval* cis[] = {&c.tau_flop, &c.eps_flop,
+                                             &c.tau_mem, &c.eps_mem,
+                                             &c.pi1, &c.delta_pi};
+    for (int i = 0; i < 6; ++i)
+      csv.add_row({name, names[i], rp::sig_format(cis[i]->estimate, 6),
+                   rp::sig_format(cis[i]->lo, 6),
+                   rp::sig_format(cis[i]->hi, 6),
+                   rp::sig_format(hw[i], 4)});
+  }
+  std::printf("%s\n", t.to_text().c_str());
+  std::printf(
+      "Reading: the Xeon Phi's delta_pi interval dwarfs the Titan's — "
+      "its cap binds by\nonly ~2%%, so the sweep cannot pin it; exactly "
+      "the identifiability limit Table I's\npoint estimates hide (see "
+      "EXPERIMENTS.md).\n\n");
+  bench::write_csv(csv, "fit_confidence.csv");
+  return 0;
+}

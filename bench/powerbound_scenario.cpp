@@ -1,0 +1,79 @@
+// Regenerates the §V-D power-bounding scenario: a GTX Titan node bounded
+// to ~140 W vs an Arndale GPU cluster assembled to the same bound,
+// compared at bandwidth-bound intensity, plus a bound sweep.
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "experiments/exp_powerbound.hpp"
+#include "platforms/platform_db.hpp"
+#include "report/si.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace archline;
+  namespace ex = experiments;
+  namespace rp = report;
+
+  bench::banner(
+      "SV-D power bounding",
+      "Reduce per-node power of a GTX Titan system to a bound; compare "
+      "with assembling Arndale GPU boards up to the same bound (I = 1/4).");
+
+  const ex::PowerBoundResult base = ex::run_powerbound();
+  rp::Table t({"Quantity", "Value", "Paper"});
+  t.add_row({"bound", rp::sig_format(base.options.bound_watts, 3) + " W",
+             "140 W"});
+  t.add_row({"Titan cap divisor",
+             rp::sig_format(base.comparison.big_cap_divisor, 3),
+             "~8 (dpi/8)"});
+  t.add_row({"Titan slowdown at I=1/4",
+             rp::sig_format(base.comparison.big_slowdown, 3) + "x",
+             "0.31x (at dpi/8 = 143.5 W node)"});
+  t.add_row({"Arndale boards under bound",
+             rp::sig_format(base.comparison.small_count, 3), "23"});
+  t.add_row({"Arndale cluster speedup",
+             rp::sig_format(base.comparison.speedup, 3) + "x", "~2.8x"});
+  t.add_row({"unbounded (Fig. 1) speedup",
+             rp::sig_format(base.unbounded_speedup, 3) + "x (" +
+                 rp::sig_format(base.unbounded_count, 3) + " boards)",
+             "~1.6x (47 boards)"});
+  std::printf("%s\n", t.to_text().c_str());
+
+  // The paper's exact cap setting, delta_pi / 8.
+  const core::MachineParams titan =
+      platforms::platform("GTX Titan").machine();
+  ex::PowerBoundOptions paper_opt;
+  paper_opt.bound_watts = titan.pi1 + titan.delta_pi / 8.0;
+  const ex::PowerBoundResult paper_pt = ex::run_powerbound(paper_opt);
+  std::printf("At the paper's cap setting dpi/8 (%s node): slowdown %sx "
+              "(paper: 0.31x)\n\n",
+              rp::si_format(paper_opt.bound_watts, "W", 3).c_str(),
+              rp::sig_format(paper_pt.comparison.big_slowdown, 3).c_str());
+
+  // Bound sweep for context.
+  const std::vector<double> bounds = {130.0, 140.0, 160.0, 180.0, 220.0,
+                                      287.0};
+  const auto sweep = ex::run_powerbound_sweep(ex::PowerBoundOptions{},
+                                              bounds);
+  rp::Table st({"bound W", "Titan k", "Titan slowdown", "Arndale boards",
+                "speedup"});
+  rp::CsvWriter csv({"bound_watts", "big_cap_divisor", "big_slowdown",
+                     "small_count", "speedup"});
+  for (const ex::PowerBoundResult& r : sweep) {
+    st.add_row({rp::sig_format(r.options.bound_watts, 3),
+                rp::sig_format(r.comparison.big_cap_divisor, 3),
+                rp::sig_format(r.comparison.big_slowdown, 3) + "x",
+                rp::sig_format(r.comparison.small_count, 3),
+                rp::sig_format(r.comparison.speedup, 3) + "x"});
+    csv.add_row({rp::sig_format(r.options.bound_watts, 5),
+                 rp::sig_format(r.comparison.big_cap_divisor, 5),
+                 rp::sig_format(r.comparison.big_slowdown, 5),
+                 rp::sig_format(r.comparison.small_count, 5),
+                 rp::sig_format(r.comparison.speedup, 5)});
+  }
+  std::printf("Bound sweep:\n%s\n", st.to_text().c_str());
+
+  bench::write_csv(csv, "powerbound_scenario.csv");
+  return 0;
+}

@@ -1,0 +1,186 @@
+// The reproduction checklist: every headline claim of the paper checked
+// programmatically in one run. PASS/FAIL per claim, non-zero exit if any
+// claim fails (so CI can gate on it). Deeper detail lives in the
+// per-artifact bench binaries; full context in EXPERIMENTS.md.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/analysis.hpp"
+#include "core/scenarios.hpp"
+#include "experiments/exp_fig1.hpp"
+#include "experiments/exp_fig4.hpp"
+#include "experiments/exp_fig5.hpp"
+#include "experiments/exp_memhier.hpp"
+#include "experiments/exp_powerbound.hpp"
+#include "experiments/exp_table1.hpp"
+#include "experiments/exp_throttle.hpp"
+#include "platforms/platform_db.hpp"
+#include "report/si.hpp"
+
+namespace {
+
+using namespace archline;
+
+struct Check {
+  std::string claim;
+  std::string paper;
+  std::string measured;
+  bool pass = false;
+};
+
+std::vector<Check> checks;
+
+void check(std::string claim, std::string paper, std::string measured,
+           bool pass) {
+  checks.push_back(Check{.claim = std::move(claim),
+                         .paper = std::move(paper),
+                         .measured = std::move(measured),
+                         .pass = pass});
+}
+
+std::string fmt(double v, int digits = 3) {
+  return report::sig_format(v, digits);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Reproduction checklist",
+                "Every headline claim, checked programmatically. See the "
+                "per-artifact benches for full detail.");
+
+  // --- Fig. 1 -------------------------------------------------------------
+  {
+    experiments::Fig1Options opt;
+    opt.with_measurements = false;
+    const auto r = experiments::run_fig1(opt);
+    check("Fig1: power-matched aggregate size", "47 boards",
+          fmt(r.aggregate_count, 2), r.aggregate_count == 47);
+    check("Fig1: aggregate advantage, bandwidth-bound", "up to 1.6x",
+          fmt(r.aggregate_peak_speedup) + "x",
+          r.aggregate_peak_speedup > 1.3 && r.aggregate_peak_speedup < 2.0);
+    check("Fig1: aggregate at compute-bound", "< 1/2 of Titan",
+          fmt(r.aggregate_peak_ratio) + "x", r.aggregate_peak_ratio < 0.5);
+    check("Fig1: flop/J parity region exists", "to I ~ 4",
+          "tie at I = " + fmt(r.efficiency_crossover),
+          r.efficiency_crossover > 1.0 && r.efficiency_crossover < 8.0);
+  }
+
+  // --- Table I ------------------------------------------------------------
+  {
+    const auto rows = experiments::run_table1();
+    double worst = 0.0;
+    std::string worst_name;
+    for (const auto& row : rows)
+      if (row.worst_identifiable_error() > worst) {
+        worst = row.worst_identifiable_error();
+        worst_name = row.spec->name;
+      }
+    check("TableI: identifiable constants recovered", "(pipeline check)",
+          "worst " + report::percent_format(worst) + " (" + worst_name +
+              ")",
+          worst < 0.25);
+  }
+
+  // --- Fig. 4 -------------------------------------------------------------
+  {
+    const auto r = experiments::run_fig4();
+    check("Fig4: capped model improves on all platforms", "all 12",
+          fmt(r.improved_count, 2) + " / 12", r.improved_count == 12);
+    check("Fig4: K-S verdict agreement with paper", "7 marked / 12",
+          fmt(r.agreement_count, 2) + " / 12 agree", r.agreement_count >= 6);
+  }
+
+  // --- Fig. 5 -------------------------------------------------------------
+  {
+    experiments::Fig5Options opt;
+    opt.with_measurements = false;
+    const auto r = experiments::run_fig5(opt);
+    check("Fig5: most efficient platform", "GTX Titan at 16 Gflop/J",
+          r.panels.front().platform + " at " +
+              report::si_format(
+                  r.panels.front().summary.peak_flops_per_joule, "flop/J",
+                  2),
+          r.panels.front().platform == "GTX Titan");
+    check("Fig5: least efficient platform", "Desktop CPU at 620 Mflop/J",
+          r.panels.back().platform,
+          r.panels.back().platform == "Desktop CPU");
+    check("Fig5: pi1 over half of max power", "7 of 12 platforms",
+          fmt(r.over_half_constant, 2) + " of 12", r.over_half_constant == 7);
+    check("Fig5: corr(pi1 fraction, peak eff)", "~ -0.6",
+          fmt(r.pi1_fraction_correlation, 2),
+          r.pi1_fraction_correlation < -0.4 &&
+              r.pi1_fraction_correlation > -0.8);
+  }
+
+  // --- Figs. 6/7 ----------------------------------------------------------
+  {
+    const auto r = experiments::run_throttle_study();
+    check("Fig6: most power-reconfigurable block", "Arndale GPU",
+          r.most_reconfigurable, r.most_reconfigurable == "Arndale GPU");
+    check("Fig6: least reconfigurable block",
+          "Xeon Phi / APU CPU / APU GPU", r.least_reconfigurable,
+          r.least_reconfigurable == "Xeon Phi" ||
+              r.least_reconfigurable == "APU CPU" ||
+              r.least_reconfigurable == "APU GPU");
+    const double titan = experiments::throttled_perf_ratio(
+        platforms::platform("GTX Titan").machine(), 0.25, 8.0);
+    check("Fig7a: Titan degrades least at low intensity", "yes",
+          report::percent_format(titan) + " retained at I=1/4, dpi/8",
+          titan > 0.25);
+    const double nuc = experiments::throttled_perf_ratio(
+        platforms::platform("NUC CPU").machine(), 128.0, 8.0);
+    check("Fig7a: NUC CPU degrades least at high intensity", "yes",
+          report::percent_format(nuc) + " retained at I=128, dpi/8",
+          nuc > 0.85);
+  }
+
+  // --- §V-B ---------------------------------------------------------------
+  {
+    const auto r = experiments::run_memhier();
+    check("SV-B: cheapest raw byte", "Xeon Phi", r.cheapest_raw,
+          r.cheapest_raw == "Xeon Phi");
+    check("SV-B: cheapest effective byte", "Arndale GPU",
+          r.cheapest_effective, r.cheapest_effective == "Arndale GPU");
+    bool ordering = true;
+    for (const auto& row : r.rows) ordering &= row.level_ordering_holds;
+    check("SV-B: eps_L1 <= eps_L2 <= eps_mem", "every system",
+          ordering ? "holds" : "violated", ordering);
+  }
+
+  // --- §V-D ---------------------------------------------------------------
+  {
+    const core::MachineParams titan =
+        platforms::platform("GTX Titan").machine();
+    experiments::PowerBoundOptions opt;
+    opt.bound_watts = titan.pi1 + titan.delta_pi / 8.0;
+    const auto r = experiments::run_powerbound(opt);
+    check("SV-D: Titan at dpi/8 and I=1/4", "0.31x",
+          fmt(r.comparison.big_slowdown) + "x",
+          std::abs(r.comparison.big_slowdown - 0.31) < 0.02);
+    const auto r140 = experiments::run_powerbound();
+    check("SV-D: Arndale boards under 140 W", "23",
+          fmt(r140.comparison.small_count, 2), r140.comparison.small_count == 23);
+    check("SV-D: bounded cluster advantage", "~2.8x",
+          fmt(r140.comparison.speedup) + "x",
+          r140.comparison.speedup > 2.3 && r140.comparison.speedup < 3.5);
+  }
+
+  // --- report -------------------------------------------------------------
+  int failed = 0;
+  std::printf("%-52s | %-28s | %-34s | %s\n", "claim", "paper", "measured",
+              "verdict");
+  std::printf("%s\n", std::string(130, '-').c_str());
+  for (const Check& c : checks) {
+    if (!c.pass) ++failed;
+    std::printf("%-52s | %-28s | %-34s | %s\n", c.claim.c_str(),
+                c.paper.c_str(), c.measured.c_str(),
+                c.pass ? "PASS" : "FAIL");
+  }
+  std::printf("\n%zu claims checked, %d failed\n\n", checks.size(), failed);
+  return failed == 0 ? 0 : 1;
+}

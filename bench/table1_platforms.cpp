@@ -1,0 +1,108 @@
+// Regenerates Table I: for each of the twelve platforms, run the automated
+// tuning search and the full microbenchmark campaign on the simulated
+// machine, fit the capped model, and print fitted constants side by side
+// with the published ones.
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/units.hpp"
+#include "experiments/exp_table1.hpp"
+#include "report/si.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace archline;
+namespace ex = experiments;
+namespace rp = report;
+
+std::string pj(double joules) {
+  return rp::sig_format(units::to_picojoules(joules), 3);
+}
+
+std::string gops(double per_second) {
+  return rp::sig_format(per_second / 1e9, 3);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Table I",
+                "Platform summary: fitted model constants (refit from "
+                "simulated measurements) vs published values.");
+
+  const std::vector<ex::Table1Row> rows = ex::run_table1();
+
+  rp::Table main_table({"Platform", "pi1 W (pub)", "dpi W (pub)",
+                        "eps_s pJ (pub)", "eps_mem pJ/B (pub)",
+                        "GF/s sust (pub)", "GB/s sust (pub)", "worst err",
+                        "ident err", "R^2"});
+  rp::CsvWriter csv({"platform", "param", "published", "refit",
+                     "rel_error"});
+
+  for (const ex::Table1Row& row : rows) {
+    const core::MachineParams truth = row.spec->machine();
+    const core::MachineParams& got = row.refit.machine;
+    main_table.add_row(
+        {row.spec->name,
+         rp::sig_format(got.pi1, 3) + " (" + rp::sig_format(truth.pi1, 3) +
+             ")",
+         rp::sig_format(got.delta_pi, 3) + " (" +
+             rp::sig_format(truth.delta_pi, 3) + ")",
+         pj(got.eps_flop) + " (" + pj(truth.eps_flop) + ")",
+         pj(got.eps_mem) + " (" + pj(truth.eps_mem) + ")",
+         gops(got.peak_flops()) + " (" + gops(truth.peak_flops()) + ")",
+         gops(got.peak_bandwidth()) + " (" + gops(truth.peak_bandwidth()) +
+             ")",
+         rp::percent_format(row.worst_param_error()),
+         rp::percent_format(row.worst_identifiable_error()),
+         rp::sig_format(row.refit.r_squared_perf, 3)});
+
+    const auto emit = [&csv, &row](const char* param, double published,
+                                   double refit) {
+      csv.add_row({row.spec->name, param, rp::sig_format(published, 6),
+                   rp::sig_format(refit, 6),
+                   rp::sig_format(refit / published - 1.0, 4)});
+    };
+    emit("tau_flop_s", truth.tau_flop, got.tau_flop);
+    emit("eps_flop_J", truth.eps_flop, got.eps_flop);
+    emit("tau_mem_s_per_B", truth.tau_mem, got.tau_mem);
+    emit("eps_mem_J_per_B", truth.eps_mem, got.eps_mem);
+    emit("pi1_W", truth.pi1, got.pi1);
+    emit("delta_pi_W", truth.delta_pi, got.delta_pi);
+    if (row.refit.dp && row.spec->flop_dp)
+      emit("eps_flop_dp_J", row.spec->flop_dp->energy_per_op,
+           row.refit.dp->eps_flop);
+    if (row.refit.l1 && row.spec->mem_l1)
+      emit("eps_l1_J_per_B", row.spec->mem_l1->energy_per_op,
+           row.refit.l1->eps_byte);
+    if (row.refit.l2 && row.spec->mem_l2)
+      emit("eps_l2_J_per_B", row.spec->mem_l2->energy_per_op,
+           row.refit.l2->eps_byte);
+    if (row.refit.random && row.spec->mem_rand)
+      emit("eps_rand_J_per_access", row.spec->mem_rand->energy_per_op,
+           row.refit.random->eps_access);
+  }
+
+  std::printf("%s\n", main_table.to_text().c_str());
+
+  rp::Table tune_table({"Platform", "tuned GF/s", "of peak", "unroll",
+                        "vec", "fma", "asm", "tuned GB/s", "of bw peak"});
+  for (const ex::Table1Row& row : rows) {
+    tune_table.add_row(
+        {row.spec->name, gops(row.tune_sp.throughput),
+         rp::percent_format(row.tune_sp.efficiency),
+         rp::sig_format(row.tune_sp.config.unroll, 3),
+         rp::sig_format(row.tune_sp.config.vector_width, 3),
+         row.tune_sp.config.fma ? "y" : "n",
+         row.tune_sp.config.asm_tuned ? "y" : "n",
+         gops(row.tune_bw.throughput),
+         rp::percent_format(row.tune_bw.efficiency)});
+  }
+  std::printf("Automated \"hand-tuning\" search results (paper SIV-e):\n%s\n",
+              tune_table.to_text().c_str());
+
+  bench::write_csv(csv, "table1_refit.csv");
+  return 0;
+}

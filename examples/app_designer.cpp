@@ -1,0 +1,119 @@
+// app_designer: model an application as a mix of phases and find the best
+// building block for the WHOLE application — which can differ from the
+// winner of any single phase.
+//
+// Usage:
+//   app_designer                        # built-in demo app (CFD-like)
+//   app_designer name:flops:intensity [name:flops:intensity ...]
+// e.g.
+//   app_designer halo:1e10:0.125 stencil:5e11:0.8 fft:2e11:2.8
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/phase_mix.hpp"
+#include "core/roofline.hpp"
+#include "platforms/platform_db.hpp"
+#include "report/si.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace archline;
+namespace rp = report;
+
+std::vector<core::Phase> parse_phases(int argc, char** argv) {
+  std::vector<core::Phase> phases;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::size_t c1 = arg.find(':');
+    const std::size_t c2 = c1 == std::string::npos
+                               ? std::string::npos
+                               : arg.find(':', c1 + 1);
+    if (c2 == std::string::npos)
+      throw std::invalid_argument("phase format: name:flops:intensity");
+    phases.push_back(core::make_phase(
+        arg.substr(0, c1), std::atof(arg.substr(c1 + 1, c2 - c1 - 1).c_str()),
+        std::atof(arg.substr(c2 + 1).c_str())));
+  }
+  return phases;
+}
+
+std::vector<core::Phase> demo_app() {
+  // A CFD-solver-shaped mix: bandwidth-heavy residual sweeps, a spectral
+  // step, and a small dense solve.
+  return {core::make_phase("residual-sweep", 3e11, 0.4),
+          core::make_phase("spectral-step", 2e11, 2.8),
+          core::make_phase("dense-solve", 1e11, 24.0)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<core::Phase> phases;
+  try {
+    phases = argc > 1 ? parse_phases(argc, argv) : demo_app();
+  } catch (const std::exception& e) {
+    std::printf("error: %s\n", e.what());
+    return 1;
+  }
+
+  double total_flops = 0.0;
+  for (const core::Phase& p : phases) total_flops += p.work.flops;
+  std::printf("application: %zu phases, %s total, aggregate intensity %s "
+              "flop:B\n\n",
+              phases.size(),
+              rp::si_format(total_flops, "flop", 3).c_str(),
+              rp::sig_format(core::mix_intensity(phases), 3).c_str());
+
+  struct Row {
+    std::string name;
+    double seconds = 0.0;
+    double joules = 0.0;
+    double watts = 0.0;
+  };
+  std::vector<Row> rows;
+  for (const platforms::PlatformSpec& spec : platforms::all_platforms()) {
+    const core::MachineParams m = spec.machine();
+    rows.push_back(Row{.name = spec.name,
+                       .seconds = core::mix_time(m, phases),
+                       .joules = core::mix_energy(m, phases),
+                       .watts = core::mix_avg_power(m, phases)});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.joules < b.joules; });
+
+  rp::Table t({"Platform", "time", "energy", "avg power", "flop/J"});
+  for (const Row& r : rows)
+    t.add_row({r.name, rp::si_format(r.seconds, "s", 3),
+               rp::si_format(r.joules, "J", 3),
+               rp::si_format(r.watts, "W", 3),
+               rp::si_format(total_flops / r.joules, "flop/J", 3)});
+  std::printf("ranked by total application energy:\n%s\n",
+              t.to_text().c_str());
+
+  // Breakdown on the energy winner.
+  const core::MachineParams winner =
+      platforms::platform(rows.front().name).machine();
+  std::printf("phase breakdown on %s:\n", rows.front().name.c_str());
+  rp::Table bt({"Phase", "time", "energy", "time share", "energy share",
+                "regime"});
+  for (const core::PhaseBreakdown& b :
+       core::mix_breakdown(winner, phases)) {
+    // Find the phase's regime on the winner for context.
+    core::Regime regime = core::Regime::Compute;
+    for (const core::Phase& p : phases)
+      if (p.label == b.label) regime = core::regime(winner, p.work);
+    bt.add_row({b.label, rp::si_format(b.seconds, "s", 3),
+                rp::si_format(b.joules, "J", 3),
+                rp::percent_format(b.time_share),
+                rp::percent_format(b.energy_share),
+                core::regime_name(regime)});
+  }
+  std::printf("%s\n", bt.to_text().c_str());
+  return 0;
+}

@@ -1,0 +1,74 @@
+// cluster_design: given a node power budget and a target workload
+// intensity, which Table I building block gives the best aggregate
+// performance and energy efficiency? The paper's Fig. 1 / §V-D design
+// question generalized to all twelve blocks.
+//
+// Usage: cluster_design [budget-watts] [intensity]
+//   defaults: 287 (a GTX Titan node) and 0.25 (SpMV-like)
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/roofline.hpp"
+#include "core/scenarios.hpp"
+#include "platforms/platform_db.hpp"
+#include "report/si.hpp"
+#include "report/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace archline;
+  namespace rp = report;
+
+  const double budget = argc > 1 ? std::atof(argv[1]) : 287.0;
+  const double intensity = argc > 2 ? std::atof(argv[2]) : 0.25;
+  if (!(budget > 0.0) || !(intensity > 0.0)) {
+    std::printf("usage: cluster_design [budget-watts>0] [intensity>0]\n");
+    return 1;
+  }
+
+  std::printf("node budget %s, workload intensity %s flop:B\n\n",
+              rp::si_format(budget, "W", 3).c_str(),
+              rp::sig_format(intensity, 3).c_str());
+
+  struct Row {
+    std::string name;
+    int count = 0;
+    double perf = 0.0;
+    double eff = 0.0;
+    double power = 0.0;
+  };
+  std::vector<Row> rows;
+  for (const platforms::PlatformSpec& spec : platforms::all_platforms()) {
+    const core::MachineParams block = spec.machine();
+    const int n = core::blocks_to_match_power(block, budget);
+    if (n < 1) continue;
+    // Largest count that still fits the budget (match-power rounds up).
+    const int fit_n = std::max(
+        1, static_cast<int>(budget / (block.pi1 + block.delta_pi)));
+    const core::MachineParams agg = core::aggregate(block, fit_n);
+    rows.push_back(Row{.name = spec.name,
+                       .count = fit_n,
+                       .perf = core::performance(agg, intensity),
+                       .eff = core::energy_efficiency(agg, intensity),
+                       .power = core::avg_power_closed_form(agg, intensity)});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.perf > b.perf; });
+
+  rp::Table t({"Building block", "count", "agg flop/s", "agg flop/J",
+               "power at I"});
+  for (const Row& r : rows)
+    t.add_row({r.name, rp::sig_format(r.count, 4),
+               rp::si_format(r.perf, "", 3), rp::si_format(r.eff, "", 3),
+               rp::si_format(r.power, "W", 3)});
+  std::printf("%s\n", t.to_text().c_str());
+
+  if (!rows.empty())
+    std::printf("best block at this intensity: %s (x%d)\n"
+                "caveat: interconnect and integration costs are ignored, "
+                "as in the paper's best-case analysis.\n",
+                rows.front().name.c_str(), rows.front().count);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// compare_blocks: head-to-head comparison of any two Table I platforms,
+// in the style of the paper's Fig. 1 / §I-A demonstration.
+//
+// Usage: compare_blocks [big-platform] [small-platform]
+//   defaults: "GTX Titan" "Arndale GPU"
+
+#include <cstdio>
+#include <string>
+
+#include "experiments/exp_fig1.hpp"
+#include "platforms/platform_db.hpp"
+#include "report/si.hpp"
+#include "report/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace archline;
+  namespace rp = report;
+
+  experiments::Fig1Options opt;
+  if (argc > 1) opt.big_platform = argv[1];
+  if (argc > 2) opt.small_platform = argv[2];
+  opt.with_measurements = false;
+
+  if (!platforms::has_platform(opt.big_platform) ||
+      !platforms::has_platform(opt.small_platform)) {
+    std::printf("unknown platform. available:\n");
+    for (const std::string& name : platforms::platform_names())
+      std::printf("  %s\n", name.c_str());
+    return 1;
+  }
+
+  const experiments::Fig1Result r = experiments::run_fig1(opt);
+
+  std::printf("%s vs %s\n\n", r.big_name.c_str(), r.small_name.c_str());
+  rp::Table t({"I (flop:B)", r.big_name + " flop/s",
+               r.small_name + " flop/s", r.big_name + " flop/J",
+               r.small_name + " flop/J", "agg flop/s", "agg/big"});
+  for (std::size_t i = 0; i < r.big.size(); i += 2) {
+    t.add_row({rp::intensity_label(r.big[i].intensity),
+               rp::si_format(r.big[i].model_perf, "", 3),
+               rp::si_format(r.small_[i].model_perf, "", 3),
+               rp::si_format(r.big[i].model_efficiency, "", 3),
+               rp::si_format(r.small_[i].model_efficiency, "", 3),
+               rp::si_format(r.aggregate[i].model_perf, "", 3),
+               rp::sig_format(r.aggregate[i].model_perf /
+                                  r.big[i].model_perf,
+                              2) +
+                   "x"});
+  }
+  std::printf("%s\n", t.to_text().c_str());
+
+  std::printf("power-matched aggregate: %d x %s\n", r.aggregate_count,
+              r.small_name.c_str());
+  if (r.efficiency_crossover > 0.0)
+    std::printf("flop/J parity ends near I = %s flop:B\n",
+                rp::sig_format(r.efficiency_crossover, 2).c_str());
+  else
+    std::printf("no flop/J crossover inside the sweep\n");
+  std::printf("aggregate best case: %sx faster (bandwidth-bound), "
+              "%sx at high intensity\n",
+              rp::sig_format(r.aggregate_peak_speedup, 2).c_str(),
+              rp::sig_format(r.aggregate_peak_ratio, 2).c_str());
+  return 0;
+}

@@ -1,0 +1,133 @@
+// fit_from_csv: fit the capped energy-roofline model to your own
+// measurements.
+//
+// Usage:
+//   fit_from_csv measurements.csv [idle-watts]
+//   fit_from_csv --demo            (writes demo.csv and fits it)
+//
+// CSV columns (header required): flops,bytes,seconds,joules
+// Each row is one measured kernel run: total flops executed, bytes moved
+// to/from memory, wall time, and total energy over the run.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/roofline.hpp"
+#include "fit/model_fit.hpp"
+#include "microbench/suite.hpp"
+#include "platforms/platform_db.hpp"
+#include "report/csv.hpp"
+#include "report/si.hpp"
+#include "sim/factory.hpp"
+
+namespace {
+
+using namespace archline;
+namespace rp = report;
+
+std::vector<microbench::Observation> load_observations(
+    const std::string& path) {
+  const auto rows = rp::read_csv_file(path);
+  if (rows.size() < 2)
+    throw std::runtime_error("CSV needs a header plus data rows");
+  const auto& header = rows[0];
+  if (header.size() < 4 || header[0] != "flops" || header[1] != "bytes" ||
+      header[2] != "seconds" || header[3] != "joules")
+    throw std::runtime_error(
+        "expected header: flops,bytes,seconds,joules");
+  std::vector<microbench::Observation> obs;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.size() < 4) continue;
+    microbench::Observation o;
+    o.kernel.label = "csv row " + std::to_string(i);
+    o.kernel.flops = std::atof(row[0].c_str());
+    o.kernel.bytes = std::atof(row[1].c_str());
+    o.seconds = std::atof(row[2].c_str());
+    o.joules = std::atof(row[3].c_str());
+    if (!(o.seconds > 0.0) || !(o.joules > 0.0)) continue;
+    o.watts = o.joules / o.seconds;
+    obs.push_back(std::move(o));
+  }
+  return obs;
+}
+
+std::string write_demo_csv() {
+  // Simulate a sweep on the Arndale GPU and dump it as the demo input.
+  const sim::SimMachine machine =
+      sim::make_machine(platforms::platform("Arndale GPU"));
+  stats::Rng rng(7);
+  microbench::SuiteOptions opt;
+  opt.repeats = 2;
+  opt.target_seconds = 0.2;
+  opt.include_double = false;
+  opt.include_caches = false;
+  opt.include_random = false;
+  const microbench::SuiteData data = microbench::run_suite(machine, opt,
+                                                           rng);
+  rp::CsvWriter csv({"flops", "bytes", "seconds", "joules"});
+  for (const microbench::Observation& o : data.dram_sp)
+    csv.add_row({rp::sig_format(o.kernel.flops, 9),
+                 rp::sig_format(o.kernel.bytes, 9),
+                 rp::sig_format(o.seconds, 9),
+                 rp::sig_format(o.joules, 9)});
+  const std::string path = "demo.csv";
+  csv.write_file(path);
+  std::printf("wrote %s (simulated Arndale GPU sweep; idle ~1.3 W)\n\n",
+              path.c_str());
+  return path;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::printf("usage: fit_from_csv <measurements.csv> [idle-watts]\n"
+                "       fit_from_csv --demo\n");
+    return 1;
+  }
+  std::string path = argv[1];
+  double idle = 0.0;
+  if (path == "--demo") path = write_demo_csv();
+  else if (argc > 2) idle = std::atof(argv[2]);
+
+  try {
+    const auto obs = load_observations(path);
+    std::printf("loaded %zu observations from %s\n", obs.size(),
+                path.c_str());
+
+    fit::FitOptions opt;
+    opt.idle_watts_hint = idle;
+    for (const microbench::Observation& o : obs)
+      opt.max_watts_hint = std::max(opt.max_watts_hint, o.watts);
+    const fit::FitResult r = fit::fit_observations(obs, opt);
+
+    const core::MachineParams& m = r.machine;
+    std::printf("\nfitted capped model (R^2 of log-perf: %s):\n",
+                rp::sig_format(r.r_squared_perf, 4).c_str());
+    std::printf("  sustained flops      %s\n",
+                rp::si_format(m.peak_flops(), "flop/s", 3).c_str());
+    std::printf("  sustained bandwidth  %s\n",
+                rp::si_format(m.peak_bandwidth(), "B/s", 3).c_str());
+    std::printf("  eps_flop             %s\n",
+                rp::si_format(m.eps_flop, "J/flop", 3).c_str());
+    std::printf("  eps_mem              %s\n",
+                rp::si_format(m.eps_mem, "J/B", 3).c_str());
+    std::printf("  pi1                  %s\n",
+                rp::si_format(m.pi1, "W", 3).c_str());
+    std::printf("  delta_pi             %s\n",
+                rp::si_format(m.delta_pi, "W", 3).c_str());
+    std::printf("  time balance B_tau   %s flop:B\n",
+                rp::sig_format(m.time_balance(), 3).c_str());
+    std::printf("  peak efficiency      %s\n",
+                rp::si_format(1.0 / (m.eps_flop + m.pi1 * m.tau_flop),
+                              "flop/J", 3)
+                    .c_str());
+  } catch (const std::exception& err) {
+    std::printf("error: %s\n", err.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// native_roofline: characterize THIS host with the real (native) kernels —
+// the intensity ladder, streaming triad, and pointer chase actually
+// execute; nothing is simulated. Produces a miniature time-roofline of
+// the machine you run it on.
+//
+// Usage: native_roofline [elements]   (default 1<<20)
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "microbench/native_kernels.hpp"
+#include "report/si.hpp"
+#include "report/table.hpp"
+#include "stats/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace archline;
+  namespace rp = report;
+
+  const std::size_t elements =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : (1u << 20);
+  if (elements < 16) {
+    std::printf("need at least 16 elements\n");
+    return 1;
+  }
+
+  std::printf("native host characterization (%zu elements per kernel)\n\n",
+              elements);
+
+  // Intensity ladder: flops per element from 2 to 256.
+  rp::Table ladder({"flops/elem", "intensity", "flop/s", "B/s", "seconds"});
+  const std::vector<int> rungs = {2, 4, 8, 16, 32, 64, 128, 256};
+  const auto sweep = microbench::native_intensity_sweep(
+      elements, rungs, core::Precision::Single);
+  for (const microbench::NativeResult& r : sweep)
+    ladder.add_row({rp::sig_format(r.flops / (r.bytes / 4.0), 3),
+                    rp::sig_format(r.intensity(), 3),
+                    rp::si_format(r.flops_per_second(), "flop/s", 3),
+                    rp::si_format(r.bytes_per_second(), "B/s", 3),
+                    rp::si_format(r.seconds, "s", 3)});
+  std::printf("intensity ladder (single precision):\n%s\n",
+              ladder.to_text().c_str());
+
+  // Streaming bandwidth.
+  const microbench::NativeResult triad =
+      microbench::run_stream_triad(elements, core::Precision::Double, 4);
+  std::printf("stream triad (double): %s\n",
+              rp::si_format(triad.bytes_per_second(), "B/s", 3).c_str());
+
+  // Pointer chase: cache-resident vs memory-sized working sets.
+  stats::Rng rng(11);
+  rp::Table chase({"working set", "accesses/s", "ns/access"});
+  for (const std::size_t slots :
+       {std::size_t{1} << 12, std::size_t{1} << 16, std::size_t{1} << 21}) {
+    const microbench::NativeResult r =
+        microbench::run_pointer_chase(slots, 4 * slots, rng);
+    chase.add_row(
+        {rp::si_format(static_cast<double>(slots * sizeof(std::size_t)),
+                       "B", 3),
+         rp::si_format(r.accesses_per_second(), "acc/s", 3),
+         rp::sig_format(1e9 * r.seconds / r.accesses, 3)});
+  }
+  std::printf("pointer chase (dependent loads):\n%s\n",
+              chase.to_text().c_str());
+
+  const double peak_flops = sweep.back().flops_per_second();
+  const double peak_bw = triad.bytes_per_second();
+  std::printf("host time balance B_tau ~ %s flop:B\n",
+              rp::sig_format(peak_flops / peak_bw, 2).c_str());
+  std::printf("(attach an energy meter and fit_from_csv to get the full "
+              "energy roofline.)\n");
+  return 0;
+}

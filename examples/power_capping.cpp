@@ -1,0 +1,72 @@
+// power_capping: explore what a power cap does to one platform — the
+// paper's §V-D "what-if" analysis as an interactive tool.
+//
+// Usage: power_capping [platform] [intensity]
+//   defaults: "Xeon Phi" 2.0
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/analysis.hpp"
+#include "core/scenarios.hpp"
+#include "platforms/platform_db.hpp"
+#include "report/si.hpp"
+#include "report/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace archline;
+  namespace rp = report;
+
+  std::string name = argc > 1 ? argv[1] : "Xeon Phi";
+  const double intensity = argc > 2 ? std::atof(argv[2]) : 2.0;
+  if (!platforms::has_platform(name)) {
+    std::printf("unknown platform '%s'\n", name.c_str());
+    return 1;
+  }
+  if (!(intensity > 0.0)) {
+    std::printf("intensity must be positive\n");
+    return 1;
+  }
+
+  const core::MachineParams m = platforms::platform(name).machine();
+  const core::EfficiencySummary s = core::summarize_efficiency(m);
+
+  std::printf("%s at intensity %s flop:B\n\n", name.c_str(),
+              rp::sig_format(intensity, 3).c_str());
+  std::printf("machine balance: B- %s <= B %s <= B+ %s flop:B\n",
+              rp::sig_format(s.balance_lo, 3).c_str(),
+              rp::sig_format(s.balance, 3).c_str(),
+              rp::sig_format(s.balance_hi, 3).c_str());
+  std::printf("constant power fraction pi1/(pi1+dpi): %s\n\n",
+              rp::percent_format(s.constant_fraction).c_str());
+
+  rp::Table t({"cap", "dpi W", "node W", "flop/s", "flop/J", "regime",
+               "perf vs full", "flop rate", "mem rate"});
+  const double full_perf = core::performance(m, intensity);
+  for (const double k : {1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0}) {
+    const core::MachineParams capped = core::with_cap_scaled(m, k);
+    const double perf = core::performance(capped, intensity);
+    // The abstract's operational answer: by how much each engine must be
+    // throttled to live under this cap.
+    const core::ThrottleRequirement req =
+        core::throttle_requirement(m, intensity, capped.delta_pi);
+    t.add_row({"dpi/" + rp::sig_format(k, 3),
+               rp::sig_format(capped.delta_pi, 3),
+               rp::sig_format(core::avg_power_closed_form(capped, intensity),
+                              3),
+               rp::si_format(perf, "", 3),
+               rp::si_format(core::energy_efficiency(capped, intensity), "",
+                             3),
+               core::regime_name(core::regime_at(capped, intensity)),
+               rp::percent_format(perf / full_perf),
+               rp::percent_format(req.flop_rate_fraction),
+               rp::percent_format(req.mem_rate_fraction)});
+  }
+  std::printf("%s\n", t.to_text().c_str());
+
+  std::printf("note: power shrinks by less than the cap divisor because "
+              "pi1 = %s never scales (paper §V-D).\n",
+              rp::si_format(m.pi1, "W", 3).c_str());
+  return 0;
+}

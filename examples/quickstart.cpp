@@ -1,0 +1,76 @@
+// Quickstart: the archline API in one page.
+//
+// Build a machine from the paper's Table I, ask the model about an
+// algorithm, and run one simulated measurement through the PowerMon 2
+// stack.
+
+#include <cstdio>
+
+#include "core/analysis.hpp"
+#include "core/roofline.hpp"
+#include "core/scenarios.hpp"
+#include "microbench/suite.hpp"
+#include "platforms/platform_db.hpp"
+#include "report/si.hpp"
+#include "sim/factory.hpp"
+
+int main() {
+  using namespace archline;
+  namespace rp = report;
+
+  // 1. A machine: the GTX Titan as fitted in the paper's Table I.
+  const platforms::PlatformSpec& spec = platforms::platform("GTX Titan");
+  const core::MachineParams titan = spec.machine();
+  std::printf("machine: %s (%s)\n", spec.name.c_str(),
+              spec.processor.c_str());
+  std::printf("  sustained: %s, %s | pi1 %s + cap %s\n",
+              rp::si_format(titan.peak_flops(), "flop/s", 3).c_str(),
+              rp::si_format(titan.peak_bandwidth(), "B/s", 3).c_str(),
+              rp::si_format(titan.pi1, "W", 3).c_str(),
+              rp::si_format(titan.delta_pi, "W", 3).c_str());
+
+  // 2. An algorithm: a large single-precision FFT is roughly 2 flop:Byte.
+  const core::Workload fft = core::Workload::from_intensity(1e12, 2.0);
+  std::printf("\nalgorithm: 1 Tflop at intensity %s flop:B\n",
+              rp::sig_format(fft.intensity(), 2).c_str());
+  std::printf("  predicted time   %s\n",
+              rp::si_format(core::time(titan, fft), "s", 3).c_str());
+  std::printf("  predicted energy %s\n",
+              rp::si_format(core::energy(titan, fft), "J", 3).c_str());
+  std::printf("  predicted power  %s (%s regime)\n",
+              rp::si_format(core::avg_power(titan, fft), "W", 3).c_str(),
+              core::regime_name(core::regime(titan, fft)));
+
+  // 3. A what-if: throttle the card to half its usable power. At the
+  // FFT's intensity the run is bandwidth-bound and barely notices; a
+  // compute-bound kernel (I = 16) pays the full throttle.
+  const core::MachineParams throttled = core::with_cap_scaled(titan, 2.0);
+  std::printf("\nunder a delta_pi/2 power cap:\n");
+  for (const double intensity : {2.0, 16.0})
+    std::printf("  I=%-4s performance %s -> %s\n",
+                rp::sig_format(intensity, 3).c_str(),
+                rp::si_format(core::performance(titan, intensity),
+                              "flop/s", 3)
+                    .c_str(),
+                rp::si_format(core::performance(throttled, intensity),
+                              "flop/s", 3)
+                    .c_str());
+
+  // 4. A simulated measurement through the PowerMon 2 stack.
+  const sim::SimMachine machine = sim::make_machine(spec);
+  stats::Rng rng(42);
+  sim::KernelDesc kernel;
+  kernel.label = "quickstart";
+  kernel.flops = fft.flops;
+  kernel.bytes = fft.bytes;
+  const auto obs = microbench::measure_kernel(machine, kernel, 1, {}, rng);
+  std::printf("\nsimulated measurement of the same kernel:\n");
+  std::printf("  measured %s, %s, %s\n",
+              rp::si_format(obs[0].seconds, "s", 3).c_str(),
+              rp::si_format(obs[0].joules, "J", 3).c_str(),
+              rp::si_format(obs[0].watts, "W", 3).c_str());
+  std::printf("\npeak efficiency: %s (Fig. 5 headline: 16 Gflop/J)\n",
+              rp::si_format(core::peak_flops_per_joule(titan), "flop/J", 2)
+                  .c_str());
+  return 0;
+}

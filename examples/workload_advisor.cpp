@@ -1,0 +1,114 @@
+// workload_advisor: which Table I building block should run my workload?
+//
+// Uses the named workload library (SpMV, FFT, DGEMM, Stencil, STREAM,
+// GraphTraversal, NBody) and ranks all twelve platforms by performance,
+// energy efficiency, or perf/W at the workload's representative
+// intensity. Random-access workloads rank by the measured pointer-chase
+// constants instead of the streaming model.
+//
+// Usage: workload_advisor [workload] [perf|energy|perfwatt]
+//   no arguments: list workloads and show the energy ranking for each.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/workloads.hpp"
+#include "platforms/platform_db.hpp"
+#include "report/si.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace archline;
+namespace rp = report;
+
+std::vector<std::pair<std::string, core::MachineParams>> machines() {
+  std::vector<std::pair<std::string, core::MachineParams>> out;
+  for (const platforms::PlatformSpec& spec : platforms::all_platforms())
+    out.emplace_back(spec.name, spec.machine());
+  return out;
+}
+
+void rank_random_access() {
+  // Graph workloads live on the pointer-chase constants (paper §IV-f and
+  // the §VI Xeon Phi observation).
+  struct Row {
+    std::string name;
+    double acc_per_s = 0.0;
+    double acc_per_j = 0.0;
+  };
+  std::vector<Row> rows;
+  for (const platforms::PlatformSpec& spec : platforms::all_platforms()) {
+    if (!spec.has_random_access()) continue;
+    const core::RandomAccessMachine m = spec.random_machine();
+    rows.push_back(Row{.name = spec.name,
+                       .acc_per_s = m.access_rate(),
+                       .acc_per_j = m.accesses_per_joule()});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) {
+              return a.acc_per_j > b.acc_per_j;
+            });
+  rp::Table t({"Platform", "accesses/s", "accesses/J (incl pi1)"});
+  for (const Row& r : rows)
+    t.add_row({r.name, rp::si_format(r.acc_per_s, "acc/s", 3),
+               rp::si_format(r.acc_per_j, "acc/J", 3)});
+  std::printf("%s\n", t.to_text().c_str());
+}
+
+void show_ranking(const core::WorkloadProfile& w, core::RankBy by) {
+  std::printf("workload %s (%s), representative intensity %s flop:B\n",
+              w.name.c_str(), w.description.c_str(),
+              rp::sig_format(w.representative_intensity(), 3).c_str());
+  if (w.pattern == core::AccessPattern::Random) {
+    rank_random_access();
+    return;
+  }
+  const auto ranked = core::rank_machines(w, machines(), by);
+  rp::Table t({"Platform", "flop/s", "flop/J", "W", "regime"});
+  for (const core::WorkloadRanking& r : ranked)
+    t.add_row({r.machine_name, rp::si_format(r.performance, "", 3),
+               rp::si_format(r.efficiency, "", 3),
+               rp::sig_format(r.power, 3),
+               core::regime_name(r.regime)});
+  std::printf("%s\n", t.to_text().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::RankBy by = core::RankBy::Efficiency;
+  if (argc > 2) {
+    const std::string metric = argv[2];
+    if (metric == "perf") by = core::RankBy::Performance;
+    else if (metric == "perfwatt") by = core::RankBy::PerformancePerWatt;
+    else if (metric != "energy") {
+      std::printf("unknown metric '%s' (perf|energy|perfwatt)\n",
+                  metric.c_str());
+      return 1;
+    }
+  }
+
+  if (argc > 1) {
+    const std::string name = argv[1];
+    for (const core::WorkloadProfile& w : core::workload_library()) {
+      if (w.name == name) {
+        show_ranking(w, by);
+        return 0;
+      }
+    }
+    std::printf("unknown workload '%s'. available:\n", name.c_str());
+    for (const std::string& n : core::workload_names())
+      std::printf("  %s — %s\n", n.c_str(),
+                  core::workload(n).description.c_str());
+    return 1;
+  }
+
+  for (const core::WorkloadProfile& w : core::workload_library()) {
+    show_ranking(w, by);
+    std::printf("\n");
+  }
+  return 0;
+}

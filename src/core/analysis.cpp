@@ -1,0 +1,70 @@
+#include "core/analysis.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/scenarios.hpp"
+
+namespace archline::core {
+
+double peak_flops_per_joule(const MachineParams& m) noexcept {
+  return 1.0 / (m.eps_flop + m.pi1 * m.tau_flop);
+}
+
+double peak_bytes_per_joule(const MachineParams& m) noexcept {
+  return 1.0 / (m.eps_mem + m.pi1 * m.tau_mem);
+}
+
+double effective_stream_energy_per_byte(const MachineParams& m) noexcept {
+  return m.eps_mem + m.pi1 * m.tau_mem;
+}
+
+double constant_energy_per_byte(const MachineParams& m) noexcept {
+  return m.pi1 * m.tau_mem;
+}
+
+double constant_power_fraction(const MachineParams& m) noexcept {
+  const double usable =
+      m.uncapped() ? m.pi_flop() + m.pi_mem() : m.delta_pi;
+  return m.pi1 / (m.pi1 + usable);
+}
+
+double power_reduction_factor(const MachineParams& m, double k) {
+  if (m.uncapped())
+    throw std::invalid_argument(
+        "power_reduction_factor: machine has no cap to scale");
+  const MachineParams reduced = with_cap_scaled(m, k);
+  return m.max_power() / reduced.max_power();
+}
+
+EfficiencySummary summarize_efficiency(const MachineParams& m) {
+  EfficiencySummary s;
+  s.peak_flops_per_joule = peak_flops_per_joule(m);
+  s.peak_bytes_per_joule = peak_bytes_per_joule(m);
+  s.sustained_flops = m.peak_flops();
+  s.sustained_bandwidth = m.peak_bandwidth();
+  s.pi1 = m.pi1;
+  s.delta_pi = m.uncapped() ? m.pi_flop() + m.pi_mem() : m.delta_pi;
+  s.constant_fraction = constant_power_fraction(m);
+  s.balance_lo = m.balance_lo();
+  s.balance = m.time_balance();
+  s.balance_hi = m.balance_hi();
+  return s;
+}
+
+std::vector<double> intensity_grid(double lo, double hi,
+                                   int points_per_octave) {
+  if (!(lo > 0.0) || !(hi >= lo))
+    throw std::invalid_argument("intensity_grid: need 0 < lo <= hi");
+  if (points_per_octave < 1)
+    throw std::invalid_argument("intensity_grid: points_per_octave >= 1");
+  std::vector<double> grid;
+  const double llo = std::log2(lo);
+  const double lhi = std::log2(hi);
+  const double step = 1.0 / static_cast<double>(points_per_octave);
+  for (double l = llo; l < lhi + step * 0.5; l += step)
+    grid.push_back(std::exp2(std::min(l, lhi)));
+  return grid;
+}
+
+}  // namespace archline::core

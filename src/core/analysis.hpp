@@ -1,0 +1,61 @@
+#pragma once
+// Higher-level analytical quantities derived from the model — the numbers
+// the paper quotes in figure annotations and §V-B/§V-C prose.
+
+#include <vector>
+
+#include "core/machine_params.hpp"
+
+namespace archline::core {
+
+/// Peak energy efficiency at I -> infinity:
+///   1 / (eps_flop + pi1 * tau_flop)  [flop/J].
+/// This is the "16 Gflop/J" style headline of Fig. 5.
+[[nodiscard]] double peak_flops_per_joule(const MachineParams& m) noexcept;
+
+/// Peak data-movement efficiency at I -> 0:
+///   1 / (eps_mem + pi1 * tau_mem)  [B/J]  ("1.3 GB/J" in Fig. 5).
+[[nodiscard]] double peak_bytes_per_joule(const MachineParams& m) noexcept;
+
+/// Effective energy to stream one byte, including the constant-power
+/// charge: eps_mem + pi1 * tau_mem [J/B]. The §V-B worked example — this is
+/// what inverts the Xeon Phi / GTX Titan / Arndale ordering.
+[[nodiscard]] double effective_stream_energy_per_byte(
+    const MachineParams& m) noexcept;
+
+/// The constant-power charge alone, pi1 * tau_mem [J/B].
+[[nodiscard]] double constant_energy_per_byte(const MachineParams& m) noexcept;
+
+/// Fraction of maximum power that is constant: pi1 / (pi1 + delta_pi).
+/// §V-C: > 50% on 7 of the paper's 12 platforms; correlates ~ -0.6 with
+/// peak energy efficiency. For uncapped machines uses pi_flop + pi_mem as
+/// the usable-power proxy.
+[[nodiscard]] double constant_power_fraction(const MachineParams& m) noexcept;
+
+/// Power reduction actually achieved when the cap shrinks by k:
+///   max_power(delta_pi) / max_power(delta_pi / k).
+/// Always <= k because pi1 does not scale (Fig. 6 discussion).
+[[nodiscard]] double power_reduction_factor(const MachineParams& m, double k);
+
+/// Summary block matching a Fig. 5 panel annotation.
+struct EfficiencySummary {
+  double peak_flops_per_joule = 0.0;  ///< flop/J at I -> inf
+  double peak_bytes_per_joule = 0.0;  ///< B/J at I -> 0
+  double sustained_flops = 0.0;       ///< flop/s (1 / tau_flop)
+  double sustained_bandwidth = 0.0;   ///< B/s (1 / tau_mem)
+  double pi1 = 0.0;                   ///< W
+  double delta_pi = 0.0;              ///< W
+  double constant_fraction = 0.0;     ///< pi1 / (pi1 + delta_pi)
+  double balance_lo = 0.0;            ///< B_tau-
+  double balance = 0.0;               ///< B_tau
+  double balance_hi = 0.0;            ///< B_tau+
+};
+
+[[nodiscard]] EfficiencySummary summarize_efficiency(const MachineParams& m);
+
+/// Log2-spaced intensity grid from `lo` to `hi` inclusive with
+/// `points_per_octave` samples per doubling (>= 1).
+[[nodiscard]] std::vector<double> intensity_grid(double lo, double hi,
+                                                 int points_per_octave = 4);
+
+}  // namespace archline::core

@@ -1,0 +1,57 @@
+#include "core/droop_model.hpp"
+
+#include <algorithm>
+
+namespace archline::core {
+
+namespace {
+
+struct DroopState {
+  double time = 0.0;
+  double active_energy = 0.0;
+};
+
+/// The shared physics: throttle, then inflate active energy by the
+/// utilization shortfall and stretch the run accordingly.
+DroopState evaluate(const MachineParams& m, double eta, const Workload& w) {
+  const double t_flop = w.flops * m.tau_flop;
+  const double t_mem = w.bytes * m.tau_mem;
+  const double t_free = std::max(t_flop, t_mem);
+  double active = w.flops * m.eps_flop + w.bytes * m.eps_mem;
+  const double t_cap = m.uncapped() ? 0.0 : active / m.delta_pi;
+
+  DroopState s;
+  if (t_cap > t_free && eta > 0.0) {
+    const double u0 = t_free > 0.0 ? t_free / t_cap : 1.0;
+    active *= 1.0 + eta * (1.0 - u0);
+    s.time = active / m.delta_pi;
+  } else {
+    s.time = std::max(t_free, t_cap);
+  }
+  s.active_energy = active;
+  return s;
+}
+
+}  // namespace
+
+double DroopModel::time(const Workload& w) const noexcept {
+  return evaluate(machine, eta, w).time;
+}
+
+double DroopModel::energy(const Workload& w) const noexcept {
+  const DroopState s = evaluate(machine, eta, w);
+  return s.active_energy + machine.pi1 * s.time;
+}
+
+double DroopModel::avg_power(const Workload& w) const noexcept {
+  const DroopState s = evaluate(machine, eta, w);
+  return s.time > 0.0 ? (s.active_energy + machine.pi1 * s.time) / s.time
+                      : machine.pi1;
+}
+
+double DroopModel::performance(double intensity) const noexcept {
+  const Workload w = Workload::from_intensity(1e12, intensity);
+  return w.flops / time(w);
+}
+
+}  // namespace archline::core

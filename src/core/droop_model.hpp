@@ -1,0 +1,45 @@
+#pragma once
+// Utilization-dependent capping: the model extension the paper sketches
+// for its own worst fit.
+//
+// §V-C, on the Arndale GPU: "the mismatch at mid-range intensities
+// suggests we would need a different model of capping, perhaps one that
+// [does] not assume constant time and energy costs per operation. That
+// is, even with a fixed clock frequency, there may be active
+// energy-efficiency scaling with respect to processor and memory
+// utilization."
+//
+// This module implements exactly that extension: when the governor
+// throttles execution to utilization u < 1, per-operation energy inflates
+// by a factor (1 + eta * (1 - u)). With eta = 0 the extension reduces to
+// the paper's capped model (verified by property tests). fit::fit_droop_eta
+// recovers eta from measurements, and the ext_droop_model bench shows the
+// extension closing the Arndale GPU's mid-intensity error.
+
+#include "core/machine_params.hpp"
+#include "core/roofline.hpp"
+
+namespace archline::core {
+
+/// The capped model of eqs. (1)-(3) extended with efficiency droop
+/// strength eta >= 0.
+struct DroopModel {
+  MachineParams machine;
+  double eta = 0.0;
+
+  /// Execution time: as eq. (3), but when the cap binds, the active
+  /// energy is first inflated by (1 + eta * (1 - u0)) where
+  /// u0 = T_free / T_cap is the pre-droop utilization.
+  [[nodiscard]] double time(const Workload& w) const noexcept;
+
+  /// Total energy: inflated active energy plus pi1 * time.
+  [[nodiscard]] double energy(const Workload& w) const noexcept;
+
+  /// Average power energy/time.
+  [[nodiscard]] double avg_power(const Workload& w) const noexcept;
+
+  /// Performance 1 / (time per flop) at an intensity.
+  [[nodiscard]] double performance(double intensity) const noexcept;
+};
+
+}  // namespace archline::core

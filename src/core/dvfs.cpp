@@ -1,0 +1,90 @@
+#include "core/dvfs.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/roofline.hpp"
+#include "core/scenarios.hpp"
+
+namespace archline::core {
+
+void DvfsModel::validate() const {
+  if (!(leakage_fraction >= 0.0) || leakage_fraction >= 1.0)
+    throw std::invalid_argument("DvfsModel: leakage outside [0, 1)");
+  if (!(min_scale > 0.0) || min_scale > 1.0)
+    throw std::invalid_argument("DvfsModel: min_scale outside (0, 1]");
+}
+
+MachineParams apply_dvfs(const MachineParams& m, double s,
+                         const DvfsModel& model) {
+  model.validate();
+  if (!(s >= model.min_scale) || s > 1.0)
+    throw std::invalid_argument("apply_dvfs: scale outside [min_scale, 1]");
+  const double energy_scale =
+      model.leakage_fraction + (1.0 - model.leakage_fraction) * s * s;
+  MachineParams out = m;
+  out.tau_flop = m.tau_flop / s;
+  out.eps_flop = m.eps_flop * energy_scale;
+  if (model.scale_memory) {
+    out.tau_mem = m.tau_mem / s;
+    out.eps_mem = m.eps_mem * energy_scale;
+  }
+  return out;
+}
+
+namespace {
+
+/// Worst-case average node power over intensity: the power curve peaks at
+/// pi1 + min(delta_pi, pi_flop + pi_mem).
+double worst_case_power(const MachineParams& m) noexcept {
+  return m.max_power();
+}
+
+}  // namespace
+
+double dvfs_scale_for_power(const MachineParams& m, const DvfsModel& model,
+                            double target_watts) {
+  model.validate();
+  if (worst_case_power(m) <= target_watts) return 1.0;
+  if (worst_case_power(apply_dvfs(m, model.min_scale, model)) >
+      target_watts)
+    throw std::invalid_argument(
+        "dvfs_scale_for_power: target unreachable at the voltage floor");
+  double lo = model.min_scale;
+  double hi = 1.0;
+  for (int iter = 0; iter < 100 && hi - lo > 1e-10; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (worst_case_power(apply_dvfs(m, mid, model)) > target_watts)
+      hi = mid;
+    else
+      lo = mid;
+  }
+  return lo;
+}
+
+PowerMechanismComparison compare_cap_vs_dvfs(const MachineParams& m,
+                                             const DvfsModel& model,
+                                             double target_watts,
+                                             double intensity) {
+  if (!(target_watts > m.pi1))
+    throw std::invalid_argument(
+        "compare_cap_vs_dvfs: target below constant power");
+
+  PowerMechanismComparison r;
+  r.target_watts = target_watts;
+  r.intensity = intensity;
+
+  // Mechanism 1: cap. Reduce delta_pi so pi1 + delta_pi == target.
+  const MachineParams capped = with_cap(m, target_watts - m.pi1);
+  r.cap_performance = performance(capped, intensity);
+  r.cap_efficiency = energy_efficiency(capped, intensity);
+
+  // Mechanism 2: DVFS at the largest scale that fits the target.
+  r.frequency_scale = dvfs_scale_for_power(m, model, target_watts);
+  const MachineParams scaled = apply_dvfs(m, r.frequency_scale, model);
+  r.dvfs_performance = performance(scaled, intensity);
+  r.dvfs_efficiency = energy_efficiency(scaled, intensity);
+  return r;
+}
+
+}  // namespace archline::core

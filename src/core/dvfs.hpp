@@ -1,0 +1,67 @@
+#pragma once
+// DVFS as an alternative power-reduction mechanism.
+//
+// The paper's §V-D studies meeting a power target by *capping* (throttle
+// issue rates, per-op costs unchanged), citing Rountree et al.'s "Beyond
+// DVFS" as the motivation for hardware-enforced bounds. This extension
+// adds the mechanism the cap is contrasted against: voltage-frequency
+// scaling, where slowing the clock by s also scales the dynamic part of
+// per-op energy by ~s^2 (V roughly tracks f), while leakage and constant
+// power do not scale. Comparing the two answers a question the paper
+// leaves implicit: when does throttling beat down-clocking, and by how
+// much, as a function of intensity?
+
+#include "core/machine_params.hpp"
+
+namespace archline::core {
+
+struct DvfsModel {
+  /// Fraction of per-op energy that does NOT scale with V^2 (leakage,
+  /// short-circuit, uncore).
+  double leakage_fraction = 0.3;
+
+  /// Whether the memory system shares the scaled clock domain. Discrete
+  /// DRAM usually does not; on-chip scratchpads often do.
+  bool scale_memory = false;
+
+  /// Lowest usable frequency scale (voltage floor).
+  double min_scale = 0.2;
+
+  void validate() const;
+};
+
+/// The machine at frequency scale s in [min_scale, 1]: rates scale by s,
+/// dynamic per-op energy by s^2, pi1 and delta_pi unchanged.
+[[nodiscard]] MachineParams apply_dvfs(const MachineParams& m, double s,
+                                       const DvfsModel& model);
+
+/// Largest frequency scale whose worst-case average power (over all
+/// intensities) fits under `target_watts`. Returns 1.0 when no scaling is
+/// needed; throws std::invalid_argument when the target is below what
+/// even min_scale reaches.
+[[nodiscard]] double dvfs_scale_for_power(const MachineParams& m,
+                                          const DvfsModel& model,
+                                          double target_watts);
+
+/// Head-to-head at one intensity: meet `target_watts` of worst-case node
+/// power by capping (delta_pi reduced) vs by DVFS.
+struct PowerMechanismComparison {
+  double target_watts = 0.0;
+  double intensity = 0.0;
+  double cap_performance = 0.0;   ///< flop/s under the reduced cap
+  double cap_efficiency = 0.0;    ///< flop/J
+  double dvfs_performance = 0.0;  ///< flop/s at the reduced frequency
+  double dvfs_efficiency = 0.0;
+  double frequency_scale = 0.0;   ///< the s DVFS needed
+  /// dvfs_efficiency / cap_efficiency: > 1 where down-clocking saves
+  /// energy that throttling cannot.
+  [[nodiscard]] double efficiency_advantage() const noexcept {
+    return dvfs_efficiency / cap_efficiency;
+  }
+};
+
+[[nodiscard]] PowerMechanismComparison compare_cap_vs_dvfs(
+    const MachineParams& m, const DvfsModel& model, double target_watts,
+    double intensity);
+
+}  // namespace archline::core

@@ -1,0 +1,72 @@
+#include "core/interconnect.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/roofline.hpp"
+#include "core/scenarios.hpp"
+
+namespace archline::core {
+
+void NetworkModel::validate() const {
+  if (!(per_block_watts >= 0.0))
+    throw std::invalid_argument("NetworkModel: negative power overhead");
+  if (!(parallel_efficiency > 0.0) || parallel_efficiency > 1.0)
+    throw std::invalid_argument(
+        "NetworkModel: parallel efficiency outside (0, 1]");
+}
+
+MachineParams aggregate_with_network(const MachineParams& block, int n,
+                                     const NetworkModel& net) {
+  net.validate();
+  if (n < 1) throw std::invalid_argument("aggregate_with_network: n >= 1");
+  const double dn = static_cast<double>(n);
+  const double scale = dn * net.parallel_efficiency;
+  MachineParams out = block;
+  out.tau_flop = block.tau_flop / scale;
+  out.tau_mem = block.tau_mem / scale;
+  out.pi1 = block.pi1 * dn + net.per_block_watts * dn;
+  if (!block.uncapped()) out.delta_pi = block.delta_pi * dn;
+  return out;
+}
+
+int blocks_within_budget(const MachineParams& block, const NetworkModel& net,
+                         double budget_watts) {
+  net.validate();
+  const double per_block =
+      block.pi1 + net.per_block_watts +
+      (block.uncapped() ? block.pi_flop() + block.pi_mem()
+                        : block.delta_pi);
+  if (!(per_block > 0.0))
+    throw std::invalid_argument("blocks_within_budget: zero block power");
+  return static_cast<int>(std::floor(budget_watts / per_block + 1e-9));
+}
+
+double break_even_network_watts(const MachineParams& big,
+                                const MachineParams& small, double intensity,
+                                double parallel_efficiency, double watt_hi) {
+  const double budget = big.pi1 + big.delta_pi;
+  const double big_perf = performance(big, intensity);
+
+  const auto aggregate_wins = [&](double watts) {
+    NetworkModel net{.per_block_watts = watts,
+                     .parallel_efficiency = parallel_efficiency};
+    const int n = blocks_within_budget(small, net, budget);
+    if (n < 1) return false;
+    const MachineParams agg = aggregate_with_network(small, n, net);
+    return performance(agg, intensity) > big_perf;
+  };
+
+  if (!aggregate_wins(0.0)) return -1.0;
+  if (aggregate_wins(watt_hi)) return watt_hi;
+  double lo = 0.0;
+  double hi = watt_hi;
+  for (int iter = 0; iter < 100 && hi - lo > 1e-9; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (aggregate_wins(mid)) lo = mid;
+    else hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace archline::core

@@ -1,0 +1,53 @@
+#pragma once
+// Interconnection-network overhead for aggregated building blocks.
+//
+// The paper's Fig. 1 aggregate ("47 x Arndale GPU") is explicitly a best
+// case: "this best-case ignores the significant costs of an
+// interconnection network" (§I-A), and §V-D notes that node-level power
+// headroom "leaves more relative power for other power overheads,
+// including the network and cooling." This module quantifies that caveat:
+// a simple network model charges each block a constant power overhead
+// (NIC/switch share) and a parallel-efficiency factor on aggregate
+// throughput, so the Fig. 1 comparison can be re-run under increasingly
+// honest assumptions.
+
+#include "core/machine_params.hpp"
+
+namespace archline::core {
+
+struct NetworkModel {
+  /// Constant power drawn per block for NIC + switch share [W].
+  double per_block_watts = 0.0;
+
+  /// Fraction of ideal aggregate throughput retained (communication /
+  /// load-imbalance efficiency), in (0, 1].
+  double parallel_efficiency = 1.0;
+
+  void validate() const;
+};
+
+/// An n-block aggregate with network costs applied: throughputs scale by
+/// n * parallel_efficiency, pi1 gains n * per_block_watts, per-op
+/// energies are unchanged (the network energy is folded into the power
+/// overhead, matching the model's treatment of peripherals in pi1).
+[[nodiscard]] MachineParams aggregate_with_network(const MachineParams& block,
+                                                   int n,
+                                                   const NetworkModel& net);
+
+/// Largest n whose total power (pi1 + delta_pi + network overhead per
+/// block) fits under `budget_watts`. Returns 0 if even one block does
+/// not fit.
+[[nodiscard]] int blocks_within_budget(const MachineParams& block,
+                                       const NetworkModel& net,
+                                       double budget_watts);
+
+/// The network overhead [W] at which an aggregate of small blocks stops
+/// beating `big` at the given intensity, holding parallel efficiency
+/// fixed: bisects on per_block_watts in [0, watt_hi]. Returns a negative
+/// value if the aggregate never wins even with a free network, or
+/// watt_hi if it still wins at the bracket's top.
+[[nodiscard]] double break_even_network_watts(
+    const MachineParams& big, const MachineParams& small, double intensity,
+    double parallel_efficiency = 1.0, double watt_hi = 10.0);
+
+}  // namespace archline::core

@@ -1,0 +1,57 @@
+#pragma once
+// Shared memory-hierarchy vocabulary used across core, platforms, sim and
+// microbench: which level a working set lives in and how it is accessed.
+
+namespace archline::core {
+
+/// Memory level a kernel's working set resides in (fig. 2 generalized to a
+/// hierarchy; paper §IV-g). DRAM is the "slow memory" of the abstract model.
+enum class MemLevel {
+  L1,    ///< L1 cache (or GPU shared memory / scratchpad)
+  L2,    ///< L2 cache
+  DRAM,  ///< main memory
+};
+
+/// How the kernel touches its working set (paper §IV-e vs §IV-f).
+enum class AccessPattern {
+  Streaming,  ///< unit-stride, prefetch-friendly (intensity benchmark)
+  Random,     ///< pointer chasing, defeats prefetch (random benchmark)
+};
+
+/// Floating-point precision of the flop stream.
+enum class Precision {
+  Single,
+  Double,
+};
+
+[[nodiscard]] constexpr const char* to_string(MemLevel level) noexcept {
+  switch (level) {
+    case MemLevel::L1: return "L1";
+    case MemLevel::L2: return "L2";
+    case MemLevel::DRAM: return "DRAM";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr const char* to_string(AccessPattern p) noexcept {
+  switch (p) {
+    case AccessPattern::Streaming: return "streaming";
+    case AccessPattern::Random: return "random";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr const char* to_string(Precision p) noexcept {
+  switch (p) {
+    case Precision::Single: return "single";
+    case Precision::Double: return "double";
+  }
+  return "?";
+}
+
+/// Bytes per word for a precision (4 or 8).
+[[nodiscard]] constexpr double word_bytes(Precision p) noexcept {
+  return p == Precision::Single ? 4.0 : 8.0;
+}
+
+}  // namespace archline::core

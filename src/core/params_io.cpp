@@ -1,0 +1,91 @@
+#include "core/params_io.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace archline::core {
+
+namespace {
+
+std::string format_value(double v) {
+  if (std::isinf(v)) return "inf";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+double parse_value(const std::string& s) {
+  if (s == "inf") return kUncapped;
+  std::size_t pos = 0;
+  const double v = std::stod(s, &pos);
+  while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos])))
+    ++pos;
+  if (pos != s.size())
+    throw std::invalid_argument("machine_from_text: bad number '" + s + "'");
+  return v;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+std::string to_text(const MachineParams& m, const std::string& name) {
+  std::ostringstream out;
+  if (!name.empty()) out << "# " << name << '\n';
+  out << "tau_flop = " << format_value(m.tau_flop) << '\n';
+  out << "eps_flop = " << format_value(m.eps_flop) << '\n';
+  out << "tau_mem = " << format_value(m.tau_mem) << '\n';
+  out << "eps_mem = " << format_value(m.eps_mem) << '\n';
+  out << "pi1 = " << format_value(m.pi1) << '\n';
+  out << "delta_pi = " << format_value(m.delta_pi) << '\n';
+  return out.str();
+}
+
+MachineParams machine_from_text(const std::string& text) {
+  std::map<std::string, double> values;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string stripped = trim(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    const std::size_t eq = stripped.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument("machine_from_text: malformed line '" +
+                                  stripped + "'");
+    const std::string key = trim(stripped.substr(0, eq));
+    static const std::set<std::string> kKnown = {
+        "tau_flop", "eps_flop", "tau_mem", "eps_mem", "pi1", "delta_pi"};
+    if (!kKnown.contains(key)) continue;  // tolerate foreign keys
+    const std::string value = trim(stripped.substr(eq + 1));
+    values[key] = parse_value(value);
+  }
+
+  MachineParams m;
+  const auto require = [&values](const char* key) {
+    const auto it = values.find(key);
+    if (it == values.end())
+      throw std::invalid_argument(
+          std::string("machine_from_text: missing key '") + key + "'");
+    return it->second;
+  };
+  m.tau_flop = require("tau_flop");
+  m.eps_flop = require("eps_flop");
+  m.tau_mem = require("tau_mem");
+  m.eps_mem = require("eps_mem");
+  m.pi1 = require("pi1");
+  m.delta_pi = require("delta_pi");
+  m.validate("machine_from_text");
+  return m;
+}
+
+}  // namespace archline::core

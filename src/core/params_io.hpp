@@ -1,0 +1,26 @@
+#pragma once
+// Serialization of MachineParams to a small key = value text format, so
+// fitted machines can be saved, diffed, and reloaded by tools and the
+// examples. Self-contained (no CSV dependency); round-trip is exact to
+// the printed precision (17 significant digits, i.e. lossless for
+// double).
+
+#include <string>
+
+#include "core/machine_params.hpp"
+
+namespace archline::core {
+
+/// Serializes to lines of "key = value". Keys: tau_flop, eps_flop,
+/// tau_mem, eps_mem, pi1, delta_pi (delta_pi prints "inf" when uncapped).
+/// An optional name comment ("# name") leads the block.
+[[nodiscard]] std::string to_text(const MachineParams& m,
+                                  const std::string& name = "");
+
+/// Parses the format written by to_text (unknown keys are ignored,
+/// comments and blank lines skipped). Throws std::invalid_argument on a
+/// malformed line or if any required key is missing, and validates the
+/// result.
+[[nodiscard]] MachineParams machine_from_text(const std::string& text);
+
+}  // namespace archline::core

@@ -1,0 +1,64 @@
+#include "core/phase_mix.hpp"
+
+#include <stdexcept>
+
+#include "core/roofline.hpp"
+
+namespace archline::core {
+
+Phase make_phase(std::string label, double flops, double intensity) {
+  if (!(flops > 0.0) || !(intensity > 0.0))
+    throw std::invalid_argument("make_phase: flops and intensity > 0");
+  return Phase{.label = std::move(label),
+               .work = Workload::from_intensity(flops, intensity)};
+}
+
+double mix_time(const MachineParams& m, std::span<const Phase> phases) {
+  double acc = 0.0;
+  for (const Phase& p : phases) acc += time(m, p.work);
+  return acc;
+}
+
+double mix_energy(const MachineParams& m, std::span<const Phase> phases) {
+  double acc = 0.0;
+  for (const Phase& p : phases) acc += energy(m, p.work);
+  return acc;
+}
+
+double mix_avg_power(const MachineParams& m, std::span<const Phase> phases) {
+  const double t = mix_time(m, phases);
+  if (!(t > 0.0)) return m.pi1;
+  return mix_energy(m, phases) / t;
+}
+
+double mix_intensity(std::span<const Phase> phases) {
+  double flops = 0.0;
+  double bytes = 0.0;
+  for (const Phase& p : phases) {
+    flops += p.work.flops;
+    bytes += p.work.bytes;
+  }
+  if (!(bytes > 0.0))
+    throw std::invalid_argument("mix_intensity: zero byte traffic");
+  return flops / bytes;
+}
+
+std::vector<PhaseBreakdown> mix_breakdown(const MachineParams& m,
+                                          std::span<const Phase> phases) {
+  const double total_t = mix_time(m, phases);
+  const double total_e = mix_energy(m, phases);
+  std::vector<PhaseBreakdown> out;
+  out.reserve(phases.size());
+  for (const Phase& p : phases) {
+    PhaseBreakdown b;
+    b.label = p.label;
+    b.seconds = time(m, p.work);
+    b.joules = energy(m, p.work);
+    b.time_share = total_t > 0.0 ? b.seconds / total_t : 0.0;
+    b.energy_share = total_e > 0.0 ? b.joules / total_e : 0.0;
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+}  // namespace archline::core

@@ -1,0 +1,59 @@
+#pragma once
+// Applications as mixes of phases.
+//
+// The paper abstracts a whole computation by one intensity; real
+// applications interleave phases (setup SpMV, solve FFT, reduce...).
+// Because the model's time and energy are additive over serial phases,
+// a mix is itself analyzable — and the best building block for a mix can
+// differ from the best block of every individual phase, which is the
+// interesting design consequence this module exposes.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/machine_params.hpp"
+
+namespace archline::core {
+
+/// One serial phase of an application.
+struct Phase {
+  std::string label;
+  Workload work;
+};
+
+/// Builds a phase from total flops at an intensity.
+[[nodiscard]] Phase make_phase(std::string label, double flops,
+                               double intensity);
+
+/// Total best-case execution time of the phases run back to back.
+[[nodiscard]] double mix_time(const MachineParams& m,
+                              std::span<const Phase> phases);
+
+/// Total energy of the mix.
+[[nodiscard]] double mix_energy(const MachineParams& m,
+                                std::span<const Phase> phases);
+
+/// Time-averaged power of the mix.
+[[nodiscard]] double mix_avg_power(const MachineParams& m,
+                                   std::span<const Phase> phases);
+
+/// Aggregate intensity of the mix (total flops / total bytes). Note this
+/// is NOT sufficient to predict the mix: running the phases at their own
+/// intensities differs from one hypothetical kernel at the aggregate
+/// intensity (tested; the difference is the cost of unexploited overlap).
+[[nodiscard]] double mix_intensity(std::span<const Phase> phases);
+
+/// Per-phase share of the mix's time and energy on a machine.
+struct PhaseBreakdown {
+  std::string label;
+  double seconds = 0.0;
+  double joules = 0.0;
+  double time_share = 0.0;    ///< fraction of total time
+  double energy_share = 0.0;  ///< fraction of total energy
+};
+
+[[nodiscard]] std::vector<PhaseBreakdown> mix_breakdown(
+    const MachineParams& m, std::span<const Phase> phases);
+
+}  // namespace archline::core

@@ -1,0 +1,46 @@
+#include "core/random_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace archline::core {
+
+void RandomAccessMachine::validate() const {
+  if (!(tau_access > 0.0) || !std::isfinite(tau_access))
+    throw std::invalid_argument("RandomAccessMachine: bad tau_access");
+  if (!(eps_access > 0.0) || !std::isfinite(eps_access))
+    throw std::invalid_argument("RandomAccessMachine: bad eps_access");
+  if (!(pi1 >= 0.0))
+    throw std::invalid_argument("RandomAccessMachine: negative pi1");
+  if (!(delta_pi > 0.0))
+    throw std::invalid_argument("RandomAccessMachine: bad delta_pi");
+}
+
+bool RandomAccessMachine::power_consistent() const noexcept {
+  return pi_rand() <= delta_pi;
+}
+
+double RandomAccessMachine::time(double accesses) const noexcept {
+  return accesses / access_rate();
+}
+
+double RandomAccessMachine::energy(double accesses) const noexcept {
+  return accesses * eps_access + pi1 * time(accesses);
+}
+
+double RandomAccessMachine::effective_energy_per_access() const noexcept {
+  return eps_access + pi1 / access_rate();
+}
+
+double RandomAccessMachine::accesses_per_joule() const noexcept {
+  return 1.0 / effective_energy_per_access();
+}
+
+double RandomAccessMachine::avg_power() const noexcept {
+  const double attributed = eps_access * access_rate();
+  return pi1 + (delta_pi == kUncapped ? attributed
+                                      : std::min(attributed, delta_pi));
+}
+
+}  // namespace archline::core

@@ -1,0 +1,71 @@
+#pragma once
+// First-class modeling of random-access (pointer-chasing) workloads.
+//
+// Table I's last column gives per-access time and energy (eps_rand,
+// sustained Macc/s) for platforms measured with the paper's §IV-f
+// benchmark; §VI highlights that "random memory access is on the Xeon Phi
+// at least one order of magnitude less energy per access than any other
+// platform, suggesting its utility on highly irregular data processing
+// workloads." This module gives those constants the same analytical
+// treatment the streaming model gets: effective rates/efficiencies
+// including the constant-power charge and the power cap.
+
+#include "core/machine_params.hpp"
+
+namespace archline::core {
+
+/// Per-access costs of the pointer-chase path plus the machine's power
+/// context (pi1, delta_pi).
+struct RandomAccessMachine {
+  double tau_access = 0.0;  ///< s/access at sustained rate
+  double eps_access = 0.0;  ///< J/access (includes full line transfer)
+  double pi1 = 0.0;         ///< W
+  double delta_pi = kUncapped;  ///< W
+
+  void validate() const;
+
+  // ---- Derived -------------------------------------------------------
+
+  /// Nominal power attribution of the chase at full rate,
+  /// eps_access / tau_access [W]. NOTE: because eps_rand is an INCLUSIVE
+  /// cost ("the additional energy required to complete one additional
+  /// instance", §V-B) it can attribute energy beyond the usable-power
+  /// envelope: in Table I, eps_rand x rate exceeds delta_pi on the
+  /// GTX 680, APU GPU and Arndale CPU. So this is an accounting quantity,
+  /// not an instantaneous electrical power — see power_consistent().
+  [[nodiscard]] double pi_rand() const noexcept {
+    return eps_access / tau_access;
+  }
+
+  /// Whether the nominal attribution also works as an instantaneous
+  /// power (pi_rand <= delta_pi). False on the three platforms above.
+  [[nodiscard]] bool power_consistent() const noexcept;
+
+  /// Achieved access rate [acc/s] — the measured sustained engine rate
+  /// (dependent loads are latency-bound; the governor did not limit them
+  /// on any Table I platform, cf. power_consistent()).
+  [[nodiscard]] double access_rate() const noexcept {
+    return 1.0 / tau_access;
+  }
+
+  /// Time for n dependent accesses [s].
+  [[nodiscard]] double time(double accesses) const noexcept;
+
+  /// Total energy for n accesses (inclusive attribution), constant power
+  /// included [J].
+  [[nodiscard]] double energy(double accesses) const noexcept;
+
+  /// Effective energy per access including the constant-power charge:
+  /// eps_access + pi1 / access_rate [J] — the random-access analogue of
+  /// §V-B's effective stream energy.
+  [[nodiscard]] double effective_energy_per_access() const noexcept;
+
+  /// Accesses per joule, 1 / effective_energy_per_access.
+  [[nodiscard]] double accesses_per_joule() const noexcept;
+
+  /// Average electrical power while chasing [W]: the attribution, clamped
+  /// to the physical ceiling pi1 + delta_pi.
+  [[nodiscard]] double avg_power() const noexcept;
+};
+
+}  // namespace archline::core

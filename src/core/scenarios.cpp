@@ -1,0 +1,122 @@
+#include "core/scenarios.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace archline::core {
+
+MachineParams with_cap_scaled(const MachineParams& m, double k) {
+  if (!(k >= 1.0))
+    throw std::invalid_argument("with_cap_scaled: divisor must be >= 1");
+  MachineParams out = m;
+  if (!m.uncapped()) out.delta_pi = m.delta_pi / k;
+  return out;
+}
+
+MachineParams with_cap(const MachineParams& m, double delta_pi_watts) {
+  if (!(delta_pi_watts > 0.0))
+    throw std::invalid_argument("with_cap: cap must be positive");
+  MachineParams out = m;
+  out.delta_pi = delta_pi_watts;
+  return out;
+}
+
+MachineParams aggregate(const MachineParams& m, int n) {
+  if (n < 1) throw std::invalid_argument("aggregate: need n >= 1");
+  const double dn = static_cast<double>(n);
+  MachineParams out = m;
+  out.tau_flop = m.tau_flop / dn;
+  out.tau_mem = m.tau_mem / dn;
+  out.pi1 = m.pi1 * dn;
+  if (!m.uncapped()) out.delta_pi = m.delta_pi * dn;
+  return out;
+}
+
+int blocks_to_match_power(const MachineParams& block, double target_watts) {
+  if (!(target_watts > 0.0)) return 0;
+  const double per_block = block.pi1 + (block.uncapped()
+                                            ? block.pi_flop() + block.pi_mem()
+                                            : block.delta_pi);
+  if (!(per_block > 0.0))
+    throw std::invalid_argument("blocks_to_match_power: zero block power");
+  return static_cast<int>(std::ceil(target_watts / per_block - 1e-9));
+}
+
+std::vector<ThrottlePoint> throttle_sweep(
+    const MachineParams& m, const std::vector<double>& intensities,
+    const std::vector<double>& cap_divisors) {
+  std::vector<ThrottlePoint> out;
+  out.reserve(intensities.size() * cap_divisors.size());
+  for (const double k : cap_divisors) {
+    const MachineParams capped = with_cap_scaled(m, k);
+    for (const double intensity : intensities) {
+      ThrottlePoint p;
+      p.intensity = intensity;
+      p.cap_divisor = k;
+      p.power = avg_power_closed_form(capped, intensity);
+      p.performance = performance(capped, intensity);
+      p.efficiency = energy_efficiency(capped, intensity);
+      p.regime = regime_at(capped, intensity);
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+ThrottleRequirement throttle_requirement(const MachineParams& m,
+                                         double intensity,
+                                         double cap_watts) {
+  if (!(cap_watts > 0.0))
+    throw std::invalid_argument("throttle_requirement: cap must be > 0");
+  if (!(intensity > 0.0))
+    throw std::invalid_argument("throttle_requirement: intensity must be > 0");
+  const MachineParams capped = with_cap(m, cap_watts);
+
+  ThrottleRequirement r;
+  r.intensity = intensity;
+  r.cap_watts = cap_watts;
+  r.regime = regime_at(capped, intensity);
+
+  // Free (cap-ignoring) execution: per-flop time tau_flop*max(1, B/I).
+  const double free_term = std::max(1.0, m.time_balance() / intensity);
+  const double capped_term = time_per_flop(capped, intensity) / m.tau_flop;
+  r.slowdown = capped_term / free_term;
+
+  // Under maximal overlap the free schedule runs flops at
+  // 1/max(1, B/I) of sustained rate and memory at 1/max(1, I/B);
+  // throttling divides both by the slowdown.
+  r.flop_rate_fraction = 1.0 / (free_term * r.slowdown);
+  r.mem_rate_fraction =
+      1.0 / (std::max(1.0, intensity / m.time_balance()) * r.slowdown);
+  return r;
+}
+
+PowerBoundComparison power_bound_comparison(const MachineParams& big,
+                                            const MachineParams& small,
+                                            double bound_watts,
+                                            double intensity) {
+  if (!(bound_watts > big.pi1))
+    throw std::invalid_argument(
+        "power_bound_comparison: bound below big block's constant power");
+  PowerBoundComparison r;
+  r.bound_watts = bound_watts;
+
+  // Reduce the big block's usable power so pi1 + delta_pi' == bound.
+  const double new_cap = bound_watts - big.pi1;
+  const double base_cap =
+      big.uncapped() ? big.pi_flop() + big.pi_mem() : big.delta_pi;
+  r.big_cap_divisor = base_cap / new_cap;
+  const MachineParams big_capped = with_cap(big, new_cap);
+  r.big_performance = performance(big_capped, intensity);
+  r.big_slowdown = r.big_performance / performance(big, intensity);
+
+  r.small_count = blocks_to_match_power(small, bound_watts);
+  if (r.small_count > 0) {
+    const MachineParams cluster = aggregate(small, r.small_count);
+    r.small_performance = performance(cluster, intensity);
+    r.speedup = r.small_performance / r.big_performance;
+  }
+  return r;
+}
+
+}  // namespace archline::core

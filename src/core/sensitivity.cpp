@@ -1,0 +1,71 @@
+#include "core/sensitivity.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace archline::core {
+
+const char* to_string(Param p) noexcept {
+  switch (p) {
+    case Param::TauFlop: return "tau_flop";
+    case Param::EpsFlop: return "eps_flop";
+    case Param::TauMem: return "tau_mem";
+    case Param::EpsMem: return "eps_mem";
+    case Param::Pi1: return "pi1";
+    case Param::DeltaPi: return "delta_pi";
+  }
+  return "?";
+}
+
+MachineParams with_param_scaled(const MachineParams& m, Param p,
+                                double factor) {
+  if (!(factor > 0.0))
+    throw std::invalid_argument("with_param_scaled: factor must be > 0");
+  MachineParams out = m;
+  switch (p) {
+    case Param::TauFlop: out.tau_flop *= factor; break;
+    case Param::EpsFlop: out.eps_flop *= factor; break;
+    case Param::TauMem: out.tau_mem *= factor; break;
+    case Param::EpsMem: out.eps_mem *= factor; break;
+    case Param::Pi1: out.pi1 *= factor; break;
+    case Param::DeltaPi:
+      if (!out.uncapped()) out.delta_pi *= factor;
+      break;
+  }
+  return out;
+}
+
+double elasticity(const MachineParams& m, Param p, Metric metric,
+                  double intensity, double log_step) {
+  if (!(log_step > 0.0))
+    throw std::invalid_argument("elasticity: log_step must be > 0");
+  // pi1 can be zero (no constant power); elasticity to it is then 0.
+  if (p == Param::Pi1 && m.pi1 == 0.0) return 0.0;
+  if (p == Param::DeltaPi && m.uncapped()) return 0.0;
+  const double up = std::exp(log_step);
+  const double down = std::exp(-log_step);
+  const double hi =
+      metric_value(with_param_scaled(m, p, up), metric, intensity);
+  const double lo =
+      metric_value(with_param_scaled(m, p, down), metric, intensity);
+  return (std::log(hi) - std::log(lo)) / (2.0 * log_step);
+}
+
+Param SensitivityProfile::dominant() const noexcept {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < values.size(); ++i)
+    if (std::abs(values[i]) > std::abs(values[best])) best = i;
+  return kAllParams[best];
+}
+
+SensitivityProfile sensitivity_profile(const MachineParams& m, Metric metric,
+                                       double intensity) {
+  SensitivityProfile s;
+  s.intensity = intensity;
+  s.metric = metric;
+  for (std::size_t i = 0; i < kAllParams.size(); ++i)
+    s.values[i] = elasticity(m, kAllParams[i], metric, intensity);
+  return s;
+}
+
+}  // namespace archline::core

@@ -1,0 +1,60 @@
+#pragma once
+// Unit conventions and conversion constants.
+//
+// archline stores every physical quantity in base SI units as double:
+//   time          seconds      [s]
+//   energy        joules       [J]
+//   power         watts        [W]
+//   data volume   bytes        [B]
+//   work          flop         (or another natural op; see paper fn. 3)
+//   throughput    flop/s, B/s
+//   intensity     flop/B
+//
+// Derived-unit values common in the paper (pJ/flop, Gflop/s, GB/s) are
+// converted at construction/output boundaries with these constants.
+
+namespace archline::units {
+
+inline constexpr double kPico = 1e-12;
+inline constexpr double kNano = 1e-9;
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kMilli = 1e-3;
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+inline constexpr double kTera = 1e12;
+
+/// pJ/flop (or pJ/B) -> J/flop (J/B).
+[[nodiscard]] constexpr double from_picojoules(double pj) noexcept {
+  return pj * kPico;
+}
+/// J -> pJ.
+[[nodiscard]] constexpr double to_picojoules(double joules) noexcept {
+  return joules / kPico;
+}
+/// nJ -> J.
+[[nodiscard]] constexpr double from_nanojoules(double nj) noexcept {
+  return nj * kNano;
+}
+/// Gflop/s -> flop/s.
+[[nodiscard]] constexpr double from_gflops(double gflops) noexcept {
+  return gflops * kGiga;
+}
+/// flop/s -> Gflop/s.
+[[nodiscard]] constexpr double to_gflops(double flops) noexcept {
+  return flops / kGiga;
+}
+/// GB/s -> B/s.
+[[nodiscard]] constexpr double from_gbytes(double gb) noexcept {
+  return gb * kGiga;
+}
+/// B/s -> GB/s.
+[[nodiscard]] constexpr double to_gbytes(double bytes) noexcept {
+  return bytes / kGiga;
+}
+/// Throughput (ops/s) -> cost per op (s/op). Throughput must be positive.
+[[nodiscard]] constexpr double per_op_from_rate(double rate) noexcept {
+  return 1.0 / rate;
+}
+
+}  // namespace archline::units

@@ -1,0 +1,118 @@
+#include "core/workloads.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/roofline.hpp"
+
+namespace archline::core {
+
+double WorkloadProfile::representative_intensity() const noexcept {
+  return std::sqrt(intensity_lo * intensity_hi);
+}
+
+double WorkloadProfile::representative_intensity(Precision p) const noexcept {
+  const double sp = representative_intensity();
+  // Same flop count, double the bytes per word: intensity halves.
+  return p == Precision::Single ? sp : sp / 2.0;
+}
+
+namespace {
+
+std::vector<WorkloadProfile> build_library() {
+  return {
+      WorkloadProfile{
+          .name = "SpMV",
+          .description = "large sparse matrix-vector multiply (paper §I-A)",
+          .intensity_lo = 0.25,
+          .intensity_hi = 0.5},
+      WorkloadProfile{
+          .name = "FFT",
+          .description = "large fast Fourier transform (paper §I-A)",
+          .intensity_lo = 2.0,
+          .intensity_hi = 4.0},
+      WorkloadProfile{
+          .name = "DGEMM",
+          .description = "blocked dense matrix multiply, cache-tiled",
+          .intensity_lo = 16.0,
+          .intensity_hi = 64.0},
+      WorkloadProfile{
+          .name = "Stencil",
+          .description = "7-point stencil sweep, streaming with reuse",
+          .intensity_lo = 0.5,
+          .intensity_hi = 1.0},
+      WorkloadProfile{
+          .name = "STREAM",
+          .description = "pure bandwidth: copy/scale/add/triad",
+          .intensity_lo = 1.0 / 16.0,
+          .intensity_hi = 1.0 / 4.0},
+      WorkloadProfile{
+          .name = "GraphTraversal",
+          .description = "BFS-like edge chasing; latency-bound random "
+                         "access (paper §IV-f)",
+          .intensity_lo = 1.0 / 16.0,
+          .intensity_hi = 1.0 / 8.0,
+          .pattern = AccessPattern::Random},
+      WorkloadProfile{
+          .name = "NBody",
+          .description = "direct n-body force evaluation, compute-bound",
+          .intensity_lo = 64.0,
+          .intensity_hi = 256.0},
+  };
+}
+
+const std::vector<WorkloadProfile>& library() {
+  static const std::vector<WorkloadProfile> kLibrary = build_library();
+  return kLibrary;
+}
+
+}  // namespace
+
+std::span<const WorkloadProfile> workload_library() { return library(); }
+
+const WorkloadProfile& workload(const std::string& name) {
+  for (const WorkloadProfile& w : library())
+    if (w.name == name) return w;
+  throw std::out_of_range("unknown workload: " + name);
+}
+
+std::vector<std::string> workload_names() {
+  std::vector<std::string> names;
+  names.reserve(library().size());
+  for (const WorkloadProfile& w : library()) names.push_back(w.name);
+  return names;
+}
+
+std::vector<WorkloadRanking> rank_machines(
+    const WorkloadProfile& profile,
+    std::span<const std::pair<std::string, MachineParams>> machines,
+    RankBy by) {
+  const double intensity = profile.representative_intensity();
+  std::vector<WorkloadRanking> out;
+  out.reserve(machines.size());
+  for (const auto& [name, m] : machines) {
+    WorkloadRanking r;
+    r.machine_name = name;
+    r.performance = performance(m, intensity);
+    r.efficiency = energy_efficiency(m, intensity);
+    r.power = avg_power_closed_form(m, intensity);
+    r.regime = regime_at(m, intensity);
+    out.push_back(std::move(r));
+  }
+  std::sort(out.begin(), out.end(),
+            [by](const WorkloadRanking& a, const WorkloadRanking& b) {
+              switch (by) {
+                case RankBy::Performance:
+                  return a.performance > b.performance;
+                case RankBy::Efficiency:
+                  return a.efficiency > b.efficiency;
+                case RankBy::PerformancePerWatt:
+                  return a.performance / a.power > b.performance / b.power;
+              }
+              return false;
+            });
+  return out;
+}
+
+}  // namespace archline::core

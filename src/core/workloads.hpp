@@ -1,0 +1,67 @@
+#pragma once
+// A library of named workload profiles.
+//
+// The paper reasons about algorithms purely through operational intensity
+// and access pattern: "a large sparse matrix-vector multiply is roughly
+// 0.25-0.5 flop:Byte in single-precision and a large FFT is 2-4
+// flop:Byte" (§I-A); pointer chasing stands in for "a sparse matrix or
+// other graph computation" (§IV-f); footnote 3 allows substituting
+// comparisons or traversed edges for flops. This module packages those
+// archetypes so examples and studies can ask questions like "which
+// building block should run SpMV?" without hand-picking intensities.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/machine_params.hpp"
+#include "core/memory.hpp"
+#include "core/roofline.hpp"
+
+namespace archline::core {
+
+/// A named algorithm archetype characterized by its intensity range.
+struct WorkloadProfile {
+  std::string name;         ///< e.g. "SpMV"
+  std::string description;  ///< one-line characterization
+  double intensity_lo = 0.0;  ///< flop:Byte at single precision
+  double intensity_hi = 0.0;
+  AccessPattern pattern = AccessPattern::Streaming;
+
+  /// Geometric midpoint of the intensity range — the single number used
+  /// when one representative intensity is needed.
+  [[nodiscard]] double representative_intensity() const noexcept;
+
+  /// Intensity at the other precision: byte traffic doubles in double
+  /// precision for the same flop count, halving intensity.
+  [[nodiscard]] double representative_intensity(Precision p) const noexcept;
+};
+
+/// Built-in profiles: SpMV, FFT, DGEMM-like dense linear algebra,
+/// 7-point stencil, STREAM, graph traversal (random access), N-body.
+[[nodiscard]] std::span<const WorkloadProfile> workload_library();
+
+/// Lookup by name (case-sensitive); throws std::out_of_range if unknown.
+[[nodiscard]] const WorkloadProfile& workload(const std::string& name);
+
+/// All profile names in library order.
+[[nodiscard]] std::vector<std::string> workload_names();
+
+/// One machine's predicted standing on a profile.
+struct WorkloadRanking {
+  std::string machine_name;
+  double performance = 0.0;  ///< flop/s at the representative intensity
+  double efficiency = 0.0;   ///< flop/J
+  double power = 0.0;        ///< W
+  Regime regime = Regime::Compute;
+};
+
+/// Ranks machines on a profile by the chosen metric (descending).
+enum class RankBy { Performance, Efficiency, PerformancePerWatt };
+
+[[nodiscard]] std::vector<WorkloadRanking> rank_machines(
+    const WorkloadProfile& profile,
+    std::span<const std::pair<std::string, MachineParams>> machines,
+    RankBy by = RankBy::Efficiency);
+
+}  // namespace archline::core

@@ -1,0 +1,112 @@
+#include "experiments/exp_cache_roofline.hpp"
+
+#include "core/analysis.hpp"
+#include "core/roofline.hpp"
+#include "microbench/cache_bench.hpp"
+#include "microbench/intensity.hpp"
+#include "microbench/parallel.hpp"
+#include "microbench/suite.hpp"
+#include "platforms/platform_db.hpp"
+#include "sim/factory.hpp"
+
+namespace archline::experiments {
+
+std::vector<double> CacheRooflinePlatform::ridge_points() const {
+  std::vector<double> ridges;
+  ridges.reserve(levels.size());
+  for (const CacheRooflineLevel& l : levels)
+    ridges.push_back(l.machine.time_balance());
+  return ridges;
+}
+
+namespace {
+
+CacheRooflineLevel build_level(const platforms::PlatformSpec& spec,
+                               core::MemLevel level,
+                               const std::vector<double>& grid) {
+  CacheRooflineLevel out;
+  out.level = level;
+  out.machine = spec.machine_at_level(level);
+  out.points.reserve(grid.size());
+  for (const double intensity : grid) {
+    CacheRooflinePoint p;
+    p.intensity = intensity;
+    p.model_perf = core::performance(out.machine, intensity);
+    p.model_efficiency = core::energy_efficiency(out.machine, intensity);
+    out.points.push_back(p);
+  }
+  return out;
+}
+
+void attach_measurements(CacheRooflineLevel& lvl,
+                         const sim::SimMachine& machine,
+                         const std::vector<double>& grid,
+                         const microbench::SuiteOptions& opt,
+                         stats::Rng& rng) {
+  const auto kernels =
+      lvl.level == core::MemLevel::DRAM
+          ? [&] {
+              std::vector<sim::KernelDesc> ks;
+              const sim::SimConfig& cfg = machine.config();
+              for (const double intensity : grid)
+                ks.push_back(microbench::intensity_kernel(
+                    intensity,
+                    microbench::bytes_for_duration(
+                        intensity, cfg.sp.tau, cfg.sp.eps,
+                        cfg.dram.tau_byte, cfg.dram.eps_byte, cfg.delta_pi,
+                        opt.target_seconds),
+                    core::Precision::Single, core::MemLevel::DRAM));
+              return ks;
+            }()
+          : microbench::cache_sweep(machine, lvl.level, grid,
+                                    core::Precision::Single,
+                                    opt.target_seconds);
+  for (std::size_t i = 0; i < kernels.size() && i < lvl.points.size();
+       ++i) {
+    const auto obs = microbench::measure_kernel(machine, kernels[i], 1,
+                                                opt.sampler, rng);
+    lvl.points[i].measured_perf = obs[0].flops_per_second();
+    lvl.points[i].measured_efficiency = obs[0].flops_per_joule();
+  }
+}
+
+}  // namespace
+
+CacheRooflinePlatform run_cache_roofline(
+    const std::string& platform, const CacheRooflineOptions& options) {
+  const platforms::PlatformSpec& spec = platforms::platform(platform);
+  const std::vector<double> grid = core::intensity_grid(
+      options.intensity_lo, options.intensity_hi, options.points_per_octave);
+
+  CacheRooflinePlatform out;
+  out.platform = spec.name;
+  for (const core::MemLevel level :
+       {core::MemLevel::L1, core::MemLevel::L2, core::MemLevel::DRAM}) {
+    if (!spec.has_level(level)) continue;
+    out.levels.push_back(build_level(spec, level, grid));
+  }
+
+  if (options.with_measurements) {
+    const sim::SimMachine machine = sim::make_machine(spec);
+    stats::Rng rng(microbench::campaign_seed(options.seed, spec.name));
+    microbench::SuiteOptions opt;
+    opt.target_seconds = 0.1;
+    for (CacheRooflineLevel& lvl : out.levels)
+      attach_measurements(lvl, machine, grid, opt, rng);
+  }
+  return out;
+}
+
+std::vector<CacheRooflinePlatform> run_cache_rooflines(
+    const CacheRooflineOptions& options) {
+  std::vector<CacheRooflinePlatform> out;
+  for (const platforms::PlatformSpec& spec : platforms::all_platforms()) {
+    if (!spec.has_level(core::MemLevel::L1) &&
+        !spec.has_level(core::MemLevel::L2))
+      continue;
+    out.push_back(run_cache_roofline(spec.name, options));
+  }
+  return out;
+}
+
+}  // namespace archline::experiments

@@ -1,0 +1,61 @@
+#pragma once
+// Experiment C1 (extension): cache-level rooflines.
+//
+// The paper measures each memory level's bandwidth and energy (§IV-g,
+// Table I columns 11-12) but plots only DRAM-level curves. This
+// experiment assembles the full multi-level picture — the "cache-aware
+// roofline" of the related work it cites (Ilic et al.) — from the same
+// constants: per platform and level, model performance/efficiency vs
+// intensity plus simulated measurements.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/machine_params.hpp"
+#include "core/memory.hpp"
+
+namespace archline::experiments {
+
+struct CacheRooflinePoint {
+  double intensity = 0.0;
+  double model_perf = 0.0;      ///< flop/s
+  double model_efficiency = 0.0;  ///< flop/J
+  double measured_perf = 0.0;   ///< 0 when not measured
+  double measured_efficiency = 0.0;
+};
+
+struct CacheRooflineLevel {
+  core::MemLevel level = core::MemLevel::DRAM;
+  core::MachineParams machine;  ///< flop side + this level's memory side
+  std::vector<CacheRooflinePoint> points;
+};
+
+struct CacheRooflinePlatform {
+  std::string platform;
+  std::vector<CacheRooflineLevel> levels;  ///< L1 (if any), L2 (if any), DRAM
+
+  /// The ridge intensity of each level (time balance B_tau); levels
+  /// closer to the core have lower balance, widening the compute-bound
+  /// region.
+  [[nodiscard]] std::vector<double> ridge_points() const;
+};
+
+struct CacheRooflineOptions {
+  std::uint64_t seed = 20140519;
+  double intensity_lo = 1.0 / 8.0;
+  double intensity_hi = 512.0;
+  int points_per_octave = 2;
+  bool with_measurements = true;
+};
+
+/// Runs the study for one platform; throws std::out_of_range on unknown
+/// names.
+[[nodiscard]] CacheRooflinePlatform run_cache_roofline(
+    const std::string& platform, const CacheRooflineOptions& options = {});
+
+/// All platforms that have at least one cache level measured.
+[[nodiscard]] std::vector<CacheRooflinePlatform> run_cache_rooflines(
+    const CacheRooflineOptions& options = {});
+
+}  // namespace archline::experiments

@@ -1,0 +1,80 @@
+#include "experiments/exp_crossover.hpp"
+
+#include "core/analysis.hpp"
+#include "platforms/platform_db.hpp"
+
+namespace archline::experiments {
+
+CrossoverMatrix run_crossover_matrix(const CrossoverOptions& options) {
+  CrossoverMatrix m;
+  m.metric = options.metric;
+  m.platforms = platforms::platform_names();
+
+  for (const std::string& row : m.platforms) {
+    const core::MachineParams a = platforms::platform(row).machine();
+    for (const std::string& col : m.platforms) {
+      if (row == col) continue;
+      const core::MachineParams b = platforms::platform(col).machine();
+      CrossoverCell cell;
+      cell.row_platform = row;
+      cell.col_platform = col;
+      const double crossing = core::crossover_intensity(
+          a, b, options.metric, options.intensity_lo,
+          options.intensity_hi);
+      cell.row_wins_low =
+          core::metric_value(a, options.metric, options.intensity_lo) >
+          core::metric_value(b, options.metric, options.intensity_lo);
+      if (crossing > 0.0) {
+        cell.crossover = crossing;
+        ++m.pairs_with_crossover;
+      } else {
+        ++m.pairs_dominated;
+      }
+      m.cells.push_back(std::move(cell));
+    }
+  }
+  return m;
+}
+
+std::vector<ParetoPoint> run_pareto_frontier(double intensity_lo,
+                                             double intensity_hi,
+                                             int points_per_octave) {
+  const std::vector<double> grid =
+      core::intensity_grid(intensity_lo, intensity_hi, points_per_octave);
+  std::vector<ParetoPoint> out;
+  out.reserve(grid.size());
+
+  struct Candidate {
+    std::string name;
+    double perf = 0.0;
+    double eff = 0.0;
+  };
+
+  for (const double intensity : grid) {
+    std::vector<Candidate> cands;
+    for (const platforms::PlatformSpec& spec : platforms::all_platforms()) {
+      const core::MachineParams m = spec.machine();
+      cands.push_back(Candidate{.name = spec.name,
+                                .perf = core::performance(m, intensity),
+                                .eff = core::energy_efficiency(m, intensity)});
+    }
+    ParetoPoint p;
+    p.intensity = intensity;
+    for (const Candidate& c : cands) {
+      bool dominated = false;
+      for (const Candidate& other : cands) {
+        if (&other == &c) continue;
+        if (other.perf >= c.perf && other.eff >= c.eff &&
+            (other.perf > c.perf || other.eff > c.eff)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) p.frontier.push_back(c.name);
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace archline::experiments

@@ -1,0 +1,59 @@
+#pragma once
+// Experiment X3 (extension of the abstract's central claim): "critical
+// values of arithmetic intensity around which some systems may switch
+// from being more to less time- and energy-efficient than others."
+//
+// Two views:
+//  * the full pairwise crossover matrix: for every ordered platform pair,
+//    the intensity at which their ranking on a metric flips (if any);
+//  * the per-intensity Pareto frontier over (performance, energy
+//    efficiency): which building blocks are undominated where.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/roofline.hpp"
+
+namespace archline::experiments {
+
+struct CrossoverCell {
+  std::string row_platform;
+  std::string col_platform;
+  /// Intensity where the two tie (ranking flips); nullopt if one
+  /// dominates across the whole sweep.
+  std::optional<double> crossover;
+  /// True if the row platform wins (higher metric) at low intensity.
+  bool row_wins_low = false;
+};
+
+struct CrossoverMatrix {
+  core::Metric metric = core::Metric::EnergyEfficiency;
+  std::vector<std::string> platforms;     ///< Table I order
+  std::vector<CrossoverCell> cells;       ///< row-major, excluding diagonal
+  int pairs_with_crossover = 0;
+  int pairs_dominated = 0;
+};
+
+struct CrossoverOptions {
+  core::Metric metric = core::Metric::EnergyEfficiency;
+  double intensity_lo = 1.0 / 64.0;
+  double intensity_hi = 512.0;
+};
+
+[[nodiscard]] CrossoverMatrix run_crossover_matrix(
+    const CrossoverOptions& options = {});
+
+/// Platforms on the (performance, efficiency) Pareto frontier at one
+/// intensity: nobody else is at least as good on both metrics and
+/// strictly better on one.
+struct ParetoPoint {
+  double intensity = 0.0;
+  std::vector<std::string> frontier;  ///< undominated platform names
+};
+
+[[nodiscard]] std::vector<ParetoPoint> run_pareto_frontier(
+    double intensity_lo = 1.0 / 8.0, double intensity_hi = 512.0,
+    int points_per_octave = 1);
+
+}  // namespace archline::experiments

@@ -1,0 +1,48 @@
+#include "experiments/exp_dp.hpp"
+
+#include <limits>
+
+#include "core/analysis.hpp"
+#include "platforms/platform_db.hpp"
+
+namespace archline::experiments {
+
+DpResult run_dp_analysis() {
+  DpResult result;
+  double best_eff = 0.0;
+  double best_penalty = std::numeric_limits<double>::infinity();
+
+  for (const platforms::PlatformSpec& spec : platforms::all_platforms()) {
+    if (!spec.has_double()) {
+      result.no_dp.push_back(spec.name);
+      continue;
+    }
+    const core::MachineParams sp = spec.machine(core::Precision::Single);
+    const core::MachineParams dp = spec.machine(core::Precision::Double);
+
+    DpRow row;
+    row.platform = spec.name;
+    row.sp_eps_flop = sp.eps_flop;
+    row.dp_eps_flop = dp.eps_flop;
+    row.energy_ratio = dp.eps_flop / sp.eps_flop;
+    row.sp_rate = sp.peak_flops();
+    row.dp_rate = dp.peak_flops();
+    row.rate_ratio = sp.peak_flops() / dp.peak_flops();
+    row.dp_peak_efficiency = core::peak_flops_per_joule(dp);
+    row.sp_balance = sp.time_balance();
+    row.dp_balance = dp.time_balance();
+
+    if (row.dp_peak_efficiency > best_eff) {
+      best_eff = row.dp_peak_efficiency;
+      result.most_efficient_dp = row.platform;
+    }
+    if (row.energy_ratio < best_penalty) {
+      best_penalty = row.energy_ratio;
+      result.lowest_penalty = row.platform;
+    }
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+}  // namespace archline::experiments

@@ -1,0 +1,41 @@
+#pragma once
+// Experiment D1 (extension): double-precision cost structure.
+//
+// The paper's figures are single-precision ("full support for double is
+// incomplete on several of our evaluation platforms", §V) but Table I
+// carries eps_d for the nine platforms that support it. This experiment
+// assembles the DP story those columns imply: the DP:SP cost ratios, DP
+// peak energy efficiency, and how each platform's balance point moves
+// when every flop gets more expensive but the memory system does not.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/machine_params.hpp"
+
+namespace archline::experiments {
+
+struct DpRow {
+  std::string platform;
+  double sp_eps_flop = 0.0;  ///< J/flop
+  double dp_eps_flop = 0.0;
+  double energy_ratio = 0.0;  ///< eps_d / eps_s
+  double sp_rate = 0.0;       ///< sustained flop/s
+  double dp_rate = 0.0;
+  double rate_ratio = 0.0;    ///< SP rate / DP rate
+  double dp_peak_efficiency = 0.0;  ///< flop/J at I -> inf, DP
+  double sp_balance = 0.0;    ///< B_tau, SP
+  double dp_balance = 0.0;    ///< B_tau, DP: lower — DP is sooner compute-bound
+};
+
+struct DpResult {
+  std::vector<DpRow> rows;          ///< platforms with DP, Table I order
+  std::vector<std::string> no_dp;   ///< platforms without DP support
+  std::string most_efficient_dp;    ///< highest DP flop/J
+  std::string lowest_penalty;       ///< smallest eps_d / eps_s
+};
+
+[[nodiscard]] DpResult run_dp_analysis();
+
+}  // namespace archline::experiments

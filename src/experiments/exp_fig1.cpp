@@ -1,0 +1,103 @@
+#include "experiments/exp_fig1.hpp"
+
+#include <algorithm>
+
+#include "core/analysis.hpp"
+#include "core/scenarios.hpp"
+#include "microbench/intensity.hpp"
+#include "microbench/suite.hpp"
+#include "platforms/platform_db.hpp"
+#include "sim/factory.hpp"
+
+namespace archline::experiments {
+
+namespace {
+
+std::vector<Fig1Point> model_series(const core::MachineParams& m,
+                                    const std::vector<double>& grid) {
+  std::vector<Fig1Point> out;
+  out.reserve(grid.size());
+  for (const double intensity : grid) {
+    Fig1Point p;
+    p.intensity = intensity;
+    p.model_perf = core::performance(m, intensity);
+    p.model_efficiency = core::energy_efficiency(m, intensity);
+    p.model_power = core::avg_power_closed_form(m, intensity);
+    out.push_back(p);
+  }
+  return out;
+}
+
+void attach_measurements(std::vector<Fig1Point>& series,
+                         const platforms::PlatformSpec& spec,
+                         const std::vector<double>& grid,
+                         std::uint64_t seed) {
+  const sim::SimMachine machine = sim::make_machine(spec);
+  stats::Rng rng(seed);
+  microbench::SuiteOptions opt;
+  opt.intensities = grid;
+  opt.repeats = 1;
+  opt.include_double = false;
+  opt.include_caches = false;
+  opt.include_random = false;
+  const microbench::SuiteData data =
+      microbench::run_suite(machine, opt, rng);
+  for (std::size_t i = 0;
+       i < series.size() && i < data.dram_sp.size(); ++i) {
+    const microbench::Observation& o = data.dram_sp[i];
+    series[i].measured_perf = o.flops_per_second();
+    series[i].measured_efficiency = o.flops_per_joule();
+    series[i].measured_power = o.watts;
+  }
+}
+
+}  // namespace
+
+Fig1Result run_fig1(const Fig1Options& options) {
+  const platforms::PlatformSpec& big =
+      platforms::platform(options.big_platform);
+  const platforms::PlatformSpec& small =
+      platforms::platform(options.small_platform);
+  const std::vector<double> grid = core::intensity_grid(
+      options.intensity_lo, options.intensity_hi, options.points_per_octave);
+
+  const core::MachineParams big_m = big.machine();
+  const core::MachineParams small_m = small.machine();
+
+  Fig1Result r;
+  r.big_name = big.name;
+  r.small_name = small.name;
+  r.big = model_series(big_m, grid);
+  r.small_ = model_series(small_m, grid);
+
+  // Power-matched aggregate: enough small blocks to reach the big block's
+  // maximum node power (pi1 + delta_pi).
+  r.aggregate_count =
+      core::blocks_to_match_power(small_m, big_m.pi1 + big_m.delta_pi);
+  const core::MachineParams agg =
+      core::aggregate(small_m, std::max(r.aggregate_count, 1));
+  r.aggregate = model_series(agg, grid);
+
+  r.efficiency_crossover = core::crossover_intensity(
+      small_m, big_m, core::Metric::EnergyEfficiency, options.intensity_lo,
+      options.intensity_hi);
+
+  // Aggregate vs big: best speedup over the bandwidth-bound end and the
+  // asymptotic compute-bound ratio.
+  double best = 0.0;
+  for (const double intensity : grid)
+    best = std::max(best, core::performance(agg, intensity) /
+                              core::performance(big_m, intensity));
+  r.aggregate_peak_speedup = best;
+  r.aggregate_peak_ratio =
+      core::performance(agg, options.intensity_hi) /
+      core::performance(big_m, options.intensity_hi);
+
+  if (options.with_measurements) {
+    attach_measurements(r.big, big, grid, options.seed);
+    attach_measurements(r.small_, small, grid, options.seed + 1);
+  }
+  return r;
+}
+
+}  // namespace archline::experiments

@@ -1,0 +1,53 @@
+#pragma once
+// Experiment F1: Fig. 1 — GTX Titan vs Arndale GPU head-to-head, with the
+// power-matched "N x Arndale GPU" hypothetical system.
+//
+// Generalized to any pair of platforms so the compare_blocks example can
+// reuse it.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/machine_params.hpp"
+#include "core/roofline.hpp"
+
+namespace archline::experiments {
+
+/// Model + measured values for one platform at one intensity.
+struct Fig1Point {
+  double intensity = 0.0;
+  double model_perf = 0.0;       ///< flop/s
+  double model_efficiency = 0.0; ///< flop/J
+  double model_power = 0.0;      ///< W
+  double measured_perf = 0.0;    ///< 0 when no measurement at this point
+  double measured_efficiency = 0.0;
+  double measured_power = 0.0;
+};
+
+struct Fig1Result {
+  std::string big_name;
+  std::string small_name;
+  std::vector<Fig1Point> big;     ///< model+measured, per intensity
+  std::vector<Fig1Point> small_;  ///< (trailing underscore: macro safety)
+  std::vector<Fig1Point> aggregate;  ///< N x small, model only
+
+  int aggregate_count = 0;   ///< N chosen to match big's peak power
+  double efficiency_crossover = 0.0;  ///< I where flop/J parity ends
+  double aggregate_peak_speedup = 0.0;  ///< max perf(agg)/perf(big), low I
+  double aggregate_peak_ratio = 0.0;    ///< perf(agg)/perf(big) at high I
+};
+
+struct Fig1Options {
+  std::string big_platform = "GTX Titan";
+  std::string small_platform = "Arndale GPU";
+  double intensity_lo = 1.0 / 8.0;
+  double intensity_hi = 256.0;
+  int points_per_octave = 2;
+  bool with_measurements = true;   ///< run the simulated microbenchmark too
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] Fig1Result run_fig1(const Fig1Options& options = {});
+
+}  // namespace archline::experiments

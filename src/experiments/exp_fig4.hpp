@@ -1,0 +1,56 @@
+#pragma once
+// Experiment F4: Fig. 4 — power-prediction error distributions of the
+// uncapped (prior) vs capped (this paper) model, per platform, with the
+// two-sample Kolmogorov-Smirnov significance test.
+//
+// Pipeline per platform: simulate -> measure -> fit BOTH models to the
+// same measurements -> per-observation relative power errors -> compare
+// distributions.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "microbench/suite.hpp"
+#include "stats/bootstrap.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/ks_test.hpp"
+
+namespace archline::experiments {
+
+struct Fig4Platform {
+  std::string platform;
+  std::vector<double> uncapped_errors;  ///< (model-meas)/meas, power
+  std::vector<double> capped_errors;
+  stats::FiveNumberSummary uncapped_summary;
+  stats::FiveNumberSummary capped_summary;
+  stats::KsResult ks;
+  bool significant = false;          ///< our K-S verdict at p < .05
+  bool significant_in_paper = false; ///< the paper's "**" mark
+
+  /// 95% bootstrap confidence intervals on the two medians; when they do
+  /// not overlap, the K-S verdict gets independent corroboration.
+  stats::BootstrapInterval uncapped_median_ci;
+  stats::BootstrapInterval capped_median_ci;
+  [[nodiscard]] bool median_cis_disjoint() const noexcept {
+    return uncapped_median_ci.lo > capped_median_ci.hi ||
+           capped_median_ci.lo > uncapped_median_ci.hi;
+  }
+};
+
+struct Fig4Result {
+  std::vector<Fig4Platform> platforms;  ///< sorted by uncapped median desc
+  int improved_count = 0;   ///< platforms where capped median |err| <= uncapped
+  int significant_count = 0;
+  int paper_significant_count = 0;  ///< 7 in the paper
+  int agreement_count = 0;  ///< platforms where our verdict matches the paper
+};
+
+struct Fig4Options {
+  std::uint64_t seed = 20140519;
+  microbench::SuiteOptions suite;
+};
+
+[[nodiscard]] Fig4Result run_fig4(const Fig4Options& options = {});
+
+}  // namespace archline::experiments

@@ -1,0 +1,70 @@
+#include "experiments/exp_fig5.hpp"
+
+#include <algorithm>
+
+#include "microbench/parallel.hpp"
+#include "microbench/suite.hpp"
+#include "platforms/platform_db.hpp"
+#include "sim/factory.hpp"
+#include "stats/correlation.hpp"
+
+namespace archline::experiments {
+
+Fig5Result run_fig5(const Fig5Options& options) {
+  const std::vector<double> grid = core::intensity_grid(
+      options.intensity_lo, options.intensity_hi, options.points_per_octave);
+
+  Fig5Result result;
+  std::vector<double> const_fracs;
+  std::vector<double> peak_effs;
+
+  for (const platforms::PlatformSpec* spec : platforms::by_peak_efficiency()) {
+    const core::MachineParams m = spec->machine();
+    Fig5Panel panel;
+    panel.platform = spec->name;
+    panel.summary = core::summarize_efficiency(m);
+    panel.sustained_flop_fraction = spec->sustained_flop_fraction();
+    panel.sustained_bw_fraction = spec->sustained_bandwidth_fraction();
+
+    const double cap_power = m.pi1 + m.delta_pi;
+    panel.intensity = grid;
+    panel.model_power_norm.reserve(grid.size());
+    panel.regime.reserve(grid.size());
+    for (const double intensity : grid) {
+      panel.model_power_norm.push_back(
+          core::avg_power_closed_form(m, intensity) / cap_power);
+      panel.regime.push_back(core::regime_at(m, intensity));
+    }
+
+    if (options.with_measurements) {
+      const sim::SimMachine machine = sim::make_machine(*spec);
+      stats::Rng rng(microbench::campaign_seed(options.seed, spec->name));
+      microbench::SuiteOptions opt;
+      opt.intensities = grid;
+      opt.repeats = 1;
+      opt.include_double = false;
+      opt.include_caches = false;
+      opt.include_random = false;
+      const microbench::SuiteData data =
+          microbench::run_suite(machine, opt, rng);
+      panel.measured_power_norm.reserve(data.dram_sp.size());
+      double peak_measured = 0.0;
+      for (const microbench::Observation& o : data.dram_sp) {
+        panel.measured_power_norm.push_back(o.watts / cap_power);
+        peak_measured = std::max(peak_measured, o.watts);
+      }
+      panel.measured_peak_power_fraction = peak_measured / cap_power;
+    }
+
+    const_fracs.push_back(core::constant_power_fraction(m));
+    peak_effs.push_back(core::peak_flops_per_joule(m));
+    if (core::constant_power_fraction(m) > 0.5)
+      ++result.over_half_constant;
+    result.panels.push_back(std::move(panel));
+  }
+
+  result.pi1_fraction_correlation = stats::pearson(const_fracs, peak_effs);
+  return result;
+}
+
+}  // namespace archline::experiments

@@ -1,0 +1,46 @@
+#pragma once
+// Experiment F5: Fig. 5 — normalized power vs intensity for all twelve
+// platforms: three-regime model lines, measured dots, panel annotations
+// (peak Gflop/J and GB/J, sustained fractions, pi1 + cap), plus the §V-C
+// cross-platform statistics (constant-power fractions and their
+// correlation with peak energy efficiency).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "core/roofline.hpp"
+
+namespace archline::experiments {
+
+struct Fig5Panel {
+  std::string platform;
+  core::EfficiencySummary summary;   ///< the panel annotation block
+  double sustained_flop_fraction = 0.0;  ///< "[81%]"
+  double sustained_bw_fraction = 0.0;    ///< "[83%]"
+  double measured_peak_power_fraction = 0.0;  ///< "[99%]" of pi1+delta_pi
+
+  std::vector<double> intensity;
+  std::vector<double> model_power_norm;     ///< P(I)/(pi1+delta_pi)
+  std::vector<double> measured_power_norm;  ///< simulated measurement
+  std::vector<core::Regime> regime;         ///< M / C / F per point
+};
+
+struct Fig5Result {
+  std::vector<Fig5Panel> panels;  ///< in decreasing peak-Gflop/J order
+  double pi1_fraction_correlation = 0.0;  ///< ~ -0.6 in the paper
+  int over_half_constant = 0;             ///< 7 of 12 in the paper
+};
+
+struct Fig5Options {
+  std::uint64_t seed = 20140519;
+  double intensity_lo = 1.0 / 8.0;
+  double intensity_hi = 512.0;
+  int points_per_octave = 2;
+  bool with_measurements = true;
+};
+
+[[nodiscard]] Fig5Result run_fig5(const Fig5Options& options = {});
+
+}  // namespace archline::experiments

@@ -1,0 +1,52 @@
+#include "experiments/exp_memhier.hpp"
+
+#include <limits>
+
+#include "core/analysis.hpp"
+#include "platforms/platform_db.hpp"
+
+namespace archline::experiments {
+
+MemHierResult run_memhier() {
+  MemHierResult result;
+  double best_raw = std::numeric_limits<double>::infinity();
+  double best_eff = std::numeric_limits<double>::infinity();
+
+  for (const platforms::PlatformSpec& spec : platforms::all_platforms()) {
+    const core::MachineParams m = spec.machine();
+    MemHierRow row;
+    row.platform = spec.name;
+    row.eps_mem = m.eps_mem;
+    row.constant_charge = core::constant_energy_per_byte(m);
+    row.effective_eps = core::effective_stream_energy_per_byte(m);
+
+    if (spec.mem_l1) row.eps_l1 = spec.mem_l1->energy_per_op;
+    if (spec.mem_l2) row.eps_l2 = spec.mem_l2->energy_per_op;
+    if (spec.mem_rand) {
+      row.eps_rand = spec.mem_rand->energy_per_op;
+      row.rand_to_mem_ratio = *row.eps_rand / row.eps_mem;
+    }
+
+    // Inclusive-cost ordering over the levels that exist.
+    row.level_ordering_holds = true;
+    if (row.eps_l1 && row.eps_l2 && *row.eps_l1 > *row.eps_l2)
+      row.level_ordering_holds = false;
+    if (row.eps_l2 && *row.eps_l2 > row.eps_mem)
+      row.level_ordering_holds = false;
+    if (row.eps_l1 && *row.eps_l1 > row.eps_mem)
+      row.level_ordering_holds = false;
+
+    if (row.eps_mem < best_raw) {
+      best_raw = row.eps_mem;
+      result.cheapest_raw = row.platform;
+    }
+    if (row.effective_eps < best_eff) {
+      best_eff = row.effective_eps;
+      result.cheapest_effective = row.platform;
+    }
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+}  // namespace archline::experiments

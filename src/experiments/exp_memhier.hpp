@@ -1,0 +1,45 @@
+#pragma once
+// Experiment X1: the §V-B worked example and memory-hierarchy cost
+// analysis.
+//
+// For a pure streaming workload, the effective energy per byte is
+// eps_mem + pi1 * tau_mem: the constant-power charge inverts the raw
+// eps_mem ordering (Xeon Phi has the cheapest DRAM byte but the most
+// expensive effective byte of the paper's trio). Also tabulates the
+// inclusive-cost sanity properties eps_L1 <= eps_L2 <= eps_mem and
+// eps_rand >> eps_mem.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace archline::experiments {
+
+struct MemHierRow {
+  std::string platform;
+  double eps_mem = 0.0;            ///< J/B, published
+  double constant_charge = 0.0;    ///< pi1 * tau_mem (sustained), J/B
+  double effective_eps = 0.0;      ///< sum of the two
+  std::optional<double> eps_l1;    ///< J/B
+  std::optional<double> eps_l2;    ///< J/B
+  std::optional<double> eps_rand;  ///< J/access
+  bool level_ordering_holds = false;  ///< eps_L1 <= eps_L2 <= eps_mem
+  /// eps_rand [J/access] over eps_mem [J/B] — the paper expects "at least
+  /// an order of magnitude" (it compares per-access nJ against per-byte pJ).
+  double rand_to_mem_ratio = 0.0;
+};
+
+struct MemHierResult {
+  std::vector<MemHierRow> rows;  ///< Table I order
+  /// Platform with the lowest raw eps_mem vs lowest effective eps — the
+  /// §V-B inversion when they differ.
+  std::string cheapest_raw;
+  std::string cheapest_effective;
+};
+
+/// Cache line size used to compare per-access and per-byte costs.
+inline constexpr double kCacheLineBytes = 64.0;
+
+[[nodiscard]] MemHierResult run_memhier();
+
+}  // namespace archline::experiments

@@ -1,0 +1,42 @@
+#include "experiments/exp_powerbound.hpp"
+
+#include "platforms/platform_db.hpp"
+
+namespace archline::experiments {
+
+PowerBoundResult run_powerbound(const PowerBoundOptions& options) {
+  const core::MachineParams big =
+      platforms::platform(options.big_platform).machine();
+  const core::MachineParams small =
+      platforms::platform(options.small_platform).machine();
+
+  PowerBoundResult r;
+  r.options = options;
+  r.comparison = core::power_bound_comparison(big, small,
+                                              options.bound_watts,
+                                              options.intensity);
+
+  r.unbounded_count =
+      core::blocks_to_match_power(small, big.pi1 + big.delta_pi);
+  if (r.unbounded_count > 0) {
+    const core::MachineParams agg =
+        core::aggregate(small, r.unbounded_count);
+    r.unbounded_speedup = core::performance(agg, options.intensity) /
+                          core::performance(big, options.intensity);
+  }
+  return r;
+}
+
+std::vector<PowerBoundResult> run_powerbound_sweep(
+    const PowerBoundOptions& base, const std::vector<double>& bounds) {
+  std::vector<PowerBoundResult> out;
+  out.reserve(bounds.size());
+  for (const double b : bounds) {
+    PowerBoundOptions opt = base;
+    opt.bound_watts = b;
+    out.push_back(run_powerbound(opt));
+  }
+  return out;
+}
+
+}  // namespace archline::experiments

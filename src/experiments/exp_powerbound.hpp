@@ -1,0 +1,39 @@
+#pragma once
+// Experiment X2: the §V-D power-bounding scenario.
+//
+// "Suppose that, in a system based on GTX Titan nodes, it is necessary to
+// reduce per-node power by half, to 140 Watts per node." The big block is
+// capped down to the bound; small blocks are aggregated up to it; they are
+// compared at a bandwidth-bound intensity (the paper uses I = 0.25).
+
+#include <string>
+#include <vector>
+
+#include "core/scenarios.hpp"
+
+namespace archline::experiments {
+
+struct PowerBoundOptions {
+  std::string big_platform = "GTX Titan";
+  std::string small_platform = "Arndale GPU";
+  double bound_watts = 140.0;
+  double intensity = 0.25;
+};
+
+struct PowerBoundResult {
+  PowerBoundOptions options;
+  core::PowerBoundComparison comparison;
+  /// For context: the unbounded Fig. 1 best-case speedup at the same
+  /// intensity (power-matched aggregate vs uncapped big block).
+  double unbounded_speedup = 0.0;
+  int unbounded_count = 0;
+};
+
+[[nodiscard]] PowerBoundResult run_powerbound(const PowerBoundOptions&
+                                                  options = {});
+
+/// Sweep of bounds (for the bench's sensitivity table).
+[[nodiscard]] std::vector<PowerBoundResult> run_powerbound_sweep(
+    const PowerBoundOptions& base, const std::vector<double>& bounds);
+
+}  // namespace archline::experiments

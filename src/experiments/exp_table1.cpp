@@ -1,0 +1,69 @@
+#include "experiments/exp_table1.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "microbench/parallel.hpp"
+#include "platforms/platform_db.hpp"
+#include "sim/factory.hpp"
+
+namespace archline::experiments {
+
+double Table1Row::worst_param_error() const {
+  const core::MachineParams truth = spec->machine();
+  const core::MachineParams& got = refit.machine;
+  const auto rel = [](double a, double b) { return std::abs(a / b - 1.0); };
+  double worst = rel(got.tau_flop, truth.tau_flop);
+  worst = std::max(worst, rel(got.eps_flop, truth.eps_flop));
+  worst = std::max(worst, rel(got.tau_mem, truth.tau_mem));
+  worst = std::max(worst, rel(got.eps_mem, truth.eps_mem));
+  worst = std::max(worst, rel(got.pi1, truth.pi1));
+  worst = std::max(worst, rel(got.delta_pi, truth.delta_pi));
+  return worst;
+}
+
+double Table1Row::worst_identifiable_error() const {
+  const core::MachineParams truth = spec->machine();
+  const core::MachineParams& got = refit.machine;
+  const auto rel = [](double a, double b) { return std::abs(a / b - 1.0); };
+
+  const bool flop_rate_hidden = truth.pi_flop() > truth.delta_pi;
+  const bool bw_hidden = truth.pi_mem() > 0.95 * truth.delta_pi;
+  const bool cap_weak =
+      (truth.pi_flop() + truth.pi_mem()) / truth.delta_pi < 1.1;
+
+  double worst = rel(got.eps_flop, truth.eps_flop);
+  worst = std::max(worst, rel(got.eps_mem, truth.eps_mem));
+  worst = std::max(worst, rel(got.pi1, truth.pi1));
+  if (!flop_rate_hidden)
+    worst = std::max(worst, rel(got.tau_flop, truth.tau_flop));
+  if (!bw_hidden) worst = std::max(worst, rel(got.tau_mem, truth.tau_mem));
+  if (!bw_hidden && !cap_weak)
+    worst = std::max(worst, rel(got.delta_pi, truth.delta_pi));
+  return worst;
+}
+
+Table1Row run_table1_row(const platforms::PlatformSpec& spec,
+                         const Table1Options& options) {
+  Table1Row row;
+  row.spec = &spec;
+  row.tune_sp = microbench::tune_flops(spec, core::Precision::Single);
+  row.tune_bw = microbench::tune_bandwidth(spec);
+
+  const sim::SimMachine machine = sim::make_machine(spec);
+  stats::Rng rng(microbench::campaign_seed(options.seed, spec.name));
+  const microbench::SuiteData data =
+      microbench::run_suite(machine, options.suite, rng);
+  row.observations = data.total_observations();
+  row.refit = fit::fit_machine(data);
+  return row;
+}
+
+std::vector<Table1Row> run_table1(const Table1Options& options) {
+  std::vector<Table1Row> rows;
+  for (const platforms::PlatformSpec& spec : platforms::all_platforms())
+    rows.push_back(run_table1_row(spec, options));
+  return rows;
+}
+
+}  // namespace archline::experiments

@@ -1,0 +1,56 @@
+#pragma once
+// Experiment T1: regenerate Table I.
+//
+// For each of the twelve platforms: build the ground-truth simulated
+// machine, run the automated tuning search and the full microbenchmark
+// campaign through the simulated PowerMon 2, fit the capped model, and
+// tabulate fitted constants against the published ones.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fit/model_fit.hpp"
+#include "microbench/suite.hpp"
+#include "microbench/tuning.hpp"
+#include "platforms/spec.hpp"
+
+namespace archline::experiments {
+
+struct Table1Row {
+  const platforms::PlatformSpec* spec = nullptr;  ///< published ground truth
+  microbench::TuneResult tune_sp;   ///< flop-side tuning search result
+  microbench::TuneResult tune_bw;   ///< memory-side tuning search result
+  fit::FitResult refit;             ///< capped-model fit from measurements
+  std::size_t observations = 0;
+
+  /// Largest relative error across the six DRAM/SP machine parameters,
+  /// refit vs published.
+  [[nodiscard]] double worst_param_error() const;
+
+  /// Like worst_param_error(), but excluding parameters the power cap
+  /// renders unobservable on this platform:
+  ///  * tau_flop when pi_flop > delta_pi — the uncapped flop rate can
+  ///    never be reached (NUC GPU);
+  ///  * tau_mem and delta_pi when pi_mem >= ~delta_pi — a cap riding at
+  ///    the memory engine's demand is observationally equivalent to a
+  ///    slightly slower memory engine with a looser cap (NUC CPU,
+  ///    APU CPU);
+  ///  * delta_pi when the cap binds by under ~10% anywhere (Xeon Phi,
+  ///    APU GPU) — the throttle signal sits at the noise floor.
+  [[nodiscard]] double worst_identifiable_error() const;
+};
+
+struct Table1Options {
+  std::uint64_t seed = 20140519;  ///< IPDPS 2014 conference date
+  microbench::SuiteOptions suite;
+};
+
+[[nodiscard]] std::vector<Table1Row> run_table1(const Table1Options& options =
+                                                    {});
+
+/// One platform (used by tests to keep runtime small).
+[[nodiscard]] Table1Row run_table1_row(const platforms::PlatformSpec& spec,
+                                       const Table1Options& options = {});
+
+}  // namespace archline::experiments

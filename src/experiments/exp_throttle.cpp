@@ -1,0 +1,49 @@
+#include "experiments/exp_throttle.hpp"
+
+#include <algorithm>
+
+#include "core/analysis.hpp"
+#include "platforms/platform_db.hpp"
+
+namespace archline::experiments {
+
+double throttled_perf_ratio(const core::MachineParams& m, double intensity,
+                            double k) {
+  const core::MachineParams capped = core::with_cap_scaled(m, k);
+  return core::performance(capped, intensity) /
+         core::performance(m, intensity);
+}
+
+ThrottleResult run_throttle_study(const ThrottleOptions& options) {
+  const std::vector<double> grid = core::intensity_grid(
+      options.intensity_lo, options.intensity_hi, options.points_per_octave);
+  const double max_k = *std::max_element(options.cap_divisors.begin(),
+                                         options.cap_divisors.end());
+
+  ThrottleResult result;
+  double best_shrink = 0.0;
+  double worst_shrink = std::numeric_limits<double>::infinity();
+
+  for (const platforms::PlatformSpec* spec : platforms::by_peak_efficiency()) {
+    const core::MachineParams m = spec->machine();
+    ThrottlePanel panel;
+    panel.platform = spec->name;
+    panel.cap_divisors = options.cap_divisors;
+    panel.points = core::throttle_sweep(m, grid, options.cap_divisors);
+    panel.power_reduction_at_max_divisor =
+        core::power_reduction_factor(m, max_k);
+
+    if (panel.power_reduction_at_max_divisor > best_shrink) {
+      best_shrink = panel.power_reduction_at_max_divisor;
+      result.most_reconfigurable = panel.platform;
+    }
+    if (panel.power_reduction_at_max_divisor < worst_shrink) {
+      worst_shrink = panel.power_reduction_at_max_divisor;
+      result.least_reconfigurable = panel.platform;
+    }
+    result.panels.push_back(std::move(panel));
+  }
+  return result;
+}
+
+}  // namespace archline::experiments

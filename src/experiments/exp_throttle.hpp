@@ -1,0 +1,42 @@
+#pragma once
+// Experiments F6/F7a/F7b: Figs. 6 and 7 — hypothetical power, performance,
+// and energy efficiency as the usable power cap shrinks to delta_pi / k,
+// k in {1, 2, 4, 8}, across all twelve platforms.
+
+#include <string>
+#include <vector>
+
+#include "core/scenarios.hpp"
+
+namespace archline::experiments {
+
+struct ThrottlePanel {
+  std::string platform;
+  std::vector<double> cap_divisors;            ///< {1, 2, 4, 8}
+  std::vector<core::ThrottlePoint> points;     ///< divisors x intensities
+  double power_reduction_at_max_divisor = 0.0; ///< actual power shrink at k=8
+};
+
+struct ThrottleResult {
+  std::vector<ThrottlePanel> panels;  ///< Fig. 5 panel order
+  std::string most_reconfigurable;    ///< largest power shrink at k=8
+  std::string least_reconfigurable;   ///< smallest power shrink at k=8
+};
+
+struct ThrottleOptions {
+  std::vector<double> cap_divisors = {1.0, 2.0, 4.0, 8.0};
+  double intensity_lo = 1.0 / 4.0;
+  double intensity_hi = 128.0;
+  int points_per_octave = 2;
+};
+
+[[nodiscard]] ThrottleResult run_throttle_study(const ThrottleOptions&
+                                                    options = {});
+
+/// Relative performance of one platform at (intensity, divisor k) compared
+/// to its full-cap performance — the quantity Fig. 7a normalizes. Helper
+/// for tests and the §V-D scenario.
+[[nodiscard]] double throttled_perf_ratio(const core::MachineParams& m,
+                                          double intensity, double k);
+
+}  // namespace archline::experiments

@@ -1,0 +1,76 @@
+#include "fit/bootstrap_fit.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace archline::fit {
+
+std::array<double, 6> FitConfidence::relative_halfwidths() const {
+  const auto rel = [](const stats::BootstrapInterval& ci) {
+    return ci.estimate != 0.0 ? 0.5 * (ci.hi - ci.lo) / ci.estimate : 0.0;
+  };
+  return {rel(tau_flop), rel(eps_flop), rel(tau_mem),
+          rel(eps_mem),  rel(pi1),      rel(delta_pi)};
+}
+
+FitConfidence bootstrap_fit(std::span<const microbench::Observation> obs,
+                            const BootstrapFitOptions& options) {
+  if (options.replicates < 8)
+    throw std::invalid_argument("bootstrap_fit: need >= 8 replicates");
+  if (!(options.confidence > 0.0 && options.confidence < 1.0))
+    throw std::invalid_argument("bootstrap_fit: bad confidence");
+
+  FitConfidence out;
+  out.point = fit_observations(obs, options.fit);
+  out.replicates = options.replicates;
+
+  std::array<std::vector<double>, 6> samples;
+  for (auto& s : samples)
+    s.reserve(static_cast<std::size_t>(options.replicates));
+
+  stats::Rng rng(options.seed);
+  std::vector<microbench::Observation> resample(obs.size());
+  int produced = 0;
+  int attempts = 0;
+  while (produced < options.replicates &&
+         attempts < options.replicates * 3) {
+    ++attempts;
+    for (auto& o : resample) o = obs[rng.below(obs.size())];
+    try {
+      const FitResult r = fit_observations(resample, options.fit);
+      samples[0].push_back(r.machine.tau_flop);
+      samples[1].push_back(r.machine.eps_flop);
+      samples[2].push_back(r.machine.tau_mem);
+      samples[3].push_back(r.machine.eps_mem);
+      samples[4].push_back(r.machine.pi1);
+      samples[5].push_back(r.machine.delta_pi);
+      ++produced;
+    } catch (const std::exception&) {
+      // A degenerate resample (e.g. all points from one intensity) can
+      // fail to fit; draw again.
+    }
+  }
+  if (produced < options.replicates / 2)
+    throw std::runtime_error("bootstrap_fit: too many failed replicates");
+
+  const double alpha = 1.0 - options.confidence;
+  const auto interval = [&](const std::vector<double>& xs,
+                            double estimate) {
+    stats::BootstrapInterval ci;
+    ci.lo = stats::quantile(xs, alpha / 2.0);
+    ci.hi = stats::quantile(xs, 1.0 - alpha / 2.0);
+    ci.estimate = estimate;
+    return ci;
+  };
+  out.tau_flop = interval(samples[0], out.point.machine.tau_flop);
+  out.eps_flop = interval(samples[1], out.point.machine.eps_flop);
+  out.tau_mem = interval(samples[2], out.point.machine.tau_mem);
+  out.eps_mem = interval(samples[3], out.point.machine.eps_mem);
+  out.pi1 = interval(samples[4], out.point.machine.pi1);
+  out.delta_pi = interval(samples[5], out.point.machine.delta_pi);
+  return out;
+}
+
+}  // namespace archline::fit

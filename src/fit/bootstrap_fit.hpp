@@ -1,0 +1,50 @@
+#pragma once
+// Parameter uncertainty for fitted machines, by bootstrap over
+// observations.
+//
+// The paper reports point estimates ("statistically significant
+// estimates", §V-A) without intervals; this module adds them: resample
+// the observation set with replacement, refit, and take percentile
+// intervals per parameter. Besides honest error bars, the interval
+// widths expose exactly the identifiability structure Table I hides —
+// delta_pi's interval explodes on platforms whose cap barely binds.
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "fit/model_fit.hpp"
+#include "stats/bootstrap.hpp"
+
+namespace archline::fit {
+
+/// Percentile CIs for the six DRAM/SP machine parameters.
+struct FitConfidence {
+  FitResult point;  ///< the fit on the full data
+  stats::BootstrapInterval tau_flop;
+  stats::BootstrapInterval eps_flop;
+  stats::BootstrapInterval tau_mem;
+  stats::BootstrapInterval eps_mem;
+  stats::BootstrapInterval pi1;
+  stats::BootstrapInterval delta_pi;
+  int replicates = 0;
+
+  /// Relative interval half-width ((hi-lo)/2) / estimate per parameter —
+  /// the "how well determined" score.
+  [[nodiscard]] std::array<double, 6> relative_halfwidths() const;
+};
+
+struct BootstrapFitOptions {
+  FitOptions fit;
+  int replicates = 60;
+  double confidence = 0.95;
+  std::uint64_t seed = 7;
+};
+
+/// Bootstraps fit_observations over `obs`. Throws on insufficient data
+/// (same rule as fit_observations) or replicates < 8.
+[[nodiscard]] FitConfidence bootstrap_fit(
+    std::span<const microbench::Observation> obs,
+    const BootstrapFitOptions& options = {});
+
+}  // namespace archline::fit

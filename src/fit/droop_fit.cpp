@@ -1,0 +1,62 @@
+#include "fit/droop_fit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace archline::fit {
+
+double droop_sum_squared_residuals(
+    const core::DroopModel& model,
+    std::span<const microbench::Observation> obs) {
+  double acc = 0.0;
+  for (const microbench::Observation& o : obs) {
+    const core::Workload w = o.kernel.workload();
+    const double rt = model.time(w) / o.seconds - 1.0;
+    const double re = model.energy(w) / o.joules - 1.0;
+    acc += rt * rt + re * re;
+  }
+  return acc;
+}
+
+double fit_droop_eta(const core::MachineParams& machine,
+                     std::span<const microbench::Observation> obs,
+                     double eta_max) {
+  if (obs.empty()) throw std::invalid_argument("fit_droop_eta: no data");
+  if (!(eta_max > 0.0))
+    throw std::invalid_argument("fit_droop_eta: eta_max must be > 0");
+
+  const auto objective = [&](double eta) {
+    return droop_sum_squared_residuals(
+        core::DroopModel{.machine = machine, .eta = eta}, obs);
+  };
+
+  // Golden-section search on [0, eta_max]; the objective is smooth and
+  // unimodal in eta (quadratic around the optimum).
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double lo = 0.0;
+  double hi = eta_max;
+  double x1 = hi - phi * (hi - lo);
+  double x2 = lo + phi * (hi - lo);
+  double f1 = objective(x1);
+  double f2 = objective(x2);
+  for (int iter = 0; iter < 100 && (hi - lo) > 1e-10; ++iter) {
+    if (f1 < f2) {
+      hi = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = hi - phi * (hi - lo);
+      f1 = objective(x1);
+    } else {
+      lo = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = lo + phi * (hi - lo);
+      f2 = objective(x2);
+    }
+  }
+  const double eta = 0.5 * (lo + hi);
+  // Prefer the plain capped model when droop does not measurably help.
+  return objective(eta) < objective(0.0) ? eta : 0.0;
+}
+
+}  // namespace archline::fit

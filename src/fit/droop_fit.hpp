@@ -1,0 +1,23 @@
+#pragma once
+// Fitting the droop extension (core::DroopModel) to measurements.
+
+#include <span>
+
+#include "core/droop_model.hpp"
+#include "microbench/suite.hpp"
+
+namespace archline::fit {
+
+/// Squared relative time/energy residuals of a droop model over the
+/// observations (same residual convention as the base fit).
+[[nodiscard]] double droop_sum_squared_residuals(
+    const core::DroopModel& model,
+    std::span<const microbench::Observation> obs);
+
+/// Fits eta >= 0 by golden-section search, holding `machine` fixed at an
+/// already-fitted base model. Returns the best eta in [0, eta_max].
+[[nodiscard]] double fit_droop_eta(
+    const core::MachineParams& machine,
+    std::span<const microbench::Observation> obs, double eta_max = 1.0);
+
+}  // namespace archline::fit

@@ -1,0 +1,59 @@
+#pragma once
+// Small dense linear algebra for the fitting substrate.
+//
+// Levenberg-Marquardt needs only J^T J accumulation and a symmetric
+// positive-definite solve of a handful of unknowns (<= 6 model
+// parameters), so a compact row-major matrix with Cholesky is all we
+// carry — implemented from scratch, no external dependencies.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace archline::fit {
+
+/// Dense row-major matrix of doubles.
+class Mat {
+ public:
+  Mat() = default;
+  Mat(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] static Mat identity(std::size_t n);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// y = A x. Dimensions must agree.
+[[nodiscard]] std::vector<double> matvec(const Mat& a,
+                                         std::span<const double> x);
+
+/// A^T A (Gram matrix).
+[[nodiscard]] Mat gram(const Mat& a);
+
+/// A^T y.
+[[nodiscard]] std::vector<double> matvec_transposed(const Mat& a,
+                                                    std::span<const double> y);
+
+/// Solves S x = b for symmetric positive-definite S via Cholesky.
+/// Throws std::runtime_error if S is not positive definite.
+[[nodiscard]] std::vector<double> cholesky_solve(const Mat& s,
+                                                 std::span<const double> b);
+
+/// Euclidean norm and squared norm.
+[[nodiscard]] double norm2(std::span<const double> x) noexcept;
+[[nodiscard]] double norm(std::span<const double> x) noexcept;
+
+}  // namespace archline::fit

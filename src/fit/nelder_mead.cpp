@@ -1,0 +1,131 @@
+#include "fit/nelder_mead.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace archline::fit {
+
+NelderMeadResult nelder_mead(const ObjectiveFn& f, std::span<const double> x0,
+                             const NelderMeadOptions& options) {
+  const std::size_t n = x0.size();
+  if (n == 0) throw std::invalid_argument("nelder_mead: empty start point");
+
+  // Adaptive parameters (Gao & Han): improve high-dimensional behaviour.
+  const double dn = static_cast<double>(n);
+  const double alpha = 1.0;               // reflection
+  const double beta = 1.0 + 2.0 / dn;     // expansion
+  const double gamma = 0.75 - 0.5 / dn;   // contraction
+  const double delta = 1.0 - 1.0 / dn;    // shrink
+
+  NelderMeadResult result;
+
+  std::vector<std::vector<double>> simplex;
+  std::vector<double> fvals;
+  simplex.reserve(n + 1);
+  fvals.reserve(n + 1);
+
+  const auto eval = [&](std::span<const double> x) {
+    ++result.evaluations;
+    const double v = f(x);
+    return std::isfinite(v) ? v : 1e300;
+  };
+
+  simplex.emplace_back(x0.begin(), x0.end());
+  fvals.push_back(eval(simplex.back()));
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> p(x0.begin(), x0.end());
+    const double step = options.initial_step *
+                        std::max(1.0, std::abs(p[i]));
+    p[i] += step;
+    simplex.push_back(std::move(p));
+    fvals.push_back(eval(simplex.back()));
+  }
+
+  std::vector<std::size_t> order(n + 1);
+
+  while (result.evaluations < options.max_evaluations) {
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&fvals](std::size_t a,
+                                                   std::size_t b) {
+      return fvals[a] < fvals[b];
+    });
+    const std::size_t best = order.front();
+    const std::size_t worst = order.back();
+    const std::size_t second_worst = order[n - 1];
+
+    // Convergence: f-spread and simplex diameter.
+    const double f_spread = fvals[worst] - fvals[best];
+    double diameter = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      diameter = std::max(diameter, std::abs(simplex[worst][i] -
+                                             simplex[best][i]));
+    if (f_spread < options.f_tolerance && diameter < options.x_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Centroid of all but the worst vertex.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t v = 0; v <= n; ++v) {
+      if (v == worst) continue;
+      for (std::size_t i = 0; i < n; ++i) centroid[i] += simplex[v][i];
+    }
+    for (double& c : centroid) c /= dn;
+
+    const auto blend = [&](double coef) {
+      std::vector<double> p(n);
+      for (std::size_t i = 0; i < n; ++i)
+        p[i] = centroid[i] + coef * (centroid[i] - simplex[worst][i]);
+      return p;
+    };
+
+    std::vector<double> reflected = blend(alpha);
+    const double f_reflected = eval(reflected);
+
+    if (f_reflected < fvals[best]) {
+      std::vector<double> expanded = blend(alpha * beta);
+      const double f_expanded = eval(expanded);
+      if (f_expanded < f_reflected) {
+        simplex[worst] = std::move(expanded);
+        fvals[worst] = f_expanded;
+      } else {
+        simplex[worst] = std::move(reflected);
+        fvals[worst] = f_reflected;
+      }
+    } else if (f_reflected < fvals[second_worst]) {
+      simplex[worst] = std::move(reflected);
+      fvals[worst] = f_reflected;
+    } else {
+      // Contraction: outside if the reflected point improved the worst.
+      const bool outside = f_reflected < fvals[worst];
+      std::vector<double> contracted =
+          blend(outside ? alpha * gamma : -gamma);
+      const double f_contracted = eval(contracted);
+      const double reference = outside ? f_reflected : fvals[worst];
+      if (f_contracted < reference) {
+        simplex[worst] = std::move(contracted);
+        fvals[worst] = f_contracted;
+      } else {
+        // Shrink toward the best vertex.
+        for (std::size_t v = 0; v <= n; ++v) {
+          if (v == best) continue;
+          for (std::size_t i = 0; i < n; ++i)
+            simplex[v][i] = simplex[best][i] +
+                            delta * (simplex[v][i] - simplex[best][i]);
+          fvals[v] = eval(simplex[v]);
+        }
+      }
+    }
+  }
+
+  const auto best_it = std::min_element(fvals.begin(), fvals.end());
+  const auto best_idx =
+      static_cast<std::size_t>(std::distance(fvals.begin(), best_it));
+  result.x = simplex[best_idx];
+  result.fx = fvals[best_idx];
+  return result;
+}
+
+}  // namespace archline::fit

@@ -1,0 +1,38 @@
+#pragma once
+// Nelder-Mead derivative-free simplex minimizer.
+//
+// Used to seed the Levenberg-Marquardt polish in model_fit: the roofline
+// objective has max() kinks (regime boundaries) where gradients are
+// undefined, which NM tolerates and LM does not. Standard adaptive
+// parameters (Gao & Han 2012) for robustness in up to ~8 dimensions.
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace archline::fit {
+
+using ObjectiveFn = std::function<double(std::span<const double>)>;
+
+struct NelderMeadOptions {
+  int max_evaluations = 20000;
+  double f_tolerance = 1e-12;  ///< stop when simplex f-spread drops below
+  double x_tolerance = 1e-12;  ///< ... or simplex diameter does
+  double initial_step = 0.25;  ///< per-coordinate initial simplex offset
+};
+
+struct NelderMeadResult {
+  std::vector<double> x;     ///< best point found
+  double fx = 0.0;           ///< objective at best point
+  int evaluations = 0;
+  bool converged = false;
+};
+
+/// Minimizes `f` starting from `x0`. Throws std::invalid_argument on an
+/// empty start point.
+[[nodiscard]] NelderMeadResult nelder_mead(const ObjectiveFn& f,
+                                           std::span<const double> x0,
+                                           const NelderMeadOptions& options =
+                                               {});
+
+}  // namespace archline::fit

@@ -1,0 +1,60 @@
+#include "microbench/cache_bench.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "microbench/intensity.hpp"
+
+namespace archline::microbench {
+
+double working_set_for_level(const sim::SimMachine& machine,
+                             core::MemLevel level) {
+  const sim::LevelCosts& costs = machine.level_costs(level);
+  if (level == core::MemLevel::DRAM) return 64.0 * 1024 * 1024;
+  if (!(costs.capacity_bytes > 0.0))
+    throw std::invalid_argument(machine.name() +
+                                ": level has no capacity configured");
+  return 0.5 * costs.capacity_bytes;
+}
+
+std::vector<sim::KernelDesc> cache_sweep(
+    const sim::SimMachine& machine, core::MemLevel level,
+    const std::vector<double>& intensities, core::Precision precision,
+    double target_seconds) {
+  const sim::LevelCosts& costs = machine.level_costs(level);
+  const sim::FlopCosts& fc = precision == core::Precision::Single
+                                 ? machine.config().sp
+                                 : machine.config().dp.value();
+  const double ws = working_set_for_level(machine, level);
+
+  std::vector<sim::KernelDesc> kernels;
+  kernels.reserve(intensities.size());
+  for (const double intensity : intensities) {
+    const double bytes = bytes_for_duration(
+        intensity, fc.tau, fc.eps, costs.tau_byte, costs.eps_byte,
+        machine.config().delta_pi, target_seconds);
+    sim::KernelDesc k = intensity_kernel(intensity, bytes, precision, level);
+    // Total traffic may exceed the working set (many passes over the same
+    // resident data), but the footprint never does.
+    k.working_set_bytes = std::min(bytes, ws);
+    kernels.push_back(std::move(k));
+  }
+  return kernels;
+}
+
+sim::KernelDesc bandwidth_kernel(const sim::SimMachine& machine,
+                                 core::MemLevel level,
+                                 double target_seconds) {
+  const sim::LevelCosts& costs = machine.level_costs(level);
+  const double bytes = target_seconds / costs.tau_byte;
+  // A whisper of flops keeps the kernel shaped like the intensity
+  // benchmark's lowest rung without leaving the memory-bound regime.
+  const double intensity = 1.0 / 1024.0;
+  sim::KernelDesc k = intensity_kernel(intensity, bytes,
+                                       core::Precision::Single, level);
+  k.label = std::string("bandwidth ") + core::to_string(level);
+  k.working_set_bytes = working_set_for_level(machine, level);
+  return k;
+}
+
+}  // namespace archline::microbench

@@ -1,0 +1,35 @@
+#pragma once
+// Cache microbenchmarks (paper §IV-g): streaming kernels whose working set
+// is sized to fit a target level of the memory hierarchy.
+//
+// "We need only ensure the data set size is small enough to fit into the
+// target cache level." On GPUs the L1 slot maps to shared memory /
+// scratchpad, which the sim::factory encodes in its level table.
+
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace archline::microbench {
+
+/// Working-set size used to target a level on this machine: half the
+/// level's capacity (comfortably resident), or the full capacity default
+/// for DRAM-class kernels. Throws if the machine lacks the level.
+[[nodiscard]] double working_set_for_level(const sim::SimMachine& machine,
+                                           core::MemLevel level);
+
+/// A streaming sweep over `intensities` with traffic sized for
+/// `target_seconds` per point, bound to `level`. Kernels whose working set
+/// exceeds the level capacity are never produced.
+[[nodiscard]] std::vector<sim::KernelDesc> cache_sweep(
+    const sim::SimMachine& machine, core::MemLevel level,
+    const std::vector<double>& intensities, core::Precision precision,
+    double target_seconds);
+
+/// Pure-bandwidth kernel (tiny flop count) for a level; measures the
+/// level's sustainable bandwidth and energy per byte.
+[[nodiscard]] sim::KernelDesc bandwidth_kernel(const sim::SimMachine& machine,
+                                               core::MemLevel level,
+                                               double target_seconds);
+
+}  // namespace archline::microbench

@@ -1,0 +1,55 @@
+#include "microbench/intensity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/analysis.hpp"
+
+namespace archline::microbench {
+
+double flops_per_word(double intensity, core::Precision precision) noexcept {
+  return intensity * core::word_bytes(precision);
+}
+
+sim::KernelDesc intensity_kernel(double intensity, double bytes,
+                                 core::Precision precision,
+                                 core::MemLevel level) {
+  if (!(intensity > 0.0))
+    throw std::invalid_argument("intensity_kernel: intensity must be > 0");
+  if (!(bytes > 0.0))
+    throw std::invalid_argument("intensity_kernel: bytes must be > 0");
+  sim::KernelDesc k;
+  k.label = std::string("intensity I=") + std::to_string(intensity) + " " +
+            core::to_string(precision) + " " + core::to_string(level);
+  k.flops = intensity * bytes;
+  k.bytes = bytes;
+  k.level = level;
+  k.pattern = core::AccessPattern::Streaming;
+  k.precision = precision;
+  k.working_set_bytes = bytes;
+  return k;
+}
+
+std::vector<double> default_intensity_grid(double lo, double hi,
+                                           int points_per_octave) {
+  return core::intensity_grid(lo, hi, points_per_octave);
+}
+
+double bytes_for_duration(double intensity, double tau_flop, double eps_flop,
+                          double tau_byte, double eps_byte, double delta_pi,
+                          double target_seconds) {
+  if (!(intensity > 0.0) || !(target_seconds > 0.0))
+    throw std::invalid_argument("bytes_for_duration: bad arguments");
+  // Time per byte of traffic at intensity I:
+  //   max(I * tau_flop, tau_byte, (I * eps_flop + eps_byte) / delta_pi).
+  const double per_byte_free = std::max(intensity * tau_flop, tau_byte);
+  const double per_byte_cap =
+      delta_pi == core::kUncapped
+          ? 0.0
+          : (intensity * eps_flop + eps_byte) / delta_pi;
+  const double per_byte = std::max(per_byte_free, per_byte_cap);
+  return target_seconds / per_byte;
+}
+
+}  // namespace archline::microbench

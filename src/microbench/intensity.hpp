@@ -1,0 +1,41 @@
+#pragma once
+// The intensity microbenchmark (paper §IV-e).
+//
+// Varies operational intensity "nearly continuously, by varying the number
+// of floating point operations (single or double) on each word of data
+// loaded from main memory". Here that becomes a generator of KernelDescs:
+// given a target intensity and data volume, it computes the flops-per-word
+// ladder and emits the abstract kernel the simulator executes.
+
+#include <vector>
+
+#include "sim/kernel.hpp"
+
+namespace archline::microbench {
+
+/// Flops performed per loaded word to hit `intensity` [flop/B] at the
+/// given precision (intensity * word_bytes, >= 0).
+[[nodiscard]] double flops_per_word(double intensity,
+                                    core::Precision precision) noexcept;
+
+/// A streaming kernel of `bytes` total traffic at `intensity`, hitting
+/// `level`. `bytes` and `intensity` must be positive.
+[[nodiscard]] sim::KernelDesc intensity_kernel(double intensity,
+                                               double bytes,
+                                               core::Precision precision,
+                                               core::MemLevel level);
+
+/// The paper's intensity grid: log2-spaced from `lo` to `hi` flop:Byte.
+[[nodiscard]] std::vector<double> default_intensity_grid(
+    double lo = 1.0 / 8.0, double hi = 512.0, int points_per_octave = 2);
+
+/// Sizes the data volume so the kernel's ideal runtime on a machine with
+/// the given costs is about `target_seconds` (keeps every measurement long
+/// enough to sample and short enough to sweep). All arguments positive;
+/// `delta_pi` may be core::kUncapped.
+[[nodiscard]] double bytes_for_duration(double intensity, double tau_flop,
+                                        double eps_flop, double tau_byte,
+                                        double eps_byte, double delta_pi,
+                                        double target_seconds);
+
+}  // namespace archline::microbench

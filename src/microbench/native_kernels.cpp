@@ -1,0 +1,136 @@
+#include "microbench/native_kernels.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "microbench/pointer_chase.hpp"
+
+namespace archline::microbench {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_seconds(Clock::time_point t0, Clock::time_point t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// The inner ladder: k FMA rungs on a loaded value with per-rung constants
+/// chosen so the result stays bounded (multipliers near 1).
+template <typename T>
+T ladder_element(T x, int k) {
+  T acc = x;
+  const T mul = static_cast<T>(1.0000001);
+  const T add = static_cast<T>(1e-7);
+  for (int i = 0; i < k; ++i) acc = acc * mul + add;
+  return acc;
+}
+
+template <typename T>
+NativeResult intensity_ladder_impl(std::size_t elements, int flops_per_element,
+                                   int passes) {
+  if (elements == 0) throw std::invalid_argument("intensity ladder: empty");
+  if (flops_per_element < 1 || passes < 1)
+    throw std::invalid_argument("intensity ladder: bad parameters");
+  std::vector<T> data(elements);
+  for (std::size_t i = 0; i < elements; ++i)
+    data[i] = static_cast<T>(1.0) + static_cast<T>(i % 97) * static_cast<T>(1e-3);
+
+  // Each rung is one FMA = 2 flop.
+  const int rungs = std::max(1, flops_per_element / 2);
+  T sink = 0;
+  const auto t0 = Clock::now();
+  for (int p = 0; p < passes; ++p) {
+    T acc = 0;
+    for (std::size_t i = 0; i < elements; ++i)
+      acc += ladder_element(data[i], rungs);
+    sink += acc;
+  }
+  const auto t1 = Clock::now();
+
+  NativeResult r;
+  r.seconds = elapsed_seconds(t0, t1);
+  r.flops = 2.0 * rungs * static_cast<double>(elements) * passes;
+  r.bytes = static_cast<double>(sizeof(T)) * static_cast<double>(elements) *
+            passes;
+  r.checksum = static_cast<double>(sink);
+  return r;
+}
+
+template <typename T>
+NativeResult stream_triad_impl(std::size_t elements, int passes) {
+  if (elements == 0) throw std::invalid_argument("stream triad: empty");
+  if (passes < 1) throw std::invalid_argument("stream triad: bad passes");
+  std::vector<T> a(elements, T{0});
+  std::vector<T> b(elements);
+  std::vector<T> c(elements);
+  for (std::size_t i = 0; i < elements; ++i) {
+    b[i] = static_cast<T>(i % 13) * static_cast<T>(0.5);
+    c[i] = static_cast<T>(i % 7) * static_cast<T>(0.25);
+  }
+  const T scalar = static_cast<T>(3.0);
+
+  const auto t0 = Clock::now();
+  for (int p = 0; p < passes; ++p)
+    for (std::size_t i = 0; i < elements; ++i)
+      a[i] = b[i] + scalar * c[i];
+  const auto t1 = Clock::now();
+
+  NativeResult r;
+  r.seconds = elapsed_seconds(t0, t1);
+  r.flops = 2.0 * static_cast<double>(elements) * passes;
+  r.bytes = 3.0 * static_cast<double>(sizeof(T)) *
+            static_cast<double>(elements) * passes;
+  r.checksum = static_cast<double>(a[elements / 2]);
+  return r;
+}
+
+}  // namespace
+
+NativeResult run_intensity_ladder(std::size_t elements, int flops_per_element,
+                                  core::Precision precision, int passes) {
+  return precision == core::Precision::Single
+             ? intensity_ladder_impl<float>(elements, flops_per_element,
+                                            passes)
+             : intensity_ladder_impl<double>(elements, flops_per_element,
+                                             passes);
+}
+
+NativeResult run_stream_triad(std::size_t elements, core::Precision precision,
+                              int passes) {
+  return precision == core::Precision::Single
+             ? stream_triad_impl<float>(elements, passes)
+             : stream_triad_impl<double>(elements, passes);
+}
+
+NativeResult run_pointer_chase(std::size_t slots, std::size_t steps,
+                               stats::Rng& rng) {
+  if (slots < 2) throw std::invalid_argument("pointer chase: need >= 2 slots");
+  if (steps == 0) throw std::invalid_argument("pointer chase: zero steps");
+  const std::vector<std::size_t> next = sattolo_cycle(slots, rng);
+
+  std::size_t pos = 0;
+  const auto t0 = Clock::now();
+  for (std::size_t s = 0; s < steps; ++s) pos = next[pos];
+  const auto t1 = Clock::now();
+
+  NativeResult r;
+  r.seconds = elapsed_seconds(t0, t1);
+  r.accesses = static_cast<double>(steps);
+  r.bytes = static_cast<double>(steps) * sizeof(std::size_t);
+  r.checksum = static_cast<double>(pos);
+  return r;
+}
+
+std::vector<NativeResult> native_intensity_sweep(
+    std::size_t elements, const std::vector<int>& ladder,
+    core::Precision precision) {
+  std::vector<NativeResult> out;
+  out.reserve(ladder.size());
+  for (const int k : ladder)
+    out.push_back(run_intensity_ladder(elements, k, precision));
+  return out;
+}
+
+}  // namespace archline::microbench

@@ -1,0 +1,68 @@
+#pragma once
+// Native (actually-executing) host kernels.
+//
+// The simulator carries the multi-platform study, but the library keeps a
+// real execution path alive: the same three microbenchmark shapes the
+// paper uses — an FMA intensity ladder, a streaming triad, and a pointer
+// chase — implemented as genuine host loops with wall-clock timing. The
+// examples run them to characterize the *host* machine, and tests use
+// them to validate the kernel-shape math (flops/bytes accounting) against
+// real code.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/memory.hpp"
+#include "stats/rng.hpp"
+
+namespace archline::microbench {
+
+/// The result of one native kernel run.
+struct NativeResult {
+  double seconds = 0.0;
+  double flops = 0.0;      ///< arithmetic operations performed
+  double bytes = 0.0;      ///< memory traffic generated (first-order)
+  double accesses = 0.0;   ///< dependent loads (pointer chase only)
+  double checksum = 0.0;   ///< value sink; defeats dead-code elimination
+
+  [[nodiscard]] double flops_per_second() const noexcept {
+    return seconds > 0.0 ? flops / seconds : 0.0;
+  }
+  [[nodiscard]] double bytes_per_second() const noexcept {
+    return seconds > 0.0 ? bytes / seconds : 0.0;
+  }
+  [[nodiscard]] double accesses_per_second() const noexcept {
+    return seconds > 0.0 ? accesses / seconds : 0.0;
+  }
+  [[nodiscard]] double intensity() const noexcept {
+    return bytes > 0.0 ? flops / bytes : 0.0;
+  }
+};
+
+/// Intensity ladder: for each element loaded, performs `flops_per_element`
+/// fused multiply-adds (counted as 2 flop each). `elements` sized by the
+/// caller; precision selects float/double. Passes >= 1 repeats the sweep.
+[[nodiscard]] NativeResult run_intensity_ladder(std::size_t elements,
+                                                int flops_per_element,
+                                                core::Precision precision,
+                                                int passes = 1);
+
+/// STREAM-style triad a[i] = b[i] + s * c[i] over `elements`; counts
+/// 2 flop and 3 words of traffic per element.
+[[nodiscard]] NativeResult run_stream_triad(std::size_t elements,
+                                            core::Precision precision,
+                                            int passes = 1);
+
+/// Pointer chase over a Sattolo cycle of `slots` entries (8 B each),
+/// following `steps` dependent loads.
+[[nodiscard]] NativeResult run_pointer_chase(std::size_t slots,
+                                             std::size_t steps,
+                                             stats::Rng& rng);
+
+/// A short calibration: sweeps flops-per-element over `ladder` and returns
+/// one result per rung — a native intensity sweep of the host.
+[[nodiscard]] std::vector<NativeResult> native_intensity_sweep(
+    std::size_t elements, const std::vector<int>& ladder,
+    core::Precision precision);
+
+}  // namespace archline::microbench

@@ -1,0 +1,48 @@
+#include "microbench/parallel.hpp"
+
+#include <atomic>
+#include <functional>
+#include <thread>
+
+#include "sim/factory.hpp"
+
+namespace archline::microbench {
+
+std::uint64_t campaign_seed(std::uint64_t base_seed,
+                            const std::string& platform_name) {
+  return base_seed ^ std::hash<std::string>{}(platform_name);
+}
+
+std::vector<SuiteData> run_campaign(
+    std::span<const platforms::PlatformSpec> specs,
+    const SuiteOptions& options, std::uint64_t base_seed, unsigned threads) {
+  if (threads == 0)
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min<unsigned>(threads,
+                               static_cast<unsigned>(specs.size()));
+
+  std::vector<SuiteData> results(specs.size());
+  std::atomic<std::size_t> next{0};
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= specs.size()) return;
+      const sim::SimMachine machine = sim::make_machine(specs[i]);
+      stats::Rng rng(campaign_seed(base_seed, specs[i].name));
+      results[i] = run_suite(machine, options, rng);
+    }
+  };
+
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  return results;
+}
+
+}  // namespace archline::microbench

@@ -1,0 +1,31 @@
+#pragma once
+// Machine-level parallel campaign execution.
+//
+// Each platform's campaign is independent, so the twelve campaigns fan
+// out across std::thread workers (the paper ran its platforms one rig at
+// a time; we can afford better). Determinism is preserved: every
+// platform derives its RNG stream from the campaign seed and its own
+// name, never from scheduling order — the parallel result is
+// bit-identical to the serial one (tested).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "microbench/suite.hpp"
+#include "platforms/spec.hpp"
+
+namespace archline::microbench {
+
+/// Seed derivation used for both serial and parallel campaign runs.
+[[nodiscard]] std::uint64_t campaign_seed(std::uint64_t base_seed,
+                                          const std::string& platform_name);
+
+/// Runs the suite on each platform, using up to `threads` workers
+/// (0 = hardware concurrency). Results are in input order.
+[[nodiscard]] std::vector<SuiteData> run_campaign(
+    std::span<const platforms::PlatformSpec> specs,
+    const SuiteOptions& options, std::uint64_t base_seed,
+    unsigned threads = 0);
+
+}  // namespace archline::microbench

@@ -1,0 +1,54 @@
+#include "microbench/pointer_chase.hpp"
+
+#include <stdexcept>
+
+namespace archline::microbench {
+
+sim::KernelDesc random_access_kernel(double accesses,
+                                     double working_set_bytes) {
+  if (!(accesses > 0.0))
+    throw std::invalid_argument("random_access_kernel: accesses must be > 0");
+  if (!(working_set_bytes > 0.0))
+    throw std::invalid_argument(
+        "random_access_kernel: working set must be > 0");
+  sim::KernelDesc k;
+  k.label = "pointer chase";
+  k.accesses = accesses;
+  // Each access touches one cache line; byte traffic is implied by the
+  // access count, so Q stays 0 and costs come from the random-access path.
+  k.pattern = core::AccessPattern::Random;
+  k.level = core::MemLevel::DRAM;
+  k.working_set_bytes = working_set_bytes;
+  return k;
+}
+
+std::vector<std::size_t> sattolo_cycle(std::size_t n, stats::Rng& rng) {
+  if (n < 2) throw std::invalid_argument("sattolo_cycle: need n >= 2");
+  // Start from the identity-successor cycle and shuffle: Sattolo's
+  // algorithm permutes so the result is one cycle of length n.
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  for (std::size_t i = n - 1; i > 0; --i) {
+    const std::size_t j = rng.below(i);  // j in [0, i): never i itself
+    std::swap(perm[i], perm[j]);
+  }
+  // perm is now a cyclic permutation in one-line notation; convert to a
+  // successor table: next[perm[k]] = perm[(k+1) % n].
+  std::vector<std::size_t> next(n);
+  for (std::size_t k = 0; k + 1 < n; ++k) next[perm[k]] = perm[k + 1];
+  next[perm[n - 1]] = perm[0];
+  return next;
+}
+
+bool is_single_cycle(const std::vector<std::size_t>& next) {
+  const std::size_t n = next.size();
+  if (n == 0) return false;
+  std::size_t pos = 0;
+  for (std::size_t step = 0; step + 1 < n; ++step) {
+    pos = next[pos];
+    if (pos >= n || pos == 0) return false;
+  }
+  return next[pos] == 0;
+}
+
+}  // namespace archline::microbench

@@ -1,0 +1,77 @@
+#pragma once
+// The full microbenchmark campaign for one platform (paper §IV/§V-A):
+// intensity sweeps against DRAM (single and double precision), cache-level
+// sweeps, pure-bandwidth kernels per level, and the pointer chase — each
+// executed on the simulated machine, captured by the simulated PowerMon 2,
+// and reduced to (time, energy, power) Measurements.
+
+#include <string>
+#include <vector>
+
+#include "powermon/integrator.hpp"
+#include "sim/machine.hpp"
+#include "stats/rng.hpp"
+
+namespace archline::microbench {
+
+/// One measured data point: the kernel that ran and what the measurement
+/// stack reported. `regime`/`utilization` carry simulator ground truth for
+/// diagnostics; the fitting pipeline must not use them.
+struct Observation {
+  sim::KernelDesc kernel;
+  double seconds = 0.0;
+  double joules = 0.0;
+  double watts = 0.0;
+  core::Regime true_regime = core::Regime::Compute;
+  double true_utilization = 1.0;
+
+  [[nodiscard]] double intensity() const noexcept {
+    return kernel.intensity();
+  }
+  /// Measured performance W / t [flop/s].
+  [[nodiscard]] double flops_per_second() const noexcept {
+    return kernel.flops / seconds;
+  }
+  /// Measured energy efficiency W / E [flop/J].
+  [[nodiscard]] double flops_per_joule() const noexcept {
+    return kernel.flops / joules;
+  }
+};
+
+struct SuiteOptions {
+  std::vector<double> intensities;  ///< empty = default grid 1/8..512
+  int repeats = 3;                  ///< runs per kernel
+  double target_seconds = 0.25;     ///< per-run duration target
+  bool include_double = true;
+  bool include_caches = true;
+  bool include_random = true;
+  bool include_idle = true;         ///< measure idle power first
+  powermon::SamplerConfig sampler;
+};
+
+/// Everything measured on one platform.
+struct SuiteData {
+  std::string platform;
+  double idle_watts = 0.0;            ///< measured idle power (0 = not run)
+  std::vector<Observation> dram_sp;   ///< intensity sweep, DRAM, single
+  std::vector<Observation> dram_dp;   ///< intensity sweep, DRAM, double
+  std::vector<Observation> l1;        ///< cache sweep, L1/scratchpad
+  std::vector<Observation> l2;        ///< cache sweep, L2
+  std::vector<Observation> random;    ///< pointer chase
+
+  [[nodiscard]] std::vector<const Observation*> all() const;
+  [[nodiscard]] std::size_t total_observations() const noexcept;
+};
+
+/// Executes one kernel `repeats` times through the sim -> sampler ->
+/// integrator path.
+[[nodiscard]] std::vector<Observation> measure_kernel(
+    const sim::SimMachine& machine, const sim::KernelDesc& kernel,
+    int repeats, const powermon::SamplerConfig& sampler, stats::Rng& rng);
+
+/// Runs the full campaign on a machine.
+[[nodiscard]] SuiteData run_suite(const sim::SimMachine& machine,
+                                  const SuiteOptions& options,
+                                  stats::Rng& rng);
+
+}  // namespace archline::microbench

@@ -1,0 +1,100 @@
+#include "microbench/suite_io.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace archline::microbench {
+
+namespace {
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void emit_group(report::CsvWriter& csv, const char* group,
+                const std::vector<Observation>& obs) {
+  for (const Observation& o : obs)
+    csv.add_row({group, o.kernel.label, num(o.kernel.flops),
+                 num(o.kernel.bytes), num(o.kernel.accesses),
+                 num(o.seconds), num(o.joules)});
+}
+
+}  // namespace
+
+report::CsvWriter suite_to_csv(const SuiteData& data) {
+  report::CsvWriter csv(observation_csv_header());
+  // idle power rides along as a pseudo-observation.
+  if (data.idle_watts > 0.0)
+    csv.add_row({"idle", "idle", "0", "0", "0", "1",
+                 num(data.idle_watts)});
+  emit_group(csv, "dram_sp", data.dram_sp);
+  emit_group(csv, "dram_dp", data.dram_dp);
+  emit_group(csv, "l1", data.l1);
+  emit_group(csv, "l2", data.l2);
+  emit_group(csv, "random", data.random);
+  return csv;
+}
+
+void write_suite_csv(const SuiteData& data,
+                     const std::filesystem::path& path) {
+  suite_to_csv(data).write_file(path);
+}
+
+SuiteData suite_from_csv_rows(
+    const std::vector<std::vector<std::string>>& rows) {
+  if (rows.empty())
+    throw std::runtime_error("suite_from_csv: empty input");
+  if (rows.front() != observation_csv_header())
+    throw std::runtime_error("suite_from_csv: unexpected header");
+
+  SuiteData data;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.size() != observation_csv_header().size())
+      throw std::runtime_error("suite_from_csv: bad row width at line " +
+                               std::to_string(i + 1));
+    const std::string& group = row[0];
+    if (group == "idle") {
+      data.idle_watts = std::stod(row[6]);
+      continue;
+    }
+    Observation o;
+    o.kernel.label = row[1];
+    o.kernel.flops = std::stod(row[2]);
+    o.kernel.bytes = std::stod(row[3]);
+    o.kernel.accesses = std::stod(row[4]);
+    o.seconds = std::stod(row[5]);
+    o.joules = std::stod(row[6]);
+    if (!(o.seconds > 0.0) || !(o.joules > 0.0))
+      throw std::runtime_error("suite_from_csv: non-positive measurement");
+    o.watts = o.joules / o.seconds;
+    if (o.kernel.accesses > 0.0)
+      o.kernel.pattern = core::AccessPattern::Random;
+
+    if (group == "dram_sp") data.dram_sp.push_back(std::move(o));
+    else if (group == "dram_dp") {
+      o.kernel.precision = core::Precision::Double;
+      data.dram_dp.push_back(std::move(o));
+    } else if (group == "l1") {
+      o.kernel.level = core::MemLevel::L1;
+      data.l1.push_back(std::move(o));
+    } else if (group == "l2") {
+      o.kernel.level = core::MemLevel::L2;
+      data.l2.push_back(std::move(o));
+    } else if (group == "random") {
+      data.random.push_back(std::move(o));
+    } else {
+      throw std::runtime_error("suite_from_csv: unknown group '" + group +
+                               "'");
+    }
+  }
+  return data;
+}
+
+SuiteData read_suite_csv(const std::filesystem::path& path) {
+  return suite_from_csv_rows(report::read_csv_file(path));
+}
+
+}  // namespace archline::microbench

@@ -1,0 +1,41 @@
+#pragma once
+// CSV interchange for measured observations.
+//
+// Writes SuiteData observation groups in the same flops,bytes,seconds,
+// joules layout the fit_from_csv example consumes, so any measurement —
+// simulated here or collected on real hardware elsewhere — flows through
+// the same fitting pipeline. The loader is the inverse.
+
+#include <filesystem>
+
+#include "microbench/suite.hpp"
+#include "report/csv.hpp"
+
+namespace archline::microbench {
+
+/// Column header shared by writer and loader.
+inline const std::vector<std::string>& observation_csv_header() {
+  static const std::vector<std::string> kHeader = {
+      "group", "label", "flops", "bytes", "accesses", "seconds", "joules"};
+  return kHeader;
+}
+
+/// Serializes every observation group of a suite (group column:
+/// dram_sp / dram_dp / l1 / l2 / random) plus an idle_watts comment row.
+[[nodiscard]] report::CsvWriter suite_to_csv(const SuiteData& data);
+
+/// Writes the suite to a file (creating directories as needed).
+void write_suite_csv(const SuiteData& data,
+                     const std::filesystem::path& path);
+
+/// Parses rows produced by suite_to_csv back into a SuiteData (platform
+/// name is not stored; measured watts are reconstructed as J/s; the
+/// simulator-only diagnostic fields are defaulted). Throws
+/// std::runtime_error on malformed input.
+[[nodiscard]] SuiteData suite_from_csv_rows(
+    const std::vector<std::vector<std::string>>& rows);
+
+/// Reads a suite CSV file.
+[[nodiscard]] SuiteData read_suite_csv(const std::filesystem::path& path);
+
+}  // namespace archline::microbench

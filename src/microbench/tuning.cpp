@@ -1,0 +1,65 @@
+#include "microbench/tuning.hpp"
+
+namespace archline::microbench {
+
+std::vector<sim::TuneConfig> tuning_space(const sim::TuningTraits& traits) {
+  std::vector<sim::TuneConfig> space;
+  for (int unroll = 1; unroll <= traits.max_unroll; unroll *= 2) {
+    for (int vw = 1; vw <= traits.max_vector; vw *= 2) {
+      for (const bool fma : {false, true}) {
+        for (const bool prefetch : {false, true}) {
+          for (const bool asm_tuned : {false, true}) {
+            space.push_back(sim::TuneConfig{.unroll = unroll, .fma = fma,
+                                            .vector_width = vw,
+                                            .prefetch = prefetch,
+                                            .asm_tuned = asm_tuned});
+          }
+        }
+      }
+    }
+  }
+  return space;
+}
+
+namespace {
+
+template <typename EfficiencyFn>
+TuneResult search(const sim::TuningTraits& traits, double vendor_peak,
+                  EfficiencyFn&& efficiency) {
+  TuneResult best;
+  for (const sim::TuneConfig& c : tuning_space(traits)) {
+    const double eff = efficiency(traits, c);
+    ++best.evaluated;
+    if (eff > best.efficiency) {
+      best.efficiency = eff;
+      best.config = c;
+    }
+  }
+  best.throughput = best.efficiency * vendor_peak;
+  return best;
+}
+
+}  // namespace
+
+TuneResult tune_flops(const platforms::PlatformSpec& spec,
+                      core::Precision precision) {
+  const sim::TuningTraits traits = sim::traits_for(spec, precision);
+  const double peak = precision == core::Precision::Single
+                          ? spec.peak_sp_flops
+                          : spec.peak_dp_flops;
+  return search(traits, peak, [](const sim::TuningTraits& t,
+                                 const sim::TuneConfig& c) {
+    return sim::flop_efficiency(t, c);
+  });
+}
+
+TuneResult tune_bandwidth(const platforms::PlatformSpec& spec) {
+  const sim::TuningTraits traits =
+      sim::traits_for(spec, core::Precision::Single);
+  return search(traits, spec.peak_bandwidth,
+                [](const sim::TuningTraits& t, const sim::TuneConfig& c) {
+                  return sim::mem_efficiency(t, c);
+                });
+}
+
+}  // namespace archline::microbench

@@ -1,0 +1,37 @@
+#pragma once
+// Automated "hand-tuning" (paper §IV-e).
+//
+// The authors hand-tuned each platform's microbenchmarks — unrolling, FMA,
+// instruction mix, prefetching, assembly — until they got "as close to the
+// vendor's claimed peak as we could manage". We reproduce that as a search
+// over sim::TuneConfig against the platform's pipeline-efficiency
+// landscape; the winner's achieved throughput is the "sustained peak" the
+// rest of the pipeline uses.
+
+#include <vector>
+
+#include "sim/pipeline_model.hpp"
+
+namespace archline::microbench {
+
+struct TuneResult {
+  sim::TuneConfig config;       ///< best configuration found
+  double efficiency = 0.0;      ///< fraction of vendor peak achieved
+  double throughput = 0.0;      ///< flop/s or B/s at the optimum
+  int evaluated = 0;            ///< configurations tried
+};
+
+/// The discrete configuration space the search enumerates (unroll powers
+/// of two up to max_unroll, vector widths powers of two up to max_vector,
+/// all boolean knobs).
+[[nodiscard]] std::vector<sim::TuneConfig> tuning_space(
+    const sim::TuningTraits& traits);
+
+/// Finds the flop-side optimum for a platform at the given precision.
+[[nodiscard]] TuneResult tune_flops(const platforms::PlatformSpec& spec,
+                                    core::Precision precision);
+
+/// Finds the memory-side (streaming bandwidth) optimum.
+[[nodiscard]] TuneResult tune_bandwidth(const platforms::PlatformSpec& spec);
+
+}  // namespace archline::microbench

@@ -1,0 +1,322 @@
+#include "platforms/platform_db.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/analysis.hpp"
+#include "core/units.hpp"
+
+namespace archline::platforms {
+
+namespace {
+
+using units::from_gbytes;
+using units::from_gflops;
+using units::from_nanojoules;
+using units::from_picojoules;
+using units::kMega;
+
+/// EnergyPoint from Table I notation: pJ per op, sustained Gop/s.
+EnergyPoint pj_point(double pj, double gops) {
+  return EnergyPoint{.energy_per_op = from_picojoules(pj),
+                     .throughput = gops * 1e9};
+}
+
+/// Random-access point: nJ per access, sustained Macc/s.
+EnergyPoint rand_point(double nj, double macc) {
+  return EnergyPoint{.energy_per_op = from_nanojoules(nj),
+                     .throughput = macc * kMega};
+}
+
+std::vector<PlatformSpec> build_table1() {
+  std::vector<PlatformSpec> t;
+  t.reserve(12);
+
+  {
+    PlatformSpec p;
+    p.name = "Desktop CPU";
+    p.processor = "Intel Core i7-950 (Nehalem)";
+    p.process_nm = 45;
+    p.device_class = DeviceClass::ServerCpu;
+    p.peak_sp_flops = from_gflops(107.0);
+    p.peak_dp_flops = from_gflops(53.3);
+    p.peak_bandwidth = from_gbytes(25.6);
+    p.pi1 = 122.0;
+    p.idle_power = 79.9;
+    p.delta_pi = 44.2;
+    p.flop_sp = pj_point(371.0, 99.4);
+    p.flop_dp = pj_point(670.0, 49.7);
+    p.mem_stream = pj_point(795.0, 19.1);
+    p.mem_l1 = pj_point(135.0, 201.0);
+    p.mem_l2 = pj_point(168.0, 120.0);
+    p.mem_rand = rand_point(108.0, 149.0);
+    t.push_back(std::move(p));
+  }
+  {
+    PlatformSpec p;
+    p.name = "NUC CPU";
+    p.processor = "Intel Core i3-3217U (Ivy Bridge)";
+    p.process_nm = 22;
+    p.device_class = DeviceClass::MobileCpu;
+    p.peak_sp_flops = from_gflops(57.6);
+    p.peak_dp_flops = from_gflops(28.8);
+    p.peak_bandwidth = from_gbytes(25.6);
+    p.pi1 = 16.5;
+    p.idle_power = 13.2;
+    p.delta_pi = 7.37;
+    p.flop_sp = pj_point(14.7, 55.6);
+    p.flop_dp = pj_point(24.3, 27.9);
+    p.mem_stream = pj_point(418.0, 17.9);
+    p.mem_l1 = pj_point(8.75, 201.0);
+    p.mem_l2 = pj_point(14.3, 103.0);
+    p.mem_rand = rand_point(54.6, 55.3);
+    t.push_back(std::move(p));
+  }
+  {
+    PlatformSpec p;
+    p.name = "NUC GPU";
+    p.processor = "Intel HD 4000 (Ivy Bridge)";
+    p.process_nm = 22;
+    p.device_class = DeviceClass::MobileGpu;
+    p.peak_sp_flops = from_gflops(269.0);
+    p.peak_bandwidth = from_gbytes(25.6);
+    p.pi1 = 10.1;
+    p.idle_power = 13.2;
+    p.pi1_below_idle = true;
+    p.delta_pi = 17.7;
+    p.flop_sp = pj_point(76.1, 268.0);
+    p.mem_stream = pj_point(837.0, 15.4);
+    // OpenCL driver deficiencies prevented cache/random microbenchmarks on
+    // the HD 4000 (Table I note 2).
+    p.ks_significant_in_paper = true;
+    t.push_back(std::move(p));
+  }
+  {
+    PlatformSpec p;
+    p.name = "APU CPU";
+    p.processor = "AMD E2-1800 (Bobcat)";
+    p.process_nm = 40;
+    p.device_class = DeviceClass::MobileCpu;
+    p.peak_sp_flops = from_gflops(13.6);
+    p.peak_dp_flops = from_gflops(5.10);
+    p.peak_bandwidth = from_gbytes(10.7);
+    p.pi1 = 20.1;
+    p.idle_power = 11.8;
+    p.delta_pi = 1.39;
+    p.flop_sp = pj_point(33.5, 13.4);
+    p.flop_dp = pj_point(119.0, 5.05);
+    p.mem_stream = pj_point(435.0, 3.32);
+    p.mem_l1 = pj_point(84.0, 25.8);
+    p.mem_l2 = pj_point(138.0, 11.6);
+    p.mem_rand = rand_point(75.6, 8.03);
+    t.push_back(std::move(p));
+  }
+  {
+    PlatformSpec p;
+    p.name = "APU GPU";
+    p.processor = "AMD HD 7340 (Zacate)";
+    p.process_nm = 40;
+    p.device_class = DeviceClass::MobileGpu;
+    p.peak_sp_flops = from_gflops(109.0);
+    p.peak_bandwidth = from_gbytes(10.7);
+    p.pi1 = 15.6;
+    p.idle_power = 11.8;
+    p.delta_pi = 3.23;
+    p.flop_sp = pj_point(5.82, 104.0);
+    p.mem_stream = pj_point(333.0, 8.70);
+    p.mem_l1 = pj_point(6.47, 46.0);  // software-managed scratchpad
+    p.mem_rand = rand_point(45.8, 115.0);
+    p.ks_significant_in_paper = true;
+    t.push_back(std::move(p));
+  }
+  {
+    PlatformSpec p;
+    p.name = "GTX 580";
+    p.processor = "NVIDIA GF100 (Fermi)";
+    p.process_nm = 40;
+    p.device_class = DeviceClass::DesktopGpu;
+    p.peak_sp_flops = from_gflops(1580.0);
+    p.peak_dp_flops = from_gflops(198.0);
+    p.peak_bandwidth = from_gbytes(192.0);
+    p.pi1 = 122.0;
+    p.idle_power = 148.0;
+    p.pi1_below_idle = true;
+    p.delta_pi = 146.0;
+    p.flop_sp = pj_point(99.7, 1400.0);
+    p.flop_dp = pj_point(213.0, 196.0);
+    p.mem_stream = pj_point(513.0, 171.0);
+    p.mem_l1 = pj_point(149.0, 761.0);
+    p.mem_l2 = pj_point(257.0, 284.0);
+    p.mem_rand = rand_point(112.0, 977.0);
+    t.push_back(std::move(p));
+  }
+  {
+    PlatformSpec p;
+    p.name = "GTX 680";
+    p.processor = "NVIDIA GK104 (Kepler)";
+    p.process_nm = 28;
+    p.device_class = DeviceClass::DesktopGpu;
+    p.peak_sp_flops = from_gflops(3530.0);
+    p.peak_dp_flops = from_gflops(147.0);
+    p.peak_bandwidth = from_gbytes(192.0);
+    p.pi1 = 66.4;
+    p.idle_power = 100.0;
+    p.pi1_below_idle = true;
+    p.delta_pi = 145.0;
+    p.flop_sp = pj_point(43.2, 3030.0);
+    p.flop_dp = pj_point(263.0, 147.0);
+    p.mem_stream = pj_point(437.0, 158.0);
+    p.mem_l1 = pj_point(51.0, 1150.0);  // Kepler: shared memory, not L1
+    p.mem_l2 = pj_point(195.0, 297.0);
+    p.mem_rand = rand_point(184.0, 1420.0);
+    p.ks_significant_in_paper = true;
+    t.push_back(std::move(p));
+  }
+  {
+    PlatformSpec p;
+    p.name = "GTX Titan";
+    p.processor = "NVIDIA GK110 (Kepler)";
+    p.process_nm = 28;
+    p.device_class = DeviceClass::DesktopGpu;
+    p.peak_sp_flops = from_gflops(4990.0);
+    p.peak_dp_flops = from_gflops(1660.0);
+    p.peak_bandwidth = from_gbytes(288.0);
+    p.pi1 = 123.0;
+    p.idle_power = 72.9;
+    p.delta_pi = 164.0;
+    p.flop_sp = pj_point(30.4, 4020.0);
+    p.flop_dp = pj_point(93.9, 1600.0);
+    p.mem_stream = pj_point(267.0, 239.0);
+    p.mem_l1 = pj_point(24.4, 1610.0);  // shared memory
+    p.mem_l2 = pj_point(195.0, 297.0);
+    p.mem_rand = rand_point(48.0, 968.0);
+    t.push_back(std::move(p));
+  }
+  {
+    PlatformSpec p;
+    p.name = "Xeon Phi";
+    p.processor = "Intel 5110P (KNC)";
+    p.process_nm = 22;
+    p.device_class = DeviceClass::Manycore;
+    p.peak_sp_flops = from_gflops(2020.0);
+    p.peak_dp_flops = from_gflops(1010.0);
+    p.peak_bandwidth = from_gbytes(320.0);
+    p.pi1 = 180.0;
+    p.idle_power = 90.0;
+    p.delta_pi = 36.1;
+    p.flop_sp = pj_point(6.05, 2020.0);
+    p.flop_dp = pj_point(12.4, 1010.0);
+    p.mem_stream = pj_point(136.0, 181.0);
+    p.mem_l1 = pj_point(2.19, 2890.0);
+    p.mem_l2 = pj_point(8.65, 591.0);
+    p.mem_rand = rand_point(5.11, 706.0);
+    p.ks_significant_in_paper = true;
+    t.push_back(std::move(p));
+  }
+  {
+    PlatformSpec p;
+    p.name = "PandaBoard ES";
+    p.processor = "TI OMAP4460 (Cortex-A9)";
+    p.process_nm = 45;
+    p.device_class = DeviceClass::MobileCpu;
+    p.peak_sp_flops = from_gflops(9.60);
+    p.peak_dp_flops = from_gflops(3.60);
+    p.peak_bandwidth = from_gbytes(3.20);
+    p.pi1 = 3.48;
+    p.idle_power = 2.74;
+    p.delta_pi = 1.19;
+    p.flop_sp = pj_point(37.2, 9.47);
+    p.flop_dp = pj_point(302.0, 3.02);
+    p.mem_stream = pj_point(810.0, 1.28);
+    p.mem_l1 = pj_point(79.5, 18.4);
+    p.mem_l2 = pj_point(134.0, 4.12);
+    p.mem_rand = rand_point(60.9, 12.1);
+    p.ks_significant_in_paper = true;
+    t.push_back(std::move(p));
+  }
+  {
+    PlatformSpec p;
+    p.name = "Arndale CPU";
+    p.processor = "Samsung Exynos 5 (Cortex-A15)";
+    p.process_nm = 32;
+    p.device_class = DeviceClass::MobileCpu;
+    p.peak_sp_flops = from_gflops(27.2);
+    p.peak_dp_flops = from_gflops(6.80);
+    p.peak_bandwidth = from_gbytes(12.8);
+    p.pi1 = 5.50;
+    p.idle_power = 1.72;
+    p.delta_pi = 2.01;
+    p.flop_sp = pj_point(107.0, 15.8);
+    p.flop_dp = pj_point(275.0, 3.97);
+    p.mem_stream = pj_point(386.0, 3.94);
+    p.mem_l1 = pj_point(76.3, 50.8);
+    p.mem_l2 = pj_point(248.0, 15.2);
+    p.mem_rand = rand_point(138.0, 14.8);
+    p.ks_significant_in_paper = true;
+    t.push_back(std::move(p));
+  }
+  {
+    PlatformSpec p;
+    p.name = "Arndale GPU";
+    p.processor = "ARM Mali T-604 (Exynos 5)";
+    p.process_nm = 32;
+    p.device_class = DeviceClass::MobileGpu;
+    p.peak_sp_flops = from_gflops(72.0);
+    p.peak_bandwidth = from_gbytes(12.8);
+    p.pi1 = 1.28;
+    p.idle_power = 1.72;
+    p.pi1_below_idle = true;
+    p.delta_pi = 4.83;
+    p.flop_sp = pj_point(84.2, 33.0);
+    p.mem_stream = pj_point(518.0, 8.39);
+    p.mem_l1 = pj_point(71.4, 33.4);  // software-managed scratchpad
+    p.mem_rand = rand_point(125.0, 33.6);
+    p.ks_significant_in_paper = true;
+    t.push_back(std::move(p));
+  }
+
+  for (const PlatformSpec& p : t) p.validate();
+  return t;
+}
+
+const std::vector<PlatformSpec>& table1() {
+  static const std::vector<PlatformSpec> kTable = build_table1();
+  return kTable;
+}
+
+}  // namespace
+
+std::span<const PlatformSpec> all_platforms() { return table1(); }
+
+const PlatformSpec& platform(const std::string& name) {
+  for (const PlatformSpec& p : table1())
+    if (p.name == name) return p;
+  throw std::out_of_range("unknown platform: " + name);
+}
+
+bool has_platform(const std::string& name) {
+  for (const PlatformSpec& p : table1())
+    if (p.name == name) return true;
+  return false;
+}
+
+std::vector<std::string> platform_names() {
+  std::vector<std::string> names;
+  names.reserve(table1().size());
+  for (const PlatformSpec& p : table1()) names.push_back(p.name);
+  return names;
+}
+
+std::vector<const PlatformSpec*> by_peak_efficiency() {
+  std::vector<const PlatformSpec*> order;
+  order.reserve(table1().size());
+  for (const PlatformSpec& p : table1()) order.push_back(&p);
+  std::sort(order.begin(), order.end(),
+            [](const PlatformSpec* a, const PlatformSpec* b) {
+              return core::peak_flops_per_joule(a->machine()) >
+                     core::peak_flops_per_joule(b->machine());
+            });
+  return order;
+}
+
+}  // namespace archline::platforms

@@ -1,0 +1,33 @@
+#pragma once
+// The twelve evaluation platforms of the paper's Table I, as published.
+//
+// These constants are the paper's fitted ground truth; the simulator
+// (sim/factory) instantiates machines from them, and bench/table1 checks
+// that our fitting pipeline recovers them from simulated measurements.
+
+#include <span>
+#include <vector>
+
+#include "platforms/spec.hpp"
+
+namespace archline::platforms {
+
+/// All 12 platforms, in Table I row order:
+/// Desktop CPU, NUC CPU, NUC GPU, APU CPU, APU GPU, GTX 580, GTX 680,
+/// GTX Titan, Xeon Phi, PandaBoard ES, Arndale CPU, Arndale GPU.
+[[nodiscard]] std::span<const PlatformSpec> all_platforms();
+
+/// Lookup by exact name; throws std::out_of_range if unknown.
+[[nodiscard]] const PlatformSpec& platform(const std::string& name);
+
+/// True if a platform with this name exists.
+[[nodiscard]] bool has_platform(const std::string& name);
+
+/// Names of all platforms, in Table I order.
+[[nodiscard]] std::vector<std::string> platform_names();
+
+/// Platforms sorted by decreasing peak energy efficiency (the Fig. 5
+/// panel order: GTX Titan first, Desktop CPU last).
+[[nodiscard]] std::vector<const PlatformSpec*> by_peak_efficiency();
+
+}  // namespace archline::platforms

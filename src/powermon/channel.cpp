@@ -1,0 +1,38 @@
+#include "powermon/channel.hpp"
+
+namespace archline::powermon {
+
+std::vector<RailSplit> mobile_board_rails() {
+  return {
+      RailSplit{.channel = {.name = "DC brick", .nominal_volts = 5.0,
+                            .probe = ProbeKind::PowerMon},
+                .fraction = 1.0},
+  };
+}
+
+std::vector<RailSplit> cpu_rails() {
+  return {
+      RailSplit{.channel = {.name = "ATX 12V CPU", .nominal_volts = 12.0,
+                            .probe = ProbeKind::PowerMon},
+                .fraction = 0.8},
+      RailSplit{.channel = {.name = "Motherboard/DRAM", .nominal_volts = 12.0,
+                            .probe = ProbeKind::PowerMon},
+                .fraction = 0.2},
+  };
+}
+
+std::vector<RailSplit> discrete_gpu_rails() {
+  return {
+      RailSplit{.channel = {.name = "PCIe slot", .nominal_volts = 12.0,
+                            .probe = ProbeKind::PcieInterposer},
+                .fraction = 0.25},
+      RailSplit{.channel = {.name = "PCIe 6-pin", .nominal_volts = 12.0,
+                            .probe = ProbeKind::PowerMon},
+                .fraction = 0.30},
+      RailSplit{.channel = {.name = "PCIe 8-pin", .nominal_volts = 12.0,
+                            .probe = ProbeKind::PowerMon},
+                .fraction = 0.45},
+  };
+}
+
+}  // namespace archline::powermon

@@ -1,0 +1,44 @@
+#pragma once
+// Measurement channels: the DC rails a device draws power from.
+//
+// The paper's setup (Fig. 3) intercepts every rail feeding the device under
+// test: mobile boards via their DC power brick; CPUs via the ATX 12 V CPU
+// connector plus motherboard input (for DRAM); high-end GPUs via the PCIe
+// slot (custom interposer) plus the 6-pin and 8-pin PCIe power connectors.
+
+#include <string>
+#include <vector>
+
+namespace archline::powermon {
+
+/// Where a channel's probe physically sits.
+enum class ProbeKind {
+  PowerMon,        ///< PowerMon 2 inline DC probe
+  PcieInterposer,  ///< custom PCIe slot interposer
+};
+
+/// One measured DC rail.
+struct Channel {
+  std::string name;         ///< e.g. "PCIe 8-pin"
+  double nominal_volts = 12.0;
+  ProbeKind probe = ProbeKind::PowerMon;
+};
+
+/// Standard rail sets used by the paper's three wiring configurations.
+/// Fractions say how the device's total power splits across rails; they
+/// sum to 1.
+struct RailSplit {
+  Channel channel;
+  double fraction = 1.0;
+};
+
+/// Mobile/dev boards: single DC brick channel.
+[[nodiscard]] std::vector<RailSplit> mobile_board_rails();
+
+/// CPU systems: ATX 12 V CPU plug + motherboard input (DRAM power).
+[[nodiscard]] std::vector<RailSplit> cpu_rails();
+
+/// Discrete GPUs: PCIe slot via interposer (<= 75 W share) + 6-pin + 8-pin.
+[[nodiscard]] std::vector<RailSplit> discrete_gpu_rails();
+
+}  // namespace archline::powermon

@@ -1,0 +1,88 @@
+#pragma once
+// PowerTrace: continuous-time instantaneous power of one rail, represented
+// as a piecewise-linear function of time. This is the simulator's ground
+// truth; the Sampler discretizes it the way PowerMon 2 would.
+
+#include <vector>
+
+#include "powermon/channel.hpp"
+
+namespace archline::powermon {
+
+/// A (time, power) breakpoint.
+struct TracePoint {
+  double t = 0.0;      ///< seconds since capture start
+  double watts = 0.0;  ///< instantaneous power
+};
+
+/// Piecewise-linear power over time. Breakpoints must be added in
+/// non-decreasing time order; between breakpoints power interpolates
+/// linearly, outside the span it extrapolates as constant.
+class PowerTrace {
+ public:
+  PowerTrace() = default;
+
+  /// Appends a breakpoint; throws std::invalid_argument if time goes
+  /// backwards or power is negative/non-finite.
+  void add_point(double t, double watts);
+
+  /// Appends a constant-power segment of the given duration starting at
+  /// the current end (or t = 0 if empty).
+  void add_constant(double duration, double watts);
+
+  /// Appends a linear ramp from the current end power to `watts` over
+  /// `duration`.
+  void add_ramp(double duration, double watts);
+
+  /// Instantaneous power at time t.
+  [[nodiscard]] double value(double t) const noexcept;
+
+  /// Exact integral of power over [t0, t1] (analytic, trapezoid on the
+  /// piecewise-linear segments) — the true energy in joules.
+  [[nodiscard]] double integral(double t0, double t1) const noexcept;
+
+  /// Full-span exact energy.
+  [[nodiscard]] double total_energy() const noexcept;
+
+  [[nodiscard]] double start_time() const noexcept;
+  [[nodiscard]] double end_time() const noexcept;
+  [[nodiscard]] double duration() const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+  [[nodiscard]] const std::vector<TracePoint>& points() const noexcept {
+    return points_;
+  }
+
+  /// Returns a copy with every power value scaled by `factor` (rail
+  /// splitting).
+  [[nodiscard]] PowerTrace scaled(double factor) const;
+
+ private:
+  std::vector<TracePoint> points_;
+};
+
+/// A capture: one trace per measured rail plus the workload window the
+/// measurement covers.
+struct Capture {
+  struct Rail {
+    Channel channel;
+    PowerTrace trace;
+  };
+  std::vector<Rail> rails;
+  double window_begin = 0.0;  ///< start of the timed kernel region [s]
+  double window_end = 0.0;    ///< end of the timed kernel region [s]
+
+  /// Exact total energy across rails over the kernel window.
+  [[nodiscard]] double true_energy() const noexcept;
+
+  /// Exact average power across rails over the kernel window.
+  [[nodiscard]] double true_avg_power() const noexcept;
+};
+
+/// Splits a single device trace across rails according to the split
+/// fractions (which must sum to ~1), producing a Capture.
+[[nodiscard]] Capture split_across_rails(const PowerTrace& device,
+                                         const std::vector<RailSplit>& rails,
+                                         double window_begin,
+                                         double window_end);
+
+}  // namespace archline::powermon

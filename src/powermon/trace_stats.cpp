@@ -1,0 +1,68 @@
+#include "powermon/trace_stats.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+
+namespace archline::powermon {
+
+TraceStats compute_trace_stats(const SampledCapture& capture,
+                               double threshold) {
+  if (capture.channels.empty() || capture.channels[0].samples.empty())
+    throw std::invalid_argument("compute_trace_stats: empty capture");
+
+  // Total power on the first channel's time grid; other channels
+  // contribute their nearest sample (streams can be ragged).
+  const auto& base = capture.channels[0].samples;
+  std::vector<double> totals;
+  totals.reserve(base.size());
+  for (const Sample& s : base) {
+    double total = s.watts();
+    for (std::size_t c = 1; c < capture.channels.size(); ++c) {
+      const auto& xs = capture.channels[c].samples;
+      if (xs.empty()) continue;
+      // Nearest sample by timestamp (streams are sorted).
+      const auto it = std::lower_bound(
+          xs.begin(), xs.end(), s.t,
+          [](const Sample& a, double t) { return a.t < t; });
+      const Sample* nearest = it != xs.end() ? &*it : &xs.back();
+      if (it != xs.begin()) {
+        const Sample* prev = &*(it - 1);
+        if (it == xs.end() || s.t - prev->t < it->t - s.t) nearest = prev;
+      }
+      total += nearest->watts();
+    }
+    totals.push_back(total);
+  }
+
+  TraceStats st;
+  st.samples = totals.size();
+  st.peak_watts = stats::max(totals);
+  st.min_watts = stats::min(totals);
+  st.median_watts = stats::median(totals);
+  st.p95_watts = stats::quantile(totals, 0.95);
+  st.mean_watts = stats::mean(totals);
+
+  if (threshold > 0.0) {
+    std::size_t above = 0;
+    for (const double w : totals)
+      if (w > threshold) ++above;
+    st.above_threshold_fraction =
+        static_cast<double>(above) / static_cast<double>(totals.size());
+  }
+
+  // Ramp: first time total power reaches 90% of the steady level.
+  const double target = 0.9 * st.median_watts;
+  st.ramp_seconds = 0.0;
+  for (std::size_t i = 0; i < totals.size(); ++i) {
+    if (totals[i] >= target) {
+      st.ramp_seconds = base[i].t - capture.window_begin;
+      break;
+    }
+  }
+  return st;
+}
+
+}  // namespace archline::powermon

@@ -1,0 +1,40 @@
+#pragma once
+// Statistics over sampled power streams.
+//
+// The paper's Fig. 5 annotations report measured peak power as a
+// fraction of pi1 + delta_pi ("[99%]"); that peak is a property of the
+// raw sample stream, not of per-run averages. This module computes such
+// stream-level quantities from a SampledCapture: instantaneous total
+// power percentiles, the peak, time above a threshold, and the start-up
+// ramp duration.
+
+#include "powermon/sampler.hpp"
+
+namespace archline::powermon {
+
+struct TraceStats {
+  double peak_watts = 0.0;      ///< max instantaneous total power
+  double median_watts = 0.0;    ///< p50 of instantaneous total power
+  double p95_watts = 0.0;       ///< p95
+  double min_watts = 0.0;       ///< min (the idle/ramp floor)
+  double mean_watts = 0.0;      ///< same as the mean-power integrator
+  std::size_t samples = 0;      ///< time points used
+
+  /// Fraction of the window with total power above `threshold` (set at
+  /// computation time; see time_above_fraction).
+  double above_threshold_fraction = 0.0;
+
+  /// Time from window start until total power first reaches 90% of its
+  /// steady (median) level — the measurement's view of the ramp.
+  double ramp_seconds = 0.0;
+};
+
+/// Computes stream statistics on the total (summed across channels)
+/// instantaneous power. Channels may have ragged sample counts (dropout,
+/// derating); samples are aligned by nearest timestamp on the first
+/// channel's grid. `threshold` feeds above_threshold_fraction.
+/// Throws std::invalid_argument on an empty capture.
+[[nodiscard]] TraceStats compute_trace_stats(const SampledCapture& capture,
+                                             double threshold = 0.0);
+
+}  // namespace archline::powermon

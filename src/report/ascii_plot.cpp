@@ -1,0 +1,131 @@
+#include "report/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "report/si.hpp"
+
+namespace archline::report {
+
+namespace {
+
+double transform(double v, AxisScale scale) {
+  return scale == AxisScale::Log2 ? std::log2(v) : v;
+}
+
+bool usable(double v, AxisScale scale) {
+  if (!std::isfinite(v)) return false;
+  return scale != AxisScale::Log2 || v > 0.0;
+}
+
+}  // namespace
+
+AsciiPlot::AsciiPlot(std::string title, int width, int height)
+    : title_(std::move(title)), width_(width), height_(height) {
+  if (width_ < 16 || height_ < 4)
+    throw std::invalid_argument("AsciiPlot: canvas too small");
+}
+
+void AsciiPlot::add_series(Series series) {
+  if (series.x.size() != series.y.size())
+    throw std::invalid_argument("AsciiPlot: x/y length mismatch");
+  series_.push_back(std::move(series));
+}
+
+std::string AsciiPlot::render() const {
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -xmin;
+  double ymin = xmin;
+  double ymax = -xmin;
+  for (const Series& s : series_) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if (!usable(s.x[i], x_scale_) || !usable(s.y[i], y_scale_)) continue;
+      const double tx = transform(s.x[i], x_scale_);
+      const double ty = transform(s.y[i], y_scale_);
+      xmin = std::min(xmin, tx);
+      xmax = std::max(xmax, tx);
+      ymin = std::min(ymin, ty);
+      ymax = std::max(ymax, ty);
+    }
+  }
+  std::ostringstream out;
+  out << title_ << '\n';
+  if (!(xmin <= xmax) || !(ymin <= ymax)) {
+    out << "  (no plottable data)\n";
+    return out.str();
+  }
+  if (xmax == xmin) xmax = xmin + 1.0;
+  if (ymax == ymin) ymax = ymin + 1.0;
+
+  std::vector<std::string> canvas(
+      static_cast<std::size_t>(height_),
+      std::string(static_cast<std::size_t>(width_), ' '));
+  for (const Series& s : series_) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if (!usable(s.x[i], x_scale_) || !usable(s.y[i], y_scale_)) continue;
+      const double tx = transform(s.x[i], x_scale_);
+      const double ty = transform(s.y[i], y_scale_);
+      const int col = static_cast<int>(std::lround(
+          (tx - xmin) / (xmax - xmin) * static_cast<double>(width_ - 1)));
+      const int row = static_cast<int>(std::lround(
+          (ty - ymin) / (ymax - ymin) * static_cast<double>(height_ - 1)));
+      const auto r = static_cast<std::size_t>(height_ - 1 - row);
+      const auto c = static_cast<std::size_t>(col);
+      canvas[r][c] = s.glyph;
+    }
+  }
+
+  const auto y_at = [&](int row) {
+    const double frac =
+        static_cast<double>(height_ - 1 - row) / static_cast<double>(height_ - 1);
+    const double ty = ymin + frac * (ymax - ymin);
+    return y_scale_ == AxisScale::Log2 ? std::exp2(ty) : ty;
+  };
+
+  for (int row = 0; row < height_; ++row) {
+    std::string label;
+    if (row == 0 || row == height_ - 1 || row == height_ / 2)
+      label = sig_format(y_at(row), 3);
+    out << (label.size() > 9 ? label.substr(0, 9) : label)
+        << std::string(label.size() > 9 ? 0 : 9 - label.size(), ' ') << " |"
+        << canvas[static_cast<std::size_t>(row)] << '\n';
+  }
+  out << std::string(9, ' ') << " +" << std::string(static_cast<std::size_t>(width_), '-')
+      << '\n';
+
+  // X-axis tick labels at left, middle, right.
+  const auto x_at = [&](double frac) {
+    const double tx = xmin + frac * (xmax - xmin);
+    return x_scale_ == AxisScale::Log2 ? std::exp2(tx) : tx;
+  };
+  const std::string left = x_scale_ == AxisScale::Log2
+                               ? intensity_label(x_at(0.0))
+                               : sig_format(x_at(0.0), 3);
+  const std::string mid = x_scale_ == AxisScale::Log2
+                              ? intensity_label(x_at(0.5))
+                              : sig_format(x_at(0.5), 3);
+  const std::string right = x_scale_ == AxisScale::Log2
+                                ? intensity_label(x_at(1.0))
+                                : sig_format(x_at(1.0), 3);
+  std::string axis(static_cast<std::size_t>(width_) + 11, ' ');
+  const auto place = [&axis](const std::string& text, std::size_t pos) {
+    for (std::size_t i = 0; i < text.size() && pos + i < axis.size(); ++i)
+      axis[pos + i] = text[i];
+  };
+  place(left, 11);
+  place(mid, 11 + static_cast<std::size_t>(width_) / 2 - mid.size() / 2);
+  place(right, 11 + static_cast<std::size_t>(width_) - right.size());
+  out << axis << '\n';
+  out << std::string(11, ' ') << x_label_ << '\n';
+
+  if (!y_label_.empty()) out << "y: " << y_label_ << '\n';
+  out << "legend:";
+  for (const Series& s : series_) out << "  [" << s.glyph << "] " << s.name;
+  out << '\n';
+  return out.str();
+}
+
+}  // namespace archline::report

@@ -1,0 +1,51 @@
+#pragma once
+// Terminal scatter/line plots with the paper's axis conventions.
+//
+// The paper's figures all share one layout: intensity (flop:Byte) on a
+// log-base-2 x-axis and a normalized quantity on a linear or log y-axis,
+// with a model line and measured dots. AsciiPlot renders that onto a
+// character canvas so each bench binary can show its figure in-terminal.
+
+#include <string>
+#include <vector>
+
+namespace archline::report {
+
+enum class AxisScale { Linear, Log2 };
+
+/// A named series of (x, y) points drawn with a single glyph.
+struct Series {
+  std::string name;
+  char glyph = '*';
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+class AsciiPlot {
+ public:
+  AsciiPlot(std::string title, int width = 72, int height = 20);
+
+  void set_x_scale(AxisScale scale) { x_scale_ = scale; }
+  void set_y_scale(AxisScale scale) { y_scale_ = scale; }
+  void set_x_label(std::string label) { x_label_ = std::move(label); }
+  void set_y_label(std::string label) { y_label_ = std::move(label); }
+
+  /// Adds a series; points with non-finite or (on log scales) non-positive
+  /// coordinates are skipped at render time.
+  void add_series(Series series);
+
+  /// Renders canvas, axes with tick labels, and a legend.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::string title_;
+  int width_;
+  int height_;
+  AxisScale x_scale_ = AxisScale::Log2;
+  AxisScale y_scale_ = AxisScale::Linear;
+  std::string x_label_ = "Intensity (flop:Byte)";
+  std::string y_label_;
+  std::vector<Series> series_;
+};
+
+}  // namespace archline::report

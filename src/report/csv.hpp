@@ -1,0 +1,45 @@
+#pragma once
+// Minimal CSV writing/reading.
+//
+// Bench binaries dump every regenerated figure/table as CSV next to their
+// terminal output; the fit_from_csv example reads user measurements back.
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace archline::report {
+
+/// Streaming CSV writer with RFC-4180-style quoting.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Serializes header + rows.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Writes to `path`, creating parent directories as needed.
+  void write_file(const std::filesystem::path& path) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Quotes a cell if it contains a comma, quote, or newline.
+[[nodiscard]] std::string csv_escape(const std::string& cell);
+
+/// Parses CSV text into rows of cells (handles quoted cells and embedded
+/// commas/newlines). The first row is returned like any other.
+[[nodiscard]] std::vector<std::vector<std::string>> parse_csv(
+    const std::string& text);
+
+/// Reads and parses a CSV file. Throws std::runtime_error if unreadable.
+[[nodiscard]] std::vector<std::vector<std::string>> read_csv_file(
+    const std::filesystem::path& path);
+
+}  // namespace archline::report

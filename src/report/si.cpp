@@ -1,0 +1,88 @@
+#include "report/si.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace archline::report {
+
+namespace {
+
+struct Prefix {
+  double scale;
+  const char* symbol;
+};
+
+constexpr std::array<Prefix, 13> kPrefixes = {{
+    {1e18, "E"},
+    {1e15, "P"},
+    {1e12, "T"},
+    {1e9, "G"},
+    {1e6, "M"},
+    {1e3, "k"},
+    {1.0, ""},
+    {1e-3, "m"},
+    {1e-6, "u"},
+    {1e-9, "n"},
+    {1e-12, "p"},
+    {1e-15, "f"},
+    {1e-18, "a"},
+}};
+
+}  // namespace
+
+std::string sig_format(double value, int digits) {
+  if (value == 0.0) return "0";
+  if (!std::isfinite(value)) return std::signbit(value) ? "-inf" : "inf";
+  const double mag = std::abs(value);
+  const int exponent = static_cast<int>(std::floor(std::log10(mag)));
+  int decimals = digits - 1 - exponent;
+  if (decimals < 0) decimals = 0;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::string si_format(double value, const std::string& unit, int digits) {
+  if (value == 0.0) return "0 " + unit;
+  if (!std::isfinite(value))
+    return (std::signbit(value) ? std::string("-inf ") : std::string("inf ")) +
+           unit;
+  const double mag = std::abs(value);
+  const Prefix* chosen = &kPrefixes.back();
+  for (const Prefix& p : kPrefixes) {
+    if (mag >= p.scale) {
+      chosen = &p;
+      break;
+    }
+  }
+  const double scaled = value / chosen->scale;
+  return sig_format(scaled, digits) + " " + chosen->symbol + unit;
+}
+
+std::string percent_format(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.0f%%", fraction * 100.0);
+  return buf;
+}
+
+std::string intensity_label(double intensity) {
+  if (intensity > 0.0 && intensity < 1.0) {
+    const double inv = 1.0 / intensity;
+    const double rounded = std::round(inv);
+    if (std::abs(inv - rounded) < 1e-9) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "1/%.0f", rounded);
+      return buf;
+    }
+  }
+  if (intensity >= 1.0 &&
+      std::abs(intensity - std::round(intensity)) < 1e-9) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", intensity);
+    return buf;
+  }
+  return sig_format(intensity, 3);
+}
+
+}  // namespace archline::report

@@ -1,0 +1,28 @@
+#pragma once
+// SI-prefixed number formatting ("16 Gflop/J", "136 pJ/B", "288 GB/s").
+//
+// All archline quantities are stored in base SI units; these helpers apply
+// metric prefixes only at the output boundary, matching how the paper
+// renders Table I and the figure annotations.
+
+#include <string>
+
+namespace archline::report {
+
+/// Formats `value` with an SI prefix and `digits` significant digits,
+/// e.g. si_format(1.6e10, "flop/J") == "16 Gflop/J".
+/// Handles prefixes from atto (1e-18) to exa (1e18); zero renders as "0".
+[[nodiscard]] std::string si_format(double value, const std::string& unit,
+                                    int digits = 3);
+
+/// Formats a plain number to `digits` significant digits ("0.31", "4020").
+[[nodiscard]] std::string sig_format(double value, int digits = 3);
+
+/// Formats a ratio as a percentage with no decimals ("83%").
+[[nodiscard]] std::string percent_format(double fraction);
+
+/// Formats an intensity value the way the paper labels its x-axes:
+/// powers of two below one render as fractions ("1/8"), others as numbers.
+[[nodiscard]] std::string intensity_label(double intensity);
+
+}  // namespace archline::report

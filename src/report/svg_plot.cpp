@@ -1,0 +1,242 @@
+#include "report/svg_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "report/si.hpp"
+
+namespace archline::report {
+
+namespace {
+
+double transform(double v, AxisScale scale) {
+  return scale == AxisScale::Log2 ? std::log2(v) : v;
+}
+
+bool usable(double v, AxisScale scale) {
+  if (!std::isfinite(v)) return false;
+  return scale != AxisScale::Log2 || v > 0.0;
+}
+
+/// Tick positions in transformed coordinates: integer powers of two for
+/// log axes, ~5 round steps for linear axes.
+std::vector<double> ticks(double lo, double hi, AxisScale scale) {
+  std::vector<double> out;
+  if (scale == AxisScale::Log2) {
+    const int first = static_cast<int>(std::ceil(lo - 1e-9));
+    const int last = static_cast<int>(std::floor(hi + 1e-9));
+    const int span = std::max(1, last - first);
+    const int step = std::max(1, span / 6);
+    for (int t = first; t <= last; t += step)
+      out.push_back(static_cast<double>(t));
+  } else {
+    const double span = hi - lo;
+    const double raw_step = span / 5.0;
+    const double mag = std::pow(10.0, std::floor(std::log10(raw_step)));
+    double step = mag;
+    if (raw_step / mag >= 5.0) step = 5.0 * mag;
+    else if (raw_step / mag >= 2.0) step = 2.0 * mag;
+    for (double t = std::ceil(lo / step) * step; t <= hi + 1e-9 * span;
+         t += step)
+      out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string svg_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+SvgPlot::SvgPlot(std::string title, SvgStyle style)
+    : title_(std::move(title)), style_(std::move(style)) {
+  if (style_.width < 100 || style_.height < 80)
+    throw std::invalid_argument("SvgPlot: canvas too small");
+  if (style_.palette.empty())
+    throw std::invalid_argument("SvgPlot: empty palette");
+}
+
+void SvgPlot::add_line(Series series) {
+  if (series.x.size() != series.y.size())
+    throw std::invalid_argument("SvgPlot: x/y length mismatch");
+  entries_.push_back(Entry{.series = std::move(series), .scatter = false});
+}
+
+void SvgPlot::add_scatter(Series series) {
+  if (series.x.size() != series.y.size())
+    throw std::invalid_argument("SvgPlot: x/y length mismatch");
+  entries_.push_back(Entry{.series = std::move(series), .scatter = true});
+}
+
+std::string SvgPlot::render() const {
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -xmin;
+  double ymin = xmin;
+  double ymax = -xmin;
+  for (const Entry& e : entries_) {
+    for (std::size_t i = 0; i < e.series.x.size(); ++i) {
+      if (!usable(e.series.x[i], x_scale_) ||
+          !usable(e.series.y[i], y_scale_))
+        continue;
+      xmin = std::min(xmin, transform(e.series.x[i], x_scale_));
+      xmax = std::max(xmax, transform(e.series.x[i], x_scale_));
+      ymin = std::min(ymin, transform(e.series.y[i], y_scale_));
+      ymax = std::max(ymax, transform(e.series.y[i], y_scale_));
+    }
+  }
+  const bool empty = !(xmin <= xmax) || !(ymin <= ymax);
+  if (!empty) {
+    if (xmax == xmin) xmax = xmin + 1.0;
+    if (ymax == ymin) ymax = ymin + 1.0;
+    // 4% headroom on y.
+    const double pad = 0.04 * (ymax - ymin);
+    ymin -= pad;
+    ymax += pad;
+  }
+
+  const double plot_w =
+      style_.width - style_.margin_left - style_.margin_right;
+  const double plot_h =
+      style_.height - style_.margin_top - style_.margin_bottom;
+  const auto sx = [&](double v) {
+    return style_.margin_left +
+           (transform(v, x_scale_) - xmin) / (xmax - xmin) * plot_w;
+  };
+  const auto sy = [&](double v) {
+    return style_.margin_top +
+           (1.0 - (transform(v, y_scale_) - ymin) / (ymax - ymin)) * plot_h;
+  };
+
+  std::ostringstream out;
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+      << style_.width << "\" height=\"" << style_.height
+      << "\" font-family=\"sans-serif\" font-size=\"11\">\n";
+  out << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  out << "<text x=\"" << style_.width / 2 << "\" y=\"20\" "
+      << "text-anchor=\"middle\" font-size=\"14\">" << svg_escape(title_)
+      << "</text>\n";
+
+  if (empty) {
+    out << "<text x=\"" << style_.width / 2 << "\" y=\""
+        << style_.height / 2
+        << "\" text-anchor=\"middle\">no plottable data</text>\n</svg>\n";
+    return out.str();
+  }
+
+  // Frame.
+  out << "<rect x=\"" << style_.margin_left << "\" y=\""
+      << style_.margin_top << "\" width=\"" << plot_w << "\" height=\""
+      << plot_h << "\" fill=\"none\" stroke=\"black\"/>\n";
+
+  // X ticks.
+  for (const double t : ticks(xmin, xmax, x_scale_)) {
+    const double raw = x_scale_ == AxisScale::Log2 ? std::exp2(t) : t;
+    const double px = style_.margin_left + (t - xmin) / (xmax - xmin) * plot_w;
+    out << "<line x1=\"" << px << "\" y1=\"" << style_.margin_top
+        << "\" x2=\"" << px << "\" y2=\""
+        << style_.margin_top + plot_h
+        << "\" stroke=\"#dddddd\"/>\n";
+    out << "<text x=\"" << px << "\" y=\""
+        << style_.margin_top + plot_h + 16
+        << "\" text-anchor=\"middle\">"
+        << svg_escape(x_scale_ == AxisScale::Log2 ? intensity_label(raw)
+                                                  : sig_format(raw, 3))
+        << "</text>\n";
+  }
+  // Y ticks.
+  for (const double t : ticks(ymin, ymax, y_scale_)) {
+    const double raw = y_scale_ == AxisScale::Log2 ? std::exp2(t) : t;
+    const double py =
+        style_.margin_top + (1.0 - (t - ymin) / (ymax - ymin)) * plot_h;
+    out << "<line x1=\"" << style_.margin_left << "\" y1=\"" << py
+        << "\" x2=\"" << style_.margin_left + plot_w << "\" y2=\"" << py
+        << "\" stroke=\"#dddddd\"/>\n";
+    out << "<text x=\"" << style_.margin_left - 6 << "\" y=\"" << py + 4
+        << "\" text-anchor=\"end\">" << svg_escape(si_format(raw, "", 2))
+        << "</text>\n";
+  }
+  // Axis labels.
+  out << "<text x=\"" << style_.margin_left + plot_w / 2 << "\" y=\""
+      << style_.height - 12 << "\" text-anchor=\"middle\">"
+      << svg_escape(x_label_) << "</text>\n";
+  if (!y_label_.empty())
+    out << "<text x=\"14\" y=\"" << style_.margin_top + plot_h / 2
+        << "\" text-anchor=\"middle\" transform=\"rotate(-90 14 "
+        << style_.margin_top + plot_h / 2 << ")\">" << svg_escape(y_label_)
+        << "</text>\n";
+
+  // Series.
+  std::size_t color_index = 0;
+  for (const Entry& e : entries_) {
+    const std::string& color =
+        style_.palette[color_index++ % style_.palette.size()];
+    if (e.scatter) {
+      for (std::size_t i = 0; i < e.series.x.size(); ++i) {
+        if (!usable(e.series.x[i], x_scale_) ||
+            !usable(e.series.y[i], y_scale_))
+          continue;
+        out << "<circle cx=\"" << sx(e.series.x[i]) << "\" cy=\""
+            << sy(e.series.y[i]) << "\" r=\"3\" fill=\"" << color
+            << "\" fill-opacity=\"0.7\"/>\n";
+      }
+    } else {
+      out << "<polyline fill=\"none\" stroke=\"" << color
+          << "\" stroke-width=\"1.5\" points=\"";
+      for (std::size_t i = 0; i < e.series.x.size(); ++i) {
+        if (!usable(e.series.x[i], x_scale_) ||
+            !usable(e.series.y[i], y_scale_))
+          continue;
+        out << sx(e.series.x[i]) << ',' << sy(e.series.y[i]) << ' ';
+      }
+      out << "\"/>\n";
+    }
+  }
+
+  // Legend (top-right, one row per series).
+  double ly = style_.margin_top + 14;
+  color_index = 0;
+  for (const Entry& e : entries_) {
+    const std::string& color =
+        style_.palette[color_index++ % style_.palette.size()];
+    const double lx = style_.margin_left + plot_w - 150;
+    if (e.scatter)
+      out << "<circle cx=\"" << lx << "\" cy=\"" << ly - 4
+          << "\" r=\"3\" fill=\"" << color << "\"/>\n";
+    else
+      out << "<line x1=\"" << lx - 6 << "\" y1=\"" << ly - 4 << "\" x2=\""
+          << lx + 6 << "\" y2=\"" << ly - 4 << "\" stroke=\"" << color
+          << "\" stroke-width=\"2\"/>\n";
+    out << "<text x=\"" << lx + 10 << "\" y=\"" << ly << "\">"
+        << svg_escape(e.series.name) << "</text>\n";
+    ly += 15;
+  }
+
+  out << "</svg>\n";
+  return out.str();
+}
+
+void SvgPlot::write_file(const std::filesystem::path& path) const {
+  if (path.has_parent_path())
+    std::filesystem::create_directories(path.parent_path());
+  std::ofstream out(path);
+  if (!out)
+    throw std::runtime_error("SvgPlot: cannot open " + path.string());
+  out << render();
+}
+
+}  // namespace archline::report

@@ -1,0 +1,68 @@
+#pragma once
+// SVG figure rendering — real plot files for the regenerated figures.
+//
+// A deliberately small chart engine: multi-series line/scatter plots with
+// linear or log-2 axes, tick labels, a legend, and a title. Enough to
+// reproduce the paper's figure layouts as standalone .svg files next to
+// the benches' CSV output; not a general plotting library.
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "report/ascii_plot.hpp"  // AxisScale, Series
+
+namespace archline::report {
+
+struct SvgStyle {
+  int width = 640;
+  int height = 400;
+  int margin_left = 70;
+  int margin_right = 20;
+  int margin_top = 40;
+  int margin_bottom = 55;
+  /// Stroke colors cycled across series (CSS color strings).
+  std::vector<std::string> palette = {"#1f77b4", "#d62728", "#2ca02c",
+                                      "#ff7f0e", "#9467bd", "#8c564b"};
+};
+
+class SvgPlot {
+ public:
+  explicit SvgPlot(std::string title, SvgStyle style = {});
+
+  void set_x_scale(AxisScale scale) { x_scale_ = scale; }
+  void set_y_scale(AxisScale scale) { y_scale_ = scale; }
+  void set_x_label(std::string label) { x_label_ = std::move(label); }
+  void set_y_label(std::string label) { y_label_ = std::move(label); }
+
+  /// Adds a line series (points connected) or scatter (markers only).
+  /// Reuses report::Series; the glyph is ignored for lines and drawn as
+  /// circles for scatters. Non-finite / non-positive-on-log points are
+  /// skipped at render time.
+  void add_line(Series series);
+  void add_scatter(Series series);
+
+  /// Renders the complete SVG document.
+  [[nodiscard]] std::string render() const;
+
+  /// Writes to `path`, creating parent directories as needed.
+  void write_file(const std::filesystem::path& path) const;
+
+ private:
+  struct Entry {
+    Series series;
+    bool scatter = false;
+  };
+  std::string title_;
+  SvgStyle style_;
+  AxisScale x_scale_ = AxisScale::Log2;
+  AxisScale y_scale_ = AxisScale::Linear;
+  std::string x_label_ = "Intensity (flop:Byte)";
+  std::string y_label_;
+  std::vector<Entry> entries_;
+};
+
+/// Escapes &, <, > for SVG text nodes.
+[[nodiscard]] std::string svg_escape(const std::string& text);
+
+}  // namespace archline::report

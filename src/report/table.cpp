@@ -1,0 +1,101 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace archline::report {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty())
+    throw std::invalid_argument("Table: need at least one column");
+  aligns_.assign(headers_.size(), Align::Right);
+  aligns_.front() = Align::Left;
+}
+
+void Table::set_align(std::size_t column, Align align) {
+  if (column >= aligns_.size())
+    throw std::out_of_range("Table::set_align: column out of range");
+  aligns_[column] = align;
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() > headers_.size())
+    throw std::invalid_argument("Table::add_row: too many cells");
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::vector<std::size_t> Table::column_widths() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  return widths;
+}
+
+namespace {
+
+void append_cell(std::ostringstream& out, const std::string& cell,
+                 std::size_t width, Align align) {
+  const std::size_t pad = width - std::min(width, cell.size());
+  if (align == Align::Right) out << std::string(pad, ' ') << cell;
+  else out << cell << std::string(pad, ' ');
+}
+
+}  // namespace
+
+std::string Table::to_text() const {
+  const auto widths = column_widths();
+  std::ostringstream out;
+  const auto rule = [&] {
+    out << '+';
+    for (const std::size_t w : widths) out << std::string(w + 2, '-') << '+';
+    out << '\n';
+  };
+  const auto line = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      out << ' ';
+      append_cell(out, c < cells.size() ? cells[c] : std::string{}, widths[c],
+                  aligns_[c]);
+      out << " |";
+    }
+    out << '\n';
+  };
+  rule();
+  line(headers_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+  return out.str();
+}
+
+std::string Table::to_markdown() const {
+  const auto widths = column_widths();
+  std::ostringstream out;
+  const auto line = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      out << ' ';
+      append_cell(out, c < cells.size() ? cells[c] : std::string{}, widths[c],
+                  aligns_[c]);
+      out << " |";
+    }
+    out << '\n';
+  };
+  line(headers_);
+  out << '|';
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    const std::string dashes(std::max<std::size_t>(widths[c], 3), '-');
+    out << ' ' << (aligns_[c] == Align::Right ? dashes + ':' : dashes + ' ')
+        << '|';
+  }
+  out << '\n';
+  for (const auto& row : rows_) line(row);
+  return out.str();
+}
+
+}  // namespace archline::report

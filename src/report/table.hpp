@@ -1,0 +1,48 @@
+#pragma once
+// Aligned plain-text and markdown table rendering.
+//
+// Every bench binary prints its figure/table data through this renderer so
+// the regenerated artifacts are directly readable in a terminal.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace archline::report {
+
+enum class Align { Left, Right };
+
+/// A simple row/column table builder. Cells are strings; numeric
+/// formatting is done by the caller (see report/si.hpp).
+class Table {
+ public:
+  /// Creates a table with the given column headers (all right-aligned by
+  /// default except the first column, which is left-aligned).
+  explicit Table(std::vector<std::string> headers);
+
+  /// Overrides the alignment of one column.
+  void set_align(std::size_t column, Align align);
+
+  /// Appends a row; missing trailing cells render empty, extra cells throw.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with box-drawing separators suitable for terminals.
+  [[nodiscard]] std::string to_text() const;
+
+  /// Renders as a GitHub-flavored markdown table.
+  [[nodiscard]] std::string to_markdown() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const noexcept {
+    return headers_.size();
+  }
+
+ private:
+  [[nodiscard]] std::vector<std::size_t> column_widths() const;
+
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace archline::report

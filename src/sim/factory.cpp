@@ -1,0 +1,107 @@
+#include "sim/factory.hpp"
+
+namespace archline::sim {
+
+namespace {
+
+LevelCosts level_from(const platforms::EnergyPoint& pt, double capacity) {
+  return LevelCosts{.tau_byte = 1.0 / pt.throughput,
+                    .eps_byte = pt.energy_per_op,
+                    .capacity_bytes = capacity};
+}
+
+std::vector<powermon::RailSplit> rails_for(platforms::DeviceClass c) {
+  switch (c) {
+    case platforms::DeviceClass::ServerCpu:
+      return powermon::cpu_rails();
+    case platforms::DeviceClass::DesktopGpu:
+    case platforms::DeviceClass::Manycore:
+      return powermon::discrete_gpu_rails();
+    case platforms::DeviceClass::MobileCpu:
+    case platforms::DeviceClass::MobileGpu:
+      return powermon::mobile_board_rails();
+  }
+  return powermon::mobile_board_rails();
+}
+
+}  // namespace
+
+double default_l1_capacity(platforms::DeviceClass c) noexcept {
+  switch (c) {
+    case platforms::DeviceClass::ServerCpu: return 32.0 * 1024;
+    case platforms::DeviceClass::MobileCpu: return 32.0 * 1024;
+    case platforms::DeviceClass::DesktopGpu: return 48.0 * 1024;  // shared mem
+    case platforms::DeviceClass::MobileGpu: return 32.0 * 1024;   // scratchpad
+    case platforms::DeviceClass::Manycore: return 32.0 * 1024;
+  }
+  return 32.0 * 1024;
+}
+
+double default_l2_capacity(platforms::DeviceClass c) noexcept {
+  switch (c) {
+    case platforms::DeviceClass::ServerCpu: return 256.0 * 1024;
+    case platforms::DeviceClass::MobileCpu: return 512.0 * 1024;
+    case platforms::DeviceClass::DesktopGpu: return 1536.0 * 1024;
+    case platforms::DeviceClass::MobileGpu: return 256.0 * 1024;
+    case platforms::DeviceClass::Manycore: return 512.0 * 1024;
+  }
+  return 256.0 * 1024;
+}
+
+NonidealityProfile default_nonidealities(const platforms::PlatformSpec& spec) {
+  NonidealityProfile p;
+  p.noise.time_rel_sd = 0.008;
+  p.noise.power_rel_sd = 0.008;
+  if (spec.name == "NUC GPU") {
+    // §V-C fn. 5: Windows-only OpenCL driver, no user-level power
+    // management -> OS interference dominates measurement variability.
+    p.noise.os_burst_rate_hz = 60.0;
+    p.noise.os_burst_watts = 2.5;
+    p.noise.os_burst_duration_s = 4e-3;
+    p.noise.time_rel_sd = 0.02;
+    p.noise.power_rel_sd = 0.02;
+  }
+  if (spec.name == "Arndale GPU") {
+    // §V-C: mid-intensity capping mismatch suggests active
+    // efficiency scaling with utilization even at fixed clocks.
+    p.noise.cap_droop_eta = 0.12;
+  }
+  if (spec.device_class == platforms::DeviceClass::MobileCpu ||
+      spec.device_class == platforms::DeviceClass::MobileGpu) {
+    p.ramp_time_s = 2e-3;  // slower VRM/governor response on dev boards
+  }
+  return p;
+}
+
+SimMachine make_machine(const platforms::PlatformSpec& spec) {
+  return make_machine(spec, default_nonidealities(spec));
+}
+
+SimMachine make_machine(const platforms::PlatformSpec& spec,
+                        const NonidealityProfile& profile) {
+  SimConfig cfg;
+  cfg.name = spec.name;
+  cfg.sp = FlopCosts{.tau = 1.0 / spec.flop_sp.throughput,
+                     .eps = spec.flop_sp.energy_per_op};
+  if (spec.flop_dp)
+    cfg.dp = FlopCosts{.tau = 1.0 / spec.flop_dp->throughput,
+                       .eps = spec.flop_dp->energy_per_op};
+  cfg.dram = level_from(spec.mem_stream, 0.0);
+  if (spec.mem_l1)
+    cfg.l1 = level_from(*spec.mem_l1,
+                        default_l1_capacity(spec.device_class));
+  if (spec.mem_l2)
+    cfg.l2 = level_from(*spec.mem_l2,
+                        default_l2_capacity(spec.device_class));
+  if (spec.mem_rand)
+    cfg.random = RandomCosts{.tau_access = 1.0 / spec.mem_rand->throughput,
+                             .eps_access = spec.mem_rand->energy_per_op};
+  cfg.pi1 = spec.pi1;
+  cfg.delta_pi = spec.delta_pi;
+  cfg.noise = profile.noise;
+  cfg.ramp_time_s = profile.ramp_time_s;
+  cfg.rails = rails_for(spec.device_class);
+  return SimMachine(std::move(cfg));
+}
+
+}  // namespace archline::sim

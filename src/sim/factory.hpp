@@ -1,0 +1,35 @@
+#pragma once
+// Ground-truth simulated machines for the paper's twelve platforms.
+//
+// The factory turns a platforms::PlatformSpec (Table I constants) into a
+// SimMachine whose physics reproduces that platform, including the
+// per-platform nonidealities §V-C reports: OS-interference noise on the
+// NUC GPU and cap-region efficiency droop on the Arndale GPU.
+
+#include "platforms/spec.hpp"
+#include "sim/machine.hpp"
+
+namespace archline::sim {
+
+/// Nonideality profile applied on top of the Table I constants.
+struct NonidealityProfile {
+  NoiseModel noise;
+  double ramp_time_s = 1e-3;
+};
+
+/// Default nonideality profile for a platform (by name/class).
+[[nodiscard]] NonidealityProfile default_nonidealities(
+    const platforms::PlatformSpec& spec);
+
+/// Builds the ground-truth machine for a Table I platform.
+[[nodiscard]] SimMachine make_machine(const platforms::PlatformSpec& spec);
+
+/// Same with an explicit nonideality profile (e.g. noise-free for tests).
+[[nodiscard]] SimMachine make_machine(const platforms::PlatformSpec& spec,
+                                      const NonidealityProfile& profile);
+
+/// Plausible cache capacities for working-set sizing, by device class.
+[[nodiscard]] double default_l1_capacity(platforms::DeviceClass c) noexcept;
+[[nodiscard]] double default_l2_capacity(platforms::DeviceClass c) noexcept;
+
+}  // namespace archline::sim

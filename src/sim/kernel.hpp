@@ -1,0 +1,49 @@
+#pragma once
+// KernelDesc: the abstract workload a simulated machine executes.
+//
+// This is the simulator-side counterpart of the paper's microbenchmarks:
+// a kernel performs `flops` floating-point operations and moves `bytes`
+// between the processor and a given memory level, either streaming
+// (intensity benchmark, §IV-e) or via dependent random accesses (pointer
+// chasing, §IV-f).
+
+#include <string>
+
+#include "core/machine_params.hpp"
+#include "core/memory.hpp"
+
+namespace archline::sim {
+
+struct KernelDesc {
+  std::string label;  ///< free-form, e.g. "intensity I=4 SP DRAM"
+
+  double flops = 0.0;  ///< W: total floating-point operations
+  double bytes = 0.0;  ///< Q: total bytes moved from `level`
+  double accesses = 0.0;  ///< random pattern: dependent loads (0 otherwise)
+
+  core::MemLevel level = core::MemLevel::DRAM;
+  core::AccessPattern pattern = core::AccessPattern::Streaming;
+  core::Precision precision = core::Precision::Single;
+
+  double working_set_bytes = 0.0;  ///< resident footprint (sizing checks)
+
+  /// Fraction of the byte traffic that is writes (0 = read-only stream,
+  /// 1/3 = triad-like). Only affects energy when the machine's level
+  /// costs differentiate writes (LevelCosts::write_energy_factor != 1).
+  double write_fraction = 0.0;
+
+  /// Operational intensity W/Q; infinity when Q == 0.
+  [[nodiscard]] double intensity() const noexcept {
+    return bytes > 0.0 ? flops / bytes
+                       : std::numeric_limits<double>::infinity();
+  }
+
+  [[nodiscard]] core::Workload workload() const noexcept {
+    return core::Workload{.flops = flops, .bytes = bytes};
+  }
+
+  /// Basic sanity: non-negative work, random kernels carry accesses.
+  void validate() const;
+};
+
+}  // namespace archline::sim

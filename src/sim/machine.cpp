@@ -1,0 +1,276 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace archline::sim {
+
+namespace {
+
+/// A transient OS-interference power burst (triangular in time).
+struct Burst {
+  double t = 0.0;        ///< center time
+  double watts = 0.0;    ///< peak extra power
+  double duration = 0.0; ///< full base width
+};
+
+/// Sums a piecewise-linear base trace with triangular bursts into a new
+/// piecewise-linear trace (breakpoints = union of both sets).
+powermon::PowerTrace compose(const powermon::PowerTrace& base,
+                             const std::vector<Burst>& bursts, double t_end) {
+  std::vector<double> knots;
+  for (const powermon::TracePoint& p : base.points()) knots.push_back(p.t);
+  for (const Burst& b : bursts) {
+    knots.push_back(b.t - 0.5 * b.duration);
+    knots.push_back(b.t);
+    knots.push_back(b.t + 0.5 * b.duration);
+  }
+  std::sort(knots.begin(), knots.end());
+  knots.erase(std::unique(knots.begin(), knots.end()), knots.end());
+
+  const auto burst_value = [&bursts](double t) {
+    double acc = 0.0;
+    for (const Burst& b : bursts) {
+      const double half = 0.5 * b.duration;
+      const double dist = std::abs(t - b.t);
+      if (dist < half && half > 0.0)
+        acc += b.watts * (1.0 - dist / half);
+    }
+    return acc;
+  };
+
+  powermon::PowerTrace out;
+  for (const double t : knots) {
+    if (t < 0.0 || t > t_end) continue;
+    out.add_point(t, base.value(t) + burst_value(t));
+  }
+  return out;
+}
+
+}  // namespace
+
+void SimConfig::validate() const {
+  const auto fail = [this](const std::string& what) {
+    throw std::invalid_argument("SimConfig(" + name + "): " + what);
+  };
+  if (name.empty()) fail("empty name");
+  if (!(sp.tau > 0.0) || !(sp.eps > 0.0)) fail("bad SP flop costs");
+  if (dp && (!(dp->tau > 0.0) || !(dp->eps > 0.0))) fail("bad DP flop costs");
+  if (!(dram.tau_byte > 0.0) || !(dram.eps_byte > 0.0))
+    fail("bad DRAM costs");
+  for (const LevelCosts* lc : {&dram, l1 ? &*l1 : nullptr,
+                               l2 ? &*l2 : nullptr})
+    if (lc && !(lc->write_energy_factor > 0.0))
+      fail("non-positive write energy factor");
+  if (l1 && (!(l1->tau_byte > 0.0) || !(l1->eps_byte > 0.0)))
+    fail("bad L1 costs");
+  if (l2 && (!(l2->tau_byte > 0.0) || !(l2->eps_byte > 0.0)))
+    fail("bad L2 costs");
+  if (random && (!(random->tau_access > 0.0) || !(random->eps_access > 0.0)))
+    fail("bad random-access costs");
+  if (!(pi1 >= 0.0)) fail("negative pi1");
+  if (!(delta_pi > 0.0)) fail("non-positive delta_pi");
+  if (rails.empty()) fail("no measurement rails");
+  if (!(ramp_time_s >= 0.0)) fail("negative ramp time");
+}
+
+void KernelDesc::validate() const {
+  if (flops < 0.0 || bytes < 0.0 || accesses < 0.0)
+    throw std::invalid_argument("KernelDesc(" + label + "): negative work");
+  if (pattern == core::AccessPattern::Random && accesses <= 0.0)
+    throw std::invalid_argument("KernelDesc(" + label +
+                                "): random kernel needs accesses");
+  if (write_fraction < 0.0 || write_fraction > 1.0)
+    throw std::invalid_argument("KernelDesc(" + label +
+                                "): write_fraction outside [0, 1]");
+  if (flops == 0.0 && bytes == 0.0 && accesses == 0.0)
+    throw std::invalid_argument("KernelDesc(" + label + "): empty kernel");
+}
+
+SimMachine::SimMachine(SimConfig cfg) : cfg_(std::move(cfg)) {
+  cfg_.validate();
+}
+
+const LevelCosts& SimMachine::level_costs(core::MemLevel level) const {
+  switch (level) {
+    case core::MemLevel::L1:
+      if (cfg_.l1) return *cfg_.l1;
+      break;
+    case core::MemLevel::L2:
+      if (cfg_.l2) return *cfg_.l2;
+      break;
+    case core::MemLevel::DRAM:
+      return cfg_.dram;
+  }
+  throw std::invalid_argument(cfg_.name + ": level " +
+                              std::string(core::to_string(level)) +
+                              " not present");
+}
+
+bool SimMachine::supports(const KernelDesc& kernel) const noexcept {
+  if (kernel.precision == core::Precision::Double && !cfg_.dp &&
+      kernel.flops > 0.0)
+    return false;
+  if (kernel.pattern == core::AccessPattern::Random && !cfg_.random)
+    return false;
+  switch (kernel.level) {
+    case core::MemLevel::L1:
+      if (!cfg_.l1) return false;
+      break;
+    case core::MemLevel::L2:
+      if (!cfg_.l2) return false;
+      break;
+    case core::MemLevel::DRAM:
+      break;
+  }
+  return true;
+}
+
+core::MemLevel SimMachine::effective_level(core::MemLevel requested,
+                                           double working_set_bytes) const {
+  // Spill applies only on capacity overflow of an EXISTING level;
+  // targeting an absent level stays an error (supports()/demand() throw).
+  const auto overflows = [&](const std::optional<LevelCosts>& lc) {
+    return lc && lc->capacity_bytes > 0.0 &&
+           working_set_bytes > lc->capacity_bytes;
+  };
+  core::MemLevel level = requested;
+  if (level == core::MemLevel::L1 && overflows(cfg_.l1))
+    level = cfg_.l2 ? core::MemLevel::L2 : core::MemLevel::DRAM;
+  if (level == core::MemLevel::L2 && overflows(cfg_.l2))
+    level = core::MemLevel::DRAM;
+  return level;
+}
+
+SimMachine::Demand SimMachine::demand(const KernelDesc& kernel) const {
+  kernel.validate();
+  if (!supports(kernel))
+    throw std::invalid_argument(cfg_.name + ": unsupported kernel '" +
+                                kernel.label + "'");
+  const FlopCosts& fc =
+      kernel.precision == core::Precision::Single ? cfg_.sp : *cfg_.dp;
+
+  Demand d;
+  d.t_flop = kernel.flops * fc.tau;
+  if (kernel.pattern == core::AccessPattern::Random) {
+    d.t_mem = kernel.accesses * cfg_.random->tau_access;
+    d.active_energy = kernel.flops * fc.eps +
+                      kernel.accesses * cfg_.random->eps_access;
+  } else {
+    // A working set that outgrows the targeted cache spills outward.
+    const core::MemLevel level =
+        effective_level(kernel.level, kernel.working_set_bytes);
+    const LevelCosts& lc = level_costs(level);
+    d.t_mem = kernel.bytes * lc.tau_byte;
+    // Written bytes may cost more energy than read bytes.
+    const double per_byte =
+        lc.eps_byte *
+        (1.0 + (lc.write_energy_factor - 1.0) * kernel.write_fraction);
+    d.active_energy = kernel.flops * fc.eps + kernel.bytes * per_byte;
+  }
+  return d;
+}
+
+SimMachine::Governed SimMachine::governed(const KernelDesc& kernel) const {
+  const Demand d = demand(kernel);
+  GovernorDecision dec =
+      govern(d.t_flop, d.t_mem, d.active_energy, cfg_.delta_pi);
+
+  double active_energy = d.active_energy;
+  // Cap-region efficiency droop: throttled hardware does not keep per-op
+  // energy constant (§V-C, Arndale GPU). Inflating the active energy while
+  // staying power-limited lengthens the run proportionally.
+  if (dec.regime == core::Regime::PowerCap && cfg_.noise.cap_droop_eta > 0.0) {
+    const double inflate =
+        1.0 + cfg_.noise.cap_droop_eta * (1.0 - dec.utilization);
+    active_energy *= inflate;
+    dec.time = active_energy / cfg_.delta_pi;
+    dec.utilization = std::max(d.t_flop, d.t_mem) / dec.time;
+  }
+  return Governed{.time = dec.time, .active_energy = active_energy,
+                  .decision = dec};
+}
+
+double SimMachine::ideal_time(const KernelDesc& kernel) const {
+  return governed(kernel).time;
+}
+
+double SimMachine::ideal_energy(const KernelDesc& kernel) const {
+  const Governed g = governed(kernel);
+  return g.active_energy + cfg_.pi1 * g.time;
+}
+
+powermon::Capture SimMachine::idle_capture(double duration,
+                                           stats::Rng& rng) const {
+  if (!(duration > 0.0))
+    throw std::invalid_argument(cfg_.name + ": idle duration must be > 0");
+  const double level =
+      cfg_.pi1 * NoiseModel::factor(rng, cfg_.noise.power_rel_sd);
+  powermon::PowerTrace base;
+  base.add_constant(duration, level);
+
+  std::vector<Burst> bursts;
+  if (cfg_.noise.os_burst_rate_hz > 0.0) {
+    double t = rng.exponential(cfg_.noise.os_burst_rate_hz);
+    while (t < duration && bursts.size() < 10000) {
+      bursts.push_back(Burst{
+          .t = t,
+          .watts = cfg_.noise.os_burst_watts * NoiseModel::factor(rng, 0.5),
+          .duration = cfg_.noise.os_burst_duration_s *
+                      NoiseModel::factor(rng, 0.5)});
+      t += rng.exponential(cfg_.noise.os_burst_rate_hz);
+    }
+  }
+  const powermon::PowerTrace device =
+      bursts.empty() ? base : compose(base, bursts, duration);
+  return powermon::split_across_rails(device, cfg_.rails, 0.0, duration);
+}
+
+RunResult SimMachine::run(const KernelDesc& kernel, stats::Rng& rng) const {
+  const Governed g = governed(kernel);
+
+  // Run-to-run variation: wall time and steady active power each get a
+  // multiplicative lognormal factor.
+  const double time =
+      g.time * NoiseModel::factor(rng, cfg_.noise.time_rel_sd);
+  const double active_power = (g.active_energy / time) *
+                              NoiseModel::factor(rng, cfg_.noise.power_rel_sd);
+
+  // Base trace: pi1 floor, ramp up to steady power, hold to the end.
+  const double ramp = std::min(cfg_.ramp_time_s, 0.1 * time);
+  powermon::PowerTrace base;
+  base.add_point(0.0, cfg_.pi1);
+  base.add_point(ramp, cfg_.pi1 + active_power);
+  base.add_point(time, cfg_.pi1 + active_power);
+
+  // OS interference bursts (Poisson arrivals, lognormal amplitude).
+  std::vector<Burst> bursts;
+  if (cfg_.noise.os_burst_rate_hz > 0.0) {
+    double t = rng.exponential(cfg_.noise.os_burst_rate_hz);
+    while (t < time && bursts.size() < 10000) {
+      Burst b;
+      b.t = t;
+      b.watts = cfg_.noise.os_burst_watts *
+                NoiseModel::factor(rng, 0.5);
+      b.duration = cfg_.noise.os_burst_duration_s *
+                   NoiseModel::factor(rng, 0.5);
+      bursts.push_back(b);
+      t += rng.exponential(cfg_.noise.os_burst_rate_hz);
+    }
+  }
+
+  const powermon::PowerTrace device =
+      bursts.empty() ? base : compose(base, bursts, time);
+
+  RunResult r;
+  r.kernel = kernel;
+  r.true_time = time;
+  r.regime = g.decision.regime;
+  r.utilization = g.decision.utilization;
+  r.capture = powermon::split_across_rails(device, cfg_.rails, 0.0, time);
+  r.true_energy = r.capture.true_energy();
+  return r;
+}
+
+}  // namespace archline::sim

@@ -1,0 +1,141 @@
+#pragma once
+// SimMachine: a parameterized stand-in for one physical platform.
+//
+// A SimMachine executes a KernelDesc and produces (a) the true wall time
+// and (b) a continuous multi-rail power trace, which the powermon stack
+// then samples and integrates — exactly the signal path of the paper's
+// physical setup (Fig. 3). Ground truth follows the physics the paper's
+// model idealizes (rate limits, power cap, constant power) plus the
+// second-order effects it reports (ramp transients, noise, OS bursts,
+// cap-region efficiency droop).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/machine_params.hpp"
+#include "core/memory.hpp"
+#include "powermon/trace.hpp"
+#include "sim/kernel.hpp"
+#include "sim/noise.hpp"
+#include "sim/power_governor.hpp"
+#include "stats/rng.hpp"
+
+namespace archline::sim {
+
+/// Per-flop costs for one precision.
+struct FlopCosts {
+  double tau = 0.0;  ///< s/flop at sustained peak
+  double eps = 0.0;  ///< J/flop
+};
+
+/// Per-byte costs and capacity for one memory level.
+struct LevelCosts {
+  double tau_byte = 0.0;       ///< s/B at sustained bandwidth
+  double eps_byte = 0.0;       ///< J/B for a READ byte
+  double capacity_bytes = 0.0; ///< 0 = unbounded (DRAM)
+
+  /// Energy of a written byte relative to a read byte. The paper's model
+  /// "does not differentiate reads and writes" and treats eps_mem as
+  /// their average (§V-B); the simulator CAN differentiate (writes cost
+  /// ~1.2-2x on real DRAM), which lets the rw-split ablation measure the
+  /// bias that averaging introduces.
+  double write_energy_factor = 1.0;
+};
+
+/// Per-access costs for the random (pointer-chase) path.
+struct RandomCosts {
+  double tau_access = 0.0;  ///< s/access at sustained rate
+  double eps_access = 0.0;  ///< J/access
+};
+
+struct SimConfig {
+  std::string name;
+
+  FlopCosts sp;
+  std::optional<FlopCosts> dp;
+
+  LevelCosts dram;
+  std::optional<LevelCosts> l1;
+  std::optional<LevelCosts> l2;
+  std::optional<RandomCosts> random;
+
+  double pi1 = 0.0;       ///< constant power [W]
+  double delta_pi = core::kUncapped;  ///< usable power cap [W]
+
+  NoiseModel noise;
+  std::vector<powermon::RailSplit> rails;
+  double ramp_time_s = 1e-3;  ///< power ramp at kernel start
+
+  void validate() const;
+};
+
+/// The outcome of one simulated kernel execution.
+struct RunResult {
+  KernelDesc kernel;
+  double true_time = 0.0;              ///< noisy wall time [s]
+  double true_energy = 0.0;            ///< exact integral of the trace [J]
+  core::Regime regime = core::Regime::Compute;
+  double utilization = 1.0;            ///< governor utilization
+  powermon::Capture capture;           ///< multi-rail ground-truth trace
+};
+
+class SimMachine {
+ public:
+  explicit SimMachine(SimConfig cfg);
+
+  [[nodiscard]] const SimConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const std::string& name() const noexcept { return cfg_.name; }
+
+  /// Executes a kernel, producing time + power trace with all nonideality
+  /// and noise applied. Deterministic given the rng state.
+  [[nodiscard]] RunResult run(const KernelDesc& kernel,
+                              stats::Rng& rng) const;
+
+  /// Captures the machine at rest for `duration` seconds: a constant
+  /// pi1-level trace (plus noise and any OS interference). This is the
+  /// paper's idle-power measurement (Table I column 6 parentheticals).
+  [[nodiscard]] powermon::Capture idle_capture(double duration,
+                                               stats::Rng& rng) const;
+
+  /// Noise-free execution time (physics only: rate limits + governor +
+  /// droop). Used by tests to compare against core::roofline.
+  [[nodiscard]] double ideal_time(const KernelDesc& kernel) const;
+
+  /// Noise-free total energy over the run (active + pi1 * time; droop
+  /// applied, ramp ignored).
+  [[nodiscard]] double ideal_energy(const KernelDesc& kernel) const;
+
+  /// Byte costs used for a kernel's level; throws if the level is absent.
+  [[nodiscard]] const LevelCosts& level_costs(core::MemLevel level) const;
+
+  /// The level a working set of the given size actually lands in when the
+  /// kernel targets `requested`: a footprint larger than the requested
+  /// cache level's capacity spills outward (L1 -> L2 -> DRAM), exactly
+  /// what mis-sized cache microbenchmarks suffer on real hardware.
+  [[nodiscard]] core::MemLevel effective_level(
+      core::MemLevel requested, double working_set_bytes) const;
+
+  /// True if this machine supports the kernel (precision, level, pattern).
+  [[nodiscard]] bool supports(const KernelDesc& kernel) const noexcept;
+
+ private:
+  struct Demand {
+    double t_flop = 0.0;
+    double t_mem = 0.0;
+    double active_energy = 0.0;
+  };
+  /// Full-rate times and active energy for the kernel (pre-governor).
+  [[nodiscard]] Demand demand(const KernelDesc& kernel) const;
+  /// Governor + droop applied; returns {time, active_energy, decision}.
+  struct Governed {
+    double time = 0.0;
+    double active_energy = 0.0;
+    GovernorDecision decision;
+  };
+  [[nodiscard]] Governed governed(const KernelDesc& kernel) const;
+
+  SimConfig cfg_;
+};
+
+}  // namespace archline::sim

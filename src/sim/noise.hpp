@@ -1,0 +1,39 @@
+#pragma once
+// Nonideality and noise models for simulated machines.
+//
+// Three effects, each tied to a phenomenon the paper reports:
+//  * multiplicative Gaussian measurement noise on run time and power
+//    (ordinary run-to-run variation on all platforms);
+//  * OS interference: random lognormal power bursts (the NUC GPU, whose
+//    Windows-only OpenCL driver left no user-level power management —
+//    §V-C footnote 5);
+//  * cap-region efficiency droop: when the power governor throttles, real
+//    hardware shows utilization-dependent per-op energy instead of the
+//    model's constants (the Arndale GPU's mid-intensity mismatch, §V-C).
+
+#include "stats/rng.hpp"
+
+namespace archline::sim {
+
+struct NoiseModel {
+  double time_rel_sd = 0.01;   ///< relative sd of run-time noise
+  double power_rel_sd = 0.01;  ///< relative sd of steady-power noise
+
+  /// OS interference bursts per second (0 disables).
+  double os_burst_rate_hz = 0.0;
+  double os_burst_watts = 0.0;       ///< mean burst amplitude
+  double os_burst_duration_s = 2e-3; ///< mean burst length
+
+  /// Cap-region efficiency droop strength eta in [0, 1): when throttled to
+  /// utilization u < 1, per-op energy inflates by (1 + eta * (1 - u)).
+  double cap_droop_eta = 0.0;
+
+  /// Draws a multiplicative noise factor exp(N(0, sd)) (lognormal keeps
+  /// times/powers positive and is symmetric in log space).
+  [[nodiscard]] static double factor(stats::Rng& rng, double sd) {
+    if (sd <= 0.0) return 1.0;
+    return rng.lognormal(0.0, sd);
+  }
+};
+
+}  // namespace archline::sim

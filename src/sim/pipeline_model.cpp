@@ -1,0 +1,97 @@
+#include "sim/pipeline_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace archline::sim {
+
+namespace {
+
+void check_config(const TuningTraits& traits, const TuneConfig& c) {
+  if (c.unroll < 1 || c.unroll > traits.max_unroll)
+    throw std::invalid_argument("TuneConfig: unroll out of range");
+  if (c.vector_width < 1 || c.vector_width > traits.max_vector)
+    throw std::invalid_argument("TuneConfig: vector width out of range");
+}
+
+/// Raw (unnormalized) flop-side throughput factor of a config.
+double raw_flop(const TuningTraits& t, const TuneConfig& c) {
+  const double u = static_cast<double>(c.unroll);
+  double f = u / (u + t.loop_overhead);
+  if (t.fma_required && !c.fma) f *= 0.5;
+  f *= static_cast<double>(c.vector_width) / t.max_vector;
+  if (!c.asm_tuned) f *= 1.0 - t.asm_gain;
+  return f;
+}
+
+/// Raw memory-side throughput factor.
+double raw_mem(const TuningTraits& t, const TuneConfig& c) {
+  const double u = static_cast<double>(c.unroll);
+  double f = u / (u + 0.5 * t.loop_overhead);
+  // Wide vector loads matter for bandwidth too, though less sharply.
+  f *= 0.5 + 0.5 * static_cast<double>(c.vector_width) / t.max_vector;
+  if (!c.prefetch) f *= 1.0 - t.prefetch_gain;
+  if (!c.asm_tuned) f *= 1.0 - 0.5 * t.asm_gain;
+  return f;
+}
+
+}  // namespace
+
+TuneConfig best_config(const TuningTraits& traits) noexcept {
+  return TuneConfig{.unroll = traits.max_unroll, .fma = true,
+                    .vector_width = traits.max_vector, .prefetch = true,
+                    .asm_tuned = true};
+}
+
+double flop_efficiency(const TuningTraits& traits, const TuneConfig& config) {
+  check_config(traits, config);
+  const double best = raw_flop(traits, best_config(traits));
+  return traits.best_flop_fraction * raw_flop(traits, config) / best;
+}
+
+double mem_efficiency(const TuningTraits& traits, const TuneConfig& config) {
+  check_config(traits, config);
+  const double best = raw_mem(traits, best_config(traits));
+  return traits.best_mem_fraction * raw_mem(traits, config) / best;
+}
+
+TuningTraits traits_for(const platforms::PlatformSpec& spec,
+                        core::Precision precision) {
+  TuningTraits t;
+  t.best_flop_fraction = spec.sustained_flop_fraction(precision);
+  t.best_mem_fraction = spec.sustained_bandwidth_fraction();
+  switch (spec.device_class) {
+    case platforms::DeviceClass::ServerCpu:
+      t.max_vector = precision == core::Precision::Single ? 8 : 4;
+      t.loop_overhead = 2.0;
+      t.asm_gain = 0.08;
+      break;
+    case platforms::DeviceClass::MobileCpu:
+      t.max_vector = precision == core::Precision::Single ? 4 : 2;
+      t.loop_overhead = 3.0;  // shallower pipelines, pricier branches
+      t.asm_gain = 0.15;
+      break;
+    case platforms::DeviceClass::DesktopGpu:
+      t.max_vector = 32;  // warp-level SIMT
+      t.loop_overhead = 1.0;
+      t.asm_gain = 0.12;  // SASS-level scheduling
+      t.prefetch_gain = 0.15;
+      break;
+    case platforms::DeviceClass::MobileGpu:
+      t.max_vector = 16;
+      t.loop_overhead = 1.5;
+      t.asm_gain = 0.20;  // immature OpenCL compilers
+      t.prefetch_gain = 0.20;
+      break;
+    case platforms::DeviceClass::Manycore:
+      t.max_vector = precision == core::Precision::Single ? 16 : 8;
+      t.loop_overhead = 4.0;  // in-order cores need deep unrolling
+      t.asm_gain = 0.10;
+      t.prefetch_gain = 0.35;
+      break;
+  }
+  return t;
+}
+
+}  // namespace archline::sim

@@ -1,0 +1,61 @@
+#pragma once
+// Instruction-pipeline efficiency model: what fraction of vendor peak a
+// microbenchmark configuration achieves.
+//
+// The paper's microbenchmarks were hand-tuned per platform — "unrolling...
+// use of fused-multiply adds where available; tuning the instruction
+// selection and instruction mix... prefetching; and resorting to assembly
+// where needed" (§IV-e). We reproduce that tuning story with an explicit
+// model: a TuneConfig describes a candidate kernel implementation, and
+// flop_/mem_efficiency map it to the achieved fraction of peak. The best
+// configuration over the search space achieves exactly the platform's
+// sustained fraction from Table I, so microbench::tune has a real optimum
+// to discover.
+
+#include "platforms/spec.hpp"
+
+namespace archline::sim {
+
+/// A candidate microbenchmark implementation.
+struct TuneConfig {
+  int unroll = 1;           ///< loop unroll factor (1..32, power of two)
+  bool fma = false;         ///< use fused multiply-add
+  int vector_width = 1;     ///< SIMD lanes used (1..max)
+  bool prefetch = false;    ///< software prefetch / directed prefetcher
+  bool asm_tuned = false;   ///< hand-scheduled assembly inner loop
+
+  [[nodiscard]] bool operator==(const TuneConfig&) const = default;
+};
+
+/// Per-platform tuning landscape.
+struct TuningTraits {
+  double best_flop_fraction = 1.0;  ///< sustained/peak flops at optimum
+  double best_mem_fraction = 1.0;   ///< sustained/peak bandwidth at optimum
+  bool fma_required = true;         ///< non-FMA halves flop rate
+  int max_vector = 8;               ///< SIMD lanes at this precision
+  double loop_overhead = 2.0;       ///< per-iteration overhead "a":
+                                    ///<   unroll gain = u / (u + a)
+  double asm_gain = 0.10;           ///< fraction lost without asm tuning
+  double prefetch_gain = 0.25;      ///< bandwidth lost without prefetch
+  int max_unroll = 32;
+};
+
+/// Fraction of vendor peak flop/s achieved by `config` (in (0, best]).
+[[nodiscard]] double flop_efficiency(const TuningTraits& traits,
+                                     const TuneConfig& config);
+
+/// Fraction of vendor peak bandwidth achieved by `config`.
+[[nodiscard]] double mem_efficiency(const TuningTraits& traits,
+                                    const TuneConfig& config);
+
+/// The configuration that attains the traits' best fractions.
+[[nodiscard]] TuneConfig best_config(const TuningTraits& traits) noexcept;
+
+/// Derives a tuning landscape for a Table I platform: the optimum matches
+/// the platform's published sustained fractions; the landscape shape is
+/// set by device class (GPUs punish scalar code harder, ARM cores have
+/// higher loop overhead, etc.).
+[[nodiscard]] TuningTraits traits_for(const platforms::PlatformSpec& spec,
+                                      core::Precision precision);
+
+}  // namespace archline::sim

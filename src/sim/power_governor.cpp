@@ -1,0 +1,26 @@
+#include "sim/power_governor.hpp"
+
+#include <algorithm>
+
+namespace archline::sim {
+
+GovernorDecision govern(double t_flop, double t_mem, double active_energy,
+                        double delta_pi) noexcept {
+  const double free_time = std::max(t_flop, t_mem);
+  const double cap_time =
+      delta_pi == core::kUncapped ? 0.0 : active_energy / delta_pi;
+
+  GovernorDecision d;
+  if (cap_time > free_time) {
+    d.time = cap_time;
+    d.utilization = free_time > 0.0 ? free_time / cap_time : 1.0;
+    d.regime = core::Regime::PowerCap;
+  } else {
+    d.time = free_time;
+    d.utilization = 1.0;
+    d.regime = t_mem >= t_flop ? core::Regime::Memory : core::Regime::Compute;
+  }
+  return d;
+}
+
+}  // namespace archline::sim

@@ -1,0 +1,28 @@
+#pragma once
+// The power-cap governor: the simulator's enforcement of delta_pi.
+//
+// Real devices enforce their power budget in firmware (e.g. GPU boost
+// limits, RAPL); the paper models the effect as the third term of eq. (3).
+// The governor reproduces that behaviour: given the unthrottled flop and
+// memory times and the active energy, it decides whether the budget allows
+// full-rate execution and, if not, stretches execution so average active
+// power equals delta_pi.
+
+#include "core/roofline.hpp"
+
+namespace archline::sim {
+
+struct GovernorDecision {
+  double time = 0.0;         ///< execution time after governing [s]
+  double utilization = 1.0;  ///< unthrottled_time / governed_time, <= 1
+  core::Regime regime = core::Regime::Compute;
+};
+
+/// Applies the cap. `t_flop` and `t_mem` are the full-rate execution times
+/// of the two engines; `active_energy` is W*eps_flop + Q*eps_mem;
+/// `delta_pi` may be core::kUncapped.
+[[nodiscard]] GovernorDecision govern(double t_flop, double t_mem,
+                                      double active_energy,
+                                      double delta_pi) noexcept;
+
+}  // namespace archline::sim

@@ -1,0 +1,34 @@
+#include "stats/bootstrap.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+
+namespace archline::stats {
+
+BootstrapInterval bootstrap_ci(std::span<const double> xs,
+                               const Statistic& stat, Rng& rng,
+                               int replicates, double confidence) {
+  if (xs.empty()) throw std::invalid_argument("bootstrap_ci: empty sample");
+  if (replicates < 2)
+    throw std::invalid_argument("bootstrap_ci: need >= 2 replicates");
+  if (!(confidence > 0.0 && confidence < 1.0))
+    throw std::invalid_argument("bootstrap_ci: confidence outside (0, 1)");
+
+  std::vector<double> stats_out;
+  stats_out.reserve(static_cast<std::size_t>(replicates));
+  std::vector<double> resample(xs.size());
+  for (int r = 0; r < replicates; ++r) {
+    for (double& v : resample) v = xs[rng.below(xs.size())];
+    stats_out.push_back(stat(resample));
+  }
+  const double alpha = 1.0 - confidence;
+  BootstrapInterval ci;
+  ci.lo = quantile(stats_out, alpha / 2.0);
+  ci.hi = quantile(stats_out, 1.0 - alpha / 2.0);
+  ci.estimate = stat(xs);
+  return ci;
+}
+
+}  // namespace archline::stats

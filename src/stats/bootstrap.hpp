@@ -1,0 +1,34 @@
+#pragma once
+// Percentile bootstrap confidence intervals.
+//
+// Used to attach uncertainty to the medians of the model-error
+// distributions (Fig. 4) and to fitted-parameter estimates in tests.
+
+#include <functional>
+#include <span>
+
+#include "stats/rng.hpp"
+
+namespace archline::stats {
+
+struct BootstrapInterval {
+  double lo = 0.0;       ///< lower percentile bound
+  double hi = 0.0;       ///< upper percentile bound
+  double estimate = 0.0; ///< statistic on the original sample
+
+  [[nodiscard]] bool contains(double v) const noexcept {
+    return v >= lo && v <= hi;
+  }
+};
+
+/// Statistic over a sample (e.g. stats::median).
+using Statistic = std::function<double(std::span<const double>)>;
+
+/// Percentile bootstrap CI at the given confidence level (default 95%).
+/// Resamples `xs` with replacement `replicates` times.
+[[nodiscard]] BootstrapInterval bootstrap_ci(std::span<const double> xs,
+                                             const Statistic& stat, Rng& rng,
+                                             int replicates = 1000,
+                                             double confidence = 0.95);
+
+}  // namespace archline::stats

@@ -1,0 +1,59 @@
+#include "stats/ks_test.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace archline::stats {
+
+double kolmogorov_survival(double lambda) noexcept {
+  if (lambda <= 0.0) return 1.0;
+  // The alternating series converges extremely fast for lambda > ~0.3;
+  // below that the survival probability is essentially 1.
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term =
+        sign * std::exp(-2.0 * static_cast<double>(k) *
+                        static_cast<double>(k) * lambda * lambda);
+    sum += term;
+    if (std::abs(term) < 1e-12 * std::max(1e-300, std::abs(sum))) break;
+    sign = -sign;
+  }
+  const double q = 2.0 * sum;
+  return std::clamp(q, 0.0, 1.0);
+}
+
+KsResult ks_two_sample(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() || b.empty())
+    throw std::invalid_argument("ks_two_sample: empty sample");
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  double d = 0.0;
+  // Merge walk over the pooled order statistics, tracking the CDF gap.
+  while (ia < sa.size() && ib < sb.size()) {
+    const double xa = sa[ia];
+    const double xb = sb[ib];
+    const double x = std::min(xa, xb);
+    while (ia < sa.size() && sa[ia] <= x) ++ia;
+    while (ib < sb.size() && sb[ib] <= x) ++ib;
+    const double fa = static_cast<double>(ia) / na;
+    const double fb = static_cast<double>(ib) / nb;
+    d = std::max(d, std::abs(fa - fb));
+  }
+
+  const double ne = na * nb / (na + nb);
+  const double sqrt_ne = std::sqrt(ne);
+  const double lambda = (sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d;
+  return KsResult{.statistic = d, .p_value = kolmogorov_survival(lambda)};
+}
+
+}  // namespace archline::stats

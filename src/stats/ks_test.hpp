@@ -1,0 +1,34 @@
+#pragma once
+// Two-sample Kolmogorov-Smirnov test.
+//
+// The paper uses the two-sample K-S test (at p < 0.05) to decide whether the
+// "uncapped" and "capped" model error distributions differ per platform
+// (Fig. 4, platforms marked "**"). This implements the classic test from
+// scratch: the exact sup-distance between empirical CDFs and the asymptotic
+// Kolmogorov distribution for the p-value.
+
+#include <span>
+
+namespace archline::stats {
+
+struct KsResult {
+  double statistic = 0.0;  ///< sup_x |F1(x) - F2(x)|
+  double p_value = 1.0;    ///< asymptotic two-sided p-value
+  /// Convenience: reject the null "same distribution" at this level.
+  [[nodiscard]] bool significant(double alpha = 0.05) const noexcept {
+    return p_value < alpha;
+  }
+};
+
+/// Survival function of the Kolmogorov distribution,
+/// Q(lambda) = 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 lambda^2).
+/// Returns 1 for lambda <= 0.
+[[nodiscard]] double kolmogorov_survival(double lambda) noexcept;
+
+/// Two-sample K-S test. Inputs need not be sorted; both must be non-empty.
+/// Uses the asymptotic p-value with the small-sample correction of
+/// Stephens (lambda = (sqrt(ne) + 0.12 + 0.11/sqrt(ne)) * D).
+[[nodiscard]] KsResult ks_two_sample(std::span<const double> a,
+                                     std::span<const double> b);
+
+}  // namespace archline::stats

@@ -1,0 +1,99 @@
+// Tests for the terminal plot renderer.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "report/ascii_plot.hpp"
+
+namespace {
+
+using archline::report::AsciiPlot;
+using archline::report::AxisScale;
+using archline::report::Series;
+
+TEST(AsciiPlot, TooSmallCanvasThrows) {
+  EXPECT_THROW(AsciiPlot("t", 4, 2), std::invalid_argument);
+}
+
+TEST(AsciiPlot, MismatchedSeriesThrows) {
+  AsciiPlot p("t");
+  Series s;
+  s.x = {1.0, 2.0};
+  s.y = {1.0};
+  EXPECT_THROW(p.add_series(s), std::invalid_argument);
+}
+
+TEST(AsciiPlot, EmptyPlotSaysNoData) {
+  AsciiPlot p("empty");
+  EXPECT_NE(p.render().find("no plottable data"), std::string::npos);
+}
+
+TEST(AsciiPlot, TitleAppears) {
+  AsciiPlot p("My Figure");
+  Series s{.name = "a", .glyph = '*', .x = {1.0, 2.0}, .y = {1.0, 2.0}};
+  p.add_series(s);
+  EXPECT_NE(p.render().find("My Figure"), std::string::npos);
+}
+
+TEST(AsciiPlot, GlyphsAppearOnCanvas) {
+  AsciiPlot p("t");
+  p.add_series(Series{.name = "a", .glyph = '#', .x = {1.0, 4.0},
+                      .y = {1.0, 2.0}});
+  EXPECT_NE(p.render().find('#'), std::string::npos);
+}
+
+TEST(AsciiPlot, LegendListsSeries) {
+  AsciiPlot p("t");
+  p.add_series(Series{.name = "model", .glyph = '-', .x = {1.0, 2.0},
+                      .y = {1.0, 1.0}});
+  p.add_series(Series{.name = "measured", .glyph = 'o', .x = {1.0, 2.0},
+                      .y = {2.0, 2.0}});
+  const std::string out = p.render();
+  EXPECT_NE(out.find("[-] model"), std::string::npos);
+  EXPECT_NE(out.find("[o] measured"), std::string::npos);
+}
+
+TEST(AsciiPlot, LogScaleSkipsNonPositive) {
+  AsciiPlot p("t");
+  p.set_x_scale(AxisScale::Log2);
+  p.add_series(Series{.name = "a", .glyph = '*', .x = {0.0, -1.0, 2.0, 4.0},
+                      .y = {1.0, 1.0, 1.0, 2.0}});
+  // Renders without throwing; bad points simply skipped.
+  EXPECT_NE(p.render().find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, IntensityAxisUsesFractionLabels) {
+  AsciiPlot p("t");
+  p.set_x_scale(AxisScale::Log2);
+  p.add_series(Series{.name = "a", .glyph = '*', .x = {0.125, 512.0},
+                      .y = {1.0, 2.0}});
+  const std::string out = p.render();
+  EXPECT_NE(out.find("1/8"), std::string::npos);
+  EXPECT_NE(out.find("512"), std::string::npos);
+}
+
+TEST(AsciiPlot, XLabelShown) {
+  AsciiPlot p("t");
+  p.set_x_label("Intensity (flop:Byte)");
+  p.add_series(Series{.name = "a", .glyph = '*', .x = {1.0, 2.0},
+                      .y = {1.0, 2.0}});
+  EXPECT_NE(p.render().find("Intensity (flop:Byte)"), std::string::npos);
+}
+
+TEST(AsciiPlot, ConstantSeriesDoesNotCrash) {
+  AsciiPlot p("t");
+  p.add_series(Series{.name = "a", .glyph = '*', .x = {1.0, 2.0, 3.0},
+                      .y = {5.0, 5.0, 5.0}});
+  EXPECT_FALSE(p.render().empty());
+}
+
+TEST(AsciiPlot, LogYScaleRenders) {
+  AsciiPlot p("t");
+  p.set_y_scale(AxisScale::Log2);
+  p.add_series(Series{.name = "a", .glyph = '*', .x = {1.0, 2.0, 3.0},
+                      .y = {1.0, 1024.0, 32.0}});
+  EXPECT_NE(p.render().find('*'), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+// Tests for percentile bootstrap confidence intervals.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "stats/bootstrap.hpp"
+#include "stats/descriptive.hpp"
+
+namespace {
+
+namespace st = archline::stats;
+
+std::vector<double> normal_sample(std::size_t n, double mu, double sd,
+                                  std::uint64_t seed) {
+  st::Rng rng(seed);
+  std::vector<double> xs(n);
+  for (double& x : xs) x = rng.normal(mu, sd);
+  return xs;
+}
+
+TEST(Bootstrap, EstimateMatchesStatistic) {
+  const std::vector<double> xs = normal_sample(200, 5.0, 1.0, 1);
+  st::Rng rng(2);
+  const auto ci = st::bootstrap_ci(
+      xs, [](std::span<const double> s) { return st::mean(s); }, rng);
+  EXPECT_DOUBLE_EQ(ci.estimate, st::mean(xs));
+}
+
+TEST(Bootstrap, IntervalContainsEstimate) {
+  const std::vector<double> xs = normal_sample(100, 0.0, 1.0, 3);
+  st::Rng rng(4);
+  const auto ci = st::bootstrap_ci(
+      xs, [](std::span<const double> s) { return st::median(s); }, rng);
+  EXPECT_LE(ci.lo, ci.hi);
+  EXPECT_TRUE(ci.contains(ci.estimate));
+}
+
+TEST(Bootstrap, CoversTrueMeanUsually) {
+  int covered = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::vector<double> xs =
+        normal_sample(150, 10.0, 2.0, 100 + trial);
+    st::Rng rng(200 + trial);
+    const auto ci = st::bootstrap_ci(
+        xs, [](std::span<const double> s) { return st::mean(s); }, rng, 500);
+    if (ci.contains(10.0)) ++covered;
+  }
+  EXPECT_GE(covered, 16);  // nominal 95% coverage, generous slack
+}
+
+TEST(Bootstrap, WiderAtHigherConfidence) {
+  const std::vector<double> xs = normal_sample(80, 0.0, 1.0, 7);
+  st::Rng rng1(8);
+  st::Rng rng2(8);
+  const auto narrow = st::bootstrap_ci(
+      xs, [](std::span<const double> s) { return st::mean(s); }, rng1, 2000,
+      0.80);
+  const auto wide = st::bootstrap_ci(
+      xs, [](std::span<const double> s) { return st::mean(s); }, rng2, 2000,
+      0.99);
+  EXPECT_GT(wide.hi - wide.lo, narrow.hi - narrow.lo);
+}
+
+TEST(Bootstrap, DeterministicGivenSeed) {
+  const std::vector<double> xs = normal_sample(50, 1.0, 1.0, 9);
+  st::Rng rng1(10);
+  st::Rng rng2(10);
+  const auto a = st::bootstrap_ci(
+      xs, [](std::span<const double> s) { return st::median(s); }, rng1);
+  const auto b = st::bootstrap_ci(
+      xs, [](std::span<const double> s) { return st::median(s); }, rng2);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(Bootstrap, EmptySampleThrows) {
+  st::Rng rng(1);
+  const std::vector<double> empty;
+  EXPECT_THROW((void)st::bootstrap_ci(
+                   empty,
+                   [](std::span<const double> s) { return st::mean(s); },
+                   rng),
+               std::invalid_argument);
+}
+
+TEST(Bootstrap, BadParametersThrow) {
+  st::Rng rng(1);
+  const std::vector<double> xs = {1.0, 2.0};
+  const auto stat = [](std::span<const double> s) { return st::mean(s); };
+  EXPECT_THROW((void)st::bootstrap_ci(xs, stat, rng, 1), std::invalid_argument);
+  EXPECT_THROW((void)st::bootstrap_ci(xs, stat, rng, 100, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)st::bootstrap_ci(xs, stat, rng, 100, 1.0),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+// Tests for bootstrap parameter confidence intervals.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "fit/bootstrap_fit.hpp"
+#include "microbench/suite.hpp"
+#include "platforms/platform_db.hpp"
+#include "sim/factory.hpp"
+
+namespace {
+
+namespace ft = archline::fit;
+namespace mb = archline::microbench;
+namespace pl = archline::platforms;
+namespace si = archline::sim;
+
+mb::SuiteData suite(const char* name, std::uint64_t seed) {
+  const si::SimMachine m = si::make_machine(pl::platform(name));
+  archline::stats::Rng rng(seed);
+  mb::SuiteOptions opt;
+  opt.repeats = 2;
+  opt.target_seconds = 0.1;
+  opt.include_double = false;
+  opt.include_caches = false;
+  opt.include_random = false;
+  return mb::run_suite(m, opt, rng);
+}
+
+ft::BootstrapFitOptions fast_options(const mb::SuiteData& data) {
+  ft::BootstrapFitOptions opt;
+  opt.replicates = 24;
+  opt.fit.idle_watts_hint = data.idle_watts;
+  for (const mb::Observation& o : data.dram_sp)
+    opt.fit.max_watts_hint = std::max(opt.fit.max_watts_hint, o.watts);
+  return opt;
+}
+
+TEST(BootstrapFit, IntervalsCoverTheTruthOnTitan) {
+  const mb::SuiteData data = suite("GTX Titan", 21);
+  const ft::FitConfidence c =
+      ft::bootstrap_fit(data.dram_sp, fast_options(data));
+  const archline::core::MachineParams truth =
+      pl::platform("GTX Titan").machine();
+  // Bootstrap intervals quantify resampling variance, not systematic
+  // bias; the measurement stack carries a small (<1%) energy bias from
+  // the start-up ramp, so assert the interval lands within 2% of truth
+  // rather than exact coverage.
+  const auto near_truth = [](const archline::stats::BootstrapInterval& ci,
+                             double truth_value) {
+    return ci.lo <= truth_value * 1.02 && ci.hi >= truth_value * 0.98;
+  };
+  EXPECT_TRUE(near_truth(c.pi1, truth.pi1));
+  EXPECT_TRUE(near_truth(c.eps_mem, truth.eps_mem));
+  EXPECT_TRUE(near_truth(c.eps_flop, truth.eps_flop));
+}
+
+TEST(BootstrapFit, IntervalsAreOrderedAndContainEstimate) {
+  const mb::SuiteData data = suite("GTX 680", 22);
+  const ft::FitConfidence c =
+      ft::bootstrap_fit(data.dram_sp, fast_options(data));
+  for (const auto* ci : {&c.tau_flop, &c.eps_flop, &c.tau_mem, &c.eps_mem,
+                         &c.pi1, &c.delta_pi}) {
+    EXPECT_LE(ci->lo, ci->hi);
+    EXPECT_GT(ci->lo, 0.0);
+  }
+  EXPECT_EQ(c.replicates, 24);
+}
+
+TEST(BootstrapFit, WellDeterminedParametersHaveTightIntervals) {
+  const mb::SuiteData data = suite("GTX Titan", 23);
+  const ft::FitConfidence c =
+      ft::bootstrap_fit(data.dram_sp, fast_options(data));
+  const auto hw = c.relative_halfwidths();
+  // tau_flop / tau_mem come from direct throughput measurement: tight.
+  EXPECT_LT(hw[0], 0.05);
+  EXPECT_LT(hw[2], 0.05);
+  // pi1 is anchored by the idle measurement: tight.
+  EXPECT_LT(hw[4], 0.05);
+}
+
+TEST(BootstrapFit, CapIntervalWiderWhereCapBarelyBinds) {
+  // The identifiability structure, now visible as interval width:
+  // the Xeon Phi's cap binds by ~2%, the Titan's by ~12%.
+  const mb::SuiteData phi = suite("Xeon Phi", 24);
+  const mb::SuiteData titan = suite("GTX Titan", 25);
+  const auto c_phi = ft::bootstrap_fit(phi.dram_sp, fast_options(phi));
+  const auto c_titan =
+      ft::bootstrap_fit(titan.dram_sp, fast_options(titan));
+  EXPECT_GT(c_phi.relative_halfwidths()[5],
+            c_titan.relative_halfwidths()[5]);
+}
+
+TEST(BootstrapFit, BadOptionsThrow) {
+  const mb::SuiteData data = suite("APU GPU", 26);
+  ft::BootstrapFitOptions opt = fast_options(data);
+  opt.replicates = 4;
+  EXPECT_THROW((void)ft::bootstrap_fit(data.dram_sp, opt),
+               std::invalid_argument);
+  opt = fast_options(data);
+  opt.confidence = 1.5;
+  EXPECT_THROW((void)ft::bootstrap_fit(data.dram_sp, opt),
+               std::invalid_argument);
+}
+
+TEST(BootstrapFit, DeterministicGivenSeed) {
+  const mb::SuiteData data = suite("Arndale CPU", 27);
+  const auto a = ft::bootstrap_fit(data.dram_sp, fast_options(data));
+  const auto b = ft::bootstrap_fit(data.dram_sp, fast_options(data));
+  EXPECT_DOUBLE_EQ(a.pi1.lo, b.pi1.lo);
+  EXPECT_DOUBLE_EQ(a.delta_pi.hi, b.delta_pi.hi);
+}
+
+}  // namespace

@@ -1,0 +1,92 @@
+// Tests for cache-level benchmark sizing.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "microbench/cache_bench.hpp"
+#include "platforms/platform_db.hpp"
+#include "sim/factory.hpp"
+
+namespace {
+
+namespace mb = archline::microbench;
+namespace co = archline::core;
+namespace si = archline::sim;
+namespace pl = archline::platforms;
+
+si::SimMachine phi() { return si::make_machine(pl::platform("Xeon Phi")); }
+
+TEST(WorkingSet, HalfOfCacheCapacity) {
+  const si::SimMachine m = phi();
+  EXPECT_DOUBLE_EQ(mb::working_set_for_level(m, co::MemLevel::L1),
+                   0.5 * m.config().l1->capacity_bytes);
+  EXPECT_DOUBLE_EQ(mb::working_set_for_level(m, co::MemLevel::L2),
+                   0.5 * m.config().l2->capacity_bytes);
+}
+
+TEST(WorkingSet, DramUsesLargeFootprint) {
+  EXPECT_GT(mb::working_set_for_level(phi(), co::MemLevel::DRAM),
+            1e6);
+}
+
+TEST(WorkingSet, MissingLevelThrows) {
+  const si::SimMachine m = si::make_machine(pl::platform("NUC GPU"));
+  EXPECT_THROW((void)mb::working_set_for_level(m, co::MemLevel::L1),
+               std::invalid_argument);
+}
+
+TEST(CacheSweep, OneKernelPerIntensity) {
+  const si::SimMachine m = phi();
+  const std::vector<double> grid = {0.5, 2.0, 8.0};
+  const auto kernels = mb::cache_sweep(m, co::MemLevel::L1, grid,
+                                       co::Precision::Single, 0.1);
+  ASSERT_EQ(kernels.size(), 3u);
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    EXPECT_NEAR(kernels[i].intensity(), grid[i], 1e-9);
+}
+
+TEST(CacheSweep, FootprintFitsInLevel) {
+  const si::SimMachine m = phi();
+  const auto kernels =
+      mb::cache_sweep(m, co::MemLevel::L1, {0.25, 4.0, 64.0},
+                      co::Precision::Single, 0.1);
+  for (const auto& k : kernels)
+    EXPECT_LE(k.working_set_bytes, m.config().l1->capacity_bytes);
+}
+
+TEST(CacheSweep, KernelsTargetRequestedLevel) {
+  const si::SimMachine m = phi();
+  for (const auto& k : mb::cache_sweep(m, co::MemLevel::L2, {1.0},
+                                       co::Precision::Single, 0.1))
+    EXPECT_EQ(k.level, co::MemLevel::L2);
+}
+
+TEST(CacheSweep, DurationSizingRoughlyHolds) {
+  const si::SimMachine m = phi();
+  const double target = 0.2;
+  const auto kernels = mb::cache_sweep(m, co::MemLevel::L2, {0.5, 8.0},
+                                       co::Precision::Single, target);
+  for (const auto& k : kernels) {
+    const double t = m.ideal_time(k);
+    EXPECT_NEAR(t, target, 0.05 * target) << k.label;
+  }
+}
+
+TEST(BandwidthKernel, LivesInMemoryRegime) {
+  const si::SimMachine m = phi();
+  const auto k = mb::bandwidth_kernel(m, co::MemLevel::DRAM, 0.1);
+  EXPECT_LT(k.intensity(), 0.01);
+  archline::stats::Rng rng(1);
+  EXPECT_EQ(m.run(k, rng).regime, co::Regime::Memory);
+}
+
+TEST(BandwidthKernel, MeasuresLevelBandwidth) {
+  const si::SimMachine m = phi();
+  const auto k = mb::bandwidth_kernel(m, co::MemLevel::L1, 0.1);
+  const double t = m.ideal_time(k);
+  const double bw = k.bytes / t;
+  EXPECT_NEAR(bw, 1.0 / m.config().l1->tau_byte, 0.05 * bw);
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+// Tests for the cache-aware roofline and double-precision experiments.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "experiments/exp_cache_roofline.hpp"
+#include "experiments/exp_dp.hpp"
+#include "platforms/platform_db.hpp"
+
+namespace {
+
+namespace ex = archline::experiments;
+namespace co = archline::core;
+namespace pl = archline::platforms;
+
+ex::CacheRooflineOptions model_only() {
+  ex::CacheRooflineOptions opt;
+  opt.with_measurements = false;
+  return opt;
+}
+
+TEST(CacheRoofline, PhiHasAllThreeLevels) {
+  const auto r = ex::run_cache_roofline("Xeon Phi", model_only());
+  ASSERT_EQ(r.levels.size(), 3u);
+  EXPECT_EQ(r.levels[0].level, co::MemLevel::L1);
+  EXPECT_EQ(r.levels[1].level, co::MemLevel::L2);
+  EXPECT_EQ(r.levels[2].level, co::MemLevel::DRAM);
+}
+
+TEST(CacheRoofline, RidgePointsGrowOutward) {
+  // Faster levels have lower balance: the compute-bound region widens as
+  // the working set moves toward the core.
+  const auto r = ex::run_cache_roofline("Xeon Phi", model_only());
+  const auto ridges = r.ridge_points();
+  ASSERT_EQ(ridges.size(), 3u);
+  EXPECT_LT(ridges[0], ridges[1]);  // L1 < L2
+  EXPECT_LT(ridges[1], ridges[2]);  // L2 < DRAM
+}
+
+TEST(CacheRoofline, InnerLevelsNeverSlower) {
+  const auto r = ex::run_cache_roofline("Desktop CPU", model_only());
+  ASSERT_EQ(r.levels.size(), 3u);
+  for (std::size_t i = 0; i < r.levels[0].points.size(); ++i) {
+    const double l1 = r.levels[0].points[i].model_perf;
+    const double l2 = r.levels[1].points[i].model_perf;
+    const double dram = r.levels[2].points[i].model_perf;
+    EXPECT_GE(l1, l2 * (1 - 1e-12)) << i;
+    EXPECT_GE(l2, dram * (1 - 1e-12)) << i;
+  }
+}
+
+TEST(CacheRoofline, UnknownPlatformThrows) {
+  EXPECT_THROW((void)ex::run_cache_roofline("GTX 9090", model_only()),
+               std::out_of_range);
+}
+
+TEST(CacheRoofline, GpuWithOnlyScratchpadGetsTwoLevels) {
+  const auto r = ex::run_cache_roofline("Arndale GPU", model_only());
+  ASSERT_EQ(r.levels.size(), 2u);  // scratchpad (L1 slot) + DRAM
+  EXPECT_EQ(r.levels[0].level, co::MemLevel::L1);
+}
+
+TEST(CacheRoofline, AllCachePlatformsIncluded) {
+  const auto all = ex::run_cache_rooflines(model_only());
+  // Only the NUC GPU lacks any cache-level measurement in Table I.
+  EXPECT_EQ(all.size(), pl::all_platforms().size() - 1);
+  for (const auto& p : all) EXPECT_NE(p.platform, "NUC GPU");
+}
+
+TEST(CacheRoofline, MeasurementsTrackModel) {
+  ex::CacheRooflineOptions opt;
+  opt.points_per_octave = 1;
+  const auto r = ex::run_cache_roofline("GTX 680", opt);
+  for (const auto& lvl : r.levels)
+    for (const auto& pt : lvl.points) {
+      if (pt.measured_perf == 0.0) continue;
+      EXPECT_NEAR(pt.measured_perf, pt.model_perf, 0.15 * pt.model_perf)
+          << co::to_string(lvl.level) << " I=" << pt.intensity;
+    }
+}
+
+// ---- double precision -------------------------------------------------
+
+TEST(DpAnalysis, NineRowsThreeWithout) {
+  const ex::DpResult r = ex::run_dp_analysis();
+  EXPECT_EQ(r.rows.size(), 9u);
+  EXPECT_EQ(r.no_dp.size(), 3u);
+}
+
+TEST(DpAnalysis, DpAlwaysCostsMoreEnergyPerFlop) {
+  for (const ex::DpRow& row : ex::run_dp_analysis().rows) {
+    EXPECT_GT(row.energy_ratio, 1.0) << row.platform;
+    EXPECT_GT(row.rate_ratio, 1.0) << row.platform;
+  }
+}
+
+TEST(DpAnalysis, BalanceShrinksUnderDp) {
+  // Pricier flops push every algorithm toward compute-bound.
+  for (const ex::DpRow& row : ex::run_dp_analysis().rows)
+    EXPECT_LT(row.dp_balance, row.sp_balance) << row.platform;
+}
+
+TEST(DpAnalysis, KeplerGamingCardPaysHugeDpPenalty) {
+  // GTX 680: 3530 SP vs 147 DP Gflop/s peak — the rate ratio dwarfs the
+  // CPUs' 2x.
+  for (const ex::DpRow& row : ex::run_dp_analysis().rows)
+    if (row.platform == "GTX 680") {
+      EXPECT_GT(row.rate_ratio, 15.0);
+      EXPECT_GT(row.energy_ratio, 4.0);
+    }
+}
+
+TEST(DpAnalysis, TitanMostDpEfficient) {
+  const ex::DpResult r = ex::run_dp_analysis();
+  EXPECT_EQ(r.most_efficient_dp, "GTX Titan");
+}
+
+}  // namespace

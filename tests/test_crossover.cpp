@@ -1,0 +1,118 @@
+// Tests for the crossover matrix and Pareto frontier experiments.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "experiments/exp_crossover.hpp"
+#include "platforms/platform_db.hpp"
+
+namespace {
+
+namespace ex = archline::experiments;
+namespace co = archline::core;
+namespace pl = archline::platforms;
+
+const ex::CrossoverCell& find_cell(const ex::CrossoverMatrix& m,
+                                   const std::string& row,
+                                   const std::string& col) {
+  for (const ex::CrossoverCell& c : m.cells)
+    if (c.row_platform == row && c.col_platform == col) return c;
+  throw std::logic_error("cell not found");
+}
+
+TEST(CrossoverMatrix, FullOffDiagonalCoverage) {
+  const ex::CrossoverMatrix m = ex::run_crossover_matrix();
+  EXPECT_EQ(m.platforms.size(), 12u);
+  EXPECT_EQ(m.cells.size(), 12u * 11u);
+  EXPECT_EQ(m.pairs_with_crossover + m.pairs_dominated,
+            static_cast<int>(m.cells.size()));
+}
+
+TEST(CrossoverMatrix, SymmetricCrossings) {
+  const ex::CrossoverMatrix m = ex::run_crossover_matrix();
+  const auto& ab = find_cell(m, "GTX Titan", "Arndale GPU");
+  const auto& ba = find_cell(m, "Arndale GPU", "GTX Titan");
+  ASSERT_TRUE(ab.crossover.has_value());
+  ASSERT_TRUE(ba.crossover.has_value());
+  EXPECT_NEAR(*ab.crossover, *ba.crossover, 1e-6 * *ab.crossover);
+  EXPECT_NE(ab.row_wins_low, ba.row_wins_low);
+}
+
+TEST(CrossoverMatrix, TitanVsArndaleMatchesFig1) {
+  const ex::CrossoverMatrix m = ex::run_crossover_matrix();
+  const auto& cell = find_cell(m, "Arndale GPU", "GTX Titan");
+  ASSERT_TRUE(cell.crossover.has_value());
+  EXPECT_GT(*cell.crossover, 1.0);
+  EXPECT_LT(*cell.crossover, 8.0);
+  EXPECT_TRUE(cell.row_wins_low);  // Arndale wins flop/J at low intensity
+}
+
+TEST(CrossoverMatrix, SomePairsSimplyDominate) {
+  // GTX Titan dominates the Desktop CPU in flop/J everywhere.
+  const ex::CrossoverMatrix m = ex::run_crossover_matrix();
+  const auto& cell = find_cell(m, "GTX Titan", "Desktop CPU");
+  EXPECT_FALSE(cell.crossover.has_value());
+  EXPECT_TRUE(cell.row_wins_low);
+  EXPECT_GT(m.pairs_dominated, 0);
+  EXPECT_GT(m.pairs_with_crossover, 0);
+}
+
+TEST(CrossoverMatrix, PerformanceMetricHasFewerCrossovers) {
+  // Raw performance rankings are more stable across intensity than
+  // energy rankings (peak flop/s dominates), so fewer pairs flip.
+  ex::CrossoverOptions perf_opt;
+  perf_opt.metric = co::Metric::Performance;
+  const ex::CrossoverMatrix perf = ex::run_crossover_matrix(perf_opt);
+  const ex::CrossoverMatrix eff = ex::run_crossover_matrix();
+  EXPECT_LT(perf.pairs_with_crossover, eff.pairs_with_crossover);
+}
+
+TEST(ParetoFrontier, NonEmptyEverywhere) {
+  for (const ex::ParetoPoint& p : ex::run_pareto_frontier())
+    EXPECT_FALSE(p.frontier.empty()) << p.intensity;
+}
+
+TEST(ParetoFrontier, TitanAlwaysOnFrontier) {
+  // Highest flop/s at every intensity -> never dominated.
+  for (const ex::ParetoPoint& p : ex::run_pareto_frontier()) {
+    EXPECT_NE(std::find(p.frontier.begin(), p.frontier.end(), "GTX Titan"),
+              p.frontier.end())
+        << p.intensity;
+  }
+}
+
+TEST(ParetoFrontier, ArndaleGpuOnFrontierAtLowIntensity) {
+  // Fig. 1's argument in Pareto terms: the mobile GPU is undominated for
+  // bandwidth-bound work (best flop/J there).
+  const auto frontier = ex::run_pareto_frontier(0.125, 0.5);
+  for (const ex::ParetoPoint& p : frontier)
+    EXPECT_NE(std::find(p.frontier.begin(), p.frontier.end(),
+                        "Arndale GPU"),
+              p.frontier.end())
+        << p.intensity;
+}
+
+TEST(ParetoFrontier, FrontierIsActuallyUndominated) {
+  for (const ex::ParetoPoint& p : ex::run_pareto_frontier(0.25, 64.0, 1)) {
+    for (const std::string& name : p.frontier) {
+      const co::MachineParams a = pl::platform(name).machine();
+      const double a_perf = co::performance(a, p.intensity);
+      const double a_eff = co::energy_efficiency(a, p.intensity);
+      for (const pl::PlatformSpec& other : pl::all_platforms()) {
+        if (other.name == name) continue;
+        const co::MachineParams b = other.machine();
+        const bool dominates =
+            co::performance(b, p.intensity) >= a_perf &&
+            co::energy_efficiency(b, p.intensity) >= a_eff &&
+            (co::performance(b, p.intensity) > a_perf ||
+             co::energy_efficiency(b, p.intensity) > a_eff);
+        EXPECT_FALSE(dominates)
+            << other.name << " dominates " << name << " at "
+            << p.intensity;
+      }
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,118 @@
+// Tests for CSV writing, escaping and parsing round-trips.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+#include "report/csv.hpp"
+
+namespace {
+
+namespace rp = archline::report;
+
+TEST(CsvEscape, PlainCellUntouched) {
+  EXPECT_EQ(rp::csv_escape("hello"), "hello");
+}
+
+TEST(CsvEscape, CommaQuoted) {
+  EXPECT_EQ(rp::csv_escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscape, QuoteDoubled) {
+  EXPECT_EQ(rp::csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscape, NewlineQuoted) {
+  EXPECT_EQ(rp::csv_escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvWriter, EmptyHeaderThrows) {
+  EXPECT_THROW(rp::CsvWriter({}), std::invalid_argument);
+}
+
+TEST(CsvWriter, WrongCellCountThrows) {
+  rp::CsvWriter w({"a", "b"});
+  EXPECT_THROW(w.add_row({"1"}), std::invalid_argument);
+}
+
+TEST(CsvWriter, SerializesHeaderAndRows) {
+  rp::CsvWriter w({"x", "y"});
+  w.add_row({"1", "2"});
+  w.add_row({"3", "4"});
+  EXPECT_EQ(w.to_string(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(CsvParse, SimpleGrid) {
+  const auto rows = rp::parse_csv("a,b\n1,2\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvParse, QuotedCommaStaysInCell) {
+  const auto rows = rp::parse_csv("\"a,b\",c\n");
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].size(), 2u);
+  EXPECT_EQ(rows[0][0], "a,b");
+}
+
+TEST(CsvParse, EscapedQuote) {
+  const auto rows = rp::parse_csv("\"say \"\"hi\"\"\"\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "say \"hi\"");
+}
+
+TEST(CsvParse, EmbeddedNewlineInQuotedCell) {
+  const auto rows = rp::parse_csv("\"line1\nline2\",x\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "line1\nline2");
+}
+
+TEST(CsvParse, CrLfHandled) {
+  const auto rows = rp::parse_csv("a,b\r\n1,2\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][1], "2");
+}
+
+TEST(CsvParse, MissingTrailingNewline) {
+  const auto rows = rp::parse_csv("a,b\n1,2");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][1], "2");
+}
+
+TEST(CsvParse, EmptyStringYieldsNoRows) {
+  EXPECT_TRUE(rp::parse_csv("").empty());
+}
+
+TEST(CsvRoundTrip, WriterThenParser) {
+  rp::CsvWriter w({"name", "value"});
+  w.add_row({"plain", "1"});
+  w.add_row({"with,comma", "2"});
+  w.add_row({"with \"quote\"", "3"});
+  const auto rows = rp::parse_csv(w.to_string());
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[2][0], "with,comma");
+  EXPECT_EQ(rows[3][0], "with \"quote\"");
+}
+
+TEST(CsvFile, WriteAndReadBack) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "archline_csv_test" /
+      "out.csv";
+  rp::CsvWriter w({"a"});
+  w.add_row({"42"});
+  w.write_file(path);
+  const auto rows = rp::read_csv_file(path);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][0], "42");
+  std::filesystem::remove_all(path.parent_path());
+}
+
+TEST(CsvFile, MissingFileThrows) {
+  EXPECT_THROW((void)rp::read_csv_file("/nonexistent/path/x.csv"),
+               std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+// Tests for the droop capping extension (core::DroopModel) and its
+// 1-parameter fit — the paper's §V-C "different model of capping".
+
+#include <gtest/gtest.h>
+
+#include "core/droop_model.hpp"
+#include "fit/droop_fit.hpp"
+#include "microbench/suite.hpp"
+#include "platforms/platform_db.hpp"
+#include "sim/factory.hpp"
+
+namespace {
+
+namespace co = archline::core;
+namespace ft = archline::fit;
+namespace mb = archline::microbench;
+namespace pl = archline::platforms;
+namespace si = archline::sim;
+
+co::MachineParams arndale() { return pl::platform("Arndale GPU").machine(); }
+
+TEST(DroopModel, ZeroEtaReducesToCappedModel) {
+  const co::DroopModel d{.machine = arndale(), .eta = 0.0};
+  for (const double intensity : {0.25, 1.0, 4.0, 32.0, 256.0}) {
+    const co::Workload w = co::Workload::from_intensity(1e10, intensity);
+    EXPECT_DOUBLE_EQ(d.time(w), co::time(d.machine, w)) << intensity;
+    EXPECT_DOUBLE_EQ(d.energy(w), co::energy(d.machine, w)) << intensity;
+    EXPECT_DOUBLE_EQ(d.avg_power(w), co::avg_power(d.machine, w));
+  }
+}
+
+TEST(DroopModel, DroopOnlyActsInCapRegime) {
+  const co::MachineParams m = arndale();
+  const co::DroopModel d{.machine = m, .eta = 0.3};
+  // Memory-bound (I = 0.25 < B_tau- ~ 0.68) and deep compute-bound points
+  // are untouched; mid intensities (cap regime) slow down.
+  const co::Workload mem = co::Workload::from_intensity(1e10, 0.25);
+  EXPECT_DOUBLE_EQ(d.time(mem), co::time(m, mem));
+  const co::Workload mid = co::Workload::from_intensity(1e10, 2.0);
+  EXPECT_GT(d.time(mid), co::time(m, mid));
+}
+
+TEST(DroopModel, TimeIncreasesWithEta) {
+  const co::Workload mid = co::Workload::from_intensity(1e10, 2.0);
+  double prev = 0.0;
+  for (const double eta : {0.0, 0.1, 0.2, 0.4}) {
+    const co::DroopModel d{.machine = arndale(), .eta = eta};
+    const double t = d.time(mid);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(DroopModel, PowerStaysAtCapWhileThrottled) {
+  // Droop stretches the run but the governor still burns delta_pi, so
+  // average power in the cap regime stays pi1 + delta_pi.
+  const co::MachineParams m = arndale();
+  const co::DroopModel d{.machine = m, .eta = 0.25};
+  const co::Workload mid = co::Workload::from_intensity(1e10, 2.0);
+  EXPECT_NEAR(d.avg_power(mid), m.pi1 + m.delta_pi,
+              1e-9 * (m.pi1 + m.delta_pi));
+}
+
+TEST(DroopModel, MatchesSimulatorPhysicsExactly) {
+  // The simulator's droop and the extended model implement the same
+  // physics: predictions must agree to machine precision (noise off).
+  const pl::PlatformSpec& spec = pl::platform("Arndale GPU");
+  si::NonidealityProfile profile = si::default_nonidealities(spec);
+  profile.noise.time_rel_sd = 0.0;
+  profile.noise.power_rel_sd = 0.0;
+  const si::SimMachine machine = si::make_machine(spec, profile);
+  const co::DroopModel d{.machine = spec.machine(),
+                         .eta = profile.noise.cap_droop_eta};
+  for (const double intensity : {0.25, 1.0, 2.0, 4.0, 8.0, 64.0}) {
+    const co::Workload w = co::Workload::from_intensity(1e10, intensity);
+    si::KernelDesc k;
+    k.label = "probe";
+    k.flops = w.flops;
+    k.bytes = w.bytes;
+    EXPECT_NEAR(machine.ideal_time(k), d.time(w), 1e-12 * d.time(w))
+        << intensity;
+    EXPECT_NEAR(machine.ideal_energy(k), d.energy(w),
+                1e-9 * d.energy(w))
+        << intensity;
+  }
+}
+
+TEST(DroopModel, PerformanceHelper) {
+  const co::DroopModel d{.machine = arndale(), .eta = 0.1};
+  const co::Workload w = co::Workload::from_intensity(1e12, 2.0);
+  EXPECT_NEAR(d.performance(2.0), w.flops / d.time(w),
+              1e-6 * d.performance(2.0));
+}
+
+mb::SuiteData arndale_suite() {
+  const si::SimMachine machine =
+      si::make_machine(pl::platform("Arndale GPU"));
+  archline::stats::Rng rng(314);
+  mb::SuiteOptions opt;
+  opt.repeats = 3;
+  opt.target_seconds = 0.1;
+  opt.include_double = false;
+  opt.include_caches = false;
+  opt.include_random = false;
+  return mb::run_suite(machine, opt, rng);
+}
+
+TEST(FitDroopEta, RecoversSimulatedEta) {
+  // Ground truth: Arndale GPU simulated with eta = 0.12 (§V-C profile).
+  const mb::SuiteData data = arndale_suite();
+  const double eta = ft::fit_droop_eta(arndale(), data.dram_sp);
+  EXPECT_NEAR(eta, 0.12, 0.05);
+}
+
+TEST(FitDroopEta, ExtensionReducesResiduals) {
+  const mb::SuiteData data = arndale_suite();
+  const co::MachineParams m = arndale();
+  const double eta = ft::fit_droop_eta(m, data.dram_sp);
+  const double base = ft::droop_sum_squared_residuals(
+      co::DroopModel{.machine = m, .eta = 0.0}, data.dram_sp);
+  const double extended = ft::droop_sum_squared_residuals(
+      co::DroopModel{.machine = m, .eta = eta}, data.dram_sp);
+  // The droop term removes the systematic mid-intensity error; what
+  // remains is the measurement-noise floor.
+  EXPECT_GT(eta, 0.05);
+  EXPECT_LT(extended, 0.7 * base);
+}
+
+TEST(FitDroopEta, ZeroOnDroopFreePlatform) {
+  // GTX Titan's ground truth has no droop: the fit must not invent one.
+  const si::SimMachine machine =
+      si::make_machine(pl::platform("GTX Titan"));
+  archline::stats::Rng rng(315);
+  mb::SuiteOptions opt;
+  opt.repeats = 2;
+  opt.target_seconds = 0.1;
+  opt.include_double = false;
+  opt.include_caches = false;
+  opt.include_random = false;
+  const mb::SuiteData data = mb::run_suite(machine, opt, rng);
+  const double eta = ft::fit_droop_eta(
+      pl::platform("GTX Titan").machine(), data.dram_sp);
+  EXPECT_LT(eta, 0.03);
+}
+
+TEST(FitDroopEta, BadArgumentsThrow) {
+  const std::vector<mb::Observation> empty;
+  EXPECT_THROW((void)ft::fit_droop_eta(arndale(), empty),
+               std::invalid_argument);
+  const mb::SuiteData data = arndale_suite();
+  EXPECT_THROW((void)ft::fit_droop_eta(arndale(), data.dram_sp, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace

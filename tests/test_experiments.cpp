@@ -1,0 +1,266 @@
+// Tests for the experiment drivers: each paper artifact's headline shape
+// must hold in the reproduction.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "experiments/exp_fig1.hpp"
+#include "experiments/exp_fig5.hpp"
+#include "experiments/exp_memhier.hpp"
+#include "experiments/exp_powerbound.hpp"
+#include "experiments/exp_throttle.hpp"
+#include "platforms/platform_db.hpp"
+
+namespace {
+
+namespace ex = archline::experiments;
+namespace co = archline::core;
+namespace pl = archline::platforms;
+
+// ---- Fig. 1 ---------------------------------------------------------------
+
+ex::Fig1Result fig1_model_only() {
+  ex::Fig1Options opt;
+  opt.with_measurements = false;
+  return ex::run_fig1(opt);
+}
+
+TEST(Fig1, AggregateCountNear47) {
+  const ex::Fig1Result r = fig1_model_only();
+  EXPECT_EQ(r.aggregate_count, 47);
+}
+
+TEST(Fig1, EfficiencyParityRegion) {
+  // §I-A: flop/J parity "for intensities as high as 4". The exact tie in
+  // our constants is near I ~ 1.7, with near-parity persisting to 4.
+  const ex::Fig1Result r = fig1_model_only();
+  EXPECT_GT(r.efficiency_crossover, 1.0);
+  EXPECT_LT(r.efficiency_crossover, 8.0);
+}
+
+TEST(Fig1, AggregateWinsAtLowIntensityLosesAtHigh) {
+  // Caption: "up to 1.6x for ... flop:Byte less than 4 ... less than 1/2
+  // peak for compute-bound codes".
+  const ex::Fig1Result r = fig1_model_only();
+  EXPECT_GT(r.aggregate_peak_speedup, 1.3);
+  EXPECT_LT(r.aggregate_peak_speedup, 2.0);
+  EXPECT_LT(r.aggregate_peak_ratio, 0.5);
+}
+
+TEST(Fig1, TitanAlwaysFasterThanSingleArndale) {
+  const ex::Fig1Result r = fig1_model_only();
+  for (std::size_t i = 0; i < r.big.size(); ++i)
+    EXPECT_GT(r.big[i].model_perf, r.small_[i].model_perf);
+}
+
+TEST(Fig1, MeasurementsTrackModel) {
+  ex::Fig1Options opt;
+  opt.points_per_octave = 1;
+  const ex::Fig1Result r = ex::run_fig1(opt);
+  for (const ex::Fig1Point& p : r.big) {
+    if (p.measured_perf == 0.0) continue;
+    EXPECT_NEAR(p.measured_perf, p.model_perf, 0.15 * p.model_perf);
+    EXPECT_NEAR(p.measured_power, p.model_power, 0.15 * p.model_power);
+  }
+}
+
+TEST(Fig1, GeneralizesToOtherPairs) {
+  ex::Fig1Options opt;
+  opt.big_platform = "GTX 680";
+  opt.small_platform = "PandaBoard ES";
+  opt.with_measurements = false;
+  const ex::Fig1Result r = ex::run_fig1(opt);
+  EXPECT_GT(r.aggregate_count, 10);
+  EXPECT_EQ(r.big_name, "GTX 680");
+}
+
+// ---- Fig. 5 ---------------------------------------------------------------
+
+ex::Fig5Result fig5_model_only() {
+  ex::Fig5Options opt;
+  opt.with_measurements = false;
+  return ex::run_fig5(opt);
+}
+
+TEST(Fig5, PanelsOrderedByPeakEfficiency) {
+  const ex::Fig5Result r = fig5_model_only();
+  ASSERT_EQ(r.panels.size(), 12u);
+  EXPECT_EQ(r.panels.front().platform, "GTX Titan");
+  EXPECT_EQ(r.panels.back().platform, "Desktop CPU");
+  for (std::size_t i = 1; i < r.panels.size(); ++i)
+    EXPECT_GE(r.panels[i - 1].summary.peak_flops_per_joule,
+              r.panels[i].summary.peak_flops_per_joule);
+}
+
+TEST(Fig5, SevenPlatformsOverHalfConstantPower) {
+  EXPECT_EQ(fig5_model_only().over_half_constant, 7);
+}
+
+TEST(Fig5, ConstantFractionAnticorrelatesWithEfficiency) {
+  // §V-C reports a correlation of about -0.6.
+  const ex::Fig5Result r = fig5_model_only();
+  EXPECT_LT(r.pi1_fraction_correlation, -0.3);
+}
+
+TEST(Fig5, NormalizedPowerBounded) {
+  const ex::Fig5Result r = fig5_model_only();
+  for (const ex::Fig5Panel& p : r.panels)
+    for (const double v : p.model_power_norm) {
+      EXPECT_GT(v, 0.0);
+      EXPECT_LE(v, 1.0 + 1e-12);
+    }
+}
+
+TEST(Fig5, EveryPanelHasACapRegionOrNot) {
+  // Each panel's regimes must be a contiguous M -> C -> F progression.
+  const ex::Fig5Result r = fig5_model_only();
+  for (const ex::Fig5Panel& p : r.panels) {
+    int phase = 0;  // 0=M, 1=C, 2=F
+    for (const co::Regime reg : p.regime) {
+      const int now = reg == co::Regime::Memory
+                          ? 0
+                          : (reg == co::Regime::PowerCap ? 1 : 2);
+      EXPECT_GE(now, phase) << p.platform;
+      phase = std::max(phase, now);
+    }
+  }
+}
+
+TEST(Fig5, MeasuredPeakPowerNearCap) {
+  ex::Fig5Options opt;
+  opt.points_per_octave = 1;
+  const ex::Fig5Result r = ex::run_fig5(opt);
+  for (const ex::Fig5Panel& p : r.panels) {
+    EXPECT_GT(p.measured_peak_power_fraction, 0.75) << p.platform;
+    EXPECT_LT(p.measured_peak_power_fraction, 1.25) << p.platform;
+  }
+}
+
+// ---- Fig. 6 / 7 ------------------------------------------------------------
+
+TEST(Throttle, StudyCoversAllPlatformsAndDivisors) {
+  const ex::ThrottleResult r = ex::run_throttle_study();
+  ASSERT_EQ(r.panels.size(), 12u);
+  for (const ex::ThrottlePanel& p : r.panels)
+    EXPECT_EQ(p.points.size(),
+              p.cap_divisors.size() *
+                  (p.points.size() / p.cap_divisors.size()));
+}
+
+TEST(Throttle, ArndaleGpuMostReconfigurable) {
+  // Fig. 6's headline finding.
+  const ex::ThrottleResult r = ex::run_throttle_study();
+  EXPECT_EQ(r.most_reconfigurable, "Arndale GPU");
+}
+
+TEST(Throttle, LeastReconfigurableAmongPaperTrio) {
+  // "the Xeon Phi, APU CPU, and APU GPU platforms have the least".
+  const ex::ThrottleResult r = ex::run_throttle_study();
+  EXPECT_TRUE(r.least_reconfigurable == "Xeon Phi" ||
+              r.least_reconfigurable == "APU CPU" ||
+              r.least_reconfigurable == "APU GPU")
+      << r.least_reconfigurable;
+}
+
+TEST(Throttle, TitanDegradesLeastAtLowIntensity) {
+  // Fig. 7a: at low intensity the Titan's overprovisioned compute power
+  // makes it the most throttle-tolerant.
+  double titan_ratio = 0.0;
+  double worst_ratio = 1.0;
+  for (const pl::PlatformSpec& spec : pl::all_platforms()) {
+    const double ratio =
+        ex::throttled_perf_ratio(spec.machine(), 0.25, 8.0);
+    if (spec.name == "GTX Titan") titan_ratio = ratio;
+    worst_ratio = std::min(worst_ratio, ratio);
+  }
+  EXPECT_GT(titan_ratio, 0.25);
+  EXPECT_GT(titan_ratio, worst_ratio * 2.0);
+}
+
+TEST(Throttle, NucCpuDegradesLeastAtHighIntensity) {
+  // Fig. 7a: "for highly compute-bound computations, the NUC CPU degrades
+  // the least, since its design overprovisions power for memory."
+  const double nuc = ex::throttled_perf_ratio(
+      pl::platform("NUC CPU").machine(), 128.0, 8.0);
+  for (const pl::PlatformSpec& spec : pl::all_platforms()) {
+    if (spec.name == "NUC CPU") continue;
+    EXPECT_GE(nuc, ex::throttled_perf_ratio(spec.machine(), 128.0, 8.0) -
+                       1e-12)
+        << spec.name;
+  }
+}
+
+TEST(Throttle, RatioNeverAboveOne) {
+  for (const pl::PlatformSpec& spec : pl::all_platforms())
+    for (const double intensity : {0.25, 4.0, 64.0})
+      for (const double k : {2.0, 4.0, 8.0})
+        EXPECT_LE(ex::throttled_perf_ratio(spec.machine(), intensity, k),
+                  1.0 + 1e-12);
+}
+
+// ---- §V-B memory hierarchy -------------------------------------------------
+
+TEST(MemHier, InversionReproduced) {
+  const ex::MemHierResult r = ex::run_memhier();
+  EXPECT_EQ(r.cheapest_raw, "Xeon Phi");
+  EXPECT_EQ(r.cheapest_effective, "Arndale GPU");
+}
+
+TEST(MemHier, WorkedExampleValues) {
+  const ex::MemHierResult r = ex::run_memhier();
+  for (const ex::MemHierRow& row : r.rows) {
+    if (row.platform == "Xeon Phi") {
+      EXPECT_NEAR(row.effective_eps * 1e12, 1130.0, 20.0);
+    }
+    if (row.platform == "GTX Titan") {
+      EXPECT_NEAR(row.effective_eps * 1e12, 782.0, 10.0);
+    }
+    if (row.platform == "Arndale GPU") {
+      EXPECT_NEAR(row.effective_eps * 1e12, 671.0, 10.0);
+    }
+  }
+}
+
+TEST(MemHier, OrderingHoldsEverywhere) {
+  for (const ex::MemHierRow& row : ex::run_memhier().rows)
+    EXPECT_TRUE(row.level_ordering_holds) << row.platform;
+}
+
+TEST(MemHier, RandomAccessAlwaysExpensive) {
+  // At least an order of magnitude per access vs per streamed byte.
+  for (const ex::MemHierRow& row : ex::run_memhier().rows) {
+    if (!row.eps_rand) continue;
+    EXPECT_GT(row.rand_to_mem_ratio, 10.0) << row.platform;
+  }
+}
+
+// ---- §V-D power bounding ----------------------------------------------------
+
+TEST(PowerBound, PaperScenario) {
+  // Exact 140 W bound: 0.26x Titan slowdown (the paper's 0.31x is the
+  // delta_pi/8 = 143.5 W setting), 23 Arndale boards, ~3x speedup
+  // (paper: ~2.8x).
+  const ex::PowerBoundResult r = ex::run_powerbound();
+  EXPECT_NEAR(r.comparison.big_slowdown, 0.26, 0.03);
+  EXPECT_EQ(r.comparison.small_count, 23);
+  EXPECT_NEAR(r.comparison.speedup, 2.8, 0.5);
+  // Bounded speedup beats the unbounded Fig. 1 best case (~1.6x).
+  EXPECT_GT(r.comparison.speedup, r.unbounded_speedup);
+  EXPECT_NEAR(r.unbounded_speedup, 1.6, 0.4);
+}
+
+TEST(PowerBound, SweepMonotoneInBound) {
+  const auto sweep = ex::run_powerbound_sweep(
+      ex::PowerBoundOptions{}, {140.0, 180.0, 220.0, 260.0});
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    // A looser bound throttles the big block less...
+    EXPECT_GE(sweep[i].comparison.big_slowdown,
+              sweep[i - 1].comparison.big_slowdown);
+    // ...and admits at least as many small blocks.
+    EXPECT_GE(sweep[i].comparison.small_count,
+              sweep[i - 1].comparison.small_count);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,151 @@
+// Tests for the platform -> SimMachine factory and the ground-truth
+// machines' fidelity to the published model parameters.
+
+#include <gtest/gtest.h>
+
+#include "core/roofline.hpp"
+#include "platforms/platform_db.hpp"
+#include "sim/factory.hpp"
+
+namespace {
+
+namespace co = archline::core;
+namespace pl = archline::platforms;
+namespace si = archline::sim;
+
+TEST(Factory, BuildsEveryPlatform) {
+  for (const pl::PlatformSpec& spec : pl::all_platforms()) {
+    const si::SimMachine m = si::make_machine(spec);
+    EXPECT_EQ(m.name(), spec.name);
+  }
+}
+
+TEST(Factory, CostsMatchPublishedConstants) {
+  const pl::PlatformSpec& spec = pl::platform("GTX Titan");
+  const si::SimMachine m = si::make_machine(spec);
+  EXPECT_DOUBLE_EQ(m.config().sp.eps, spec.flop_sp.energy_per_op);
+  EXPECT_DOUBLE_EQ(m.config().dram.eps_byte, spec.mem_stream.energy_per_op);
+  EXPECT_DOUBLE_EQ(m.config().pi1, spec.pi1);
+  EXPECT_DOUBLE_EQ(m.config().delta_pi, spec.delta_pi);
+}
+
+TEST(Factory, OptionalLevelsFollowSpec) {
+  const si::SimMachine nuc_gpu = si::make_machine(pl::platform("NUC GPU"));
+  EXPECT_FALSE(nuc_gpu.config().l1.has_value());
+  EXPECT_FALSE(nuc_gpu.config().l2.has_value());
+  EXPECT_FALSE(nuc_gpu.config().random.has_value());
+  EXPECT_FALSE(nuc_gpu.config().dp.has_value());
+
+  const si::SimMachine phi = si::make_machine(pl::platform("Xeon Phi"));
+  EXPECT_TRUE(phi.config().l1.has_value());
+  EXPECT_TRUE(phi.config().l2.has_value());
+  EXPECT_TRUE(phi.config().random.has_value());
+  EXPECT_TRUE(phi.config().dp.has_value());
+}
+
+TEST(Factory, IdealPhysicsMatchesRooflineForAllPlatforms) {
+  // The simulator's noise-free physics must agree with the model built
+  // from the same published constants (outside droop platforms).
+  for (const pl::PlatformSpec& spec : pl::all_platforms()) {
+    if (spec.name == "Arndale GPU") continue;  // intentional droop mismatch
+    const si::SimMachine machine = si::make_machine(spec);
+    const co::MachineParams params = spec.machine();
+    for (const double intensity : {0.25, 2.0, 16.0, 128.0}) {
+      const co::Workload w = co::Workload::from_intensity(1e11, intensity);
+      si::KernelDesc k;
+      k.label = "fidelity";
+      k.flops = w.flops;
+      k.bytes = w.bytes;
+      const double t_sim = machine.ideal_time(k);
+      const double t_model = co::time(params, w);
+      EXPECT_NEAR(t_sim, t_model, 1e-9 * t_model)
+          << spec.name << " I=" << intensity;
+    }
+  }
+}
+
+TEST(Factory, ArndaleGpuDroopsOnlyInCapRegion) {
+  const pl::PlatformSpec& spec = pl::platform("Arndale GPU");
+  const si::SimMachine machine = si::make_machine(spec);
+  const co::MachineParams params = spec.machine();
+  // Memory-bound point (I = 0.25 < B_tau- ~ 0.68): no droop.
+  {
+    const co::Workload w = co::Workload::from_intensity(1e9, 0.25);
+    si::KernelDesc k;
+    k.label = "mb";
+    k.flops = w.flops;
+    k.bytes = w.bytes;
+    EXPECT_NEAR(machine.ideal_time(k), co::time(params, w),
+                1e-9 * co::time(params, w));
+  }
+  // Cap-bound point: simulator runs longer than the model predicts.
+  {
+    const co::Workload w = co::Workload::from_intensity(1e9, 2.0);
+    si::KernelDesc k;
+    k.label = "cap";
+    k.flops = w.flops;
+    k.bytes = w.bytes;
+    EXPECT_GT(machine.ideal_time(k), co::time(params, w) * 1.005);
+    // ... but within the paper's "always less than 15%" bound.
+    EXPECT_LT(machine.ideal_time(k), co::time(params, w) * 1.15);
+  }
+}
+
+TEST(Factory, NonidealityProfiles) {
+  EXPECT_GT(si::default_nonidealities(pl::platform("NUC GPU"))
+                .noise.os_burst_rate_hz,
+            0.0);
+  EXPECT_GT(si::default_nonidealities(pl::platform("Arndale GPU"))
+                .noise.cap_droop_eta,
+            0.0);
+  EXPECT_DOUBLE_EQ(si::default_nonidealities(pl::platform("GTX Titan"))
+                       .noise.cap_droop_eta,
+                   0.0);
+}
+
+TEST(Factory, RailsFollowDeviceClass) {
+  EXPECT_EQ(si::make_machine(pl::platform("GTX 580")).config().rails.size(),
+            3u);  // slot + 6-pin + 8-pin
+  EXPECT_EQ(si::make_machine(pl::platform("Desktop CPU")).config()
+                .rails.size(),
+            2u);  // ATX + motherboard
+  EXPECT_EQ(si::make_machine(pl::platform("PandaBoard ES")).config()
+                .rails.size(),
+            1u);  // DC brick
+}
+
+TEST(Factory, CacheCapacitiesPositiveWhereConfigured) {
+  for (const pl::PlatformSpec& spec : pl::all_platforms()) {
+    const si::SimMachine m = si::make_machine(spec);
+    if (m.config().l1) {
+      EXPECT_GT(m.config().l1->capacity_bytes, 0.0);
+    }
+    if (m.config().l2) {
+      EXPECT_GT(m.config().l2->capacity_bytes, 0.0);
+    }
+  }
+}
+
+TEST(Factory, NoiseFreeProfileUsable) {
+  si::NonidealityProfile quiet;
+  quiet.noise.time_rel_sd = 0.0;
+  quiet.noise.power_rel_sd = 0.0;
+  const si::SimMachine m =
+      si::make_machine(pl::platform("Xeon Phi"), quiet);
+  archline::stats::Rng rng(1);
+  si::KernelDesc k;
+  k.label = "quiet";
+  k.flops = 1e12;
+  k.bytes = 1e10;
+  const si::RunResult r1 = m.run(k, rng);
+  EXPECT_NEAR(r1.true_time, m.ideal_time(k), 1e-12);
+}
+
+TEST(Factory, DefaultCapacitiesByClass) {
+  EXPECT_GT(si::default_l2_capacity(pl::DeviceClass::DesktopGpu),
+            si::default_l1_capacity(pl::DeviceClass::DesktopGpu));
+  EXPECT_GT(si::default_l2_capacity(pl::DeviceClass::ServerCpu),
+            si::default_l1_capacity(pl::DeviceClass::ServerCpu));
+}
+
+}  // namespace

@@ -1,0 +1,163 @@
+// Failure-injection tests: the measurement and fitting pipeline under
+// degraded conditions — dropped samples, corrupted observations, hostile
+// noise.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fit/model_fit.hpp"
+#include "microbench/suite.hpp"
+#include "platforms/platform_db.hpp"
+#include "powermon/integrator.hpp"
+#include "sim/factory.hpp"
+
+namespace {
+
+namespace co = archline::core;
+namespace ft = archline::fit;
+namespace mb = archline::microbench;
+namespace pl = archline::platforms;
+namespace pm = archline::powermon;
+namespace si = archline::sim;
+using archline::stats::Rng;
+
+// ---- sample dropout --------------------------------------------------
+
+pm::Capture steady_capture(double watts, double duration) {
+  pm::PowerTrace t;
+  t.add_constant(duration, watts);
+  return pm::split_across_rails(t, pm::mobile_board_rails(), 0.0,
+                                duration);
+}
+
+TEST(Dropout, LosesSamplesButKeepsStream) {
+  Rng rng(1);
+  pm::SamplerConfig cfg;
+  cfg.dropout_rate = 0.3;
+  const auto sampled = pm::sample(steady_capture(50.0, 1.0), cfg, rng);
+  const std::size_t got = sampled.channels[0].samples.size();
+  EXPECT_LT(got, 900u);  // ~30% of 1025 lost
+  EXPECT_GT(got, 500u);
+}
+
+TEST(Dropout, MeanEstimatorUnbiasedOnSteadyLoad) {
+  Rng rng(2);
+  pm::SamplerConfig cfg;
+  cfg.dropout_rate = 0.5;
+  const pm::Measurement m =
+      pm::integrate_mean(pm::sample(steady_capture(50.0, 1.0), cfg, rng));
+  // Half the samples are gone but the estimator is a mean: still ~50 W.
+  EXPECT_NEAR(m.avg_watts, 50.0, 0.5);
+}
+
+TEST(Dropout, ZeroRateLosesNothing) {
+  Rng r1(3);
+  Rng r2(3);
+  pm::SamplerConfig with;
+  with.dropout_rate = 0.0;
+  const auto a = pm::sample(steady_capture(10.0, 0.5), with, r1);
+  const auto b =
+      pm::sample(steady_capture(10.0, 0.5), pm::SamplerConfig{}, r2);
+  EXPECT_EQ(a.channels[0].samples.size(), b.channels[0].samples.size());
+}
+
+TEST(Dropout, EndToEndFitSurvivesLossyMeasurement) {
+  const pl::PlatformSpec& spec = pl::platform("GTX Titan");
+  const si::SimMachine machine = si::make_machine(spec);
+  Rng rng(4);
+  mb::SuiteOptions opt;
+  opt.repeats = 2;
+  opt.target_seconds = 0.1;
+  opt.include_double = false;
+  opt.include_caches = false;
+  opt.include_random = false;
+  opt.sampler.dropout_rate = 0.25;
+  const mb::SuiteData data = mb::run_suite(machine, opt, rng);
+  const ft::FitResult r = ft::fit_machine(data);
+  const co::MachineParams truth = spec.machine();
+  EXPECT_NEAR(r.machine.pi1, truth.pi1, 0.1 * truth.pi1);
+  EXPECT_NEAR(r.machine.eps_mem, truth.eps_mem, 0.1 * truth.eps_mem);
+}
+
+// ---- corrupted observations -------------------------------------------
+
+mb::SuiteData clean_suite(std::uint64_t seed) {
+  const si::SimMachine machine =
+      si::make_machine(pl::platform("GTX 680"));
+  Rng rng(seed);
+  mb::SuiteOptions opt;
+  opt.repeats = 2;
+  opt.target_seconds = 0.1;
+  opt.include_double = false;
+  opt.include_caches = false;
+  opt.include_random = false;
+  return mb::run_suite(machine, opt, rng);
+}
+
+TEST(OutlierRejection, RecoversFromCorruptedObservations) {
+  mb::SuiteData data = clean_suite(5);
+  // Corrupt three observations grossly (a glitched meter read).
+  data.dram_sp[3].joules *= 5.0;
+  data.dram_sp[3].watts *= 5.0;
+  data.dram_sp[17].seconds *= 3.0;
+  data.dram_sp[17].watts /= 3.0;
+  data.dram_sp[30].joules *= 0.2;
+  data.dram_sp[30].watts *= 0.2;
+
+  ft::FitOptions naive;
+  naive.idle_watts_hint = data.idle_watts;
+  const ft::FitResult bad = ft::fit_observations(data.dram_sp, naive);
+
+  ft::FitOptions robust = naive;
+  robust.outlier_mad_threshold = 8.0;
+  const ft::FitResult good = ft::fit_observations(data.dram_sp, robust);
+
+  const co::MachineParams truth = pl::platform("GTX 680").machine();
+  const auto err = [&truth](const co::MachineParams& m) {
+    return std::abs(m.eps_mem / truth.eps_mem - 1.0) +
+           std::abs(m.eps_flop / truth.eps_flop - 1.0) +
+           std::abs(m.pi1 / truth.pi1 - 1.0);
+  };
+  EXPECT_LT(err(good.machine), err(bad.machine));
+  EXPECT_LT(err(good.machine), 0.15);
+  // The robust pass reports only the survivors it kept.
+  EXPECT_LT(good.observations, data.dram_sp.size());
+  EXPECT_GE(good.observations, data.dram_sp.size() - 6);
+}
+
+TEST(OutlierRejection, NoOpOnCleanData) {
+  const mb::SuiteData data = clean_suite(6);
+  ft::FitOptions robust;
+  robust.idle_watts_hint = data.idle_watts;
+  robust.outlier_mad_threshold = 12.0;
+  const ft::FitResult r = ft::fit_observations(data.dram_sp, robust);
+  // Clean simulated data has no gross outliers: nothing is dropped.
+  EXPECT_EQ(r.observations, data.dram_sp.size());
+}
+
+// ---- hostile noise ------------------------------------------------------
+
+TEST(HostileNoise, FitDegradesGracefully) {
+  const pl::PlatformSpec& spec = pl::platform("GTX 580");
+  si::NonidealityProfile rough;
+  rough.noise.time_rel_sd = 0.05;   // 6x the default
+  rough.noise.power_rel_sd = 0.05;
+  const si::SimMachine machine = si::make_machine(spec, rough);
+  Rng rng(7);
+  mb::SuiteOptions opt;
+  opt.repeats = 3;
+  opt.target_seconds = 0.1;
+  opt.include_double = false;
+  opt.include_caches = false;
+  opt.include_random = false;
+  const mb::SuiteData data = mb::run_suite(machine, opt, rng);
+  const ft::FitResult r = ft::fit_machine(data);
+  const co::MachineParams truth = spec.machine();
+  // Not precise, but sane: within 25% on the big constants.
+  EXPECT_NEAR(r.machine.pi1, truth.pi1, 0.25 * truth.pi1);
+  EXPECT_NEAR(r.machine.eps_mem, truth.eps_mem, 0.25 * truth.eps_mem);
+  EXPECT_GT(r.r_squared_perf, 0.9);
+}
+
+}  // namespace

@@ -1,0 +1,104 @@
+// Integration tests: the full simulate -> sample -> integrate -> fit ->
+// analyze pipeline (Table I / Fig. 4 style), end to end.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "experiments/exp_fig4.hpp"
+#include "experiments/exp_table1.hpp"
+#include "platforms/platform_db.hpp"
+
+namespace {
+
+namespace ex = archline::experiments;
+namespace pl = archline::platforms;
+
+ex::Table1Options fast_options() {
+  // Default (full) intensity grid: a thin grid under-identifies delta_pi.
+  ex::Table1Options opt;
+  opt.suite.repeats = 2;
+  opt.suite.target_seconds = 0.1;
+  return opt;
+}
+
+TEST(Table1Row, TitanRefitMatchesPublishedConstants) {
+  const ex::Table1Row row =
+      ex::run_table1_row(pl::platform("GTX Titan"), fast_options());
+  EXPECT_LT(row.worst_param_error(), 0.15);
+  EXPECT_GT(row.observations, 20u);
+  EXPECT_GT(row.refit.r_squared_perf, 0.9);
+}
+
+TEST(Table1Row, TuningReachesSustainedPeaks) {
+  const ex::Table1Row row =
+      ex::run_table1_row(pl::platform("Xeon Phi"), fast_options());
+  const pl::PlatformSpec& spec = pl::platform("Xeon Phi");
+  EXPECT_NEAR(row.tune_sp.throughput, spec.flop_sp.throughput,
+              1e-6 * row.tune_sp.throughput);
+  EXPECT_NEAR(row.tune_bw.throughput, spec.mem_stream.throughput,
+              1e-6 * row.tune_bw.throughput);
+}
+
+TEST(Table1Row, CacheAndRandomConstantsRefit) {
+  const ex::Table1Row row =
+      ex::run_table1_row(pl::platform("Desktop CPU"), fast_options());
+  const pl::PlatformSpec& spec = pl::platform("Desktop CPU");
+  ASSERT_TRUE(row.refit.l1 && row.refit.l2 && row.refit.random);
+  EXPECT_NEAR(row.refit.random->eps_access,
+              spec.mem_rand->energy_per_op,
+              0.2 * spec.mem_rand->energy_per_op);
+}
+
+TEST(Table1Row, MobilePlatformRefits) {
+  const ex::Table1Row row =
+      ex::run_table1_row(pl::platform("PandaBoard ES"), fast_options());
+  EXPECT_LT(row.worst_param_error(), 0.3);
+}
+
+TEST(Fig4, CappedModelImprovesEverywhereOrNearly) {
+  ex::Fig4Options opt;
+  opt.suite.repeats = 3;
+  opt.suite.target_seconds = 0.1;
+  const ex::Fig4Result r = ex::run_fig4(opt);
+  ASSERT_EQ(r.platforms.size(), 12u);
+  // "the distribution of errors on all platforms improves": dropping the
+  // cap term can only add overprediction, so the capped median magnitude
+  // never exceeds the uncapped one.
+  EXPECT_EQ(r.improved_count, 12);
+  // The uncapped bias is to OVERPREDICT (positive errors), as in Fig. 4.
+  for (const ex::Fig4Platform& p : r.platforms)
+    EXPECT_GE(p.uncapped_summary.max, -1e-9) << p.platform;
+  // The paper marks 7 platforms significant; our verdicts are driven by
+  // how strongly each platform's cap binds in the published constants,
+  // which matches the paper on a majority but not all (e.g. the Xeon
+  // Phi's cap binds by only ~2%, below our noise floor, yet the paper
+  // marks it — see EXPERIMENTS.md).
+  EXPECT_EQ(r.paper_significant_count, 7);
+  EXPECT_GE(r.agreement_count, 6);
+  EXPECT_GE(r.significant_count, 4);
+  // The strongly cap-bound platforms must test significant, as in the
+  // paper.
+  for (const ex::Fig4Platform& p : r.platforms) {
+    if (p.platform == "NUC GPU" || p.platform == "Arndale GPU" ||
+        p.platform == "Arndale CPU") {
+      EXPECT_TRUE(p.significant) << p.platform;
+    }
+  }
+  // Capped-model errors must be small in magnitude.
+  for (const ex::Fig4Platform& p : r.platforms)
+    EXPECT_LT(std::abs(p.capped_summary.median), 0.1) << p.platform;
+}
+
+TEST(Fig4, ErrorDistributionsSortedByUncappedMedian) {
+  ex::Fig4Options opt;
+  opt.suite.intensities = {0.125, 1.0, 8.0, 64.0, 512.0};
+  opt.suite.repeats = 2;
+  opt.suite.target_seconds = 0.1;
+  const ex::Fig4Result r = ex::run_fig4(opt);
+  for (std::size_t i = 1; i < r.platforms.size(); ++i)
+    EXPECT_GE(r.platforms[i - 1].uncapped_summary.median,
+              r.platforms[i].uncapped_summary.median);
+}
+
+}  // namespace

@@ -1,0 +1,94 @@
+// Tests for the intensity microbenchmark generator.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/machine_params.hpp"
+#include "microbench/intensity.hpp"
+
+namespace {
+
+namespace mb = archline::microbench;
+namespace co = archline::core;
+
+TEST(FlopsPerWord, ScalesWithPrecision) {
+  EXPECT_DOUBLE_EQ(mb::flops_per_word(2.0, co::Precision::Single), 8.0);
+  EXPECT_DOUBLE_EQ(mb::flops_per_word(2.0, co::Precision::Double), 16.0);
+  EXPECT_DOUBLE_EQ(mb::flops_per_word(0.125, co::Precision::Single), 0.5);
+}
+
+TEST(IntensityKernel, FlopsMatchIntensityTimesBytes) {
+  const auto k = mb::intensity_kernel(4.0, 1e9, co::Precision::Single,
+                                      co::MemLevel::DRAM);
+  EXPECT_DOUBLE_EQ(k.flops, 4e9);
+  EXPECT_DOUBLE_EQ(k.bytes, 1e9);
+  EXPECT_DOUBLE_EQ(k.intensity(), 4.0);
+  EXPECT_EQ(k.pattern, co::AccessPattern::Streaming);
+  EXPECT_EQ(k.level, co::MemLevel::DRAM);
+}
+
+TEST(IntensityKernel, LabelsCarryContext) {
+  const auto k = mb::intensity_kernel(1.0, 1.0, co::Precision::Double,
+                                      co::MemLevel::L2);
+  EXPECT_NE(k.label.find("double"), std::string::npos);
+  EXPECT_NE(k.label.find("L2"), std::string::npos);
+}
+
+TEST(IntensityKernel, RejectsBadArguments) {
+  EXPECT_THROW((void)mb::intensity_kernel(0.0, 1.0, co::Precision::Single,
+                                          co::MemLevel::DRAM),
+               std::invalid_argument);
+  EXPECT_THROW((void)mb::intensity_kernel(1.0, 0.0, co::Precision::Single,
+                                          co::MemLevel::DRAM),
+               std::invalid_argument);
+}
+
+TEST(DefaultGrid, CoversPaperRange) {
+  const auto grid = mb::default_intensity_grid();
+  EXPECT_DOUBLE_EQ(grid.front(), 0.125);
+  EXPECT_NEAR(grid.back(), 512.0, 1e-9);
+  for (std::size_t i = 1; i < grid.size(); ++i)
+    EXPECT_GT(grid[i], grid[i - 1]);
+}
+
+TEST(BytesForDuration, MemoryBoundCase) {
+  // tau_byte = 1 ns dominates at low intensity: 1 s -> 1e9 bytes.
+  const double bytes = mb::bytes_for_duration(
+      0.125, 1e-9, 1e-12, 1e-9, 1e-12, co::kUncapped, 1.0);
+  EXPECT_NEAR(bytes, 1e9, 1.0);
+}
+
+TEST(BytesForDuration, ComputeBoundCase) {
+  // At I = 100, flop time per byte = 100 ns dominates: 1 s -> 1e7 bytes.
+  const double bytes = mb::bytes_for_duration(
+      100.0, 1e-9, 1e-12, 1e-9, 1e-12, co::kUncapped, 1.0);
+  EXPECT_NEAR(bytes, 1e7, 1.0);
+}
+
+TEST(BytesForDuration, CapBoundCase) {
+  // Active power demand far above the cap: the cap term sizes the kernel.
+  // I = 1: energy per byte = 1 nJ + 2 nJ = 3 nJ; cap 1 W -> 3 ns per byte.
+  const double bytes = mb::bytes_for_duration(
+      1.0, 1e-9, 1e-9, 1e-9, 2e-9, 1.0, 3.0);
+  EXPECT_NEAR(bytes, 1e9, 1.0);
+}
+
+TEST(BytesForDuration, RejectsBadArguments) {
+  EXPECT_THROW((void)mb::bytes_for_duration(0.0, 1.0, 1.0, 1.0, 1.0,
+                                            co::kUncapped, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)mb::bytes_for_duration(1.0, 1.0, 1.0, 1.0, 1.0,
+                                            co::kUncapped, 0.0),
+               std::invalid_argument);
+}
+
+TEST(BytesForDuration, LongerTargetMeansMoreBytes) {
+  const double one = mb::bytes_for_duration(1.0, 1e-9, 1e-12, 1e-9, 1e-12,
+                                            co::kUncapped, 1.0);
+  const double two = mb::bytes_for_duration(1.0, 1e-9, 1e-12, 1e-9, 1e-12,
+                                            co::kUncapped, 2.0);
+  EXPECT_NEAR(two, 2.0 * one, 1e-6);
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+// Tests for the interconnect-overhead extension: quantifying the paper's
+// "best-case ignores the network" caveat.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/interconnect.hpp"
+#include "core/roofline.hpp"
+#include "core/scenarios.hpp"
+#include "platforms/platform_db.hpp"
+
+namespace {
+
+namespace co = archline::core;
+namespace pl = archline::platforms;
+
+co::MachineParams titan() { return pl::platform("GTX Titan").machine(); }
+co::MachineParams arndale() { return pl::platform("Arndale GPU").machine(); }
+
+TEST(NetworkModel, ValidationRules) {
+  co::NetworkModel net;
+  EXPECT_NO_THROW(net.validate());
+  net.per_block_watts = -1.0;
+  EXPECT_THROW(net.validate(), std::invalid_argument);
+  net = {};
+  net.parallel_efficiency = 0.0;
+  EXPECT_THROW(net.validate(), std::invalid_argument);
+  net.parallel_efficiency = 1.1;
+  EXPECT_THROW(net.validate(), std::invalid_argument);
+}
+
+TEST(AggregateWithNetwork, FreeIdealNetworkMatchesPlainAggregate) {
+  const co::MachineParams a = co::aggregate(arndale(), 10);
+  const co::MachineParams b =
+      co::aggregate_with_network(arndale(), 10, co::NetworkModel{});
+  EXPECT_DOUBLE_EQ(a.tau_flop, b.tau_flop);
+  EXPECT_DOUBLE_EQ(a.pi1, b.pi1);
+  EXPECT_DOUBLE_EQ(a.delta_pi, b.delta_pi);
+}
+
+TEST(AggregateWithNetwork, OverheadAddsToConstantPower) {
+  const co::NetworkModel net{.per_block_watts = 2.0,
+                             .parallel_efficiency = 1.0};
+  const co::MachineParams agg =
+      co::aggregate_with_network(arndale(), 10, net);
+  EXPECT_DOUBLE_EQ(agg.pi1, 10.0 * arndale().pi1 + 20.0);
+}
+
+TEST(AggregateWithNetwork, EfficiencyScalesThroughput) {
+  const co::NetworkModel net{.per_block_watts = 0.0,
+                             .parallel_efficiency = 0.8};
+  const co::MachineParams agg =
+      co::aggregate_with_network(arndale(), 10, net);
+  EXPECT_NEAR(agg.peak_flops(), 8.0 * arndale().peak_flops(),
+              1e-6 * agg.peak_flops());
+}
+
+TEST(AggregateWithNetwork, BadCountThrows) {
+  EXPECT_THROW(
+      (void)co::aggregate_with_network(arndale(), 0, co::NetworkModel{}),
+      std::invalid_argument);
+}
+
+TEST(BlocksWithinBudget, MatchesHandComputation) {
+  // Arndale: pi1 + dpi = 6.11 W; +1.89 W network = 8 W per block.
+  const co::NetworkModel net{.per_block_watts = 1.89,
+                             .parallel_efficiency = 1.0};
+  EXPECT_EQ(co::blocks_within_budget(arndale(), net, 80.0), 10);
+}
+
+TEST(BlocksWithinBudget, ZeroWhenBlockTooBig) {
+  const co::NetworkModel net{.per_block_watts = 0.0,
+                             .parallel_efficiency = 1.0};
+  EXPECT_EQ(co::blocks_within_budget(titan(), net, 100.0), 0);
+}
+
+TEST(BlocksWithinBudget, NetworkOverheadShrinksCount) {
+  const double budget = titan().pi1 + titan().delta_pi;
+  const co::NetworkModel free{.per_block_watts = 0.0,
+                              .parallel_efficiency = 1.0};
+  const co::NetworkModel costly{.per_block_watts = 3.0,
+                                .parallel_efficiency = 1.0};
+  EXPECT_GT(co::blocks_within_budget(arndale(), free, budget),
+            co::blocks_within_budget(arndale(), costly, budget));
+}
+
+TEST(BreakEven, ExistsForBandwidthBoundComparison) {
+  // At I = 0.25 the free-network Arndale aggregate beats the Titan by
+  // ~1.65x; some per-block overhead erases that.
+  const double watts = co::break_even_network_watts(titan(), arndale(),
+                                                    0.25);
+  EXPECT_GT(watts, 0.1);
+  EXPECT_LT(watts, 10.0);
+
+  // Just below break-even the aggregate still wins; just above it loses.
+  const double budget = titan().pi1 + titan().delta_pi;
+  for (const double sign : {-1.0, 1.0}) {
+    const co::NetworkModel net{.per_block_watts = watts + sign * 0.05,
+                               .parallel_efficiency = 1.0};
+    const int n = co::blocks_within_budget(arndale(), net, budget);
+    ASSERT_GE(n, 1);
+    const co::MachineParams agg =
+        co::aggregate_with_network(arndale(), n, net);
+    const bool wins =
+        co::performance(agg, 0.25) > co::performance(titan(), 0.25);
+    EXPECT_EQ(wins, sign < 0.0) << "at offset " << sign;
+  }
+}
+
+TEST(BreakEven, NegativeWhenAggregateNeverWins) {
+  // At compute-bound intensities the Arndale aggregate loses even with a
+  // free network (Fig. 1: "less than 1/2" of Titan's peak).
+  EXPECT_LT(co::break_even_network_watts(titan(), arndale(), 128.0), 0.0);
+}
+
+TEST(BreakEven, LowerParallelEfficiencyLowersBreakEven) {
+  const double ideal =
+      co::break_even_network_watts(titan(), arndale(), 0.25, 1.0);
+  const double lossy =
+      co::break_even_network_watts(titan(), arndale(), 0.25, 0.7);
+  EXPECT_LT(lossy, ideal);
+}
+
+}  // namespace

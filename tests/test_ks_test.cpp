@@ -1,0 +1,129 @@
+// Tests for the two-sample Kolmogorov-Smirnov implementation.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "stats/ks_test.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+namespace st = archline::stats;
+
+TEST(KolmogorovSurvival, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(st::kolmogorov_survival(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(st::kolmogorov_survival(-1.0), 1.0);
+  EXPECT_LT(st::kolmogorov_survival(10.0), 1e-12);
+}
+
+TEST(KolmogorovSurvival, KnownValues) {
+  // Q(1.0) ~ 0.27, Q(1.36) ~ 0.049 (the classic 5% critical value).
+  EXPECT_NEAR(st::kolmogorov_survival(1.0), 0.27, 0.01);
+  EXPECT_NEAR(st::kolmogorov_survival(1.36), 0.049, 0.003);
+}
+
+TEST(KolmogorovSurvival, MonotoneDecreasing) {
+  double prev = 1.0;
+  for (double l = 0.1; l < 3.0; l += 0.1) {
+    const double q = st::kolmogorov_survival(l);
+    EXPECT_LE(q, prev + 1e-12);
+    prev = q;
+  }
+}
+
+TEST(KsTwoSample, IdenticalSamplesStatZero) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  const st::KsResult r = st::ks_two_sample(a, a);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+  EXPECT_FALSE(r.significant());
+}
+
+TEST(KsTwoSample, DisjointSamplesStatOne) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {10.0, 11.0, 12.0};
+  const st::KsResult r = st::ks_two_sample(a, b);
+  EXPECT_DOUBLE_EQ(r.statistic, 1.0);
+}
+
+TEST(KsTwoSample, EmptyThrows) {
+  const std::vector<double> a = {1.0};
+  const std::vector<double> empty;
+  EXPECT_THROW((void)st::ks_two_sample(a, empty), std::invalid_argument);
+  EXPECT_THROW((void)st::ks_two_sample(empty, a), std::invalid_argument);
+}
+
+TEST(KsTwoSample, KnownSmallCase) {
+  // F1 jumps at {1,2}, F2 at {1.5, 2.5}; max gap is 0.5.
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {1.5, 2.5};
+  const st::KsResult r = st::ks_two_sample(a, b);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.5);
+}
+
+TEST(KsTwoSample, SameDistributionRarelySignificant) {
+  st::Rng rng(8);
+  int false_positives = 0;
+  const int trials = 50;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> a(200);
+    std::vector<double> b(200);
+    for (double& x : a) x = rng.normal();
+    for (double& x : b) x = rng.normal();
+    if (st::ks_two_sample(a, b).significant()) ++false_positives;
+  }
+  // Expected ~2.5 at alpha = .05; allow generous headroom.
+  EXPECT_LE(false_positives, 8);
+}
+
+TEST(KsTwoSample, ShiftedDistributionDetected) {
+  st::Rng rng(9);
+  std::vector<double> a(300);
+  std::vector<double> b(300);
+  for (double& x : a) x = rng.normal(0.0, 1.0);
+  for (double& x : b) x = rng.normal(0.5, 1.0);
+  const st::KsResult r = st::ks_two_sample(a, b);
+  EXPECT_TRUE(r.significant());
+  EXPECT_LT(r.p_value, 0.01);
+}
+
+TEST(KsTwoSample, ScaleChangeDetected) {
+  st::Rng rng(10);
+  std::vector<double> a(400);
+  std::vector<double> b(400);
+  for (double& x : a) x = rng.normal(0.0, 1.0);
+  for (double& x : b) x = rng.normal(0.0, 2.0);
+  EXPECT_TRUE(st::ks_two_sample(a, b).significant());
+}
+
+TEST(KsTwoSample, SymmetricInArguments) {
+  st::Rng rng(11);
+  std::vector<double> a(100);
+  std::vector<double> b(150);
+  for (double& x : a) x = rng.normal();
+  for (double& x : b) x = rng.normal(0.2, 1.3);
+  const st::KsResult r1 = st::ks_two_sample(a, b);
+  const st::KsResult r2 = st::ks_two_sample(b, a);
+  EXPECT_DOUBLE_EQ(r1.statistic, r2.statistic);
+  EXPECT_DOUBLE_EQ(r1.p_value, r2.p_value);
+}
+
+TEST(KsTwoSample, UnsortedInputHandled) {
+  const std::vector<double> a = {3.0, 1.0, 2.0};
+  const std::vector<double> b = {2.5, 0.5, 1.5};
+  const std::vector<double> a_sorted = {1.0, 2.0, 3.0};
+  const std::vector<double> b_sorted = {0.5, 1.5, 2.5};
+  EXPECT_DOUBLE_EQ(st::ks_two_sample(a, b).statistic,
+                   st::ks_two_sample(a_sorted, b_sorted).statistic);
+}
+
+TEST(KsTwoSample, TiesHandled) {
+  const std::vector<double> a = {1.0, 1.0, 1.0, 2.0};
+  const std::vector<double> b = {1.0, 1.0, 2.0, 2.0};
+  const st::KsResult r = st::ks_two_sample(a, b);
+  EXPECT_NEAR(r.statistic, 0.25, 1e-12);
+}
+
+}  // namespace

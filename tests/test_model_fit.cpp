@@ -1,0 +1,145 @@
+// Tests for the end-to-end fitting pipeline: parameter recovery from
+// simulated measurements.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fit/model_fit.hpp"
+#include "platforms/platform_db.hpp"
+#include "sim/factory.hpp"
+
+namespace {
+
+namespace ft = archline::fit;
+namespace co = archline::core;
+namespace mb = archline::microbench;
+namespace pl = archline::platforms;
+namespace si = archline::sim;
+
+mb::SuiteData make_suite(const std::string& platform, std::uint64_t seed,
+                         bool full = true) {
+  const si::SimMachine m = si::make_machine(pl::platform(platform));
+  archline::stats::Rng rng(seed);
+  mb::SuiteOptions opt;
+  opt.repeats = 2;
+  opt.target_seconds = 0.15;
+  opt.include_double = full;
+  opt.include_caches = full;
+  opt.include_random = full;
+  return mb::run_suite(m, opt, rng);
+}
+
+void expect_close(double got, double want, double rel, const char* what) {
+  EXPECT_NEAR(got, want, rel * want) << what;
+}
+
+TEST(FitMachine, RecoversTitanParameters) {
+  const mb::SuiteData data = make_suite("GTX Titan", 101);
+  const ft::FitResult r = ft::fit_machine(data);
+  const co::MachineParams truth = pl::platform("GTX Titan").machine();
+  expect_close(r.machine.tau_flop, truth.tau_flop, 0.05, "tau_flop");
+  expect_close(r.machine.eps_flop, truth.eps_flop, 0.10, "eps_flop");
+  expect_close(r.machine.tau_mem, truth.tau_mem, 0.05, "tau_mem");
+  expect_close(r.machine.eps_mem, truth.eps_mem, 0.10, "eps_mem");
+  expect_close(r.machine.pi1, truth.pi1, 0.10, "pi1");
+  expect_close(r.machine.delta_pi, truth.delta_pi, 0.15, "delta_pi");
+  EXPECT_GT(r.r_squared_perf, 0.95);
+}
+
+TEST(FitMachine, RecoversDoublePrecisionCosts) {
+  const mb::SuiteData data = make_suite("GTX Titan", 102);
+  const ft::FitResult r = ft::fit_machine(data);
+  ASSERT_TRUE(r.dp.has_value());
+  const pl::PlatformSpec& spec = pl::platform("GTX Titan");
+  expect_close(1.0 / r.dp->tau_flop, spec.flop_dp->throughput, 0.05,
+               "dp throughput");
+  expect_close(r.dp->eps_flop, spec.flop_dp->energy_per_op, 0.15, "eps_d");
+}
+
+TEST(FitMachine, RecoversCacheLevels) {
+  const mb::SuiteData data = make_suite("Xeon Phi", 103);
+  const ft::FitResult r = ft::fit_machine(data);
+  const pl::PlatformSpec& spec = pl::platform("Xeon Phi");
+  ASSERT_TRUE(r.l1.has_value());
+  ASSERT_TRUE(r.l2.has_value());
+  expect_close(1.0 / r.l1->tau_byte, spec.mem_l1->throughput, 0.08,
+               "L1 bandwidth");
+  expect_close(r.l1->eps_byte, spec.mem_l1->energy_per_op, 0.4, "eps_L1");
+  expect_close(1.0 / r.l2->tau_byte, spec.mem_l2->throughput, 0.08,
+               "L2 bandwidth");
+  expect_close(r.l2->eps_byte, spec.mem_l2->energy_per_op, 0.3, "eps_L2");
+}
+
+TEST(FitMachine, RecoversRandomAccessCosts) {
+  const mb::SuiteData data = make_suite("Desktop CPU", 104);
+  const ft::FitResult r = ft::fit_machine(data);
+  const pl::PlatformSpec& spec = pl::platform("Desktop CPU");
+  ASSERT_TRUE(r.random.has_value());
+  expect_close(1.0 / r.random->tau_access, spec.mem_rand->throughput, 0.05,
+               "access rate");
+  expect_close(r.random->eps_access, spec.mem_rand->energy_per_op, 0.15,
+               "eps_rand");
+}
+
+TEST(FitMachine, FittedLevelOrderingMatchesInclusiveCosts) {
+  const mb::SuiteData data = make_suite("NUC CPU", 105);
+  const ft::FitResult r = ft::fit_machine(data);
+  ASSERT_TRUE(r.l1 && r.l2);
+  EXPECT_LT(r.l1->eps_byte, r.l2->eps_byte);
+  EXPECT_LT(r.l2->eps_byte, r.machine.eps_mem);
+}
+
+TEST(FitMachine, SkipsAbsentData) {
+  const mb::SuiteData data = make_suite("NUC GPU", 106);
+  const ft::FitResult r = ft::fit_machine(data);
+  EXPECT_FALSE(r.dp.has_value());
+  EXPECT_FALSE(r.l1.has_value());
+  EXPECT_FALSE(r.l2.has_value());
+  EXPECT_FALSE(r.random.has_value());
+}
+
+TEST(FitObservations, UncappedModelFitsWorseOnCapBoundPlatform) {
+  // The NUC GPU spends most of its sweep power-capped; the uncapped model
+  // cannot explain that region and must leave a larger residual.
+  const mb::SuiteData data = make_suite("NUC GPU", 107, false);
+  ft::FitOptions capped;
+  capped.kind = ft::ModelKind::Capped;
+  ft::FitOptions uncapped;
+  uncapped.kind = ft::ModelKind::Uncapped;
+  const ft::FitResult rc = ft::fit_observations(data.dram_sp, capped);
+  const ft::FitResult ru = ft::fit_observations(data.dram_sp, uncapped);
+  EXPECT_LT(rc.rss, 0.5 * ru.rss);
+}
+
+TEST(FitObservations, UncappedFitReturnsUncappedMachine) {
+  const mb::SuiteData data = make_suite("Desktop CPU", 108, false);
+  ft::FitOptions opt;
+  opt.kind = ft::ModelKind::Uncapped;
+  const ft::FitResult r = ft::fit_observations(data.dram_sp, opt);
+  EXPECT_TRUE(r.machine.uncapped());
+  EXPECT_EQ(r.kind, ft::ModelKind::Uncapped);
+}
+
+TEST(FitObservations, TooFewPointsThrows) {
+  const mb::SuiteData data = make_suite("APU CPU", 109, false);
+  const std::span<const mb::Observation> few(data.dram_sp.data(), 5);
+  EXPECT_THROW((void)ft::fit_observations(few), std::invalid_argument);
+}
+
+TEST(FitObservations, DeterministicGivenSameData) {
+  const mb::SuiteData data = make_suite("Arndale CPU", 110, false);
+  const ft::FitResult a = ft::fit_observations(data.dram_sp);
+  const ft::FitResult b = ft::fit_observations(data.dram_sp);
+  EXPECT_DOUBLE_EQ(a.machine.tau_flop, b.machine.tau_flop);
+  EXPECT_DOUBLE_EQ(a.rss, b.rss);
+}
+
+TEST(FitObservations, ReportsObservationCount) {
+  const mb::SuiteData data = make_suite("APU GPU", 111, false);
+  const ft::FitResult r = ft::fit_observations(data.dram_sp);
+  EXPECT_EQ(r.observations, data.dram_sp.size());
+}
+
+}  // namespace

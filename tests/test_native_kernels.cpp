@@ -1,0 +1,132 @@
+// Tests for the native (actually-executing) host kernels. These run real
+// loops, so assertions stick to accounting and coarse physics (time > 0,
+// more work takes longer), not absolute throughput.
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include <stdexcept>
+
+#include "microbench/native_kernels.hpp"
+
+namespace {
+
+namespace mb = archline::microbench;
+namespace co = archline::core;
+using archline::stats::Rng;
+
+TEST(IntensityLadder, AccountingMatchesParameters) {
+  const mb::NativeResult r =
+      mb::run_intensity_ladder(1 << 14, 8, co::Precision::Single);
+  // 8 flops/element = 4 FMA rungs x 2 flop.
+  EXPECT_DOUBLE_EQ(r.flops, 8.0 * (1 << 14));
+  EXPECT_DOUBLE_EQ(r.bytes, 4.0 * (1 << 14));
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_DOUBLE_EQ(r.intensity(), 2.0);
+}
+
+TEST(IntensityLadder, DoublePrecisionDoublesTraffic) {
+  const mb::NativeResult s =
+      mb::run_intensity_ladder(1 << 12, 4, co::Precision::Single);
+  const mb::NativeResult d =
+      mb::run_intensity_ladder(1 << 12, 4, co::Precision::Double);
+  EXPECT_DOUBLE_EQ(d.bytes, 2.0 * s.bytes);
+}
+
+TEST(IntensityLadder, PassesMultiplyWork) {
+  const mb::NativeResult one =
+      mb::run_intensity_ladder(1 << 12, 4, co::Precision::Single, 1);
+  const mb::NativeResult three =
+      mb::run_intensity_ladder(1 << 12, 4, co::Precision::Single, 3);
+  EXPECT_DOUBLE_EQ(three.flops, 3.0 * one.flops);
+}
+
+TEST(IntensityLadder, ChecksumIsFinite) {
+  const mb::NativeResult r =
+      mb::run_intensity_ladder(1 << 10, 16, co::Precision::Double);
+  EXPECT_TRUE(std::isfinite(r.checksum));
+  EXPECT_NE(r.checksum, 0.0);
+}
+
+TEST(IntensityLadder, MoreFlopsPerElementTakesLonger) {
+  // Coarse physics: 64x the arithmetic should not be faster.
+  const std::size_t n = 1 << 16;
+  const mb::NativeResult light =
+      mb::run_intensity_ladder(n, 2, co::Precision::Single, 4);
+  const mb::NativeResult heavy =
+      mb::run_intensity_ladder(n, 128, co::Precision::Single, 4);
+  EXPECT_GT(heavy.seconds, light.seconds);
+}
+
+TEST(IntensityLadder, RejectsBadArguments) {
+  EXPECT_THROW((void)mb::run_intensity_ladder(0, 4, co::Precision::Single),
+               std::invalid_argument);
+  EXPECT_THROW((void)mb::run_intensity_ladder(16, 0, co::Precision::Single),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)mb::run_intensity_ladder(16, 4, co::Precision::Single, 0),
+      std::invalid_argument);
+}
+
+TEST(StreamTriad, AccountingPerElement) {
+  const mb::NativeResult r =
+      mb::run_stream_triad(1 << 14, co::Precision::Single);
+  EXPECT_DOUBLE_EQ(r.flops, 2.0 * (1 << 14));
+  EXPECT_DOUBLE_EQ(r.bytes, 12.0 * (1 << 14));  // 3 floats per element
+  EXPECT_GT(r.seconds, 0.0);
+}
+
+TEST(StreamTriad, ComputesCorrectValues) {
+  const mb::NativeResult r =
+      mb::run_stream_triad(1 << 10, co::Precision::Double);
+  // a[mid] = b[mid] + 3 * c[mid]; both inputs derived from index patterns.
+  const std::size_t mid = (1 << 10) / 2;
+  const double expect = (mid % 13) * 0.5 + 3.0 * ((mid % 7) * 0.25);
+  EXPECT_DOUBLE_EQ(r.checksum, expect);
+}
+
+TEST(StreamTriad, RejectsEmpty) {
+  EXPECT_THROW((void)mb::run_stream_triad(0, co::Precision::Single),
+               std::invalid_argument);
+}
+
+TEST(PointerChase, VisitsRequestedSteps) {
+  Rng rng(1);
+  const mb::NativeResult r = mb::run_pointer_chase(1 << 12, 1 << 16, rng);
+  EXPECT_DOUBLE_EQ(r.accesses, 1 << 16);
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_GT(r.accesses_per_second(), 0.0);
+}
+
+TEST(PointerChase, FullCycleReturnsToStart) {
+  Rng rng(2);
+  const std::size_t slots = 4096;
+  const mb::NativeResult r = mb::run_pointer_chase(slots, slots, rng);
+  // After exactly n steps around a single n-cycle we are back at slot 0.
+  EXPECT_DOUBLE_EQ(r.checksum, 0.0);
+}
+
+TEST(PointerChase, PartialWalkIsNotAtStart) {
+  Rng rng(3);
+  const mb::NativeResult r = mb::run_pointer_chase(4096, 2048, rng);
+  EXPECT_NE(r.checksum, 0.0);
+}
+
+TEST(PointerChase, RejectsBadArguments) {
+  Rng rng(4);
+  EXPECT_THROW((void)mb::run_pointer_chase(1, 10, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)mb::run_pointer_chase(16, 0, rng),
+               std::invalid_argument);
+}
+
+TEST(NativeSweep, OneResultPerRung) {
+  const auto results = mb::native_intensity_sweep(
+      1 << 12, {2, 8, 32}, co::Precision::Single);
+  ASSERT_EQ(results.size(), 3u);
+  // Intensity climbs with the ladder.
+  EXPECT_LT(results[0].intensity(), results[1].intensity());
+  EXPECT_LT(results[1].intensity(), results[2].intensity());
+}
+
+}  // namespace

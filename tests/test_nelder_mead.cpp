@@ -1,0 +1,103 @@
+// Tests for the Nelder-Mead simplex minimizer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fit/nelder_mead.hpp"
+
+namespace {
+
+namespace ft = archline::fit;
+
+TEST(NelderMead, MinimizesQuadratic1D) {
+  const auto f = [](std::span<const double> x) {
+    return (x[0] - 3.0) * (x[0] - 3.0);
+  };
+  const auto r = ft::nelder_mead(f, std::vector<double>{0.0});
+  EXPECT_NEAR(r.x[0], 3.0, 1e-5);
+  EXPECT_LT(r.fx, 1e-9);
+}
+
+TEST(NelderMead, MinimizesShiftedSphere4D) {
+  const auto f = [](std::span<const double> x) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double d = x[i] - static_cast<double>(i);
+      acc += d * d;
+    }
+    return acc;
+  };
+  const auto r =
+      ft::nelder_mead(f, std::vector<double>{5.0, 5.0, 5.0, 5.0});
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_NEAR(r.x[i], static_cast<double>(i), 1e-4);
+}
+
+TEST(NelderMead, Rosenbrock2D) {
+  const auto f = [](std::span<const double> x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  ft::NelderMeadOptions opt;
+  opt.max_evaluations = 50000;
+  const auto r = ft::nelder_mead(f, std::vector<double>{-1.2, 1.0}, opt);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-3);
+}
+
+TEST(NelderMead, HandlesMaxKinks) {
+  // The roofline objective is a max() of planes; NM must cope.
+  const auto f = [](std::span<const double> x) {
+    return std::max({std::abs(x[0] - 2.0), std::abs(x[1] + 1.0), 0.1});
+  };
+  const auto r = ft::nelder_mead(f, std::vector<double>{10.0, 10.0});
+  EXPECT_NEAR(r.fx, 0.1, 1e-6);
+  EXPECT_NEAR(r.x[0], 2.0, 0.2);
+  EXPECT_NEAR(r.x[1], -1.0, 0.2);
+}
+
+TEST(NelderMead, NonFiniteObjectiveTreatedAsHuge) {
+  const auto f = [](std::span<const double> x) {
+    if (x[0] < 0.0) return std::numeric_limits<double>::quiet_NaN();
+    return (x[0] - 1.0) * (x[0] - 1.0);
+  };
+  const auto r = ft::nelder_mead(f, std::vector<double>{2.0});
+  EXPECT_NEAR(r.x[0], 1.0, 1e-4);
+}
+
+TEST(NelderMead, RespectsEvaluationBudget) {
+  int count = 0;
+  const auto f = [&count](std::span<const double> x) {
+    ++count;
+    return x[0] * x[0];
+  };
+  ft::NelderMeadOptions opt;
+  opt.max_evaluations = 50;
+  (void)ft::nelder_mead(f, std::vector<double>{100.0}, opt);
+  EXPECT_LE(count, 55);  // small overshoot from the final shrink step
+}
+
+TEST(NelderMead, ConvergedFlagOnEasyProblem) {
+  const auto f = [](std::span<const double> x) { return x[0] * x[0]; };
+  const auto r = ft::nelder_mead(f, std::vector<double>{1.0});
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(NelderMead, EmptyStartThrows) {
+  const auto f = [](std::span<const double>) { return 0.0; };
+  EXPECT_THROW((void)ft::nelder_mead(f, std::vector<double>{}),
+               std::invalid_argument);
+}
+
+TEST(NelderMead, StartAtOptimumStaysThere) {
+  const auto f = [](std::span<const double> x) {
+    return x[0] * x[0] + x[1] * x[1];
+  };
+  const auto r = ft::nelder_mead(f, std::vector<double>{0.0, 0.0});
+  EXPECT_LT(r.fx, 1e-6);
+}
+
+}  // namespace

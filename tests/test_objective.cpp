@@ -1,0 +1,136 @@
+// Tests for the fitting objective: packing, residuals, prediction errors,
+// and the heuristic initial guess.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/roofline.hpp"
+#include "fit/objective.hpp"
+#include "microbench/suite.hpp"
+#include "platforms/platform_db.hpp"
+#include "sim/factory.hpp"
+
+namespace {
+
+namespace ft = archline::fit;
+namespace co = archline::core;
+namespace mb = archline::microbench;
+namespace pl = archline::platforms;
+namespace si = archline::sim;
+
+co::MachineParams titan() { return pl::platform("GTX Titan").machine(); }
+
+mb::SuiteData titan_suite(std::uint64_t seed = 5) {
+  const si::SimMachine m = si::make_machine(pl::platform("GTX Titan"));
+  archline::stats::Rng rng(seed);
+  mb::SuiteOptions opt;
+  opt.intensities = {0.125, 0.5, 2.0, 8.0, 32.0, 128.0};
+  opt.repeats = 2;
+  opt.target_seconds = 0.1;
+  opt.include_double = false;
+  opt.include_caches = false;
+  opt.include_random = false;
+  return mb::run_suite(m, opt, rng);
+}
+
+TEST(ParameterCount, SixCappedFiveUncapped) {
+  EXPECT_EQ(ft::parameter_count(ft::ModelKind::Capped), 6u);
+  EXPECT_EQ(ft::parameter_count(ft::ModelKind::Uncapped), 5u);
+}
+
+TEST(PackUnpack, RoundTripCapped) {
+  const co::MachineParams m = titan();
+  const auto x = ft::pack(m, ft::ModelKind::Capped);
+  ASSERT_EQ(x.size(), 6u);
+  const co::MachineParams back = ft::unpack(x, ft::ModelKind::Capped);
+  EXPECT_NEAR(back.tau_flop, m.tau_flop, 1e-18);
+  EXPECT_NEAR(back.eps_mem, m.eps_mem, 1e-18);
+  EXPECT_NEAR(back.pi1, m.pi1, 1e-9);
+  EXPECT_NEAR(back.delta_pi, m.delta_pi, 1e-9);
+}
+
+TEST(PackUnpack, UncappedDropsCap) {
+  const auto x = ft::pack(titan(), ft::ModelKind::Uncapped);
+  ASSERT_EQ(x.size(), 5u);
+  EXPECT_TRUE(ft::unpack(x, ft::ModelKind::Uncapped).uncapped());
+}
+
+TEST(Unpack, WrongSizeThrows) {
+  EXPECT_THROW((void)ft::unpack(std::vector<double>{1.0, 2.0},
+                                ft::ModelKind::Capped),
+               std::invalid_argument);
+}
+
+TEST(Residuals, ZeroAtGroundTruthWithoutNoise) {
+  // Build noise-free observations directly from the model.
+  const co::MachineParams m = titan();
+  std::vector<mb::Observation> obs;
+  for (const double intensity : {0.25, 2.0, 16.0}) {
+    mb::Observation o;
+    o.kernel.flops = 1e12;
+    o.kernel.bytes = 1e12 / intensity;
+    o.seconds = co::time(m, o.kernel.workload());
+    o.joules = co::energy(m, o.kernel.workload());
+    o.watts = o.joules / o.seconds;
+    obs.push_back(o);
+  }
+  const auto r = ft::time_energy_residuals(m, obs);
+  ASSERT_EQ(r.size(), 9u);
+  for (const double v : r) EXPECT_NEAR(v, 0.0, 1e-12);
+  EXPECT_NEAR(ft::sum_squared_residuals(m, obs), 0.0, 1e-20);
+}
+
+TEST(Residuals, WrongParametersProduceSignal) {
+  const mb::SuiteData data = titan_suite();
+  co::MachineParams wrong = titan();
+  wrong.eps_flop *= 2.0;
+  EXPECT_GT(ft::sum_squared_residuals(wrong, data.dram_sp),
+            10.0 * ft::sum_squared_residuals(titan(), data.dram_sp));
+}
+
+TEST(PredictionErrors, SmallAtGroundTruth) {
+  const mb::SuiteData data = titan_suite();
+  const ft::PredictionErrors e =
+      ft::prediction_errors(titan(), data.dram_sp);
+  ASSERT_EQ(e.power.size(), data.dram_sp.size());
+  for (const double v : e.power) EXPECT_LT(std::abs(v), 0.1);
+  for (const double v : e.time) EXPECT_LT(std::abs(v), 0.1);
+}
+
+TEST(PredictionErrors, PerformanceIsInverseTimeError) {
+  const mb::SuiteData data = titan_suite();
+  const ft::PredictionErrors e =
+      ft::prediction_errors(titan(), data.dram_sp);
+  for (std::size_t i = 0; i < e.time.size(); ++i)
+    EXPECT_NEAR(e.performance[i], 1.0 / (1.0 + e.time[i]) - 1.0, 1e-12);
+}
+
+TEST(InitialGuess, LandsWithinFactorOfTruth) {
+  const mb::SuiteData data = titan_suite();
+  const co::MachineParams guess =
+      ft::initial_guess(data.dram_sp, ft::ModelKind::Capped);
+  const co::MachineParams truth = titan();
+  EXPECT_LT(guess.tau_flop / truth.tau_flop, 3.0);
+  EXPECT_GT(guess.tau_flop / truth.tau_flop, 0.3);
+  EXPECT_LT(guess.tau_mem / truth.tau_mem, 3.0);
+  EXPECT_GT(guess.tau_mem / truth.tau_mem, 0.3);
+  EXPECT_LT(guess.pi1 / truth.pi1, 3.0);
+  EXPECT_GT(guess.pi1 / truth.pi1, 0.2);
+}
+
+TEST(InitialGuess, UncappedVariantHasNoCap) {
+  const mb::SuiteData data = titan_suite();
+  EXPECT_TRUE(
+      ft::initial_guess(data.dram_sp, ft::ModelKind::Uncapped).uncapped());
+}
+
+TEST(InitialGuess, TooFewObservationsThrows) {
+  const mb::SuiteData data = titan_suite();
+  const std::span<const mb::Observation> few(data.dram_sp.data(), 3);
+  EXPECT_THROW((void)ft::initial_guess(few, ft::ModelKind::Capped),
+               std::invalid_argument);
+}
+
+}  // namespace

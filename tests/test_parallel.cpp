@@ -1,0 +1,86 @@
+// Tests for the parallel campaign runner: determinism and equivalence
+// with serial execution.
+
+#include <gtest/gtest.h>
+
+#include "microbench/parallel.hpp"
+#include "platforms/platform_db.hpp"
+#include "sim/factory.hpp"
+
+namespace {
+
+namespace mb = archline::microbench;
+namespace pl = archline::platforms;
+namespace si = archline::sim;
+
+mb::SuiteOptions fast_options() {
+  mb::SuiteOptions opt;
+  opt.intensities = {0.25, 2.0, 32.0};
+  opt.repeats = 2;
+  opt.target_seconds = 0.05;
+  opt.include_double = false;
+  opt.include_caches = false;
+  opt.include_random = false;
+  return opt;
+}
+
+TEST(Campaign, CoversAllPlatformsInOrder) {
+  const auto specs = pl::all_platforms();
+  const auto results =
+      mb::run_campaign(specs, fast_options(), 99, 2);
+  ASSERT_EQ(results.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    EXPECT_EQ(results[i].platform, specs[i].name);
+}
+
+TEST(Campaign, ParallelEqualsSerialBitExact) {
+  const auto specs = pl::all_platforms();
+  const auto serial = mb::run_campaign(specs, fast_options(), 7, 1);
+  const auto parallel = mb::run_campaign(specs, fast_options(), 7, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].dram_sp.size(), parallel[i].dram_sp.size());
+    for (std::size_t j = 0; j < serial[i].dram_sp.size(); ++j) {
+      EXPECT_DOUBLE_EQ(serial[i].dram_sp[j].seconds,
+                       parallel[i].dram_sp[j].seconds);
+      EXPECT_DOUBLE_EQ(serial[i].dram_sp[j].joules,
+                       parallel[i].dram_sp[j].joules);
+    }
+    EXPECT_DOUBLE_EQ(serial[i].idle_watts, parallel[i].idle_watts);
+  }
+}
+
+TEST(Campaign, SeedMatchesManualSuiteRun) {
+  // The campaign's per-platform stream must match running the suite by
+  // hand with campaign_seed — so experiments can mix the two freely.
+  const auto specs = pl::all_platforms();
+  const auto campaign = mb::run_campaign(specs, fast_options(), 11, 2);
+  const pl::PlatformSpec& spec = pl::platform("GTX 680");
+  const si::SimMachine machine = si::make_machine(spec);
+  archline::stats::Rng rng(mb::campaign_seed(11, spec.name));
+  const mb::SuiteData manual =
+      mb::run_suite(machine, fast_options(), rng);
+  const mb::SuiteData* from_campaign = nullptr;
+  for (const mb::SuiteData& d : campaign)
+    if (d.platform == "GTX 680") from_campaign = &d;
+  ASSERT_NE(from_campaign, nullptr);
+  ASSERT_EQ(manual.dram_sp.size(), from_campaign->dram_sp.size());
+  for (std::size_t j = 0; j < manual.dram_sp.size(); ++j)
+    EXPECT_DOUBLE_EQ(manual.dram_sp[j].joules,
+                     from_campaign->dram_sp[j].joules);
+}
+
+TEST(Campaign, DifferentSeedsDiffer) {
+  const auto specs = pl::all_platforms().subspan(0, 2);
+  const auto a = mb::run_campaign(specs, fast_options(), 1, 2);
+  const auto b = mb::run_campaign(specs, fast_options(), 2, 2);
+  EXPECT_NE(a[0].dram_sp[0].joules, b[0].dram_sp[0].joules);
+}
+
+TEST(Campaign, ZeroThreadsUsesHardwareConcurrency) {
+  const auto specs = pl::all_platforms().subspan(0, 3);
+  const auto results = mb::run_campaign(specs, fast_options(), 5, 0);
+  EXPECT_EQ(results.size(), 3u);
+}
+
+}  // namespace

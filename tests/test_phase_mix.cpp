@@ -1,0 +1,137 @@
+// Tests for the phase-mix application model.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/phase_mix.hpp"
+#include "core/roofline.hpp"
+#include "platforms/platform_db.hpp"
+
+namespace {
+
+namespace co = archline::core;
+namespace pl = archline::platforms;
+
+co::MachineParams titan() { return pl::platform("GTX Titan").machine(); }
+
+std::vector<co::Phase> app() {
+  return {co::make_phase("spmv", 1e11, 0.35),
+          co::make_phase("fft", 4e11, 2.8),
+          co::make_phase("gemm", 8e11, 32.0)};
+}
+
+TEST(MakePhase, FieldsAndValidation) {
+  const co::Phase p = co::make_phase("x", 10.0, 2.0);
+  EXPECT_EQ(p.label, "x");
+  EXPECT_DOUBLE_EQ(p.work.flops, 10.0);
+  EXPECT_DOUBLE_EQ(p.work.intensity(), 2.0);
+  EXPECT_THROW((void)co::make_phase("bad", 0.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)co::make_phase("bad", 1.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(MixTime, SumsPhaseTimes) {
+  const auto phases = app();
+  const co::MachineParams m = titan();
+  double expected = 0.0;
+  for (const co::Phase& p : phases) expected += co::time(m, p.work);
+  EXPECT_DOUBLE_EQ(co::mix_time(m, phases), expected);
+}
+
+TEST(MixEnergy, SumsPhaseEnergies) {
+  const auto phases = app();
+  const co::MachineParams m = titan();
+  double expected = 0.0;
+  for (const co::Phase& p : phases) expected += co::energy(m, p.work);
+  EXPECT_DOUBLE_EQ(co::mix_energy(m, phases), expected);
+}
+
+TEST(MixPower, BetweenPhaseExtremes) {
+  const auto phases = app();
+  const co::MachineParams m = titan();
+  double lo = 1e300;
+  double hi = 0.0;
+  for (const co::Phase& p : phases) {
+    const double watts = co::avg_power(m, p.work);
+    lo = std::min(lo, watts);
+    hi = std::max(hi, watts);
+  }
+  const double mix = co::mix_avg_power(m, phases);
+  EXPECT_GE(mix, lo);
+  EXPECT_LE(mix, hi);
+}
+
+TEST(MixIntensity, FlopsOverBytes) {
+  const std::vector<co::Phase> phases = {co::make_phase("a", 8.0, 2.0),
+                                         co::make_phase("b", 4.0, 1.0)};
+  // bytes: 4 + 4 = 8; flops 12 -> I = 1.5.
+  EXPECT_DOUBLE_EQ(co::mix_intensity(phases), 1.5);
+}
+
+TEST(MixIntensity, AggregateIntensityUnderestimatesMixTime) {
+  // Running phases separately forfeits overlap a single hypothetical
+  // kernel at the aggregate intensity would enjoy: the mix can never be
+  // faster than that ideal kernel.
+  const auto phases = app();
+  const co::MachineParams m = titan();
+  double flops = 0.0;
+  double bytes = 0.0;
+  for (const co::Phase& p : phases) {
+    flops += p.work.flops;
+    bytes += p.work.bytes;
+  }
+  const double ideal =
+      co::time(m, co::Workload{.flops = flops, .bytes = bytes});
+  EXPECT_GE(co::mix_time(m, phases), ideal * (1 - 1e-12));
+}
+
+TEST(MixBreakdown, SharesSumToOne) {
+  const auto b = co::mix_breakdown(titan(), app());
+  ASSERT_EQ(b.size(), 3u);
+  double t_share = 0.0;
+  double e_share = 0.0;
+  for (const co::PhaseBreakdown& pb : b) {
+    t_share += pb.time_share;
+    e_share += pb.energy_share;
+  }
+  EXPECT_NEAR(t_share, 1.0, 1e-12);
+  EXPECT_NEAR(e_share, 1.0, 1e-12);
+}
+
+TEST(MixBreakdown, LabelsPreserved) {
+  const auto b = co::mix_breakdown(titan(), app());
+  EXPECT_EQ(b[0].label, "spmv");
+  EXPECT_EQ(b[2].label, "gemm");
+}
+
+TEST(Mix, BestMachineCanDifferFromPhaseWinners) {
+  // A bandwidth-heavy mix on the Arndale GPU vs the Titan: the Titan wins
+  // every phase in flop/s, but the energy winner flips with mix balance.
+  const co::MachineParams big = titan();
+  const co::MachineParams small = pl::platform("Arndale GPU").machine();
+  const std::vector<co::Phase> bw_heavy = {
+      co::make_phase("stream", 9e10, 0.125),
+      co::make_phase("fft", 1e10, 2.8)};
+  const std::vector<co::Phase> compute_heavy = {
+      co::make_phase("stream", 1e10, 0.125),
+      co::make_phase("nbody", 9e11, 128.0)};
+  const double small_bw_eff =
+      (9e10 + 1e10) / co::mix_energy(small, bw_heavy);
+  const double big_bw_eff = (9e10 + 1e10) / co::mix_energy(big, bw_heavy);
+  const double small_cb_eff =
+      (1e10 + 9e11) / co::mix_energy(small, compute_heavy);
+  const double big_cb_eff =
+      (1e10 + 9e11) / co::mix_energy(big, compute_heavy);
+  EXPECT_GT(small_bw_eff, big_bw_eff);   // Arndale wins the bw-heavy mix
+  EXPECT_LT(small_cb_eff, big_cb_eff);   // Titan wins the compute mix
+}
+
+TEST(MixIntensity, ZeroBytesThrows) {
+  const std::vector<co::Phase> phases;
+  EXPECT_THROW((void)co::mix_intensity(phases), std::invalid_argument);
+}
+
+}  // namespace

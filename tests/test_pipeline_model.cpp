@@ -1,0 +1,143 @@
+// Tests for the pipeline-efficiency (tuning landscape) model.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "platforms/platform_db.hpp"
+#include "sim/pipeline_model.hpp"
+
+namespace {
+
+namespace si = archline::sim;
+namespace pl = archline::platforms;
+namespace co = archline::core;
+
+si::TuningTraits traits() {
+  si::TuningTraits t;
+  t.best_flop_fraction = 0.8;
+  t.best_mem_fraction = 0.7;
+  t.fma_required = true;
+  t.max_vector = 8;
+  t.loop_overhead = 2.0;
+  t.asm_gain = 0.1;
+  t.prefetch_gain = 0.25;
+  t.max_unroll = 32;
+  return t;
+}
+
+TEST(PipelineModel, BestConfigAchievesBestFraction) {
+  const si::TuningTraits t = traits();
+  const si::TuneConfig best = si::best_config(t);
+  EXPECT_NEAR(si::flop_efficiency(t, best), 0.8, 1e-12);
+  EXPECT_NEAR(si::mem_efficiency(t, best), 0.7, 1e-12);
+}
+
+TEST(PipelineModel, NoConfigExceedsBestFraction) {
+  const si::TuningTraits t = traits();
+  for (int unroll : {1, 2, 4, 8, 16, 32})
+    for (int vw : {1, 2, 4, 8})
+      for (bool fma : {false, true}) {
+        const si::TuneConfig c{.unroll = unroll, .fma = fma,
+                               .vector_width = vw, .prefetch = true,
+                               .asm_tuned = true};
+        EXPECT_LE(si::flop_efficiency(t, c), 0.8 + 1e-12);
+        EXPECT_LE(si::mem_efficiency(t, c), 0.7 + 1e-12);
+      }
+}
+
+TEST(PipelineModel, MissingFmaHalvesFlopRate) {
+  const si::TuningTraits t = traits();
+  si::TuneConfig c = si::best_config(t);
+  const double with = si::flop_efficiency(t, c);
+  c.fma = false;
+  EXPECT_NEAR(si::flop_efficiency(t, c), with / 2.0, 1e-12);
+}
+
+TEST(PipelineModel, FmaOptionalWhenNotRequired) {
+  si::TuningTraits t = traits();
+  t.fma_required = false;
+  si::TuneConfig c = si::best_config(t);
+  const double with = si::flop_efficiency(t, c);
+  c.fma = false;
+  EXPECT_DOUBLE_EQ(si::flop_efficiency(t, c), with);
+}
+
+TEST(PipelineModel, UnrollingMonotone) {
+  const si::TuningTraits t = traits();
+  double prev = 0.0;
+  for (int unroll : {1, 2, 4, 8, 16, 32}) {
+    si::TuneConfig c = si::best_config(t);
+    c.unroll = unroll;
+    const double eff = si::flop_efficiency(t, c);
+    EXPECT_GT(eff, prev);
+    prev = eff;
+  }
+}
+
+TEST(PipelineModel, VectorWidthScalesFlopSide) {
+  const si::TuningTraits t = traits();
+  si::TuneConfig narrow = si::best_config(t);
+  narrow.vector_width = 1;
+  si::TuneConfig wide = si::best_config(t);
+  EXPECT_NEAR(si::flop_efficiency(t, wide) / si::flop_efficiency(t, narrow),
+              8.0, 1e-9);
+}
+
+TEST(PipelineModel, PrefetchMattersForMemoryNotFlops) {
+  const si::TuningTraits t = traits();
+  si::TuneConfig c = si::best_config(t);
+  const double mem_with = si::mem_efficiency(t, c);
+  const double flop_with = si::flop_efficiency(t, c);
+  c.prefetch = false;
+  EXPECT_LT(si::mem_efficiency(t, c), mem_with);
+  EXPECT_DOUBLE_EQ(si::flop_efficiency(t, c), flop_with);
+}
+
+TEST(PipelineModel, AsmTuningMatters) {
+  const si::TuningTraits t = traits();
+  si::TuneConfig c = si::best_config(t);
+  const double with = si::flop_efficiency(t, c);
+  c.asm_tuned = false;
+  EXPECT_LT(si::flop_efficiency(t, c), with);
+}
+
+TEST(PipelineModel, OutOfRangeConfigThrows) {
+  const si::TuningTraits t = traits();
+  si::TuneConfig c = si::best_config(t);
+  c.unroll = 0;
+  EXPECT_THROW((void)si::flop_efficiency(t, c), std::invalid_argument);
+  c = si::best_config(t);
+  c.vector_width = 100;
+  EXPECT_THROW((void)si::flop_efficiency(t, c), std::invalid_argument);
+}
+
+TEST(TraitsFor, OptimumMatchesTableISustainedFraction) {
+  for (const pl::PlatformSpec& spec : pl::all_platforms()) {
+    const si::TuningTraits t =
+        si::traits_for(spec, co::Precision::Single);
+    EXPECT_NEAR(t.best_flop_fraction, spec.sustained_flop_fraction(), 1e-12)
+        << spec.name;
+    EXPECT_NEAR(t.best_mem_fraction, spec.sustained_bandwidth_fraction(),
+                1e-12)
+        << spec.name;
+  }
+}
+
+TEST(TraitsFor, GpuHasWiderVectorsThanMobileCpu) {
+  const si::TuningTraits gpu =
+      si::traits_for(pl::platform("GTX Titan"), co::Precision::Single);
+  const si::TuningTraits cpu =
+      si::traits_for(pl::platform("Arndale CPU"), co::Precision::Single);
+  EXPECT_GT(gpu.max_vector, cpu.max_vector);
+}
+
+TEST(TraitsFor, DoubleHalvesCpuVectorWidth) {
+  const si::TuningTraits sp =
+      si::traits_for(pl::platform("Desktop CPU"), co::Precision::Single);
+  const si::TuningTraits dp =
+      si::traits_for(pl::platform("Desktop CPU"), co::Precision::Double);
+  EXPECT_EQ(sp.max_vector, 2 * dp.max_vector);
+}
+
+}  // namespace

@@ -1,0 +1,190 @@
+// Tests for the Table I platform registry.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "core/analysis.hpp"
+#include "platforms/platform_db.hpp"
+
+namespace {
+
+namespace co = archline::core;
+namespace pl = archline::platforms;
+
+TEST(PlatformDb, HasTwelvePlatforms) {
+  EXPECT_EQ(pl::all_platforms().size(), 12u);
+}
+
+TEST(PlatformDb, NamesAreUniqueAndNonEmpty) {
+  std::set<std::string> names;
+  for (const pl::PlatformSpec& p : pl::all_platforms()) {
+    EXPECT_FALSE(p.name.empty());
+    EXPECT_TRUE(names.insert(p.name).second) << "duplicate " << p.name;
+  }
+}
+
+TEST(PlatformDb, LookupByName) {
+  const pl::PlatformSpec& p = pl::platform("GTX Titan");
+  EXPECT_EQ(p.processor, "NVIDIA GK110 (Kepler)");
+  EXPECT_TRUE(pl::has_platform("Xeon Phi"));
+  EXPECT_FALSE(pl::has_platform("GTX 9090"));
+}
+
+TEST(PlatformDb, UnknownNameThrows) {
+  EXPECT_THROW((void)pl::platform("nope"), std::out_of_range);
+}
+
+TEST(PlatformDb, EverySpecValidates) {
+  for (const pl::PlatformSpec& p : pl::all_platforms())
+    EXPECT_NO_THROW(p.validate()) << p.name;
+}
+
+TEST(PlatformDb, DoublePrecisionAvailability) {
+  // Table I note 2: three GPUs lack double support.
+  EXPECT_FALSE(pl::platform("NUC GPU").has_double());
+  EXPECT_FALSE(pl::platform("APU GPU").has_double());
+  EXPECT_FALSE(pl::platform("Arndale GPU").has_double());
+  EXPECT_TRUE(pl::platform("GTX Titan").has_double());
+  EXPECT_TRUE(pl::platform("Desktop CPU").has_double());
+}
+
+TEST(PlatformDb, SevenPlatformsMarkedSignificantInPaper) {
+  int marked = 0;
+  for (const pl::PlatformSpec& p : pl::all_platforms())
+    if (p.ks_significant_in_paper) ++marked;
+  EXPECT_EQ(marked, 7);
+}
+
+TEST(PlatformDb, AsteriskPlatformsMatchTableNote1) {
+  // "In four cases ... fitted constant power is less than observed idle."
+  int starred = 0;
+  for (const pl::PlatformSpec& p : pl::all_platforms()) {
+    if (p.pi1_below_idle) {
+      ++starred;
+      EXPECT_LT(p.pi1, p.idle_power) << p.name;
+    }
+  }
+  EXPECT_EQ(starred, 4);
+}
+
+TEST(PlatformDb, SustainedFractionsWithinUnity) {
+  for (const pl::PlatformSpec& p : pl::all_platforms()) {
+    EXPECT_GT(p.sustained_flop_fraction(), 0.3) << p.name;
+    EXPECT_LE(p.sustained_flop_fraction(), 1.001) << p.name;
+    EXPECT_GT(p.sustained_bandwidth_fraction(), 0.2) << p.name;
+    EXPECT_LE(p.sustained_bandwidth_fraction(), 1.001) << p.name;
+  }
+}
+
+TEST(PlatformDb, Fig5SustainedAnnotations) {
+  // Spot checks against Fig. 5: Titan "[81%] flops, [83%] bw";
+  // Arndale CPU "[58%], [31%]".
+  EXPECT_NEAR(pl::platform("GTX Titan").sustained_flop_fraction(), 0.81,
+              0.01);
+  EXPECT_NEAR(pl::platform("GTX Titan").sustained_bandwidth_fraction(), 0.83,
+              0.01);
+  EXPECT_NEAR(pl::platform("Arndale CPU").sustained_flop_fraction(), 0.58,
+              0.01);
+  EXPECT_NEAR(pl::platform("Arndale CPU").sustained_bandwidth_fraction(),
+              0.31, 0.01);
+}
+
+TEST(PlatformDb, MachineConversionUsesSustainedThroughput) {
+  const pl::PlatformSpec& p = pl::platform("Xeon Phi");
+  const co::MachineParams m = p.machine();
+  EXPECT_DOUBLE_EQ(m.peak_flops(), p.flop_sp.throughput);
+  EXPECT_DOUBLE_EQ(m.peak_bandwidth(), p.mem_stream.throughput);
+  EXPECT_DOUBLE_EQ(m.pi1, 180.0);
+  EXPECT_DOUBLE_EQ(m.delta_pi, 36.1);
+}
+
+TEST(PlatformDb, DoubleMachineOnSupportedPlatform) {
+  const co::MachineParams m =
+      pl::platform("GTX Titan").machine(co::Precision::Double);
+  EXPECT_NEAR(m.peak_flops() / 1e9, 1600.0, 1.0);
+}
+
+TEST(PlatformDb, DoubleMachineOnUnsupportedPlatformThrows) {
+  EXPECT_THROW((void)pl::platform("Arndale GPU").machine(
+                   co::Precision::Double),
+               std::invalid_argument);
+}
+
+TEST(PlatformDb, CacheLevelAccess) {
+  const pl::PlatformSpec& phi = pl::platform("Xeon Phi");
+  EXPECT_TRUE(phi.has_level(co::MemLevel::L1));
+  EXPECT_TRUE(phi.has_level(co::MemLevel::L2));
+  EXPECT_TRUE(phi.has_level(co::MemLevel::DRAM));
+  const co::MachineParams l1 = phi.machine_at_level(co::MemLevel::L1);
+  EXPECT_NEAR(l1.peak_bandwidth() / 1e9, 2890.0, 1.0);
+}
+
+TEST(PlatformDb, MissingCacheLevelThrows) {
+  const pl::PlatformSpec& nuc_gpu = pl::platform("NUC GPU");
+  EXPECT_FALSE(nuc_gpu.has_level(co::MemLevel::L1));
+  EXPECT_THROW((void)nuc_gpu.machine_at_level(co::MemLevel::L1),
+               std::invalid_argument);
+}
+
+TEST(PlatformDb, InclusiveCostOrderingHoldsEverywhere) {
+  // §V-B sanity property: eps_L1 <= eps_L2 <= eps_mem for every platform.
+  for (const pl::PlatformSpec& p : pl::all_platforms()) {
+    if (p.mem_l1 && p.mem_l2) {
+      EXPECT_LE(p.mem_l1->energy_per_op, p.mem_l2->energy_per_op) << p.name;
+    }
+    if (p.mem_l2) {
+      EXPECT_LE(p.mem_l2->energy_per_op, p.mem_stream.energy_per_op)
+          << p.name;
+    }
+  }
+}
+
+TEST(PlatformDb, RandomAccessCostsAnOrderOfMagnitudeAboveStream) {
+  // §V-B: "we expect this cost to be at least an order of magnitude
+  // higher than eps_mem, as table I reflects" — comparing J per access
+  // against J per streamed byte (the paper's nJ-vs-pJ framing).
+  for (const pl::PlatformSpec& p : pl::all_platforms()) {
+    if (!p.has_random_access()) continue;
+    EXPECT_GT(p.random_access().energy_per_op,
+              10.0 * p.mem_stream.energy_per_op)
+        << p.name;
+  }
+}
+
+TEST(PlatformDb, XeonPhiCheapestRandomAccess) {
+  // §VI: "random memory access is on the Xeon Phi at least one order of
+  // magnitude less energy per access than any other platform".
+  const double phi = pl::platform("Xeon Phi").random_access().energy_per_op;
+  for (const pl::PlatformSpec& p : pl::all_platforms()) {
+    if (p.name == "Xeon Phi" || !p.has_random_access()) continue;
+    EXPECT_GT(p.random_access().energy_per_op, 8.0 * phi) << p.name;
+  }
+}
+
+TEST(PlatformDb, EfficiencyOrderingMatchesFig5Panels) {
+  const auto order = pl::by_peak_efficiency();
+  ASSERT_EQ(order.size(), 12u);
+  EXPECT_EQ(order.front()->name, "GTX Titan");
+  EXPECT_EQ(order[1]->name, "GTX 680");
+  EXPECT_EQ(order.back()->name, "Desktop CPU");
+  // Monotone nonincreasing efficiency down the list.
+  for (std::size_t i = 1; i < order.size(); ++i)
+    EXPECT_GE(co::peak_flops_per_joule(order[i - 1]->machine()),
+              co::peak_flops_per_joule(order[i]->machine()));
+}
+
+TEST(PlatformDb, PlatformNamesMatchesRegistryOrder) {
+  const auto names = pl::platform_names();
+  ASSERT_EQ(names.size(), 12u);
+  EXPECT_EQ(names.front(), "Desktop CPU");
+  EXPECT_EQ(names.back(), "Arndale GPU");
+}
+
+TEST(PlatformDb, DeviceClassStrings) {
+  EXPECT_STREQ(pl::to_string(pl::DeviceClass::Manycore), "manycore");
+  EXPECT_STREQ(pl::to_string(pl::DeviceClass::MobileGpu), "mobile GPU");
+}
+
+}  // namespace

@@ -1,0 +1,85 @@
+// Tests for the pointer-chase benchmark: Sattolo cycles and kernel
+// descriptors.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "microbench/pointer_chase.hpp"
+
+namespace {
+
+namespace mb = archline::microbench;
+using archline::stats::Rng;
+
+TEST(SattoloCycle, ProducesValidPermutation) {
+  Rng rng(1);
+  const auto next = mb::sattolo_cycle(100, rng);
+  std::set<std::size_t> seen(next.begin(), next.end());
+  EXPECT_EQ(seen.size(), 100u);  // a permutation: all targets distinct
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(SattoloCycle, IsSingleCycle) {
+  Rng rng(2);
+  for (const std::size_t n : {2u, 3u, 17u, 1024u})
+    EXPECT_TRUE(mb::is_single_cycle(mb::sattolo_cycle(n, rng))) << n;
+}
+
+TEST(SattoloCycle, NoSelfLoops) {
+  Rng rng(3);
+  const auto next = mb::sattolo_cycle(256, rng);
+  // A single cycle of length >= 2 can have no fixed point.
+  for (std::size_t i = 0; i < next.size(); ++i) EXPECT_NE(next[i], i);
+}
+
+TEST(SattoloCycle, DeterministicPerSeed) {
+  Rng a(7);
+  Rng b(7);
+  EXPECT_EQ(mb::sattolo_cycle(50, a), mb::sattolo_cycle(50, b));
+}
+
+TEST(SattoloCycle, DifferentSeedsDiffer) {
+  Rng a(7);
+  Rng b(8);
+  EXPECT_NE(mb::sattolo_cycle(50, a), mb::sattolo_cycle(50, b));
+}
+
+TEST(SattoloCycle, RejectsTinyN) {
+  Rng rng(1);
+  EXPECT_THROW((void)mb::sattolo_cycle(0, rng), std::invalid_argument);
+  EXPECT_THROW((void)mb::sattolo_cycle(1, rng), std::invalid_argument);
+}
+
+TEST(IsSingleCycle, DetectsBrokenCycles) {
+  // Two 2-cycles over 4 elements: not a single cycle.
+  const std::vector<std::size_t> two_cycles = {1, 0, 3, 2};
+  EXPECT_FALSE(mb::is_single_cycle(two_cycles));
+  // Identity (all self-loops): not a single cycle.
+  const std::vector<std::size_t> identity = {0, 1, 2, 3};
+  EXPECT_FALSE(mb::is_single_cycle(identity));
+  // A genuine 4-cycle.
+  const std::vector<std::size_t> four_cycle = {2, 3, 1, 0};
+  EXPECT_TRUE(mb::is_single_cycle(four_cycle));
+  EXPECT_FALSE(mb::is_single_cycle({}));
+}
+
+TEST(RandomAccessKernel, FieldsSet) {
+  const auto k = mb::random_access_kernel(1e6, 64e6);
+  EXPECT_DOUBLE_EQ(k.accesses, 1e6);
+  EXPECT_DOUBLE_EQ(k.working_set_bytes, 64e6);
+  EXPECT_EQ(k.pattern, archline::core::AccessPattern::Random);
+  EXPECT_DOUBLE_EQ(k.flops, 0.0);
+  EXPECT_NO_THROW(k.validate());
+}
+
+TEST(RandomAccessKernel, RejectsBadArguments) {
+  EXPECT_THROW((void)mb::random_access_kernel(0.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)mb::random_access_kernel(1.0, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,71 @@
+// Tests for the simulator's power-cap governor.
+
+#include <gtest/gtest.h>
+
+#include "sim/power_governor.hpp"
+
+namespace {
+
+namespace co = archline::core;
+using archline::sim::govern;
+using archline::sim::GovernorDecision;
+
+TEST(Governor, ComputeBoundWhenFlopsDominate) {
+  const GovernorDecision d = govern(10.0, 2.0, 5.0, 100.0);
+  EXPECT_DOUBLE_EQ(d.time, 10.0);
+  EXPECT_DOUBLE_EQ(d.utilization, 1.0);
+  EXPECT_EQ(d.regime, co::Regime::Compute);
+}
+
+TEST(Governor, MemoryBoundWhenBytesDominate) {
+  const GovernorDecision d = govern(2.0, 10.0, 5.0, 100.0);
+  EXPECT_DOUBLE_EQ(d.time, 10.0);
+  EXPECT_EQ(d.regime, co::Regime::Memory);
+}
+
+TEST(Governor, TieGoesToMemory) {
+  const GovernorDecision d = govern(5.0, 5.0, 1.0, 100.0);
+  EXPECT_EQ(d.regime, co::Regime::Memory);
+}
+
+TEST(Governor, CapThrottlesWhenEnergyRateExceedsBudget) {
+  // free time 10 s, active energy 100 J -> 10 W demand; cap 5 W -> 20 s.
+  const GovernorDecision d = govern(10.0, 5.0, 100.0, 5.0);
+  EXPECT_DOUBLE_EQ(d.time, 20.0);
+  EXPECT_DOUBLE_EQ(d.utilization, 0.5);
+  EXPECT_EQ(d.regime, co::Regime::PowerCap);
+}
+
+TEST(Governor, UncappedNeverThrottles) {
+  const GovernorDecision d = govern(10.0, 5.0, 1e9, co::kUncapped);
+  EXPECT_DOUBLE_EQ(d.time, 10.0);
+  EXPECT_EQ(d.regime, co::Regime::Compute);
+}
+
+TEST(Governor, UtilizationIsFreeOverGoverned) {
+  const GovernorDecision d = govern(4.0, 8.0, 80.0, 5.0);
+  // cap time = 16 s; free = 8 s; utilization = 0.5.
+  EXPECT_DOUBLE_EQ(d.time, 16.0);
+  EXPECT_DOUBLE_EQ(d.utilization, 0.5);
+}
+
+TEST(Governor, ExactBudgetRunsAtFullRate) {
+  // energy/cap == free time exactly: not throttled (cap term ties).
+  const GovernorDecision d = govern(10.0, 5.0, 50.0, 5.0);
+  EXPECT_DOUBLE_EQ(d.time, 10.0);
+  EXPECT_DOUBLE_EQ(d.utilization, 1.0);
+}
+
+TEST(Governor, AveragePowerUnderCapEqualsCap) {
+  const double cap = 7.5;
+  const GovernorDecision d = govern(1.0, 1.0, 30.0, cap);
+  EXPECT_EQ(d.regime, co::Regime::PowerCap);
+  EXPECT_DOUBLE_EQ(30.0 / d.time, cap);
+}
+
+TEST(Governor, ZeroWorkYieldsZeroTime) {
+  const GovernorDecision d = govern(0.0, 0.0, 0.0, 5.0);
+  EXPECT_DOUBLE_EQ(d.time, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,190 @@
+// Randomized property tests: model invariants over machines drawn from a
+// wide random distribution, not just the twelve published platforms.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/analysis.hpp"
+#include "core/roofline.hpp"
+#include "core/droop_model.hpp"
+#include "core/scenarios.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+namespace co = archline::core;
+using archline::stats::Rng;
+
+/// Draws a random but physically sensible machine: flop rates 1 Gflop/s
+/// to 10 Tflop/s, bandwidths 1-500 GB/s, energies 1 pJ to 1 nJ per op,
+/// pi1 up to 200 W, caps from "tight" to effectively unbounded.
+co::MachineParams random_machine(Rng& rng) {
+  co::MachineParams m;
+  m.tau_flop = 1.0 / std::exp(rng.uniform(std::log(1e9), std::log(1e13)));
+  m.tau_mem = 1.0 / std::exp(rng.uniform(std::log(1e9), std::log(5e11)));
+  m.eps_flop = std::exp(rng.uniform(std::log(1e-12), std::log(1e-9)));
+  m.eps_mem = std::exp(rng.uniform(std::log(1e-11), std::log(1e-9)));
+  m.pi1 = rng.uniform(0.1, 200.0);
+  const double demand = m.pi_flop() + m.pi_mem();
+  m.delta_pi = demand * std::exp(rng.uniform(std::log(0.3), std::log(4.0)));
+  m.validate("random_machine");
+  return m;
+}
+
+constexpr int kMachines = 200;
+
+TEST(RandomMachines, ClosedFormPowerAlwaysMatchesEnergyOverTime) {
+  Rng rng(91);
+  for (int i = 0; i < kMachines; ++i) {
+    const co::MachineParams m = random_machine(rng);
+    for (const double intensity : {0.01, 0.3, 1.0, 7.0, 100.0, 1e4}) {
+      const co::Workload w = co::Workload::from_intensity(1e12, intensity);
+      const double direct = co::avg_power(m, w);
+      const double closed = co::avg_power_closed_form(m, intensity);
+      ASSERT_NEAR(direct, closed, 1e-9 * closed)
+          << "machine " << i << " I=" << intensity;
+    }
+  }
+}
+
+TEST(RandomMachines, BalanceIntervalAlwaysBracketsBalance) {
+  Rng rng(92);
+  for (int i = 0; i < kMachines; ++i) {
+    const co::MachineParams m = random_machine(rng);
+    ASSERT_LE(m.balance_lo(), m.time_balance() * (1 + 1e-12)) << i;
+    ASSERT_GE(m.balance_hi(), m.time_balance() * (1 - 1e-12)) << i;
+  }
+}
+
+TEST(RandomMachines, PowerBoundedByCapAndFloor) {
+  Rng rng(93);
+  for (int i = 0; i < kMachines; ++i) {
+    const co::MachineParams m = random_machine(rng);
+    for (const double intensity : {0.05, 0.9, 12.0, 3e3}) {
+      const double p = co::avg_power_closed_form(m, intensity);
+      ASSERT_GE(p, m.pi1 * (1 - 1e-12)) << i;
+      ASSERT_LE(p, (m.pi1 + m.delta_pi) * (1 + 1e-12)) << i;
+    }
+  }
+}
+
+TEST(RandomMachines, MonotoneMetricsInIntensity) {
+  Rng rng(94);
+  for (int i = 0; i < kMachines; ++i) {
+    const co::MachineParams m = random_machine(rng);
+    double prev_perf = 0.0;
+    double prev_eff = 0.0;
+    for (double intensity = 1.0 / 64.0; intensity <= 4096.0;
+         intensity *= 2.0) {
+      const double perf = co::performance(m, intensity);
+      const double eff = co::energy_efficiency(m, intensity);
+      ASSERT_GE(perf, prev_perf * (1 - 1e-12)) << i;
+      ASSERT_GE(eff, prev_eff * (1 - 1e-12)) << i;
+      prev_perf = perf;
+      prev_eff = eff;
+    }
+  }
+}
+
+TEST(RandomMachines, CapMonotonicityInDeltaPi) {
+  // More usable power never hurts.
+  Rng rng(95);
+  for (int i = 0; i < kMachines; ++i) {
+    const co::MachineParams m = random_machine(rng);
+    const co::MachineParams looser = co::with_cap(m, m.delta_pi * 2.0);
+    for (const double intensity : {0.1, 1.0, 10.0, 1000.0}) {
+      ASSERT_GE(co::performance(looser, intensity),
+                co::performance(m, intensity) * (1 - 1e-12))
+          << i;
+      ASSERT_GE(co::energy_efficiency(looser, intensity),
+                co::energy_efficiency(m, intensity) * (1 - 1e-12))
+          << i;
+    }
+  }
+}
+
+TEST(RandomMachines, AggregationScalesPerformanceExactly) {
+  Rng rng(96);
+  for (int i = 0; i < kMachines; ++i) {
+    const co::MachineParams m = random_machine(rng);
+    const co::MachineParams agg = co::aggregate(m, 13);
+    for (const double intensity : {0.2, 5.0, 500.0})
+      ASSERT_NEAR(co::performance(agg, intensity),
+                  13.0 * co::performance(m, intensity),
+                  1e-9 * co::performance(agg, intensity))
+          << i;
+  }
+}
+
+TEST(RandomMachines, EfficiencyPeaksBoundedByUncappedLimit) {
+  Rng rng(97);
+  for (int i = 0; i < kMachines; ++i) {
+    const co::MachineParams m = random_machine(rng);
+    const double bound = co::peak_flops_per_joule(m);
+    for (const double intensity : {0.1, 2.0, 50.0, 1e5})
+      ASSERT_LE(co::energy_efficiency(m, intensity), bound * (1 + 1e-12))
+          << i;
+  }
+}
+
+TEST(RandomMachines, TimeSubadditiveUnderWorkloadSplit) {
+  // Splitting a workload into two halves run back to back can never beat
+  // running it fused (max is subadditive; throttling only adds).
+  Rng rng(98);
+  for (int i = 0; i < kMachines; ++i) {
+    const co::MachineParams m = random_machine(rng);
+    const co::Workload whole{.flops = 2e12, .bytes = 4e11};
+    const co::Workload flops_half{.flops = 2e12, .bytes = 1.0};
+    const co::Workload bytes_half{.flops = 1.0, .bytes = 4e11};
+    ASSERT_LE(co::time(m, whole),
+              co::time(m, flops_half) + co::time(m, bytes_half) + 1e-12)
+        << i;
+  }
+}
+
+
+TEST(RandomMachines, DroopZeroEtaMatchesBaseModelEverywhere) {
+  Rng rng(99);
+  for (int i = 0; i < kMachines; ++i) {
+    const co::MachineParams m = random_machine(rng);
+    const co::DroopModel d{.machine = m, .eta = 0.0};
+    for (const double intensity : {0.1, 1.0, 20.0, 500.0}) {
+      const co::Workload w = co::Workload::from_intensity(1e11, intensity);
+      ASSERT_DOUBLE_EQ(d.time(w), co::time(m, w)) << i;
+      ASSERT_DOUBLE_EQ(d.energy(w), co::energy(m, w)) << i;
+    }
+  }
+}
+
+TEST(RandomMachines, DroopNeverSpeedsUp) {
+  Rng rng(100);
+  for (int i = 0; i < kMachines; ++i) {
+    const co::MachineParams m = random_machine(rng);
+    const co::DroopModel d{.machine = m, .eta = 0.2};
+    for (const double intensity : {0.1, 1.0, 20.0, 500.0}) {
+      const co::Workload w = co::Workload::from_intensity(1e11, intensity);
+      ASSERT_GE(d.time(w), co::time(m, w) * (1 - 1e-12)) << i;
+      ASSERT_GE(d.energy(w), co::energy(m, w) * (1 - 1e-12)) << i;
+    }
+  }
+}
+
+TEST(RandomMachines, ThrottleRequirementConsistentWithPerformance) {
+  // 1/slowdown must equal the capped/free performance ratio.
+  Rng rng(101);
+  for (int i = 0; i < kMachines; ++i) {
+    const co::MachineParams m = random_machine(rng);
+    const double cap = m.delta_pi / 3.0;
+    for (const double intensity : {0.2, 2.0, 50.0}) {
+      const auto req = co::throttle_requirement(m, intensity, cap);
+      const co::MachineParams uncapped = m.without_cap();
+      const co::MachineParams capped = co::with_cap(m, cap);
+      const double ratio = co::performance(capped, intensity) /
+                           co::performance(uncapped, intensity);
+      ASSERT_NEAR(1.0 / req.slowdown, ratio, 1e-9) << i;
+    }
+  }
+}
+
+}  // namespace

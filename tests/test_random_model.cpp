@@ -1,0 +1,126 @@
+// Tests for the random-access (pointer-chase) analytical model.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/random_model.hpp"
+#include "core/units.hpp"
+#include "platforms/platform_db.hpp"
+
+namespace {
+
+namespace co = archline::core;
+namespace pl = archline::platforms;
+
+co::RandomAccessMachine toy(double delta_pi = co::kUncapped) {
+  co::RandomAccessMachine m;
+  m.tau_access = 1e-8;   // 100 Macc/s
+  m.eps_access = 50e-9;  // 50 nJ/access -> 5 W at full rate
+  m.pi1 = 2.0;
+  m.delta_pi = delta_pi;
+  return m;
+}
+
+TEST(RandomModel, ValidationRules) {
+  EXPECT_NO_THROW(toy().validate());
+  co::RandomAccessMachine m = toy();
+  m.tau_access = 0.0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m = toy();
+  m.eps_access = -1.0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(RandomModel, RateIsTheMeasuredEngineRate) {
+  EXPECT_DOUBLE_EQ(toy().access_rate(), 1e8);
+  EXPECT_DOUBLE_EQ(toy(2.5).access_rate(), 1e8);  // cap does not gate it
+}
+
+TEST(RandomModel, PowerConsistencyDiagnostic) {
+  // Demand 5 W: consistent under a 50 W cap, inconsistent under 2.5 W.
+  EXPECT_DOUBLE_EQ(toy(2.5).pi_rand(), 5.0);
+  EXPECT_FALSE(toy(2.5).power_consistent());
+  EXPECT_TRUE(toy(50.0).power_consistent());
+  EXPECT_TRUE(toy().power_consistent());
+}
+
+TEST(RandomModel, AvgPowerClampedToPhysicalCeiling) {
+  // Attribution 5 W above a 2.5 W cap: electrical power tops out at
+  // pi1 + delta_pi.
+  EXPECT_DOUBLE_EQ(toy(2.5).avg_power(), 2.0 + 2.5);
+  EXPECT_DOUBLE_EQ(toy(50.0).avg_power(), 2.0 + 5.0);
+}
+
+TEST(RandomModel, TimeAndEnergyAccounting) {
+  const co::RandomAccessMachine m = toy();
+  EXPECT_DOUBLE_EQ(m.time(1e8), 1.0);
+  // 1e8 accesses * 50 nJ + 2 W * 1 s = 5 + 2 = 7 J.
+  EXPECT_DOUBLE_EQ(m.energy(1e8), 7.0);
+  EXPECT_DOUBLE_EQ(m.avg_power(), 7.0);
+}
+
+TEST(RandomModel, EffectiveEnergyIncludesConstantCharge) {
+  const co::RandomAccessMachine m = toy();
+  // 50 nJ + 2 W / 1e8 acc/s = 50 + 20 = 70 nJ.
+  EXPECT_NEAR(m.effective_energy_per_access(), 70e-9, 1e-15);
+  EXPECT_NEAR(m.accesses_per_joule(), 1.0 / 70e-9, 1.0);
+}
+
+TEST(RandomModel, PlatformConversion) {
+  const co::RandomAccessMachine phi =
+      pl::platform("Xeon Phi").random_machine();
+  EXPECT_NEAR(1.0 / phi.tau_access, 706e6, 1e3);
+  EXPECT_NEAR(phi.eps_access, 5.11e-9, 1e-12);
+  EXPECT_DOUBLE_EQ(phi.pi1, 180.0);
+}
+
+TEST(RandomModel, MissingDataThrows) {
+  EXPECT_THROW((void)pl::platform("NUC GPU").random_machine(),
+               std::invalid_argument);
+}
+
+TEST(RandomModel, PaperXeonPhiObservationRevisited) {
+  // §VI: Phi's eps_rand is >= 10x below every other platform. But its
+  // huge pi1 charges ~255 nJ of constant energy per access, so on
+  // *effective* energy the ordering changes — the same inversion as
+  // §V-B's streaming example.
+  const co::RandomAccessMachine phi =
+      pl::platform("Xeon Phi").random_machine();
+  EXPECT_GT(phi.effective_energy_per_access(), 10.0 * phi.eps_access);
+
+  // At least one low-pi1 platform beats the Phi on effective energy.
+  bool someone_beats_phi = false;
+  for (const pl::PlatformSpec& spec : pl::all_platforms()) {
+    if (!spec.has_random_access() || spec.name == "Xeon Phi") continue;
+    if (spec.random_machine().effective_energy_per_access() <
+        phi.effective_energy_per_access())
+      someone_beats_phi = true;
+  }
+  EXPECT_TRUE(someone_beats_phi);
+}
+
+TEST(RandomModel, TableIInclusiveAttributionFinding) {
+  // A reproduction finding: eps_rand x sustained rate EXCEEDS delta_pi on
+  // exactly three Table I platforms (GTX 680, APU GPU, Arndale CPU) —
+  // proof that eps_rand is an inclusive energy attribution (§V-B's
+  // "additional energy" definition), not an instantaneous power.
+  std::vector<std::string> inconsistent;
+  for (const pl::PlatformSpec& spec : pl::all_platforms()) {
+    if (!spec.has_random_access()) continue;
+    if (!spec.random_machine().power_consistent())
+      inconsistent.push_back(spec.name);
+  }
+  EXPECT_EQ(inconsistent,
+            (std::vector<std::string>{"APU GPU", "GTX 680", "Arndale CPU"}));
+}
+
+TEST(RandomModel, AvgPowerNeverExceedsNodeCeiling) {
+  for (const pl::PlatformSpec& spec : pl::all_platforms()) {
+    if (!spec.has_random_access()) continue;
+    const co::RandomAccessMachine m = spec.random_machine();
+    EXPECT_LE(m.avg_power(), m.pi1 + m.delta_pi + 1e-9) << spec.name;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,166 @@
+// Parameterized property tests: model invariants that must hold for every
+// Table I platform across the full intensity range.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "core/analysis.hpp"
+#include "core/roofline.hpp"
+#include "platforms/platform_db.hpp"
+
+namespace {
+
+namespace co = archline::core;
+namespace pl = archline::platforms;
+
+class PlatformProperty : public ::testing::TestWithParam<std::string> {
+ protected:
+  [[nodiscard]] co::MachineParams machine() const {
+    return pl::platform(GetParam()).machine();
+  }
+  [[nodiscard]] static std::vector<double> grid() {
+    return co::intensity_grid(1.0 / 64.0, 1024.0, 3);
+  }
+};
+
+TEST_P(PlatformProperty, TimeDominatesEveryLowerBound) {
+  const co::MachineParams m = machine();
+  for (const double intensity : grid()) {
+    const co::Workload w = co::Workload::from_intensity(1e12, intensity);
+    const double t = co::time(m, w);
+    EXPECT_GE(t, w.flops * m.tau_flop * (1 - 1e-12));
+    EXPECT_GE(t, w.bytes * m.tau_mem * (1 - 1e-12));
+    EXPECT_GE(t, (w.flops * m.eps_flop + w.bytes * m.eps_mem) / m.delta_pi *
+                     (1 - 1e-12));
+  }
+}
+
+TEST_P(PlatformProperty, ClosedFormPowerEqualsEnergyOverTime) {
+  const co::MachineParams m = machine();
+  for (const double intensity : grid()) {
+    const co::Workload w = co::Workload::from_intensity(1e12, intensity);
+    const double direct = co::avg_power(m, w);
+    const double closed = co::avg_power_closed_form(m, intensity);
+    EXPECT_NEAR(direct, closed, 1e-6 * closed)
+        << GetParam() << " at I=" << intensity;
+  }
+}
+
+TEST_P(PlatformProperty, PowerNeverExceedsCap) {
+  const co::MachineParams m = machine();
+  for (const double intensity : grid()) {
+    EXPECT_LE(co::avg_power_closed_form(m, intensity),
+              (m.pi1 + m.delta_pi) * (1 + 1e-12));
+  }
+}
+
+TEST_P(PlatformProperty, PowerNeverBelowConstant) {
+  const co::MachineParams m = machine();
+  for (const double intensity : grid())
+    EXPECT_GE(co::avg_power_closed_form(m, intensity), m.pi1);
+}
+
+TEST_P(PlatformProperty, PerformanceMonotoneNondecreasingInIntensity) {
+  const co::MachineParams m = machine();
+  double prev = 0.0;
+  for (const double intensity : grid()) {
+    const double perf = co::performance(m, intensity);
+    EXPECT_GE(perf, prev * (1 - 1e-12)) << GetParam();
+    prev = perf;
+  }
+}
+
+TEST_P(PlatformProperty, EfficiencyMonotoneNondecreasingInIntensity) {
+  const co::MachineParams m = machine();
+  double prev = 0.0;
+  for (const double intensity : grid()) {
+    const double eff = co::energy_efficiency(m, intensity);
+    EXPECT_GE(eff, prev * (1 - 1e-12)) << GetParam();
+    prev = eff;
+  }
+}
+
+TEST_P(PlatformProperty, CappedNeverFasterThanUncapped) {
+  const co::MachineParams m = machine();
+  const co::MachineParams u = m.without_cap();
+  for (const double intensity : grid()) {
+    EXPECT_LE(co::performance(m, intensity),
+              co::performance(u, intensity) * (1 + 1e-12));
+  }
+}
+
+TEST_P(PlatformProperty, HugeCapConvergesToUncappedModel) {
+  co::MachineParams m = machine();
+  m.delta_pi = 1e12;
+  const co::MachineParams u = m.without_cap();
+  for (const double intensity : grid()) {
+    EXPECT_NEAR(co::performance(m, intensity), co::performance(u, intensity),
+                1e-9 * co::performance(u, intensity));
+    EXPECT_NEAR(co::energy_efficiency(m, intensity),
+                co::energy_efficiency(u, intensity),
+                1e-9 * co::energy_efficiency(u, intensity));
+  }
+}
+
+TEST_P(PlatformProperty, EnergyScalesLinearlyWithWork) {
+  const co::MachineParams m = machine();
+  for (const double intensity : {0.25, 4.0, 64.0}) {
+    const co::Workload w1 = co::Workload::from_intensity(1e10, intensity);
+    const co::Workload w2 = co::Workload::from_intensity(3e10, intensity);
+    EXPECT_NEAR(co::energy(m, w2), 3.0 * co::energy(m, w1),
+                1e-9 * co::energy(m, w2));
+  }
+}
+
+TEST_P(PlatformProperty, EfficiencyBoundedByPeak) {
+  const co::MachineParams m = machine();
+  const double peak = co::peak_flops_per_joule(m);
+  for (const double intensity : grid())
+    EXPECT_LE(co::energy_efficiency(m, intensity), peak * (1 + 1e-12));
+}
+
+TEST_P(PlatformProperty, PeakEfficiencyReachedAsymptotically) {
+  // At I -> inf the cap can still throttle flops (delta_pi < pi_flop on
+  // e.g. the NUC GPU), so the asymptote carries a throttle factor on the
+  // constant-power term: 1 / (eps_flop + pi1 * tau_flop * cf).
+  const co::MachineParams m = machine();
+  const double cf = std::max(1.0, m.pi_flop() / m.delta_pi);
+  const double limit = 1.0 / (m.eps_flop + m.pi1 * m.tau_flop * cf);
+  EXPECT_NEAR(co::energy_efficiency(m, 1e9), limit, 1e-6 * limit);
+  // The uncapped annotation value (Fig. 5 headline) is an upper bound.
+  EXPECT_LE(limit, co::peak_flops_per_joule(m) * (1 + 1e-12));
+}
+
+TEST_P(PlatformProperty, RegimeConsistentWithClosedFormPieces) {
+  const co::MachineParams m = machine();
+  for (const double intensity : grid()) {
+    const co::Regime r = co::regime_at(m, intensity);
+    const double power = co::avg_power_closed_form(m, intensity);
+    if (r == co::Regime::PowerCap)
+      EXPECT_NEAR(power, m.pi1 + m.delta_pi, 1e-9 * (m.pi1 + m.delta_pi))
+          << GetParam() << " I=" << intensity;
+    else
+      EXPECT_LE(power, (m.pi1 + m.delta_pi) * (1 + 1e-12));
+  }
+}
+
+TEST_P(PlatformProperty, TimeBalanceSeparatesRegimesWhenPowerSufficient) {
+  co::MachineParams m = machine();
+  m.delta_pi = 10.0 * (m.pi_flop() + m.pi_mem());
+  EXPECT_EQ(co::regime_at(m, m.time_balance() * 0.5), co::Regime::Memory);
+  EXPECT_EQ(co::regime_at(m, m.time_balance() * 2.0), co::Regime::Compute);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPlatforms, PlatformProperty,
+    ::testing::ValuesIn(pl::platform_names()),
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      std::string name = param_info.param;
+      for (char& c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name;
+    });
+
+}  // namespace

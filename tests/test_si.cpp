@@ -1,0 +1,76 @@
+// Tests for SI-prefixed formatting.
+
+#include <gtest/gtest.h>
+
+#include "report/si.hpp"
+
+namespace {
+
+namespace rp = archline::report;
+
+TEST(SigFormat, IntegersKeepNoDecimals) {
+  EXPECT_EQ(rp::sig_format(4020.0, 3), "4020");
+  EXPECT_EQ(rp::sig_format(123.0, 3), "123");
+}
+
+TEST(SigFormat, SmallValuesGetDecimals) {
+  EXPECT_EQ(rp::sig_format(0.31, 2), "0.31");
+  EXPECT_EQ(rp::sig_format(1.28, 3), "1.28");
+}
+
+TEST(SigFormat, Zero) { EXPECT_EQ(rp::sig_format(0.0, 3), "0"); }
+
+TEST(SigFormat, Negative) { EXPECT_EQ(rp::sig_format(-2.5, 2), "-2.5"); }
+
+TEST(SigFormat, NonFinite) {
+  EXPECT_EQ(rp::sig_format(std::numeric_limits<double>::infinity(), 3),
+            "inf");
+  EXPECT_EQ(rp::sig_format(-std::numeric_limits<double>::infinity(), 3),
+            "-inf");
+}
+
+TEST(SiFormat, PaperHeadlineValues) {
+  EXPECT_EQ(rp::si_format(16e9, "flop/J", 2), "16 Gflop/J");
+  EXPECT_EQ(rp::si_format(1.3e9, "B/J", 2), "1.3 GB/J");
+  EXPECT_EQ(rp::si_format(136e-12, "J/B", 3), "136 pJ/B");
+  EXPECT_EQ(rp::si_format(4.02e12, "flop/s", 3), "4.02 Tflop/s");
+}
+
+TEST(SiFormat, SubUnityPrefixes) {
+  EXPECT_EQ(rp::si_format(5.11e-9, "J/access", 3), "5.11 nJ/access");
+  EXPECT_EQ(rp::si_format(2.5e-3, "s", 2), "2.5 ms");
+}
+
+TEST(SiFormat, UnitRange) {
+  EXPECT_EQ(rp::si_format(42.0, "W", 2), "42 W");
+}
+
+TEST(SiFormat, Zero) { EXPECT_EQ(rp::si_format(0.0, "W", 3), "0 W"); }
+
+TEST(SiFormat, NegativeValues) {
+  EXPECT_EQ(rp::si_format(-1.5e3, "J", 2), "-1.5 kJ");
+}
+
+TEST(PercentFormat, Rounds) {
+  EXPECT_EQ(rp::percent_format(0.81), "81%");
+  EXPECT_EQ(rp::percent_format(0.995), "100%");
+  EXPECT_EQ(rp::percent_format(0.5), "50%");
+}
+
+TEST(IntensityLabel, PowerOfTwoFractions) {
+  EXPECT_EQ(rp::intensity_label(0.125), "1/8");
+  EXPECT_EQ(rp::intensity_label(0.25), "1/4");
+  EXPECT_EQ(rp::intensity_label(0.5), "1/2");
+}
+
+TEST(IntensityLabel, WholeValues) {
+  EXPECT_EQ(rp::intensity_label(1.0), "1");
+  EXPECT_EQ(rp::intensity_label(16.0), "16");
+  EXPECT_EQ(rp::intensity_label(512.0), "512");
+}
+
+TEST(IntensityLabel, NonDyadicFallsBack) {
+  EXPECT_EQ(rp::intensity_label(0.3), "0.300");
+}
+
+}  // namespace

@@ -1,0 +1,311 @@
+// Tests for SimMachine: physics fidelity against the roofline model,
+// noise behaviour, nonidealities, trace shape.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/roofline.hpp"
+#include "sim/machine.hpp"
+
+namespace {
+
+namespace co = archline::core;
+namespace si = archline::sim;
+namespace pm = archline::powermon;
+using archline::stats::Rng;
+
+si::SimConfig toy_config() {
+  si::SimConfig cfg;
+  cfg.name = "toy";
+  cfg.sp = {.tau = 1e-9, .eps = 1e-9};              // 1 Gflop/s, 1 nJ/flop
+  cfg.dp = si::FlopCosts{.tau = 2e-9, .eps = 2e-9};
+  cfg.dram = {.tau_byte = 1e-9, .eps_byte = 2e-9};  // 1 GB/s, 2 nJ/B
+  cfg.l1 = si::LevelCosts{.tau_byte = 1e-10, .eps_byte = 2e-10,
+                          .capacity_bytes = 32 * 1024};
+  cfg.random = si::RandomCosts{.tau_access = 1e-8, .eps_access = 5e-8};
+  cfg.pi1 = 1.0;
+  cfg.delta_pi = 10.0;
+  cfg.noise.time_rel_sd = 0.0;
+  cfg.noise.power_rel_sd = 0.0;
+  cfg.rails = pm::mobile_board_rails();
+  return cfg;
+}
+
+si::KernelDesc stream_kernel(double flops, double bytes,
+                             co::MemLevel level = co::MemLevel::DRAM) {
+  si::KernelDesc k;
+  k.label = "test";
+  k.flops = flops;
+  k.bytes = bytes;
+  k.level = level;
+  return k;
+}
+
+
+
+TEST(SimMachine, IdealTimeMatchesRooflineModel) {
+  const si::SimMachine m(toy_config());
+  co::MachineParams params;
+  params.tau_flop = 1e-9;
+  params.eps_flop = 1e-9;
+  params.tau_mem = 1e-9;
+  params.eps_mem = 2e-9;
+  params.pi1 = 1.0;
+  params.delta_pi = 10.0;
+  for (const double intensity : {0.125, 0.5, 2.0, 8.0, 64.0}) {
+    const co::Workload w = co::Workload::from_intensity(1e10, intensity);
+    const si::KernelDesc k = stream_kernel(w.flops, w.bytes);
+    EXPECT_NEAR(m.ideal_time(k), co::time(params, w), 1e-12)
+        << "I=" << intensity;
+    EXPECT_NEAR(m.ideal_energy(k), co::energy(params, w),
+                1e-9 * co::energy(params, w));
+  }
+}
+
+TEST(SimMachine, RunMatchesIdealWithoutNoise) {
+  const si::SimMachine m(toy_config());
+  Rng rng(1);
+  const si::KernelDesc k = stream_kernel(10e9, 5e9);
+  const si::RunResult r = m.run(k, rng);
+  EXPECT_NEAR(r.true_time, m.ideal_time(k), 1e-12);
+}
+
+TEST(SimMachine, TraceEnergySlightlyBelowSteadyStateBound) {
+  // The ramp transient makes true energy land just below steady power x T.
+  const si::SimMachine m(toy_config());
+  Rng rng(2);
+  const si::KernelDesc k = stream_kernel(10e9, 5e9);
+  const si::RunResult r = m.run(k, rng);
+  const double upper = m.ideal_energy(k);
+  EXPECT_LE(r.true_energy, upper * (1 + 1e-9));
+  EXPECT_GE(r.true_energy, 0.95 * upper);
+}
+
+TEST(SimMachine, NoiseIsDeterministicPerSeed) {
+  si::SimConfig cfg = toy_config();
+  cfg.noise.time_rel_sd = 0.05;
+  const si::SimMachine m(cfg);
+  const si::KernelDesc k = stream_kernel(1e9, 1e9);
+  Rng r1(7);
+  Rng r2(7);
+  EXPECT_DOUBLE_EQ(m.run(k, r1).true_time, m.run(k, r2).true_time);
+}
+
+TEST(SimMachine, NoiseSpreadsRunTimes) {
+  si::SimConfig cfg = toy_config();
+  cfg.noise.time_rel_sd = 0.05;
+  const si::SimMachine m(cfg);
+  const si::KernelDesc k = stream_kernel(1e9, 1e9);
+  Rng rng(8);
+  double lo = 1e300;
+  double hi = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    const double t = m.run(k, rng).true_time;
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  EXPECT_GT(hi / lo, 1.02);
+}
+
+TEST(SimMachine, CapDroopLengthensThrottledRuns) {
+  si::SimConfig base = toy_config();
+  base.delta_pi = 2.0;  // force throttling at mid intensity
+  si::SimConfig droopy = base;
+  droopy.noise.cap_droop_eta = 0.2;
+  const si::SimMachine m0(base);
+  const si::SimMachine m1(droopy);
+  const si::KernelDesc k = stream_kernel(10e9, 10e9);
+  EXPECT_GT(m1.ideal_time(k), m0.ideal_time(k));
+}
+
+TEST(SimMachine, CapDroopInactiveOutsideCapRegime) {
+  si::SimConfig base = toy_config();
+  si::SimConfig droopy = base;
+  droopy.noise.cap_droop_eta = 0.2;
+  const si::SimMachine m0(base);
+  const si::SimMachine m1(droopy);
+  const si::KernelDesc k = stream_kernel(100e9, 1e9);  // compute bound
+  EXPECT_DOUBLE_EQ(m1.ideal_time(k), m0.ideal_time(k));
+}
+
+TEST(SimMachine, OsBurstsRaiseMeasuredEnergy) {
+  si::SimConfig base = toy_config();
+  si::SimConfig bursty = base;
+  bursty.noise.os_burst_rate_hz = 200.0;
+  bursty.noise.os_burst_watts = 5.0;
+  bursty.noise.os_burst_duration_s = 5e-3;
+  const si::SimMachine m0(base);
+  const si::SimMachine m1(bursty);
+  const si::KernelDesc k = stream_kernel(1e9, 1e9);
+  Rng r0(9);
+  Rng r1(9);
+  EXPECT_GT(m1.run(k, r1).true_energy, m0.run(k, r0).true_energy);
+}
+
+TEST(SimMachine, CacheLevelKernelsUseLevelCosts) {
+  const si::SimMachine m(toy_config());
+  const si::KernelDesc dram = stream_kernel(1e6, 10e9);
+  const si::KernelDesc l1 = stream_kernel(1e6, 10e9, co::MemLevel::L1);
+  EXPECT_GT(m.ideal_time(dram), m.ideal_time(l1));  // L1 is 10x faster
+}
+
+TEST(SimMachine, MissingLevelThrows) {
+  const si::SimMachine m(toy_config());  // no L2 configured
+  const si::KernelDesc k = stream_kernel(1.0, 1.0, co::MemLevel::L2);
+  EXPECT_FALSE(m.supports(k));
+  EXPECT_THROW((void)m.ideal_time(k), std::invalid_argument);
+}
+
+TEST(SimMachine, RandomKernelUsesAccessCosts) {
+  const si::SimMachine m(toy_config());
+  si::KernelDesc k;
+  k.label = "chase";
+  k.pattern = co::AccessPattern::Random;
+  k.accesses = 1e8;
+  k.working_set_bytes = 1e6;
+  // 1e8 accesses * 10 ns = 1 s (energy 5 J < cap so no throttle).
+  EXPECT_NEAR(m.ideal_time(k), 1.0, 1e-9);
+  EXPECT_NEAR(m.ideal_energy(k), 5.0 + 1.0, 1e-6);
+}
+
+TEST(SimMachine, DoublePrecisionCostsApplied) {
+  const si::SimMachine m(toy_config());
+  si::KernelDesc k = stream_kernel(10e9, 1e9);
+  k.precision = co::Precision::Double;
+  EXPECT_NEAR(m.ideal_time(k), 20.0, 1e-9);
+}
+
+TEST(SimMachine, UnsupportedDoubleThrows) {
+  si::SimConfig cfg = toy_config();
+  cfg.dp.reset();
+  const si::SimMachine m(cfg);
+  si::KernelDesc k = stream_kernel(1e9, 1e9);
+  k.precision = co::Precision::Double;
+  EXPECT_FALSE(m.supports(k));
+  EXPECT_THROW((void)m.ideal_time(k), std::invalid_argument);
+}
+
+TEST(SimMachine, CaptureCoversRunWindow) {
+  const si::SimMachine m(toy_config());
+  Rng rng(10);
+  const si::KernelDesc k = stream_kernel(2e9, 1e9);
+  const si::RunResult r = m.run(k, rng);
+  EXPECT_DOUBLE_EQ(r.capture.window_begin, 0.0);
+  EXPECT_NEAR(r.capture.window_end, r.true_time, 1e-12);
+}
+
+TEST(SimMachine, RegimeReported) {
+  const si::SimMachine m(toy_config());
+  Rng rng(11);
+  EXPECT_EQ(m.run(stream_kernel(100e9, 1e9), rng).regime,
+            co::Regime::Compute);
+  EXPECT_EQ(m.run(stream_kernel(1e9, 100e9), rng).regime, co::Regime::Memory);
+}
+
+TEST(SimConfig, ValidationCatchesBadConfigs) {
+  si::SimConfig cfg = toy_config();
+  cfg.name.clear();
+  EXPECT_THROW(si::SimMachine{cfg}, std::invalid_argument);
+  cfg = toy_config();
+  cfg.sp.tau = 0.0;
+  EXPECT_THROW(si::SimMachine{cfg}, std::invalid_argument);
+  cfg = toy_config();
+  cfg.rails.clear();
+  EXPECT_THROW(si::SimMachine{cfg}, std::invalid_argument);
+  cfg = toy_config();
+  cfg.delta_pi = 0.0;
+  EXPECT_THROW(si::SimMachine{cfg}, std::invalid_argument);
+}
+
+TEST(KernelDesc, ValidationRules) {
+  si::KernelDesc k;
+  k.label = "empty";
+  EXPECT_THROW(k.validate(), std::invalid_argument);
+  k.flops = 1.0;
+  EXPECT_NO_THROW(k.validate());
+  k.pattern = co::AccessPattern::Random;
+  EXPECT_THROW(k.validate(), std::invalid_argument);  // needs accesses
+  k.accesses = 10.0;
+  EXPECT_NO_THROW(k.validate());
+}
+
+TEST(KernelDesc, IntensityComputation) {
+  si::KernelDesc k = stream_kernel(8.0, 2.0);
+  EXPECT_DOUBLE_EQ(k.intensity(), 4.0);
+  k.bytes = 0.0;
+  EXPECT_TRUE(std::isinf(k.intensity()));
+}
+
+TEST(SimMachine, OversizedL1WorkingSetSpills) {
+  // toy config: L1 capacity 32 KiB, no L2 -> spill lands in DRAM.
+  const si::SimMachine m(toy_config());
+  si::KernelDesc fits = stream_kernel(1e6, 1e9, co::MemLevel::L1);
+  fits.working_set_bytes = 16 * 1024;
+  si::KernelDesc spills = fits;
+  spills.working_set_bytes = 256 * 1024;
+  EXPECT_EQ(m.effective_level(co::MemLevel::L1, 16 * 1024),
+            co::MemLevel::L1);
+  EXPECT_EQ(m.effective_level(co::MemLevel::L1, 256 * 1024),
+            co::MemLevel::DRAM);
+  // DRAM is 10x slower than L1 in the toy machine.
+  EXPECT_NEAR(m.ideal_time(spills), 10.0 * m.ideal_time(fits),
+              0.1 * m.ideal_time(spills));
+}
+
+TEST(SimMachine, SpillPrefersL2WhenPresent) {
+  si::SimConfig cfg = toy_config();
+  cfg.l2 = si::LevelCosts{.tau_byte = 3e-10, .eps_byte = 5e-10,
+                          .capacity_bytes = 512 * 1024};
+  const si::SimMachine m(cfg);
+  EXPECT_EQ(m.effective_level(co::MemLevel::L1, 256 * 1024),
+            co::MemLevel::L2);
+  EXPECT_EQ(m.effective_level(co::MemLevel::L1, 4e6), co::MemLevel::DRAM);
+  EXPECT_EQ(m.effective_level(co::MemLevel::L2, 256 * 1024),
+            co::MemLevel::L2);
+}
+
+TEST(SimMachine, ZeroWorkingSetNeverSpills) {
+  const si::SimMachine m(toy_config());
+  EXPECT_EQ(m.effective_level(co::MemLevel::L1, 0.0), co::MemLevel::L1);
+  EXPECT_EQ(m.effective_level(co::MemLevel::DRAM, 1e12),
+            co::MemLevel::DRAM);
+}
+
+TEST(SimMachine, WriteFractionScalesActiveEnergy) {
+  si::SimConfig cfg = toy_config();
+  cfg.dram.write_energy_factor = 2.0;
+  const si::SimMachine m(cfg);
+  si::KernelDesc reads = stream_kernel(1e6, 10e9);
+  si::KernelDesc writes = reads;
+  writes.write_fraction = 1.0;
+  // Read-only: 10 GB * 2 nJ/B + pi1*T; all-writes doubles the byte term.
+  const double t = m.ideal_time(reads);
+  EXPECT_DOUBLE_EQ(m.ideal_time(writes), t);  // time unchanged
+  const double read_active = m.ideal_energy(reads) - cfg.pi1 * t;
+  const double write_active = m.ideal_energy(writes) - cfg.pi1 * t;
+  EXPECT_NEAR(write_active, 2.0 * read_active - 2.0 * 1e6 * cfg.sp.eps +
+                                1e6 * cfg.sp.eps,
+              1e-6 * write_active);
+}
+
+TEST(SimMachine, UnitWriteFactorIgnoresWriteFraction) {
+  const si::SimMachine m(toy_config());
+  si::KernelDesc a = stream_kernel(1e6, 1e9);
+  si::KernelDesc b = a;
+  b.write_fraction = 0.5;
+  EXPECT_DOUBLE_EQ(m.ideal_energy(a), m.ideal_energy(b));
+}
+
+TEST(KernelDesc, WriteFractionValidated) {
+  si::KernelDesc k = stream_kernel(1.0, 1.0);
+  k.write_fraction = 1.5;
+  EXPECT_THROW(k.validate(), std::invalid_argument);
+  k.write_fraction = -0.1;
+  EXPECT_THROW(k.validate(), std::invalid_argument);
+  k.write_fraction = 0.5;
+  EXPECT_NO_THROW(k.validate());
+}
+
+}  // namespace

@@ -1,0 +1,166 @@
+// Tests for the microbenchmark suite runner: campaign structure and
+// measurement plausibility.
+
+#include <gtest/gtest.h>
+
+#include "microbench/suite.hpp"
+#include "platforms/platform_db.hpp"
+#include "sim/factory.hpp"
+
+namespace {
+
+namespace mb = archline::microbench;
+namespace co = archline::core;
+namespace si = archline::sim;
+namespace pl = archline::platforms;
+using archline::stats::Rng;
+
+mb::SuiteOptions fast_options() {
+  mb::SuiteOptions opt;
+  opt.intensities = {0.125, 1.0, 8.0, 64.0};
+  opt.repeats = 2;
+  opt.target_seconds = 0.1;
+  return opt;
+}
+
+TEST(Suite, CampaignStructureOnFullFeaturedPlatform) {
+  const si::SimMachine m = si::make_machine(pl::platform("Xeon Phi"));
+  Rng rng(1);
+  const mb::SuiteData data = mb::run_suite(m, fast_options(), rng);
+  EXPECT_EQ(data.platform, "Xeon Phi");
+  EXPECT_EQ(data.dram_sp.size(), 8u);  // 4 intensities x 2 repeats
+  EXPECT_EQ(data.dram_dp.size(), 8u);
+  EXPECT_EQ(data.l1.size(), 8u);
+  EXPECT_EQ(data.l2.size(), 8u);
+  EXPECT_EQ(data.random.size(), 2u);
+  EXPECT_EQ(data.total_observations(), 34u);
+  EXPECT_EQ(data.all().size(), 34u);
+}
+
+TEST(Suite, SkipsMissingCapabilities) {
+  const si::SimMachine m = si::make_machine(pl::platform("NUC GPU"));
+  Rng rng(2);
+  const mb::SuiteData data = mb::run_suite(m, fast_options(), rng);
+  EXPECT_FALSE(data.dram_sp.empty());
+  EXPECT_TRUE(data.dram_dp.empty());
+  EXPECT_TRUE(data.l1.empty());
+  EXPECT_TRUE(data.l2.empty());
+  EXPECT_TRUE(data.random.empty());
+}
+
+TEST(Suite, OptionsDisableGroups) {
+  mb::SuiteOptions opt = fast_options();
+  opt.include_double = false;
+  opt.include_caches = false;
+  opt.include_random = false;
+  const si::SimMachine m = si::make_machine(pl::platform("Xeon Phi"));
+  Rng rng(3);
+  const mb::SuiteData data = mb::run_suite(m, opt, rng);
+  EXPECT_FALSE(data.dram_sp.empty());
+  EXPECT_TRUE(data.dram_dp.empty());
+  EXPECT_TRUE(data.l1.empty());
+  EXPECT_TRUE(data.random.empty());
+}
+
+TEST(Suite, MeasurementsNearTargetDuration) {
+  const si::SimMachine m = si::make_machine(pl::platform("GTX Titan"));
+  Rng rng(4);
+  const mb::SuiteData data = mb::run_suite(m, fast_options(), rng);
+  for (const mb::Observation& o : data.dram_sp)
+    EXPECT_NEAR(o.seconds, 0.1, 0.02) << o.kernel.label;
+}
+
+TEST(Suite, MeasuredPowerWithinPhysicalBounds) {
+  const si::SimMachine m = si::make_machine(pl::platform("GTX Titan"));
+  const co::MachineParams params = pl::platform("GTX Titan").machine();
+  Rng rng(5);
+  const mb::SuiteData data = mb::run_suite(m, fast_options(), rng);
+  for (const mb::Observation* o : data.all()) {
+    EXPECT_GT(o->watts, params.pi1 * 0.9) << o->kernel.label;
+    EXPECT_LT(o->watts, (params.pi1 + params.delta_pi) * 1.1)
+        << o->kernel.label;
+  }
+}
+
+TEST(Suite, MeasuredPerformanceTracksModel) {
+  const pl::PlatformSpec& spec = pl::platform("GTX 680");
+  const si::SimMachine m = si::make_machine(spec);
+  const co::MachineParams params = spec.machine();
+  Rng rng(6);
+  const mb::SuiteData data = mb::run_suite(m, fast_options(), rng);
+  for (const mb::Observation& o : data.dram_sp) {
+    const double model = co::performance(params, o.intensity());
+    EXPECT_NEAR(o.flops_per_second(), model, 0.1 * model)
+        << "I=" << o.intensity();
+  }
+}
+
+TEST(Suite, EnergyConsistentWithPowerAndTime) {
+  const si::SimMachine m = si::make_machine(pl::platform("Arndale CPU"));
+  Rng rng(7);
+  const mb::SuiteData data = mb::run_suite(m, fast_options(), rng);
+  for (const mb::Observation* o : data.all())
+    EXPECT_NEAR(o->joules, o->watts * o->seconds, 1e-6 * o->joules);
+}
+
+TEST(Suite, RepeatsDifferUnderNoise) {
+  const si::SimMachine m = si::make_machine(pl::platform("Desktop CPU"));
+  Rng rng(8);
+  mb::SuiteOptions opt = fast_options();
+  opt.repeats = 3;
+  const mb::SuiteData data = mb::run_suite(m, opt, rng);
+  // Same kernel, different runs: noise must separate them.
+  EXPECT_NE(data.dram_sp[0].seconds, data.dram_sp[1].seconds);
+}
+
+TEST(Suite, DeterministicGivenSeed) {
+  const si::SimMachine m = si::make_machine(pl::platform("Desktop CPU"));
+  Rng r1(9);
+  Rng r2(9);
+  const mb::SuiteData a = mb::run_suite(m, fast_options(), r1);
+  const mb::SuiteData b = mb::run_suite(m, fast_options(), r2);
+  ASSERT_EQ(a.dram_sp.size(), b.dram_sp.size());
+  for (std::size_t i = 0; i < a.dram_sp.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.dram_sp[i].joules, b.dram_sp[i].joules);
+}
+
+TEST(Suite, DefaultGridUsedWhenUnset) {
+  mb::SuiteOptions opt;
+  opt.repeats = 1;
+  opt.target_seconds = 0.05;
+  opt.include_double = false;
+  opt.include_caches = false;
+  opt.include_random = false;
+  const si::SimMachine m = si::make_machine(pl::platform("APU CPU"));
+  Rng rng(10);
+  const mb::SuiteData data = mb::run_suite(m, opt, rng);
+  EXPECT_GT(data.dram_sp.size(), 20u);  // default 1/8..512 at 2/octave
+}
+
+TEST(MeasureKernel, ProducesRequestedRepeats) {
+  const si::SimMachine m = si::make_machine(pl::platform("APU GPU"));
+  Rng rng(11);
+  si::KernelDesc k;
+  k.label = "probe";
+  k.flops = 1e9;
+  k.bytes = 1e9;
+  const auto obs = mb::measure_kernel(m, k, 5, {}, rng);
+  EXPECT_EQ(obs.size(), 5u);
+  for (const mb::Observation& o : obs) {
+    EXPECT_GT(o.seconds, 0.0);
+    EXPECT_GT(o.joules, 0.0);
+  }
+}
+
+TEST(Observation, DerivedMetrics) {
+  mb::Observation o;
+  o.kernel.flops = 10.0;
+  o.kernel.bytes = 5.0;
+  o.seconds = 2.0;
+  o.joules = 5.0;
+  EXPECT_DOUBLE_EQ(o.intensity(), 2.0);
+  EXPECT_DOUBLE_EQ(o.flops_per_second(), 5.0);
+  EXPECT_DOUBLE_EQ(o.flops_per_joule(), 2.0);
+}
+
+}  // namespace

@@ -1,0 +1,103 @@
+// Tests for suite CSV interchange.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <stdexcept>
+
+#include "fit/model_fit.hpp"
+#include "microbench/suite_io.hpp"
+#include "platforms/platform_db.hpp"
+#include "report/csv.hpp"
+#include "sim/factory.hpp"
+
+namespace {
+
+namespace mb = archline::microbench;
+namespace pl = archline::platforms;
+namespace si = archline::sim;
+
+mb::SuiteData sample_suite() {
+  const si::SimMachine m = si::make_machine(pl::platform("Xeon Phi"));
+  archline::stats::Rng rng(55);
+  mb::SuiteOptions opt;
+  opt.intensities = {0.25, 4.0, 64.0};
+  opt.repeats = 2;
+  opt.target_seconds = 0.05;
+  return mb::run_suite(m, opt, rng);
+}
+
+TEST(SuiteIo, RoundTripPreservesEverything) {
+  const mb::SuiteData data = sample_suite();
+  const auto rows =
+      archline::report::parse_csv(mb::suite_to_csv(data).to_string());
+  const mb::SuiteData back = mb::suite_from_csv_rows(rows);
+
+  EXPECT_DOUBLE_EQ(back.idle_watts, data.idle_watts);
+  ASSERT_EQ(back.dram_sp.size(), data.dram_sp.size());
+  ASSERT_EQ(back.dram_dp.size(), data.dram_dp.size());
+  ASSERT_EQ(back.l1.size(), data.l1.size());
+  ASSERT_EQ(back.l2.size(), data.l2.size());
+  ASSERT_EQ(back.random.size(), data.random.size());
+  for (std::size_t i = 0; i < data.dram_sp.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back.dram_sp[i].seconds, data.dram_sp[i].seconds);
+    EXPECT_DOUBLE_EQ(back.dram_sp[i].joules, data.dram_sp[i].joules);
+    EXPECT_DOUBLE_EQ(back.dram_sp[i].kernel.flops,
+                     data.dram_sp[i].kernel.flops);
+    EXPECT_DOUBLE_EQ(back.dram_sp[i].watts, data.dram_sp[i].watts);
+  }
+}
+
+TEST(SuiteIo, GroupsCarryTheirSemantics) {
+  const mb::SuiteData data = sample_suite();
+  const mb::SuiteData back = mb::suite_from_csv_rows(
+      archline::report::parse_csv(mb::suite_to_csv(data).to_string()));
+  for (const mb::Observation& o : back.dram_dp)
+    EXPECT_EQ(o.kernel.precision, archline::core::Precision::Double);
+  for (const mb::Observation& o : back.l1)
+    EXPECT_EQ(o.kernel.level, archline::core::MemLevel::L1);
+  for (const mb::Observation& o : back.random)
+    EXPECT_EQ(o.kernel.pattern, archline::core::AccessPattern::Random);
+}
+
+TEST(SuiteIo, FileRoundTrip) {
+  const mb::SuiteData data = sample_suite();
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "archline_suite_io" /
+      "suite.csv";
+  mb::write_suite_csv(data, path);
+  const mb::SuiteData back = mb::read_suite_csv(path);
+  EXPECT_EQ(back.total_observations(), data.total_observations());
+  std::filesystem::remove_all(path.parent_path());
+}
+
+TEST(SuiteIo, RefitFromRoundTrippedData) {
+  // The interchange must be faithful enough to refit the machine.
+  const mb::SuiteData data = sample_suite();
+  const mb::SuiteData back = mb::suite_from_csv_rows(
+      archline::report::parse_csv(mb::suite_to_csv(data).to_string()));
+  const auto a = archline::fit::fit_machine(data);
+  const auto b = archline::fit::fit_machine(back);
+  EXPECT_NEAR(b.machine.pi1, a.machine.pi1, 1e-9 * a.machine.pi1);
+  EXPECT_NEAR(b.machine.eps_mem, a.machine.eps_mem,
+              1e-9 * a.machine.eps_mem);
+}
+
+TEST(SuiteIo, RejectsMalformedInput) {
+  EXPECT_THROW((void)mb::suite_from_csv_rows({}), std::runtime_error);
+  EXPECT_THROW((void)mb::suite_from_csv_rows({{"not", "the", "header"}}),
+               std::runtime_error);
+  auto rows = archline::report::parse_csv(
+      mb::suite_to_csv(sample_suite()).to_string());
+  rows.push_back({"weird_group", "x", "1", "1", "0", "1", "1"});
+  EXPECT_THROW((void)mb::suite_from_csv_rows(rows), std::runtime_error);
+}
+
+TEST(SuiteIo, RejectsNonPositiveMeasurements) {
+  auto rows = archline::report::parse_csv(
+      mb::suite_to_csv(sample_suite()).to_string());
+  rows.push_back({"dram_sp", "bad", "1", "1", "0", "0", "1"});
+  EXPECT_THROW((void)mb::suite_from_csv_rows(rows), std::runtime_error);
+}
+
+}  // namespace

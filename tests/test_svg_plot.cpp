@@ -1,0 +1,126 @@
+// Tests for the SVG figure renderer.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <stdexcept>
+
+#include "report/svg_plot.hpp"
+
+namespace {
+
+namespace rp = archline::report;
+
+rp::Series line(std::string name) {
+  return rp::Series{.name = std::move(name), .glyph = '-',
+                    .x = {0.125, 1.0, 8.0, 64.0},
+                    .y = {1.0, 2.0, 4.0, 4.5}};
+}
+
+TEST(SvgEscape, EscapesMarkup) {
+  EXPECT_EQ(rp::svg_escape("a<b>&c"), "a&lt;b&gt;&amp;c");
+  EXPECT_EQ(rp::svg_escape("plain"), "plain");
+}
+
+TEST(SvgPlot, WellFormedDocument) {
+  rp::SvgPlot plot("Figure");
+  plot.add_line(line("model"));
+  const std::string svg = plot.render();
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("<polyline"), std::string::npos);
+  EXPECT_NE(svg.find("Figure"), std::string::npos);
+}
+
+TEST(SvgPlot, ScatterUsesCircles) {
+  rp::SvgPlot plot("t");
+  plot.add_scatter(line("measured"));
+  const std::string svg = plot.render();
+  EXPECT_NE(svg.find("<circle"), std::string::npos);
+  EXPECT_EQ(svg.find("<polyline"), std::string::npos);
+}
+
+TEST(SvgPlot, LegendListsSeriesNames) {
+  rp::SvgPlot plot("t");
+  plot.add_line(line("alpha"));
+  plot.add_scatter(line("beta"));
+  const std::string svg = plot.render();
+  EXPECT_NE(svg.find(">alpha<"), std::string::npos);
+  EXPECT_NE(svg.find(">beta<"), std::string::npos);
+}
+
+TEST(SvgPlot, TitleIsEscaped) {
+  rp::SvgPlot plot("a < b & c");
+  plot.add_line(line("s"));
+  EXPECT_NE(plot.render().find("a &lt; b &amp; c"), std::string::npos);
+}
+
+TEST(SvgPlot, EmptyPlotSaysSo) {
+  rp::SvgPlot plot("empty");
+  EXPECT_NE(plot.render().find("no plottable data"), std::string::npos);
+}
+
+TEST(SvgPlot, LogAxisTicksArePowersOfTwo) {
+  rp::SvgPlot plot("t");
+  plot.add_line(line("s"));
+  const std::string svg = plot.render();
+  EXPECT_NE(svg.find(">1/8<"), std::string::npos);
+  EXPECT_NE(svg.find(">64<"), std::string::npos);
+}
+
+TEST(SvgPlot, SkipsBadPointsOnLogAxes) {
+  rp::SvgPlot plot("t");
+  rp::Series s = line("s");
+  s.x.push_back(0.0);   // invalid on log axis
+  s.y.push_back(-1.0);
+  EXPECT_NO_THROW(plot.add_line(s));
+  EXPECT_NE(plot.render().find("<polyline"), std::string::npos);
+}
+
+TEST(SvgPlot, MismatchedSeriesThrows) {
+  rp::SvgPlot plot("t");
+  rp::Series s;
+  s.x = {1.0};
+  EXPECT_THROW(plot.add_line(s), std::invalid_argument);
+}
+
+TEST(SvgPlot, TinyCanvasThrows) {
+  EXPECT_THROW(rp::SvgPlot("t", rp::SvgStyle{.width = 10, .height = 10}),
+               std::invalid_argument);
+}
+
+TEST(SvgPlot, ColorsCycleThroughPalette) {
+  rp::SvgStyle style;
+  style.palette = {"#111111", "#222222"};
+  rp::SvgPlot plot("t", style);
+  plot.add_line(line("a"));
+  plot.add_line(line("b"));
+  plot.add_line(line("c"));  // wraps to #111111 again
+  const std::string svg = plot.render();
+  EXPECT_NE(svg.find("#111111"), std::string::npos);
+  EXPECT_NE(svg.find("#222222"), std::string::npos);
+}
+
+TEST(SvgPlot, WritesFile) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "archline_svg" / "t.svg";
+  rp::SvgPlot plot("t");
+  plot.add_line(line("s"));
+  plot.write_file(path);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_GT(std::filesystem::file_size(path), 500u);
+  std::filesystem::remove_all(path.parent_path());
+}
+
+TEST(SvgPlot, LinearYAxisRendersRoundTicks) {
+  rp::SvgPlot plot("t");
+  plot.set_y_scale(rp::AxisScale::Linear);
+  rp::Series s{.name = "s", .glyph = '-', .x = {1.0, 2.0, 4.0},
+               .y = {0.0, 50.0, 100.0}};
+  plot.add_line(s);
+  const std::string svg = plot.render();
+  EXPECT_NE(svg.find(">40 <"), std::string::npos);
+  EXPECT_NE(svg.find(">100 <"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,107 @@
+// Tests for the ASCII/markdown table renderer.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "report/table.hpp"
+
+namespace {
+
+using archline::report::Align;
+using archline::report::Table;
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, CountsRowsAndColumns) {
+  Table t({"a", "b"});
+  EXPECT_EQ(t.column_count(), 2u);
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(Table, TooManyCellsThrows) {
+  Table t({"a"});
+  EXPECT_THROW(t.add_row({"1", "2"}), std::invalid_argument);
+}
+
+TEST(Table, MissingCellsRenderEmpty) {
+  Table t({"a", "b"});
+  t.add_row({"1"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("| 1 |"), std::string::npos);
+}
+
+TEST(Table, TextHasHeaderAndRules) {
+  Table t({"name", "value"});
+  t.add_row({"x", "10"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("value"), std::string::npos);
+  EXPECT_NE(text.find('+'), std::string::npos);
+  // Three rules: top, under-header, bottom.
+  std::size_t rules = 0;
+  for (std::size_t pos = text.find("+-"); pos != std::string::npos;
+       pos = text.find("+-", pos + 1))
+    ++rules;
+  EXPECT_GE(rules, 3u);
+}
+
+TEST(Table, ColumnWidthFitsLongestCell) {
+  Table t({"h"});
+  t.add_row({"a-very-long-cell"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("a-very-long-cell"), std::string::npos);
+}
+
+TEST(Table, RightAlignmentPadsLeft) {
+  Table t({"col1", "col2"});
+  t.add_row({"x", "9"});
+  const std::string text = t.to_text();
+  // "col2" is 4 wide, right-aligned 9 -> "   9".
+  EXPECT_NE(text.find("   9 |"), std::string::npos);
+}
+
+TEST(Table, LeftAlignmentPadsRight) {
+  Table t({"name", "v"});
+  t.add_row({"ab", "1"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("| ab   |"), std::string::npos);
+}
+
+TEST(Table, SetAlignOverrides) {
+  Table t({"a", "b"});
+  t.set_align(1, Align::Left);
+  t.add_row({"x", "y"});
+  EXPECT_NE(t.to_text().find("| y |"), std::string::npos);
+}
+
+TEST(Table, SetAlignOutOfRangeThrows) {
+  Table t({"a"});
+  EXPECT_THROW(t.set_align(5, Align::Left), std::out_of_range);
+}
+
+TEST(Table, MarkdownHasSeparatorRow) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  const std::string md = t.to_markdown();
+  EXPECT_NE(md.find("| a"), std::string::npos);
+  EXPECT_NE(md.find("---"), std::string::npos);
+  EXPECT_NE(md.find(":|"), std::string::npos);  // right-align marker
+}
+
+TEST(Table, MarkdownRowCountMatches) {
+  Table t({"a"});
+  t.add_row({"1"});
+  t.add_row({"2"});
+  const std::string md = t.to_markdown();
+  std::size_t lines = 0;
+  for (const char c : md)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 4u);  // header + separator + 2 rows
+}
+
+}  // namespace

@@ -1,0 +1,172 @@
+// Tests for powermon::PowerTrace and Capture.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "powermon/trace.hpp"
+
+namespace {
+
+namespace pm = archline::powermon;
+
+TEST(PowerTrace, EmptyTraceIsZero) {
+  const pm::PowerTrace t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_DOUBLE_EQ(t.value(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.total_energy(), 0.0);
+}
+
+TEST(PowerTrace, ConstantSegment) {
+  pm::PowerTrace t;
+  t.add_constant(2.0, 50.0);
+  EXPECT_DOUBLE_EQ(t.value(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(t.total_energy(), 100.0);
+  EXPECT_DOUBLE_EQ(t.duration(), 2.0);
+}
+
+TEST(PowerTrace, LinearInterpolation) {
+  pm::PowerTrace t;
+  t.add_point(0.0, 0.0);
+  t.add_point(10.0, 100.0);
+  EXPECT_DOUBLE_EQ(t.value(5.0), 50.0);
+  EXPECT_DOUBLE_EQ(t.value(2.5), 25.0);
+}
+
+TEST(PowerTrace, ConstantExtrapolationOutsideSpan) {
+  pm::PowerTrace t;
+  t.add_point(1.0, 10.0);
+  t.add_point(2.0, 20.0);
+  EXPECT_DOUBLE_EQ(t.value(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(t.value(5.0), 20.0);
+}
+
+TEST(PowerTrace, RampIntegralIsExact) {
+  pm::PowerTrace t;
+  t.add_point(0.0, 0.0);
+  t.add_ramp(4.0, 100.0);  // triangle: area = 200
+  EXPECT_DOUBLE_EQ(t.total_energy(), 200.0);
+}
+
+TEST(PowerTrace, PartialIntegral) {
+  pm::PowerTrace t;
+  t.add_constant(10.0, 10.0);
+  EXPECT_DOUBLE_EQ(t.integral(2.0, 5.0), 30.0);
+}
+
+TEST(PowerTrace, IntegralAcrossSegments) {
+  pm::PowerTrace t;
+  t.add_point(0.0, 0.0);
+  t.add_point(1.0, 10.0);   // triangle area 5
+  t.add_point(3.0, 10.0);   // rectangle area 20
+  EXPECT_DOUBLE_EQ(t.total_energy(), 25.0);
+  // value(0.5) = 5; 0.5..1 trapezoid = (5+10)/2 * 0.5 = 3.75; 1..2 = 10.
+  EXPECT_DOUBLE_EQ(t.integral(0.5, 2.0), 13.75);
+}
+
+TEST(PowerTrace, EmptyIntervalIntegralIsZero) {
+  pm::PowerTrace t;
+  t.add_constant(1.0, 5.0);
+  EXPECT_DOUBLE_EQ(t.integral(0.5, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(t.integral(0.7, 0.3), 0.0);
+}
+
+TEST(PowerTrace, RejectsBackwardsTime) {
+  pm::PowerTrace t;
+  t.add_point(1.0, 5.0);
+  EXPECT_THROW(t.add_point(0.5, 5.0), std::invalid_argument);
+}
+
+TEST(PowerTrace, RejectsNegativePower) {
+  pm::PowerTrace t;
+  EXPECT_THROW(t.add_point(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(PowerTrace, RejectsNonFinite) {
+  pm::PowerTrace t;
+  EXPECT_THROW(t.add_point(0.0, std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+}
+
+TEST(PowerTrace, RampNeedsStartingPoint) {
+  pm::PowerTrace t;
+  EXPECT_THROW(t.add_ramp(1.0, 5.0), std::invalid_argument);
+}
+
+TEST(PowerTrace, ScaledMultipliesPower) {
+  pm::PowerTrace t;
+  t.add_constant(2.0, 10.0);
+  const pm::PowerTrace half = t.scaled(0.5);
+  EXPECT_DOUBLE_EQ(half.value(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(half.total_energy(), 10.0);
+}
+
+TEST(PowerTrace, ScaledRejectsNegative) {
+  pm::PowerTrace t;
+  t.add_constant(1.0, 1.0);
+  EXPECT_THROW((void)t.scaled(-1.0), std::invalid_argument);
+}
+
+TEST(SplitAcrossRails, FractionsMustSumToOne) {
+  pm::PowerTrace t;
+  t.add_constant(1.0, 100.0);
+  std::vector<pm::RailSplit> rails = {
+      {.channel = {.name = "a"}, .fraction = 0.5},
+      {.channel = {.name = "b"}, .fraction = 0.4},
+  };
+  EXPECT_THROW((void)pm::split_across_rails(t, rails, 0.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(SplitAcrossRails, EnergyIsConserved) {
+  pm::PowerTrace t;
+  t.add_constant(2.0, 100.0);
+  const pm::Capture cap =
+      pm::split_across_rails(t, pm::discrete_gpu_rails(), 0.0, 2.0);
+  EXPECT_EQ(cap.rails.size(), 3u);
+  EXPECT_NEAR(cap.true_energy(), 200.0, 1e-9);
+  EXPECT_NEAR(cap.true_avg_power(), 100.0, 1e-9);
+}
+
+TEST(SplitAcrossRails, NoRailsThrows) {
+  pm::PowerTrace t;
+  t.add_constant(1.0, 1.0);
+  EXPECT_THROW((void)pm::split_across_rails(t, {}, 0.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(RailPresets, FractionsSumToOne) {
+  for (const auto& rails :
+       {pm::mobile_board_rails(), pm::cpu_rails(), pm::discrete_gpu_rails()}) {
+    double total = 0.0;
+    for (const pm::RailSplit& r : rails) total += r.fraction;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(RailPresets, GpuUsesInterposerForSlotPower) {
+  const auto rails = pm::discrete_gpu_rails();
+  bool found = false;
+  for (const pm::RailSplit& r : rails)
+    if (r.channel.probe == pm::ProbeKind::PcieInterposer) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Capture, WindowedEnergyOnly) {
+  pm::PowerTrace t;
+  t.add_constant(10.0, 10.0);
+  pm::Capture cap;
+  cap.rails.push_back({.channel = {.name = "x"}, .trace = t});
+  cap.window_begin = 2.0;
+  cap.window_end = 4.0;
+  EXPECT_DOUBLE_EQ(cap.true_energy(), 20.0);
+}
+
+TEST(Capture, EmptyWindowPowerIsZero) {
+  pm::Capture cap;
+  cap.window_begin = 1.0;
+  cap.window_end = 1.0;
+  EXPECT_DOUBLE_EQ(cap.true_avg_power(), 0.0);
+}
+
+}  // namespace

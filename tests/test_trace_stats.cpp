@@ -1,0 +1,127 @@
+// Tests for stream-level power statistics.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "powermon/trace_stats.hpp"
+#include "platforms/platform_db.hpp"
+#include "sim/factory.hpp"
+
+namespace {
+
+namespace pm = archline::powermon;
+namespace pl = archline::platforms;
+namespace si = archline::sim;
+using archline::stats::Rng;
+
+pm::SampledCapture sampled_constant(double watts, double duration,
+                                    std::size_t rails = 1) {
+  pm::PowerTrace t;
+  t.add_constant(duration, watts);
+  std::vector<pm::RailSplit> split;
+  for (std::size_t i = 0; i < rails; ++i)
+    split.push_back({.channel = {.name = "r" + std::to_string(i),
+                                 .nominal_volts = 12.0},
+                     .fraction = 1.0 / static_cast<double>(rails)});
+  const pm::Capture cap = pm::split_across_rails(t, split, 0.0, duration);
+  Rng rng(3);
+  pm::SamplerConfig cfg;
+  cfg.quantize = false;
+  cfg.timestamp_jitter_s = 0.0;
+  return pm::sample(cap, cfg, rng);
+}
+
+TEST(TraceStats, ConstantSignalStatistics) {
+  const pm::TraceStats st =
+      pm::compute_trace_stats(sampled_constant(60.0, 0.5));
+  EXPECT_NEAR(st.peak_watts, 60.0, 1e-9);
+  EXPECT_NEAR(st.median_watts, 60.0, 1e-9);
+  EXPECT_NEAR(st.mean_watts, 60.0, 1e-9);
+  EXPECT_NEAR(st.min_watts, 60.0, 1e-9);
+  EXPECT_GT(st.samples, 100u);
+}
+
+TEST(TraceStats, MultiRailSumsToTotal) {
+  const pm::TraceStats st =
+      pm::compute_trace_stats(sampled_constant(90.0, 0.25, 3));
+  EXPECT_NEAR(st.peak_watts, 90.0, 1e-6);
+}
+
+TEST(TraceStats, ThresholdFraction) {
+  // Half the window at 10 W, half at 100 W.
+  pm::PowerTrace t;
+  t.add_point(0.0, 10.0);
+  t.add_point(0.5, 10.0);
+  t.add_point(0.5, 100.0);
+  t.add_point(1.0, 100.0);
+  const pm::Capture cap = pm::split_across_rails(
+      t, pm::mobile_board_rails(), 0.0, 1.0);
+  Rng rng(4);
+  pm::SamplerConfig cfg;
+  cfg.quantize = false;
+  cfg.timestamp_jitter_s = 0.0;
+  const pm::TraceStats st =
+      pm::compute_trace_stats(pm::sample(cap, cfg, rng), 50.0);
+  EXPECT_NEAR(st.above_threshold_fraction, 0.5, 0.01);
+}
+
+TEST(TraceStats, RampDetection) {
+  // 10 ms linear ramp from 0 to a 100 W plateau over a 1 s window: power
+  // first reaches 90% of the median at ~9 ms.
+  pm::PowerTrace t;
+  t.add_point(0.0, 0.0);
+  t.add_point(0.01, 100.0);
+  t.add_point(1.0, 100.0);
+  const pm::Capture cap = pm::split_across_rails(
+      t, pm::mobile_board_rails(), 0.0, 1.0);
+  Rng rng(5);
+  pm::SamplerConfig cfg;
+  cfg.quantize = false;
+  cfg.timestamp_jitter_s = 0.0;
+  const pm::TraceStats st =
+      pm::compute_trace_stats(pm::sample(cap, cfg, rng));
+  EXPECT_GT(st.ramp_seconds, 0.005);
+  EXPECT_LT(st.ramp_seconds, 0.015);
+}
+
+TEST(TraceStats, EmptyCaptureThrows) {
+  pm::SampledCapture cap;
+  EXPECT_THROW((void)pm::compute_trace_stats(cap), std::invalid_argument);
+}
+
+TEST(TraceStats, SimulatedRunPeakNearCapOnCapBoundKernel) {
+  // A throttled kernel's stream peak sits at ~pi1 + delta_pi.
+  const pl::PlatformSpec& spec = pl::platform("GTX Titan");
+  const si::SimMachine machine = si::make_machine(spec);
+  Rng rng(6);
+  si::KernelDesc k;
+  k.label = "cap-bound";
+  const archline::core::Workload w =
+      archline::core::Workload::from_intensity(4e11, 17.0);  // inside (B-, B+) ~ (13.8, 25.7)
+  k.flops = w.flops;
+  k.bytes = w.bytes;
+  const si::RunResult r = machine.run(k, rng);
+  ASSERT_EQ(r.regime, archline::core::Regime::PowerCap);
+  const pm::TraceStats st = pm::compute_trace_stats(
+      pm::sample(r.capture, pm::SamplerConfig{}, rng));
+  EXPECT_NEAR(st.peak_watts, spec.pi1 + spec.delta_pi,
+              0.05 * (spec.pi1 + spec.delta_pi));
+}
+
+TEST(TraceStats, RaggedChannelsHandled) {
+  // Dropout produces ragged per-channel streams; stats must still work.
+  pm::PowerTrace t;
+  t.add_constant(0.5, 80.0);
+  const pm::Capture cap = pm::split_across_rails(
+      t, pm::discrete_gpu_rails(), 0.0, 0.5);
+  Rng rng(7);
+  pm::SamplerConfig cfg;
+  cfg.dropout_rate = 0.4;
+  cfg.quantize = false;
+  const pm::TraceStats st =
+      pm::compute_trace_stats(pm::sample(cap, cfg, rng));
+  EXPECT_NEAR(st.mean_watts, 80.0, 2.0);
+}
+
+}  // namespace

@@ -1,0 +1,74 @@
+// Tests for the automated "hand-tuning" search.
+
+#include <gtest/gtest.h>
+
+#include "microbench/tuning.hpp"
+#include "platforms/platform_db.hpp"
+
+namespace {
+
+namespace mb = archline::microbench;
+namespace si = archline::sim;
+namespace pl = archline::platforms;
+namespace co = archline::core;
+
+TEST(TuningSpace, EnumeratesFullGrid) {
+  si::TuningTraits t;
+  t.max_unroll = 4;   // {1,2,4}
+  t.max_vector = 2;   // {1,2}
+  // 3 unrolls x 2 widths x 2 fma x 2 prefetch x 2 asm = 48.
+  EXPECT_EQ(mb::tuning_space(t).size(), 48u);
+}
+
+TEST(TuneFlops, FindsTheGlobalOptimum) {
+  for (const char* name : {"GTX Titan", "Arndale CPU", "Xeon Phi"}) {
+    const pl::PlatformSpec& spec = pl::platform(name);
+    const mb::TuneResult r = mb::tune_flops(spec, co::Precision::Single);
+    EXPECT_NEAR(r.efficiency, spec.sustained_flop_fraction(), 1e-9) << name;
+    EXPECT_NEAR(r.throughput, spec.flop_sp.throughput,
+                1e-6 * r.throughput)
+        << name;
+  }
+}
+
+TEST(TuneFlops, BestConfigIsFullyTuned) {
+  const mb::TuneResult r =
+      mb::tune_flops(pl::platform("Desktop CPU"), co::Precision::Single);
+  EXPECT_TRUE(r.config.fma);
+  EXPECT_TRUE(r.config.asm_tuned);
+  EXPECT_EQ(r.config.unroll, 32);
+}
+
+TEST(TuneFlops, DoublePrecisionUsesDpPeak) {
+  const pl::PlatformSpec& spec = pl::platform("GTX Titan");
+  const mb::TuneResult r = mb::tune_flops(spec, co::Precision::Double);
+  EXPECT_NEAR(r.throughput, spec.flop_dp->throughput, 1e-6 * r.throughput);
+}
+
+TEST(TuneBandwidth, RecoversSustainedBandwidth) {
+  for (const pl::PlatformSpec& spec : pl::all_platforms()) {
+    const mb::TuneResult r = mb::tune_bandwidth(spec);
+    EXPECT_NEAR(r.throughput, spec.mem_stream.throughput,
+                1e-6 * r.throughput)
+        << spec.name;
+    EXPECT_TRUE(r.config.prefetch) << spec.name;
+  }
+}
+
+TEST(Tune, SearchActuallyEvaluatesTheSpace) {
+  const mb::TuneResult r =
+      mb::tune_flops(pl::platform("GTX Titan"), co::Precision::Single);
+  EXPECT_GT(r.evaluated, 100);
+}
+
+TEST(Tune, UntunedConfigClearlyWorse) {
+  const pl::PlatformSpec& spec = pl::platform("Xeon Phi");
+  const si::TuningTraits traits =
+      si::traits_for(spec, co::Precision::Single);
+  const si::TuneConfig naive{.unroll = 1, .fma = false, .vector_width = 1,
+                             .prefetch = false, .asm_tuned = false};
+  const mb::TuneResult best = mb::tune_flops(spec, co::Precision::Single);
+  EXPECT_LT(si::flop_efficiency(traits, naive), 0.2 * best.efficiency);
+}
+
+}  // namespace

@@ -1,0 +1,126 @@
+// Tests for the named workload library and platform ranking.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/workloads.hpp"
+#include "platforms/platform_db.hpp"
+
+namespace {
+
+namespace co = archline::core;
+namespace pl = archline::platforms;
+
+std::vector<std::pair<std::string, co::MachineParams>> all_machines() {
+  std::vector<std::pair<std::string, co::MachineParams>> out;
+  for (const pl::PlatformSpec& spec : pl::all_platforms())
+    out.emplace_back(spec.name, spec.machine());
+  return out;
+}
+
+TEST(WorkloadLibrary, ContainsPaperExamples) {
+  // §I-A names SpMV and FFT with specific intensity ranges.
+  const co::WorkloadProfile& spmv = co::workload("SpMV");
+  EXPECT_DOUBLE_EQ(spmv.intensity_lo, 0.25);
+  EXPECT_DOUBLE_EQ(spmv.intensity_hi, 0.5);
+  const co::WorkloadProfile& fft = co::workload("FFT");
+  EXPECT_DOUBLE_EQ(fft.intensity_lo, 2.0);
+  EXPECT_DOUBLE_EQ(fft.intensity_hi, 4.0);
+}
+
+TEST(WorkloadLibrary, UnknownNameThrows) {
+  EXPECT_THROW((void)co::workload("Quicksort"), std::out_of_range);
+}
+
+TEST(WorkloadLibrary, NamesMatchProfiles) {
+  const auto names = co::workload_names();
+  EXPECT_EQ(names.size(), co::workload_library().size());
+  for (const std::string& n : names)
+    EXPECT_EQ(co::workload(n).name, n);
+}
+
+TEST(WorkloadLibrary, GraphTraversalIsRandomAccess) {
+  EXPECT_EQ(co::workload("GraphTraversal").pattern,
+            co::AccessPattern::Random);
+  EXPECT_EQ(co::workload("FFT").pattern, co::AccessPattern::Streaming);
+}
+
+TEST(WorkloadProfile, RepresentativeIntensityIsGeometricMid) {
+  const co::WorkloadProfile& fft = co::workload("FFT");
+  EXPECT_NEAR(fft.representative_intensity(), std::sqrt(8.0), 1e-12);
+}
+
+TEST(WorkloadProfile, DoublePrecisionHalvesIntensity) {
+  const co::WorkloadProfile& fft = co::workload("FFT");
+  EXPECT_NEAR(fft.representative_intensity(co::Precision::Double),
+              fft.representative_intensity() / 2.0, 1e-12);
+}
+
+TEST(WorkloadProfile, IntensityOrderingAcrossLibrary) {
+  // Sanity: STREAM < SpMV < Stencil < FFT < DGEMM < NBody.
+  const auto rep = [](const char* n) {
+    return co::workload(n).representative_intensity();
+  };
+  EXPECT_LT(rep("STREAM"), rep("SpMV"));
+  EXPECT_LT(rep("SpMV"), rep("Stencil"));
+  EXPECT_LT(rep("Stencil"), rep("FFT"));
+  EXPECT_LT(rep("FFT"), rep("DGEMM"));
+  EXPECT_LT(rep("DGEMM"), rep("NBody"));
+}
+
+TEST(RankMachines, SortedByChosenMetric) {
+  const auto machines = all_machines();
+  const auto ranked = co::rank_machines(co::workload("FFT"), machines,
+                                        co::RankBy::Performance);
+  ASSERT_EQ(ranked.size(), machines.size());
+  for (std::size_t i = 1; i < ranked.size(); ++i)
+    EXPECT_GE(ranked[i - 1].performance, ranked[i].performance);
+}
+
+TEST(RankMachines, TitanWinsComputeBoundPerformance) {
+  const auto ranked = co::rank_machines(co::workload("NBody"),
+                                        all_machines(),
+                                        co::RankBy::Performance);
+  EXPECT_EQ(ranked.front().machine_name, "GTX Titan");
+}
+
+TEST(RankMachines, EfficiencyRankingDiffersFromPerformance) {
+  // §I-A's whole point: the flop/J ranking at SpMV intensities is not
+  // the flop/s ranking.
+  const auto by_perf = co::rank_machines(co::workload("SpMV"),
+                                         all_machines(),
+                                         co::RankBy::Performance);
+  const auto by_eff = co::rank_machines(co::workload("SpMV"),
+                                        all_machines(),
+                                        co::RankBy::Efficiency);
+  EXPECT_NE(by_perf.front().machine_name, by_eff.front().machine_name);
+}
+
+TEST(RankMachines, ArndaleGpuTopsSpmvEfficiency) {
+  // Fig. 1: the mobile GPU beats the desktop GPU in flop/J at
+  // bandwidth-bound intensities.
+  const auto ranked = co::rank_machines(co::workload("SpMV"),
+                                        all_machines(),
+                                        co::RankBy::Efficiency);
+  std::size_t arndale = 99;
+  std::size_t titan = 99;
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    if (ranked[i].machine_name == "Arndale GPU") arndale = i;
+    if (ranked[i].machine_name == "GTX Titan") titan = i;
+  }
+  EXPECT_LT(arndale, titan);
+}
+
+TEST(RankMachines, FillsAllFields) {
+  const auto ranked =
+      co::rank_machines(co::workload("FFT"), all_machines());
+  for (const co::WorkloadRanking& r : ranked) {
+    EXPECT_GT(r.performance, 0.0) << r.machine_name;
+    EXPECT_GT(r.efficiency, 0.0) << r.machine_name;
+    EXPECT_GT(r.power, 0.0) << r.machine_name;
+  }
+}
+
+}  // namespace
