@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_nonideality"
+  "../bench/ablation_nonideality.pdb"
+  "CMakeFiles/ablation_nonideality.dir/ablation_nonideality.cpp.o"
+  "CMakeFiles/ablation_nonideality.dir/ablation_nonideality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nonideality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

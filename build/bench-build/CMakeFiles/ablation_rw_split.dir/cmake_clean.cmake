@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_rw_split"
+  "../bench/ablation_rw_split.pdb"
+  "CMakeFiles/ablation_rw_split.dir/ablation_rw_split.cpp.o"
+  "CMakeFiles/ablation_rw_split.dir/ablation_rw_split.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rw_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

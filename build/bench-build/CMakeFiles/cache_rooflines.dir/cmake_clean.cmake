@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/cache_rooflines"
+  "../bench/cache_rooflines.pdb"
+  "CMakeFiles/cache_rooflines.dir/cache_rooflines.cpp.o"
+  "CMakeFiles/cache_rooflines.dir/cache_rooflines.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_rooflines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/crossover_matrix"
+  "../bench/crossover_matrix.pdb"
+  "CMakeFiles/crossover_matrix.dir/crossover_matrix.cpp.o"
+  "CMakeFiles/crossover_matrix.dir/crossover_matrix.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossover_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

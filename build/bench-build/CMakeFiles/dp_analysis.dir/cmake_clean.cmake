@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/dp_analysis"
+  "../bench/dp_analysis.pdb"
+  "CMakeFiles/dp_analysis.dir/dp_analysis.cpp.o"
+  "CMakeFiles/dp_analysis.dir/dp_analysis.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

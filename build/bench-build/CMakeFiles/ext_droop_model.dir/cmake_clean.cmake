@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_droop_model"
+  "../bench/ext_droop_model.pdb"
+  "CMakeFiles/ext_droop_model.dir/ext_droop_model.cpp.o"
+  "CMakeFiles/ext_droop_model.dir/ext_droop_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_droop_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

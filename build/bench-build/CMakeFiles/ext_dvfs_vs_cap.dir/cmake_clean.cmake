@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_dvfs_vs_cap"
+  "../bench/ext_dvfs_vs_cap.pdb"
+  "CMakeFiles/ext_dvfs_vs_cap.dir/ext_dvfs_vs_cap.cpp.o"
+  "CMakeFiles/ext_dvfs_vs_cap.dir/ext_dvfs_vs_cap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dvfs_vs_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

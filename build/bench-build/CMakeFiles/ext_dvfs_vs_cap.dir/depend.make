@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_dvfs_vs_cap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_network_overhead"
+  "../bench/ext_network_overhead.pdb"
+  "CMakeFiles/ext_network_overhead.dir/ext_network_overhead.cpp.o"
+  "CMakeFiles/ext_network_overhead.dir/ext_network_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_network_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_titan_vs_arndale"
+  "../bench/fig1_titan_vs_arndale.pdb"
+  "CMakeFiles/fig1_titan_vs_arndale.dir/fig1_titan_vs_arndale.cpp.o"
+  "CMakeFiles/fig1_titan_vs_arndale.dir/fig1_titan_vs_arndale.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_titan_vs_arndale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

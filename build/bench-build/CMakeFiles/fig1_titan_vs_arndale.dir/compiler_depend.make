@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig1_titan_vs_arndale.
+# This may be replaced when dependencies are built.

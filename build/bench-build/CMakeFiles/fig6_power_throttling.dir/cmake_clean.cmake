@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_power_throttling"
+  "../bench/fig6_power_throttling.pdb"
+  "CMakeFiles/fig6_power_throttling.dir/fig6_power_throttling.cpp.o"
+  "CMakeFiles/fig6_power_throttling.dir/fig6_power_throttling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_power_throttling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

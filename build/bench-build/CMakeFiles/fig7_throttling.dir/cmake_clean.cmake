@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_throttling"
+  "../bench/fig7_throttling.pdb"
+  "CMakeFiles/fig7_throttling.dir/fig7_throttling.cpp.o"
+  "CMakeFiles/fig7_throttling.dir/fig7_throttling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_throttling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

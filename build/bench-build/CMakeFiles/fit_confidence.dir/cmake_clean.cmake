@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fit_confidence"
+  "../bench/fit_confidence.pdb"
+  "CMakeFiles/fit_confidence.dir/fit_confidence.cpp.o"
+  "CMakeFiles/fit_confidence.dir/fit_confidence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fit_confidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

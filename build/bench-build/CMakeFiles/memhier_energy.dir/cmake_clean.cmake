@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/memhier_energy"
+  "../bench/memhier_energy.pdb"
+  "CMakeFiles/memhier_energy.dir/memhier_energy.cpp.o"
+  "CMakeFiles/memhier_energy.dir/memhier_energy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memhier_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/powerbound_scenario"
+  "../bench/powerbound_scenario.pdb"
+  "CMakeFiles/powerbound_scenario.dir/powerbound_scenario.cpp.o"
+  "CMakeFiles/powerbound_scenario.dir/powerbound_scenario.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerbound_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/reproduction_checklist"
+  "../bench/reproduction_checklist.pdb"
+  "CMakeFiles/reproduction_checklist.dir/reproduction_checklist.cpp.o"
+  "CMakeFiles/reproduction_checklist.dir/reproduction_checklist.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reproduction_checklist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sensitivity_analysis"
+  "../bench/sensitivity_analysis.pdb"
+  "CMakeFiles/sensitivity_analysis.dir/sensitivity_analysis.cpp.o"
+  "CMakeFiles/sensitivity_analysis.dir/sensitivity_analysis.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_platforms"
+  "../bench/table1_platforms.pdb"
+  "CMakeFiles/table1_platforms.dir/table1_platforms.cpp.o"
+  "CMakeFiles/table1_platforms.dir/table1_platforms.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_designer.dir/app_designer.cpp.o"
+  "CMakeFiles/app_designer.dir/app_designer.cpp.o.d"
+  "app_designer"
+  "app_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_design.dir/cluster_design.cpp.o"
+  "CMakeFiles/cluster_design.dir/cluster_design.cpp.o.d"
+  "cluster_design"
+  "cluster_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_blocks.dir/compare_blocks.cpp.o"
+  "CMakeFiles/compare_blocks.dir/compare_blocks.cpp.o.d"
+  "compare_blocks"
+  "compare_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

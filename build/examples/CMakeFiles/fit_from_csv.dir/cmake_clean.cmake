@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fit_from_csv.dir/fit_from_csv.cpp.o"
+  "CMakeFiles/fit_from_csv.dir/fit_from_csv.cpp.o.d"
+  "fit_from_csv"
+  "fit_from_csv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fit_from_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_roofline.dir/native_roofline.cpp.o"
+  "CMakeFiles/native_roofline.dir/native_roofline.cpp.o.d"
+  "native_roofline"
+  "native_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/archline_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/archline_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/droop_model.cpp" "src/core/CMakeFiles/archline_core.dir/droop_model.cpp.o" "gcc" "src/core/CMakeFiles/archline_core.dir/droop_model.cpp.o.d"
+  "/root/repo/src/core/dvfs.cpp" "src/core/CMakeFiles/archline_core.dir/dvfs.cpp.o" "gcc" "src/core/CMakeFiles/archline_core.dir/dvfs.cpp.o.d"
+  "/root/repo/src/core/interconnect.cpp" "src/core/CMakeFiles/archline_core.dir/interconnect.cpp.o" "gcc" "src/core/CMakeFiles/archline_core.dir/interconnect.cpp.o.d"
+  "/root/repo/src/core/machine_params.cpp" "src/core/CMakeFiles/archline_core.dir/machine_params.cpp.o" "gcc" "src/core/CMakeFiles/archline_core.dir/machine_params.cpp.o.d"
+  "/root/repo/src/core/params_io.cpp" "src/core/CMakeFiles/archline_core.dir/params_io.cpp.o" "gcc" "src/core/CMakeFiles/archline_core.dir/params_io.cpp.o.d"
+  "/root/repo/src/core/phase_mix.cpp" "src/core/CMakeFiles/archline_core.dir/phase_mix.cpp.o" "gcc" "src/core/CMakeFiles/archline_core.dir/phase_mix.cpp.o.d"
+  "/root/repo/src/core/random_model.cpp" "src/core/CMakeFiles/archline_core.dir/random_model.cpp.o" "gcc" "src/core/CMakeFiles/archline_core.dir/random_model.cpp.o.d"
+  "/root/repo/src/core/roofline.cpp" "src/core/CMakeFiles/archline_core.dir/roofline.cpp.o" "gcc" "src/core/CMakeFiles/archline_core.dir/roofline.cpp.o.d"
+  "/root/repo/src/core/scenarios.cpp" "src/core/CMakeFiles/archline_core.dir/scenarios.cpp.o" "gcc" "src/core/CMakeFiles/archline_core.dir/scenarios.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/core/CMakeFiles/archline_core.dir/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/archline_core.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/core/workloads.cpp" "src/core/CMakeFiles/archline_core.dir/workloads.cpp.o" "gcc" "src/core/CMakeFiles/archline_core.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archline_core.dir/analysis.cpp.o"
+  "CMakeFiles/archline_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/archline_core.dir/droop_model.cpp.o"
+  "CMakeFiles/archline_core.dir/droop_model.cpp.o.d"
+  "CMakeFiles/archline_core.dir/dvfs.cpp.o"
+  "CMakeFiles/archline_core.dir/dvfs.cpp.o.d"
+  "CMakeFiles/archline_core.dir/interconnect.cpp.o"
+  "CMakeFiles/archline_core.dir/interconnect.cpp.o.d"
+  "CMakeFiles/archline_core.dir/machine_params.cpp.o"
+  "CMakeFiles/archline_core.dir/machine_params.cpp.o.d"
+  "CMakeFiles/archline_core.dir/params_io.cpp.o"
+  "CMakeFiles/archline_core.dir/params_io.cpp.o.d"
+  "CMakeFiles/archline_core.dir/phase_mix.cpp.o"
+  "CMakeFiles/archline_core.dir/phase_mix.cpp.o.d"
+  "CMakeFiles/archline_core.dir/random_model.cpp.o"
+  "CMakeFiles/archline_core.dir/random_model.cpp.o.d"
+  "CMakeFiles/archline_core.dir/roofline.cpp.o"
+  "CMakeFiles/archline_core.dir/roofline.cpp.o.d"
+  "CMakeFiles/archline_core.dir/scenarios.cpp.o"
+  "CMakeFiles/archline_core.dir/scenarios.cpp.o.d"
+  "CMakeFiles/archline_core.dir/sensitivity.cpp.o"
+  "CMakeFiles/archline_core.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/archline_core.dir/workloads.cpp.o"
+  "CMakeFiles/archline_core.dir/workloads.cpp.o.d"
+  "libarchline_core.a"
+  "libarchline_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archline_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

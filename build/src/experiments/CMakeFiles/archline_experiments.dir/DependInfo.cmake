@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/experiments/exp_cache_roofline.cpp" "src/experiments/CMakeFiles/archline_experiments.dir/exp_cache_roofline.cpp.o" "gcc" "src/experiments/CMakeFiles/archline_experiments.dir/exp_cache_roofline.cpp.o.d"
+  "/root/repo/src/experiments/exp_crossover.cpp" "src/experiments/CMakeFiles/archline_experiments.dir/exp_crossover.cpp.o" "gcc" "src/experiments/CMakeFiles/archline_experiments.dir/exp_crossover.cpp.o.d"
+  "/root/repo/src/experiments/exp_dp.cpp" "src/experiments/CMakeFiles/archline_experiments.dir/exp_dp.cpp.o" "gcc" "src/experiments/CMakeFiles/archline_experiments.dir/exp_dp.cpp.o.d"
+  "/root/repo/src/experiments/exp_fig1.cpp" "src/experiments/CMakeFiles/archline_experiments.dir/exp_fig1.cpp.o" "gcc" "src/experiments/CMakeFiles/archline_experiments.dir/exp_fig1.cpp.o.d"
+  "/root/repo/src/experiments/exp_fig4.cpp" "src/experiments/CMakeFiles/archline_experiments.dir/exp_fig4.cpp.o" "gcc" "src/experiments/CMakeFiles/archline_experiments.dir/exp_fig4.cpp.o.d"
+  "/root/repo/src/experiments/exp_fig5.cpp" "src/experiments/CMakeFiles/archline_experiments.dir/exp_fig5.cpp.o" "gcc" "src/experiments/CMakeFiles/archline_experiments.dir/exp_fig5.cpp.o.d"
+  "/root/repo/src/experiments/exp_memhier.cpp" "src/experiments/CMakeFiles/archline_experiments.dir/exp_memhier.cpp.o" "gcc" "src/experiments/CMakeFiles/archline_experiments.dir/exp_memhier.cpp.o.d"
+  "/root/repo/src/experiments/exp_powerbound.cpp" "src/experiments/CMakeFiles/archline_experiments.dir/exp_powerbound.cpp.o" "gcc" "src/experiments/CMakeFiles/archline_experiments.dir/exp_powerbound.cpp.o.d"
+  "/root/repo/src/experiments/exp_table1.cpp" "src/experiments/CMakeFiles/archline_experiments.dir/exp_table1.cpp.o" "gcc" "src/experiments/CMakeFiles/archline_experiments.dir/exp_table1.cpp.o.d"
+  "/root/repo/src/experiments/exp_throttle.cpp" "src/experiments/CMakeFiles/archline_experiments.dir/exp_throttle.cpp.o" "gcc" "src/experiments/CMakeFiles/archline_experiments.dir/exp_throttle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/archline_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/platforms/CMakeFiles/archline_platforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/archline_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/powermon/CMakeFiles/archline_powermon.dir/DependInfo.cmake"
+  "/root/repo/build/src/microbench/CMakeFiles/archline_microbench.dir/DependInfo.cmake"
+  "/root/repo/build/src/fit/CMakeFiles/archline_fit.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/archline_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/archline_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

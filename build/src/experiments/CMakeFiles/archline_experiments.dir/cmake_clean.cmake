@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archline_experiments.dir/exp_cache_roofline.cpp.o"
+  "CMakeFiles/archline_experiments.dir/exp_cache_roofline.cpp.o.d"
+  "CMakeFiles/archline_experiments.dir/exp_crossover.cpp.o"
+  "CMakeFiles/archline_experiments.dir/exp_crossover.cpp.o.d"
+  "CMakeFiles/archline_experiments.dir/exp_dp.cpp.o"
+  "CMakeFiles/archline_experiments.dir/exp_dp.cpp.o.d"
+  "CMakeFiles/archline_experiments.dir/exp_fig1.cpp.o"
+  "CMakeFiles/archline_experiments.dir/exp_fig1.cpp.o.d"
+  "CMakeFiles/archline_experiments.dir/exp_fig4.cpp.o"
+  "CMakeFiles/archline_experiments.dir/exp_fig4.cpp.o.d"
+  "CMakeFiles/archline_experiments.dir/exp_fig5.cpp.o"
+  "CMakeFiles/archline_experiments.dir/exp_fig5.cpp.o.d"
+  "CMakeFiles/archline_experiments.dir/exp_memhier.cpp.o"
+  "CMakeFiles/archline_experiments.dir/exp_memhier.cpp.o.d"
+  "CMakeFiles/archline_experiments.dir/exp_powerbound.cpp.o"
+  "CMakeFiles/archline_experiments.dir/exp_powerbound.cpp.o.d"
+  "CMakeFiles/archline_experiments.dir/exp_table1.cpp.o"
+  "CMakeFiles/archline_experiments.dir/exp_table1.cpp.o.d"
+  "CMakeFiles/archline_experiments.dir/exp_throttle.cpp.o"
+  "CMakeFiles/archline_experiments.dir/exp_throttle.cpp.o.d"
+  "libarchline_experiments.a"
+  "libarchline_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archline_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fit/bootstrap_fit.cpp" "src/fit/CMakeFiles/archline_fit.dir/bootstrap_fit.cpp.o" "gcc" "src/fit/CMakeFiles/archline_fit.dir/bootstrap_fit.cpp.o.d"
+  "/root/repo/src/fit/droop_fit.cpp" "src/fit/CMakeFiles/archline_fit.dir/droop_fit.cpp.o" "gcc" "src/fit/CMakeFiles/archline_fit.dir/droop_fit.cpp.o.d"
+  "/root/repo/src/fit/levmar.cpp" "src/fit/CMakeFiles/archline_fit.dir/levmar.cpp.o" "gcc" "src/fit/CMakeFiles/archline_fit.dir/levmar.cpp.o.d"
+  "/root/repo/src/fit/linalg.cpp" "src/fit/CMakeFiles/archline_fit.dir/linalg.cpp.o" "gcc" "src/fit/CMakeFiles/archline_fit.dir/linalg.cpp.o.d"
+  "/root/repo/src/fit/model_fit.cpp" "src/fit/CMakeFiles/archline_fit.dir/model_fit.cpp.o" "gcc" "src/fit/CMakeFiles/archline_fit.dir/model_fit.cpp.o.d"
+  "/root/repo/src/fit/nelder_mead.cpp" "src/fit/CMakeFiles/archline_fit.dir/nelder_mead.cpp.o" "gcc" "src/fit/CMakeFiles/archline_fit.dir/nelder_mead.cpp.o.d"
+  "/root/repo/src/fit/objective.cpp" "src/fit/CMakeFiles/archline_fit.dir/objective.cpp.o" "gcc" "src/fit/CMakeFiles/archline_fit.dir/objective.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/archline_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/microbench/CMakeFiles/archline_microbench.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/archline_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/archline_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/powermon/CMakeFiles/archline_powermon.dir/DependInfo.cmake"
+  "/root/repo/build/src/platforms/CMakeFiles/archline_platforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/archline_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

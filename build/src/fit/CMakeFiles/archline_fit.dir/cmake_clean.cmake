@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archline_fit.dir/bootstrap_fit.cpp.o"
+  "CMakeFiles/archline_fit.dir/bootstrap_fit.cpp.o.d"
+  "CMakeFiles/archline_fit.dir/droop_fit.cpp.o"
+  "CMakeFiles/archline_fit.dir/droop_fit.cpp.o.d"
+  "CMakeFiles/archline_fit.dir/levmar.cpp.o"
+  "CMakeFiles/archline_fit.dir/levmar.cpp.o.d"
+  "CMakeFiles/archline_fit.dir/linalg.cpp.o"
+  "CMakeFiles/archline_fit.dir/linalg.cpp.o.d"
+  "CMakeFiles/archline_fit.dir/model_fit.cpp.o"
+  "CMakeFiles/archline_fit.dir/model_fit.cpp.o.d"
+  "CMakeFiles/archline_fit.dir/nelder_mead.cpp.o"
+  "CMakeFiles/archline_fit.dir/nelder_mead.cpp.o.d"
+  "CMakeFiles/archline_fit.dir/objective.cpp.o"
+  "CMakeFiles/archline_fit.dir/objective.cpp.o.d"
+  "libarchline_fit.a"
+  "libarchline_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archline_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/microbench/cache_bench.cpp" "src/microbench/CMakeFiles/archline_microbench.dir/cache_bench.cpp.o" "gcc" "src/microbench/CMakeFiles/archline_microbench.dir/cache_bench.cpp.o.d"
+  "/root/repo/src/microbench/intensity.cpp" "src/microbench/CMakeFiles/archline_microbench.dir/intensity.cpp.o" "gcc" "src/microbench/CMakeFiles/archline_microbench.dir/intensity.cpp.o.d"
+  "/root/repo/src/microbench/native_kernels.cpp" "src/microbench/CMakeFiles/archline_microbench.dir/native_kernels.cpp.o" "gcc" "src/microbench/CMakeFiles/archline_microbench.dir/native_kernels.cpp.o.d"
+  "/root/repo/src/microbench/parallel.cpp" "src/microbench/CMakeFiles/archline_microbench.dir/parallel.cpp.o" "gcc" "src/microbench/CMakeFiles/archline_microbench.dir/parallel.cpp.o.d"
+  "/root/repo/src/microbench/pointer_chase.cpp" "src/microbench/CMakeFiles/archline_microbench.dir/pointer_chase.cpp.o" "gcc" "src/microbench/CMakeFiles/archline_microbench.dir/pointer_chase.cpp.o.d"
+  "/root/repo/src/microbench/suite.cpp" "src/microbench/CMakeFiles/archline_microbench.dir/suite.cpp.o" "gcc" "src/microbench/CMakeFiles/archline_microbench.dir/suite.cpp.o.d"
+  "/root/repo/src/microbench/suite_io.cpp" "src/microbench/CMakeFiles/archline_microbench.dir/suite_io.cpp.o" "gcc" "src/microbench/CMakeFiles/archline_microbench.dir/suite_io.cpp.o.d"
+  "/root/repo/src/microbench/tuning.cpp" "src/microbench/CMakeFiles/archline_microbench.dir/tuning.cpp.o" "gcc" "src/microbench/CMakeFiles/archline_microbench.dir/tuning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/archline_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/powermon/CMakeFiles/archline_powermon.dir/DependInfo.cmake"
+  "/root/repo/build/src/platforms/CMakeFiles/archline_platforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/archline_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/archline_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/archline_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archline_microbench.dir/cache_bench.cpp.o"
+  "CMakeFiles/archline_microbench.dir/cache_bench.cpp.o.d"
+  "CMakeFiles/archline_microbench.dir/intensity.cpp.o"
+  "CMakeFiles/archline_microbench.dir/intensity.cpp.o.d"
+  "CMakeFiles/archline_microbench.dir/native_kernels.cpp.o"
+  "CMakeFiles/archline_microbench.dir/native_kernels.cpp.o.d"
+  "CMakeFiles/archline_microbench.dir/parallel.cpp.o"
+  "CMakeFiles/archline_microbench.dir/parallel.cpp.o.d"
+  "CMakeFiles/archline_microbench.dir/pointer_chase.cpp.o"
+  "CMakeFiles/archline_microbench.dir/pointer_chase.cpp.o.d"
+  "CMakeFiles/archline_microbench.dir/suite.cpp.o"
+  "CMakeFiles/archline_microbench.dir/suite.cpp.o.d"
+  "CMakeFiles/archline_microbench.dir/suite_io.cpp.o"
+  "CMakeFiles/archline_microbench.dir/suite_io.cpp.o.d"
+  "CMakeFiles/archline_microbench.dir/tuning.cpp.o"
+  "CMakeFiles/archline_microbench.dir/tuning.cpp.o.d"
+  "libarchline_microbench.a"
+  "libarchline_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archline_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

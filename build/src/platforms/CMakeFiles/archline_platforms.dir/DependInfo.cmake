@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platforms/platform_db.cpp" "src/platforms/CMakeFiles/archline_platforms.dir/platform_db.cpp.o" "gcc" "src/platforms/CMakeFiles/archline_platforms.dir/platform_db.cpp.o.d"
+  "/root/repo/src/platforms/spec.cpp" "src/platforms/CMakeFiles/archline_platforms.dir/spec.cpp.o" "gcc" "src/platforms/CMakeFiles/archline_platforms.dir/spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/archline_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archline_platforms.dir/platform_db.cpp.o"
+  "CMakeFiles/archline_platforms.dir/platform_db.cpp.o.d"
+  "CMakeFiles/archline_platforms.dir/spec.cpp.o"
+  "CMakeFiles/archline_platforms.dir/spec.cpp.o.d"
+  "libarchline_platforms.a"
+  "libarchline_platforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archline_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

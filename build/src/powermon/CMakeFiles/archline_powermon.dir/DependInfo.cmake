@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/powermon/channel.cpp" "src/powermon/CMakeFiles/archline_powermon.dir/channel.cpp.o" "gcc" "src/powermon/CMakeFiles/archline_powermon.dir/channel.cpp.o.d"
+  "/root/repo/src/powermon/integrator.cpp" "src/powermon/CMakeFiles/archline_powermon.dir/integrator.cpp.o" "gcc" "src/powermon/CMakeFiles/archline_powermon.dir/integrator.cpp.o.d"
+  "/root/repo/src/powermon/sampler.cpp" "src/powermon/CMakeFiles/archline_powermon.dir/sampler.cpp.o" "gcc" "src/powermon/CMakeFiles/archline_powermon.dir/sampler.cpp.o.d"
+  "/root/repo/src/powermon/trace.cpp" "src/powermon/CMakeFiles/archline_powermon.dir/trace.cpp.o" "gcc" "src/powermon/CMakeFiles/archline_powermon.dir/trace.cpp.o.d"
+  "/root/repo/src/powermon/trace_stats.cpp" "src/powermon/CMakeFiles/archline_powermon.dir/trace_stats.cpp.o" "gcc" "src/powermon/CMakeFiles/archline_powermon.dir/trace_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/archline_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

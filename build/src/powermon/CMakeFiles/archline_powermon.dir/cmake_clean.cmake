@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archline_powermon.dir/channel.cpp.o"
+  "CMakeFiles/archline_powermon.dir/channel.cpp.o.d"
+  "CMakeFiles/archline_powermon.dir/integrator.cpp.o"
+  "CMakeFiles/archline_powermon.dir/integrator.cpp.o.d"
+  "CMakeFiles/archline_powermon.dir/sampler.cpp.o"
+  "CMakeFiles/archline_powermon.dir/sampler.cpp.o.d"
+  "CMakeFiles/archline_powermon.dir/trace.cpp.o"
+  "CMakeFiles/archline_powermon.dir/trace.cpp.o.d"
+  "CMakeFiles/archline_powermon.dir/trace_stats.cpp.o"
+  "CMakeFiles/archline_powermon.dir/trace_stats.cpp.o.d"
+  "libarchline_powermon.a"
+  "libarchline_powermon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archline_powermon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archline_report.dir/ascii_plot.cpp.o"
+  "CMakeFiles/archline_report.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/archline_report.dir/csv.cpp.o"
+  "CMakeFiles/archline_report.dir/csv.cpp.o.d"
+  "CMakeFiles/archline_report.dir/si.cpp.o"
+  "CMakeFiles/archline_report.dir/si.cpp.o.d"
+  "CMakeFiles/archline_report.dir/svg_plot.cpp.o"
+  "CMakeFiles/archline_report.dir/svg_plot.cpp.o.d"
+  "CMakeFiles/archline_report.dir/table.cpp.o"
+  "CMakeFiles/archline_report.dir/table.cpp.o.d"
+  "libarchline_report.a"
+  "libarchline_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archline_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/factory.cpp" "src/sim/CMakeFiles/archline_sim.dir/factory.cpp.o" "gcc" "src/sim/CMakeFiles/archline_sim.dir/factory.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/sim/CMakeFiles/archline_sim.dir/machine.cpp.o" "gcc" "src/sim/CMakeFiles/archline_sim.dir/machine.cpp.o.d"
+  "/root/repo/src/sim/pipeline_model.cpp" "src/sim/CMakeFiles/archline_sim.dir/pipeline_model.cpp.o" "gcc" "src/sim/CMakeFiles/archline_sim.dir/pipeline_model.cpp.o.d"
+  "/root/repo/src/sim/power_governor.cpp" "src/sim/CMakeFiles/archline_sim.dir/power_governor.cpp.o" "gcc" "src/sim/CMakeFiles/archline_sim.dir/power_governor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/archline_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/platforms/CMakeFiles/archline_platforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/powermon/CMakeFiles/archline_powermon.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/archline_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archline_sim.dir/factory.cpp.o"
+  "CMakeFiles/archline_sim.dir/factory.cpp.o.d"
+  "CMakeFiles/archline_sim.dir/machine.cpp.o"
+  "CMakeFiles/archline_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/archline_sim.dir/pipeline_model.cpp.o"
+  "CMakeFiles/archline_sim.dir/pipeline_model.cpp.o.d"
+  "CMakeFiles/archline_sim.dir/power_governor.cpp.o"
+  "CMakeFiles/archline_sim.dir/power_governor.cpp.o.d"
+  "libarchline_sim.a"
+  "libarchline_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archline_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libarchline_sim.a"
+)

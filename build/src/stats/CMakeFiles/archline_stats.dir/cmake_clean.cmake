@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archline_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/archline_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/archline_stats.dir/correlation.cpp.o"
+  "CMakeFiles/archline_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/archline_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/archline_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/archline_stats.dir/ks_test.cpp.o"
+  "CMakeFiles/archline_stats.dir/ks_test.cpp.o.d"
+  "CMakeFiles/archline_stats.dir/rng.cpp.o"
+  "CMakeFiles/archline_stats.dir/rng.cpp.o.d"
+  "libarchline_stats.a"
+  "libarchline_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archline_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_roofline.dir/test_cache_roofline.cpp.o"
+  "CMakeFiles/test_cache_roofline.dir/test_cache_roofline.cpp.o.d"
+  "test_cache_roofline"
+  "test_cache_roofline.pdb"
+  "test_cache_roofline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crossover.dir/test_crossover.cpp.o"
+  "CMakeFiles/test_crossover.dir/test_crossover.cpp.o.d"
+  "test_crossover"
+  "test_crossover.pdb"
+  "test_crossover[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_levmar.dir/test_levmar.cpp.o"
+  "CMakeFiles/test_levmar.dir/test_levmar.cpp.o.d"
+  "test_levmar"
+  "test_levmar.pdb"
+  "test_levmar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_levmar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_params.dir/test_machine_params.cpp.o"
+  "CMakeFiles/test_machine_params.dir/test_machine_params.cpp.o.d"
+  "test_machine_params"
+  "test_machine_params.pdb"
+  "test_machine_params[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_fit.dir/test_model_fit.cpp.o"
+  "CMakeFiles/test_model_fit.dir/test_model_fit.cpp.o.d"
+  "test_model_fit"
+  "test_model_fit.pdb"
+  "test_model_fit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_native_kernels.dir/test_native_kernels.cpp.o"
+  "CMakeFiles/test_native_kernels.dir/test_native_kernels.cpp.o.d"
+  "test_native_kernels"
+  "test_native_kernels.pdb"
+  "test_native_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_native_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

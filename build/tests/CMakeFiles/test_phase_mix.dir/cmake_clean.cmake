@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phase_mix.dir/test_phase_mix.cpp.o"
+  "CMakeFiles/test_phase_mix.dir/test_phase_mix.cpp.o.d"
+  "test_phase_mix"
+  "test_phase_mix.pdb"
+  "test_phase_mix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phase_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_pipeline_model.cpp" "tests/CMakeFiles/test_pipeline_model.dir/test_pipeline_model.cpp.o" "gcc" "tests/CMakeFiles/test_pipeline_model.dir/test_pipeline_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/archline_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/fit/CMakeFiles/archline_fit.dir/DependInfo.cmake"
+  "/root/repo/build/src/microbench/CMakeFiles/archline_microbench.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/archline_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/platforms/CMakeFiles/archline_platforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/archline_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/powermon/CMakeFiles/archline_powermon.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/archline_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/archline_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

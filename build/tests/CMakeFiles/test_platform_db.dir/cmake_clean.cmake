@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_platform_db.dir/test_platform_db.cpp.o"
+  "CMakeFiles/test_platform_db.dir/test_platform_db.cpp.o.d"
+  "test_platform_db"
+  "test_platform_db.pdb"
+  "test_platform_db[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_platform_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

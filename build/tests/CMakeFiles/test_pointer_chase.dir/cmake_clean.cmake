@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pointer_chase.dir/test_pointer_chase.cpp.o"
+  "CMakeFiles/test_pointer_chase.dir/test_pointer_chase.cpp.o.d"
+  "test_pointer_chase"
+  "test_pointer_chase.pdb"
+  "test_pointer_chase[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pointer_chase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_model.dir/test_random_model.cpp.o"
+  "CMakeFiles/test_random_model.dir/test_random_model.cpp.o.d"
+  "test_random_model"
+  "test_random_model.pdb"
+  "test_random_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

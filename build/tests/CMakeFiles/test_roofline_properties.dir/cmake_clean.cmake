@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_roofline_properties.dir/test_roofline_properties.cpp.o"
+  "CMakeFiles/test_roofline_properties.dir/test_roofline_properties.cpp.o.d"
+  "test_roofline_properties"
+  "test_roofline_properties.pdb"
+  "test_roofline_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_roofline_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_si.dir/test_si.cpp.o"
+  "CMakeFiles/test_si.dir/test_si.cpp.o.d"
+  "test_si"
+  "test_si.pdb"
+  "test_si[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_si.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_suite_io.dir/test_suite_io.cpp.o"
+  "CMakeFiles/test_suite_io.dir/test_suite_io.cpp.o.d"
+  "test_suite_io"
+  "test_suite_io.pdb"
+  "test_suite_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_suite_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
