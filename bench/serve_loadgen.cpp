@@ -1,0 +1,448 @@
+// serve_loadgen — closed-loop load generator for archline_serverd.
+//
+// Drives a mixed workload (default 90% predict / 10% fit) with a small
+// repeated key pool, so the server's response cache is exercised the
+// way production traffic would: most requests are cache hits, fits are
+// ~10^4x the cost of predictions on a miss and nearly free on a hit.
+//
+// Usage:
+//   serve_loadgen [--host H] [--port N] [--connections N]
+//                 [--requests N] [--pipeline N] [--keys N]
+//                 [--fit-frac F] [--seed S] [--inproc]
+//
+// Modes:
+//   TCP (default)  connect --connections sockets to a running
+//                  archline_serverd, pipeline --pipeline requests deep
+//   --inproc       run the Server inside this process and call it
+//                  directly from --connections threads (no sockets; for
+//                  sandboxes and CI)
+//
+// Reports: achieved req/s, client-side batch latency, the server's own
+// p50/p95/p99 and cache hit rate (via a "stats" request), and a
+// determinism check (byte-identical responses for repeated requests).
+// All randomness is PCG32 with a fixed seed, so two runs issue the
+// identical request stream.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/roofline.hpp"
+#include "platforms/platform_db.hpp"
+#include "serve/json.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace archline;
+
+struct Config {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 7411;
+  int connections = 4;
+  long requests = 200000;
+  int pipeline = 256;
+  int keys = 64;          ///< distinct predict requests in the pool
+  int fit_keys = 4;       ///< distinct fit requests in the pool
+  double fit_frac = 0.10;
+  std::uint64_t seed = 42;
+  bool inproc = false;
+};
+
+// ---- Request pool ---------------------------------------------------------
+
+/// Distinct predict requests: platforms x log-spaced intensities.
+std::vector<std::string> make_predict_pool(int keys) {
+  const auto names = platforms::platform_names();
+  std::vector<std::string> pool;
+  pool.reserve(static_cast<std::size_t>(keys));
+  for (int i = 0; i < keys; ++i) {
+    serve::Json req = serve::Json::object();
+    req.set("type", "predict");
+    req.set("platform", names[static_cast<std::size_t>(i) % names.size()]);
+    req.set("flops", 1e9);
+    // 1/16 .. 512 flop/B, deterministic spread over the pool.
+    req.set("intensity", std::exp2(-4.0 + 13.0 * i / std::max(1, keys - 1)));
+    pool.push_back(req.dump());
+  }
+  return pool;
+}
+
+/// Distinct fit requests: synthetic sweeps generated from the model
+/// itself (noiseless — the fit recovers the machine, and each request
+/// is an expensive Nelder-Mead + LM run on a cache miss).
+std::vector<std::string> make_fit_pool(int keys, std::uint64_t seed) {
+  const auto names = platforms::platform_names();
+  stats::Rng rng(seed, /*stream=*/7);
+  std::vector<std::string> pool;
+  pool.reserve(static_cast<std::size_t>(keys));
+  for (int i = 0; i < keys; ++i) {
+    const auto& spec =
+        platforms::platform(names[static_cast<std::size_t>(i) % names.size()]);
+    const core::MachineParams m = spec.machine();
+    serve::Json obs = serve::Json::array();
+    for (int p = 0; p < 12; ++p) {
+      const double intensity = std::exp2(-4.0 + p);
+      const core::Workload w = core::Workload::from_intensity(1e9, intensity);
+      serve::Json row = serve::Json::object();
+      row.set("flops", w.flops);
+      row.set("bytes", w.bytes);
+      // A hair of deterministic jitter so distinct keys stay distinct
+      // even when two platforms share constants.
+      const double jitter = 1.0 + 1e-6 * rng.uniform();
+      row.set("seconds", core::time(m, w) * jitter);
+      row.set("joules", core::energy(m, w) * jitter);
+      obs.push_back(std::move(row));
+    }
+    serve::Json req = serve::Json::object();
+    req.set("type", "fit");
+    req.set("idle_watts", spec.idle_power);
+    req.set("observations", std::move(obs));
+    pool.push_back(req.dump());
+  }
+  return pool;
+}
+
+/// The deterministic request stream: thread t's k-th request.
+const std::string& pick_request(const std::vector<std::string>& predicts,
+                                const std::vector<std::string>& fits,
+                                double fit_frac, stats::Rng& rng) {
+  if (rng.uniform() < fit_frac)
+    return fits[static_cast<std::size_t>(rng.below(fits.size()))];
+  return predicts[static_cast<std::size_t>(rng.below(predicts.size()))];
+}
+
+// ---- Shared accounting ----------------------------------------------------
+
+struct Totals {
+  std::atomic<long> ok{0};
+  std::atomic<long> errors{0};
+  std::atomic<long> overloaded{0};
+  std::mutex latency_mutex;
+  std::vector<double> batch_latencies_s;  ///< per pipelined batch
+
+  void count(const std::string& body) {
+    if (body.rfind("{\"ok\":true", 0) == 0) {
+      ok.fetch_add(1, std::memory_order_relaxed);
+    } else if (body.find("\"overloaded\"") != std::string::npos) {
+      overloaded.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      errors.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void record_batch_latency(double s) {
+    std::lock_guard<std::mutex> lock(latency_mutex);
+    batch_latencies_s.push_back(s);
+  }
+};
+
+double percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t idx = std::min(
+      v.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(v.size())));
+  return v[idx];
+}
+
+// ---- TCP client -----------------------------------------------------------
+
+int connect_to(const Config& cfg) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(cfg.port);
+  if (::inet_pton(AF_INET, cfg.host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+bool send_all(int fd, const std::string& data) {
+  const char* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    const ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads until `count` newline-terminated responses have arrived;
+/// invokes `on_line` for each. Returns false on connection error.
+template <typename F>
+bool read_responses(int fd, long count, std::string& buffer, F on_line) {
+  long seen = 0;
+  char chunk[65536];
+  while (seen < count) {
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start);
+         nl != std::string::npos && seen < count;
+         nl = buffer.find('\n', start)) {
+      on_line(buffer.substr(start, nl - start));
+      start = nl + 1;
+      ++seen;
+    }
+    buffer.erase(0, start);
+    if (seen >= count) break;
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+/// One round-trip on an otherwise idle connection.
+bool request_once(int fd, const std::string& line, std::string& response) {
+  if (!send_all(fd, line + "\n")) return false;
+  std::string buffer;
+  bool got = false;
+  if (!read_responses(fd, 1, buffer, [&](std::string body) {
+        response = std::move(body);
+        got = true;
+      }))
+    return false;
+  return got;
+}
+
+void tcp_worker(const Config& cfg, int thread_id,
+                const std::vector<std::string>& predicts,
+                const std::vector<std::string>& fits, long requests,
+                Totals& totals) {
+  const int fd = connect_to(cfg);
+  if (fd < 0) {
+    std::fprintf(stderr, "loadgen: connection %d failed: %s\n", thread_id,
+                 std::strerror(errno));
+    totals.errors.fetch_add(requests, std::memory_order_relaxed);
+    return;
+  }
+  stats::Rng rng(cfg.seed, static_cast<std::uint64_t>(thread_id));
+  std::string read_buffer;
+  long remaining = requests;
+  while (remaining > 0) {
+    const long batch = std::min<long>(remaining, cfg.pipeline);
+    std::string block;
+    for (long i = 0; i < batch; ++i) {
+      block += pick_request(predicts, fits, cfg.fit_frac, rng);
+      block += '\n';
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    if (!send_all(fd, block)) break;
+    if (!read_responses(fd, batch, read_buffer,
+                        [&](std::string body) { totals.count(body); }))
+      break;
+    totals.record_batch_latency(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+    remaining -= batch;
+  }
+  if (remaining > 0)
+    totals.errors.fetch_add(remaining, std::memory_order_relaxed);
+  ::close(fd);
+}
+
+// ---- In-process mode ------------------------------------------------------
+
+void inproc_worker(const Config& cfg, int thread_id, serve::Server& server,
+                   const std::vector<std::string>& predicts,
+                   const std::vector<std::string>& fits, long requests,
+                   Totals& totals) {
+  stats::Rng rng(cfg.seed, static_cast<std::uint64_t>(thread_id));
+  for (long i = 0; i < requests; ++i) {
+    const std::string& line =
+        pick_request(predicts, fits, cfg.fit_frac, rng);
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::string body = server.handle_now(line);
+    totals.count(body);
+    if ((i & 1023) == 0)
+      totals.record_batch_latency(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        t0)
+              .count());
+  }
+}
+
+// ---- Report ---------------------------------------------------------------
+
+void print_stats_line(const std::string& stats_body) {
+  try {
+    const serve::Json stats = serve::Json::parse(stats_body);
+    const serve::Json* lat = stats.find("latency");
+    const serve::Json* cache = stats.find("cache");
+    if (lat) {
+      std::printf("server latency     p50 %.1f us   p95 %.1f us   p99 %.1f us\n",
+                  lat->number_or("p50_s", 0) * 1e6,
+                  lat->number_or("p95_s", 0) * 1e6,
+                  lat->number_or("p99_s", 0) * 1e6);
+    }
+    if (cache) {
+      std::printf("server cache       %.0f hits / %.0f misses (hit rate %.3f)\n",
+                  cache->number_or("hits", 0), cache->number_or("misses", 0),
+                  cache->number_or("hit_rate", 0));
+    }
+    std::printf("server completed   %.0f (%.0f req/s lifetime)\n",
+                stats.number_or("completed", 0), stats.number_or("qps", 0));
+  } catch (const std::exception& e) {
+    std::printf("stats response unparsable: %s\n", e.what());
+  }
+}
+
+[[noreturn]] void usage(const char* argv0, int code) {
+  std::fprintf(stderr,
+               "usage: %s [--host H] [--port N] [--connections N]\n"
+               "          [--requests N] [--pipeline N] [--keys N]\n"
+               "          [--fit-frac F] [--seed S] [--inproc]\n",
+               argv0);
+  std::exit(code);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0], 2);
+      return argv[++i];
+    };
+    if (arg == "--host") cfg.host = value();
+    else if (arg == "--port")
+      cfg.port = static_cast<std::uint16_t>(std::atoi(value()));
+    else if (arg == "--connections") cfg.connections = std::atoi(value());
+    else if (arg == "--requests") cfg.requests = std::atol(value());
+    else if (arg == "--pipeline") cfg.pipeline = std::atoi(value());
+    else if (arg == "--keys") cfg.keys = std::atoi(value());
+    else if (arg == "--fit-frac") cfg.fit_frac = std::atof(value());
+    else if (arg == "--seed")
+      cfg.seed = static_cast<std::uint64_t>(std::atoll(value()));
+    else if (arg == "--inproc") cfg.inproc = true;
+    else if (arg == "--help" || arg == "-h") usage(argv[0], 0);
+    else usage(argv[0], 2);
+  }
+  if (cfg.connections < 1 || cfg.requests < 1 || cfg.pipeline < 1 ||
+      cfg.keys < 1 || cfg.fit_frac < 0.0 || cfg.fit_frac > 1.0)
+    usage(argv[0], 2);
+
+  const auto predicts = make_predict_pool(cfg.keys);
+  const auto fits = make_fit_pool(cfg.fit_keys, cfg.seed);
+  Totals totals;
+
+  const long per_thread = cfg.requests / cfg.connections;
+  std::printf("serve_loadgen: %ld requests, %d %s, pipeline %d, "
+              "%d predict keys + %d fit keys, fit fraction %.2f, seed %llu\n",
+              per_thread * cfg.connections, cfg.connections,
+              cfg.inproc ? "threads (in-process)" : "connections",
+              cfg.pipeline, cfg.keys, cfg.fit_keys, cfg.fit_frac,
+              static_cast<unsigned long long>(cfg.seed));
+
+  double elapsed = 0.0;
+  std::string stats_body;
+  bool deterministic = true;
+
+  if (cfg.inproc) {
+    serve::Server server;
+    server.start();
+    // Determinism check: byte-identical responses on replay.
+    deterministic =
+        server.handle_now(predicts[0]) == server.handle_now(predicts[0]) &&
+        server.handle_now(fits[0]) == server.handle_now(fits[0]);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < cfg.connections; ++t)
+      threads.emplace_back([&, t] {
+        inproc_worker(cfg, t, server, predicts, fits, per_thread, totals);
+      });
+    for (auto& t : threads) t.join();
+    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            t0)
+                  .count();
+    stats_body = server.handle_now(R"({"type":"stats"})");
+    server.shutdown();
+  } else {
+    // Determinism check over the wire.
+    const int probe = connect_to(cfg);
+    if (probe < 0) {
+      std::fprintf(stderr,
+                   "loadgen: cannot connect to %s:%u — is archline_serverd "
+                   "running? (or use --inproc)\n",
+                   cfg.host.c_str(), cfg.port);
+      return 1;
+    }
+    std::string r1, r2, f1, f2;
+    deterministic = request_once(probe, predicts[0], r1) &&
+                    request_once(probe, predicts[0], r2) &&
+                    request_once(probe, fits[0], f1) &&
+                    request_once(probe, fits[0], f2) && r1 == r2 && f1 == f2;
+    ::close(probe);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < cfg.connections; ++t)
+      threads.emplace_back([&, t] {
+        tcp_worker(cfg, t, predicts, fits, per_thread, totals);
+      });
+    for (auto& t : threads) t.join();
+    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            t0)
+                  .count();
+    const int stats_fd = connect_to(cfg);
+    if (stats_fd >= 0) {
+      request_once(stats_fd, R"({"type":"stats"})", stats_body);
+      ::close(stats_fd);
+    }
+  }
+
+  const long done = totals.ok.load() + totals.errors.load() +
+                    totals.overloaded.load();
+  std::printf("\nelapsed            %.3f s\n", elapsed);
+  std::printf("completed          %ld (%ld ok, %ld errors, %ld overloaded)\n",
+              done, totals.ok.load(), totals.errors.load(),
+              totals.overloaded.load());
+  std::printf("throughput         %.0f req/s\n",
+              elapsed > 0 ? static_cast<double>(done) / elapsed : 0.0);
+  {
+    std::lock_guard<std::mutex> lock(totals.latency_mutex);
+    std::printf("client batch lat   p50 %.2f ms   p95 %.2f ms   p99 %.2f ms "
+                "(%zu batches of <= %d)\n",
+                percentile(totals.batch_latencies_s, 0.50) * 1e3,
+                percentile(totals.batch_latencies_s, 0.95) * 1e3,
+                percentile(totals.batch_latencies_s, 0.99) * 1e3,
+                totals.batch_latencies_s.size(), cfg.inproc ? 1 : cfg.pipeline);
+  }
+  std::printf("deterministic      %s\n", deterministic ? "yes" : "NO");
+  if (!stats_body.empty()) print_stats_line(stats_body);
+
+  return (totals.errors.load() == 0 && deterministic) ? 0 : 1;
+}

@@ -1,0 +1,104 @@
+#include "serve/cache.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace archline::serve {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ShardedLruCache::ShardedLruCache(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity),
+      shards_(round_up_pow2(shards == 0 ? 1 : shards)) {
+  shard_mask_ = shards_.size() - 1;
+  per_shard_capacity_ =
+      capacity_ == 0 ? 0
+                     : std::max<std::size_t>(1, capacity_ / shards_.size());
+}
+
+std::uint64_t ShardedLruCache::hash_key(std::string_view key) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  return h;
+}
+
+std::size_t ShardedLruCache::shard_of(std::string_view key) const noexcept {
+  // FNV-1a's low bits avalanche well (the high bits don't); the
+  // unordered_map inside each shard uses std::hash, so there is no
+  // partition interaction to avoid.
+  return static_cast<std::size_t>(hash_key(key) & shard_mask_);
+}
+
+std::optional<std::string> ShardedLruCache::get(std::string_view key) {
+  if (per_shard_capacity_ == 0) return std::nullopt;
+  Shard& shard = shards_[shard_of(key)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return std::nullopt;
+  }
+  ++shard.hits;
+  // Refresh recency: splice the node to the front (no reallocation, the
+  // index's string_view keys stay valid).
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->value;
+}
+
+void ShardedLruCache::put(std::string_view key, std::string value) {
+  if (per_shard_capacity_ == 0) return;
+  Shard& shard = shards_[shard_of(key)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->value = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{std::string(key), std::move(value)});
+  shard.index.emplace(std::string_view(shard.lru.front().key),
+                      shard.lru.begin());
+  ++shard.insertions;
+  if (shard.lru.size() > per_shard_capacity_) {
+    const Entry& victim = shard.lru.back();
+    shard.index.erase(std::string_view(victim.key));
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+ShardedLruCache::Stats ShardedLruCache::stats() const {
+  Stats s;
+  s.capacity = capacity_;
+  s.shards = shards_.size();
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    s.hits += shard.hits;
+    s.misses += shard.misses;
+    s.insertions += shard.insertions;
+    s.evictions += shard.evictions;
+    s.entries += shard.lru.size();
+  }
+  return s;
+}
+
+void ShardedLruCache::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.index.clear();
+    shard.lru.clear();
+  }
+}
+
+}  // namespace archline::serve

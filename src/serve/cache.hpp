@@ -1,0 +1,99 @@
+#pragma once
+// Sharded LRU response cache.
+//
+// The server memoizes deterministic replies keyed by the raw request
+// line, so a repeated request skips JSON parsing and model evaluation
+// entirely — the hot-path win that makes cached fits ~10^4x cheaper
+// than recomputing them. Keys are sharded by FNV-1a hash so concurrent
+// workers contend on different mutexes; within a shard, entries evict
+// in strict least-recently-used order. Full keys are stored and
+// compared (the hash only picks the shard and bucket), so a hash
+// collision can never serve the wrong response.
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace archline::serve {
+
+class ShardedLruCache {
+ public:
+  /// `capacity` is total entries across all shards (each shard gets
+  /// capacity / shards, at least 1). `shards` is rounded up to a power
+  /// of two so shard selection is a mask. capacity == 0 disables
+  /// caching (get always misses, put is a no-op).
+  explicit ShardedLruCache(std::size_t capacity, std::size_t shards = 16);
+
+  ShardedLruCache(const ShardedLruCache&) = delete;
+  ShardedLruCache& operator=(const ShardedLruCache&) = delete;
+
+  /// Returns the cached value and refreshes its recency, or nullopt.
+  [[nodiscard]] std::optional<std::string> get(std::string_view key);
+
+  /// Inserts or refreshes key -> value, evicting the shard's LRU entry
+  /// if that shard is full.
+  void put(std::string_view key, std::string value);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t capacity = 0;
+    std::size_t shards = 0;
+
+    [[nodiscard]] double hit_rate() const noexcept {
+      const std::uint64_t total = hits + misses;
+      return total ? static_cast<double>(hits) / static_cast<double>(total)
+                   : 0.0;
+    }
+  };
+
+  /// Aggregated counters across shards (consistent per shard, not
+  /// globally atomic — fine for monitoring).
+  [[nodiscard]] Stats stats() const;
+
+  /// Drops all entries (counters are kept).
+  void clear();
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+
+  /// FNV-1a 64-bit — stable across runs and platforms, so shard
+  /// placement is deterministic (tested).
+  [[nodiscard]] static std::uint64_t hash_key(std::string_view key) noexcept;
+
+  /// Which shard a key lands in; deterministic for a given shard count.
+  [[nodiscard]] std::size_t shard_of(std::string_view key) const noexcept;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  ///< front = most recent
+    std::unordered_map<std::string_view, std::list<Entry>::iterator> index;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  std::size_t capacity_ = 0;
+  std::size_t per_shard_capacity_ = 0;
+  std::uint64_t shard_mask_ = 0;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace archline::serve

@@ -1,0 +1,421 @@
+#include "serve/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace archline::serve {
+
+namespace {
+
+[[noreturn]] void type_error(const char* want, Json::Type got) {
+  static const char* const names[] = {"null",   "bool",  "number",
+                                      "string", "array", "object"};
+  throw JsonError(std::string("expected ") + want + ", got " +
+                      names[static_cast<int>(got)],
+                  0);
+}
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (type_ != Type::Bool) type_error("bool", type_);
+  return bool_;
+}
+
+double Json::as_number() const {
+  if (type_ != Type::Number) type_error("number", type_);
+  return num_;
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::String) type_error("string", type_);
+  return str_;
+}
+
+const Json::Array& Json::as_array() const {
+  if (type_ != Type::Array) type_error("array", type_);
+  return arr_;
+}
+
+const Json::Object& Json::as_object() const {
+  if (type_ != Type::Object) type_error("object", type_);
+  return obj_;
+}
+
+const Json* Json::find(std::string_view key) const noexcept {
+  if (type_ != Type::Object) return nullptr;
+  for (const auto& [k, v] : obj_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+void Json::set(std::string_view key, Json value) {
+  if (type_ != Type::Object) type_error("object", type_);
+  for (auto& [k, v] : obj_)
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  obj_.emplace_back(std::string(key), std::move(value));
+}
+
+void Json::push_back(Json value) {
+  if (type_ != Type::Array) type_error("array", type_);
+  arr_.push_back(std::move(value));
+}
+
+double Json::number_or(std::string_view key, double fallback) const {
+  const Json* v = find(key);
+  if (!v || v->is_null()) return fallback;
+  return v->as_number();
+}
+
+bool Json::bool_or(std::string_view key, bool fallback) const {
+  const Json* v = find(key);
+  if (!v || v->is_null()) return fallback;
+  return v->as_bool();
+}
+
+std::string Json::string_or(std::string_view key,
+                            std::string_view fallback) const {
+  const Json* v = find(key);
+  if (!v || v->is_null()) return std::string(fallback);
+  return v->as_string();
+}
+
+bool Json::operator==(const Json& other) const noexcept {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::Null: return true;
+    case Type::Bool: return bool_ == other.bool_;
+    case Type::Number: return num_ == other.num_;
+    case Type::String: return str_ == other.str_;
+    case Type::Array: return arr_ == other.arr_;
+    case Type::Object: return obj_ == other.obj_;
+  }
+  return false;
+}
+
+// ---- Parser ---------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, int max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  Json run() {
+    Json v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  int max_depth_;
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw JsonError(msg + " at offset " + std::to_string(pos_), pos_);
+  }
+
+  [[nodiscard]] bool eof() const noexcept { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const noexcept { return text_[pos_]; }
+
+  char next() {
+    if (eof()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+
+  void skip_ws() noexcept {
+    while (!eof()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+        ++pos_;
+      else
+        break;
+    }
+  }
+
+  void expect(char c) {
+    if (eof() || text_[pos_] != c)
+      fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  void literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word)
+      fail(std::string("invalid literal (expected ") + std::string(word) +
+           ")");
+    pos_ += word.size();
+  }
+
+  Json value() {
+    skip_ws();
+    if (eof()) fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return Json(string());
+      case 't': literal("true"); return Json(true);
+      case 'f': literal("false"); return Json(false);
+      case 'n': literal("null"); return Json(nullptr);
+      default: return number();
+    }
+  }
+
+  Json object() {
+    if (++depth_ > max_depth_) fail("nesting too deep");
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      --depth_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"') fail("expected object key string");
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      obj.set(key, value());
+      skip_ws();
+      if (eof()) fail("unterminated object");
+      const char c = next();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+    --depth_;
+    return obj;
+  }
+
+  Json array() {
+    if (++depth_ > max_depth_) fail("nesting too deep");
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      --depth_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(value());
+      skip_ws();
+      if (eof()) fail("unterminated array");
+      const char c = next();
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+    --depth_;
+    return arr;
+  }
+
+  void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  unsigned hex4() {
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = next();
+      value <<= 4;
+      if (c >= '0' && c <= '9')
+        value |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      else
+        fail("invalid \\u escape");
+    }
+    return value;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (eof()) fail("unterminated string");
+      const char c = next();
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("unescaped control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = next();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = hex4();
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // Surrogate pair: require the low half.
+            if (eof() || next() != '\\' || eof() || next() != 'u')
+              fail("unpaired surrogate in \\u escape");
+            const unsigned lo = hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF)
+              fail("invalid low surrogate in \\u escape");
+            code = 0x10000 + ((code - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            fail("unpaired surrogate in \\u escape");
+          }
+          append_utf8(out, code);
+          break;
+        }
+        default: fail("invalid escape character");
+      }
+    }
+    return out;
+  }
+
+  Json number() {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    if (eof() || !(peek() >= '0' && peek() <= '9')) fail("invalid number");
+    // Leading zero may not be followed by more digits.
+    if (peek() == '0') {
+      ++pos_;
+      if (!eof() && peek() >= '0' && peek() <= '9')
+        fail("leading zero in number");
+    } else {
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (eof() || !(peek() >= '0' && peek() <= '9'))
+        fail("expected digits after decimal point");
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (eof() || !(peek() >= '0' && peek() <= '9'))
+        fail("expected digits in exponent");
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("invalid number");
+    if (!std::isfinite(v)) fail("number out of range");
+    return Json(v);
+  }
+};
+
+void dump_string(const std::string& s, std::string& out) {
+  out += '"';
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+Json Json::parse(std::string_view text, int max_depth) {
+  return Parser(text, max_depth).run();
+}
+
+std::string Json::format_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  // Integers up to 2^53 print exactly without an exponent or decimal
+  // point; everything else uses the shortest %.17g that round-trips.
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  char buf[32];
+  // Find the shortest precision that round-trips the value so dumps are
+  // both deterministic and readable (0.1 prints "0.1", not 0.1000...01).
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) return buf;
+  }
+  return buf;
+}
+
+void Json::dump_to(std::string& out) const {
+  switch (type_) {
+    case Type::Null: out += "null"; break;
+    case Type::Bool: out += bool_ ? "true" : "false"; break;
+    case Type::Number: out += format_number(num_); break;
+    case Type::String: dump_string(str_, out); break;
+    case Type::Array: {
+      out += '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i) out += ',';
+        arr_[i].dump_to(out);
+      }
+      out += ']';
+      break;
+    }
+    case Type::Object: {
+      out += '{';
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i) out += ',';
+        dump_string(obj_[i].first, out);
+        out += ':';
+        obj_[i].second.dump_to(out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  out.reserve(64);
+  dump_to(out);
+  return out;
+}
+
+}  // namespace archline::serve

@@ -1,0 +1,133 @@
+#pragma once
+// A tiny from-scratch JSON value type, parser, and serializer for the
+// serving wire protocol — no third-party dependencies.
+//
+// Scope is deliberately the protocol's needs, not full generality:
+//   * parse() accepts strict JSON (RFC 8259) with a recursion-depth limit
+//     and rejects trailing garbage, so a request line is either one
+//     complete document or an error;
+//   * dump() is deterministic: objects serialize in insertion order,
+//     numbers print via a fixed shortest-round-trip format, and no
+//     whitespace is emitted. Byte-identical requests therefore produce
+//     byte-identical responses, which the response cache and the
+//     loadgen's determinism check both rely on.
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace archline::serve {
+
+/// Thrown by Json::parse on malformed input; `position` is the byte
+/// offset at which parsing failed.
+class JsonError : public std::runtime_error {
+ public:
+  JsonError(const std::string& message, std::size_t position)
+      : std::runtime_error(message), position_(position) {}
+  [[nodiscard]] std::size_t position() const noexcept { return position_; }
+
+ private:
+  std::size_t position_ = 0;
+};
+
+class Json {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  using Array = std::vector<Json>;
+  /// Insertion-ordered key/value pairs: preserves author order on dump()
+  /// (deterministic bytes) and keeps lookup simple — protocol objects
+  /// have < 16 keys, so linear scan beats hashing.
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() noexcept : type_(Type::Null) {}
+  Json(std::nullptr_t) noexcept : type_(Type::Null) {}
+  Json(bool b) noexcept : type_(Type::Bool), bool_(b) {}
+  Json(double v) noexcept : type_(Type::Number), num_(v) {}
+  Json(int v) noexcept : type_(Type::Number), num_(v) {}
+  Json(std::int64_t v) noexcept : type_(Type::Number),
+                                  num_(static_cast<double>(v)) {}
+  Json(std::uint64_t v) noexcept : type_(Type::Number),
+                                   num_(static_cast<double>(v)) {}
+  Json(const char* s) : type_(Type::String), str_(s) {}
+  Json(std::string s) : type_(Type::String), str_(std::move(s)) {}
+  Json(std::string_view s) : type_(Type::String), str_(s) {}
+  Json(Array a) : type_(Type::Array), arr_(std::move(a)) {}
+  Json(Object o) : type_(Type::Object), obj_(std::move(o)) {}
+
+  [[nodiscard]] static Json array() { return Json(Array{}); }
+  [[nodiscard]] static Json object() { return Json(Object{}); }
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::Null; }
+  [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::Bool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type_ == Type::Number;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type_ == Type::String;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type_ == Type::Array; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type_ == Type::Object;
+  }
+
+  // Checked accessors; throw JsonError(position 0) on type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  // ---- Object helpers -----------------------------------------------
+
+  /// Pointer to the value at `key`, or nullptr if absent / not an object.
+  [[nodiscard]] const Json* find(std::string_view key) const noexcept;
+
+  /// Appends (object) or overwrites (existing key) a member. The value
+  /// keeps its insertion position on overwrite. Only valid on objects.
+  void set(std::string_view key, Json value);
+
+  /// Appends to an array. Only valid on arrays.
+  void push_back(Json value);
+
+  // Typed lookups with defaults; throw JsonError if present but the
+  // wrong type.
+  [[nodiscard]] double number_or(std::string_view key, double fallback) const;
+  [[nodiscard]] bool bool_or(std::string_view key, bool fallback) const;
+  [[nodiscard]] std::string string_or(std::string_view key,
+                                      std::string_view fallback) const;
+
+  bool operator==(const Json& other) const noexcept;
+
+  // ---- Wire format --------------------------------------------------
+
+  /// Parses one complete JSON document; trailing non-whitespace is an
+  /// error. `max_depth` bounds nesting of arrays/objects.
+  [[nodiscard]] static Json parse(std::string_view text, int max_depth = 64);
+
+  /// Compact deterministic serialization (no whitespace, insertion-order
+  /// objects, fixed number format).
+  [[nodiscard]] std::string dump() const;
+  void dump_to(std::string& out) const;
+
+  /// The serializer's number format, exposed for protocol code that
+  /// formats values outside a Json tree: shortest decimal string that
+  /// round-trips the double ("1e9" style exponents, "Infinity"/"NaN"
+  /// never emitted — non-finite values serialize as null).
+  [[nodiscard]] static std::string format_number(double v);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+}  // namespace archline::serve

@@ -1,0 +1,181 @@
+#include "serve/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "serve/json.hpp"
+
+namespace archline::serve {
+
+namespace {
+
+/// Bucket index for a latency: floor(log2(nanoseconds)), clamped.
+int bucket_for(double seconds) noexcept {
+  const double ns = seconds * 1e9;
+  if (!(ns >= 1.0)) return 0;
+  const int b = static_cast<int>(std::floor(std::log2(ns)));
+  return b >= LatencyHistogram::kBuckets ? LatencyHistogram::kBuckets - 1 : b;
+}
+
+}  // namespace
+
+void LatencyHistogram::record(double seconds) noexcept {
+  buckets_[static_cast<std::size_t>(bucket_for(seconds))].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const noexcept {
+  Snapshot s;
+  for (int i = 0; i < kBuckets; ++i) {
+    s.counts[static_cast<std::size_t>(i)] =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    s.total += s.counts[static_cast<std::size_t>(i)];
+  }
+  return s;
+}
+
+double LatencyHistogram::Snapshot::quantile(double q) const noexcept {
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target sample (1-based), then walk buckets.
+  const double rank = q * static_cast<double>(total);
+  double seen = 0.0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const double c = static_cast<double>(counts[static_cast<std::size_t>(i)]);
+    if (c == 0.0) continue;
+    if (seen + c >= rank) {
+      // Log-linear interpolation inside [2^i, 2^(i+1)) ns.
+      const double frac = c > 0.0 ? (rank - seen) / c : 0.0;
+      const double ns = std::exp2(static_cast<double>(i) + frac);
+      return ns * 1e-9;
+    }
+    seen += c;
+  }
+  return std::exp2(static_cast<double>(kBuckets)) * 1e-9;
+}
+
+Metrics::Metrics() : start_(std::chrono::steady_clock::now()) {}
+
+void Metrics::on_completed(RequestType type, bool ok,
+                           double latency_s) noexcept {
+  by_type_[static_cast<std::size_t>(type)].fetch_add(
+      1, std::memory_order_relaxed);
+  if (!ok) errors_.fetch_add(1, std::memory_order_relaxed);
+  latency_.record(latency_s);
+}
+
+void Metrics::on_rejected() noexcept {
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Metrics::on_queue_depth(std::size_t depth) noexcept {
+  queue_depth_.store(depth, std::memory_order_relaxed);
+  std::uint64_t peak = queue_peak_.load(std::memory_order_relaxed);
+  while (depth > peak &&
+         !queue_peak_.compare_exchange_weak(peak, depth,
+                                            std::memory_order_relaxed)) {
+  }
+}
+
+Metrics::Snapshot Metrics::snapshot() const noexcept {
+  Snapshot s;
+  for (std::size_t i = 0; i < by_type_.size(); ++i) {
+    s.by_type[i] = by_type_[i].load(std::memory_order_relaxed);
+    s.completed += s.by_type[i];
+  }
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.queue_depth =
+      static_cast<std::size_t>(queue_depth_.load(std::memory_order_relaxed));
+  s.queue_peak =
+      static_cast<std::size_t>(queue_peak_.load(std::memory_order_relaxed));
+  s.uptime_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             start_)
+                   .count();
+  s.qps = s.uptime_s > 0.0 ? static_cast<double>(s.completed) / s.uptime_s
+                           : 0.0;
+  s.latency = latency_.snapshot();
+  return s;
+}
+
+std::string Metrics::to_json(const ShardedLruCache::Stats& cache) const {
+  const Snapshot s = snapshot();
+  Json out = Json::object();
+  out.set("ok", true);
+  out.set("type", "stats");
+  out.set("uptime_s", s.uptime_s);
+  out.set("completed", s.completed);
+  out.set("errors", s.errors);
+  out.set("rejected_overload", s.rejected);
+  out.set("qps", s.qps);
+  Json by_type = Json::object();
+  for (std::size_t i = 0; i < s.by_type.size(); ++i) {
+    const auto t = static_cast<RequestType>(i);
+    if (s.by_type[i] > 0) by_type.set(request_type_name(t), s.by_type[i]);
+  }
+  out.set("by_type", std::move(by_type));
+  Json latency = Json::object();
+  latency.set("count", s.latency.total);
+  latency.set("p50_s", s.latency.quantile(0.50));
+  latency.set("p95_s", s.latency.quantile(0.95));
+  latency.set("p99_s", s.latency.quantile(0.99));
+  out.set("latency", std::move(latency));
+  Json cache_json = Json::object();
+  cache_json.set("hits", cache.hits);
+  cache_json.set("misses", cache.misses);
+  cache_json.set("hit_rate", cache.hit_rate());
+  cache_json.set("entries", cache.entries);
+  cache_json.set("capacity", cache.capacity);
+  cache_json.set("shards", cache.shards);
+  cache_json.set("evictions", cache.evictions);
+  out.set("cache", std::move(cache_json));
+  Json queue = Json::object();
+  queue.set("depth", s.queue_depth);
+  queue.set("peak", s.queue_peak);
+  out.set("queue", std::move(queue));
+  return out.dump();
+}
+
+std::string Metrics::summary(const ShardedLruCache::Stats& cache) const {
+  const Snapshot s = snapshot();
+  char buf[1024];
+  std::string out = "---- archline_serve metrics ----\n";
+  std::snprintf(buf, sizeof buf,
+                "uptime       %.3f s\n"
+                "completed    %llu (%.0f req/s)\n"
+                "errors       %llu\n"
+                "rejected     %llu (overload)\n",
+                s.uptime_s, static_cast<unsigned long long>(s.completed),
+                s.qps, static_cast<unsigned long long>(s.errors),
+                static_cast<unsigned long long>(s.rejected));
+  out += buf;
+  for (std::size_t i = 0; i < s.by_type.size(); ++i) {
+    if (s.by_type[i] == 0) continue;
+    std::snprintf(buf, sizeof buf, "  %-10s %llu\n",
+                  request_type_name(static_cast<RequestType>(i)),
+                  static_cast<unsigned long long>(s.by_type[i]));
+    out += buf;
+  }
+  std::snprintf(buf, sizeof buf,
+                "latency      p50 %.1f us   p95 %.1f us   p99 %.1f us\n",
+                s.latency.quantile(0.50) * 1e6,
+                s.latency.quantile(0.95) * 1e6,
+                s.latency.quantile(0.99) * 1e6);
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "cache        %llu hits / %llu misses (%.1f%% hit rate), "
+                "%zu/%zu entries, %llu evictions\n",
+                static_cast<unsigned long long>(cache.hits),
+                static_cast<unsigned long long>(cache.misses),
+                cache.hit_rate() * 100.0, cache.entries, cache.capacity,
+                static_cast<unsigned long long>(cache.evictions));
+  out += buf;
+  std::snprintf(buf, sizeof buf, "queue        depth %zu, peak %zu\n",
+                s.queue_depth, s.queue_peak);
+  out += buf;
+  out += "--------------------------------";
+  return out;
+}
+
+}  // namespace archline::serve

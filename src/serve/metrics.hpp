@@ -1,0 +1,93 @@
+#pragma once
+// Server observability: lock-free counters per request type, a streaming
+// log-bucketed latency histogram with quantile extraction, queue-depth
+// gauges, and renderers for the "stats" request (JSON) and the
+// SIGUSR1 / shutdown dump (human-readable text).
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "serve/cache.hpp"
+#include "serve/protocol.hpp"
+
+namespace archline::serve {
+
+/// Streaming latency histogram: 64 power-of-two nanosecond buckets
+/// (bucket b covers [2^b, 2^(b+1)) ns). Recording is one relaxed atomic
+/// increment; quantiles are read from a snapshot with log-linear
+/// interpolation inside the bucket, so p99 is accurate to ~±35% of the
+/// value — plenty for an operational latency summary.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void record(double seconds) noexcept;
+
+  struct Snapshot {
+    std::array<std::uint64_t, kBuckets> counts{};
+    std::uint64_t total = 0;
+
+    /// Value below which fraction q of samples fall, in seconds.
+    /// q in [0, 1]; returns 0 when empty.
+    [[nodiscard]] double quantile(double q) const noexcept;
+  };
+
+  [[nodiscard]] Snapshot snapshot() const noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// Per-request-type counters plus global gauges. All methods are
+/// thread-safe; writers never block.
+class Metrics {
+ public:
+  Metrics();
+
+  /// Request finished (from cache or evaluated). `ok` is the protocol
+  /// success flag; latency covers submit-to-response.
+  void on_completed(RequestType type, bool ok, double latency_s) noexcept;
+
+  /// Request rejected at admission because the queue was full.
+  void on_rejected() noexcept;
+
+  /// Queue depth observed after a push (tracks current and high water).
+  void on_queue_depth(std::size_t depth) noexcept;
+
+  struct Snapshot {
+    std::uint64_t completed = 0;        ///< sum over types
+    std::uint64_t errors = 0;           ///< ok == false completions
+    std::uint64_t rejected = 0;         ///< overload rejections
+    std::array<std::uint64_t, 7> by_type{};  ///< indexed by RequestType
+    std::size_t queue_depth = 0;
+    std::size_t queue_peak = 0;
+    double uptime_s = 0.0;
+    double qps = 0.0;                   ///< completed / uptime
+    LatencyHistogram::Snapshot latency;
+  };
+
+  [[nodiscard]] Snapshot snapshot() const noexcept;
+
+  /// The "stats" response body: {"ok":true,"type":"stats",...} with the
+  /// snapshot, latency quantiles, and the cache's counters folded in.
+  [[nodiscard]] std::string to_json(const ShardedLruCache::Stats& cache)
+      const;
+
+  /// Multi-line human-readable summary (shutdown / SIGUSR1 dump).
+  [[nodiscard]] std::string summary(const ShardedLruCache::Stats& cache)
+      const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  std::array<std::atomic<std::uint64_t>, 7> by_type_{};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> queue_depth_{0};
+  std::atomic<std::uint64_t> queue_peak_{0};
+  LatencyHistogram latency_;
+};
+
+}  // namespace archline::serve

@@ -1,0 +1,175 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace archline::serve {
+
+namespace {
+
+/// Trims trailing CR / whitespace so "...}\r\n" framed requests hit the
+/// same cache key as "...}\n".
+std::string_view trim(std::string_view line) noexcept {
+  while (!line.empty() &&
+         (line.back() == '\r' || line.back() == ' ' || line.back() == '\t'))
+    line.remove_suffix(1);
+  while (!line.empty() &&
+         (line.front() == ' ' || line.front() == '\t'))
+    line.remove_prefix(1);
+  return line;
+}
+
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::max(2u, hw));
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(options),
+      cache_(options.cache_capacity, options.cache_shards),
+      queue_(options.queue_capacity) {
+  options_.threads = resolve_threads(options_.threads);
+}
+
+Server::~Server() { shutdown(); }
+
+void Server::start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  if (running_.load(std::memory_order_acquire)) return;
+  workers_.reserve(static_cast<std::size_t>(options_.threads));
+  for (int i = 0; i < options_.threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+  running_.store(true, std::memory_order_release);
+}
+
+bool Server::submit(std::string line, Done done) {
+  Job job{std::move(line), std::move(done),
+          std::chrono::steady_clock::now()};
+  std::size_t depth = 0;
+  if (!queue_.try_push(std::move(job), &depth)) {
+    metrics_.on_rejected();
+    return false;
+  }
+  metrics_.on_queue_depth(depth);
+  return true;
+}
+
+std::string Server::handle_now(std::string_view line) {
+  return execute(line, std::chrono::steady_clock::now());
+}
+
+std::string Server::execute(
+    std::string_view line, std::chrono::steady_clock::time_point started) {
+  const std::string_view key = trim(line);
+  const auto finish = [&](RequestType type, bool ok) {
+    const double latency =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count();
+    metrics_.on_completed(type, ok, latency);
+  };
+
+  // Hot path: a byte-identical request skips parsing entirely. Cached
+  // values carry a one-byte RequestType tag so the hit still counts
+  // under the right type.
+  if (std::optional<std::string> hit = cache_.get(key)) {
+    const auto type = static_cast<RequestType>((*hit)[0]);
+    std::string body = hit->substr(1);
+    finish(type, true);
+    return body;
+  }
+
+  Reply reply = handle_line(key, options_.limits);
+  if (reply.type == RequestType::Stats && reply.ok)
+    reply.body = stats_body();
+  if (reply.ok && reply.cacheable) {
+    std::string tagged;
+    tagged.reserve(reply.body.size() + 1);
+    tagged += static_cast<char>(reply.type);
+    tagged += reply.body;
+    cache_.put(key, std::move(tagged));
+  }
+  finish(reply.type, reply.ok);
+  return std::move(reply.body);
+}
+
+void Server::worker_loop() {
+  while (std::optional<Job> job = queue_.pop()) {
+    std::string response = execute(job->line, job->admitted);
+    metrics_.on_queue_depth(queue_.size());
+    job->done(std::move(response));
+  }
+}
+
+void Server::shutdown() {
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  queue_.close();
+  for (std::thread& t : workers_)
+    if (t.joinable()) t.join();
+  workers_.clear();
+  // If shutdown raced start (or start was never called), drain whatever
+  // was admitted on this thread so every submit()'s done still fires.
+  while (std::optional<Job> job = queue_.pop()) {
+    std::string response = execute(job->line, job->admitted);
+    job->done(std::move(response));
+  }
+  metrics_.on_queue_depth(0);
+  running_.store(false, std::memory_order_release);
+}
+
+// ---- OrderedWriter --------------------------------------------------------
+
+void OrderedWriter::complete(std::uint64_t seq, std::string&& body) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (seq != next_to_write_) {
+    out_of_order_.emplace(seq, std::move(body));
+    return;
+  }
+  sink_(body);
+  ++next_to_write_;
+  auto it = out_of_order_.begin();
+  while (it != out_of_order_.end() && it->first == next_to_write_) {
+    sink_(it->second);
+    ++next_to_write_;
+    it = out_of_order_.erase(it);
+  }
+  if (next_to_write_ == sequence_.load(std::memory_order_acquire))
+    all_done_.notify_all();
+}
+
+std::size_t OrderedWriter::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<std::size_t>(
+      sequence_.load(std::memory_order_acquire) - next_to_write_);
+}
+
+void OrderedWriter::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [&] {
+    return next_to_write_ == sequence_.load(std::memory_order_acquire);
+  });
+}
+
+// ---- Stream transport -----------------------------------------------------
+
+void run_stream(Server& server, std::istream& in, std::ostream& out) {
+  OrderedWriter writer(
+      [&out](const std::string& body) { out << body << '\n'; });
+  std::string line;
+  while (std::getline(in, line)) {
+    if (trim(line).empty()) continue;
+    const std::uint64_t seq = writer.next_sequence();
+    const bool admitted = server.submit(
+        line, [&writer, seq](std::string&& body) {
+          writer.complete(seq, std::move(body));
+        });
+    if (!admitted) writer.complete(seq, std::string(overloaded_body()));
+  }
+  writer.drain();
+  out.flush();
+}
+
+}  // namespace archline::serve

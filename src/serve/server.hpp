@@ -1,0 +1,168 @@
+#pragma once
+// serve::Server — the concurrent request engine behind archline_serverd.
+//
+// Architecture (one box, three moving parts):
+//
+//   submit(line) --try_push--> BoundedQueue --pop--> worker pool
+//        |  full?                                       |
+//        v                                              v
+//   "overloaded" reply                      cache lookup -> protocol
+//                                                       |
+//                                           done(response) callback
+//
+// The transport (TCP listener, stdio loop, in-process loadgen) owns
+// connections and ordering; the Server owns admission, execution,
+// caching, and metrics. Responses are delivered by callback from worker
+// threads; OrderedWriter (below) restores per-connection FIFO order
+// when requests from one connection complete out of order.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <istream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "serve/cache.hpp"
+#include "serve/metrics.hpp"
+#include "serve/protocol.hpp"
+#include "serve/queue.hpp"
+
+namespace archline::serve {
+
+struct ServerOptions {
+  /// Worker threads; 0 means hardware_concurrency (min 2).
+  int threads = 0;
+  /// Max requests admitted but not yet completed; past this, submit
+  /// rejects with the canned "overloaded" reply.
+  std::size_t queue_capacity = 1024;
+  /// Response cache entries across all shards; 0 disables caching.
+  std::size_t cache_capacity = 1 << 16;
+  std::size_t cache_shards = 16;
+  ProtocolLimits limits;
+};
+
+class Server {
+ public:
+  using Done = std::function<void(std::string&&)>;
+
+  explicit Server(ServerOptions options = {});
+
+  /// Joins workers (calls shutdown() if still running).
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Spawns the worker pool. Idempotent.
+  void start();
+
+  /// Admits one request line for asynchronous execution. On success,
+  /// `done` is invoked exactly once from a worker thread with the
+  /// response body (no trailing newline). Returns false — and never
+  /// calls `done` — when the queue is full or the server is shutting
+  /// down; the caller should reply with overloaded_body().
+  [[nodiscard]] bool submit(std::string line, Done done);
+
+  /// Synchronous execution on the calling thread (tests, simple
+  /// transports, the in-process loadgen). Same cache/metrics path as
+  /// the worker pool.
+  [[nodiscard]] std::string handle_now(std::string_view line);
+
+  /// Graceful shutdown: stop admitting, drain the queue (every admitted
+  /// request's `done` fires), join workers. Safe to call twice.
+  void shutdown();
+
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] Metrics& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const ServerOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] ShardedLruCache::Stats cache_stats() const {
+    return cache_.stats();
+  }
+
+  /// The "stats" response body against live counters.
+  [[nodiscard]] std::string stats_body() const {
+    return metrics_.to_json(cache_.stats());
+  }
+
+  /// Human-readable metrics dump (shutdown summary, SIGUSR1).
+  [[nodiscard]] std::string stats_text() const {
+    return metrics_.summary(cache_.stats());
+  }
+
+ private:
+  struct Job {
+    std::string line;
+    Done done;
+    std::chrono::steady_clock::time_point admitted;
+  };
+
+  /// Cache + protocol execution shared by workers and handle_now.
+  std::string execute(std::string_view line,
+                      std::chrono::steady_clock::time_point started);
+
+  void worker_loop();
+
+  ServerOptions options_;
+  ShardedLruCache cache_;
+  Metrics metrics_;
+  BoundedQueue<Job> queue_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> running_{false};
+  std::mutex lifecycle_mutex_;  ///< serializes start/shutdown
+};
+
+/// Restores FIFO response order for one connection when a worker pool
+/// completes requests out of order: responses are released strictly by
+/// sequence number, buffering any that finish early. The sink callback
+/// receives each response body in submission order.
+class OrderedWriter {
+ public:
+  using Sink = std::function<void(const std::string&)>;
+
+  explicit OrderedWriter(Sink sink) : sink_(std::move(sink)) {}
+
+  /// Reserves the next sequence number (call in submission order).
+  [[nodiscard]] std::uint64_t next_sequence() noexcept { return sequence_++; }
+
+  /// Delivers response `seq`; flushes it and any directly following
+  /// buffered responses to the sink, in order.
+  void complete(std::uint64_t seq, std::string&& body);
+
+  /// Number of reserved-but-undelivered responses.
+  [[nodiscard]] std::size_t pending() const;
+
+  /// Blocks until every reserved sequence number has been delivered.
+  void drain();
+
+ private:
+  Sink sink_;
+  std::atomic<std::uint64_t> sequence_{0};  ///< next to reserve
+  mutable std::mutex mutex_;
+  std::condition_variable all_done_;
+  std::uint64_t next_to_write_ = 0;
+  std::map<std::uint64_t, std::string> out_of_order_;
+};
+
+/// Serves newline-delimited requests from `in` to `out` through the
+/// worker pool, preserving input order; returns after EOF once every
+/// response has been written. Used by `archline_serverd --stdio` and
+/// the protocol tests. The server must be started; it is NOT shut down
+/// on return.
+void run_stream(Server& server, std::istream& in, std::ostream& out);
+
+}  // namespace archline::serve

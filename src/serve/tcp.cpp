@@ -1,0 +1,167 @@
+#include "serve/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace archline::serve {
+
+namespace {
+
+/// Writes the whole buffer, looping over partial sends. Returns false
+/// on a connection error.
+bool send_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpListener::TcpListener(Server& server, TcpOptions options)
+    : server_(server), options_(std::move(options)) {}
+
+TcpListener::~TcpListener() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+bool TcpListener::open(std::string* error) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (error) *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    if (error) *error = "invalid bind address: " + options_.bind_address;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+      0) {
+    if (error) *error = std::string("bind: ") + std::strerror(errno);
+    return false;
+  }
+  if (::listen(listen_fd_, options_.backlog) < 0) {
+    if (error) *error = std::string("listen: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0)
+    port_ = ntohs(bound.sin_port);
+  return true;
+}
+
+void TcpListener::run(const std::atomic<bool>& stop) {
+  // Only this thread touches `connections`; handlers never do.
+  std::vector<std::thread> connections;
+
+  while (!stop.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, options_.poll_interval_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    connections.emplace_back(
+        [this, fd, &stop] { serve_connection(fd, stop); });
+  }
+
+  for (std::thread& t : connections)
+    if (t.joinable()) t.join();
+}
+
+void TcpListener::serve_connection(int fd, const std::atomic<bool>& stop) {
+  // Response writes go through OrderedWriter so pipelined requests come
+  // back in the order they were sent even though workers finish them
+  // out of order. The sink runs under the writer's lock — one writer
+  // per connection, so sends never interleave.
+  OrderedWriter writer([fd](const std::string& body) {
+    std::string framed;
+    framed.reserve(body.size() + 1);
+    framed += body;
+    framed += '\n';
+    send_all(fd, framed.data(), framed.size());
+  });
+
+  std::string buffer;
+  char chunk[65536];
+  bool open = true;
+  while (open && !stop.load(std::memory_order_acquire)) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, options_.poll_interval_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // peer closed
+    buffer.append(chunk, static_cast<std::size_t>(n));
+
+    // Guard against a peer that never sends a newline.
+    if (buffer.size() > server_.options().limits.max_request_bytes * 2) {
+      const std::uint64_t seq = writer.next_sequence();
+      writer.complete(seq,
+                      error_body("too_large", "request line never ended"));
+      break;
+    }
+
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start);
+         nl != std::string::npos; nl = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (line.empty() || line == "\r") continue;
+      const std::uint64_t seq = writer.next_sequence();
+      const bool admitted = server_.submit(
+          std::move(line), [&writer, seq](std::string&& body) {
+            writer.complete(seq, std::move(body));
+          });
+      if (!admitted)
+        writer.complete(seq, std::string(overloaded_body()));
+    }
+    buffer.erase(0, start);
+  }
+  // Flush everything already admitted before closing — this is what
+  // makes shutdown graceful from the client's point of view.
+  writer.drain();
+  ::close(fd);
+}
+
+}  // namespace archline::serve

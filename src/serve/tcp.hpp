@@ -1,0 +1,56 @@
+#pragma once
+// TCP transport for serve::Server: a poll-based accept loop plus one
+// thread per connection, each reading newline-delimited requests,
+// submitting them to the worker pool, and writing responses back in
+// request order via OrderedWriter. Clients may pipeline arbitrarily
+// many requests before reading.
+//
+// POSIX sockets only (the project targets Linux); the stdio transport
+// in server.hpp is the portable fallback.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "serve/server.hpp"
+
+namespace archline::serve {
+
+struct TcpOptions {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 7411;  ///< 0 = pick an ephemeral port
+  int backlog = 128;
+  /// recv poll timeout; bounds how fast connections notice a stop
+  /// request.
+  int poll_interval_ms = 100;
+};
+
+class TcpListener {
+ public:
+  TcpListener(Server& server, TcpOptions options);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds and listens. Returns false and fills `error` on failure.
+  [[nodiscard]] bool open(std::string* error);
+
+  /// The bound port (useful when options.port was 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Accept loop; returns when `stop` becomes true. In-flight requests
+  /// on live connections finish and their responses are flushed before
+  /// each connection closes (admitted work is never dropped).
+  void run(const std::atomic<bool>& stop);
+
+ private:
+  void serve_connection(int fd, const std::atomic<bool>& stop);
+
+  Server& server_;
+  TcpOptions options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace archline::serve

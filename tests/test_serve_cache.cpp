@@ -1,0 +1,146 @@
+// Sharded LRU cache tests: eviction order, deterministic sharding,
+// hit/miss accounting, and concurrent hammering.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/cache.hpp"
+
+namespace {
+
+using archline::serve::ShardedLruCache;
+
+TEST(ServeCache, StoresAndRetrieves) {
+  ShardedLruCache cache(16, 1);
+  EXPECT_FALSE(cache.get("a").has_value());
+  cache.put("a", "1");
+  const auto hit = cache.get("a");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "1");
+}
+
+TEST(ServeCache, EvictsLeastRecentlyUsed) {
+  // One shard, capacity 3: access order controls the victim.
+  ShardedLruCache cache(3, 1);
+  cache.put("a", "1");
+  cache.put("b", "2");
+  cache.put("c", "3");
+  ASSERT_TRUE(cache.get("a").has_value());  // refresh a: LRU is now b
+  cache.put("d", "4");                      // evicts b
+  EXPECT_FALSE(cache.get("b").has_value());
+  EXPECT_TRUE(cache.get("a").has_value());
+  EXPECT_TRUE(cache.get("c").has_value());
+  EXPECT_TRUE(cache.get("d").has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ServeCache, PutRefreshesRecencyAndValue) {
+  ShardedLruCache cache(2, 1);
+  cache.put("a", "1");
+  cache.put("b", "2");
+  cache.put("a", "1'");  // refresh: LRU is now b
+  cache.put("c", "3");   // evicts b
+  EXPECT_EQ(cache.get("a").value_or(""), "1'");
+  EXPECT_FALSE(cache.get("b").has_value());
+  EXPECT_TRUE(cache.get("c").has_value());
+}
+
+TEST(ServeCache, ZeroCapacityDisables) {
+  ShardedLruCache cache(0, 4);
+  cache.put("a", "1");
+  EXPECT_FALSE(cache.get("a").has_value());
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ServeCache, HashIsStableFnv1a) {
+  // FNV-1a 64 known-answer vectors: placement must be deterministic
+  // across runs, builds, and platforms.
+  EXPECT_EQ(ShardedLruCache::hash_key(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(ShardedLruCache::hash_key("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(ShardedLruCache::hash_key("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(ServeCache, ShardingIsDeterministicAndCoversShards) {
+  ShardedLruCache cache(1024, 8);
+  EXPECT_EQ(cache.shard_count(), 8u);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    const std::size_t s = cache.shard_of(key);
+    EXPECT_LT(s, cache.shard_count());
+    EXPECT_EQ(s, cache.shard_of(key));  // stable on repeat
+    seen.insert(s);
+  }
+  // 200 distinct keys over 8 shards: every shard should be exercised.
+  EXPECT_EQ(seen.size(), cache.shard_count());
+}
+
+TEST(ServeCache, ShardCountRoundsUpToPowerOfTwo) {
+  ShardedLruCache cache(64, 5);
+  EXPECT_EQ(cache.shard_count(), 8u);
+}
+
+TEST(ServeCache, HitMissAccounting) {
+  ShardedLruCache cache(16, 2);
+  (void)cache.get("a");  // miss
+  cache.put("a", "1");
+  (void)cache.get("a");  // hit
+  (void)cache.get("a");  // hit
+  (void)cache.get("b");  // miss
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.insertions, 1u);
+  EXPECT_NEAR(s.hit_rate(), 0.5, 1e-12);
+}
+
+TEST(ServeCache, CollisionSafetyByFullKeyComparison) {
+  // Two distinct keys in the same shard must never alias, whatever
+  // their hashes do.
+  ShardedLruCache cache(1024, 1);
+  for (int i = 0; i < 500; ++i)
+    cache.put("k" + std::to_string(i), "v" + std::to_string(i));
+  for (int i = 0; i < 500; ++i)
+    EXPECT_EQ(cache.get("k" + std::to_string(i)).value_or("?"),
+              "v" + std::to_string(i));
+}
+
+TEST(ServeCache, ConcurrentHammering) {
+  ShardedLruCache cache(256, 8);
+  constexpr int kThreads = 8;
+  constexpr int kOps = 20000;
+  std::atomic<long> wrong{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &wrong, t] {
+      for (int i = 0; i < kOps; ++i) {
+        // Overlapping key ranges across threads force shard contention.
+        const int k = (t * 37 + i) % 512;
+        const std::string key = "key-" + std::to_string(k);
+        const std::string want = "value-" + std::to_string(k);
+        if (i % 3 == 0) {
+          cache.put(key, want);
+        } else if (auto hit = cache.get(key)) {
+          // A hit must always carry the value written for that key.
+          if (*hit != want) wrong.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(wrong.load(), 0);
+  const auto s = cache.stats();
+  EXPECT_LE(s.entries, s.capacity);
+  // Each thread does one get() per op except when i % 3 == 0 (a put).
+  const std::uint64_t gets_per_thread = kOps - (kOps + 2) / 3;
+  EXPECT_EQ(s.hits + s.misses,
+            static_cast<std::uint64_t>(kThreads) * gets_per_thread);
+  EXPECT_EQ(s.insertions - s.evictions, s.entries);
+}
+
+}  // namespace

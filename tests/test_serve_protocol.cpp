@@ -1,0 +1,323 @@
+// Wire-protocol tests: JSON codec round-trips, malformed / truncated /
+// oversized requests degrade to structured errors (never a crash), and
+// each request type returns values consistent with calling the model
+// stack directly.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "core/analysis.hpp"
+#include "core/roofline.hpp"
+#include "core/scenarios.hpp"
+#include "platforms/platform_db.hpp"
+#include "serve/json.hpp"
+#include "serve/protocol.hpp"
+
+namespace {
+
+using namespace archline;
+using serve::Json;
+
+// ---- JSON codec -----------------------------------------------------------
+
+TEST(ServeJson, RoundTripsScalars) {
+  for (const char* doc :
+       {"null", "true", "false", "0", "-1", "3.5", "1e9", "0.1",
+        "\"hello\"", "\"\"", "[]", "{}"}) {
+    const Json v = Json::parse(doc);
+    EXPECT_EQ(Json::parse(v.dump()), v) << doc;
+  }
+}
+
+TEST(ServeJson, RoundTripsNested) {
+  const std::string doc =
+      R"({"a":[1,2.5,{"b":"x","c":[true,null]}],"d":{"e":-0.001}})";
+  const Json v = Json::parse(doc);
+  // dump() is canonical: parse(dump(parse(x))) == parse(x) and the dump
+  // of a dump is a fixed point.
+  EXPECT_EQ(v.dump(), doc);
+  EXPECT_EQ(Json::parse(v.dump()).dump(), doc);
+}
+
+TEST(ServeJson, NumberFormatRoundTripsDoubles) {
+  for (const double x : {0.1, 1.0 / 3.0, 6.02e23, 1e-300, -0.0, 12345.678,
+                         9.007199254740992e15}) {
+    const std::string s = Json::format_number(x);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), x) << s;
+  }
+}
+
+TEST(ServeJson, IntegersPrintWithoutExponent) {
+  EXPECT_EQ(Json(1e9).dump(), "1000000000");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-7.0).dump(), "-7");
+}
+
+TEST(ServeJson, StringEscapes) {
+  const Json v = Json::parse(R"("a\"b\\c\nd\u0041\u00e9\u20ac")");
+  EXPECT_EQ(v.as_string(), "a\"b\\c\ndA\xC3\xA9\xE2\x82\xAC");
+  EXPECT_EQ(Json::parse(v.dump()), v);
+}
+
+TEST(ServeJson, SurrogatePairDecodes) {
+  EXPECT_EQ(Json::parse(R"("\ud83d\ude00")").as_string(),
+            "\xF0\x9F\x98\x80");  // U+1F600
+}
+
+TEST(ServeJson, RejectsMalformed) {
+  for (const char* doc :
+       {"", "{", "[", "\"unterminated", "{\"a\":}", "{\"a\" 1}", "[1,]",
+        "{,}", "tru", "nul", "01", "1.", "1e", "--1", "\"\\q\"",
+        "\"\\ud800\"", "{\"a\":1}x", "[1] []", "\x01"}) {
+    EXPECT_THROW((void)Json::parse(doc), serve::JsonError) << doc;
+  }
+}
+
+TEST(ServeJson, RejectsExcessiveDepth) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  for (int i = 0; i < 100; ++i) deep += ']';
+  EXPECT_THROW((void)Json::parse(deep, 64), serve::JsonError);
+  EXPECT_NO_THROW((void)Json::parse(deep, 128));
+}
+
+TEST(ServeJson, ObjectSetOverwritesInPlace) {
+  Json obj = Json::object();
+  obj.set("a", 1);
+  obj.set("b", 2);
+  obj.set("a", 3);
+  EXPECT_EQ(obj.dump(), R"({"a":3,"b":2})");
+}
+
+// ---- Error handling: malformed requests never crash -----------------------
+
+std::string body_of(std::string_view line) {
+  return serve::handle_line(line).body;
+}
+
+TEST(ServeProtocol, MalformedRequestsReturnStructuredErrors) {
+  for (const char* line :
+       {"", "garbage", "{", "[1,2,3]", "42", "\"predict\"", "{}",
+        R"({"type":42})", R"({"type":"warp_drive"})",
+        R"({"type":"predict"})", R"({"type":"predict","platform":7})",
+        R"({"type":"predict","platform":"GTX Titan"})",
+        R"({"type":"predict","platform":"No Such","intensity":1})",
+        R"({"type":"predict","platform":"GTX Titan","intensity":-2})",
+        R"({"type":"predict","platform":"GTX Titan","bytes":0})",
+        R"({"type":"fit"})", R"({"type":"fit","observations":3})",
+        R"({"type":"fit","observations":[1]})",
+        R"({"type":"scenario","platform":"GTX Titan"})",
+        R"({"type":"scenario","kind":"nope","platform":"GTX Titan"})",
+        R"({"type":"crossover","a":"GTX Titan"})"}) {
+    const serve::Reply reply = serve::handle_line(line);
+    EXPECT_FALSE(reply.ok) << line;
+    EXPECT_FALSE(reply.cacheable) << line;
+    const Json parsed = Json::parse(reply.body);  // must itself be valid JSON
+    EXPECT_FALSE(parsed.bool_or("ok", true)) << line;
+    EXPECT_TRUE(parsed.find("error")) << line;
+    EXPECT_TRUE(parsed.find("message")) << line;
+  }
+}
+
+TEST(ServeProtocol, TruncatedRequestIsParseError) {
+  const std::string full =
+      R"({"type":"predict","platform":"GTX Titan","intensity":4})";
+  for (std::size_t cut = 1; cut < full.size(); ++cut) {
+    const serve::Reply reply = serve::handle_line(full.substr(0, cut));
+    EXPECT_FALSE(reply.ok) << cut;
+    EXPECT_NO_THROW((void)Json::parse(reply.body)) << cut;
+  }
+}
+
+TEST(ServeProtocol, OversizedRequestRejected) {
+  serve::ProtocolLimits limits;
+  limits.max_request_bytes = 64;
+  const std::string big(1000, ' ');
+  const serve::Reply reply = serve::handle_line(big, limits);
+  EXPECT_FALSE(reply.ok);
+  EXPECT_EQ(Json::parse(reply.body).string_or("error", ""), "too_large");
+}
+
+TEST(ServeProtocol, ErrorsEchoRequestId) {
+  const Json parsed = Json::parse(
+      body_of(R"({"type":"predict","id":"req-17","platform":"No Such"})"));
+  EXPECT_EQ(parsed.string_or("id", ""), "req-17");
+  EXPECT_EQ(parsed.string_or("error", ""), "unknown_platform");
+}
+
+// ---- Request semantics ----------------------------------------------------
+
+TEST(ServeProtocol, PredictMatchesDirectModelCall) {
+  const core::MachineParams m = platforms::platform("GTX Titan").machine();
+  const core::Workload w = core::Workload::from_intensity(1e9, 4.0);
+  const serve::Reply reply = serve::handle_line(
+      R"({"type":"predict","platform":"GTX Titan","flops":1e9,"intensity":4})");
+  ASSERT_TRUE(reply.ok) << reply.body;
+  EXPECT_TRUE(reply.cacheable);
+  EXPECT_EQ(reply.type, serve::RequestType::Predict);
+  const Json out = Json::parse(reply.body);
+  EXPECT_DOUBLE_EQ(out.number_or("time_s", 0), core::time(m, w));
+  EXPECT_DOUBLE_EQ(out.number_or("energy_j", 0), core::energy(m, w));
+  EXPECT_DOUBLE_EQ(out.number_or("avg_power_w", 0), core::avg_power(m, w));
+  EXPECT_EQ(out.string_or("regime", ""),
+            core::regime_name(core::regime(m, w)));
+}
+
+TEST(ServeProtocol, PredictAcceptsInlineMachineAndModifiers) {
+  // An inline machine with a cap divisor must match with_cap_scaled.
+  const serve::Reply reply = serve::handle_line(
+      R"({"type":"predict","machine":{"tau_flop":1e-12,"eps_flop":1e-10,)"
+      R"("tau_mem":1e-11,"eps_mem":1e-9,"pi1":10,"delta_pi":100},)"
+      R"("cap_divisor":4,"flops":1e9,"intensity":1})");
+  ASSERT_TRUE(reply.ok) << reply.body;
+  core::MachineParams m;
+  m.tau_flop = 1e-12; m.eps_flop = 1e-10; m.tau_mem = 1e-11;
+  m.eps_mem = 1e-9; m.pi1 = 10; m.delta_pi = 100;
+  const core::MachineParams capped = core::with_cap_scaled(m, 4.0);
+  const core::Workload w = core::Workload::from_intensity(1e9, 1.0);
+  const Json out = Json::parse(reply.body);
+  EXPECT_DOUBLE_EQ(out.number_or("time_s", 0), core::time(capped, w));
+}
+
+TEST(ServeProtocol, PredictDpAndUncapped) {
+  const serve::Reply reply = serve::handle_line(
+      R"({"type":"predict","platform":"Desktop CPU","precision":"dp",)"
+      R"("uncapped":true,"intensity":8})");
+  ASSERT_TRUE(reply.ok) << reply.body;
+  const core::MachineParams m =
+      platforms::platform("Desktop CPU")
+          .machine_uncapped(core::Precision::Double);
+  const core::Workload w = core::Workload::from_intensity(1e9, 8.0);
+  EXPECT_DOUBLE_EQ(Json::parse(reply.body).number_or("time_s", 0),
+                   core::time(m, w));
+}
+
+TEST(ServeProtocol, PredictUnsupportedPrecisionIsStructured) {
+  // The NUC GPU has no DP energy point in Table I.
+  const serve::Reply reply = serve::handle_line(
+      R"({"type":"predict","platform":"NUC GPU","precision":"dp","intensity":1})");
+  EXPECT_FALSE(reply.ok);
+  EXPECT_EQ(Json::parse(reply.body).string_or("error", ""), "unsupported");
+}
+
+TEST(ServeProtocol, CrossoverMatchesAnalysis) {
+  const serve::Reply reply = serve::handle_line(
+      R"({"type":"crossover","a":"GTX Titan","b":"Arndale CPU",)"
+      R"("metric":"performance"})");
+  ASSERT_TRUE(reply.ok) << reply.body;
+  const Json out = Json::parse(reply.body);
+  const double x = core::crossover_intensity(
+      platforms::platform("GTX Titan").machine(),
+      platforms::platform("Arndale CPU").machine(),
+      core::Metric::Performance);
+  EXPECT_EQ(out.bool_or("found", false), x > 0.0);
+  if (x > 0.0) {
+    EXPECT_DOUBLE_EQ(out.number_or("intensity", 0), x);
+  }
+}
+
+TEST(ServeProtocol, ScenarioThrottleMatchesScenarios) {
+  const serve::Reply reply = serve::handle_line(
+      R"({"type":"scenario","kind":"throttle","platform":"GTX Titan",)"
+      R"("intensity":2,"watts":80})");
+  ASSERT_TRUE(reply.ok) << reply.body;
+  const core::ThrottleRequirement r = core::throttle_requirement(
+      platforms::platform("GTX Titan").machine(), 2.0, 80.0);
+  const Json out = Json::parse(reply.body);
+  EXPECT_DOUBLE_EQ(out.number_or("slowdown", 0), r.slowdown);
+  EXPECT_DOUBLE_EQ(out.number_or("flop_rate_fraction", 0),
+                   r.flop_rate_fraction);
+}
+
+TEST(ServeProtocol, ScenarioAggregateScalesNode) {
+  const serve::Reply reply = serve::handle_line(
+      R"({"type":"scenario","kind":"aggregate","platform":"Arndale GPU",)"
+      R"("count":47,"flops":1e9,"intensity":4})");
+  ASSERT_TRUE(reply.ok) << reply.body;
+  const core::MachineParams node =
+      core::aggregate(platforms::platform("Arndale GPU").machine(), 47);
+  const core::Workload w = core::Workload::from_intensity(1e9, 4.0);
+  const Json out = Json::parse(reply.body);
+  EXPECT_DOUBLE_EQ(out.number_or("time_s", 0), core::time(node, w));
+  EXPECT_DOUBLE_EQ(out.number_or("node_max_power_w", 0), node.max_power());
+}
+
+TEST(ServeProtocol, ScenarioPowerBoundMatchesScenarios) {
+  const serve::Reply reply = serve::handle_line(
+      R"({"type":"scenario","kind":"power_bound","big":"GTX Titan",)"
+      R"("small":"Arndale GPU","watts":180,"intensity":4})");
+  ASSERT_TRUE(reply.ok) << reply.body;
+  const core::PowerBoundComparison c = core::power_bound_comparison(
+      platforms::platform("GTX Titan").machine(),
+      platforms::platform("Arndale GPU").machine(), 180.0, 4.0);
+  const Json out = Json::parse(reply.body);
+  EXPECT_EQ(static_cast<int>(out.number_or("small_count", 0)), c.small_count);
+  EXPECT_DOUBLE_EQ(out.number_or("speedup", 0), c.speedup);
+}
+
+TEST(ServeProtocol, FitRecoversSyntheticMachine) {
+  // Generate noiseless observations from a known machine; the fit
+  // response must recover its parameters to a few percent.
+  const core::MachineParams m = platforms::platform("Arndale GPU").machine();
+  Json obs = Json::array();
+  for (int p = 0; p < 12; ++p) {
+    const double intensity = std::exp2(-4.0 + p);
+    const core::Workload w = core::Workload::from_intensity(1e8, intensity);
+    Json row = Json::object();
+    row.set("flops", w.flops);
+    row.set("bytes", w.bytes);
+    row.set("seconds", core::time(m, w));
+    row.set("joules", core::energy(m, w));
+    obs.push_back(std::move(row));
+  }
+  Json req = Json::object();
+  req.set("type", "fit");
+  req.set("observations", std::move(obs));
+  const serve::Reply reply = serve::handle_line(req.dump());
+  ASSERT_TRUE(reply.ok) << reply.body;
+  EXPECT_TRUE(reply.cacheable);
+  const Json out = Json::parse(reply.body);
+  const Json* fitted = out.find("machine");
+  ASSERT_NE(fitted, nullptr);
+  EXPECT_NEAR(fitted->number_or("tau_flop", 0) / m.tau_flop, 1.0, 0.05);
+  EXPECT_NEAR(fitted->number_or("tau_mem", 0) / m.tau_mem, 1.0, 0.05);
+  EXPECT_GT(out.number_or("r_squared_perf", 0), 0.99);
+}
+
+TEST(ServeProtocol, FitWithTooFewObservationsFails) {
+  const serve::Reply reply = serve::handle_line(
+      R"({"type":"fit","observations":[)"
+      R"({"flops":1e9,"bytes":1e9,"seconds":1,"joules":10}]})");
+  EXPECT_FALSE(reply.ok);
+  EXPECT_EQ(Json::parse(reply.body).string_or("error", ""), "fit_failed");
+}
+
+TEST(ServeProtocol, PlatformsListsAllTwelve) {
+  const serve::Reply reply = serve::handle_line(R"({"type":"platforms"})");
+  ASSERT_TRUE(reply.ok) << reply.body;
+  const Json out = Json::parse(reply.body);
+  const Json* list = out.find("platforms");
+  ASSERT_NE(list, nullptr);
+  EXPECT_EQ(list->as_array().size(), platforms::all_platforms().size());
+}
+
+TEST(ServeProtocol, StatsIsFlaggedForServerSubstitution) {
+  const serve::Reply reply = serve::handle_line(R"({"type":"stats"})");
+  EXPECT_TRUE(reply.ok);
+  EXPECT_EQ(reply.type, serve::RequestType::Stats);
+  EXPECT_TRUE(reply.body.empty());
+  EXPECT_FALSE(reply.cacheable);
+}
+
+TEST(ServeProtocol, IdenticalRequestsProduceIdenticalBytes) {
+  const char* line =
+      R"({"type":"predict","platform":"Xeon Phi","intensity":2.5,"id":9})";
+  const std::string a = body_of(line);
+  const std::string b = body_of(line);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+}
+
+}  // namespace

@@ -1,0 +1,260 @@
+// Server engine tests: worker pool execution, response caching and
+// metrics on the live path, backpressure, ordered delivery, the stdio
+// transport, and graceful shutdown (every admitted request completes,
+// the queue drains, counters reconcile).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/json.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace archline::serve;
+
+const char* kPredict =
+    R"({"type":"predict","platform":"GTX Titan","flops":1e9,"intensity":4})";
+
+ServerOptions small_options() {
+  ServerOptions o;
+  o.threads = 4;
+  o.queue_capacity = 64;
+  o.cache_capacity = 128;
+  o.cache_shards = 4;
+  return o;
+}
+
+TEST(ServeServer, HandleNowEvaluatesAndCaches) {
+  Server server(small_options());
+  const std::string a = server.handle_now(kPredict);
+  const std::string b = server.handle_now(kPredict);
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(Json::parse(a).bool_or("ok", false));
+  const auto cache = server.cache_stats();
+  EXPECT_EQ(cache.hits, 1u);
+  EXPECT_EQ(cache.misses, 1u);
+  const auto snap = server.metrics().snapshot();
+  EXPECT_EQ(snap.completed, 2u);
+  EXPECT_EQ(snap.by_type[static_cast<std::size_t>(RequestType::Predict)], 2u);
+}
+
+TEST(ServeServer, CacheKeyIgnoresLineFraming) {
+  Server server(small_options());
+  (void)server.handle_now(std::string(kPredict));
+  (void)server.handle_now(std::string(kPredict) + "\r");
+  (void)server.handle_now("  " + std::string(kPredict));
+  EXPECT_EQ(server.cache_stats().hits, 2u);
+}
+
+TEST(ServeServer, ErrorsAreNotCached) {
+  Server server(small_options());
+  (void)server.handle_now("garbage");
+  (void)server.handle_now("garbage");
+  const auto cache = server.cache_stats();
+  EXPECT_EQ(cache.hits, 0u);
+  EXPECT_EQ(cache.entries, 0u);
+  const auto snap = server.metrics().snapshot();
+  EXPECT_EQ(snap.errors, 2u);
+}
+
+TEST(ServeServer, StatsRequestReflectsLiveCounters) {
+  Server server(small_options());
+  (void)server.handle_now(kPredict);
+  (void)server.handle_now(kPredict);
+  const Json stats = Json::parse(server.handle_now(R"({"type":"stats"})"));
+  EXPECT_TRUE(stats.bool_or("ok", false));
+  EXPECT_EQ(stats.find("by_type")->number_or("predict", 0), 2.0);
+  EXPECT_DOUBLE_EQ(stats.find("cache")->number_or("hits", -1), 1.0);
+  EXPECT_GE(stats.find("latency")->number_or("count", 0), 2.0);
+  // Stats responses must never be cached (they change between calls).
+  (void)server.handle_now(R"({"type":"stats"})");
+  EXPECT_EQ(server.cache_stats().entries, 1u);  // only the predict
+}
+
+TEST(ServeServer, WorkerPoolCompletesAllSubmissions) {
+  Server server(small_options());
+  server.start();
+  constexpr int kRequests = 300;
+  std::atomic<int> done{0};
+  std::atomic<int> ok{0};
+  std::mutex m;
+  std::condition_variable cv;
+  for (int i = 0; i < kRequests; ++i) {
+    // Vary intensity so some requests miss the cache and some hit.
+    Json req = Json::object();
+    req.set("type", "predict");
+    req.set("platform", "GTX Titan");
+    req.set("intensity", 1.0 + (i % 10));
+    while (!server.submit(req.dump(), [&](std::string&& body) {
+      if (Json::parse(body).bool_or("ok", false))
+        ok.fetch_add(1, std::memory_order_relaxed);
+      if (done.fetch_add(1) + 1 == kRequests) {
+        std::lock_guard<std::mutex> lock(m);
+        cv.notify_one();
+      }
+    })) {
+      // Backpressure: wait for the pool to catch up, then retry.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  std::unique_lock<std::mutex> lock(m);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                          [&] { return done.load() == kRequests; }));
+  EXPECT_EQ(ok.load(), kRequests);
+  server.shutdown();
+  const auto snap = server.metrics().snapshot();
+  EXPECT_EQ(snap.completed, static_cast<std::uint64_t>(kRequests));
+}
+
+TEST(ServeServer, BackpressureRejectsWhenQueueFull) {
+  ServerOptions options = small_options();
+  options.queue_capacity = 8;
+  Server server(options);
+  // Workers not started: the queue fills and then rejects.
+  int admitted = 0;
+  std::atomic<int> completed{0};
+  while (server.submit(kPredict,
+                       [&](std::string&&) { completed.fetch_add(1); })) {
+    ++admitted;
+    ASSERT_LE(admitted, 8);
+  }
+  EXPECT_EQ(admitted, 8);
+  EXPECT_GE(server.metrics().snapshot().rejected, 1u);
+  EXPECT_EQ(server.metrics().snapshot().queue_peak, 8u);
+  // Graceful shutdown drains the queue even though start() never ran:
+  // every admitted request's callback still fires.
+  server.shutdown();
+  EXPECT_EQ(completed.load(), admitted);
+  EXPECT_EQ(server.metrics().snapshot().queue_depth, 0u);
+}
+
+TEST(ServeServer, GracefulShutdownDrainsInFlightRequests) {
+  ServerOptions options = small_options();
+  options.threads = 2;
+  Server server(options);
+  server.start();
+  std::atomic<int> completed{0};
+  int admitted = 0;
+  for (int i = 0; i < 50; ++i) {
+    Json req = Json::object();
+    req.set("type", "predict");
+    req.set("platform", "Arndale GPU");
+    req.set("intensity", 0.5 + i);  // distinct keys: all real evaluations
+    if (server.submit(req.dump(),
+                      [&](std::string&&) { completed.fetch_add(1); }))
+      ++admitted;
+  }
+  server.shutdown();  // must block until the queue is fully drained
+  EXPECT_EQ(completed.load(), admitted);
+  EXPECT_GT(admitted, 0);
+  const auto snap = server.metrics().snapshot();
+  EXPECT_EQ(snap.completed, static_cast<std::uint64_t>(admitted));
+  EXPECT_EQ(snap.queue_depth, 0u);
+  // After shutdown, new work is refused.
+  EXPECT_FALSE(server.submit(kPredict, [](std::string&&) {}));
+}
+
+TEST(ServeServer, ShutdownIsIdempotentAndDestructorSafe) {
+  Server server(small_options());
+  server.start();
+  server.shutdown();
+  server.shutdown();  // second call is a no-op
+  // Destructor runs shutdown again — must not hang or crash.
+}
+
+TEST(ServeServer, OrderedWriterRestoresSubmissionOrder) {
+  std::vector<std::string> out;
+  OrderedWriter writer([&](const std::string& body) { out.push_back(body); });
+  const auto s0 = writer.next_sequence();
+  const auto s1 = writer.next_sequence();
+  const auto s2 = writer.next_sequence();
+  writer.complete(s2, "two");   // finishes first, must be buffered
+  writer.complete(s0, "zero");  // releases zero only
+  EXPECT_EQ(out, (std::vector<std::string>{"zero"}));
+  writer.complete(s1, "one");   // releases one, then buffered two
+  writer.drain();
+  EXPECT_EQ(out, (std::vector<std::string>{"zero", "one", "two"}));
+  EXPECT_EQ(writer.pending(), 0u);
+}
+
+TEST(ServeServer, RunStreamPreservesOrderAndHandlesBadLines) {
+  Server server(small_options());
+  server.start();
+  std::istringstream in(
+      std::string(kPredict) + "\n" +
+      "not json\n" +
+      "\n" +  // blank lines are skipped, not answered
+      R"({"type":"platforms"})" + "\n" +
+      R"({"type":"stats"})" + "\n");
+  std::ostringstream out;
+  run_stream(server, in, out);
+  server.shutdown();
+  std::vector<std::string> lines;
+  std::istringstream result(out.str());
+  for (std::string line; std::getline(result, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(Json::parse(lines[0]).string_or("type", ""), "predict");
+  EXPECT_EQ(Json::parse(lines[1]).string_or("error", ""), "parse_error");
+  EXPECT_EQ(Json::parse(lines[2]).string_or("type", ""), "platforms");
+  EXPECT_EQ(Json::parse(lines[3]).string_or("type", ""), "stats");
+}
+
+TEST(ServeServer, ConcurrentSubmittersAndCacheConsistency) {
+  // Many threads hammer a small key set through the full submit path;
+  // every response for a key must be byte-identical to every other.
+  Server server(small_options());
+  server.start();
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 200;
+  std::vector<std::string> requests;
+  for (int k = 0; k < 5; ++k) {
+    Json req = Json::object();
+    req.set("type", "predict");
+    req.set("platform", "Xeon Phi");
+    req.set("intensity", 1 << k);
+    requests.push_back(req.dump());
+  }
+  std::mutex seen_mutex;
+  std::vector<std::string> canonical(requests.size());
+  std::atomic<int> mismatches{0};
+  std::atomic<int> done{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::size_t k =
+            static_cast<std::size_t>(t + i) % requests.size();
+        while (!server.submit(requests[k], [&, k](std::string&& body) {
+          {
+            std::lock_guard<std::mutex> lock(seen_mutex);
+            if (canonical[k].empty())
+              canonical[k] = body;
+            else if (canonical[k] != body)
+              mismatches.fetch_add(1);
+          }
+          done.fetch_add(1);
+        })) {
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  server.shutdown();
+  EXPECT_EQ(done.load(), kThreads * kPerThread);
+  EXPECT_EQ(mismatches.load(), 0);
+  // With 5 keys and 1200 requests, nearly everything is a cache hit.
+  EXPECT_GT(server.cache_stats().hit_rate(), 0.9);
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+// archline_serverd — the archline model-serving daemon.
+//
+// Serves the energy-roofline model stack (predict / crossover /
+// scenario / fit / platforms / stats) over a newline-delimited JSON
+// protocol. See docs/SERVER.md for the wire format.
+//
+// Usage:
+//   archline_serverd [--port N] [--bind ADDR] [--threads N]
+//                    [--queue N] [--cache N] [--shards N] [--stdio]
+//
+// Transports:
+//   default   TCP listener on --bind:--port (port 0 = ephemeral,
+//             printed on startup)
+//   --stdio   read requests from stdin, write responses to stdout
+//             (for tests, pipes, and socket-less sandboxes)
+//
+// Signals:
+//   SIGINT/SIGTERM  graceful shutdown: stop accepting, drain the
+//                   queue, print a metrics summary, exit 0
+//   SIGUSR1         dump the metrics summary to stderr, keep serving
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "serve/server.hpp"
+#include "serve/tcp.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_dump_stats = 0;
+
+void on_terminate(int) { g_stop = 1; }
+void on_usr1(int) { g_dump_stats = 1; }
+
+[[noreturn]] void usage(const char* argv0, int code) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--port N] [--bind ADDR] [--threads N] [--queue N]\n"
+      "          [--cache N] [--shards N] [--stdio] [--quiet]\n",
+      argv0);
+  std::exit(code);
+}
+
+long parse_long(const char* argv0, const char* flag, const char* value) {
+  char* end = nullptr;
+  const long v = std::strtol(value, &end, 10);
+  if (!end || *end != '\0' || v < 0) {
+    std::fprintf(stderr, "%s: bad value for %s: %s\n", argv0, flag, value);
+    usage(argv0, 2);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace archline::serve;
+
+  ServerOptions options;
+  TcpOptions tcp;
+  bool stdio_mode = false;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0], 2);
+      return argv[++i];
+    };
+    if (arg == "--port")
+      tcp.port = static_cast<std::uint16_t>(
+          parse_long(argv[0], "--port", value()));
+    else if (arg == "--bind")
+      tcp.bind_address = value();
+    else if (arg == "--threads")
+      options.threads = static_cast<int>(
+          parse_long(argv[0], "--threads", value()));
+    else if (arg == "--queue")
+      options.queue_capacity = static_cast<std::size_t>(
+          parse_long(argv[0], "--queue", value()));
+    else if (arg == "--cache")
+      options.cache_capacity = static_cast<std::size_t>(
+          parse_long(argv[0], "--cache", value()));
+    else if (arg == "--shards")
+      options.cache_shards = static_cast<std::size_t>(
+          parse_long(argv[0], "--shards", value()));
+    else if (arg == "--stdio")
+      stdio_mode = true;
+    else if (arg == "--quiet")
+      quiet = true;
+    else if (arg == "--help" || arg == "-h")
+      usage(argv[0], 0);
+    else {
+      std::fprintf(stderr, "%s: unknown flag %s\n", argv[0], arg.c_str());
+      usage(argv[0], 2);
+    }
+  }
+
+  std::signal(SIGINT, on_terminate);
+  std::signal(SIGTERM, on_terminate);
+  std::signal(SIGUSR1, on_usr1);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  Server server(options);
+  server.start();
+
+  if (stdio_mode) {
+    run_stream(server, std::cin, std::cout);
+    server.shutdown();
+    if (!quiet)
+      std::fprintf(stderr, "%s\n", server.stats_text().c_str());
+    return 0;
+  }
+
+  TcpListener listener(server, tcp);
+  std::string error;
+  if (!listener.open(&error)) {
+    std::fprintf(stderr, "archline_serverd: %s\n", error.c_str());
+    return 1;
+  }
+  if (!quiet)
+    std::fprintf(stderr,
+                 "archline_serverd: listening on %s:%u (%d workers, "
+                 "queue %zu, cache %zu/%zu shards)\n",
+                 tcp.bind_address.c_str(), listener.port(),
+                 server.options().threads, options.queue_capacity,
+                 options.cache_capacity, options.cache_shards);
+
+  // The accept loop polls, so it revisits these flags every
+  // poll_interval_ms. SIGUSR1 dumps are serviced by a helper thread to
+  // keep the accept path simple.
+  std::atomic<bool> stop{false};
+  std::thread signal_watcher([&] {
+    while (!g_stop) {
+      if (g_dump_stats) {
+        g_dump_stats = 0;
+        std::fprintf(stderr, "%s\n", server.stats_text().c_str());
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    stop.store(true, std::memory_order_release);
+  });
+
+  listener.run(stop);
+  signal_watcher.join();
+  server.shutdown();
+  if (!quiet)
+    std::fprintf(stderr, "%s\n", server.stats_text().c_str());
+  return 0;
+}
