@@ -6,13 +6,18 @@
 // ~10^4x the cost of predictions on a miss and nearly free on a hit.
 //
 // Usage:
-//   serve_loadgen [--host H] [--port N] [--connections N]
+//   serve_loadgen [--host H] [--port N] [--connections N] [--threads N]
 //                 [--requests N] [--pipeline N] [--keys N]
 //                 [--fit-frac F] [--seed S] [--inproc]
 //
 // Modes:
-//   TCP (default)  connect --connections sockets to a running
-//                  archline_serverd, pipeline --pipeline requests deep
+//   TCP (default)  open --connections non-blocking sockets to a running
+//                  archline_serverd, multiplexed over --threads client
+//                  threads via poll(), each pipelining --pipeline
+//                  requests deep — so 64+ concurrent connections cost
+//                  the client a handful of threads, and the server's
+//                  event loop is exercised by real concurrency, not
+//                  just pipelining on one socket
 //   --inproc       run the Server inside this process and call it
 //                  directly from --connections threads (no sockets; for
 //                  sandboxes and CI)
@@ -24,8 +29,10 @@
 // identical request stream.
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -57,6 +64,7 @@ struct Config {
   std::string host = "127.0.0.1";
   std::uint16_t port = 7411;
   int connections = 4;
+  int threads = 0;  ///< client threads; 0 = min(connections, hw)
   long requests = 200000;
   int pipeline = 256;
   int keys = 64;          ///< distinct predict requests in the pool
@@ -236,40 +244,129 @@ bool request_once(int fd, const std::string& line, std::string& response) {
   return got;
 }
 
-void tcp_worker(const Config& cfg, int thread_id,
-                const std::vector<std::string>& predicts,
-                const std::vector<std::string>& fits, long requests,
-                Totals& totals) {
-  const int fd = connect_to(cfg);
-  if (fd < 0) {
-    std::fprintf(stderr, "loadgen: connection %d failed: %s\n", thread_id,
-                 std::strerror(errno));
-    totals.errors.fetch_add(requests, std::memory_order_relaxed);
-    return;
+/// One non-blocking pipelined connection, multiplexed with its
+/// siblings on a client thread. The request stream is a pure function
+/// of (seed, global connection index), so the traffic is identical no
+/// matter how connections are spread over threads.
+struct ClientConn {
+  int fd = -1;
+  stats::Rng rng{0, 0};
+  long remaining = 0;  ///< requests not yet placed in the outbox
+  long awaiting = 0;   ///< responses outstanding for the current batch
+  std::string outbox;
+  std::string inbox;
+  std::chrono::steady_clock::time_point batch_start;
+  bool failed = false;
+
+  [[nodiscard]] bool done() const noexcept {
+    return failed || (remaining == 0 && awaiting == 0 && outbox.empty());
   }
-  stats::Rng rng(cfg.seed, static_cast<std::uint64_t>(thread_id));
-  std::string read_buffer;
-  long remaining = requests;
-  while (remaining > 0) {
-    const long batch = std::min<long>(remaining, cfg.pipeline);
-    std::string block;
+};
+
+/// Drives `conns` (already connected, non-blocking) to completion with
+/// a single poll() loop: each connection independently sends a
+/// pipelined batch, collects its responses, records the batch latency,
+/// and starts the next batch.
+void tcp_multiplex_worker(const Config& cfg,
+                          const std::vector<std::string>& predicts,
+                          const std::vector<std::string>& fits,
+                          std::vector<ClientConn>& conns, Totals& totals) {
+  const auto fill_batch = [&](ClientConn& c) {
+    const long batch = std::min<long>(c.remaining, cfg.pipeline);
     for (long i = 0; i < batch; ++i) {
-      block += pick_request(predicts, fits, cfg.fit_frac, rng);
-      block += '\n';
+      c.outbox += pick_request(predicts, fits, cfg.fit_frac, c.rng);
+      c.outbox += '\n';
     }
-    const auto t0 = std::chrono::steady_clock::now();
-    if (!send_all(fd, block)) break;
-    if (!read_responses(fd, batch, read_buffer,
-                        [&](std::string body) { totals.count(body); }))
+    c.remaining -= batch;
+    c.awaiting = batch;
+    c.batch_start = std::chrono::steady_clock::now();
+  };
+  const auto fail = [&](ClientConn& c) {
+    totals.errors.fetch_add(c.remaining + c.awaiting,
+                            std::memory_order_relaxed);
+    c.failed = true;
+    ::close(c.fd);
+    c.fd = -1;
+  };
+
+  for (ClientConn& c : conns)
+    if (!c.failed && c.remaining > 0) fill_batch(c);
+
+  std::vector<pollfd> pfds;
+  std::vector<ClientConn*> active;
+  char chunk[65536];
+  for (;;) {
+    pfds.clear();
+    active.clear();
+    for (ClientConn& c : conns) {
+      if (c.done()) continue;
+      short events = 0;
+      if (!c.outbox.empty()) events |= POLLOUT;
+      if (c.awaiting > 0) events |= POLLIN;
+      pfds.push_back(pollfd{c.fd, events, 0});
+      active.push_back(&c);
+    }
+    if (active.empty()) break;
+    const int ready = ::poll(pfds.data(), pfds.size(), 10000);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      for (ClientConn* c : active) fail(*c);
       break;
-    totals.record_batch_latency(
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count());
-    remaining -= batch;
+    }
+    if (ready == 0) {  // nothing moved for 10 s: server is wedged
+      for (ClientConn* c : active) fail(*c);
+      break;
+    }
+    for (std::size_t i = 0; i < pfds.size(); ++i) {
+      ClientConn& c = *active[i];
+      const short got = pfds[i].revents;
+      if (got & (POLLERR | POLLHUP | POLLNVAL)) {
+        fail(c);
+        continue;
+      }
+      if ((got & POLLOUT) && !c.outbox.empty()) {
+        const ssize_t n = ::send(c.fd, c.outbox.data(), c.outbox.size(),
+                                 MSG_NOSIGNAL);
+        if (n < 0) {
+          if (errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK) {
+            fail(c);
+            continue;
+          }
+        } else {
+          c.outbox.erase(0, static_cast<std::size_t>(n));
+        }
+      }
+      if ((got & POLLIN) && c.awaiting > 0) {
+        const ssize_t n = ::recv(c.fd, chunk, sizeof chunk, 0);
+        if (n <= 0) {
+          if (n < 0 &&
+              (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK))
+            continue;
+          fail(c);
+          continue;
+        }
+        c.inbox.append(chunk, static_cast<std::size_t>(n));
+        std::size_t start = 0;
+        for (std::size_t nl = c.inbox.find('\n', start);
+             nl != std::string::npos && c.awaiting > 0;
+             nl = c.inbox.find('\n', start)) {
+          totals.count(c.inbox.substr(start, nl - start));
+          start = nl + 1;
+          --c.awaiting;
+        }
+        c.inbox.erase(0, start);
+        if (c.awaiting == 0) {
+          totals.record_batch_latency(
+              std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - c.batch_start)
+                  .count());
+          if (c.remaining > 0) fill_batch(c);
+        }
+      }
+    }
   }
-  if (remaining > 0)
-    totals.errors.fetch_add(remaining, std::memory_order_relaxed);
-  ::close(fd);
+  for (ClientConn& c : conns)
+    if (c.fd >= 0) ::close(c.fd);
 }
 
 // ---- In-process mode ------------------------------------------------------
@@ -321,8 +418,8 @@ void print_stats_line(const std::string& stats_body) {
 [[noreturn]] void usage(const char* argv0, int code) {
   std::fprintf(stderr,
                "usage: %s [--host H] [--port N] [--connections N]\n"
-               "          [--requests N] [--pipeline N] [--keys N]\n"
-               "          [--fit-frac F] [--seed S] [--inproc]\n",
+               "          [--threads N] [--requests N] [--pipeline N]\n"
+               "          [--keys N] [--fit-frac F] [--seed S] [--inproc]\n",
                argv0);
   std::exit(code);
 }
@@ -341,6 +438,7 @@ int main(int argc, char** argv) {
     else if (arg == "--port")
       cfg.port = static_cast<std::uint16_t>(std::atoi(value()));
     else if (arg == "--connections") cfg.connections = std::atoi(value());
+    else if (arg == "--threads") cfg.threads = std::atoi(value());
     else if (arg == "--requests") cfg.requests = std::atol(value());
     else if (arg == "--pipeline") cfg.pipeline = std::atoi(value());
     else if (arg == "--keys") cfg.keys = std::atoi(value());
@@ -352,20 +450,34 @@ int main(int argc, char** argv) {
     else usage(argv[0], 2);
   }
   if (cfg.connections < 1 || cfg.requests < 1 || cfg.pipeline < 1 ||
-      cfg.keys < 1 || cfg.fit_frac < 0.0 || cfg.fit_frac > 1.0)
+      cfg.keys < 1 || cfg.fit_frac < 0.0 || cfg.fit_frac > 1.0 ||
+      cfg.threads < 0)
     usage(argv[0], 2);
+  if (cfg.threads == 0)
+    cfg.threads = std::min<int>(
+        cfg.connections,
+        std::max(1u, std::thread::hardware_concurrency()));
+  cfg.threads = std::min(cfg.threads, cfg.connections);
 
   const auto predicts = make_predict_pool(cfg.keys);
   const auto fits = make_fit_pool(cfg.fit_keys, cfg.seed);
   Totals totals;
 
-  const long per_thread = cfg.requests / cfg.connections;
-  std::printf("serve_loadgen: %ld requests, %d %s, pipeline %d, "
-              "%d predict keys + %d fit keys, fit fraction %.2f, seed %llu\n",
-              per_thread * cfg.connections, cfg.connections,
-              cfg.inproc ? "threads (in-process)" : "connections",
-              cfg.pipeline, cfg.keys, cfg.fit_keys, cfg.fit_frac,
-              static_cast<unsigned long long>(cfg.seed));
+  const long per_conn = cfg.requests / cfg.connections;
+  if (cfg.inproc)
+    std::printf("serve_loadgen: %ld requests, %d threads (in-process), "
+                "%d predict keys + %d fit keys, fit fraction %.2f, "
+                "seed %llu\n",
+                per_conn * cfg.connections, cfg.connections, cfg.keys,
+                cfg.fit_keys, cfg.fit_frac,
+                static_cast<unsigned long long>(cfg.seed));
+  else
+    std::printf("serve_loadgen: %ld requests, %d connections on %d client "
+                "threads, pipeline %d, %d predict keys + %d fit keys, "
+                "fit fraction %.2f, seed %llu\n",
+                per_conn * cfg.connections, cfg.connections, cfg.threads,
+                cfg.pipeline, cfg.keys, cfg.fit_keys, cfg.fit_frac,
+                static_cast<unsigned long long>(cfg.seed));
 
   double elapsed = 0.0;
   std::string stats_body;
@@ -382,7 +494,7 @@ int main(int argc, char** argv) {
     std::vector<std::thread> threads;
     for (int t = 0; t < cfg.connections; ++t)
       threads.emplace_back([&, t] {
-        inproc_worker(cfg, t, server, predicts, fits, per_thread, totals);
+        inproc_worker(cfg, t, server, predicts, fits, per_conn, totals);
       });
     for (auto& t : threads) t.join();
     elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -407,11 +519,34 @@ int main(int argc, char** argv) {
                     request_once(probe, fits[0], f2) && r1 == r2 && f1 == f2;
     ::close(probe);
 
+    // Open every connection up front (the server's accept path is the
+    // thing under test), make them non-blocking, and deal them out to
+    // the client threads in contiguous groups.
+    std::vector<std::vector<ClientConn>> groups(
+        static_cast<std::size_t>(cfg.threads));
+    for (int i = 0; i < cfg.connections; ++i) {
+      ClientConn c;
+      c.fd = connect_to(cfg);
+      if (c.fd < 0) {
+        std::fprintf(stderr, "loadgen: connection %d failed: %s\n", i,
+                     std::strerror(errno));
+        totals.errors.fetch_add(per_conn, std::memory_order_relaxed);
+        continue;
+      }
+      const int flags = ::fcntl(c.fd, F_GETFL, 0);
+      ::fcntl(c.fd, F_SETFL, flags | O_NONBLOCK);
+      c.rng = stats::Rng(cfg.seed, static_cast<std::uint64_t>(i));
+      c.remaining = per_conn;
+      groups[static_cast<std::size_t>(i % cfg.threads)].push_back(
+          std::move(c));
+    }
+
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<std::thread> threads;
-    for (int t = 0; t < cfg.connections; ++t)
+    for (int t = 0; t < cfg.threads; ++t)
       threads.emplace_back([&, t] {
-        tcp_worker(cfg, t, predicts, fits, per_thread, totals);
+        tcp_multiplex_worker(cfg, predicts, fits,
+                             groups[static_cast<std::size_t>(t)], totals);
       });
     for (auto& t : threads) t.join();
     elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() -

@@ -41,9 +41,11 @@ double LatencyHistogram::Snapshot::quantile(double q) const noexcept {
   // Rank of the target sample (1-based), then walk buckets.
   const double rank = q * static_cast<double>(total);
   double seen = 0.0;
+  int last_populated = -1;
   for (int i = 0; i < kBuckets; ++i) {
     const double c = static_cast<double>(counts[static_cast<std::size_t>(i)]);
     if (c == 0.0) continue;
+    last_populated = i;
     if (seen + c >= rank) {
       // Log-linear interpolation inside [2^i, 2^(i+1)) ns.
       const double frac = c > 0.0 ? (rank - seen) / c : 0.0;
@@ -52,7 +54,11 @@ double LatencyHistogram::Snapshot::quantile(double q) const noexcept {
     }
     seen += c;
   }
-  return std::exp2(static_cast<double>(kBuckets)) * 1e-9;
+  // Rank landed beyond the last populated bucket (floating-point
+  // accumulation, or total > sum of counts in a hand-built snapshot):
+  // clamp to that bucket's upper edge rather than inventing a value one
+  // bucket past the histogram's own range.
+  return std::exp2(static_cast<double>(last_populated) + 1.0) * 1e-9;
 }
 
 Metrics::Metrics() : start_(std::chrono::steady_clock::now()) {}
@@ -67,6 +73,27 @@ void Metrics::on_completed(RequestType type, bool ok,
 
 void Metrics::on_rejected() noexcept {
   rejected_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Metrics::on_deadline_exceeded() noexcept {
+  deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Metrics::on_connection_opened() noexcept {
+  connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+  connections_open_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Metrics::on_connection_closed() noexcept {
+  connections_open_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Metrics::on_connection_rejected() noexcept {
+  connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Metrics::on_connection_idle_closed() noexcept {
+  connections_idle_closed_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Metrics::on_queue_depth(std::size_t depth) noexcept {
@@ -86,6 +113,14 @@ Metrics::Snapshot Metrics::snapshot() const noexcept {
   }
   s.errors = errors_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  s.connections_open = connections_open_.load(std::memory_order_relaxed);
+  s.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  s.connections_rejected =
+      connections_rejected_.load(std::memory_order_relaxed);
+  s.connections_idle_closed =
+      connections_idle_closed_.load(std::memory_order_relaxed);
   s.queue_depth =
       static_cast<std::size_t>(queue_depth_.load(std::memory_order_relaxed));
   s.queue_peak =
@@ -108,6 +143,7 @@ std::string Metrics::to_json(const ShardedLruCache::Stats& cache) const {
   out.set("completed", s.completed);
   out.set("errors", s.errors);
   out.set("rejected_overload", s.rejected);
+  out.set("deadline_exceeded", s.deadline_exceeded);
   out.set("qps", s.qps);
   Json by_type = Json::object();
   for (std::size_t i = 0; i < s.by_type.size(); ++i) {
@@ -134,6 +170,12 @@ std::string Metrics::to_json(const ShardedLruCache::Stats& cache) const {
   queue.set("depth", s.queue_depth);
   queue.set("peak", s.queue_peak);
   out.set("queue", std::move(queue));
+  Json conns = Json::object();
+  conns.set("open", s.connections_open);
+  conns.set("accepted", s.connections_accepted);
+  conns.set("rejected", s.connections_rejected);
+  conns.set("idle_closed", s.connections_idle_closed);
+  out.set("connections", std::move(conns));
   return out.dump();
 }
 
@@ -145,10 +187,12 @@ std::string Metrics::summary(const ShardedLruCache::Stats& cache) const {
                 "uptime       %.3f s\n"
                 "completed    %llu (%.0f req/s)\n"
                 "errors       %llu\n"
-                "rejected     %llu (overload)\n",
+                "rejected     %llu (overload)\n"
+                "deadlined    %llu (expired in queue)\n",
                 s.uptime_s, static_cast<unsigned long long>(s.completed),
                 s.qps, static_cast<unsigned long long>(s.errors),
-                static_cast<unsigned long long>(s.rejected));
+                static_cast<unsigned long long>(s.rejected),
+                static_cast<unsigned long long>(s.deadline_exceeded));
   out += buf;
   for (std::size_t i = 0; i < s.by_type.size(); ++i) {
     if (s.by_type[i] == 0) continue;
@@ -173,6 +217,14 @@ std::string Metrics::summary(const ShardedLruCache::Stats& cache) const {
   out += buf;
   std::snprintf(buf, sizeof buf, "queue        depth %zu, peak %zu\n",
                 s.queue_depth, s.queue_peak);
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "connections  %llu open, %llu accepted, %llu rejected, "
+                "%llu idle-closed\n",
+                static_cast<unsigned long long>(s.connections_open),
+                static_cast<unsigned long long>(s.connections_accepted),
+                static_cast<unsigned long long>(s.connections_rejected),
+                static_cast<unsigned long long>(s.connections_idle_closed));
   out += buf;
   out += "--------------------------------";
   return out;

@@ -54,16 +54,31 @@ class Metrics {
   /// Request rejected at admission because the queue was full.
   void on_rejected() noexcept;
 
+  /// Request expired in the queue and was answered with
+  /// deadline_exceeded instead of being executed.
+  void on_deadline_exceeded() noexcept;
+
   /// Queue depth observed after a push (tracks current and high water).
   void on_queue_depth(std::size_t depth) noexcept;
+
+  /// Connection lifecycle, reported by the TCP event loop.
+  void on_connection_opened() noexcept;    ///< accepted++ and open++
+  void on_connection_closed() noexcept;    ///< open--
+  void on_connection_rejected() noexcept;  ///< over the connection cap
+  void on_connection_idle_closed() noexcept;  ///< idle timeout fired
 
   struct Snapshot {
     std::uint64_t completed = 0;        ///< sum over types
     std::uint64_t errors = 0;           ///< ok == false completions
     std::uint64_t rejected = 0;         ///< overload rejections
+    std::uint64_t deadline_exceeded = 0;  ///< expired in queue
     std::array<std::uint64_t, 7> by_type{};  ///< indexed by RequestType
     std::size_t queue_depth = 0;
     std::size_t queue_peak = 0;
+    std::uint64_t connections_open = 0;      ///< gauge: live connections
+    std::uint64_t connections_accepted = 0;  ///< lifetime accepts
+    std::uint64_t connections_rejected = 0;  ///< refused at the cap
+    std::uint64_t connections_idle_closed = 0;  ///< closed by idle timer
     double uptime_s = 0.0;
     double qps = 0.0;                   ///< completed / uptime
     LatencyHistogram::Snapshot latency;
@@ -85,8 +100,13 @@ class Metrics {
   std::array<std::atomic<std::uint64_t>, 7> by_type_{};
   std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> deadline_exceeded_{0};
   std::atomic<std::uint64_t> queue_depth_{0};
   std::atomic<std::uint64_t> queue_peak_{0};
+  std::atomic<std::uint64_t> connections_open_{0};
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> connections_rejected_{0};
+  std::atomic<std::uint64_t> connections_idle_closed_{0};
   LatencyHistogram latency_;
 };
 

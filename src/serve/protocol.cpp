@@ -404,6 +404,12 @@ const std::string& overloaded_body() {
   return body;
 }
 
+const std::string& deadline_exceeded_body() {
+  static const std::string body = error_body(
+      "deadline_exceeded", "request waited past its deadline in the queue");
+  return body;
+}
+
 Reply handle_line(std::string_view line, const ProtocolLimits& limits) {
   Reply reply;
   if (line.size() > limits.max_request_bytes) {

@@ -74,4 +74,9 @@ struct ProtocolLimits {
 /// once; contains code "overloaded".
 [[nodiscard]] const std::string& overloaded_body();
 
+/// The canned reply Server sends when a request's deadline expired
+/// while it waited in the queue. Built once; contains code
+/// "deadline_exceeded".
+[[nodiscard]] const std::string& deadline_exceeded_body();
+
 }  // namespace archline::serve

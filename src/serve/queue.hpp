@@ -60,6 +60,14 @@ class BoundedQueue {
     not_empty_.notify_all();
   }
 
+  /// Re-admits pushes after close(); what makes Server restartable. Any
+  /// items still queued simply remain poppable. Consumers blocked in
+  /// pop() are unaffected (they were already woken by close()).
+  void reopen() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = false;
+  }
+
   [[nodiscard]] bool closed() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return closed_;

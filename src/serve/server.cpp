@@ -39,6 +39,9 @@ Server::~Server() { shutdown(); }
 void Server::start() {
   std::lock_guard<std::mutex> lock(lifecycle_mutex_);
   if (running_.load(std::memory_order_acquire)) return;
+  // A previous shutdown() closed the queue; reopen so submit() admits
+  // again and fresh workers block in pop() instead of exiting at once.
+  queue_.reopen();
   workers_.reserve(static_cast<std::size_t>(options_.threads));
   for (int i = 0; i < options_.threads; ++i)
     workers_.emplace_back([this] { worker_loop(); });
@@ -46,8 +49,17 @@ void Server::start() {
 }
 
 bool Server::submit(std::string line, Done done) {
+  const auto deadline =
+      options_.request_deadline_ms > 0
+          ? Clock::now() + std::chrono::milliseconds(
+                               options_.request_deadline_ms)
+          : Clock::time_point::max();
+  return submit(std::move(line), std::move(done), deadline);
+}
+
+bool Server::submit(std::string line, Done done, Clock::time_point deadline) {
   Job job{std::move(line), std::move(done),
-          std::chrono::steady_clock::now()};
+          std::chrono::steady_clock::now(), deadline};
   std::size_t depth = 0;
   if (!queue_.try_push(std::move(job), &depth)) {
     metrics_.on_rejected();
@@ -96,11 +108,24 @@ std::string Server::execute(
   return std::move(reply.body);
 }
 
+void Server::run_job(Job& job) {
+  // A job that out-waited its deadline in the queue is answered with
+  // the canned error instead of burning a worker on a reply the client
+  // has likely given up on.
+  if (job.deadline != Clock::time_point::max() &&
+      Clock::now() > job.deadline) {
+    metrics_.on_deadline_exceeded();
+    job.done(std::string(deadline_exceeded_body()));
+    return;
+  }
+  std::string response = execute(job.line, job.admitted);
+  job.done(std::move(response));
+}
+
 void Server::worker_loop() {
   while (std::optional<Job> job = queue_.pop()) {
-    std::string response = execute(job->line, job->admitted);
+    run_job(*job);
     metrics_.on_queue_depth(queue_.size());
-    job->done(std::move(response));
   }
 }
 
@@ -112,10 +137,7 @@ void Server::shutdown() {
   workers_.clear();
   // If shutdown raced start (or start was never called), drain whatever
   // was admitted on this thread so every submit()'s done still fires.
-  while (std::optional<Job> job = queue_.pop()) {
-    std::string response = execute(job->line, job->admitted);
-    job->done(std::move(response));
-  }
+  while (std::optional<Job> job = queue_.pop()) run_job(*job);
   metrics_.on_queue_depth(0);
   running_.store(false, std::memory_order_release);
 }

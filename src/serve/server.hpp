@@ -48,12 +48,18 @@ struct ServerOptions {
   /// Response cache entries across all shards; 0 disables caching.
   std::size_t cache_capacity = 1 << 16;
   std::size_t cache_shards = 16;
+  /// Default per-request deadline applied by submit(line, done):
+  /// a job still queued this long after admission is answered with
+  /// deadline_exceeded_body() instead of occupying a worker.
+  /// 0 disables deadlines.
+  int request_deadline_ms = 0;
   ProtocolLimits limits;
 };
 
 class Server {
  public:
   using Done = std::function<void(std::string&&)>;
+  using Clock = std::chrono::steady_clock;
 
   explicit Server(ServerOptions options = {});
 
@@ -63,7 +69,9 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Spawns the worker pool. Idempotent.
+  /// Spawns the worker pool. Idempotent while running; after a
+  /// shutdown() the queue is reopened, so start/shutdown cycles restart
+  /// a fully functional server.
   void start();
 
   /// Admits one request line for asynchronous execution. On success,
@@ -71,7 +79,18 @@ class Server {
   /// response body (no trailing newline). Returns false — and never
   /// calls `done` — when the queue is full or the server is shutting
   /// down; the caller should reply with overloaded_body().
+  ///
+  /// The request carries the default deadline derived from
+  /// options().request_deadline_ms (none when 0): if it is still queued
+  /// when the deadline passes, `done` receives
+  /// deadline_exceeded_body() and the request is never executed.
   [[nodiscard]] bool submit(std::string line, Done done);
+
+  /// Same, with an explicit absolute deadline (Clock::time_point::max()
+  /// = no deadline). The transport uses this to thread per-request
+  /// deadlines through the queue.
+  [[nodiscard]] bool submit(std::string line, Done done,
+                            Clock::time_point deadline);
 
   /// Synchronous execution on the calling thread (tests, simple
   /// transports, the in-process loadgen). Same cache/metrics path as
@@ -109,11 +128,17 @@ class Server {
     std::string line;
     Done done;
     std::chrono::steady_clock::time_point admitted;
+    Clock::time_point deadline = Clock::time_point::max();
   };
 
   /// Cache + protocol execution shared by workers and handle_now.
   std::string execute(std::string_view line,
                       std::chrono::steady_clock::time_point started);
+
+  /// Deadline check + execute + done; shared by workers and the
+  /// shutdown drain so queue-expired jobs are answered identically on
+  /// both paths.
+  void run_job(Job& job);
 
   void worker_loop();
 

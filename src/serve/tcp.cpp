@@ -1,15 +1,21 @@
 #include "serve/tcp.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <array>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
-#include <thread>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -17,20 +23,68 @@ namespace archline::serve {
 
 namespace {
 
-/// Writes the whole buffer, looping over partial sends. Returns false
-/// on a connection error.
-bool send_all(int fd, const char* data, std::size_t len) {
-  while (len > 0) {
-    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    data += n;
-    len -= static_cast<std::size_t>(n);
-  }
-  return true;
+using Clock = std::chrono::steady_clock;
+
+/// How long the loop keeps flushing pending responses to peers that
+/// have stopped reading once a stop was requested, before force-closing
+/// them. Bounds shutdown against misbehaving clients.
+constexpr int kDrainGraceMs = 5000;
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
+
+/// Worker threads finish responses out on their own schedule; this is
+/// the hand-off back to the event loop. complete() under the writer's
+/// lock pushes each connection's responses here in FIFO order, and the
+/// eventfd wakes epoll_wait. After close() pushes are dropped — that is
+/// what makes it safe for straggler callbacks (queue drain during
+/// Server::shutdown) to outlive the loop.
+struct CompletionChannel {
+  std::mutex mutex;
+  std::vector<std::pair<std::uint64_t, std::string>> ready;
+  int event_fd = -1;
+  bool closed = false;
+
+  void push(std::uint64_t conn_id, const std::string& body) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (closed) return;
+    ready.emplace_back(conn_id, body);
+    const std::uint64_t one = 1;
+    // Under the lock so close() cannot free the fd mid-write.
+    [[maybe_unused]] const ssize_t n =
+        ::write(event_fd, &one, sizeof one);
+  }
+
+  void take(std::vector<std::pair<std::uint64_t, std::string>>& out) {
+    std::lock_guard<std::mutex> lock(mutex);
+    out.swap(ready);
+  }
+
+  void close() {
+    std::lock_guard<std::mutex> lock(mutex);
+    closed = true;
+  }
+};
+
+/// Everything the loop knows about one socket. `submitted` counts
+/// sequence numbers reserved on the writer; `written` counts responses
+/// framed into `out`; the connection may close only when they agree and
+/// `out` has drained.
+struct Conn {
+  int fd = -1;
+  std::uint64_t id = 0;
+  std::shared_ptr<OrderedWriter> writer;
+  std::string in;   ///< residual partial line (no newline yet)
+  std::string out;  ///< framed responses awaiting send
+  std::uint64_t submitted = 0;
+  std::uint64_t written = 0;
+  /// No further reads: peer EOF, an oversized line, or server stop.
+  bool half_closed = false;
+  std::uint32_t interest = 0;  ///< current epoll event mask
+  Clock::time_point last_activity;
+};
 
 }  // namespace
 
@@ -67,6 +121,10 @@ bool TcpListener::open(std::string* error) {
     if (error) *error = std::string("listen: ") + std::strerror(errno);
     return false;
   }
+  if (!set_nonblocking(listen_fd_)) {
+    if (error) *error = std::string("fcntl: ") + std::strerror(errno);
+    return false;
+  }
   sockaddr_in bound{};
   socklen_t bound_len = sizeof bound;
   if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
@@ -76,92 +134,312 @@ bool TcpListener::open(std::string* error) {
 }
 
 void TcpListener::run(const std::atomic<bool>& stop) {
-  // Only this thread touches `connections`; handlers never do.
-  std::vector<std::thread> connections;
+  // epoll_event.data.u64 routing: 0 = listen socket, 1 = completion
+  // eventfd, >= kFirstConnId = a connection.
+  constexpr std::uint64_t kListenId = 0;
+  constexpr std::uint64_t kWakeId = 1;
+  constexpr std::uint64_t kFirstConnId = 2;
 
-  while (!stop.load(std::memory_order_acquire)) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, options_.poll_interval_ms);
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if (ready == 0) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      break;
-    }
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-    connections.emplace_back(
-        [this, fd, &stop] { serve_connection(fd, stop); });
+  const int epoll_fd = ::epoll_create1(0);
+  if (epoll_fd < 0) return;
+  auto channel = std::make_shared<CompletionChannel>();
+  channel->event_fd = ::eventfd(0, EFD_NONBLOCK);
+  if (channel->event_fd < 0) {
+    ::close(epoll_fd);
+    return;
   }
 
-  for (std::thread& t : connections)
-    if (t.joinable()) t.join();
-}
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenId;
+  ::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.u64 = kWakeId;
+  ::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, channel->event_fd, &ev);
 
-void TcpListener::serve_connection(int fd, const std::atomic<bool>& stop) {
-  // Response writes go through OrderedWriter so pipelined requests come
-  // back in the order they were sent even though workers finish them
-  // out of order. The sink runs under the writer's lock — one writer
-  // per connection, so sends never interleave.
-  OrderedWriter writer([fd](const std::string& body) {
-    std::string framed;
-    framed.reserve(body.size() + 1);
-    framed += body;
-    framed += '\n';
-    send_all(fd, framed.data(), framed.size());
-  });
+  std::unordered_map<std::uint64_t, Conn> conns;
+  std::uint64_t next_id = kFirstConnId;
+  Metrics& metrics = server_.metrics();
+  const std::size_t max_line = server_.options().limits.max_request_bytes;
 
-  std::string buffer;
-  char chunk[65536];
-  bool open = true;
-  while (open && !stop.load(std::memory_order_acquire)) {
-    pollfd pfd{fd, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, options_.poll_interval_ms);
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      break;
+  const auto update_interest = [&](Conn& c) {
+    const std::uint32_t want =
+        (c.half_closed ? 0u : EPOLLIN) | (c.out.empty() ? 0u : EPOLLOUT);
+    if (want == c.interest) return;
+    epoll_event mod{};
+    mod.events = want;
+    mod.data.u64 = c.id;
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_MOD, c.fd, &mod);
+    c.interest = want;
+  };
+
+  const auto destroy = [&](std::uint64_t id, bool idle_timeout = false) {
+    auto it = conns.find(id);
+    if (it == conns.end()) return;
+    // Counters first: a peer that observes the EOF must already see the
+    // close reflected in a stats snapshot.
+    metrics.on_connection_closed();
+    if (idle_timeout) metrics.on_connection_idle_closed();
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, it->second.fd, nullptr);
+    ::close(it->second.fd);
+    conns.erase(it);
+  };
+
+  // Sends as much of c.out as the socket accepts. Returns false when
+  // the connection died (and was destroyed).
+  const auto flush = [&](Conn& c) -> bool {
+    while (!c.out.empty()) {
+      const ssize_t n =
+          ::send(c.fd, c.out.data(), c.out.size(), MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        destroy(c.id);
+        return false;
+      }
+      c.out.erase(0, static_cast<std::size_t>(n));
+      c.last_activity = Clock::now();
     }
-    if (ready == 0) continue;
-    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if (n == 0) break;  // peer closed
-    buffer.append(chunk, static_cast<std::size_t>(n));
+    return true;
+  };
 
-    // Guard against a peer that never sends a newline.
-    if (buffer.size() > server_.options().limits.max_request_bytes * 2) {
-      const std::uint64_t seq = writer.next_sequence();
-      writer.complete(seq,
-                      error_body("too_large", "request line never ended"));
-      break;
+  // Close once nothing can ever arrive for this connection again.
+  // Returns false when the connection was closed.
+  const auto maybe_close = [&](Conn& c) -> bool {
+    if (c.half_closed && c.written == c.submitted && c.out.empty()) {
+      destroy(c.id);
+      return false;
     }
+    return true;
+  };
 
+  const auto submit_line = [&](Conn& c, std::string line) {
+    if (line.empty() || line == "\r") return;
+    const std::uint64_t seq = c.writer->next_sequence();
+    ++c.submitted;
+    std::shared_ptr<OrderedWriter> writer = c.writer;
+    const bool admitted = server_.submit(
+        std::move(line), [writer, seq](std::string&& body) {
+          writer->complete(seq, std::move(body));
+        });
+    if (!admitted)
+      c.writer->complete(seq, std::string(overloaded_body()));
+  };
+
+  // Extracts complete lines FIRST, so a burst of small pipelined
+  // requests is never mistaken for one oversized line; only the
+  // residual partial line is bounded. On EOF the final un-terminated
+  // line is a real request and gets a real reply.
+  const auto process_input = [&](Conn& c, bool eof) {
     std::size_t start = 0;
-    for (std::size_t nl = buffer.find('\n', start);
-         nl != std::string::npos; nl = buffer.find('\n', start)) {
-      std::string line = buffer.substr(start, nl - start);
+    for (std::size_t nl = c.in.find('\n', start); nl != std::string::npos;
+         nl = c.in.find('\n', start)) {
+      std::string line = c.in.substr(start, nl - start);
       start = nl + 1;
-      if (line.empty() || line == "\r") continue;
-      const std::uint64_t seq = writer.next_sequence();
-      const bool admitted = server_.submit(
-          std::move(line), [&writer, seq](std::string&& body) {
-            writer.complete(seq, std::move(body));
-          });
-      if (!admitted)
-        writer.complete(seq, std::string(overloaded_body()));
+      submit_line(c, std::move(line));
     }
-    buffer.erase(0, start);
+    c.in.erase(0, start);
+    if (eof) {
+      if (!c.in.empty()) {
+        std::string line = std::move(c.in);
+        c.in.clear();
+        submit_line(c, std::move(line));
+      }
+      c.half_closed = true;
+    } else if (c.in.size() > max_line) {
+      // A line this long can only ever be rejected; answer now and
+      // stop reading rather than buffering without bound.
+      const std::uint64_t seq = c.writer->next_sequence();
+      ++c.submitted;
+      c.writer->complete(
+          seq, error_body("too_large", "request line never ended"));
+      c.in.clear();
+      c.half_closed = true;
+    }
+  };
+
+  // Returns false when the connection was destroyed.
+  const auto handle_read = [&](Conn& c) -> bool {
+    char chunk[65536];
+    const ssize_t n = ::recv(c.fd, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        return true;
+      destroy(c.id);
+      return false;
+    }
+    c.last_activity = Clock::now();
+    if (n == 0) {
+      process_input(c, /*eof=*/true);
+    } else {
+      c.in.append(chunk, static_cast<std::size_t>(n));
+      process_input(c, /*eof=*/false);
+    }
+    if (!maybe_close(c)) return false;
+    update_interest(c);
+    return true;
+  };
+
+  const auto handle_accepts = [&] {
+    for (int burst = 0; burst < 256; ++burst) {
+      const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+      if (fd < 0) {
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        break;  // EAGAIN or a real error; either way, wait for epoll
+      }
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      if (conns.size() >= options_.max_connections) {
+        // Admission control at the door: a canned overloaded reply
+        // (best effort — the socket buffer of a fresh connection
+        // always has room for one line) and an immediate close.
+        metrics.on_connection_rejected();
+        const std::string reply = overloaded_body() + "\n";
+        [[maybe_unused]] const ssize_t n =
+            ::send(fd, reply.data(), reply.size(), MSG_NOSIGNAL);
+        ::close(fd);
+        continue;
+      }
+      const std::uint64_t id = next_id++;
+      Conn& c = conns[id];
+      c.fd = fd;
+      c.id = id;
+      c.last_activity = Clock::now();
+      c.interest = EPOLLIN;
+      c.writer = std::make_shared<OrderedWriter>(
+          [channel, id](const std::string& body) {
+            channel->push(id, body);
+          });
+      epoll_event add{};
+      add.events = EPOLLIN;
+      add.data.u64 = id;
+      ::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &add);
+      metrics.on_connection_opened();
+    }
+  };
+
+  std::vector<std::pair<std::uint64_t, std::string>> ready;
+  const auto drain_completions = [&] {
+    std::uint64_t counter = 0;
+    [[maybe_unused]] const ssize_t n =
+        ::read(channel->event_fd, &counter, sizeof counter);
+    ready.clear();
+    channel->take(ready);
+    // Frame everything first, then flush each touched connection once.
+    std::vector<std::uint64_t> touched;
+    for (auto& [id, body] : ready) {
+      auto it = conns.find(id);
+      if (it == conns.end()) continue;  // connection already gone
+      Conn& c = it->second;
+      c.out += body;
+      c.out += '\n';
+      ++c.written;
+      if (touched.empty() || touched.back() != id) touched.push_back(id);
+    }
+    for (const std::uint64_t id : touched) {
+      auto it = conns.find(id);
+      if (it == conns.end()) continue;
+      Conn& c = it->second;
+      if (!flush(c)) continue;
+      if (!maybe_close(c)) continue;
+      update_interest(c);
+    }
+  };
+
+  bool stopping = false;
+  Clock::time_point stop_at{};
+  std::array<epoll_event, 64> events;
+
+  while (true) {
+    if (!stopping && stop.load(std::memory_order_acquire)) {
+      // Stop accepting, stop reading; keep looping until every
+      // admitted request has been answered and flushed.
+      stopping = true;
+      stop_at = Clock::now();
+      ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, listen_fd_, nullptr);
+      std::vector<std::uint64_t> ids;
+      ids.reserve(conns.size());
+      for (auto& [id, c] : conns) ids.push_back(id);
+      for (const std::uint64_t id : ids) {
+        auto it = conns.find(id);
+        if (it == conns.end()) continue;
+        it->second.half_closed = true;
+        if (!maybe_close(it->second)) continue;
+        update_interest(it->second);
+      }
+    }
+    if (stopping && conns.empty()) break;
+    if (stopping && Clock::now() - stop_at >
+                        std::chrono::milliseconds(kDrainGraceMs)) {
+      // Peers that stopped reading do not get to hold shutdown hostage.
+      std::vector<std::uint64_t> ids;
+      ids.reserve(conns.size());
+      for (auto& [id, c] : conns) ids.push_back(id);
+      for (const std::uint64_t id : ids) destroy(id);
+      break;
+    }
+
+    const int n_events =
+        ::epoll_wait(epoll_fd, events.data(),
+                     static_cast<int>(events.size()),
+                     options_.poll_interval_ms);
+    if (n_events < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+
+    for (int i = 0; i < n_events; ++i) {
+      const std::uint64_t id = events[static_cast<std::size_t>(i)].data.u64;
+      const std::uint32_t flags =
+          events[static_cast<std::size_t>(i)].events;
+      if (id == kListenId) {
+        if (!stopping) handle_accepts();
+        continue;
+      }
+      if (id == kWakeId) {
+        drain_completions();
+        continue;
+      }
+      auto it = conns.find(id);
+      if (it == conns.end()) continue;  // destroyed earlier this batch
+      Conn& c = it->second;
+      if (flags & (EPOLLHUP | EPOLLERR)) {
+        destroy(id);
+        continue;
+      }
+      if ((flags & EPOLLIN) && !c.half_closed) {
+        if (!handle_read(c)) continue;
+      }
+      if (flags & EPOLLOUT) {
+        if (!flush(c)) continue;
+        if (!maybe_close(c)) continue;
+        update_interest(c);
+      }
+    }
+
+    // Idle sweep: connections with no traffic and nothing in flight for
+    // idle_timeout_ms are closed. Ones with pending responses are
+    // exempt — they are "busy", just waiting on workers or the socket.
+    if (options_.idle_timeout_ms > 0) {
+      const auto now = Clock::now();
+      const auto limit = std::chrono::milliseconds(options_.idle_timeout_ms);
+      std::vector<std::uint64_t> expired;
+      for (auto& [id, c] : conns) {
+        const bool pending = c.submitted != c.written || !c.out.empty();
+        if (!pending && now - c.last_activity > limit) expired.push_back(id);
+      }
+      for (const std::uint64_t id : expired)
+        destroy(id, /*idle_timeout=*/true);
+    }
   }
-  // Flush everything already admitted before closing — this is what
-  // makes shutdown graceful from the client's point of view.
-  writer.drain();
-  ::close(fd);
+
+  // Straggler callbacks (e.g. the queue drain inside Server::shutdown)
+  // may still fire after this point; mark the channel closed so their
+  // pushes are dropped instead of touching freed fds.
+  channel->close();
+  ::close(channel->event_fd);
+  channel->event_fd = -1;
+  for (auto& [id, c] : conns) ::close(c.fd);
+  ::close(epoll_fd);
 }
 
 }  // namespace archline::serve

@@ -1,12 +1,25 @@
 #pragma once
-// TCP transport for serve::Server: a poll-based accept loop plus one
-// thread per connection, each reading newline-delimited requests,
-// submitting them to the worker pool, and writing responses back in
-// request order via OrderedWriter. Clients may pipeline arbitrarily
-// many requests before reading.
+// TCP transport for serve::Server: a single epoll event loop owning
+// every connection as non-blocking state (read buffer, ordered write
+// queue, activity clock) instead of a thread. Workers hand finished
+// responses back to the loop through an eventfd-signalled completion
+// channel; the loop frames them and flushes opportunistically, falling
+// back to EPOLLOUT when the socket's send buffer is full.
 //
-// POSIX sockets only (the project targets Linux); the stdio transport
-// in server.hpp is the portable fallback.
+// Connection lifecycle is bounded and explicit:
+//   * at most `max_connections` sockets are admitted — the accept path
+//     answers anyone beyond that with the canned "overloaded" error and
+//     closes immediately;
+//   * a connection idle longer than `idle_timeout_ms` with no pending
+//     work is closed by the loop;
+//   * requests inherit the Server's per-request deadline, so a job that
+//     out-waits the queue is answered with "deadline_exceeded";
+//   * on peer half-close (EOF with buffered bytes), the final
+//     un-terminated line is still processed and answered before the
+//     connection closes.
+//
+// Linux-only (epoll + eventfd); the stdio transport in server.hpp is
+// the portable fallback.
 
 #include <atomic>
 #include <cstdint>
@@ -20,9 +33,15 @@ struct TcpOptions {
   std::string bind_address = "127.0.0.1";
   std::uint16_t port = 7411;  ///< 0 = pick an ephemeral port
   int backlog = 128;
-  /// recv poll timeout; bounds how fast connections notice a stop
-  /// request.
+  /// epoll_wait timeout; bounds how fast the loop notices a stop
+  /// request and how precisely idle timeouts fire.
   int poll_interval_ms = 100;
+  /// Hard cap on concurrently open connections; accepts beyond it are
+  /// answered with overloaded_body() and closed.
+  std::size_t max_connections = 1024;
+  /// Close a connection with no traffic and no pending responses for
+  /// this long. 0 disables idle closing.
+  int idle_timeout_ms = 0;
 };
 
 class TcpListener {
@@ -33,20 +52,21 @@ class TcpListener {
   TcpListener(const TcpListener&) = delete;
   TcpListener& operator=(const TcpListener&) = delete;
 
-  /// Binds and listens. Returns false and fills `error` on failure.
+  /// Binds and listens (non-blocking). Returns false and fills `error`
+  /// on failure.
   [[nodiscard]] bool open(std::string* error);
 
   /// The bound port (useful when options.port was 0).
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
 
-  /// Accept loop; returns when `stop` becomes true. In-flight requests
-  /// on live connections finish and their responses are flushed before
-  /// each connection closes (admitted work is never dropped).
+  /// Event loop; runs until `stop` becomes true AND every admitted
+  /// request has been answered and flushed (admitted work is never
+  /// dropped; a peer that stops reading is force-closed after a short
+  /// drain grace). Call from exactly one thread; the loop never spawns
+  /// threads of its own — worker parallelism lives in the Server.
   void run(const std::atomic<bool>& stop);
 
  private:
-  void serve_connection(int fd, const std::atomic<bool>& stop);
-
   Server& server_;
   TcpOptions options_;
   int listen_fd_ = -1;

@@ -172,6 +172,80 @@ TEST(ServeServer, ShutdownIsIdempotentAndDestructorSafe) {
   // Destructor runs shutdown again — must not hang or crash.
 }
 
+TEST(ServeServer, RestartAfterShutdownServesAgain) {
+  // Regression: shutdown() used to close the BoundedQueue permanently,
+  // so a restarted server spawned workers that exited immediately while
+  // submit() rejected everything. start() must reopen the queue.
+  Server server(small_options());
+  server.start();
+  std::atomic<int> completed{0};
+  ASSERT_TRUE(server.submit(kPredict,
+                            [&](std::string&&) { completed.fetch_add(1); }));
+  server.shutdown();
+  EXPECT_EQ(completed.load(), 1);
+  EXPECT_FALSE(server.running());
+  // While shut down, admission is refused…
+  EXPECT_FALSE(server.submit(kPredict, [](std::string&&) {}));
+
+  // …and a restart serves exactly like a fresh server.
+  server.start();
+  EXPECT_TRUE(server.running());
+  std::mutex m;
+  std::condition_variable cv;
+  std::string body;
+  ASSERT_TRUE(server.submit(kPredict, [&](std::string&& response) {
+    {
+      std::lock_guard<std::mutex> lock(m);
+      body = std::move(response);
+    }
+    cv.notify_one();
+  }));
+  std::unique_lock<std::mutex> lock(m);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                          [&] { return !body.empty(); }));
+  EXPECT_TRUE(Json::parse(body).bool_or("ok", false));
+  server.shutdown();
+  EXPECT_EQ(server.metrics().snapshot().completed, 2u);
+}
+
+TEST(ServeServer, ExpiredDeadlineAnswersWithoutExecuting) {
+  // Workers not started: jobs sit in the queue past their deadline, and
+  // the shutdown drain must answer them with the canned deadline error
+  // (same code path the worker loop uses).
+  Server server(small_options());
+  std::vector<std::string> bodies;
+  const auto past = Server::Clock::now() - std::chrono::milliseconds(1);
+  ASSERT_TRUE(server.submit(
+      kPredict, [&](std::string&& b) { bodies.push_back(std::move(b)); },
+      past));
+  // No deadline: must execute normally even on the drain path.
+  ASSERT_TRUE(server.submit(
+      kPredict, [&](std::string&& b) { bodies.push_back(std::move(b)); },
+      Server::Clock::time_point::max()));
+  server.shutdown();
+  ASSERT_EQ(bodies.size(), 2u);
+  EXPECT_EQ(Json::parse(bodies[0]).string_or("error", ""),
+            "deadline_exceeded");
+  EXPECT_TRUE(Json::parse(bodies[1]).bool_or("ok", false));
+  const auto snap = server.metrics().snapshot();
+  EXPECT_EQ(snap.deadline_exceeded, 1u);
+  // The expired job was answered, not executed: only one completion.
+  EXPECT_EQ(snap.completed, 1u);
+}
+
+TEST(ServeServer, DefaultDeadlineComesFromOptions) {
+  ServerOptions options = small_options();
+  options.request_deadline_ms = 1;
+  Server server(options);
+  std::string body;
+  ASSERT_TRUE(
+      server.submit(kPredict, [&](std::string&& b) { body = std::move(b); }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server.shutdown();  // drains; the job expired 19 ms ago
+  EXPECT_EQ(Json::parse(body).string_or("error", ""), "deadline_exceeded");
+  EXPECT_EQ(server.metrics().snapshot().deadline_exceeded, 1u);
+}
+
 TEST(ServeServer, OrderedWriterRestoresSubmissionOrder) {
   std::vector<std::string> out;
   OrderedWriter writer([&](const std::string& body) { out.push_back(body); });

@@ -6,7 +6,9 @@
 //
 // Usage:
 //   archline_serverd [--port N] [--bind ADDR] [--threads N]
-//                    [--queue N] [--cache N] [--shards N] [--stdio]
+//                    [--queue N] [--cache N] [--shards N]
+//                    [--max-conns N] [--idle-timeout-ms N]
+//                    [--deadline-ms N] [--stdio]
 //
 // Transports:
 //   default   TCP listener on --bind:--port (port 0 = ephemeral,
@@ -41,7 +43,9 @@ void on_usr1(int) { g_dump_stats = 1; }
   std::fprintf(
       stderr,
       "usage: %s [--port N] [--bind ADDR] [--threads N] [--queue N]\n"
-      "          [--cache N] [--shards N] [--stdio] [--quiet]\n",
+      "          [--cache N] [--shards N] [--max-conns N]\n"
+      "          [--idle-timeout-ms N] [--deadline-ms N] [--stdio]\n"
+      "          [--quiet]\n",
       argv0);
   std::exit(code);
 }
@@ -89,6 +93,15 @@ int main(int argc, char** argv) {
     else if (arg == "--shards")
       options.cache_shards = static_cast<std::size_t>(
           parse_long(argv[0], "--shards", value()));
+    else if (arg == "--max-conns")
+      tcp.max_connections = static_cast<std::size_t>(
+          parse_long(argv[0], "--max-conns", value()));
+    else if (arg == "--idle-timeout-ms")
+      tcp.idle_timeout_ms = static_cast<int>(
+          parse_long(argv[0], "--idle-timeout-ms", value()));
+    else if (arg == "--deadline-ms")
+      options.request_deadline_ms = static_cast<int>(
+          parse_long(argv[0], "--deadline-ms", value()));
     else if (arg == "--stdio")
       stdio_mode = true;
     else if (arg == "--quiet")
@@ -126,10 +139,11 @@ int main(int argc, char** argv) {
   if (!quiet)
     std::fprintf(stderr,
                  "archline_serverd: listening on %s:%u (%d workers, "
-                 "queue %zu, cache %zu/%zu shards)\n",
+                 "queue %zu, cache %zu/%zu shards, max %zu conns)\n",
                  tcp.bind_address.c_str(), listener.port(),
                  server.options().threads, options.queue_capacity,
-                 options.cache_capacity, options.cache_shards);
+                 options.cache_capacity, options.cache_shards,
+                 tcp.max_connections);
 
   // The accept loop polls, so it revisits these flags every
   // poll_interval_ms. SIGUSR1 dumps are serviced by a helper thread to
