@@ -8,7 +8,7 @@
 // Usage:
 //   serve_loadgen [--host H] [--port N] [--connections N] [--threads N]
 //                 [--requests N] [--pipeline N] [--keys N]
-//                 [--fit-frac F] [--seed S] [--inproc]
+//                 [--fit-frac F] [--seed S] [--inproc] [--json]
 //
 // Modes:
 //   TCP (default)  open --connections non-blocking sockets to a running
@@ -27,6 +27,10 @@
 // determinism check (byte-identical responses for repeated requests).
 // All randomness is PCG32 with a fixed seed, so two runs issue the
 // identical request stream.
+//
+// --json replaces the human report with a single JSON summary object on
+// stdout (machine-readable: req/s, latency percentiles, cache hit/miss
+// split, determinism) so CI can archive the run as an artifact.
 
 #include <arpa/inet.h>
 #include <fcntl.h>
@@ -72,6 +76,7 @@ struct Config {
   double fit_frac = 0.10;
   std::uint64_t seed = 42;
   bool inproc = false;
+  bool json = false;  ///< emit one JSON summary object instead of text
 };
 
 // ---- Request pool ---------------------------------------------------------
@@ -415,11 +420,63 @@ void print_stats_line(const std::string& stats_body) {
   }
 }
 
+/// The --json report: one object, schema mirrored by BENCH_serve.json.
+/// Server-side fields come from the end-of-run "stats" request and are
+/// omitted when it failed (e.g. the server went away).
+void print_json_summary(const Config& cfg, Totals& totals, long done,
+                        double elapsed, bool deterministic,
+                        const std::string& stats_body) {
+  serve::Json out = serve::Json::object();
+  out.set("bench", "serve_loadgen");
+  out.set("mode", cfg.inproc ? "inproc" : "tcp");
+  out.set("requests", done);
+  out.set("ok", totals.ok.load());
+  out.set("errors", totals.errors.load());
+  out.set("overloaded", totals.overloaded.load());
+  out.set("elapsed_s", elapsed);
+  out.set("req_per_s",
+          elapsed > 0 ? static_cast<double>(done) / elapsed : 0.0);
+  out.set("deterministic", deterministic);
+  out.set("seed", cfg.seed);
+  {
+    std::lock_guard<std::mutex> lock(totals.latency_mutex);
+    serve::Json batch = serve::Json::object();
+    batch.set("p50_ms", percentile(totals.batch_latencies_s, 0.50) * 1e3);
+    batch.set("p95_ms", percentile(totals.batch_latencies_s, 0.95) * 1e3);
+    batch.set("p99_ms", percentile(totals.batch_latencies_s, 0.99) * 1e3);
+    batch.set("batches", totals.batch_latencies_s.size());
+    batch.set("pipeline", cfg.inproc ? 1 : cfg.pipeline);
+    out.set("client_batch_latency", std::move(batch));
+  }
+  try {
+    const serve::Json stats = serve::Json::parse(stats_body);
+    if (const serve::Json* lat = stats.find("latency")) {
+      serve::Json server_lat = serve::Json::object();
+      server_lat.set("p50_ns", lat->number_or("p50_s", 0) * 1e9);
+      server_lat.set("p99_ns", lat->number_or("p99_s", 0) * 1e9);
+      server_lat.set("sampled", lat->number_or("count", 0));
+      out.set("server_latency", std::move(server_lat));
+    }
+    if (const serve::Json* cache = stats.find("cache")) {
+      serve::Json hits = serve::Json::object();
+      hits.set("hits", cache->number_or("hits", 0));
+      hits.set("misses", cache->number_or("misses", 0));
+      hits.set("hit_rate", cache->number_or("hit_rate", 0));
+      out.set("server_cache", std::move(hits));
+    }
+    out.set("server_completed", stats.number_or("completed", 0));
+  } catch (const std::exception&) {
+    // no stats response; client-side fields stand alone
+  }
+  std::printf("%s\n", out.dump().c_str());
+}
+
 [[noreturn]] void usage(const char* argv0, int code) {
   std::fprintf(stderr,
                "usage: %s [--host H] [--port N] [--connections N]\n"
                "          [--threads N] [--requests N] [--pipeline N]\n"
-               "          [--keys N] [--fit-frac F] [--seed S] [--inproc]\n",
+               "          [--keys N] [--fit-frac F] [--seed S] [--inproc]\n"
+               "          [--json]\n",
                argv0);
   std::exit(code);
 }
@@ -446,6 +503,7 @@ int main(int argc, char** argv) {
     else if (arg == "--seed")
       cfg.seed = static_cast<std::uint64_t>(std::atoll(value()));
     else if (arg == "--inproc") cfg.inproc = true;
+    else if (arg == "--json") cfg.json = true;
     else if (arg == "--help" || arg == "-h") usage(argv[0], 0);
     else usage(argv[0], 2);
   }
@@ -464,7 +522,9 @@ int main(int argc, char** argv) {
   Totals totals;
 
   const long per_conn = cfg.requests / cfg.connections;
-  if (cfg.inproc)
+  if (cfg.json) {
+    // banner suppressed: stdout carries exactly one JSON object
+  } else if (cfg.inproc)
     std::printf("serve_loadgen: %ld requests, %d threads (in-process), "
                 "%d predict keys + %d fit keys, fit fraction %.2f, "
                 "seed %llu\n",
@@ -561,23 +621,28 @@ int main(int argc, char** argv) {
 
   const long done = totals.ok.load() + totals.errors.load() +
                     totals.overloaded.load();
-  std::printf("\nelapsed            %.3f s\n", elapsed);
-  std::printf("completed          %ld (%ld ok, %ld errors, %ld overloaded)\n",
-              done, totals.ok.load(), totals.errors.load(),
-              totals.overloaded.load());
-  std::printf("throughput         %.0f req/s\n",
-              elapsed > 0 ? static_cast<double>(done) / elapsed : 0.0);
-  {
-    std::lock_guard<std::mutex> lock(totals.latency_mutex);
-    std::printf("client batch lat   p50 %.2f ms   p95 %.2f ms   p99 %.2f ms "
-                "(%zu batches of <= %d)\n",
-                percentile(totals.batch_latencies_s, 0.50) * 1e3,
-                percentile(totals.batch_latencies_s, 0.95) * 1e3,
-                percentile(totals.batch_latencies_s, 0.99) * 1e3,
-                totals.batch_latencies_s.size(), cfg.inproc ? 1 : cfg.pipeline);
+  if (cfg.json) {
+    print_json_summary(cfg, totals, done, elapsed, deterministic, stats_body);
+  } else {
+    std::printf("\nelapsed            %.3f s\n", elapsed);
+    std::printf("completed          %ld (%ld ok, %ld errors, %ld overloaded)\n",
+                done, totals.ok.load(), totals.errors.load(),
+                totals.overloaded.load());
+    std::printf("throughput         %.0f req/s\n",
+                elapsed > 0 ? static_cast<double>(done) / elapsed : 0.0);
+    {
+      std::lock_guard<std::mutex> lock(totals.latency_mutex);
+      std::printf("client batch lat   p50 %.2f ms   p95 %.2f ms   p99 %.2f ms "
+                  "(%zu batches of <= %d)\n",
+                  percentile(totals.batch_latencies_s, 0.50) * 1e3,
+                  percentile(totals.batch_latencies_s, 0.95) * 1e3,
+                  percentile(totals.batch_latencies_s, 0.99) * 1e3,
+                  totals.batch_latencies_s.size(),
+                  cfg.inproc ? 1 : cfg.pipeline);
+    }
+    std::printf("deterministic      %s\n", deterministic ? "yes" : "NO");
+    if (!stats_body.empty()) print_stats_line(stats_body);
   }
-  std::printf("deterministic      %s\n", deterministic ? "yes" : "NO");
-  if (!stats_body.empty()) print_stats_line(stats_body);
 
   return (totals.errors.load() == 0 && deterministic) ? 0 : 1;
 }

@@ -1,0 +1,450 @@
+// serve_throughput — in-process microbenchmark of the serving hot path.
+//
+// No sockets, no pipelining: each scenario drives serve::Server (or one
+// of its parts) directly, so the numbers isolate per-request cost —
+// cache lookup, JSON parse, protocol dispatch, queue hand-off — from
+// transport effects. serve_loadgen measures the whole daemon; this tool
+// answers "what does one request cost, and where".
+//
+// Scenarios:
+//   cached_hit_1t    handle_now() on a warmed key pool, one thread
+//   cached_hit_mt    same, all hardware threads hammering one server
+//   worker_pool_mt   submit() through the bounded queue + worker pool
+//   miss_predict_1t  predict with the cache disabled (parse + eval + dump)
+//   json_parse_1t    Json::parse of a representative predict line
+//   queue_spsc       BoundedQueue push/pop ping between two threads
+//   queue_spsc_batch same, consumer drains with pop_n(64) (server shape)
+//
+// Each scenario reports ops, ops/s, sampled per-op p50/p99 latency, and
+// heap allocations per op (global operator new is instrumented). Output
+// is one JSON object (deterministic key order) to stdout and, with
+// --out FILE, to a file — machine-readable so BENCH_serve.json can track
+// the trajectory across PRs.
+//
+// Usage: serve_throughput [--seconds S] [--threads N] [--out FILE]
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "platforms/platform_db.hpp"
+#include "serve/json.hpp"
+#include "serve/queue.hpp"
+#include "serve/server.hpp"
+
+// ---- Allocation counter ----------------------------------------------------
+// Counts every global operator new so scenarios can report allocs/op.
+// Relaxed atomic: the count only needs to be right, not ordered.
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(a),
+                                   (n + static_cast<std::size_t>(a) - 1) &
+                                       ~(static_cast<std::size_t>(a) - 1)))
+    return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return ::operator new(n, a);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace archline;
+using Clock = std::chrono::steady_clock;
+
+struct Config {
+  double seconds = 1.0;  ///< wall-clock budget per scenario
+  int threads = 0;       ///< 0 = hardware_concurrency
+  std::string out;       ///< also write the JSON object here
+};
+
+struct ScenarioResult {
+  std::string name;
+  std::uint64_t ops = 0;
+  double seconds = 0.0;
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
+  double allocs_per_op = 0.0;
+
+  [[nodiscard]] double ops_per_s() const noexcept {
+    return seconds > 0.0 ? static_cast<double>(ops) / seconds : 0.0;
+  }
+};
+
+double percentile_ns(std::vector<double>& samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t idx = std::min(
+      samples.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(samples.size())));
+  return samples[idx];
+}
+
+/// Runs `op` in a timed loop on one thread. Every 64th op is timed
+/// individually for the latency quantiles; the rest run back-to-back so
+/// the throughput figure is not dominated by clock reads.
+template <typename F>
+ScenarioResult run_single(const std::string& name, double budget_s, F&& op) {
+  ScenarioResult r;
+  r.name = name;
+  std::vector<double> samples;
+  samples.reserve(1 << 20);
+  const auto start = Clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(budget_s));
+  const std::uint64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
+  std::uint64_t ops = 0;
+  for (;;) {
+    for (int i = 0; i < 63; ++i) op();
+    const auto t0 = Clock::now();
+    op();
+    const auto t1 = Clock::now();
+    ops += 64;
+    if (samples.size() < samples.capacity())
+      samples.push_back(
+          std::chrono::duration<double, std::nano>(t1 - t0).count());
+    if (t1 >= deadline) break;
+  }
+  const auto end = Clock::now();
+  const std::uint64_t allocs1 = g_allocs.load(std::memory_order_relaxed);
+  r.ops = ops;
+  r.seconds = std::chrono::duration<double>(end - start).count();
+  r.allocs_per_op =
+      static_cast<double>(allocs1 - allocs0) / static_cast<double>(ops);
+  r.p50_ns = percentile_ns(samples, 0.50);
+  r.p99_ns = percentile_ns(samples, 0.99);
+  return r;
+}
+
+/// Same loop on `threads` threads against shared state; thread 0
+/// contributes the latency samples.
+template <typename F>
+ScenarioResult run_multi(const std::string& name, double budget_s,
+                         int threads, F&& op) {
+  ScenarioResult r;
+  r.name = name;
+  std::vector<double> samples;
+  samples.reserve(1 << 20);
+  std::atomic<std::uint64_t> total_ops{0};
+  const auto start = Clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(budget_s));
+  const std::uint64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      std::uint64_t ops = 0;
+      for (;;) {
+        for (int i = 0; i < 63; ++i) op(t);
+        const auto t0 = Clock::now();
+        op(t);
+        const auto t1 = Clock::now();
+        ops += 64;
+        if (t == 0 && samples.size() < samples.capacity())
+          samples.push_back(
+              std::chrono::duration<double, std::nano>(t1 - t0).count());
+        if (t1 >= deadline) break;
+      }
+      total_ops.fetch_add(ops, std::memory_order_relaxed);
+    });
+  }
+  for (auto& t : pool) t.join();
+  const auto end = Clock::now();
+  const std::uint64_t allocs1 = g_allocs.load(std::memory_order_relaxed);
+  r.ops = total_ops.load();
+  r.seconds = std::chrono::duration<double>(end - start).count();
+  r.allocs_per_op = r.ops ? static_cast<double>(allocs1 - allocs0) /
+                                static_cast<double>(r.ops)
+                          : 0.0;
+  r.p50_ns = percentile_ns(samples, 0.50);
+  r.p99_ns = percentile_ns(samples, 0.99);
+  return r;
+}
+
+/// Distinct predict request lines: platforms x log-spaced intensities
+/// (the same shape serve_loadgen uses, so hit-path numbers transfer).
+std::vector<std::string> make_predict_pool(int keys) {
+  const auto names = platforms::platform_names();
+  std::vector<std::string> pool;
+  pool.reserve(static_cast<std::size_t>(keys));
+  for (int i = 0; i < keys; ++i) {
+    serve::Json req = serve::Json::object();
+    req.set("type", "predict");
+    req.set("platform", names[static_cast<std::size_t>(i) % names.size()]);
+    req.set("flops", 1e9);
+    req.set("intensity",
+            std::exp2(-4.0 + 13.0 * i / std::max(1, keys - 1)));
+    pool.push_back(req.dump());
+  }
+  return pool;
+}
+
+// ---- Scenarios -------------------------------------------------------------
+
+ScenarioResult bench_cached_hit_1t(const Config& cfg,
+                                   const std::vector<std::string>& pool) {
+  serve::Server server;
+  for (const std::string& line : pool) (void)server.handle_now(line);  // warm
+  std::size_t i = 0;
+  std::string out;
+  auto r = run_single("cached_hit_1t", cfg.seconds, [&] {
+    server.handle_into(pool[i], out);
+    if (++i == pool.size()) i = 0;
+  });
+  return r;
+}
+
+ScenarioResult bench_cached_hit_mt(const Config& cfg,
+                                   const std::vector<std::string>& pool,
+                                   int threads) {
+  serve::Server server;
+  for (const std::string& line : pool) (void)server.handle_now(line);
+  struct PerThread {
+    std::size_t i = 0;
+    std::string out;
+    char pad[64];
+  };
+  std::vector<PerThread> state(static_cast<std::size_t>(threads));
+  auto r = run_multi("cached_hit_mt", cfg.seconds, threads, [&](int t) {
+    PerThread& s = state[static_cast<std::size_t>(t)];
+    server.handle_into(pool[s.i], s.out);
+    if (++s.i == pool.size()) s.i = 0;
+  });
+  return r;
+}
+
+ScenarioResult bench_worker_pool_mt(const Config& cfg,
+                                    const std::vector<std::string>& pool,
+                                    int producers) {
+  serve::Server server;
+  server.start();
+  for (const std::string& line : pool) (void)server.handle_now(line);
+  std::atomic<std::uint64_t> submitted{0};
+  std::atomic<std::uint64_t> completed{0};
+  std::size_t next = 0;
+  std::mutex next_mutex;
+  auto r = run_multi("worker_pool_mt", cfg.seconds, producers, [&](int) {
+    std::string line;
+    {
+      std::lock_guard<std::mutex> lock(next_mutex);
+      line = pool[next];
+      if (++next == pool.size()) next = 0;
+    }
+    while (!server.submit(line, [&](std::string&&) {
+      completed.fetch_add(1, std::memory_order_relaxed);
+    })) {
+      std::this_thread::yield();
+    }
+    submitted.fetch_add(1, std::memory_order_relaxed);
+  });
+  // Drain: every submitted done must fire before the server dies.
+  while (completed.load(std::memory_order_acquire) <
+         submitted.load(std::memory_order_acquire))
+    std::this_thread::yield();
+  server.shutdown();
+  return r;
+}
+
+ScenarioResult bench_miss_predict_1t(const Config& cfg,
+                                     const std::vector<std::string>& pool) {
+  serve::ServerOptions opt;
+  opt.cache_capacity = 0;  // every request takes the full miss path
+  serve::Server server(opt);
+  std::size_t i = 0;
+  std::string out;
+  auto r = run_single("miss_predict_1t", cfg.seconds, [&] {
+    server.handle_into(pool[i], out);
+    if (++i == pool.size()) i = 0;
+  });
+  return r;
+}
+
+ScenarioResult bench_json_parse_1t(const Config& cfg,
+                                   const std::vector<std::string>& pool) {
+  std::size_t i = 0;
+  return run_single("json_parse_1t", cfg.seconds, [&] {
+    const serve::Json doc = serve::Json::parse(pool[i]);
+    if (doc.type() != serve::Json::Type::Object) std::abort();
+    if (++i == pool.size()) i = 0;
+  });
+}
+
+ScenarioResult bench_json_parse_insitu_1t(const Config& cfg,
+                                          const std::vector<std::string>&
+                                              pool) {
+  std::size_t i = 0;
+  return run_single("json_parse_insitu_1t", cfg.seconds, [&] {
+    const serve::Json doc = serve::Json::parse_in_situ(pool[i]);
+    if (doc.type() != serve::Json::Type::Object) std::abort();
+    if (++i == pool.size()) i = 0;
+  });
+}
+
+/// One producer pushes, one consumer pops, both full-tilt: the queue
+/// hand-off cost with the notify/wait machinery engaged. `batch` is the
+/// consumer's pop_n size; 1 uses plain pop() (the pre-batching shape,
+/// kept for before/after comparability).
+ScenarioResult bench_queue_spsc(const Config& cfg, const char* name,
+                                std::size_t batch) {
+  serve::BoundedQueue<std::uint64_t> queue(1024);
+  std::atomic<std::uint64_t> popped{0};
+  std::thread consumer([&] {
+    std::uint64_t n = 0;
+    if (batch <= 1) {
+      while (queue.pop()) ++n;
+    } else {
+      std::vector<std::uint64_t> items;
+      items.reserve(batch);
+      for (;;) {
+        items.clear();
+        const std::size_t got = queue.pop_n(items, batch);
+        if (got == 0) break;  // closed and drained
+        n += got;
+      }
+    }
+    popped.store(n, std::memory_order_release);
+  });
+  const auto start = Clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(cfg.seconds));
+  std::uint64_t pushed = 0;
+  while (Clock::now() < deadline) {
+    for (int i = 0; i < 256; ++i) {
+      if (queue.try_push(pushed))
+        ++pushed;
+      else
+        std::this_thread::yield();
+    }
+  }
+  queue.close();
+  consumer.join();
+  const auto end = Clock::now();
+  ScenarioResult r;
+  r.name = name;
+  r.ops = popped.load();
+  r.seconds = std::chrono::duration<double>(end - start).count();
+  return r;
+}
+
+// ---- Report ----------------------------------------------------------------
+
+serve::Json to_json(const ScenarioResult& r) {
+  serve::Json row = serve::Json::object();
+  row.set("ops", r.ops);
+  row.set("seconds", r.seconds);
+  row.set("ops_per_s", r.ops_per_s());
+  row.set("p50_ns", r.p50_ns);
+  row.set("p99_ns", r.p99_ns);
+  row.set("allocs_per_op", r.allocs_per_op);
+  return row;
+}
+
+[[noreturn]] void usage(const char* argv0, int code) {
+  std::fprintf(stderr, "usage: %s [--seconds S] [--threads N] [--out FILE]\n",
+               argv0);
+  std::exit(code);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0], 2);
+      return argv[++i];
+    };
+    if (arg == "--seconds") cfg.seconds = std::atof(value());
+    else if (arg == "--threads") cfg.threads = std::atoi(value());
+    else if (arg == "--out") cfg.out = value();
+    else if (arg == "--help" || arg == "-h") usage(argv[0], 0);
+    else usage(argv[0], 2);
+  }
+  if (cfg.seconds <= 0.0 || cfg.threads < 0) usage(argv[0], 2);
+  const int threads =
+      cfg.threads > 0
+          ? cfg.threads
+          : static_cast<int>(
+                std::max(2u, std::thread::hardware_concurrency()));
+
+  const auto pool = make_predict_pool(64);
+  std::fprintf(stderr,
+               "serve_throughput: %.2f s/scenario, %d threads, "
+               "%zu-key predict pool\n",
+               cfg.seconds, threads, pool.size());
+
+  std::vector<ScenarioResult> results;
+  results.push_back(bench_cached_hit_1t(cfg, pool));
+  results.push_back(bench_cached_hit_mt(cfg, pool, threads));
+  results.push_back(bench_worker_pool_mt(cfg, pool, std::max(1, threads / 2)));
+  results.push_back(bench_miss_predict_1t(cfg, pool));
+  results.push_back(bench_json_parse_1t(cfg, pool));
+  results.push_back(bench_json_parse_insitu_1t(cfg, pool));
+  results.push_back(bench_queue_spsc(cfg, "queue_spsc", 1));
+  results.push_back(bench_queue_spsc(cfg, "queue_spsc_batch", 64));
+
+  for (const ScenarioResult& r : results)
+    std::fprintf(stderr,
+                 "  %-22s %12.0f ops/s   p50 %8.0f ns   p99 %8.0f ns   "
+                 "%6.2f allocs/op\n",
+                 r.name.c_str(), r.ops_per_s(), r.p50_ns, r.p99_ns,
+                 r.allocs_per_op);
+
+  serve::Json out = serve::Json::object();
+  out.set("bench", "serve_throughput");
+  out.set("threads", threads);
+  out.set("seconds_per_scenario", cfg.seconds);
+  serve::Json scenarios = serve::Json::object();
+  for (const ScenarioResult& r : results) scenarios.set(r.name, to_json(r));
+  out.set("scenarios", std::move(scenarios));
+  const std::string doc = out.dump();
+  std::printf("%s\n", doc.c_str());
+  if (!cfg.out.empty()) {
+    if (std::FILE* f = std::fopen(cfg.out.c_str(), "w")) {
+      std::fprintf(f, "%s\n", doc.c_str());
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "serve_throughput: cannot write %s\n",
+                   cfg.out.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

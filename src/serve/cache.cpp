@@ -34,45 +34,72 @@ std::uint64_t ShardedLruCache::hash_key(std::string_view key) noexcept {
 }
 
 std::size_t ShardedLruCache::shard_of(std::string_view key) const noexcept {
-  // FNV-1a's low bits avalanche well (the high bits don't); the
-  // unordered_map inside each shard uses std::hash, so there is no
-  // partition interaction to avoid.
+  // FNV-1a's low bits avalanche well (the high bits don't).
   return static_cast<std::size_t>(hash_key(key) & shard_mask_);
 }
 
-std::optional<std::string> ShardedLruCache::get(std::string_view key) {
-  if (per_shard_capacity_ == 0) return std::nullopt;
-  Shard& shard = shards_[shard_of(key)];
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  const auto it = shard.index.find(key);
-  if (it == shard.index.end()) {
-    ++shard.misses;
-    return std::nullopt;
-  }
-  ++shard.hits;
-  // Refresh recency: splice the node to the front (no reallocation, the
-  // index's string_view keys stay valid).
-  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  return it->second->value;
+auto ShardedLruCache::find_in_shard(Shard& shard, std::uint64_t h,
+                                    std::string_view key)
+    -> std::unordered_multimap<std::uint64_t, std::list<Entry>::iterator,
+                               IdentityHash>::iterator {
+  auto [lo, hi] = shard.index.equal_range(h);
+  for (auto it = lo; it != hi; ++it)
+    if (it->second->key == key) return it;
+  return shard.index.end();
 }
 
-void ShardedLruCache::put(std::string_view key, std::string value) {
-  if (per_shard_capacity_ == 0) return;
-  Shard& shard = shards_[shard_of(key)];
+bool ShardedLruCache::get(std::string_view key, std::string& value_out,
+                          std::uint8_t& tag_out) {
+  if (per_shard_capacity_ == 0) return false;
+  const std::uint64_t h = hash_key(key);
+  Shard& shard = shards_[static_cast<std::size_t>(h & shard_mask_)];
   std::lock_guard<std::mutex> lock(shard.mutex);
-  const auto it = shard.index.find(key);
+  const auto it = find_in_shard(shard, h, key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return false;
+  }
+  ++shard.hits;
+  // Refresh recency: splice the node to the front (no reallocation).
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  // The single copy of the hit path; assign() reuses value_out's
+  // capacity, so a steady-state caller allocates nothing here.
+  value_out.assign(it->second->value);
+  tag_out = it->second->tag;
+  return true;
+}
+
+std::optional<std::string> ShardedLruCache::get(std::string_view key) {
+  std::string value;
+  std::uint8_t tag = 0;
+  if (!get(key, value, tag)) return std::nullopt;
+  return value;
+}
+
+void ShardedLruCache::put(std::string_view key, std::string value,
+                          std::uint8_t tag) {
+  if (per_shard_capacity_ == 0) return;
+  const std::uint64_t h = hash_key(key);
+  Shard& shard = shards_[static_cast<std::size_t>(h & shard_mask_)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = find_in_shard(shard, h, key);
   if (it != shard.index.end()) {
     it->second->value = std::move(value);
+    it->second->tag = tag;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  shard.lru.push_front(Entry{std::string(key), std::move(value)});
-  shard.index.emplace(std::string_view(shard.lru.front().key),
-                      shard.lru.begin());
+  shard.lru.push_front(Entry{std::string(key), std::move(value), h, tag});
+  shard.index.emplace(h, shard.lru.begin());
   ++shard.insertions;
   if (shard.lru.size() > per_shard_capacity_) {
-    const Entry& victim = shard.lru.back();
-    shard.index.erase(std::string_view(victim.key));
+    const auto victim = std::prev(shard.lru.end());
+    auto [lo, hi] = shard.index.equal_range(victim->hash);
+    for (auto vit = lo; vit != hi; ++vit)
+      if (vit->second == victim) {
+        shard.index.erase(vit);
+        break;
+      }
     shard.lru.pop_back();
     ++shard.evictions;
   }

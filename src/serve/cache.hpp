@@ -6,9 +6,20 @@
 // entirely — the hot-path win that makes cached fits ~10^4x cheaper
 // than recomputing them. Keys are sharded by FNV-1a hash so concurrent
 // workers contend on different mutexes; within a shard, entries evict
-// in strict least-recently-used order. Full keys are stored and
-// compared (the hash only picks the shard and bucket), so a hash
-// collision can never serve the wrong response.
+// in strict least-recently-used order.
+//
+// Hot-path design:
+//   * the key is hashed exactly once per operation — the same 64-bit
+//     FNV-1a value selects the shard (low bits) and the bucket inside
+//     the shard's index (identity-hashed multimap), so there is no
+//     second hash pass over the key bytes;
+//   * a hit copies the body exactly once, into a caller-supplied buffer
+//     whose capacity is reused across requests;
+//   * each entry carries a one-byte out-of-band tag (the server stores
+//     the RequestType there), so hits need no in-band prefix stripping.
+//
+// Full keys are stored and compared (the hash only picks the shard and
+// bucket), so a hash collision can never serve the wrong response.
 
 #include <cstdint>
 #include <list>
@@ -32,12 +43,18 @@ class ShardedLruCache {
   ShardedLruCache(const ShardedLruCache&) = delete;
   ShardedLruCache& operator=(const ShardedLruCache&) = delete;
 
-  /// Returns the cached value and refreshes its recency, or nullopt.
+  /// Single-copy hit: assigns the cached body into `value_out` (reusing
+  /// its capacity), writes the entry's tag to `tag_out`, and refreshes
+  /// recency. Returns false on a miss, leaving the outputs untouched.
+  [[nodiscard]] bool get(std::string_view key, std::string& value_out,
+                         std::uint8_t& tag_out);
+
+  /// Value-only convenience overload (tag discarded).
   [[nodiscard]] std::optional<std::string> get(std::string_view key);
 
-  /// Inserts or refreshes key -> value, evicting the shard's LRU entry
-  /// if that shard is full.
-  void put(std::string_view key, std::string value);
+  /// Inserts or refreshes key -> (value, tag), evicting the shard's LRU
+  /// entry if that shard is full.
+  void put(std::string_view key, std::string value, std::uint8_t tag = 0);
 
   struct Stats {
     std::uint64_t hits = 0;
@@ -78,17 +95,36 @@ class ShardedLruCache {
   struct Entry {
     std::string key;
     std::string value;
+    std::uint64_t hash = 0;  ///< FNV-1a of key, computed once at insert
+    std::uint8_t tag = 0;
+  };
+
+  /// The index key IS the precomputed FNV-1a hash; forwarding it as the
+  /// bucket hash avoids a second pass over the key bytes. Collisions
+  /// are resolved by full-key comparison over the equal range.
+  struct IdentityHash {
+    [[nodiscard]] std::size_t operator()(std::uint64_t h) const noexcept {
+      return static_cast<std::size_t>(h);
+    }
   };
 
   struct Shard {
     mutable std::mutex mutex;
     std::list<Entry> lru;  ///< front = most recent
-    std::unordered_map<std::string_view, std::list<Entry>::iterator> index;
+    std::unordered_multimap<std::uint64_t, std::list<Entry>::iterator,
+                            IdentityHash>
+        index;
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;
   };
+
+  /// Locates `key` (hash `h`) in `shard`, or end(). Caller holds the
+  /// shard mutex.
+  [[nodiscard]] static std::unordered_multimap<
+      std::uint64_t, std::list<Entry>::iterator, IdentityHash>::iterator
+  find_in_shard(Shard& shard, std::uint64_t h, std::string_view key);
 
   std::size_t capacity_ = 0;
   std::size_t per_shard_capacity_ = 0;

@@ -31,7 +31,15 @@ double Json::as_number() const {
 
 const std::string& Json::as_string() const {
   if (type_ != Type::String) type_error("string", type_);
+  if (!owned_)
+    throw JsonError(
+        "string is a view into external storage; use as_string_view", 0);
   return str_;
+}
+
+std::string_view Json::as_string_view() const {
+  if (type_ != Type::String) type_error("string", type_);
+  return owned_ ? std::string_view(str_) : view_;
 }
 
 const Json::Array& Json::as_array() const {
@@ -66,6 +74,15 @@ void Json::push_back(Json value) {
   arr_.push_back(std::move(value));
 }
 
+void Json::reserve(std::size_t n) {
+  if (type_ == Type::Array)
+    arr_.reserve(n);
+  else if (type_ == Type::Object)
+    obj_.reserve(n);
+  else
+    type_error("array or object", type_);
+}
+
 double Json::number_or(std::string_view key, double fallback) const {
   const Json* v = find(key);
   if (!v || v->is_null()) return fallback;
@@ -82,7 +99,7 @@ std::string Json::string_or(std::string_view key,
                             std::string_view fallback) const {
   const Json* v = find(key);
   if (!v || v->is_null()) return std::string(fallback);
-  return v->as_string();
+  return std::string(v->as_string_view());
 }
 
 bool Json::operator==(const Json& other) const noexcept {
@@ -91,7 +108,11 @@ bool Json::operator==(const Json& other) const noexcept {
     case Type::Null: return true;
     case Type::Bool: return bool_ == other.bool_;
     case Type::Number: return num_ == other.num_;
-    case Type::String: return str_ == other.str_;
+    case Type::String:
+      // Payload bytes, not storage mode: an owned string equals a view
+      // of the same characters.
+      return (owned_ ? std::string_view(str_) : view_) ==
+             (other.owned_ ? std::string_view(other.str_) : other.view_);
     case Type::Array: return arr_ == other.arr_;
     case Type::Object: return obj_ == other.obj_;
   }
@@ -102,10 +123,15 @@ bool Json::operator==(const Json& other) const noexcept {
 
 namespace {
 
+/// Expected member counts for reserve(): protocol requests are small
+/// flat objects; 8 covers every request shape in one allocation while
+/// wasting little on smaller documents.
+constexpr std::size_t kReserveHint = 8;
+
 class Parser {
  public:
-  Parser(std::string_view text, int max_depth)
-      : text_(text), max_depth_(max_depth) {}
+  Parser(std::string_view text, int max_depth, bool in_situ)
+      : text_(text), max_depth_(max_depth), in_situ_(in_situ) {}
 
   Json run() {
     Json v = value();
@@ -119,6 +145,7 @@ class Parser {
   std::size_t pos_ = 0;
   int depth_ = 0;
   int max_depth_;
+  bool in_situ_;
 
   [[noreturn]] void fail(const std::string& msg) const {
     throw JsonError(msg + " at offset " + std::to_string(pos_), pos_);
@@ -161,7 +188,7 @@ class Parser {
     switch (peek()) {
       case '{': return object();
       case '[': return array();
-      case '"': return Json(string());
+      case '"': return string_value();
       case 't': literal("true"); return Json(true);
       case 'f': literal("false"); return Json(false);
       case 'n': literal("null"); return Json(nullptr);
@@ -179,6 +206,7 @@ class Parser {
       --depth_;
       return obj;
     }
+    obj.reserve(kReserveHint);
     while (true) {
       skip_ws();
       if (eof() || peek() != '"') fail("expected object key string");
@@ -206,6 +234,7 @@ class Parser {
       --depth_;
       return arr;
     }
+    arr.reserve(kReserveHint);
     while (true) {
       arr.push_back(value());
       skip_ws();
@@ -216,6 +245,25 @@ class Parser {
     }
     --depth_;
     return arr;
+  }
+
+  /// Fast scan for a string with no escapes and no control characters.
+  /// On success, `payload` is the raw bytes between the quotes, pos_ is
+  /// past the closing quote, and true is returned. On any complication
+  /// (escape, control char, unterminated) pos_ is left on the opening
+  /// quote for the slow path to re-parse and diagnose.
+  /// Pre: text_[pos_] == '"'.
+  bool scan_simple_string(std::string_view& payload) noexcept {
+    for (std::size_t i = pos_ + 1; i < text_.size(); ++i) {
+      const unsigned char c = static_cast<unsigned char>(text_[i]);
+      if (c == '"') {
+        payload = text_.substr(pos_ + 1, i - pos_ - 1);
+        pos_ = i + 1;
+        return true;
+      }
+      if (c == '\\' || c < 0x20) return false;
+    }
+    return false;
   }
 
   void append_utf8(std::string& out, unsigned code) {
@@ -253,7 +301,29 @@ class Parser {
     return value;
   }
 
+  /// An owned string (object keys always take this form; protocol keys
+  /// fit SSO, so it stays heap-free). Escape-free strings are copied in
+  /// one bulk append instead of char-by-char.
   std::string string() {
+    std::string_view simple;
+    if (scan_simple_string(simple)) return std::string(simple);
+    return slow_string();
+  }
+
+  /// A string VALUE node: under in-situ parsing an escape-free payload
+  /// becomes a view into text_ (zero copies); otherwise it is owned.
+  /// Strings with escapes always materialize owned storage — the
+  /// decoded bytes don't exist in the input.
+  Json string_value() {
+    std::string_view simple;
+    if (scan_simple_string(simple))
+      return in_situ_ ? Json::view(simple) : Json(simple);
+    return Json(slow_string());
+  }
+
+  /// Escape-decoding path, also the diagnostic path for malformed
+  /// strings (the fast scan rejects without consuming input).
+  std::string slow_string() {
     expect('"');
     std::string out;
     while (true) {
@@ -323,7 +393,23 @@ class Parser {
         fail("expected digits in exponent");
       while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
     }
-    const std::string token(text_.substr(start, pos_ - start));
+    // strtod from a stack buffer: no heap traffic, and unlike
+    // from_chars it keeps C-locale-independent underflow-to-zero
+    // semantics identical to the previous implementation. Any number
+    // too long for the buffer (absurd but legal JSON) takes the
+    // original std::string path.
+    const std::size_t len = pos_ - start;
+    char buf[64];
+    if (len < sizeof buf) {
+      std::memcpy(buf, text_.data() + start, len);
+      buf[len] = '\0';
+      char* end = nullptr;
+      const double v = std::strtod(buf, &end);
+      if (end != buf + len) fail("invalid number");
+      if (!std::isfinite(v)) fail("number out of range");
+      return Json(v);
+    }
+    const std::string token(text_.substr(start, len));
     char* end = nullptr;
     const double v = std::strtod(token.c_str(), &end);
     if (end != token.c_str() + token.size()) fail("invalid number");
@@ -332,7 +418,7 @@ class Parser {
   }
 };
 
-void dump_string(const std::string& s, std::string& out) {
+void dump_string(std::string_view s, std::string& out) {
   out += '"';
   for (const char ch : s) {
     const unsigned char c = static_cast<unsigned char>(ch);
@@ -360,7 +446,11 @@ void dump_string(const std::string& s, std::string& out) {
 }  // namespace
 
 Json Json::parse(std::string_view text, int max_depth) {
-  return Parser(text, max_depth).run();
+  return Parser(text, max_depth, /*in_situ=*/false).run();
+}
+
+Json Json::parse_in_situ(std::string_view text, int max_depth) {
+  return Parser(text, max_depth, /*in_situ=*/true).run();
 }
 
 std::string Json::format_number(double v) {
@@ -387,7 +477,9 @@ void Json::dump_to(std::string& out) const {
     case Type::Null: out += "null"; break;
     case Type::Bool: out += bool_ ? "true" : "false"; break;
     case Type::Number: out += format_number(num_); break;
-    case Type::String: dump_string(str_, out); break;
+    case Type::String:
+      dump_string(owned_ ? std::string_view(str_) : view_, out);
+      break;
     case Type::Array: {
       out += '[';
       for (std::size_t i = 0; i < arr_.size(); ++i) {

@@ -6,11 +6,24 @@
 //   * parse() accepts strict JSON (RFC 8259) with a recursion-depth limit
 //     and rejects trailing garbage, so a request line is either one
 //     complete document or an error;
+//   * parse_in_situ() accepts the same grammar but stores escape-free
+//     string payloads as views into the caller's buffer — the
+//     low-allocation mode the request hot path uses (see below);
 //   * dump() is deterministic: objects serialize in insertion order,
 //     numbers print via a fixed shortest-round-trip format, and no
 //     whitespace is emitted. Byte-identical requests therefore produce
 //     byte-identical responses, which the response cache and the
 //     loadgen's determinism check both rely on.
+//
+// Allocation discipline (the request path parses one document per
+// miss, so this is hot):
+//   * object/array storage is reserved ahead of the first member;
+//   * number parsing never touches the heap;
+//   * strings without escape sequences are appended in one bulk copy —
+//     or, under parse_in_situ, not copied at all (the node references
+//     the input buffer; see as_string_view / Json::view lifetime
+//     rules). Object KEYS are always owned std::strings — protocol
+//     keys are short enough for SSO, so this costs no heap either.
 
 #include <cstdint>
 #include <optional>
@@ -62,6 +75,19 @@ class Json {
   [[nodiscard]] static Json array() { return Json(Array{}); }
   [[nodiscard]] static Json object() { return Json(Object{}); }
 
+  /// A string node that REFERENCES external bytes without copying them.
+  /// The caller must keep the referenced buffer alive and unmoved for
+  /// the node's (and any copy's) lifetime. This is the building block
+  /// of parse_in_situ; it is also safe for string literals. Such nodes
+  /// answer as_string_view() but not as_string().
+  [[nodiscard]] static Json view(std::string_view s) noexcept {
+    Json j;
+    j.type_ = Type::String;
+    j.view_ = s;
+    j.owned_ = false;
+    return j;
+  }
+
   [[nodiscard]] Type type() const noexcept { return type_; }
   [[nodiscard]] bool is_null() const noexcept { return type_ == Type::Null; }
   [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::Bool; }
@@ -79,7 +105,13 @@ class Json {
   // Checked accessors; throw JsonError(position 0) on type mismatch.
   [[nodiscard]] bool as_bool() const;
   [[nodiscard]] double as_number() const;
+  /// Owned strings only — throws JsonError for Json::view /
+  /// parse_in_situ nodes (their payload has no std::string to
+  /// reference). Prefer as_string_view(), which works for both.
   [[nodiscard]] const std::string& as_string() const;
+  /// The string payload, owned or viewed. For view nodes the result
+  /// aliases the external buffer; for owned nodes it aliases this node.
+  [[nodiscard]] std::string_view as_string_view() const;
   [[nodiscard]] const Array& as_array() const;
   [[nodiscard]] const Object& as_object() const;
 
@@ -95,6 +127,11 @@ class Json {
   /// Appends to an array. Only valid on arrays.
   void push_back(Json value);
 
+  /// Reserves member storage ahead of insertion (arrays and objects
+  /// only) — the parser uses this so small documents cost one container
+  /// allocation, not a growth series.
+  void reserve(std::size_t n);
+
   // Typed lookups with defaults; throw JsonError if present but the
   // wrong type.
   [[nodiscard]] double number_or(std::string_view key, double fallback) const;
@@ -107,8 +144,18 @@ class Json {
   // ---- Wire format --------------------------------------------------
 
   /// Parses one complete JSON document; trailing non-whitespace is an
-  /// error. `max_depth` bounds nesting of arrays/objects.
+  /// error. `max_depth` bounds nesting of arrays/objects. Every string
+  /// payload is owned — the result is independent of `text`.
   [[nodiscard]] static Json parse(std::string_view text, int max_depth = 64);
+
+  /// Low-allocation parse: identical grammar and error behavior, but
+  /// escape-free string VALUES become views into `text` (keys and
+  /// escaped strings stay owned). The result — and any copy of it or of
+  /// its members — is only valid while `text`'s bytes stay alive and
+  /// unmoved. The protocol layer uses this for request lines, which
+  /// outlive the parse by construction.
+  [[nodiscard]] static Json parse_in_situ(std::string_view text,
+                                          int max_depth = 64);
 
   /// Compact deterministic serialization (no whitespace, insertion-order
   /// objects, fixed number format).
@@ -124,8 +171,10 @@ class Json {
  private:
   Type type_;
   bool bool_ = false;
+  bool owned_ = true;  ///< String payload lives in str_ (else view_)
   double num_ = 0.0;
   std::string str_;
+  std::string_view view_;
   Array arr_;
   Object obj_;
 };

@@ -1,5 +1,6 @@
 #include "serve/metrics.hpp"
 
+#include <bit>
 #include <cmath>
 #include <cstdio>
 
@@ -10,11 +11,16 @@ namespace archline::serve {
 namespace {
 
 /// Bucket index for a latency: floor(log2(nanoseconds)), clamped.
+/// Integer bit_width instead of floor(log2()) — this runs once per
+/// completed request, and the histogram's own granularity makes the two
+/// indistinguishable.
 int bucket_for(double seconds) noexcept {
   const double ns = seconds * 1e9;
   if (!(ns >= 1.0)) return 0;
-  const int b = static_cast<int>(std::floor(std::log2(ns)));
-  return b >= LatencyHistogram::kBuckets ? LatencyHistogram::kBuckets - 1 : b;
+  // >= 2^63 ns (~292 years) lands in the top bucket; also keeps the
+  // double->uint64 cast below in range.
+  if (ns >= 9.223372036854776e18) return LatencyHistogram::kBuckets - 1;
+  return std::bit_width(static_cast<std::uint64_t>(ns)) - 1;
 }
 
 }  // namespace
@@ -26,12 +32,17 @@ void LatencyHistogram::record(double seconds) noexcept {
 
 LatencyHistogram::Snapshot LatencyHistogram::snapshot() const noexcept {
   Snapshot s;
-  for (int i = 0; i < kBuckets; ++i) {
-    s.counts[static_cast<std::size_t>(i)] =
-        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
-    s.total += s.counts[static_cast<std::size_t>(i)];
-  }
+  accumulate(s);
   return s;
+}
+
+void LatencyHistogram::accumulate(Snapshot& out) const noexcept {
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t c =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    out.counts[static_cast<std::size_t>(i)] += c;
+    out.total += c;
+  }
 }
 
 double LatencyHistogram::Snapshot::quantile(double q) const noexcept {
@@ -63,12 +74,41 @@ double LatencyHistogram::Snapshot::quantile(double q) const noexcept {
 
 Metrics::Metrics() : start_(std::chrono::steady_clock::now()) {}
 
+Metrics::CompletionShard& Metrics::completion_shard() noexcept {
+  // Threads claim shard indices round-robin on first use; with 8 shards
+  // and worker pools of comparable size, each worker effectively owns a
+  // shard. The index is process-global so a thread touching several
+  // Metrics instances uses the same stripe in each.
+  static std::atomic<unsigned> next_thread{0};
+  static thread_local const unsigned index =
+      next_thread.fetch_add(1, std::memory_order_relaxed);
+  return completion_shards_[index % kCompletionShards];
+}
+
 void Metrics::on_completed(RequestType type, bool ok,
                            double latency_s) noexcept {
-  by_type_[static_cast<std::size_t>(type)].fetch_add(
+  CompletionShard& shard = completion_shard();
+  shard.by_type[static_cast<std::size_t>(type)].fetch_add(
       1, std::memory_order_relaxed);
-  if (!ok) errors_.fetch_add(1, std::memory_order_relaxed);
-  latency_.record(latency_s);
+  if (!ok) shard.errors.fetch_add(1, std::memory_order_relaxed);
+  shard.latency.record(latency_s);
+}
+
+void Metrics::on_completed(RequestType type, bool ok) noexcept {
+  CompletionShard& shard = completion_shard();
+  shard.by_type[static_cast<std::size_t>(type)].fetch_add(
+      1, std::memory_order_relaxed);
+  if (!ok) shard.errors.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool Metrics::sample_latency_now() noexcept {
+  // The tick lives in the thread's home shard — the same cache line its
+  // completion counters already dirty — so this costs no extra
+  // coherence traffic. Relaxed is fine: the tick only spaces samples,
+  // it orders nothing.
+  const std::uint64_t t = completion_shard().sample_tick.fetch_add(
+      1, std::memory_order_relaxed);
+  return t < kLatencyWarmupSamples || (t % kLatencySampleEvery) == 0;
 }
 
 void Metrics::on_rejected() noexcept {
@@ -107,11 +147,15 @@ void Metrics::on_queue_depth(std::size_t depth) noexcept {
 
 Metrics::Snapshot Metrics::snapshot() const noexcept {
   Snapshot s;
-  for (std::size_t i = 0; i < by_type_.size(); ++i) {
-    s.by_type[i] = by_type_[i].load(std::memory_order_relaxed);
-    s.completed += s.by_type[i];
+  for (const CompletionShard& shard : completion_shards_) {
+    for (std::size_t i = 0; i < s.by_type.size(); ++i) {
+      const std::uint64_t c = shard.by_type[i].load(std::memory_order_relaxed);
+      s.by_type[i] += c;
+      s.completed += c;
+    }
+    s.errors += shard.errors.load(std::memory_order_relaxed);
+    shard.latency.accumulate(s.latency);
   }
-  s.errors = errors_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
   s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
   s.connections_open = connections_open_.load(std::memory_order_relaxed);
@@ -130,7 +174,6 @@ Metrics::Snapshot Metrics::snapshot() const noexcept {
                    .count();
   s.qps = s.uptime_s > 0.0 ? static_cast<double>(s.completed) / s.uptime_s
                            : 0.0;
-  s.latency = latency_.snapshot();
   return s;
 }
 

@@ -37,6 +37,10 @@ class LatencyHistogram {
 
   [[nodiscard]] Snapshot snapshot() const noexcept;
 
+  /// Adds this histogram's counts into `out` — how Metrics merges its
+  /// per-worker histogram shards into one snapshot.
+  void accumulate(Snapshot& out) const noexcept;
+
  private:
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
 };
@@ -50,6 +54,24 @@ class Metrics {
   /// Request finished (from cache or evaluated). `ok` is the protocol
   /// success flag; latency covers submit-to-response.
   void on_completed(RequestType type, bool ok, double latency_s) noexcept;
+
+  /// Request finished but its latency was not measured (the caller's
+  /// sample_latency_now() said skip). Counts are exact either way; only
+  /// the histogram is sampled.
+  void on_completed(RequestType type, bool ok) noexcept;
+
+  /// Should the caller time the request it is about to run? Latency
+  /// timestamps cost two clock reads per request — a measurable slice
+  /// of a cache hit — so after `kLatencyWarmupSamples` requests on this
+  /// thread's shard, only every `kLatencySampleEvery`-th request is
+  /// timed. The warm-up keeps small workloads (tests, short sessions)
+  /// exact; the steady state amortizes the clocks to ~zero. Quantiles
+  /// from the sampled histogram are unbiased — sampling is by position,
+  /// not by value.
+  [[nodiscard]] bool sample_latency_now() noexcept;
+
+  static constexpr std::uint64_t kLatencyWarmupSamples = 256;
+  static constexpr std::uint64_t kLatencySampleEvery = 16;
 
   /// Request rejected at admission because the queue was full.
   void on_rejected() noexcept;
@@ -96,9 +118,25 @@ class Metrics {
       const;
 
  private:
+  /// Completion counters are the per-request write hot spot (every
+  /// worker bumps them for every request), so they are striped across
+  /// cache-line-aligned shards: each thread picks a home shard once and
+  /// keeps its increments out of the other workers' cache lines.
+  /// Snapshot readers merge all shards. The remaining counters are rare
+  /// events (rejections, connection lifecycle) and stay unsharded.
+  static constexpr std::size_t kCompletionShards = 8;
+  struct alignas(64) CompletionShard {
+    std::array<std::atomic<std::uint64_t>, 7> by_type{};
+    std::atomic<std::uint64_t> errors{0};
+    std::atomic<std::uint64_t> sample_tick{0};  ///< sample_latency_now state
+    LatencyHistogram latency;
+  };
+
+  /// The calling thread's home shard (round-robin assigned on first use).
+  [[nodiscard]] CompletionShard& completion_shard() noexcept;
+
   std::chrono::steady_clock::time_point start_;
-  std::array<std::atomic<std::uint64_t>, 7> by_type_{};
-  std::atomic<std::uint64_t> errors_{0};
+  std::array<CompletionShard, kCompletionShards> completion_shards_{};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> deadline_exceeded_{0};
   std::atomic<std::uint64_t> queue_depth_{0};
@@ -107,7 +145,6 @@ class Metrics {
   std::atomic<std::uint64_t> connections_accepted_{0};
   std::atomic<std::uint64_t> connections_rejected_{0};
   std::atomic<std::uint64_t> connections_idle_closed_{0};
-  LatencyHistogram latency_;
 };
 
 }  // namespace archline::serve

@@ -39,7 +39,7 @@ std::string require_string(const Json& req, std::string_view key) {
   if (!v) bad("missing required field \"" + std::string(key) + "\"");
   if (!v->is_string())
     bad("field \"" + std::string(key) + "\" must be a string");
-  return v->as_string();
+  return std::string(v->as_string_view());
 }
 
 core::Precision parse_precision(const Json& req) {
@@ -388,14 +388,29 @@ RequestType request_type_from(std::string_view name) noexcept {
   return RequestType::Invalid;
 }
 
+namespace {
+
+/// Renders the structured error object into `out` (cleared first, heap
+/// capacity reused). The code/message payloads are referenced, not
+/// copied — they only need to outlive the dump below.
+void error_body_into(std::string_view code, std::string_view message,
+                     const Json* id, std::string& out) {
+  Json j = Json::object();
+  j.set("ok", false);
+  if (id) j.set("id", *id);
+  j.set("error", Json::view(code));
+  j.set("message", Json::view(message));
+  out.clear();
+  j.dump_to(out);
+}
+
+}  // namespace
+
 std::string error_body(std::string_view code, std::string_view message,
                        const Json* id) {
-  Json out = Json::object();
-  out.set("ok", false);
-  if (id) out.set("id", *id);
-  out.set("error", code);
-  out.set("message", message);
-  return out.dump();
+  std::string out;
+  error_body_into(code, message, id, out);
+  return out;
 }
 
 const std::string& overloaded_body() {
@@ -412,32 +427,47 @@ const std::string& deadline_exceeded_body() {
 
 Reply handle_line(std::string_view line, const ProtocolLimits& limits) {
   Reply reply;
+  handle_line(line, limits, reply);
+  return reply;
+}
+
+void handle_line(std::string_view line, const ProtocolLimits& limits,
+                 Reply& reply) {
+  // Full reset: callers reuse one Reply across requests, so stale
+  // routing facts from the previous request must not leak through.
+  reply.type = RequestType::Invalid;
+  reply.ok = false;
+  reply.cacheable = false;
+  reply.body.clear();
   if (line.size() > limits.max_request_bytes) {
-    reply.body = error_body("too_large",
-                            "request exceeds " +
-                                std::to_string(limits.max_request_bytes) +
-                                " bytes");
-    return reply;
+    error_body_into("too_large",
+                    "request exceeds " +
+                        std::to_string(limits.max_request_bytes) + " bytes",
+                    nullptr, reply.body);
+    return;
   }
+  // In-situ parse: escape-free string values become views into `line`,
+  // which outlives everything below.
   Json req;
   try {
-    req = Json::parse(line, limits.max_json_depth);
+    req = Json::parse_in_situ(line, limits.max_json_depth);
   } catch (const JsonError& e) {
-    reply.body = error_body("parse_error", e.what());
-    return reply;
+    error_body_into("parse_error", e.what(), nullptr, reply.body);
+    return;
   }
   if (!req.is_object()) {
-    reply.body = error_body("bad_request", "request must be a JSON object");
-    return reply;
+    error_body_into("bad_request", "request must be a JSON object", nullptr,
+                    reply.body);
+    return;
   }
   const Json* id = req.find("id");
   const Json* type_field = req.find("type");
   if (!type_field || !type_field->is_string()) {
-    reply.body = error_body("bad_request",
-                            "missing required string field \"type\"", id);
-    return reply;
+    error_body_into("bad_request", "missing required string field \"type\"",
+                    id, reply.body);
+    return;
   }
-  const RequestType type = request_type_from(type_field->as_string());
+  const RequestType type = request_type_from(type_field->as_string_view());
   reply.type = type;
   try {
     Json out;
@@ -450,22 +480,22 @@ Reply handle_line(std::string_view line, const ProtocolLimits& limits) {
       case RequestType::Stats:
         // Evaluated by Server against live metrics; flagged here only.
         reply.ok = true;
-        return reply;
+        return;
       case RequestType::Invalid:
-        reply.body = error_body(
-            "bad_request",
-            "unknown request type \"" + type_field->as_string() + "\"", id);
-        return reply;
+        error_body_into("bad_request",
+                        "unknown request type \"" +
+                            std::string(type_field->as_string_view()) + "\"",
+                        id, reply.body);
+        return;
     }
-    reply.body = out.dump();
+    out.dump_to(reply.body);
     reply.ok = true;
     reply.cacheable = true;
   } catch (const RequestError& e) {
-    reply.body = error_body(e.code, e.message, id);
+    error_body_into(e.code, e.message, id, reply.body);
   } catch (const std::exception& e) {
-    reply.body = error_body("internal", e.what(), id);
+    error_body_into("internal", e.what(), id, reply.body);
   }
-  return reply;
 }
 
 }  // namespace archline::serve

@@ -63,6 +63,15 @@ struct ProtocolLimits {
 [[nodiscard]] Reply handle_line(std::string_view line,
                                 const ProtocolLimits& limits = {});
 
+/// Same, rendering into a caller-owned Reply whose body capacity is
+/// reused across calls — the hot-path form (Server workers keep one
+/// Reply per thread). All fields of `reply` are reset; the request is
+/// parsed in situ (no copies of `line`'s string payloads), so `line`
+/// must stay alive for the duration of the call — which it trivially
+/// does. Never throws.
+void handle_line(std::string_view line, const ProtocolLimits& limits,
+                 Reply& reply);
+
 /// Renders a structured error reply. `code` is a stable machine-readable
 /// token ("bad_request", "unknown_platform", "overloaded", ...);
 /// `id` (may be null) is the request's "id" member, echoed back.

@@ -4,10 +4,33 @@
 // Admission control for the server: producers (connection threads) use
 // try_push, which fails fast when the queue is at capacity instead of
 // growing without bound — the caller turns that into an "overloaded"
-// reply. Consumers (workers) block in pop until an item arrives or the
-// queue is closed; after close(), remaining items still drain, which is
-// what makes graceful shutdown "finish everything admitted, admit
-// nothing new".
+// reply. Consumers (workers) block in pop/pop_n until an item arrives
+// or the queue is closed; after close(), remaining items still drain,
+// which is what makes graceful shutdown "finish everything admitted,
+// admit nothing new".
+//
+// Hot-path design:
+//   * try_push signals the condition variable only when a consumer is
+//     blocked AND this push is the empty -> non-empty transition. A
+//     consumer can only block on an empty queue, and once one has been
+//     signalled it stays registered on the condvar until it is
+//     scheduled — so signalling again for every push in a burst is a
+//     futex syscall per push buying no additional wake-up. One signal
+//     per transition is enough to start a drain;
+//   * consumers chain wake-ups: a pop/pop_n that leaves items behind
+//     while siblings are blocked signals one of them, so a burst fans
+//     out across the pool without the producer paying per-push
+//     syscalls (each woken worker wakes the next);
+//   * pop_n hands a consumer up to `max_items` jobs in one lock
+//     acquisition, and both pop and pop_n report the post-pop depth, so
+//     callers never take the lock a second time just to read size().
+//
+// Liveness: a consumer blocks only while the queue is empty (checked
+// under the mutex), so "blocked consumer + non-empty queue" can only
+// arise when another consumer took items and left some behind — exactly
+// the case the chained signal covers. Every push onto an empty queue
+// signals if anyone is blocked, and close() wakes everyone; no item can
+// be stranded with every consumer asleep.
 
 #include <condition_variable>
 #include <cstddef>
@@ -15,6 +38,7 @@
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 namespace archline::serve {
 
@@ -29,25 +53,60 @@ class BoundedQueue {
   /// Enqueues unless full or closed; never blocks. On success writes
   /// the resulting depth to depth_out (for the queue-depth gauge).
   [[nodiscard]] bool try_push(T item, std::size_t* depth_out = nullptr) {
+    bool wake;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
       if (depth_out) *depth_out = items_.size();
+      // Empty -> non-empty transition with someone blocked: one signal
+      // starts the drain; consumers chain further wake-ups themselves.
+      wake = waiters_ > 0 && items_.size() == 1;
     }
-    not_empty_.notify_one();
+    if (wake) not_empty_.notify_one();
     return true;
   }
 
   /// Blocks until an item is available or the queue is closed and
   /// drained; nullopt means "closed and empty" (consumer should exit).
-  [[nodiscard]] std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
+  /// On success writes the post-pop depth to depth_out.
+  [[nodiscard]] std::optional<T> pop(std::size_t* depth_out = nullptr) {
+    bool wake;
+    std::optional<T> item;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wait_not_empty(lock);
+      if (items_.empty()) return std::nullopt;
+      item.emplace(std::move(items_.front()));
+      items_.pop_front();
+      if (depth_out) *depth_out = items_.size();
+      wake = waiters_ > 0 && !items_.empty();
+    }
+    if (wake) not_empty_.notify_one();  // chain: work remains for a sibling
     return item;
+  }
+
+  /// Blocks like pop, then appends up to `max_items` items to `out` in
+  /// one critical section. Returns the number taken; 0 means "closed
+  /// and empty". On success writes the post-pop depth to depth_out.
+  /// Items already in `out` are left untouched.
+  [[nodiscard]] std::size_t pop_n(std::vector<T>& out, std::size_t max_items,
+                                  std::size_t* depth_out = nullptr) {
+    bool wake;
+    std::size_t n;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wait_not_empty(lock);
+      n = std::min(max_items, items_.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+      if (depth_out) *depth_out = items_.size();
+      wake = waiters_ > 0 && !items_.empty();
+    }
+    if (wake) not_empty_.notify_one();  // chain: work remains for a sibling
+    return n;
   }
 
   /// Rejects future pushes and wakes all blocked consumers. Items
@@ -81,10 +140,22 @@ class BoundedQueue {
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
  private:
+  /// Blocks until there is an item or the queue is closed, counting
+  /// this consumer as a waiter so pushes and sibling pops know whether
+  /// a signal can reach anyone.
+  void wait_not_empty(std::unique_lock<std::mutex>& lock) {
+    if (!closed_ && items_.empty()) {
+      ++waiters_;
+      not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      --waiters_;
+    }
+  }
+
   const std::size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::deque<T> items_;
+  std::size_t waiters_ = 0;
   bool closed_ = false;
 };
 

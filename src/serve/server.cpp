@@ -40,7 +40,7 @@ void Server::start() {
   std::lock_guard<std::mutex> lock(lifecycle_mutex_);
   if (running_.load(std::memory_order_acquire)) return;
   // A previous shutdown() closed the queue; reopen so submit() admits
-  // again and fresh workers block in pop() instead of exiting at once.
+  // again and fresh workers block in pop_n() instead of exiting at once.
   queue_.reopen();
   workers_.reserve(static_cast<std::size_t>(options_.threads));
   for (int i = 0; i < options_.threads; ++i)
@@ -58,8 +58,13 @@ bool Server::submit(std::string line, Done done) {
 }
 
 bool Server::submit(std::string line, Done done, Clock::time_point deadline) {
+  // `admitted` anchors queue-inclusive latency; like handle_into, it is
+  // only stamped for requests whose latency is sampled.
   Job job{std::move(line), std::move(done),
-          std::chrono::steady_clock::now(), deadline};
+          metrics_.sample_latency_now()
+              ? std::chrono::steady_clock::now()
+              : std::chrono::steady_clock::time_point{},
+          deadline};
   std::size_t depth = 0;
   if (!queue_.try_push(std::move(job), &depth)) {
     metrics_.on_rejected();
@@ -70,13 +75,35 @@ bool Server::submit(std::string line, Done done, Clock::time_point deadline) {
 }
 
 std::string Server::handle_now(std::string_view line) {
-  return execute(line, std::chrono::steady_clock::now());
+  std::string out;
+  handle_into(line, out);
+  return out;
 }
 
-std::string Server::execute(
-    std::string_view line, std::chrono::steady_clock::time_point started) {
+void Server::handle_into(std::string_view line, std::string& out) {
+  // Donate the caller's capacity to the reply buffer and hand it back
+  // afterwards: repeated calls with the same `out` settle into zero
+  // allocations on the cache-hit path. The start timestamp is taken
+  // only when this request's latency is sampled (default-constructed
+  // time_point = unsampled).
+  Reply reply;
+  reply.body.swap(out);
+  const auto started = metrics_.sample_latency_now()
+                           ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point{};
+  execute_into(line, started, reply);
+  out.swap(reply.body);
+}
+
+void Server::execute_into(
+    std::string_view line, std::chrono::steady_clock::time_point started,
+    Reply& reply) {
   const std::string_view key = trim(line);
   const auto finish = [&](RequestType type, bool ok) {
+    if (started == std::chrono::steady_clock::time_point{}) {
+      metrics_.on_completed(type, ok);  // counted, latency unsampled
+      return;
+    }
     const double latency =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       started)
@@ -84,31 +111,29 @@ std::string Server::execute(
     metrics_.on_completed(type, ok, latency);
   };
 
-  // Hot path: a byte-identical request skips parsing entirely. Cached
-  // values carry a one-byte RequestType tag so the hit still counts
-  // under the right type.
-  if (std::optional<std::string> hit = cache_.get(key)) {
-    const auto type = static_cast<RequestType>((*hit)[0]);
-    std::string body = hit->substr(1);
-    finish(type, true);
-    return body;
+  // Hot path: a byte-identical request skips parsing entirely. The
+  // RequestType rides out-of-band as the entry's tag and the body is
+  // copied exactly once, into reply.body's reused capacity.
+  reply.body.clear();
+  std::uint8_t tag = 0;
+  if (cache_.get(key, reply.body, tag)) {
+    reply.type = static_cast<RequestType>(tag);
+    reply.ok = true;
+    reply.cacheable = true;
+    finish(reply.type, true);
+    return;
   }
 
-  Reply reply = handle_line(key, options_.limits);
+  handle_line(key, options_.limits, reply);
   if (reply.type == RequestType::Stats && reply.ok)
     reply.body = stats_body();
-  if (reply.ok && reply.cacheable) {
-    std::string tagged;
-    tagged.reserve(reply.body.size() + 1);
-    tagged += static_cast<char>(reply.type);
-    tagged += reply.body;
-    cache_.put(key, std::move(tagged));
-  }
+  if (reply.ok && reply.cacheable)
+    cache_.put(key, std::string(reply.body),
+               static_cast<std::uint8_t>(reply.type));
   finish(reply.type, reply.ok);
-  return std::move(reply.body);
 }
 
-void Server::run_job(Job& job) {
+void Server::run_job(Job& job, Reply& scratch) {
   // A job that out-waited its deadline in the queue is answered with
   // the canned error instead of burning a worker on a reply the client
   // has likely given up on.
@@ -118,14 +143,25 @@ void Server::run_job(Job& job) {
     job.done(std::string(deadline_exceeded_body()));
     return;
   }
-  std::string response = execute(job.line, job.admitted);
-  job.done(std::move(response));
+  execute_into(job.line, job.admitted, scratch);
+  // Ownership of the body transfers to the transport; the scratch
+  // buffer re-grows on the next request (one allocation per response is
+  // the floor while `done` takes ownership).
+  job.done(std::move(scratch.body));
 }
 
 void Server::worker_loop() {
-  while (std::optional<Job> job = queue_.pop()) {
-    run_job(*job);
-    metrics_.on_queue_depth(queue_.size());
+  std::vector<Job> batch;
+  batch.reserve(kWorkerBatch);
+  Reply scratch;
+  for (;;) {
+    batch.clear();
+    std::size_t depth = 0;
+    if (queue_.pop_n(batch, kWorkerBatch, &depth) == 0) break;
+    // One gauge update per batch, using the depth pop_n already
+    // observed — the old per-job queue_.size() lock crossing is gone.
+    metrics_.on_queue_depth(depth);
+    for (Job& job : batch) run_job(job, scratch);
   }
 }
 
@@ -137,29 +173,52 @@ void Server::shutdown() {
   workers_.clear();
   // If shutdown raced start (or start was never called), drain whatever
   // was admitted on this thread so every submit()'s done still fires.
-  while (std::optional<Job> job = queue_.pop()) run_job(*job);
+  Reply scratch;
+  while (std::optional<Job> job = queue_.pop()) run_job(*job, scratch);
   metrics_.on_queue_depth(0);
   running_.store(false, std::memory_order_release);
 }
 
 // ---- OrderedWriter --------------------------------------------------------
 
-void OrderedWriter::complete(std::uint64_t seq, std::string&& body) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  if (seq != next_to_write_) {
-    out_of_order_.emplace(seq, std::move(body));
-    return;
+void OrderedWriter::flush_ready(std::unique_lock<std::mutex>& lock) {
+  while (!out_of_order_.empty() &&
+         out_of_order_.begin()->first == next_to_write_) {
+    flush_batch_.clear();
+    auto it = out_of_order_.begin();
+    while (it != out_of_order_.end() &&
+           it->first == next_to_write_ + flush_batch_.size()) {
+      flush_batch_.push_back(std::move(it->second));
+      it = out_of_order_.erase(it);
+    }
+    lock.unlock();
+    for (const std::string& body : flush_batch_) sink_(body);
+    lock.lock();
+    next_to_write_ += flush_batch_.size();
   }
-  sink_(body);
-  ++next_to_write_;
-  auto it = out_of_order_.begin();
-  while (it != out_of_order_.end() && it->first == next_to_write_) {
-    sink_(it->second);
-    ++next_to_write_;
-    it = out_of_order_.erase(it);
-  }
+  flushing_ = false;
   if (next_to_write_ == sequence_.load(std::memory_order_acquire))
     all_done_.notify_all();
+}
+
+void OrderedWriter::complete(std::uint64_t seq, std::string&& body) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Fast path: this response is the next to write, nothing is buffered,
+  // and nobody else owns the sink — write it directly, without ever
+  // parking it in the map, and without holding the mutex across sink_.
+  if (!flushing_ && seq == next_to_write_ && out_of_order_.empty()) {
+    flushing_ = true;
+    lock.unlock();
+    sink_(body);
+    lock.lock();
+    ++next_to_write_;
+    flush_ready(lock);
+    return;
+  }
+  out_of_order_.emplace(seq, std::move(body));
+  if (flushing_ || out_of_order_.begin()->first != next_to_write_) return;
+  flushing_ = true;
+  flush_ready(lock);
 }
 
 std::size_t OrderedWriter::pending() const {

@@ -3,18 +3,28 @@
 //
 // Architecture (one box, three moving parts):
 //
-//   submit(line) --try_push--> BoundedQueue --pop--> worker pool
-//        |  full?                                       |
-//        v                                              v
+//   submit(line) --try_push--> BoundedQueue --pop_n--> worker pool
+//        |  full?                                        |
+//        v                                               v
 //   "overloaded" reply                      cache lookup -> protocol
-//                                                       |
-//                                           done(response) callback
+//                                                        |
+//                                            done(response) callback
 //
 // The transport (TCP listener, stdio loop, in-process loadgen) owns
 // connections and ordering; the Server owns admission, execution,
 // caching, and metrics. Responses are delivered by callback from worker
 // threads; OrderedWriter (below) restores per-connection FIFO order
 // when requests from one connection complete out of order.
+//
+// Hot-path invariants (see docs/SERVER.md "Performance"):
+//   * a cache hit copies the response body exactly once, into a buffer
+//     whose capacity is reused across requests (the RequestType rides
+//     out-of-band as the cache entry's tag, so there is no prefix to
+//     strip);
+//   * workers drain the queue in batches (one lock crossing per batch,
+//     not three per job) and only wake sleeping peers when one exists;
+//   * in-process callers can use handle_into() to execute into a
+//     caller-owned buffer — the zero-allocation steady state.
 
 #include <atomic>
 #include <chrono>
@@ -97,6 +107,12 @@ class Server {
   /// the worker pool.
   [[nodiscard]] std::string handle_now(std::string_view line);
 
+  /// Synchronous execution into a caller-owned buffer whose capacity is
+  /// reused across calls — the zero-allocation steady state for
+  /// in-process callers (benchmarks, embedding applications). `out` is
+  /// replaced by the response body (no trailing newline).
+  void handle_into(std::string_view line, std::string& out);
+
   /// Graceful shutdown: stop admitting, drain the queue (every admitted
   /// request's `done` fires), join workers. Safe to call twice.
   void shutdown();
@@ -131,14 +147,26 @@ class Server {
     Clock::time_point deadline = Clock::time_point::max();
   };
 
-  /// Cache + protocol execution shared by workers and handle_now.
-  std::string execute(std::string_view line,
-                      std::chrono::steady_clock::time_point started);
+  /// How many jobs a worker takes from the queue per lock crossing.
+  /// Small enough that a batch never starves sibling workers under
+  /// bursty load, large enough to amortize the mutex when the queue
+  /// runs deep.
+  static constexpr std::size_t kWorkerBatch = 16;
+
+  /// Cache + protocol execution shared by workers and handle_now /
+  /// handle_into. The response is rendered into reply.body (capacity
+  /// reused); reply.type / reply.ok feed the metrics. A
+  /// default-constructed `started` means "latency not sampled for this
+  /// request" (see Metrics::sample_latency_now): the completion is
+  /// counted without reading the clock.
+  void execute_into(std::string_view line,
+                    std::chrono::steady_clock::time_point started,
+                    Reply& reply);
 
   /// Deadline check + execute + done; shared by workers and the
   /// shutdown drain so queue-expired jobs are answered identically on
-  /// both paths.
-  void run_job(Job& job);
+  /// both paths. `scratch` is the worker's reusable reply buffer.
+  void run_job(Job& job, Reply& scratch);
 
   void worker_loop();
 
@@ -155,6 +183,11 @@ class Server {
 /// completes requests out of order: responses are released strictly by
 /// sequence number, buffering any that finish early. The sink callback
 /// receives each response body in submission order.
+///
+/// The sink is invoked WITHOUT the writer's mutex held (a single
+/// "flushing" owner drains ready runs), so a slow sink — a blocking
+/// socket write, a contended downstream lock — never stalls workers
+/// that are merely delivering out-of-order completions.
 class OrderedWriter {
  public:
   using Sink = std::function<void(const std::string&)>;
@@ -175,12 +208,19 @@ class OrderedWriter {
   void drain();
 
  private:
+  /// Writes runs of contiguous buffered responses starting at
+  /// next_to_write_, releasing the lock around each run of sink calls.
+  /// Pre: lock held and flushing_ == true; post: flushing_ == false.
+  void flush_ready(std::unique_lock<std::mutex>& lock);
+
   Sink sink_;
   std::atomic<std::uint64_t> sequence_{0};  ///< next to reserve
   mutable std::mutex mutex_;
   std::condition_variable all_done_;
   std::uint64_t next_to_write_ = 0;
+  bool flushing_ = false;  ///< one thread at a time owns the sink
   std::map<std::uint64_t, std::string> out_of_order_;
+  std::vector<std::string> flush_batch_;  ///< flusher-owned scratch
 };
 
 /// Serves newline-delimited requests from `in` to `out` through the

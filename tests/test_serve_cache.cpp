@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <set>
 #include <string>
 #include <thread>
@@ -22,6 +23,35 @@ TEST(ServeCache, StoresAndRetrieves) {
   const auto hit = cache.get("a");
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(*hit, "1");
+}
+
+TEST(ServeCache, GetReturnsTagAndBodyIntoCallerBuffer) {
+  ShardedLruCache cache(16, 1);
+  cache.put("req", "body-bytes", /*tag=*/3);
+  std::string value = "previous contents, capacity to reuse";
+  std::uint8_t tag = 0;
+  ASSERT_TRUE(cache.get("req", value, tag));
+  EXPECT_EQ(value, "body-bytes");  // single copy, buffer fully replaced
+  EXPECT_EQ(tag, 3);               // tag rides out-of-band, not in the body
+  // A miss leaves the caller's buffer and tag untouched.
+  value = "untouched";
+  tag = 77;
+  EXPECT_FALSE(cache.get("absent", value, tag));
+  EXPECT_EQ(value, "untouched");
+  EXPECT_EQ(tag, 77);
+}
+
+TEST(ServeCache, DefaultTagIsZeroAndPutOverwritesTag) {
+  ShardedLruCache cache(16, 1);
+  cache.put("k", "v1");  // tag defaults to 0
+  std::string value;
+  std::uint8_t tag = 9;
+  ASSERT_TRUE(cache.get("k", value, tag));
+  EXPECT_EQ(tag, 0);
+  cache.put("k", "v2", /*tag=*/5);  // re-put refreshes value AND tag
+  ASSERT_TRUE(cache.get("k", value, tag));
+  EXPECT_EQ(value, "v2");
+  EXPECT_EQ(tag, 5);
 }
 
 TEST(ServeCache, EvictsLeastRecentlyUsed) {
