@@ -8,7 +8,16 @@
 // Usage:
 //   serve_loadgen [--host H] [--port N] [--connections N] [--threads N]
 //                 [--requests N] [--pipeline N] [--keys N]
-//                 [--fit-frac F] [--seed S] [--inproc] [--json]
+//                 [--fit-frac F] [--seed S] [--scenario NAME]
+//                 [--inproc] [--json]
+//
+// Scenarios (--scenario):
+//   mixed            the default workload described above
+//   heavy-starvation one client floods cache-defeating "fit" requests
+//                    (each a real solver run) while the others send
+//                    predicts one at a time; the reported client batch
+//                    latency IS per-predict latency under the flood —
+//                    the number the server's per-class lanes bound
 //
 // Modes:
 //   TCP (default)  open --connections non-blocking sockets to a running
@@ -45,6 +54,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -75,9 +85,22 @@ struct Config {
   int fit_keys = 4;       ///< distinct fit requests in the pool
   double fit_frac = 0.10;
   std::uint64_t seed = 42;
+  std::string scenario = "mixed";  ///< "mixed" | "heavy-starvation"
   bool inproc = false;
   bool json = false;  ///< emit one JSON summary object instead of text
 };
+
+/// Prefixes a unique id onto a pre-dumped request line, producing a
+/// distinct cache key per call: `{"type":...}` -> `{"id":N,"type":...}`.
+/// The heavy-starvation flood uses this so every fit is a real solver
+/// run instead of a cache hit.
+std::string with_unique_id(const std::string& line, long id) {
+  std::string out = "{\"id\":";
+  out += std::to_string(id);
+  out += ',';
+  out.append(line, 1, line.size() - 1);
+  return out;
+}
 
 // ---- Request pool ---------------------------------------------------------
 
@@ -258,6 +281,11 @@ struct ClientConn {
   stats::Rng rng{0, 0};
   long remaining = 0;  ///< requests not yet placed in the outbox
   long awaiting = 0;   ///< responses outstanding for the current batch
+  double fit_frac = 0.0;       ///< this connection's request mix
+  int pipeline = 1;            ///< this connection's batch depth
+  bool flood = false;          ///< heavy-starvation: unique-id fits only
+  bool record_latency = true;  ///< flood batches stay out of the stats
+  long next_unique = 0;        ///< id counter for cache-defeating fits
   std::string outbox;
   std::string inbox;
   std::chrono::steady_clock::time_point batch_start;
@@ -272,14 +300,18 @@ struct ClientConn {
 /// a single poll() loop: each connection independently sends a
 /// pipelined batch, collects its responses, records the batch latency,
 /// and starts the next batch.
-void tcp_multiplex_worker(const Config& cfg,
-                          const std::vector<std::string>& predicts,
+void tcp_multiplex_worker(const std::vector<std::string>& predicts,
                           const std::vector<std::string>& fits,
                           std::vector<ClientConn>& conns, Totals& totals) {
   const auto fill_batch = [&](ClientConn& c) {
-    const long batch = std::min<long>(c.remaining, cfg.pipeline);
+    const long batch = std::min<long>(c.remaining, c.pipeline);
     for (long i = 0; i < batch; ++i) {
-      c.outbox += pick_request(predicts, fits, cfg.fit_frac, c.rng);
+      if (c.flood)
+        c.outbox += with_unique_id(
+            fits[static_cast<std::size_t>(c.rng.below(fits.size()))],
+            ++c.next_unique);
+      else
+        c.outbox += pick_request(predicts, fits, c.fit_frac, c.rng);
       c.outbox += '\n';
     }
     c.remaining -= batch;
@@ -361,10 +393,11 @@ void tcp_multiplex_worker(const Config& cfg,
         }
         c.inbox.erase(0, start);
         if (c.awaiting == 0) {
-          totals.record_batch_latency(
-              std::chrono::duration<double>(
-                  std::chrono::steady_clock::now() - c.batch_start)
-                  .count());
+          if (c.record_latency)
+            totals.record_batch_latency(
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - c.batch_start)
+                    .count());
           if (c.remaining > 0) fill_batch(c);
         }
       }
@@ -393,6 +426,78 @@ void inproc_worker(const Config& cfg, int thread_id, serve::Server& server,
                                         t0)
               .count());
   }
+}
+
+/// --scenario heavy-starvation, in-process. handle_now() bypasses the
+/// queue, so this path goes through Server::submit instead: one flooder
+/// thread keeps up to 32 cache-defeating fits in flight (bounded by the
+/// heavy lane, which bounces the rest), while `connections - 1` threads
+/// run closed-loop predicts and record every per-request latency — the
+/// number the per-class lanes are supposed to keep flat.
+void inproc_starvation(const Config& cfg, serve::Server& server,
+                       const std::vector<std::string>& predicts,
+                       const std::vector<std::string>& fits, long per_conn,
+                       Totals& totals) {
+  std::atomic<bool> stop{false};
+  std::thread flooder([&] {
+    std::atomic<int> inflight{0};
+    long n = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      if (inflight.load(std::memory_order_acquire) >= 32) {
+        std::this_thread::yield();
+        continue;
+      }
+      ++n;
+      std::string line = with_unique_id(
+          fits[static_cast<std::size_t>(n) % fits.size()], n);
+      inflight.fetch_add(1, std::memory_order_acq_rel);
+      const bool admitted = server.submit(
+          std::move(line), [&totals, &inflight](std::string&& body) {
+            totals.count(body);
+            inflight.fetch_sub(1, std::memory_order_acq_rel);
+          });
+      if (!admitted) {  // heavy lane full — exactly the designed backstop
+        inflight.fetch_sub(1, std::memory_order_acq_rel);
+        std::this_thread::yield();
+      }
+    }
+    while (inflight.load(std::memory_order_acquire) > 0)
+      std::this_thread::yield();
+  });
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < cfg.connections - 1; ++t)
+    threads.emplace_back([&, t] {
+      stats::Rng rng(cfg.seed, static_cast<std::uint64_t>(t + 1));
+      std::mutex mutex;
+      std::condition_variable cv;
+      for (long i = 0; i < per_conn; ++i) {
+        const std::string& line =
+            predicts[static_cast<std::size_t>(rng.below(predicts.size()))];
+        bool answered = false;
+        const auto t0 = std::chrono::steady_clock::now();
+        while (!server.submit(line, [&](std::string&& body) {
+          totals.count(body);
+          {
+            std::lock_guard<std::mutex> lock(mutex);
+            answered = true;
+          }
+          cv.notify_one();
+        }))
+          std::this_thread::yield();
+        {
+          std::unique_lock<std::mutex> lock(mutex);
+          cv.wait(lock, [&] { return answered; });
+        }
+        totals.record_batch_latency(
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count());
+      }
+    });
+  for (auto& t : threads) t.join();
+  stop.store(true, std::memory_order_release);
+  flooder.join();
 }
 
 // ---- Report ---------------------------------------------------------------
@@ -429,6 +534,7 @@ void print_json_summary(const Config& cfg, Totals& totals, long done,
   serve::Json out = serve::Json::object();
   out.set("bench", "serve_loadgen");
   out.set("mode", cfg.inproc ? "inproc" : "tcp");
+  out.set("scenario", cfg.scenario);
   out.set("requests", done);
   out.set("ok", totals.ok.load());
   out.set("errors", totals.errors.load());
@@ -445,7 +551,9 @@ void print_json_summary(const Config& cfg, Totals& totals, long done,
     batch.set("p95_ms", percentile(totals.batch_latencies_s, 0.95) * 1e3);
     batch.set("p99_ms", percentile(totals.batch_latencies_s, 0.99) * 1e3);
     batch.set("batches", totals.batch_latencies_s.size());
-    batch.set("pipeline", cfg.inproc ? 1 : cfg.pipeline);
+    batch.set("pipeline", cfg.inproc || cfg.scenario == "heavy-starvation"
+                              ? 1
+                              : cfg.pipeline);
     out.set("client_batch_latency", std::move(batch));
   }
   try {
@@ -475,7 +583,8 @@ void print_json_summary(const Config& cfg, Totals& totals, long done,
   std::fprintf(stderr,
                "usage: %s [--host H] [--port N] [--connections N]\n"
                "          [--threads N] [--requests N] [--pipeline N]\n"
-               "          [--keys N] [--fit-frac F] [--seed S] [--inproc]\n"
+               "          [--keys N] [--fit-frac F] [--seed S]\n"
+               "          [--scenario mixed|heavy-starvation] [--inproc]\n"
                "          [--json]\n",
                argv0);
   std::exit(code);
@@ -502,6 +611,7 @@ int main(int argc, char** argv) {
     else if (arg == "--fit-frac") cfg.fit_frac = std::atof(value());
     else if (arg == "--seed")
       cfg.seed = static_cast<std::uint64_t>(std::atoll(value()));
+    else if (arg == "--scenario") cfg.scenario = value();
     else if (arg == "--inproc") cfg.inproc = true;
     else if (arg == "--json") cfg.json = true;
     else if (arg == "--help" || arg == "-h") usage(argv[0], 0);
@@ -511,6 +621,12 @@ int main(int argc, char** argv) {
       cfg.keys < 1 || cfg.fit_frac < 0.0 || cfg.fit_frac > 1.0 ||
       cfg.threads < 0)
     usage(argv[0], 2);
+  if (cfg.scenario != "mixed" && cfg.scenario != "heavy-starvation")
+    usage(argv[0], 2);
+  const bool starvation = cfg.scenario == "heavy-starvation";
+  // The starvation scenario needs one flooder plus at least one
+  // predicting client.
+  if (starvation) cfg.connections = std::max(cfg.connections, 2);
   if (cfg.threads == 0)
     cfg.threads = std::min<int>(
         cfg.connections,
@@ -539,6 +655,11 @@ int main(int argc, char** argv) {
                 cfg.pipeline, cfg.keys, cfg.fit_keys, cfg.fit_frac,
                 static_cast<unsigned long long>(cfg.seed));
 
+  if (!cfg.json && starvation)
+    std::printf("scenario           heavy-starvation (one client floods "
+                "cache-defeating fits; the rest send predicts one at a "
+                "time; batch latency = per-predict latency)\n");
+
   double elapsed = 0.0;
   std::string stats_body;
   bool deterministic = true;
@@ -551,12 +672,16 @@ int main(int argc, char** argv) {
         server.handle_now(predicts[0]) == server.handle_now(predicts[0]) &&
         server.handle_now(fits[0]) == server.handle_now(fits[0]);
     const auto t0 = std::chrono::steady_clock::now();
-    std::vector<std::thread> threads;
-    for (int t = 0; t < cfg.connections; ++t)
-      threads.emplace_back([&, t] {
-        inproc_worker(cfg, t, server, predicts, fits, per_conn, totals);
-      });
-    for (auto& t : threads) t.join();
+    if (starvation) {
+      inproc_starvation(cfg, server, predicts, fits, per_conn, totals);
+    } else {
+      std::vector<std::thread> threads;
+      for (int t = 0; t < cfg.connections; ++t)
+        threads.emplace_back([&, t] {
+          inproc_worker(cfg, t, server, predicts, fits, per_conn, totals);
+        });
+      for (auto& t : threads) t.join();
+    }
     elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                             t0)
                   .count();
@@ -597,6 +722,17 @@ int main(int argc, char** argv) {
       ::fcntl(c.fd, F_SETFL, flags | O_NONBLOCK);
       c.rng = stats::Rng(cfg.seed, static_cast<std::uint64_t>(i));
       c.remaining = per_conn;
+      c.fit_frac = cfg.fit_frac;
+      c.pipeline = cfg.pipeline;
+      if (starvation) {
+        if (i == 0) {  // connection 0 is the flooder
+          c.flood = true;
+          c.record_latency = false;
+        } else {  // the rest send predicts one at a time
+          c.fit_frac = 0.0;
+          c.pipeline = 1;
+        }
+      }
       groups[static_cast<std::size_t>(i % cfg.threads)].push_back(
           std::move(c));
     }
@@ -605,7 +741,7 @@ int main(int argc, char** argv) {
     std::vector<std::thread> threads;
     for (int t = 0; t < cfg.threads; ++t)
       threads.emplace_back([&, t] {
-        tcp_multiplex_worker(cfg, predicts, fits,
+        tcp_multiplex_worker(predicts, fits,
                              groups[static_cast<std::size_t>(t)], totals);
       });
     for (auto& t : threads) t.join();
@@ -638,7 +774,7 @@ int main(int argc, char** argv) {
                   percentile(totals.batch_latencies_s, 0.95) * 1e3,
                   percentile(totals.batch_latencies_s, 0.99) * 1e3,
                   totals.batch_latencies_s.size(),
-                  cfg.inproc ? 1 : cfg.pipeline);
+                  cfg.inproc || starvation ? 1 : cfg.pipeline);
     }
     std::printf("deterministic      %s\n", deterministic ? "yes" : "NO");
     if (!stats_body.empty()) print_stats_line(stats_body);

@@ -9,11 +9,17 @@
 // Scenarios:
 //   cached_hit_1t    handle_now() on a warmed key pool, one thread
 //   cached_hit_mt    same, all hardware threads hammering one server
-//   worker_pool_mt   submit() through the bounded queue + worker pool
+//   worker_pool_mt   submit() through the lane scheduler + worker pool
 //   miss_predict_1t  predict with the cache disabled (parse + eval + dump)
 //   json_parse_1t    Json::parse of a representative predict line
-//   queue_spsc       BoundedQueue push/pop ping between two threads
+//   queue_spsc       LaneScheduler push/pop ping between two threads
 //   queue_spsc_batch same, consumer drains with pop_n(64) (server shape)
+//   predict_no_flood         closed-loop predict latency, idle server
+//   heavy_starvation         same, under a sustained fit flood (lanes ON):
+//                            the per-class isolation claim, measured
+//   heavy_starvation_unified same flood with the heavy lane disabled —
+//                            the pre-lane single-queue behavior, kept as
+//                            the A/B baseline showing what lanes buy
 //
 // Each scenario reports ops, ops/s, sampled per-op p50/p99 latency, and
 // heap allocations per op (global operator new is instrumented). Output
@@ -24,9 +30,11 @@
 // Usage: serve_throughput [--seconds S] [--threads N] [--out FILE]
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -315,24 +323,28 @@ ScenarioResult bench_json_parse_insitu_1t(const Config& cfg,
   });
 }
 
-/// One producer pushes, one consumer pops, both full-tilt: the queue
-/// hand-off cost with the notify/wait machinery engaged. `batch` is the
-/// consumer's pop_n size; 1 uses plain pop() (the pre-batching shape,
-/// kept for before/after comparability).
+/// One producer pushes, one consumer pops, both full-tilt: the
+/// scheduler hand-off cost with the notify/wait machinery engaged.
+/// Light lane only — the same path a single-class workload takes, so
+/// the numbers compare directly with the single-queue predecessor.
+/// `batch` is the consumer's pop_n size; 1 uses plain pop() (the
+/// pre-batching shape, kept for before/after comparability).
 ScenarioResult bench_queue_spsc(const Config& cfg, const char* name,
                                 std::size_t batch) {
-  serve::BoundedQueue<std::uint64_t> queue(1024);
+  serve::LaneScheduler<std::uint64_t> queue(
+      std::array<serve::LaneConfig, serve::kLaneCount>{
+          serve::LaneConfig{1024, 4}, serve::LaneConfig{64, 1}});
   std::atomic<std::uint64_t> popped{0};
   std::thread consumer([&] {
     std::uint64_t n = 0;
     if (batch <= 1) {
-      while (queue.pop()) ++n;
+      while (queue.pop(serve::kAllLanes)) ++n;
     } else {
       std::vector<std::uint64_t> items;
       items.reserve(batch);
       for (;;) {
         items.clear();
-        const std::size_t got = queue.pop_n(items, batch);
+        const std::size_t got = queue.pop_n(serve::kAllLanes, items, batch);
         if (got == 0) break;  // closed and drained
         n += got;
       }
@@ -346,7 +358,7 @@ ScenarioResult bench_queue_spsc(const Config& cfg, const char* name,
   std::uint64_t pushed = 0;
   while (Clock::now() < deadline) {
     for (int i = 0; i < 256; ++i) {
-      if (queue.try_push(pushed))
+      if (queue.try_push(serve::kLightLane, pushed))
         ++pushed;
       else
         std::this_thread::yield();
@@ -359,6 +371,118 @@ ScenarioResult bench_queue_spsc(const Config& cfg, const char* name,
   r.name = name;
   r.ops = popped.load();
   r.seconds = std::chrono::duration<double>(end - start).count();
+  return r;
+}
+
+/// A small Heavy request: "fit" over 6 synthetic observations, a few
+/// hundred microseconds of Levenberg-Marquardt per evaluation. Distinct
+/// `seed` values defeat the response cache so every flood request costs
+/// real solver time.
+std::string make_fit_request(std::uint64_t seed) {
+  serve::Json obs = serve::Json::array();
+  for (int p = 0; p < 6; ++p) {
+    const double intensity = std::exp2(-2.0 + p);
+    const double flops = 1e9 + static_cast<double>(seed);
+    const double bytes = flops / intensity;
+    const double t = std::max(flops * 3e-11, bytes * 1.2e-10);
+    serve::Json row = serve::Json::object();
+    row.set("flops", flops);
+    row.set("bytes", bytes);
+    row.set("seconds", t);
+    row.set("joules", flops * 4.7e-11 + bytes * 3.8e-10 + 2.7 * t);
+    obs.push_back(std::move(row));
+  }
+  serve::Json req = serve::Json::object();
+  req.set("type", "fit");
+  req.set("observations", std::move(obs));
+  return req.dump();
+}
+
+/// Closed-loop predict latency through the full submit -> lane -> worker
+/// -> done path (cache warmed, so queueing dominates), optionally under
+/// a sustained fit flood that keeps up to 32 Heavy requests in flight.
+/// `heavy_lane_capacity` 0 reproduces the unified single-queue baseline:
+/// the flood and the predicts then share one lane and each predict waits
+/// behind the whole Heavy backlog.
+ScenarioResult bench_predict_latency(const char* name, const Config& cfg,
+                                     const std::vector<std::string>& pool,
+                                     int threads,
+                                     std::size_t heavy_lane_capacity,
+                                     bool flood) {
+  serve::ServerOptions opt;
+  opt.threads = threads;
+  opt.heavy_lane_capacity = heavy_lane_capacity;
+  serve::Server server(opt);
+  server.start();
+  for (const std::string& line : pool) (void)server.handle_now(line);  // warm
+
+  std::atomic<bool> stop{false};
+  std::thread flooder;
+  if (flood)
+    flooder = std::thread([&] {
+      std::atomic<int> inflight{0};
+      std::uint64_t seed = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        if (inflight.load(std::memory_order_acquire) >= 32) {
+          std::this_thread::yield();
+          continue;
+        }
+        inflight.fetch_add(1, std::memory_order_relaxed);
+        if (!server.submit(make_fit_request(seed++), [&](std::string&&) {
+              inflight.fetch_sub(1, std::memory_order_release);
+            })) {
+          inflight.fetch_sub(1, std::memory_order_relaxed);
+          std::this_thread::yield();
+        }
+      }
+      // Let the admitted tail drain so shutdown() below stays quick.
+      while (inflight.load(std::memory_order_acquire) > 0)
+        std::this_thread::yield();
+    });
+
+  std::vector<double> samples;
+  samples.reserve(1 << 20);
+  std::mutex m;
+  std::condition_variable cv;
+  const auto start = Clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(cfg.seconds));
+  std::size_t i = 0;
+  for (;;) {
+    bool answered = false;
+    const auto t0 = Clock::now();
+    while (!server.submit(pool[i], [&](std::string&&) {
+      {
+        std::lock_guard<std::mutex> lock(m);
+        answered = true;
+      }
+      cv.notify_one();
+    })) {
+      std::this_thread::yield();
+    }
+    {
+      std::unique_lock<std::mutex> lock(m);
+      cv.wait(lock, [&] { return answered; });
+    }
+    const auto t1 = Clock::now();
+    if (samples.size() < samples.capacity())
+      samples.push_back(
+          std::chrono::duration<double, std::nano>(t1 - t0).count());
+    if (++i == pool.size()) i = 0;
+    if (t1 >= deadline) break;
+  }
+  const auto end = Clock::now();
+  stop.store(true, std::memory_order_release);
+  if (flooder.joinable()) flooder.join();
+  server.shutdown();
+
+  ScenarioResult r;
+  r.name = name;
+  r.ops = samples.size();
+  r.seconds = std::chrono::duration<double>(end - start).count();
+  r.p50_ns = percentile_ns(samples, 0.50);
+  r.p99_ns = percentile_ns(samples, 0.99);
   return r;
 }
 
@@ -419,6 +543,15 @@ int main(int argc, char** argv) {
   results.push_back(bench_json_parse_insitu_1t(cfg, pool));
   results.push_back(bench_queue_spsc(cfg, "queue_spsc", 1));
   results.push_back(bench_queue_spsc(cfg, "queue_spsc_batch", 64));
+  // The heavy-starvation triple: baseline latency, latency under a fit
+  // flood with lanes, and the same flood through a single shared lane.
+  // heavy_starvation/predict_no_flood p99 is the isolation headline.
+  results.push_back(bench_predict_latency("predict_no_flood", cfg, pool,
+                                          threads, 64, false));
+  results.push_back(bench_predict_latency("heavy_starvation", cfg, pool,
+                                          threads, 64, true));
+  results.push_back(bench_predict_latency("heavy_starvation_unified", cfg,
+                                          pool, threads, 0, true));
 
   for (const ScenarioResult& r : results)
     std::fprintf(stderr,

@@ -294,6 +294,12 @@ const PlatformSpec& platform(const std::string& name) {
   throw std::out_of_range("unknown platform: " + name);
 }
 
+const PlatformSpec* find_platform(std::string_view name) noexcept {
+  for (const PlatformSpec& p : table1())
+    if (p.name == name) return &p;
+  return nullptr;
+}
+
 bool has_platform(const std::string& name) {
   for (const PlatformSpec& p : table1())
     if (p.name == name) return true;

@@ -6,6 +6,7 @@
 // that our fitting pipeline recovers them from simulated measurements.
 
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "platforms/spec.hpp"
@@ -19,6 +20,11 @@ namespace archline::platforms {
 
 /// Lookup by exact name; throws std::out_of_range if unknown.
 [[nodiscard]] const PlatformSpec& platform(const std::string& name);
+
+/// Allocation-free lookup by exact name; nullptr if unknown. The
+/// serving hot path uses this with names viewed out of request buffers.
+[[nodiscard]] const PlatformSpec* find_platform(std::string_view name)
+    noexcept;
 
 /// True if a platform with this name exists.
 [[nodiscard]] bool has_platform(const std::string& name);

@@ -16,7 +16,7 @@
 //   * a hit copies the body exactly once, into a caller-supplied buffer
 //     whose capacity is reused across requests;
 //   * each entry carries a one-byte out-of-band tag (the server stores
-//     the RequestType there), so hits need no in-band prefix stripping.
+//     the endpoint id there), so hits need no in-band prefix stripping.
 //
 // Full keys are stored and compared (the hash only picks the shard and
 // bucket), so a hash collision can never serve the wrong response.

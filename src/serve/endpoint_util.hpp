@@ -1,0 +1,67 @@
+#pragma once
+// Shared building blocks for endpoint handlers: field extraction,
+// machine/workload resolution, reply scaffolding, and the structured
+// error type the dispatcher renders. Everything here is hot-path aware:
+// lookups and comparisons use std::string_view into the in-situ-parsed
+// request, and heap strings are built only when raising an error.
+
+#include <string>
+#include <string_view>
+
+#include "core/machine_params.hpp"
+#include "core/roofline.hpp"
+#include "platforms/spec.hpp"
+#include "serve/json.hpp"
+#include "serve/registry.hpp"
+
+namespace archline::serve {
+
+/// Thrown by handlers to surface a structured (code, message) pair; the
+/// dispatcher renders it as {"ok":false,"error":code,"message":...}.
+struct RequestError {
+  std::string code;
+  std::string message;
+};
+
+/// Shorthand for the common code.
+[[noreturn]] void bad(std::string message);
+
+[[nodiscard]] double require_number(const Json& req, std::string_view key);
+
+/// The string payload is a view into the request document (in-situ
+/// parse) — valid until the reply is serialized, allocation-free.
+[[nodiscard]] std::string_view require_string(const Json& req,
+                                              std::string_view key);
+
+[[nodiscard]] core::Precision parse_precision(const Json& req);
+[[nodiscard]] core::MemLevel parse_level(const Json& req);
+
+/// Looks up a platform by name; a miss raises "unknown_platform" whose
+/// message lists every available platform so clients can self-correct.
+[[nodiscard]] const platforms::PlatformSpec& lookup_platform(
+    std::string_view name);
+
+/// Resolves the machine a request addresses: either "platform" (a
+/// Table I name, with optional precision / memory level) or an inline
+/// "machine" parameter object, then optional cap modifiers
+/// (uncapped / cap_divisor / cap_watts). `name_out` receives a label
+/// for the response — a view into the request (or a literal), so it
+/// stays valid until the reply is serialized.
+[[nodiscard]] core::MachineParams resolve_machine(const Json& req,
+                                                  std::string_view& name_out);
+
+/// Workload from "flops" plus either "bytes" or "intensity".
+[[nodiscard]] core::Workload resolve_workload(const Json& req);
+
+[[nodiscard]] core::Metric parse_metric(const Json& req);
+
+/// Starts a response object: ok, type (the endpoint's wire name),
+/// echoed id (if the request had one).
+[[nodiscard]] Json begin_reply(const Endpoint& endpoint, const Json& req);
+
+/// The shared prediction block: intensity, time, energy, power,
+/// performance, efficiency, regime.
+void add_prediction(Json& out, const core::MachineParams& m,
+                    const core::Workload& w);
+
+}  // namespace archline::serve

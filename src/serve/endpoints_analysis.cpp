@@ -1,0 +1,124 @@
+// Analysis endpoints added ON TOP of the registry — the proof that the
+// dispatcher never changes: protocol.cpp / server.cpp / metrics.cpp
+// are untouched by this file.
+//
+//   sensitivity    — parameter elasticities (core/sensitivity.hpp):
+//                    d log(metric) / d log(param) for all six machine
+//                    constants at one intensity, plus the dominant one.
+//                    Closed-form differences -> Light.
+//   scenario_sweep — batched core::scenarios::throttle_sweep over an
+//                    intensities x cap_divisors grid (the raw material
+//                    of the paper's Figs. 6/7). Up to thousands of model
+//                    evaluations per request -> Heavy.
+
+#include <string>
+#include <vector>
+
+#include "core/machine_params.hpp"
+#include "core/roofline.hpp"
+#include "core/scenarios.hpp"
+#include "core/sensitivity.hpp"
+#include "serve/endpoint_util.hpp"
+#include "serve/registry.hpp"
+
+namespace archline::serve {
+
+namespace {
+
+Json do_sensitivity(const EndpointContext& ctx) {
+  const Json& req = ctx.req;
+  std::string_view name;
+  const core::MachineParams m = resolve_machine(req, name);
+  const core::Metric metric = parse_metric(req);
+  const double intensity = require_number(req, "intensity");
+  if (!(intensity > 0.0)) bad("\"intensity\" must be a positive number");
+  const core::SensitivityProfile profile =
+      core::sensitivity_profile(m, metric, intensity);
+  Json out = begin_reply(ctx.endpoint, req);
+  out.set("platform", Json::view(name));
+  out.set("metric", Json::view(req.string_view_or("metric", "performance")));
+  out.set("intensity", intensity);
+  Json elasticities = Json::object();
+  for (const core::Param p : core::kAllParams)
+    elasticities.set(core::to_string(p), profile[p]);
+  out.set("elasticities", std::move(elasticities));
+  out.set("dominant", core::to_string(profile.dominant()));
+  return out;
+}
+
+/// Reads an optional array of numbers, validating each with `check`
+/// (returns false -> the error in `requirement`). Falls back to
+/// `fallback` when absent.
+std::vector<double> number_grid(const Json& req, std::string_view key,
+                                std::vector<double> fallback,
+                                bool (*check)(double),
+                                const char* requirement) {
+  const Json* v = req.find(key);
+  if (!v) return fallback;
+  if (!v->is_array()) bad("\"" + std::string(key) + "\" must be an array");
+  const Json::Array& rows = v->as_array();
+  if (rows.empty()) bad("\"" + std::string(key) + "\" must not be empty");
+  std::vector<double> grid;
+  grid.reserve(rows.size());
+  for (const Json& row : rows) {
+    if (!row.is_number() || !check(row.as_number()))
+      bad("every \"" + std::string(key) + "\" entry must be " + requirement);
+    grid.push_back(row.as_number());
+  }
+  return grid;
+}
+
+Json do_scenario_sweep(const EndpointContext& ctx) {
+  const Json& req = ctx.req;
+  std::string_view name;
+  const core::MachineParams m = resolve_machine(req, name);
+  // Default grids mirror the paper's figures: intensities 1/16..512 on
+  // a log2 grid, divisors 1..8.
+  std::vector<double> intensities =
+      number_grid(req, "intensities",
+                  {0.0625, 0.125, 0.25, 0.5, 1, 2, 4, 8, 16, 32, 64, 128,
+                   256, 512},
+                  [](double x) { return x > 0.0; }, "a positive number");
+  std::vector<double> divisors = number_grid(
+      req, "cap_divisors", {1, 2, 4, 8}, [](double x) { return x >= 1.0; },
+      "a number >= 1");
+  if (intensities.size() * divisors.size() > ctx.limits.max_sweep_points)
+    throw RequestError{
+        "too_large", "sweep too large (max " +
+                         std::to_string(ctx.limits.max_sweep_points) +
+                         " points)"};
+  const std::vector<core::ThrottlePoint> sweep =
+      core::throttle_sweep(m, intensities, divisors);
+  Json out = begin_reply(ctx.endpoint, req);
+  out.set("platform", Json::view(name));
+  out.set("points", sweep.size());
+  Json rows = Json::array();
+  rows.reserve(sweep.size());
+  for (const core::ThrottlePoint& p : sweep) {
+    Json row = Json::object();
+    row.set("intensity", p.intensity);
+    row.set("cap_divisor", p.cap_divisor);
+    row.set("power_w", p.power);
+    row.set("performance_flops", p.performance);
+    row.set("efficiency_flops_per_joule", p.efficiency);
+    row.set("regime", core::regime_name(p.regime));
+    rows.push_back(std::move(row));
+  }
+  out.set("sweep", std::move(rows));
+  return out;
+}
+
+}  // namespace
+
+void register_analysis_endpoints(Registry& r) {
+  r.add({.name = "sensitivity",
+         .klass = RequestClass::Light,
+         .cacheable = true,
+         .handler = &do_sensitivity});
+  r.add({.name = "scenario_sweep",
+         .klass = RequestClass::Heavy,
+         .cacheable = true,
+         .handler = &do_scenario_sweep});
+}
+
+}  // namespace archline::serve

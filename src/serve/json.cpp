@@ -102,6 +102,13 @@ std::string Json::string_or(std::string_view key,
   return std::string(v->as_string_view());
 }
 
+std::string_view Json::string_view_or(std::string_view key,
+                                      std::string_view fallback) const {
+  const Json* v = find(key);
+  if (!v || v->is_null()) return fallback;
+  return v->as_string_view();
+}
+
 bool Json::operator==(const Json& other) const noexcept {
   if (type_ != other.type_) return false;
   switch (type_) {

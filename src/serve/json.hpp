@@ -138,6 +138,13 @@ class Json {
   [[nodiscard]] bool bool_or(std::string_view key, bool fallback) const;
   [[nodiscard]] std::string string_or(std::string_view key,
                                       std::string_view fallback) const;
+  /// Allocation-free string_or: the result views either the member's
+  /// payload (valid while this document — and, for in-situ parses, the
+  /// input buffer — stays alive) or `fallback` itself. The request hot
+  /// path uses this for enum-ish fields (precision, level, metric).
+  [[nodiscard]] std::string_view string_view_or(std::string_view key,
+                                                std::string_view fallback)
+      const;
 
   bool operator==(const Json& other) const noexcept;
 

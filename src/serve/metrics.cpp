@@ -23,6 +23,19 @@ int bucket_for(double seconds) noexcept {
   return std::bit_width(static_cast<std::uint64_t>(ns)) - 1;
 }
 
+/// Metrics slot for a completion: the endpoint's dense id, or the
+/// invalid slot when the request never reached a handler.
+std::size_t slot_for(const Endpoint* endpoint) noexcept {
+  return endpoint ? endpoint->id : Metrics::kInvalidSlot;
+}
+
+/// Latency-histogram class for a completion: errors before dispatch are
+/// cheap and land with the Light class.
+std::size_t class_for(const Endpoint* endpoint) noexcept {
+  return endpoint ? static_cast<std::size_t>(endpoint->klass)
+                  : static_cast<std::size_t>(RequestClass::Light);
+}
+
 }  // namespace
 
 void LatencyHistogram::record(double seconds) noexcept {
@@ -85,19 +98,19 @@ Metrics::CompletionShard& Metrics::completion_shard() noexcept {
   return completion_shards_[index % kCompletionShards];
 }
 
-void Metrics::on_completed(RequestType type, bool ok,
+void Metrics::on_completed(const Endpoint* endpoint, bool ok,
                            double latency_s) noexcept {
   CompletionShard& shard = completion_shard();
-  shard.by_type[static_cast<std::size_t>(type)].fetch_add(
-      1, std::memory_order_relaxed);
+  shard.by_endpoint[slot_for(endpoint)].fetch_add(1,
+                                                  std::memory_order_relaxed);
   if (!ok) shard.errors.fetch_add(1, std::memory_order_relaxed);
-  shard.latency.record(latency_s);
+  shard.latency[class_for(endpoint)].record(latency_s);
 }
 
-void Metrics::on_completed(RequestType type, bool ok) noexcept {
+void Metrics::on_completed(const Endpoint* endpoint, bool ok) noexcept {
   CompletionShard& shard = completion_shard();
-  shard.by_type[static_cast<std::size_t>(type)].fetch_add(
-      1, std::memory_order_relaxed);
+  shard.by_endpoint[slot_for(endpoint)].fetch_add(1,
+                                                  std::memory_order_relaxed);
   if (!ok) shard.errors.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -111,12 +124,12 @@ bool Metrics::sample_latency_now() noexcept {
   return t < kLatencyWarmupSamples || (t % kLatencySampleEvery) == 0;
 }
 
-void Metrics::on_rejected() noexcept {
-  rejected_.fetch_add(1, std::memory_order_relaxed);
+void Metrics::on_rejected(std::size_t lane) noexcept {
+  rejected_[lane].fetch_add(1, std::memory_order_relaxed);
 }
 
-void Metrics::on_deadline_exceeded() noexcept {
-  deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+void Metrics::on_deadline_exceeded(std::size_t lane) noexcept {
+  deadline_exceeded_[lane].fetch_add(1, std::memory_order_relaxed);
 }
 
 void Metrics::on_connection_opened() noexcept {
@@ -136,28 +149,44 @@ void Metrics::on_connection_idle_closed() noexcept {
   connections_idle_closed_.fetch_add(1, std::memory_order_relaxed);
 }
 
-void Metrics::on_queue_depth(std::size_t depth) noexcept {
-  queue_depth_.store(depth, std::memory_order_relaxed);
-  std::uint64_t peak = queue_peak_.load(std::memory_order_relaxed);
+void Metrics::on_lane_depth(std::size_t lane, std::size_t depth) noexcept {
+  lane_depth_[lane].store(depth, std::memory_order_relaxed);
+  std::uint64_t peak = lane_peak_[lane].load(std::memory_order_relaxed);
   while (depth > peak &&
-         !queue_peak_.compare_exchange_weak(peak, depth,
-                                            std::memory_order_relaxed)) {
+         !lane_peak_[lane].compare_exchange_weak(peak, depth,
+                                                 std::memory_order_relaxed)) {
   }
 }
 
 Metrics::Snapshot Metrics::snapshot() const noexcept {
   Snapshot s;
   for (const CompletionShard& shard : completion_shards_) {
-    for (std::size_t i = 0; i < s.by_type.size(); ++i) {
-      const std::uint64_t c = shard.by_type[i].load(std::memory_order_relaxed);
-      s.by_type[i] += c;
+    for (std::size_t i = 0; i < s.by_endpoint.size(); ++i) {
+      const std::uint64_t c =
+          shard.by_endpoint[i].load(std::memory_order_relaxed);
+      s.by_endpoint[i] += c;
       s.completed += c;
     }
     s.errors += shard.errors.load(std::memory_order_relaxed);
-    shard.latency.accumulate(s.latency);
+    for (std::size_t c = 0; c < kRequestClassCount; ++c) {
+      shard.latency[c].accumulate(s.lanes[c].latency);
+      shard.latency[c].accumulate(s.latency);
+    }
   }
-  s.rejected = rejected_.load(std::memory_order_relaxed);
-  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  for (std::size_t lane = 0; lane < kLaneCount; ++lane) {
+    LaneSnapshot& l = s.lanes[lane];
+    l.rejected = rejected_[lane].load(std::memory_order_relaxed);
+    l.deadline_exceeded =
+        deadline_exceeded_[lane].load(std::memory_order_relaxed);
+    l.depth = static_cast<std::size_t>(
+        lane_depth_[lane].load(std::memory_order_relaxed));
+    l.peak = static_cast<std::size_t>(
+        lane_peak_[lane].load(std::memory_order_relaxed));
+    s.rejected += l.rejected;
+    s.deadline_exceeded += l.deadline_exceeded;
+    s.queue_depth += l.depth;
+    if (l.peak > s.queue_peak) s.queue_peak = l.peak;
+  }
   s.connections_open = connections_open_.load(std::memory_order_relaxed);
   s.connections_accepted =
       connections_accepted_.load(std::memory_order_relaxed);
@@ -165,10 +194,6 @@ Metrics::Snapshot Metrics::snapshot() const noexcept {
       connections_rejected_.load(std::memory_order_relaxed);
   s.connections_idle_closed =
       connections_idle_closed_.load(std::memory_order_relaxed);
-  s.queue_depth =
-      static_cast<std::size_t>(queue_depth_.load(std::memory_order_relaxed));
-  s.queue_peak =
-      static_cast<std::size_t>(queue_peak_.load(std::memory_order_relaxed));
   s.uptime_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                              start_)
                    .count();
@@ -177,8 +202,27 @@ Metrics::Snapshot Metrics::snapshot() const noexcept {
   return s;
 }
 
+namespace {
+
+Json latency_json(const LatencyHistogram::Snapshot& latency) {
+  Json out = Json::object();
+  out.set("count", latency.total);
+  out.set("p50_s", latency.quantile(0.50));
+  out.set("p95_s", latency.quantile(0.95));
+  out.set("p99_s", latency.quantile(0.99));
+  return out;
+}
+
+/// Wire name of a lane: the class whose requests it runs.
+const char* lane_name(std::size_t lane) noexcept {
+  return request_class_name(static_cast<RequestClass>(lane));
+}
+
+}  // namespace
+
 std::string Metrics::to_json(const ShardedLruCache::Stats& cache) const {
   const Snapshot s = snapshot();
+  const Registry& registry = Registry::instance();
   Json out = Json::object();
   out.set("ok", true);
   out.set("type", "stats");
@@ -189,17 +233,25 @@ std::string Metrics::to_json(const ShardedLruCache::Stats& cache) const {
   out.set("deadline_exceeded", s.deadline_exceeded);
   out.set("qps", s.qps);
   Json by_type = Json::object();
-  for (std::size_t i = 0; i < s.by_type.size(); ++i) {
-    const auto t = static_cast<RequestType>(i);
-    if (s.by_type[i] > 0) by_type.set(request_type_name(t), s.by_type[i]);
-  }
+  for (const Endpoint& e : registry)
+    if (s.by_endpoint[e.id] > 0)
+      by_type.set(e.name, s.by_endpoint[e.id]);
+  if (s.by_endpoint[kInvalidSlot] > 0)
+    by_type.set("invalid", s.by_endpoint[kInvalidSlot]);
   out.set("by_type", std::move(by_type));
-  Json latency = Json::object();
-  latency.set("count", s.latency.total);
-  latency.set("p50_s", s.latency.quantile(0.50));
-  latency.set("p95_s", s.latency.quantile(0.95));
-  latency.set("p99_s", s.latency.quantile(0.99));
-  out.set("latency", std::move(latency));
+  out.set("latency", latency_json(s.latency));
+  Json lanes = Json::object();
+  for (std::size_t lane = 0; lane < kLaneCount; ++lane) {
+    const LaneSnapshot& l = s.lanes[lane];
+    Json row = Json::object();
+    row.set("depth", l.depth);
+    row.set("peak", l.peak);
+    row.set("rejected", l.rejected);
+    row.set("deadline_exceeded", l.deadline_exceeded);
+    row.set("latency", latency_json(l.latency));
+    lanes.set(lane_name(lane), std::move(row));
+  }
+  out.set("lanes", std::move(lanes));
   Json cache_json = Json::object();
   cache_json.set("hits", cache.hits);
   cache_json.set("misses", cache.misses);
@@ -224,6 +276,7 @@ std::string Metrics::to_json(const ShardedLruCache::Stats& cache) const {
 
 std::string Metrics::summary(const ShardedLruCache::Stats& cache) const {
   const Snapshot s = snapshot();
+  const Registry& registry = Registry::instance();
   char buf[1024];
   std::string out = "---- archline_serve metrics ----\n";
   std::snprintf(buf, sizeof buf,
@@ -237,11 +290,16 @@ std::string Metrics::summary(const ShardedLruCache::Stats& cache) const {
                 static_cast<unsigned long long>(s.rejected),
                 static_cast<unsigned long long>(s.deadline_exceeded));
   out += buf;
-  for (std::size_t i = 0; i < s.by_type.size(); ++i) {
-    if (s.by_type[i] == 0) continue;
-    std::snprintf(buf, sizeof buf, "  %-10s %llu\n",
-                  request_type_name(static_cast<RequestType>(i)),
-                  static_cast<unsigned long long>(s.by_type[i]));
+  for (const Endpoint& e : registry) {
+    if (s.by_endpoint[e.id] == 0) continue;
+    std::snprintf(buf, sizeof buf, "  %-14.*s %llu\n",
+                  static_cast<int>(e.name.size()), e.name.data(),
+                  static_cast<unsigned long long>(s.by_endpoint[e.id]));
+    out += buf;
+  }
+  if (s.by_endpoint[kInvalidSlot] > 0) {
+    std::snprintf(buf, sizeof buf, "  %-14s %llu\n", "invalid",
+                  static_cast<unsigned long long>(s.by_endpoint[kInvalidSlot]));
     out += buf;
   }
   std::snprintf(buf, sizeof buf,
@@ -250,6 +308,17 @@ std::string Metrics::summary(const ShardedLruCache::Stats& cache) const {
                 s.latency.quantile(0.95) * 1e6,
                 s.latency.quantile(0.99) * 1e6);
   out += buf;
+  for (std::size_t lane = 0; lane < kLaneCount; ++lane) {
+    const LaneSnapshot& l = s.lanes[lane];
+    std::snprintf(buf, sizeof buf,
+                  "lane %-8s depth %zu, peak %zu, rejected %llu, "
+                  "deadlined %llu, p99 %.1f us\n",
+                  lane_name(lane), l.depth, l.peak,
+                  static_cast<unsigned long long>(l.rejected),
+                  static_cast<unsigned long long>(l.deadline_exceeded),
+                  l.latency.quantile(0.99) * 1e6);
+    out += buf;
+  }
   std::snprintf(buf, sizeof buf,
                 "cache        %llu hits / %llu misses (%.1f%% hit rate), "
                 "%zu/%zu entries, %llu evictions\n",

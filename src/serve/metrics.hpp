@@ -1,8 +1,8 @@
 #pragma once
-// Server observability: lock-free counters per request type, a streaming
-// log-bucketed latency histogram with quantile extraction, queue-depth
-// gauges, and renderers for the "stats" request (JSON) and the
-// SIGUSR1 / shutdown dump (human-readable text).
+// Server observability: lock-free per-endpoint counters (slotted by
+// registry id), per-class latency histograms, per-lane gauges, and
+// renderers for the "stats" request (JSON) and the SIGUSR1 / shutdown
+// dump (human-readable text).
 
 #include <array>
 #include <atomic>
@@ -11,7 +11,8 @@
 #include <string>
 
 #include "serve/cache.hpp"
-#include "serve/protocol.hpp"
+#include "serve/queue.hpp"
+#include "serve/registry.hpp"
 
 namespace archline::serve {
 
@@ -45,20 +46,30 @@ class LatencyHistogram {
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
 };
 
-/// Per-request-type counters plus global gauges. All methods are
-/// thread-safe; writers never block.
+/// Per-endpoint counters plus lane and connection gauges. All methods
+/// are thread-safe; writers never block.
 class Metrics {
  public:
+  /// One slot per registrable endpoint plus a trailing slot for
+  /// requests that never reached a handler (parse errors, unknown
+  /// types). Sized statically so completion counters stay plain atomic
+  /// arrays.
+  static constexpr std::size_t kEndpointSlots = Registry::kMaxEndpoints + 1;
+  static constexpr std::size_t kInvalidSlot = Registry::kMaxEndpoints;
+
   Metrics();
 
-  /// Request finished (from cache or evaluated). `ok` is the protocol
-  /// success flag; latency covers submit-to-response.
-  void on_completed(RequestType type, bool ok, double latency_s) noexcept;
+  /// Request finished (from cache or evaluated). `endpoint` is the
+  /// descriptor it dispatched to (nullptr = never reached a handler);
+  /// `ok` is the protocol success flag; latency covers
+  /// submit-to-response and lands in the endpoint's class histogram.
+  void on_completed(const Endpoint* endpoint, bool ok,
+                    double latency_s) noexcept;
 
   /// Request finished but its latency was not measured (the caller's
   /// sample_latency_now() said skip). Counts are exact either way; only
   /// the histogram is sampled.
-  void on_completed(RequestType type, bool ok) noexcept;
+  void on_completed(const Endpoint* endpoint, bool ok) noexcept;
 
   /// Should the caller time the request it is about to run? Latency
   /// timestamps cost two clock reads per request — a measurable slice
@@ -73,15 +84,16 @@ class Metrics {
   static constexpr std::uint64_t kLatencyWarmupSamples = 256;
   static constexpr std::uint64_t kLatencySampleEvery = 16;
 
-  /// Request rejected at admission because the queue was full.
-  void on_rejected() noexcept;
+  /// Request rejected at admission because its lane was full.
+  void on_rejected(std::size_t lane) noexcept;
 
-  /// Request expired in the queue and was answered with
+  /// Request expired in its lane and was answered with
   /// deadline_exceeded instead of being executed.
-  void on_deadline_exceeded() noexcept;
+  void on_deadline_exceeded(std::size_t lane) noexcept;
 
-  /// Queue depth observed after a push (tracks current and high water).
-  void on_queue_depth(std::size_t depth) noexcept;
+  /// Lane depth observed after a push or a batch pop (tracks current
+  /// and high water per lane).
+  void on_lane_depth(std::size_t lane, std::size_t depth) noexcept;
 
   /// Connection lifecycle, reported by the TCP event loop.
   void on_connection_opened() noexcept;    ///< accepted++ and open++
@@ -89,27 +101,37 @@ class Metrics {
   void on_connection_rejected() noexcept;  ///< over the connection cap
   void on_connection_idle_closed() noexcept;  ///< idle timeout fired
 
+  struct LaneSnapshot {
+    std::uint64_t rejected = 0;           ///< overload rejections
+    std::uint64_t deadline_exceeded = 0;  ///< expired while queued
+    std::size_t depth = 0;
+    std::size_t peak = 0;
+    LatencyHistogram::Snapshot latency;   ///< completions of this class
+  };
+
   struct Snapshot {
-    std::uint64_t completed = 0;        ///< sum over types
+    std::uint64_t completed = 0;        ///< sum over endpoints
     std::uint64_t errors = 0;           ///< ok == false completions
-    std::uint64_t rejected = 0;         ///< overload rejections
-    std::uint64_t deadline_exceeded = 0;  ///< expired in queue
-    std::array<std::uint64_t, 7> by_type{};  ///< indexed by RequestType
-    std::size_t queue_depth = 0;
-    std::size_t queue_peak = 0;
+    std::uint64_t rejected = 0;         ///< sum over lanes
+    std::uint64_t deadline_exceeded = 0;  ///< sum over lanes
+    std::array<std::uint64_t, kEndpointSlots> by_endpoint{};  ///< by id
+    std::array<LaneSnapshot, kLaneCount> lanes{};
+    std::size_t queue_depth = 0;        ///< sum of lane depths
+    std::size_t queue_peak = 0;         ///< max over lane peaks
     std::uint64_t connections_open = 0;      ///< gauge: live connections
     std::uint64_t connections_accepted = 0;  ///< lifetime accepts
     std::uint64_t connections_rejected = 0;  ///< refused at the cap
     std::uint64_t connections_idle_closed = 0;  ///< closed by idle timer
     double uptime_s = 0.0;
     double qps = 0.0;                   ///< completed / uptime
-    LatencyHistogram::Snapshot latency;
+    LatencyHistogram::Snapshot latency;  ///< all classes merged
   };
 
   [[nodiscard]] Snapshot snapshot() const noexcept;
 
   /// The "stats" response body: {"ok":true,"type":"stats",...} with the
-  /// snapshot, latency quantiles, and the cache's counters folded in.
+  /// snapshot, latency quantiles, per-lane sections, and the cache's
+  /// counters folded in.
   [[nodiscard]] std::string to_json(const ShardedLruCache::Stats& cache)
       const;
 
@@ -126,10 +148,12 @@ class Metrics {
   /// events (rejections, connection lifecycle) and stay unsharded.
   static constexpr std::size_t kCompletionShards = 8;
   struct alignas(64) CompletionShard {
-    std::array<std::atomic<std::uint64_t>, 7> by_type{};
+    std::array<std::atomic<std::uint64_t>, kEndpointSlots> by_endpoint{};
     std::atomic<std::uint64_t> errors{0};
     std::atomic<std::uint64_t> sample_tick{0};  ///< sample_latency_now state
-    LatencyHistogram latency;
+    /// One histogram per request class — the per-class p99 under mixed
+    /// load is the number the lane design is judged by.
+    std::array<LatencyHistogram, kRequestClassCount> latency{};
   };
 
   /// The calling thread's home shard (round-robin assigned on first use).
@@ -137,10 +161,10 @@ class Metrics {
 
   std::chrono::steady_clock::time_point start_;
   std::array<CompletionShard, kCompletionShards> completion_shards_{};
-  std::atomic<std::uint64_t> rejected_{0};
-  std::atomic<std::uint64_t> deadline_exceeded_{0};
-  std::atomic<std::uint64_t> queue_depth_{0};
-  std::atomic<std::uint64_t> queue_peak_{0};
+  std::array<std::atomic<std::uint64_t>, kLaneCount> rejected_{};
+  std::array<std::atomic<std::uint64_t>, kLaneCount> deadline_exceeded_{};
+  std::array<std::atomic<std::uint64_t>, kLaneCount> lane_depth_{};
+  std::array<std::atomic<std::uint64_t>, kLaneCount> lane_peak_{};
   std::atomic<std::uint64_t> connections_open_{0};
   std::atomic<std::uint64_t> connections_accepted_{0};
   std::atomic<std::uint64_t> connections_rejected_{0};

@@ -1,392 +1,12 @@
 #include "serve/protocol.hpp"
 
-#include <cmath>
 #include <stdexcept>
-#include <utility>
+#include <string>
 
-#include "core/analysis.hpp"
-#include "core/machine_params.hpp"
-#include "core/roofline.hpp"
-#include "core/scenarios.hpp"
-#include "fit/model_fit.hpp"
-#include "microbench/suite.hpp"
-#include "platforms/platform_db.hpp"
+#include "serve/endpoint_util.hpp"
+#include "serve/registry.hpp"
 
 namespace archline::serve {
-
-namespace {
-
-/// Thrown internally to surface a structured (code, message) pair.
-struct RequestError {
-  std::string code;
-  std::string message;
-};
-
-[[noreturn]] void bad(std::string message) {
-  throw RequestError{"bad_request", std::move(message)};
-}
-
-double require_number(const Json& req, std::string_view key) {
-  const Json* v = req.find(key);
-  if (!v) bad("missing required field \"" + std::string(key) + "\"");
-  if (!v->is_number())
-    bad("field \"" + std::string(key) + "\" must be a number");
-  return v->as_number();
-}
-
-std::string require_string(const Json& req, std::string_view key) {
-  const Json* v = req.find(key);
-  if (!v) bad("missing required field \"" + std::string(key) + "\"");
-  if (!v->is_string())
-    bad("field \"" + std::string(key) + "\" must be a string");
-  return std::string(v->as_string_view());
-}
-
-core::Precision parse_precision(const Json& req) {
-  const std::string p = req.string_or("precision", "sp");
-  if (p == "sp" || p == "single") return core::Precision::Single;
-  if (p == "dp" || p == "double") return core::Precision::Double;
-  bad("unknown precision \"" + p + "\" (expected \"sp\" or \"dp\")");
-}
-
-core::MemLevel parse_level(const Json& req) {
-  const std::string l = req.string_or("level", "dram");
-  if (l == "dram") return core::MemLevel::DRAM;
-  if (l == "l1") return core::MemLevel::L1;
-  if (l == "l2") return core::MemLevel::L2;
-  bad("unknown level \"" + l + "\" (expected \"dram\", \"l1\", or \"l2\")");
-}
-
-/// Looks up a platform by name, mapping a miss to a structured error.
-const platforms::PlatformSpec& lookup_platform(const std::string& name) {
-  if (!platforms::has_platform(name))
-    throw RequestError{"unknown_platform",
-                       "no platform named \"" + name + "\""};
-  return platforms::platform(name);
-}
-
-/// MachineParams from an inline {"machine": {...}} object.
-core::MachineParams machine_from_json(const Json& spec) {
-  core::MachineParams m;
-  m.tau_flop = require_number(spec, "tau_flop");
-  m.eps_flop = require_number(spec, "eps_flop");
-  m.tau_mem = require_number(spec, "tau_mem");
-  m.eps_mem = require_number(spec, "eps_mem");
-  m.pi1 = require_number(spec, "pi1");
-  const Json* cap = spec.find("delta_pi");
-  m.delta_pi = (cap && cap->is_number()) ? cap->as_number() : core::kUncapped;
-  return m;
-}
-
-/// Resolves the machine a request addresses: either "platform" (a
-/// Table I name, with optional precision / memory level) or an inline
-/// "machine" parameter object, then optional cap modifiers
-/// (uncapped / cap_divisor / cap_watts). `name_out` receives a label
-/// for the response.
-core::MachineParams resolve_machine(const Json& req, std::string& name_out) {
-  core::MachineParams m;
-  if (const Json* inline_spec = req.find("machine")) {
-    if (!inline_spec->is_object()) bad("\"machine\" must be an object");
-    m = machine_from_json(*inline_spec);
-    name_out = req.string_or("name", "inline");
-  } else {
-    const std::string platform_name = require_string(req, "platform");
-    const platforms::PlatformSpec& spec = lookup_platform(platform_name);
-    const core::Precision prec = parse_precision(req);
-    const core::MemLevel level = parse_level(req);
-    try {
-      m = (level == core::MemLevel::DRAM) ? spec.machine(prec)
-                                          : spec.machine_at_level(level, prec);
-    } catch (const std::exception& e) {
-      throw RequestError{"unsupported", e.what()};
-    }
-    name_out = platform_name;
-  }
-  if (req.bool_or("uncapped", false)) m = m.without_cap();
-  if (const Json* k = req.find("cap_divisor")) {
-    if (!k->is_number() || k->as_number() < 1.0)
-      bad("\"cap_divisor\" must be a number >= 1");
-    m = core::with_cap_scaled(m, k->as_number());
-  }
-  if (const Json* w = req.find("cap_watts")) {
-    if (!w->is_number() || w->as_number() <= 0.0)
-      bad("\"cap_watts\" must be a positive number");
-    m = core::with_cap(m, w->as_number());
-  }
-  try {
-    m.validate("request machine");
-  } catch (const std::exception& e) {
-    bad(e.what());
-  }
-  return m;
-}
-
-/// Workload from "flops" plus either "bytes" or "intensity".
-core::Workload resolve_workload(const Json& req) {
-  const double flops = req.number_or("flops", 1e9);
-  if (!(flops > 0.0)) bad("\"flops\" must be positive");
-  const Json* bytes = req.find("bytes");
-  const Json* intensity = req.find("intensity");
-  if (bytes) {
-    if (!bytes->is_number() || !(bytes->as_number() > 0.0))
-      bad("\"bytes\" must be a positive number");
-    return core::Workload{.flops = flops, .bytes = bytes->as_number()};
-  }
-  if (intensity) {
-    if (!intensity->is_number() || !(intensity->as_number() > 0.0))
-      bad("\"intensity\" must be a positive number");
-    return core::Workload::from_intensity(flops, intensity->as_number());
-  }
-  bad("need \"bytes\" or \"intensity\"");
-}
-
-/// Starts a response object: ok, type, echoed id (if the request had one).
-Json begin_reply(RequestType type, const Json& req) {
-  Json out = Json::object();
-  out.set("ok", true);
-  out.set("type", request_type_name(type));
-  if (const Json* id = req.find("id")) out.set("id", *id);
-  return out;
-}
-
-void add_prediction(Json& out, const core::MachineParams& m,
-                    const core::Workload& w) {
-  const double t = core::time(m, w);
-  const double e = core::energy(m, w);
-  out.set("intensity", w.intensity());
-  out.set("time_s", t);
-  out.set("energy_j", e);
-  out.set("avg_power_w", core::avg_power(m, w));
-  out.set("performance_flops", w.flops / t);
-  out.set("efficiency_flops_per_joule", w.flops / e);
-  out.set("regime", core::regime_name(core::regime(m, w)));
-}
-
-// ---- Request handlers -----------------------------------------------------
-
-Json do_predict(const Json& req) {
-  std::string name;
-  const core::MachineParams m = resolve_machine(req, name);
-  const core::Workload w = resolve_workload(req);
-  Json out = begin_reply(RequestType::Predict, req);
-  out.set("platform", name);
-  out.set("flops", w.flops);
-  out.set("bytes", w.bytes);
-  add_prediction(out, m, w);
-  return out;
-}
-
-core::Metric parse_metric(const Json& req) {
-  const std::string m = req.string_or("metric", "performance");
-  if (m == "performance") return core::Metric::Performance;
-  if (m == "efficiency") return core::Metric::EnergyEfficiency;
-  if (m == "power") return core::Metric::Power;
-  bad("unknown metric \"" + m +
-      "\" (expected \"performance\", \"efficiency\", or \"power\")");
-}
-
-Json do_crossover(const Json& req) {
-  const std::string name_a = require_string(req, "a");
-  const std::string name_b = require_string(req, "b");
-  const core::Precision prec = parse_precision(req);
-  core::MachineParams a, b;
-  try {
-    a = lookup_platform(name_a).machine(prec);
-    b = lookup_platform(name_b).machine(prec);
-  } catch (const RequestError&) {
-    throw;
-  } catch (const std::exception& e) {
-    throw RequestError{"unsupported", e.what()};
-  }
-  const core::Metric metric = parse_metric(req);
-  const double lo = req.number_or("lo", 1.0 / 64.0);
-  const double hi = req.number_or("hi", 512.0);
-  if (!(lo > 0.0) || !(hi > lo)) bad("need 0 < lo < hi");
-  const double x = core::crossover_intensity(a, b, metric, lo, hi);
-  Json out = begin_reply(RequestType::Crossover, req);
-  out.set("a", name_a);
-  out.set("b", name_b);
-  out.set("metric", req.string_or("metric", "performance"));
-  out.set("found", x > 0.0);
-  if (x > 0.0) {
-    out.set("intensity", x);
-    out.set("value_a", core::metric_value(a, metric, x));
-    out.set("value_b", core::metric_value(b, metric, x));
-  }
-  return out;
-}
-
-Json do_scenario(const Json& req) {
-  const std::string kind = require_string(req, "kind");
-  Json out = begin_reply(RequestType::Scenario, req);
-  out.set("kind", kind);
-  if (kind == "throttle") {
-    std::string name;
-    const core::MachineParams m = resolve_machine(req, name);
-    const double intensity = require_number(req, "intensity");
-    const double cap_watts = require_number(req, "watts");
-    if (!(intensity > 0.0)) bad("\"intensity\" must be positive");
-    if (!(cap_watts > 0.0)) bad("\"watts\" must be positive");
-    const core::ThrottleRequirement r =
-        core::throttle_requirement(m, intensity, cap_watts);
-    out.set("platform", name);
-    out.set("intensity", r.intensity);
-    out.set("cap_watts", r.cap_watts);
-    out.set("slowdown", r.slowdown);
-    out.set("flop_rate_fraction", r.flop_rate_fraction);
-    out.set("mem_rate_fraction", r.mem_rate_fraction);
-    out.set("regime", core::regime_name(r.regime));
-    return out;
-  }
-  if (kind == "aggregate") {
-    std::string name;
-    const core::MachineParams block = resolve_machine(req, name);
-    const double count = require_number(req, "count");
-    if (count < 1.0 || count != std::floor(count) || count > 1e6)
-      bad("\"count\" must be an integer in [1, 1e6]");
-    const core::MachineParams node =
-        core::aggregate(block, static_cast<int>(count));
-    const core::Workload w = resolve_workload(req);
-    out.set("platform", name);
-    out.set("count", count);
-    out.set("node_max_power_w", node.max_power());
-    add_prediction(out, node, w);
-    return out;
-  }
-  if (kind == "power_bound") {
-    const std::string big_name = require_string(req, "big");
-    const std::string small_name = require_string(req, "small");
-    core::MachineParams big, small;
-    try {
-      big = lookup_platform(big_name).machine();
-      small = lookup_platform(small_name).machine();
-    } catch (const RequestError&) {
-      throw;
-    } catch (const std::exception& e) {
-      throw RequestError{"unsupported", e.what()};
-    }
-    const double bound = require_number(req, "watts");
-    const double intensity = require_number(req, "intensity");
-    if (!(bound > 0.0)) bad("\"watts\" must be positive");
-    if (!(intensity > 0.0)) bad("\"intensity\" must be positive");
-    core::PowerBoundComparison c;
-    try {
-      c = core::power_bound_comparison(big, small, bound, intensity);
-    } catch (const std::exception& e) {
-      bad(e.what());
-    }
-    out.set("big", big_name);
-    out.set("small", small_name);
-    out.set("bound_watts", c.bound_watts);
-    out.set("intensity", intensity);
-    out.set("big_cap_divisor", c.big_cap_divisor);
-    out.set("big_performance_flops", c.big_performance);
-    out.set("big_slowdown", c.big_slowdown);
-    out.set("small_count", c.small_count);
-    out.set("small_performance_flops", c.small_performance);
-    out.set("speedup", c.speedup);
-    return out;
-  }
-  bad("unknown scenario kind \"" + kind +
-      "\" (expected \"throttle\", \"aggregate\", or \"power_bound\")");
-}
-
-Json do_fit(const Json& req, const ProtocolLimits& limits) {
-  const Json* obs_json = req.find("observations");
-  if (!obs_json || !obs_json->is_array())
-    bad("\"observations\" must be an array");
-  const Json::Array& rows = obs_json->as_array();
-  if (rows.size() > limits.max_fit_observations)
-    bad("too many observations (max " +
-        std::to_string(limits.max_fit_observations) + ")");
-  std::vector<microbench::Observation> obs;
-  obs.reserve(rows.size());
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    if (!rows[i].is_object())
-      bad("observation " + std::to_string(i) + " must be an object");
-    microbench::Observation o;
-    o.kernel.label = "serve obs " + std::to_string(i);
-    o.kernel.flops = require_number(rows[i], "flops");
-    o.kernel.bytes = require_number(rows[i], "bytes");
-    o.seconds = require_number(rows[i], "seconds");
-    o.joules = require_number(rows[i], "joules");
-    if (!(o.kernel.flops >= 0.0) || !(o.kernel.bytes > 0.0) ||
-        !(o.seconds > 0.0) || !(o.joules > 0.0))
-      bad("observation " + std::to_string(i) +
-          " needs bytes/seconds/joules > 0 and flops >= 0");
-    o.watts = o.joules / o.seconds;
-    obs.push_back(std::move(o));
-  }
-  fit::FitOptions opt;
-  opt.kind = req.bool_or("uncapped", false) ? fit::ModelKind::Uncapped
-                                            : fit::ModelKind::Capped;
-  opt.idle_watts_hint = req.number_or("idle_watts", 0.0);
-  opt.max_watts_hint = req.number_or("max_watts", 0.0);
-  fit::FitResult result;
-  try {
-    result = fit::fit_observations(obs, opt);
-  } catch (const std::exception& e) {
-    throw RequestError{"fit_failed", e.what()};
-  }
-  Json out = begin_reply(RequestType::Fit, req);
-  Json machine = Json::object();
-  machine.set("tau_flop", result.machine.tau_flop);
-  machine.set("eps_flop", result.machine.eps_flop);
-  machine.set("tau_mem", result.machine.tau_mem);
-  machine.set("eps_mem", result.machine.eps_mem);
-  machine.set("pi1", result.machine.pi1);
-  // kUncapped serializes as null (format_number maps non-finite to null).
-  machine.set("delta_pi", result.machine.delta_pi);
-  out.set("machine", std::move(machine));
-  out.set("observations", result.observations);
-  out.set("rss", result.rss);
-  out.set("r_squared_perf", result.r_squared_perf);
-  out.set("converged", result.converged);
-  return out;
-}
-
-Json do_platforms(const Json& req) {
-  Json out = begin_reply(RequestType::Platforms, req);
-  Json list = Json::array();
-  for (const platforms::PlatformSpec& spec : platforms::all_platforms()) {
-    Json row = Json::object();
-    row.set("name", spec.name);
-    row.set("class", platforms::to_string(spec.device_class));
-    row.set("peak_sp_flops", spec.peak_sp_flops);
-    row.set("peak_bandwidth", spec.peak_bandwidth);
-    row.set("pi1_w", spec.pi1);
-    row.set("delta_pi_w", spec.delta_pi);
-    row.set("has_dp", spec.has_double());
-    list.push_back(std::move(row));
-  }
-  out.set("platforms", std::move(list));
-  return out;
-}
-
-}  // namespace
-
-const char* request_type_name(RequestType t) noexcept {
-  switch (t) {
-    case RequestType::Predict: return "predict";
-    case RequestType::Crossover: return "crossover";
-    case RequestType::Scenario: return "scenario";
-    case RequestType::Fit: return "fit";
-    case RequestType::Platforms: return "platforms";
-    case RequestType::Stats: return "stats";
-    case RequestType::Invalid: return "invalid";
-  }
-  return "?";
-}
-
-RequestType request_type_from(std::string_view name) noexcept {
-  if (name == "predict") return RequestType::Predict;
-  if (name == "crossover") return RequestType::Crossover;
-  if (name == "scenario") return RequestType::Scenario;
-  if (name == "fit") return RequestType::Fit;
-  if (name == "platforms") return RequestType::Platforms;
-  if (name == "stats") return RequestType::Stats;
-  return RequestType::Invalid;
-}
 
 namespace {
 
@@ -435,7 +55,7 @@ void handle_line(std::string_view line, const ProtocolLimits& limits,
                  Reply& reply) {
   // Full reset: callers reuse one Reply across requests, so stale
   // routing facts from the previous request must not leak through.
-  reply.type = RequestType::Invalid;
+  reply.endpoint = nullptr;
   reply.ok = false;
   reply.cacheable = false;
   reply.body.clear();
@@ -467,30 +87,30 @@ void handle_line(std::string_view line, const ProtocolLimits& limits,
                     id, reply.body);
     return;
   }
-  const RequestType type = request_type_from(type_field->as_string_view());
-  reply.type = type;
+  // Registry dispatch: the whole protocol surface is one table lookup.
+  // Endpoints register themselves (see registry.hpp); this function
+  // does not change when the surface grows.
+  const Endpoint* endpoint =
+      Registry::instance().find(type_field->as_string_view());
+  if (!endpoint) {
+    error_body_into("bad_request",
+                    "unknown request type \"" +
+                        std::string(type_field->as_string_view()) + "\"",
+                    id, reply.body);
+    return;
+  }
+  reply.endpoint = endpoint;
   try {
-    Json out;
-    switch (type) {
-      case RequestType::Predict: out = do_predict(req); break;
-      case RequestType::Crossover: out = do_crossover(req); break;
-      case RequestType::Scenario: out = do_scenario(req); break;
-      case RequestType::Fit: out = do_fit(req, limits); break;
-      case RequestType::Platforms: out = do_platforms(req); break;
-      case RequestType::Stats:
-        // Evaluated by Server against live metrics; flagged here only.
-        reply.ok = true;
-        return;
-      case RequestType::Invalid:
-        error_body_into("bad_request",
-                        "unknown request type \"" +
-                            std::string(type_field->as_string_view()) + "\"",
-                        id, reply.body);
-        return;
+    if (endpoint->server_evaluated) {
+      // Rendered by Server against live state; flagged here only.
+      reply.ok = true;
+      return;
     }
+    const EndpointContext ctx{req, limits, *endpoint};
+    Json out = endpoint->handler(ctx);
     out.dump_to(reply.body);
     reply.ok = true;
-    reply.cacheable = true;
+    reply.cacheable = endpoint->cacheable;
   } catch (const RequestError& e) {
     error_body_into(e.code, e.message, id, reply.body);
   } catch (const std::exception& e) {

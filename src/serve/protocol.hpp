@@ -8,58 +8,42 @@
 // lets clients verify byte-identical replay. See docs/SERVER.md for the
 // wire format with examples.
 //
-// This layer is stateless: it parses, validates, dispatches onto
-// core::roofline / core::analysis / core::scenarios / fit::model_fit /
-// platforms::platform_db, and renders the reply. Queueing, caching, and
-// metrics live in serve::Server.
+// This layer is stateless: it parses, validates, and dispatches through
+// the endpoint registry (serve/registry.hpp) — the set of request types
+// lives entirely in the endpoint translation units, never here. Queueing,
+// caching, and metrics live in serve::Server.
 
 #include <cstddef>
 #include <string>
 #include <string_view>
 
 #include "serve/json.hpp"
+#include "serve/protocol_limits.hpp"
+#include "serve/registry.hpp"
 
 namespace archline::serve {
-
-enum class RequestType {
-  Predict,    ///< time/energy/power/regime for platform x (W, Q)
-  Crossover,  ///< intensity where two platforms tie on a metric
-  Scenario,   ///< what-ifs: throttle / aggregate / power_bound
-  Fit,        ///< fit model params to inline (W, Q, t, E) observations
-  Platforms,  ///< list the platform database
-  Stats,      ///< server metrics (handled by Server, not here)
-  Invalid,    ///< unparsable or unknown-type request
-};
-
-[[nodiscard]] const char* request_type_name(RequestType t) noexcept;
-[[nodiscard]] RequestType request_type_from(std::string_view name) noexcept;
 
 /// A rendered response plus the routing facts Server needs.
 struct Reply {
   std::string body;  ///< one-line JSON response (no trailing newline)
-  RequestType type = RequestType::Invalid;
+  /// The registry descriptor the request dispatched to; nullptr when it
+  /// never reached a handler (parse error, unknown type, oversized).
+  const Endpoint* endpoint = nullptr;
   bool ok = false;
   /// True when the reply is a deterministic pure function of the request
-  /// and worth memoizing (predict / fit / crossover / scenario /
-  /// platforms successes).
+  /// and worth memoizing (handler successes on cacheable endpoints).
   bool cacheable = false;
 };
 
-/// Hard limits applied before parsing.
-struct ProtocolLimits {
-  std::size_t max_request_bytes = 1 << 20;  ///< reject longer lines
-  int max_json_depth = 32;
-  std::size_t max_fit_observations = 4096;
-};
-
-/// Handles one request line end to end: size check, JSON parse, type
+/// Handles one request line end to end: size check, JSON parse, registry
 /// dispatch, evaluation, rendering. Never throws and never crashes on
 /// malformed input — every failure renders as
 /// {"ok":false,"error":<code>,"message":...}.
 ///
-/// A "stats" request is NOT evaluated here (the protocol layer has no
-/// metrics); it returns a Reply with type Stats, ok = true, empty body,
-/// and the caller substitutes the live snapshot.
+/// A server_evaluated endpoint ("stats") is NOT rendered here (the
+/// protocol layer has no metrics); it returns a Reply with that
+/// endpoint, ok = true, empty body, and the caller substitutes the
+/// live snapshot.
 [[nodiscard]] Reply handle_line(std::string_view line,
                                 const ProtocolLimits& limits = {});
 
@@ -79,7 +63,7 @@ void handle_line(std::string_view line, const ProtocolLimits& limits,
                                      std::string_view message,
                                      const Json* id = nullptr);
 
-/// The canned reply Server sends when the request queue is full. Built
+/// The canned reply Server sends when the request's lane is full. Built
 /// once; contains code "overloaded".
 [[nodiscard]] const std::string& overloaded_body();
 

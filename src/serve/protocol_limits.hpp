@@ -1,0 +1,18 @@
+#pragma once
+// Hard request limits applied before parsing. Split from protocol.hpp
+// so the endpoint registry (which handlers and the dispatcher both
+// include) does not depend on the dispatcher's header.
+
+#include <cstddef>
+
+namespace archline::serve {
+
+struct ProtocolLimits {
+  std::size_t max_request_bytes = 1 << 20;  ///< reject longer lines
+  int max_json_depth = 32;
+  std::size_t max_fit_observations = 4096;
+  /// Caps scenario_sweep grids: intensities * cap_divisors points.
+  std::size_t max_sweep_points = 4096;
+};
+
+}  // namespace archline::serve

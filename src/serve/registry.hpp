@@ -1,0 +1,127 @@
+#pragma once
+// The typed endpoint registry: the single source of truth for what the
+// server can do.
+//
+// Every request type is an Endpoint descriptor — wire name, execution
+// class (Light / Heavy), cacheability, handler — registered once at
+// startup by its defining translation unit. The protocol dispatcher
+// (`handle_line`), the response cache (entry tags), the metrics layer
+// (per-endpoint slots), and the admission classifier all key off the
+// descriptor's dense id, so adding an endpoint is ONE registration call
+// in ONE file: protocol.cpp / server.cpp / metrics.cpp never change.
+//
+// Registration happens inside Registry::instance()'s lazy initializer,
+// which calls each module's registrar function explicitly
+// (register_core_endpoints, register_analysis_endpoints). Explicit
+// calls — rather than static-initializer self-registration — keep the
+// endpoints alive through static-library dead-stripping and make the
+// id assignment order deterministic, which matters because ids ride
+// in cache entry tags and metrics arrays.
+//
+// Execution classes (the paper's own split): Light endpoints are
+// closed-form model evaluation (eqs. 1-7 — microseconds), Heavy
+// endpoints run iterative work (§V parameter fitting, batched sweeps —
+// milliseconds). serve::Server maps the class to an execution lane so
+// a flood of Heavy requests cannot starve Light ones (see queue.hpp).
+
+#include <cstdint>
+#include <string_view>
+
+#include "serve/json.hpp"
+#include "serve/protocol_limits.hpp"
+
+namespace archline::serve {
+
+/// Execution class: which lane a request runs on (see LaneScheduler).
+enum class RequestClass : std::uint8_t {
+  Light = 0,  ///< closed-form evaluation, microseconds
+  Heavy = 1,  ///< iterative / batched work, milliseconds
+};
+
+inline constexpr std::size_t kRequestClassCount = 2;
+
+[[nodiscard]] const char* request_class_name(RequestClass c) noexcept;
+
+struct Endpoint;
+
+/// Context handed to an endpoint handler: the parsed request, the
+/// protocol limits (fit observation caps etc.), and the endpoint's own
+/// descriptor (so begin_reply can stamp the wire name without a lookup).
+struct EndpointContext {
+  const Json& req;
+  const ProtocolLimits& limits;
+  const Endpoint& endpoint;
+};
+
+/// Handler contract: build the success reply as a Json object (the
+/// dispatcher serializes it). Failures are reported by throwing
+/// RequestError (see endpoint_util.hpp); any other exception renders as
+/// {"error":"internal"}.
+using EndpointHandler = Json (*)(const EndpointContext&);
+
+/// One registered request type.
+struct Endpoint {
+  std::string_view name;  ///< wire value of the request's "type" member
+  RequestClass klass = RequestClass::Light;
+  /// Deterministic pure function of the request bytes — worth memoizing
+  /// in the response cache.
+  bool cacheable = true;
+  /// The handler cannot render this reply from the request alone; the
+  /// Server substitutes the body against live state ("stats"). Such
+  /// replies are never cached.
+  bool server_evaluated = false;
+  EndpointHandler handler = nullptr;
+  /// Dense id, assigned at registration in registration order. Doubles
+  /// as the cache entry tag and the metrics slot.
+  std::uint8_t id = 0;
+};
+
+class Registry {
+ public:
+  /// The ceiling on registered endpoints. The cache tag is one byte and
+  /// metrics slot arrays are sized statically, so the bound is explicit;
+  /// registration past it aborts (a programming error, not runtime input).
+  static constexpr std::size_t kMaxEndpoints = 16;
+
+  /// The process-wide registry, fully populated (all module registrars
+  /// have run). Thread-safe; first caller builds it.
+  [[nodiscard]] static const Registry& instance();
+
+  /// Registers one endpoint and assigns its id. Only meaningful inside
+  /// a module registrar invoked from instance()'s initializer.
+  void add(Endpoint endpoint);
+
+  /// Descriptor for a wire name, or nullptr if unknown.
+  [[nodiscard]] const Endpoint* find(std::string_view name) const noexcept;
+
+  /// Descriptor by dense id (cache tags); nullptr when out of range.
+  [[nodiscard]] const Endpoint* by_id(std::uint8_t id) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+
+  /// Iteration in id order (metrics naming, docs tooling).
+  [[nodiscard]] const Endpoint* begin() const noexcept { return endpoints_; }
+  [[nodiscard]] const Endpoint* end() const noexcept {
+    return endpoints_ + count_;
+  }
+
+ private:
+  Endpoint endpoints_[kMaxEndpoints];
+  std::size_t count_ = 0;
+};
+
+/// Module registrars, called (in this order) by Registry::instance().
+/// Defined in endpoints_core.cpp / endpoints_analysis.cpp — the id
+/// order below is part of the wire-compatible surface (cache tags).
+void register_core_endpoints(Registry& r);
+void register_analysis_endpoints(Registry& r);
+
+/// Admission-time classification without a full JSON parse: scans the
+/// raw request line for its "type" member and returns the matching
+/// endpoint's class. Unknown types, missing types, and malformed lines
+/// classify Light — their replies are cheap errors. Misclassification
+/// can only affect lane choice, never reply bytes (the dispatcher
+/// re-parses properly).
+[[nodiscard]] RequestClass classify_line(std::string_view line) noexcept;
+
+}  // namespace archline::serve

@@ -25,13 +25,31 @@ int resolve_threads(int requested) {
   return static_cast<int>(std::max(2u, hw));
 }
 
+/// Heavy-capable worker count: explicit request clamped to the pool, or
+/// a quarter of the pool (min 1) by default. With the heavy lane
+/// disabled nobody needs heavy capability, so all workers go light-only
+/// plus one all-lanes sweeper (harmless: the heavy lane stays empty).
+int resolve_heavy_workers(int requested, int threads,
+                          std::size_t heavy_capacity) {
+  if (heavy_capacity == 0) return 1;
+  if (requested > 0) return std::min(requested, threads);
+  return std::max(1, threads / 4);
+}
+
 }  // namespace
 
 Server::Server(ServerOptions options)
     : options_(options),
       cache_(options.cache_capacity, options.cache_shards),
-      queue_(options.queue_capacity) {
+      // Heavy lane disabled (capacity 0) => Heavy requests are routed to
+      // the light lane by lane_for(), restoring the unified single-queue
+      // behavior — the A/B baseline for the starvation benchmark.
+      queue_(std::array<LaneConfig, kLaneCount>{
+          LaneConfig{options.queue_capacity, kLightWeight},
+          LaneConfig{options.heavy_lane_capacity, kHeavyWeight}}) {
   options_.threads = resolve_threads(options_.threads);
+  options_.heavy_workers = resolve_heavy_workers(
+      options_.heavy_workers, options_.threads, options_.heavy_lane_capacity);
 }
 
 Server::~Server() { shutdown(); }
@@ -39,38 +57,56 @@ Server::~Server() { shutdown(); }
 void Server::start() {
   std::lock_guard<std::mutex> lock(lifecycle_mutex_);
   if (running_.load(std::memory_order_acquire)) return;
-  // A previous shutdown() closed the queue; reopen so submit() admits
+  // A previous shutdown() closed the lanes; reopen so submit() admits
   // again and fresh workers block in pop_n() instead of exiting at once.
   queue_.reopen();
   workers_.reserve(static_cast<std::size_t>(options_.threads));
-  for (int i = 0; i < options_.threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+  // The first heavy_workers threads drain both lanes with weighted
+  // round-robin; the rest are light-only, so Heavy execution concurrency
+  // is capped and a fit flood can never occupy the whole pool.
+  for (int i = 0; i < options_.threads; ++i) {
+    const LaneMask mask = i < options_.heavy_workers ? kAllLanes : kLightOnly;
+    workers_.emplace_back([this, mask] { worker_loop(mask); });
+  }
   running_.store(true, std::memory_order_release);
 }
 
+std::size_t Server::lane_for(std::string_view line) const noexcept {
+  if (options_.heavy_lane_capacity == 0) return kLightLane;
+  return classify_line(line) == RequestClass::Heavy ? kHeavyLane : kLightLane;
+}
+
 bool Server::submit(std::string line, Done done) {
+  const std::size_t lane = lane_for(line);
+  const int deadline_ms = lane == kHeavyLane && options_.heavy_deadline_ms > 0
+                              ? options_.heavy_deadline_ms
+                              : options_.request_deadline_ms;
   const auto deadline =
-      options_.request_deadline_ms > 0
-          ? Clock::now() + std::chrono::milliseconds(
-                               options_.request_deadline_ms)
-          : Clock::time_point::max();
-  return submit(std::move(line), std::move(done), deadline);
+      deadline_ms > 0 ? Clock::now() + std::chrono::milliseconds(deadline_ms)
+                      : Clock::time_point::max();
+  return submit_to_lane(std::move(line), std::move(done), deadline, lane);
 }
 
 bool Server::submit(std::string line, Done done, Clock::time_point deadline) {
+  return submit_to_lane(std::move(line), std::move(done), deadline,
+                        lane_for(line));
+}
+
+bool Server::submit_to_lane(std::string line, Done done,
+                            Clock::time_point deadline, std::size_t lane) {
   // `admitted` anchors queue-inclusive latency; like handle_into, it is
   // only stamped for requests whose latency is sampled.
   Job job{std::move(line), std::move(done),
           metrics_.sample_latency_now()
               ? std::chrono::steady_clock::now()
               : std::chrono::steady_clock::time_point{},
-          deadline};
+          deadline, lane};
   std::size_t depth = 0;
-  if (!queue_.try_push(std::move(job), &depth)) {
-    metrics_.on_rejected();
+  if (!queue_.try_push(lane, std::move(job), &depth)) {
+    metrics_.on_rejected(lane);
     return false;
   }
-  metrics_.on_queue_depth(depth);
+  metrics_.on_lane_depth(lane, depth);
   return true;
 }
 
@@ -99,38 +135,39 @@ void Server::execute_into(
     std::string_view line, std::chrono::steady_clock::time_point started,
     Reply& reply) {
   const std::string_view key = trim(line);
-  const auto finish = [&](RequestType type, bool ok) {
+  const auto finish = [&](const Endpoint* endpoint, bool ok) {
     if (started == std::chrono::steady_clock::time_point{}) {
-      metrics_.on_completed(type, ok);  // counted, latency unsampled
+      metrics_.on_completed(endpoint, ok);  // counted, latency unsampled
       return;
     }
     const double latency =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       started)
             .count();
-    metrics_.on_completed(type, ok, latency);
+    metrics_.on_completed(endpoint, ok, latency);
   };
 
   // Hot path: a byte-identical request skips parsing entirely. The
-  // RequestType rides out-of-band as the entry's tag and the body is
+  // endpoint id rides out-of-band as the entry's tag and the body is
   // copied exactly once, into reply.body's reused capacity.
   reply.body.clear();
   std::uint8_t tag = 0;
   if (cache_.get(key, reply.body, tag)) {
-    reply.type = static_cast<RequestType>(tag);
+    reply.endpoint = Registry::instance().by_id(tag);
     reply.ok = true;
     reply.cacheable = true;
-    finish(reply.type, true);
+    finish(reply.endpoint, true);
     return;
   }
 
   handle_line(key, options_.limits, reply);
-  if (reply.type == RequestType::Stats && reply.ok)
+  // server_evaluated endpoints ("stats") render against live server
+  // state instead of the request alone; the handler left the body empty.
+  if (reply.ok && reply.endpoint && reply.endpoint->server_evaluated)
     reply.body = stats_body();
   if (reply.ok && reply.cacheable)
-    cache_.put(key, std::string(reply.body),
-               static_cast<std::uint8_t>(reply.type));
-  finish(reply.type, reply.ok);
+    cache_.put(key, std::string(reply.body), reply.endpoint->id);
+  finish(reply.endpoint, reply.ok);
 }
 
 void Server::run_job(Job& job, Reply& scratch) {
@@ -139,7 +176,7 @@ void Server::run_job(Job& job, Reply& scratch) {
   // has likely given up on.
   if (job.deadline != Clock::time_point::max() &&
       Clock::now() > job.deadline) {
-    metrics_.on_deadline_exceeded();
+    metrics_.on_deadline_exceeded(job.lane);
     job.done(std::string(deadline_exceeded_body()));
     return;
   }
@@ -150,17 +187,18 @@ void Server::run_job(Job& job, Reply& scratch) {
   job.done(std::move(scratch.body));
 }
 
-void Server::worker_loop() {
+void Server::worker_loop(LaneMask mask) {
   std::vector<Job> batch;
   batch.reserve(kWorkerBatch);
   Reply scratch;
+  std::array<std::size_t, kLaneCount> depths{};
   for (;;) {
     batch.clear();
-    std::size_t depth = 0;
-    if (queue_.pop_n(batch, kWorkerBatch, &depth) == 0) break;
-    // One gauge update per batch, using the depth pop_n already
-    // observed — the old per-job queue_.size() lock crossing is gone.
-    metrics_.on_queue_depth(depth);
+    if (queue_.pop_n(mask, batch, kWorkerBatch, &depths) == 0) break;
+    // One gauge update per lane per batch, using the depths pop_n
+    // already observed — no extra lock crossings just to read sizes.
+    for (std::size_t lane = 0; lane < kLaneCount; ++lane)
+      if (mask & lane_bit(lane)) metrics_.on_lane_depth(lane, depths[lane]);
     for (Job& job : batch) run_job(job, scratch);
   }
 }
@@ -174,8 +212,9 @@ void Server::shutdown() {
   // If shutdown raced start (or start was never called), drain whatever
   // was admitted on this thread so every submit()'s done still fires.
   Reply scratch;
-  while (std::optional<Job> job = queue_.pop()) run_job(*job, scratch);
-  metrics_.on_queue_depth(0);
+  while (std::optional<Job> job = queue_.pop(kAllLanes)) run_job(*job, scratch);
+  for (std::size_t lane = 0; lane < kLaneCount; ++lane)
+    metrics_.on_lane_depth(lane, 0);
   running_.store(false, std::memory_order_release);
 }
 

@@ -1,13 +1,13 @@
 #pragma once
 // serve::Server — the concurrent request engine behind archline_serverd.
 //
-// Architecture (one box, three moving parts):
+// Architecture (one box, four moving parts):
 //
-//   submit(line) --try_push--> BoundedQueue --pop_n--> worker pool
-//        |  full?                                        |
-//        v                                               v
-//   "overloaded" reply                      cache lookup -> protocol
-//                                                        |
+//   submit(line) --classify--> LaneScheduler --pop_n--> worker pool
+//        |  lane full?      (light | heavy lane)     (lane-affine)
+//        v                                               |
+//   "overloaded" reply                      cache lookup -> registry
+//                                               dispatch  |
 //                                            done(response) callback
 //
 // The transport (TCP listener, stdio loop, in-process loadgen) owns
@@ -16,13 +16,23 @@
 // threads; OrderedWriter (below) restores per-connection FIFO order
 // when requests from one connection complete out of order.
 //
+// Class isolation: requests are classified at admission (a registry
+// scan of the raw line — no parse) and queued per class. The heavy lane
+// is small and separately bounded, so a flood of multi-millisecond
+// "fit" requests bounces with "overloaded" while microsecond "predict"s
+// keep flowing. Execution concurrency is bounded too: only
+// `heavy_workers` threads drain the heavy lane (weighted round-robin
+// against light work); the remaining workers are light-only, so heavy
+// requests can never occupy the whole pool.
+//
 // Hot-path invariants (see docs/SERVER.md "Performance"):
 //   * a cache hit copies the response body exactly once, into a buffer
-//     whose capacity is reused across requests (the RequestType rides
+//     whose capacity is reused across requests (the endpoint id rides
 //     out-of-band as the cache entry's tag, so there is no prefix to
 //     strip);
-//   * workers drain the queue in batches (one lock crossing per batch,
-//     not three per job) and only wake sleeping peers when one exists;
+//   * workers drain their lanes in batches (one lock crossing per
+//     batch, not three per job) and only wake sleeping peers when one
+//     exists;
 //   * in-process callers can use handle_into() to execute into a
 //     caller-owned buffer — the zero-allocation steady state.
 
@@ -46,23 +56,36 @@
 #include "serve/metrics.hpp"
 #include "serve/protocol.hpp"
 #include "serve/queue.hpp"
+#include "serve/registry.hpp"
 
 namespace archline::serve {
 
 struct ServerOptions {
   /// Worker threads; 0 means hardware_concurrency (min 2).
   int threads = 0;
-  /// Max requests admitted but not yet completed; past this, submit
-  /// rejects with the canned "overloaded" reply.
+  /// Light-lane capacity: admitted-but-incomplete Light requests. Past
+  /// this, submit rejects with the canned "overloaded" reply.
   std::size_t queue_capacity = 1024;
+  /// Heavy-lane capacity. Deliberately much smaller than the light
+  /// lane: a heavy request is worth milliseconds of worker time, so a
+  /// short queue keeps the backlog (and thus heavy queue latency)
+  /// bounded. 0 disables the lane — heavy requests then share the
+  /// light lane (the pre-lane behavior, useful for A/B benchmarks).
+  std::size_t heavy_lane_capacity = 64;
+  /// Workers allowed to execute Heavy requests; 0 means max(1,
+  /// threads/4). Clamped to [1, threads] when the heavy lane is
+  /// enabled. The remaining workers are light-only.
+  int heavy_workers = 0;
   /// Response cache entries across all shards; 0 disables caching.
   std::size_t cache_capacity = 1 << 16;
   std::size_t cache_shards = 16;
-  /// Default per-request deadline applied by submit(line, done):
-  /// a job still queued this long after admission is answered with
-  /// deadline_exceeded_body() instead of occupying a worker.
-  /// 0 disables deadlines.
+  /// Default per-request deadline applied at submit (Light lane, and
+  /// Heavy too unless heavy_deadline_ms overrides): a job still queued
+  /// this long after admission is answered with deadline_exceeded_body()
+  /// instead of occupying a worker. 0 disables deadlines.
   int request_deadline_ms = 0;
+  /// Heavy-lane deadline override; 0 falls back to request_deadline_ms.
+  int heavy_deadline_ms = 0;
   ProtocolLimits limits;
 };
 
@@ -70,6 +93,12 @@ class Server {
  public:
   using Done = std::function<void(std::string&&)>;
   using Clock = std::chrono::steady_clock;
+
+  /// Weighted round-robin credits for heavy-capable workers: up to
+  /// kLightWeight light pops per kHeavyWeight heavy pop, so even the
+  /// heavy-capable subset keeps serving light traffic under a flood.
+  static constexpr unsigned kLightWeight = 4;
+  static constexpr unsigned kHeavyWeight = 1;
 
   explicit Server(ServerOptions options = {});
 
@@ -80,20 +109,20 @@ class Server {
   Server& operator=(const Server&) = delete;
 
   /// Spawns the worker pool. Idempotent while running; after a
-  /// shutdown() the queue is reopened, so start/shutdown cycles restart
-  /// a fully functional server.
+  /// shutdown() the lanes are reopened, so start/shutdown cycles
+  /// restart a fully functional server.
   void start();
 
   /// Admits one request line for asynchronous execution. On success,
   /// `done` is invoked exactly once from a worker thread with the
   /// response body (no trailing newline). Returns false — and never
-  /// calls `done` — when the queue is full or the server is shutting
-  /// down; the caller should reply with overloaded_body().
+  /// calls `done` — when the request's lane is full or the server is
+  /// shutting down; the caller should reply with overloaded_body().
   ///
-  /// The request carries the default deadline derived from
-  /// options().request_deadline_ms (none when 0): if it is still queued
-  /// when the deadline passes, `done` receives
-  /// deadline_exceeded_body() and the request is never executed.
+  /// The request carries its lane's default deadline (none when the
+  /// configured ms is 0): if it is still queued when the deadline
+  /// passes, `done` receives deadline_exceeded_body() and the request
+  /// is never executed.
   [[nodiscard]] bool submit(std::string line, Done done);
 
   /// Same, with an explicit absolute deadline (Clock::time_point::max()
@@ -104,7 +133,7 @@ class Server {
 
   /// Synchronous execution on the calling thread (tests, simple
   /// transports, the in-process loadgen). Same cache/metrics path as
-  /// the worker pool.
+  /// the worker pool; lanes are bypassed (no queueing happens).
   [[nodiscard]] std::string handle_now(std::string_view line);
 
   /// Synchronous execution into a caller-owned buffer whose capacity is
@@ -113,7 +142,7 @@ class Server {
   /// replaced by the response body (no trailing newline).
   void handle_into(std::string_view line, std::string& out);
 
-  /// Graceful shutdown: stop admitting, drain the queue (every admitted
+  /// Graceful shutdown: stop admitting, drain the lanes (every admitted
   /// request's `done` fires), join workers. Safe to call twice.
   void shutdown();
 
@@ -145,17 +174,28 @@ class Server {
     Done done;
     std::chrono::steady_clock::time_point admitted;
     Clock::time_point deadline = Clock::time_point::max();
+    std::size_t lane = kLightLane;
   };
 
-  /// How many jobs a worker takes from the queue per lock crossing.
+  /// How many jobs a worker takes from its lanes per lock crossing.
   /// Small enough that a batch never starves sibling workers under
   /// bursty load, large enough to amortize the mutex when the queue
   /// runs deep.
   static constexpr std::size_t kWorkerBatch = 16;
 
-  /// Cache + protocol execution shared by workers and handle_now /
+  /// The lane a request line is admitted to (classify_line + the
+  /// heavy-lane-disabled fallback).
+  [[nodiscard]] std::size_t lane_for(std::string_view line) const noexcept;
+
+  /// Shared tail of both submit overloads once the lane and deadline
+  /// are settled.
+  [[nodiscard]] bool submit_to_lane(std::string line, Done done,
+                                    Clock::time_point deadline,
+                                    std::size_t lane);
+
+  /// Cache + registry execution shared by workers and handle_now /
   /// handle_into. The response is rendered into reply.body (capacity
-  /// reused); reply.type / reply.ok feed the metrics. A
+  /// reused); reply.endpoint / reply.ok feed the metrics. A
   /// default-constructed `started` means "latency not sampled for this
   /// request" (see Metrics::sample_latency_now): the completion is
   /// counted without reading the clock.
@@ -168,12 +208,12 @@ class Server {
   /// both paths. `scratch` is the worker's reusable reply buffer.
   void run_job(Job& job, Reply& scratch);
 
-  void worker_loop();
+  void worker_loop(LaneMask mask);
 
   ServerOptions options_;
   ShardedLruCache cache_;
   Metrics metrics_;
-  BoundedQueue<Job> queue_;
+  LaneScheduler<Job> queue_;
   std::vector<std::thread> workers_;
   std::atomic<bool> running_{false};
   std::mutex lifecycle_mutex_;  ///< serializes start/shutdown

@@ -1,0 +1,65 @@
+// Golden-reply parity: every request shape the protocol supports, with
+// its exact expected response bytes, captured in tests/data/. The
+// protocol's replies are deterministic by design (fixed float
+// formatting, fixed key order) — that is what makes the response cache
+// and the loadgen replay-verification work — so any byte drift in a
+// reply is an API break, caught here.
+//
+// Each request runs through Server::handle_now TWICE: the first pass
+// exercises the full parse -> registry dispatch -> render path (cache
+// miss), the second must return the identical bytes from the cache.
+// A reply-shape change that is intentional must regenerate the corpus
+// by piping tests/data/serve_golden_requests.txt through
+// `archline_serverd --stdio --quiet` into serve_golden_replies.txt.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "serve/server.hpp"
+
+#ifndef ARCHLINE_TEST_DATA_DIR
+#error "ARCHLINE_TEST_DATA_DIR must point at tests/data"
+#endif
+
+namespace {
+
+using namespace archline::serve;
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  return lines;
+}
+
+TEST(ServeGolden, EveryRequestShapeRepliesByteIdentically) {
+  const std::string dir = ARCHLINE_TEST_DATA_DIR;
+  const auto requests = read_lines(dir + "/serve_golden_requests.txt");
+  const auto replies = read_lines(dir + "/serve_golden_replies.txt");
+  ASSERT_FALSE(requests.empty()) << "corpus missing or unreadable";
+  ASSERT_EQ(requests.size(), replies.size())
+      << "corpus files out of sync — regenerate both";
+
+  ServerOptions options;
+  options.threads = 2;
+  Server server(options);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    // Pass 1: full evaluation (cache miss).
+    EXPECT_EQ(server.handle_now(requests[i]), replies[i])
+        << "miss path diverged on line " << i + 1 << ": " << requests[i];
+    // Pass 2: cached replay must be the same bytes.
+    EXPECT_EQ(server.handle_now(requests[i]), replies[i])
+        << "hit path diverged on line " << i + 1 << ": " << requests[i];
+  }
+
+  // The corpus must exercise both hot paths: successful cacheable
+  // replies (hits on pass 2) and error replies (never cached).
+  const auto cache = server.cache_stats();
+  EXPECT_GT(cache.hits, 0u);
+  EXPECT_GT(server.metrics().snapshot().errors, 0u);
+}
+
+}  // namespace

@@ -11,6 +11,7 @@
 #include "core/analysis.hpp"
 #include "core/roofline.hpp"
 #include "core/scenarios.hpp"
+#include "core/sensitivity.hpp"
 #include "platforms/platform_db.hpp"
 #include "serve/json.hpp"
 #include "serve/protocol.hpp"
@@ -156,7 +157,9 @@ TEST(ServeProtocol, PredictMatchesDirectModelCall) {
       R"({"type":"predict","platform":"GTX Titan","flops":1e9,"intensity":4})");
   ASSERT_TRUE(reply.ok) << reply.body;
   EXPECT_TRUE(reply.cacheable);
-  EXPECT_EQ(reply.type, serve::RequestType::Predict);
+  ASSERT_NE(reply.endpoint, nullptr);
+  EXPECT_EQ(reply.endpoint->name, "predict");
+  EXPECT_EQ(reply.endpoint->klass, serve::RequestClass::Light);
   const Json out = Json::parse(reply.body);
   EXPECT_DOUBLE_EQ(out.number_or("time_s", 0), core::time(m, w));
   EXPECT_DOUBLE_EQ(out.number_or("energy_j", 0), core::energy(m, w));
@@ -306,9 +309,103 @@ TEST(ServeProtocol, PlatformsListsAllTwelve) {
 TEST(ServeProtocol, StatsIsFlaggedForServerSubstitution) {
   const serve::Reply reply = serve::handle_line(R"({"type":"stats"})");
   EXPECT_TRUE(reply.ok);
-  EXPECT_EQ(reply.type, serve::RequestType::Stats);
+  ASSERT_NE(reply.endpoint, nullptr);
+  EXPECT_TRUE(reply.endpoint->server_evaluated);
   EXPECT_TRUE(reply.body.empty());
   EXPECT_FALSE(reply.cacheable);
+}
+
+TEST(ServeProtocol, SensitivityMatchesDirectProfile) {
+  const serve::Reply reply = serve::handle_line(
+      R"({"type":"sensitivity","platform":"GTX Titan",)"
+      R"("metric":"efficiency","intensity":4})");
+  ASSERT_TRUE(reply.ok) << reply.body;
+  EXPECT_TRUE(reply.cacheable);
+  ASSERT_NE(reply.endpoint, nullptr);
+  EXPECT_EQ(reply.endpoint->klass, serve::RequestClass::Light);
+  const core::SensitivityProfile prof = core::sensitivity_profile(
+      platforms::platform("GTX Titan").machine(),
+      core::Metric::EnergyEfficiency, 4.0);
+  const Json out = Json::parse(reply.body);
+  const Json* el = out.find("elasticities");
+  ASSERT_NE(el, nullptr);
+  for (const core::Param p : core::kAllParams)
+    EXPECT_DOUBLE_EQ(el->number_or(core::to_string(p), 1e99), prof[p])
+        << core::to_string(p);
+  EXPECT_EQ(out.string_or("dominant", ""), core::to_string(prof.dominant()));
+}
+
+TEST(ServeProtocol, ScenarioSweepMatchesThrottleSweep) {
+  const serve::Reply reply = serve::handle_line(
+      R"({"type":"scenario_sweep","platform":"GTX Titan",)"
+      R"("intensities":[0.5,4],"cap_divisors":[1,2]})");
+  ASSERT_TRUE(reply.ok) << reply.body;
+  ASSERT_NE(reply.endpoint, nullptr);
+  EXPECT_EQ(reply.endpoint->klass, serve::RequestClass::Heavy);
+  const Json out = Json::parse(reply.body);
+  EXPECT_EQ(static_cast<int>(out.number_or("points", 0)), 4);
+  const Json* sweep = out.find("sweep");
+  ASSERT_NE(sweep, nullptr);
+  ASSERT_EQ(sweep->as_array().size(), 4u);
+  // Spot-check one grid point against the core sweep.
+  const auto points = core::throttle_sweep(
+      platforms::platform("GTX Titan").machine(), {0.5, 4.0}, {1.0, 2.0});
+  const Json& first = sweep->as_array().front();
+  EXPECT_DOUBLE_EQ(first.number_or("intensity", 0), points.front().intensity);
+  EXPECT_DOUBLE_EQ(first.number_or("power_w", 0), points.front().power);
+  EXPECT_DOUBLE_EQ(first.number_or("performance_flops", 0),
+                   points.front().performance);
+}
+
+TEST(ServeProtocol, ScenarioSweepRejectsOversizedGrid) {
+  serve::ProtocolLimits limits;
+  limits.max_sweep_points = 3;
+  const serve::Reply reply = serve::handle_line(
+      R"({"type":"scenario_sweep","platform":"GTX Titan",)"
+      R"("intensities":[1,2],"cap_divisors":[1,2]})",
+      limits);
+  EXPECT_FALSE(reply.ok);
+  EXPECT_EQ(Json::parse(reply.body).string_or("error", ""), "too_large");
+}
+
+TEST(ServeProtocol, RegistryAssignsDenseStableIds) {
+  // Ids are the cache tag and the metrics slot: they must be dense,
+  // unique, and match registration order (core endpoints first).
+  const serve::Registry& reg = serve::Registry::instance();
+  EXPECT_GE(reg.size(), 8u);
+  std::uint8_t expected = 0;
+  for (const serve::Endpoint& e : reg) {
+    EXPECT_EQ(e.id, expected++);
+    EXPECT_EQ(reg.find(e.name), &e);
+    EXPECT_EQ(reg.by_id(e.id), &e);
+  }
+  ASSERT_NE(reg.find("predict"), nullptr);
+  EXPECT_EQ(reg.find("predict")->id, 0);
+  ASSERT_NE(reg.find("fit"), nullptr);
+  EXPECT_EQ(reg.find("fit")->klass, serve::RequestClass::Heavy);
+  EXPECT_EQ(reg.find("no_such_endpoint"), nullptr);
+  EXPECT_EQ(reg.by_id(255), nullptr);
+}
+
+TEST(ServeProtocol, ClassifyLineFindsTypeWithoutParsing) {
+  using serve::classify_line;
+  using serve::RequestClass;
+  EXPECT_EQ(classify_line(R"({"type":"fit","observations":[]})"),
+            RequestClass::Heavy);
+  EXPECT_EQ(classify_line(R"({"type":"scenario_sweep"})"),
+            RequestClass::Heavy);
+  EXPECT_EQ(classify_line(R"({"type":"predict","intensity":1})"),
+            RequestClass::Light);
+  // "type" appearing as a VALUE must not fool the scanner: the needle
+  // match requires a colon after the closing quote.
+  EXPECT_EQ(classify_line(R"({"metric":"type","type":"fit"})"),
+            RequestClass::Heavy);
+  // Unknown / absent / malformed types default to Light (the full
+  // parser produces the structured error cheaply).
+  EXPECT_EQ(classify_line(R"({"type":"warp_drive"})"), RequestClass::Light);
+  EXPECT_EQ(classify_line(R"({"intensity":1})"), RequestClass::Light);
+  EXPECT_EQ(classify_line("garbage"), RequestClass::Light);
+  EXPECT_EQ(classify_line(""), RequestClass::Light);
 }
 
 TEST(ServeProtocol, IdenticalRequestsProduceIdenticalBytes) {

@@ -1,9 +1,11 @@
-// BoundedQueue tests: batch pop_n semantics, post-pop depth reporting,
-// drain-after-close with batches, backpressure, and a multi-producer /
-// multi-consumer stress over the notify-gated wake path.
+// LaneScheduler tests: per-lane bounded admission, weighted round-robin
+// draining, lane masks, batch pop_n semantics, drain-after-close, and a
+// multi-producer / multi-consumer stress over the notify-gated wake
+// path with mixed lane masks.
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <numeric>
@@ -15,98 +17,187 @@
 
 namespace {
 
-using archline::serve::BoundedQueue;
+using archline::serve::kAllLanes;
+using archline::serve::kHeavyLane;
+using archline::serve::kLaneCount;
+using archline::serve::kLightLane;
+using archline::serve::kLightOnly;
+using archline::serve::lane_bit;
+using archline::serve::LaneConfig;
+using archline::serve::LaneScheduler;
+
+/// light capacity 16 weight 4, heavy capacity 4 weight 1 — the
+/// Server's shape, shrunk.
+LaneScheduler<int> make_sched(std::size_t light_cap = 16,
+                              std::size_t heavy_cap = 4) {
+  return LaneScheduler<int>(std::array<LaneConfig, kLaneCount>{
+      LaneConfig{light_cap, 4}, LaneConfig{heavy_cap, 1}});
+}
+
+TEST(ServeQueue, LanesAreBoundedIndependently) {
+  auto q = make_sched(/*light_cap=*/16, /*heavy_cap=*/2);
+  // Fill the heavy lane to capacity...
+  ASSERT_TRUE(q.try_push(kHeavyLane, 100));
+  ASSERT_TRUE(q.try_push(kHeavyLane, 101));
+  EXPECT_FALSE(q.try_push(kHeavyLane, 102));  // heavy full: rejected
+  // ...and the light lane still admits: the class-isolation property.
+  std::size_t depth = 0;
+  ASSERT_TRUE(q.try_push(kLightLane, 1, &depth));
+  EXPECT_EQ(depth, 1u);
+  EXPECT_EQ(q.lane_size(kLightLane), 1u);
+  EXPECT_EQ(q.lane_size(kHeavyLane), 2u);
+  EXPECT_EQ(q.size(kAllLanes), 3u);
+  EXPECT_EQ(q.size(kLightOnly), 1u);
+}
+
+TEST(ServeQueue, DisabledLaneRejectsEveryPush) {
+  auto q = make_sched(/*light_cap=*/4, /*heavy_cap=*/0);
+  EXPECT_FALSE(q.try_push(kHeavyLane, 1));
+  EXPECT_TRUE(q.try_push(kLightLane, 1));
+}
+
+TEST(ServeQueue, WeightedRoundRobinPopsLightHeavierThanHeavy) {
+  // 8 light + 4 heavy queued; an all-lanes consumer popping one at a
+  // time must see the 4:1 pattern — 4 light, 1 heavy, 4 light, 1 heavy —
+  // so a deep heavy backlog cannot monopolize a heavy-capable worker.
+  auto q = make_sched(16, 4);
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(q.try_push(kLightLane, i));
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(q.try_push(kHeavyLane, 100 + i));
+  std::vector<std::size_t> lanes;
+  for (int i = 0; i < 10; ++i) {
+    std::size_t lane = 99;
+    const std::optional<int> item = q.pop(kAllLanes, &lane);
+    ASSERT_TRUE(item.has_value());
+    lanes.push_back(lane);
+  }
+  EXPECT_EQ(lanes, (std::vector<std::size_t>{
+                       kLightLane, kLightLane, kLightLane, kLightLane,
+                       kHeavyLane, kLightLane, kLightLane, kLightLane,
+                       kLightLane, kHeavyLane}));
+  // Light drained; the remaining heavy items are still reachable.
+  std::size_t lane = 99;
+  EXPECT_TRUE(q.pop(kAllLanes, &lane).has_value());
+  EXPECT_EQ(lane, kHeavyLane);
+  EXPECT_TRUE(q.pop(kAllLanes, &lane).has_value());
+  EXPECT_EQ(lane, kHeavyLane);
+}
+
+TEST(ServeQueue, MaskHidesLanesFromConsumer) {
+  auto q = make_sched();
+  ASSERT_TRUE(q.try_push(kHeavyLane, 7));
+  ASSERT_TRUE(q.try_push(kLightLane, 1));
+  // A light-only consumer sees just the light item...
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_n(kLightOnly, out, 8), 1u);
+  EXPECT_EQ(out, (std::vector<int>{1}));
+  EXPECT_EQ(q.size(kLightOnly), 0u);
+  // ...while the heavy item waits for a capable consumer.
+  EXPECT_EQ(q.lane_size(kHeavyLane), 1u);
+  std::size_t lane = 99;
+  const std::optional<int> heavy = q.pop(kAllLanes, &lane);
+  ASSERT_TRUE(heavy.has_value());
+  EXPECT_EQ(*heavy, 7);
+  EXPECT_EQ(lane, kHeavyLane);
+}
 
 TEST(ServeQueue, PopNTakesUpToMaxItemsInOrder) {
-  BoundedQueue<int> q(16);
-  for (int i = 0; i < 10; ++i) ASSERT_TRUE(q.try_push(i));
+  auto q = make_sched();
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(q.try_push(kLightLane, i));
   std::vector<int> out;
-  EXPECT_EQ(q.pop_n(out, 4), 4u);
+  EXPECT_EQ(q.pop_n(kLightOnly, out, 4), 4u);
   EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
-  // A larger max takes only what is there.
-  EXPECT_EQ(q.pop_n(out, 100), 6u);
-  EXPECT_EQ(out.size(), 10u);  // appended, earlier items untouched
+  // A larger max takes only what is there; earlier items untouched.
+  EXPECT_EQ(q.pop_n(kLightOnly, out, 100), 6u);
+  EXPECT_EQ(out.size(), 10u);
   for (int i = 0; i < 10; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
 }
 
-TEST(ServeQueue, PopNAppendsWithoutClearingCallerVector) {
-  BoundedQueue<int> q(8);
-  ASSERT_TRUE(q.try_push(42));
-  std::vector<int> out{7, 8};
-  EXPECT_EQ(q.pop_n(out, 8), 1u);
-  EXPECT_EQ(out, (std::vector<int>{7, 8, 42}));
-}
-
-TEST(ServeQueue, PopNReportsPostPopDepth) {
-  BoundedQueue<int> q(16);
-  for (int i = 0; i < 7; ++i) ASSERT_TRUE(q.try_push(i));
+TEST(ServeQueue, PopNDrainsBothLanesWeighted) {
+  auto q = make_sched();
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.try_push(kLightLane, i));
+  ASSERT_TRUE(q.try_push(kHeavyLane, 100));
   std::vector<int> out;
-  std::size_t depth = 999;
-  EXPECT_EQ(q.pop_n(out, 3, &depth), 3u);
-  EXPECT_EQ(depth, 4u);  // 7 pushed - 3 taken
-  EXPECT_EQ(q.pop_n(out, 10, &depth), 4u);
-  EXPECT_EQ(depth, 0u);
+  std::array<std::size_t, kLaneCount> depths{99, 99};
+  EXPECT_EQ(q.pop_n(kAllLanes, out, 16, &depths), 6u);
+  // 4 light (credit), 1 heavy, then the last light.
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 100, 4}));
+  EXPECT_EQ(depths[kLightLane], 0u);
+  EXPECT_EQ(depths[kHeavyLane], 0u);
 }
 
-TEST(ServeQueue, PopReportsPostPopDepth) {
-  BoundedQueue<int> q(16);
-  ASSERT_TRUE(q.try_push(1));
-  ASSERT_TRUE(q.try_push(2));
-  std::size_t depth = 999;
-  const std::optional<int> item = q.pop(&depth);
-  ASSERT_TRUE(item.has_value());
-  EXPECT_EQ(*item, 1);
-  EXPECT_EQ(depth, 1u);
+TEST(ServeQueue, PopNReportsPostPopDepths) {
+  auto q = make_sched();
+  for (int i = 0; i < 7; ++i) ASSERT_TRUE(q.try_push(kLightLane, i));
+  ASSERT_TRUE(q.try_push(kHeavyLane, 100));
+  std::vector<int> out;
+  std::array<std::size_t, kLaneCount> depths{99, 99};
+  EXPECT_EQ(q.pop_n(kLightOnly, out, 3, &depths), 3u);
+  EXPECT_EQ(depths[kLightLane], 4u);  // 7 pushed - 3 taken
+  EXPECT_EQ(depths[kHeavyLane], 1u);  // untouched by the mask
 }
 
 TEST(ServeQueue, TryPushReportsDepthAndBackpressure) {
-  BoundedQueue<int> q(2);
+  auto q = make_sched(/*light_cap=*/2, /*heavy_cap=*/4);
   std::size_t depth = 0;
-  ASSERT_TRUE(q.try_push(1, &depth));
+  ASSERT_TRUE(q.try_push(kLightLane, 1, &depth));
   EXPECT_EQ(depth, 1u);
-  ASSERT_TRUE(q.try_push(2, &depth));
+  ASSERT_TRUE(q.try_push(kLightLane, 2, &depth));
   EXPECT_EQ(depth, 2u);
-  EXPECT_FALSE(q.try_push(3));  // full: rejected, never blocks
-  EXPECT_EQ(q.size(), 2u);
+  EXPECT_FALSE(q.try_push(kLightLane, 3));  // full: rejected, never blocks
+  EXPECT_EQ(q.lane_size(kLightLane), 2u);
 }
 
 TEST(ServeQueue, DrainAfterCloseWithBatches) {
-  BoundedQueue<int> q(16);
-  for (int i = 0; i < 9; ++i) ASSERT_TRUE(q.try_push(i));
+  auto q = make_sched();
+  for (int i = 0; i < 9; ++i) ASSERT_TRUE(q.try_push(kLightLane, i));
   q.close();
-  EXPECT_FALSE(q.try_push(99));  // closed: no new admissions
+  EXPECT_FALSE(q.try_push(kLightLane, 99));  // closed: no new admissions
   // Items admitted before close() still drain, batch by batch...
   std::vector<int> out;
-  EXPECT_EQ(q.pop_n(out, 4), 4u);
-  EXPECT_EQ(q.pop_n(out, 4), 4u);
-  EXPECT_EQ(q.pop_n(out, 4), 1u);
+  EXPECT_EQ(q.pop_n(kAllLanes, out, 4), 4u);
+  EXPECT_EQ(q.pop_n(kAllLanes, out, 4), 4u);
+  EXPECT_EQ(q.pop_n(kAllLanes, out, 4), 1u);
   for (int i = 0; i < 9; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
   // ...and only then does pop_n report "closed and empty".
-  EXPECT_EQ(q.pop_n(out, 4), 0u);
+  EXPECT_EQ(q.pop_n(kAllLanes, out, 4), 0u);
   EXPECT_EQ(out.size(), 9u);
-  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_FALSE(q.pop(kAllLanes).has_value());
 }
 
-TEST(ServeQueue, PopNBlocksUntilPushThenTakesBatch) {
-  BoundedQueue<int> q(16);
-  std::vector<int> out;
-  std::size_t got = 0;
-  std::thread consumer([&] { got = q.pop_n(out, 8); });
-  // The consumer blocks on the empty queue; this push must wake it.
-  ASSERT_TRUE(q.try_push(5));
-  consumer.join();
-  EXPECT_EQ(got, 1u);
-  EXPECT_EQ(out, (std::vector<int>{5}));
+TEST(ServeQueue, HeavyPushWakesHeavyCapableConsumerNotStrandedByLightOnly) {
+  // Both a light-only and an all-lanes consumer sleep on the empty
+  // scheduler; a heavy push must reach the all-lanes consumer even
+  // though the light-only one also wakes (notify_all, re-checks, and
+  // goes back to sleep). A notify_one design deadlocks here.
+  auto q = make_sched();
+  std::atomic<bool> got_heavy{false};
+  std::thread light_only([&] {
+    std::vector<int> out;
+    // Blocks until close(): the heavy item is never visible to it.
+    while (q.pop_n(kLightOnly, out, 4) != 0) out.clear();
+  });
+  std::thread all_lanes([&] {
+    std::size_t lane = 99;
+    const std::optional<int> item = q.pop(kAllLanes, &lane);
+    if (item.has_value() && lane == kHeavyLane) got_heavy.store(true);
+  });
+  ASSERT_TRUE(q.try_push(kHeavyLane, 7));
+  all_lanes.join();
+  EXPECT_TRUE(got_heavy.load());
+  q.close();
+  light_only.join();
+  EXPECT_EQ(q.size(kAllLanes), 0u);
 }
 
 TEST(ServeQueue, CloseWakesBlockedBatchConsumers) {
-  BoundedQueue<int> q(16);
+  auto q = make_sched();
   std::atomic<int> exited{0};
   std::vector<std::thread> consumers;
   for (int i = 0; i < 3; ++i)
-    consumers.emplace_back([&] {
+    consumers.emplace_back([&, i] {
       std::vector<int> out;
-      while (q.pop_n(out, 4) != 0) out.clear();
+      const auto mask = i == 0 ? kAllLanes : kLightOnly;
+      while (q.pop_n(mask, out, 4) != 0) out.clear();
       exited.fetch_add(1);
     });
   q.close();
@@ -115,24 +206,28 @@ TEST(ServeQueue, CloseWakesBlockedBatchConsumers) {
 }
 
 TEST(ServeQueue, MpmcBatchesDeliverEveryItemExactlyOnce) {
-  // 4 producers x 4 consumers through a small queue: exercises the
-  // transition-gated notify and consumer wake chaining under real
-  // contention. Sum check catches both lost and duplicated items.
+  // 4 producers x 4 consumers (two light-only, two all-lanes) through
+  // small lanes: exercises the transition-gated notify_all and consumer
+  // wake chaining under real contention, with heavy items only
+  // reachable by half the pool. Sum check catches both lost and
+  // duplicated items.
   constexpr int kProducers = 4;
   constexpr int kConsumers = 4;
   constexpr int kPerProducer = 5000;
-  BoundedQueue<long> q(64);
+  LaneScheduler<long> q(std::array<LaneConfig, kLaneCount>{
+      LaneConfig{64, 4}, LaneConfig{16, 1}});
   std::atomic<long> sum{0};
   std::atomic<long> count{0};
 
   std::vector<std::thread> consumers;
   for (int c = 0; c < kConsumers; ++c)
-    consumers.emplace_back([&] {
+    consumers.emplace_back([&, c] {
+      const auto mask = c < 2 ? kAllLanes : kLightOnly;
       std::vector<long> batch;
       long local_sum = 0, local_count = 0;
       for (;;) {
         batch.clear();
-        const std::size_t n = q.pop_n(batch, 16);
+        const std::size_t n = q.pop_n(mask, batch, 16);
         if (n == 0) break;
         for (long v : batch) ++local_count, local_sum += v;
       }
@@ -145,10 +240,14 @@ TEST(ServeQueue, MpmcBatchesDeliverEveryItemExactlyOnce) {
     producers.emplace_back([&, p] {
       for (int i = 0; i < kPerProducer; ++i) {
         const long value = static_cast<long>(p) * kPerProducer + i;
-        while (!q.try_push(value)) std::this_thread::yield();
+        // Every 8th item rides the heavy lane.
+        const std::size_t lane = i % 8 == 0 ? kHeavyLane : kLightLane;
+        while (!q.try_push(lane, value)) std::this_thread::yield();
       }
     });
   for (auto& t : producers) t.join();
+  // Light-only consumers exit on "closed and light lane empty"; heavy
+  // leftovers drain through the all-lanes pair.
   q.close();
   for (auto& t : consumers) t.join();
 
@@ -158,13 +257,21 @@ TEST(ServeQueue, MpmcBatchesDeliverEveryItemExactlyOnce) {
 }
 
 TEST(ServeQueue, ReopenAfterCloseAdmitsAgain) {
-  BoundedQueue<int> q(4);
+  auto q = make_sched(4, 4);
   q.close();
-  EXPECT_FALSE(q.try_push(1));
+  EXPECT_FALSE(q.try_push(kLightLane, 1));
   q.reopen();
-  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(kLightLane, 1));
   std::vector<int> out;
-  EXPECT_EQ(q.pop_n(out, 4), 1u);
+  EXPECT_EQ(q.pop_n(kAllLanes, out, 4), 1u);
+}
+
+TEST(ServeQueue, CapacityAndWeightAccessors) {
+  auto q = make_sched(16, 4);
+  EXPECT_EQ(q.capacity(kLightLane), 16u);
+  EXPECT_EQ(q.capacity(kHeavyLane), 4u);
+  EXPECT_EQ(q.weight(kLightLane), 4u);
+  EXPECT_EQ(q.weight(kHeavyLane), 1u);
 }
 
 }  // namespace

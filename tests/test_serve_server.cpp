@@ -5,8 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <mutex>
 #include <sstream>
@@ -45,7 +47,7 @@ TEST(ServeServer, HandleNowEvaluatesAndCaches) {
   EXPECT_EQ(cache.misses, 1u);
   const auto snap = server.metrics().snapshot();
   EXPECT_EQ(snap.completed, 2u);
-  EXPECT_EQ(snap.by_type[static_cast<std::size_t>(RequestType::Predict)], 2u);
+  EXPECT_EQ(snap.by_endpoint[Registry::instance().find("predict")->id], 2u);
 }
 
 TEST(ServeServer, CacheKeyIgnoresLineFraming) {
@@ -173,7 +175,7 @@ TEST(ServeServer, ShutdownIsIdempotentAndDestructorSafe) {
 }
 
 TEST(ServeServer, RestartAfterShutdownServesAgain) {
-  // Regression: shutdown() used to close the BoundedQueue permanently,
+  // Regression: shutdown() used to close the queue permanently,
   // so a restarted server spawned workers that exited immediately while
   // submit() rejected everything. start() must reopen the queue.
   Server server(small_options());
@@ -281,6 +283,139 @@ TEST(ServeServer, RunStreamPreservesOrderAndHandlesBadLines) {
   EXPECT_EQ(Json::parse(lines[1]).string_or("error", ""), "parse_error");
   EXPECT_EQ(Json::parse(lines[2]).string_or("type", ""), "platforms");
   EXPECT_EQ(Json::parse(lines[3]).string_or("type", ""), "stats");
+}
+
+// ---- Lanes ------------------------------------------------------------------
+
+/// A small fit request (6 observations): Heavy class, a few hundred µs
+/// of solver work. Distinct `seed` values defeat the response cache.
+std::string fit_request(int seed) {
+  Json obs = Json::array();
+  for (int p = 0; p < 6; ++p) {
+    const double intensity = std::exp2(-2.0 + p);
+    const double flops = 1e9 + seed;
+    const double bytes = flops / intensity;
+    const double t = std::max(flops * 3e-11, bytes * 1.2e-10);
+    Json row = Json::object();
+    row.set("flops", flops);
+    row.set("bytes", bytes);
+    row.set("seconds", t);
+    row.set("joules", flops * 4.7e-11 + bytes * 3.8e-10 + 2.7 * t);
+    obs.push_back(std::move(row));
+  }
+  Json req = Json::object();
+  req.set("type", "fit");
+  req.set("observations", std::move(obs));
+  return req.dump();
+}
+
+TEST(ServeServer, HeavyLaneFullStillAdmitsLightRequests) {
+  // Workers not started: pushes pile up per lane. Once the heavy lane
+  // is full, fit submissions bounce while predicts keep getting in —
+  // the isolation property the lanes exist for.
+  ServerOptions options = small_options();
+  options.heavy_lane_capacity = 2;
+  Server server(options);
+  std::atomic<int> completed{0};
+  const auto count = [&](std::string&&) { completed.fetch_add(1); };
+  ASSERT_TRUE(server.submit(fit_request(0), count));
+  ASSERT_TRUE(server.submit(fit_request(1), count));
+  EXPECT_FALSE(server.submit(fit_request(2), count));  // heavy lane full
+  for (int i = 0; i < 4; ++i)
+    EXPECT_TRUE(server.submit(kPredict, count)) << i;
+  const auto snap = server.metrics().snapshot();
+  EXPECT_EQ(snap.lanes[kHeavyLane].rejected, 1u);
+  EXPECT_EQ(snap.lanes[kLightLane].rejected, 0u);
+  EXPECT_EQ(snap.lanes[kHeavyLane].peak, 2u);
+  EXPECT_EQ(snap.lanes[kLightLane].peak, 4u);
+  server.shutdown();  // drain answers all six admitted requests
+  EXPECT_EQ(completed.load(), 6);
+}
+
+TEST(ServeServer, DisabledHeavyLaneRoutesEverythingLight) {
+  ServerOptions options = small_options();
+  options.heavy_lane_capacity = 0;  // pre-lane unified behavior
+  Server server(options);
+  std::atomic<int> completed{0};
+  ASSERT_TRUE(server.submit(fit_request(0),
+                            [&](std::string&&) { completed.fetch_add(1); }));
+  const auto snap = server.metrics().snapshot();
+  EXPECT_EQ(snap.lanes[kLightLane].depth, 1u);
+  EXPECT_EQ(snap.lanes[kHeavyLane].depth, 0u);
+  server.shutdown();
+  EXPECT_EQ(completed.load(), 1);
+}
+
+TEST(ServeServer, HeavyDeadlineOverridesDefault) {
+  // Heavy deadline 1 ms, light deadline none: after a sleep, the queued
+  // fit expires while the queued predict still executes on the drain.
+  ServerOptions options = small_options();
+  options.request_deadline_ms = 0;
+  options.heavy_deadline_ms = 1;
+  Server server(options);
+  std::string fit_body;
+  std::string predict_body;
+  ASSERT_TRUE(server.submit(fit_request(0), [&](std::string&& b) {
+    fit_body = std::move(b);
+  }));
+  ASSERT_TRUE(server.submit(kPredict, [&](std::string&& b) {
+    predict_body = std::move(b);
+  }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server.shutdown();
+  EXPECT_EQ(Json::parse(fit_body).string_or("error", ""),
+            "deadline_exceeded");
+  EXPECT_TRUE(Json::parse(predict_body).bool_or("ok", false));
+  const auto snap = server.metrics().snapshot();
+  EXPECT_EQ(snap.lanes[kHeavyLane].deadline_exceeded, 1u);
+  EXPECT_EQ(snap.lanes[kLightLane].deadline_exceeded, 0u);
+}
+
+TEST(ServeServer, PredictP99StaysBoundedUnderFitFlood) {
+  // The starvation property, in miniature: saturate the heavy lane with
+  // fits, then check that concurrently submitted predicts all complete
+  // and none is stuck behind the flood. With heavy execution capped at
+  // one worker, the other workers stay dedicated to the light lane.
+  ServerOptions options = small_options();
+  options.threads = 4;
+  options.heavy_workers = 1;
+  options.heavy_lane_capacity = 16;
+  Server server(options);
+  server.start();
+  std::atomic<int> fit_done{0};
+  std::atomic<int> predict_done{0};
+  int fits_admitted = 0;
+  for (int i = 0; i < 16; ++i)
+    if (server.submit(fit_request(i),
+                      [&](std::string&&) { fit_done.fetch_add(1); }))
+      ++fits_admitted;
+  std::mutex m;
+  std::condition_variable cv;
+  constexpr int kPredicts = 100;
+  for (int i = 0; i < kPredicts; ++i) {
+    Json req = Json::object();
+    req.set("type", "predict");
+    req.set("platform", "GTX Titan");
+    req.set("intensity", 1.0 + i);
+    while (!server.submit(req.dump(), [&](std::string&&) {
+      if (predict_done.fetch_add(1) + 1 == kPredicts) {
+        std::lock_guard<std::mutex> lock(m);
+        cv.notify_one();
+      }
+    })) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(m);
+    // All predicts complete long before the fit backlog could drain
+    // through a single shared queue.
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                            [&] { return predict_done.load() == kPredicts; }));
+  }
+  server.shutdown();
+  EXPECT_EQ(predict_done.load(), kPredicts);
+  EXPECT_EQ(fit_done.load(), fits_admitted);
 }
 
 TEST(ServeServer, ConcurrentSubmittersAndCacheConsistency) {

@@ -305,9 +305,13 @@ TEST(ServeTcp, IdleConnectionIsClosedAndCounted) {
 TEST(ServeTcp, QueueWaitPastDeadlineAnswersDeadlineExceeded) {
   // One worker, 1 ms deadline: a large fit occupies the worker for much
   // longer than 1 ms, so the predicts pipelined behind it expire in the
-  // queue and must be answered with the canned deadline error.
+  // queue and must be answered with the canned deadline error. The
+  // heavy lane is disabled so the fit shares a lane with the predicts —
+  // with lanes on, the scheduler would serve the predicts first and
+  // defeat the head-of-line blocking this test depends on.
   ServerOptions options = small_options();
   options.threads = 1;
+  options.heavy_lane_capacity = 0;
   options.request_deadline_ms = 1;
   TcpTransport transport(options, TcpOptions{});
 

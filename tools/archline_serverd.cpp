@@ -1,14 +1,16 @@
 // archline_serverd — the archline model-serving daemon.
 //
 // Serves the energy-roofline model stack (predict / crossover /
-// scenario / fit / platforms / stats) over a newline-delimited JSON
-// protocol. See docs/SERVER.md for the wire format.
+// scenario / sensitivity / scenario_sweep / fit / platforms / stats)
+// over a newline-delimited JSON protocol. See docs/SERVER.md for the
+// wire format and the registry that defines the endpoint table.
 //
 // Usage:
 //   archline_serverd [--port N] [--bind ADDR] [--threads N]
-//                    [--queue N] [--cache N] [--shards N]
+//                    [--queue N] [--heavy-lane-capacity N]
+//                    [--heavy-workers N] [--cache N] [--shards N]
 //                    [--max-conns N] [--idle-timeout-ms N]
-//                    [--deadline-ms N] [--stdio]
+//                    [--deadline-ms N] [--heavy-deadline-ms N] [--stdio]
 //
 // Transports:
 //   default   TCP listener on --bind:--port (port 0 = ephemeral,
@@ -43,9 +45,10 @@ void on_usr1(int) { g_dump_stats = 1; }
   std::fprintf(
       stderr,
       "usage: %s [--port N] [--bind ADDR] [--threads N] [--queue N]\n"
+      "          [--heavy-lane-capacity N] [--heavy-workers N]\n"
       "          [--cache N] [--shards N] [--max-conns N]\n"
-      "          [--idle-timeout-ms N] [--deadline-ms N] [--stdio]\n"
-      "          [--quiet]\n",
+      "          [--idle-timeout-ms N] [--deadline-ms N]\n"
+      "          [--heavy-deadline-ms N] [--stdio] [--quiet]\n",
       argv0);
   std::exit(code);
 }
@@ -87,6 +90,12 @@ int main(int argc, char** argv) {
     else if (arg == "--queue")
       options.queue_capacity = static_cast<std::size_t>(
           parse_long(argv[0], "--queue", value()));
+    else if (arg == "--heavy-lane-capacity")
+      options.heavy_lane_capacity = static_cast<std::size_t>(
+          parse_long(argv[0], "--heavy-lane-capacity", value()));
+    else if (arg == "--heavy-workers")
+      options.heavy_workers = static_cast<int>(
+          parse_long(argv[0], "--heavy-workers", value()));
     else if (arg == "--cache")
       options.cache_capacity = static_cast<std::size_t>(
           parse_long(argv[0], "--cache", value()));
@@ -102,6 +111,9 @@ int main(int argc, char** argv) {
     else if (arg == "--deadline-ms")
       options.request_deadline_ms = static_cast<int>(
           parse_long(argv[0], "--deadline-ms", value()));
+    else if (arg == "--heavy-deadline-ms")
+      options.heavy_deadline_ms = static_cast<int>(
+          parse_long(argv[0], "--heavy-deadline-ms", value()));
     else if (arg == "--stdio")
       stdio_mode = true;
     else if (arg == "--quiet")
@@ -139,9 +151,11 @@ int main(int argc, char** argv) {
   if (!quiet)
     std::fprintf(stderr,
                  "archline_serverd: listening on %s:%u (%d workers, "
-                 "queue %zu, cache %zu/%zu shards, max %zu conns)\n",
+                 "%d heavy-capable, lanes %zu/%zu, cache %zu/%zu shards, "
+                 "max %zu conns)\n",
                  tcp.bind_address.c_str(), listener.port(),
-                 server.options().threads, options.queue_capacity,
+                 server.options().threads, server.options().heavy_workers,
+                 options.queue_capacity, options.heavy_lane_capacity,
                  options.cache_capacity, options.cache_shards,
                  tcp.max_connections);
 
