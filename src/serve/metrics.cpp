@@ -85,7 +85,8 @@ double LatencyHistogram::Snapshot::quantile(double q) const noexcept {
   return std::exp2(static_cast<double>(last_populated) + 1.0) * 1e-9;
 }
 
-Metrics::Metrics() : start_(std::chrono::steady_clock::now()) {}
+Metrics::Metrics(const sim::ClockSource* clock)
+    : clock_(clock ? clock : &sim::real_clock()), start_(clock_->now()) {}
 
 Metrics::CompletionShard& Metrics::completion_shard() noexcept {
   // Threads claim shard indices round-robin on first use; with 8 shards
@@ -194,9 +195,7 @@ Metrics::Snapshot Metrics::snapshot() const noexcept {
       connections_rejected_.load(std::memory_order_relaxed);
   s.connections_idle_closed =
       connections_idle_closed_.load(std::memory_order_relaxed);
-  s.uptime_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                             start_)
-                   .count();
+  s.uptime_s = std::chrono::duration<double>(clock_->now() - start_).count();
   s.qps = s.uptime_s > 0.0 ? static_cast<double>(s.completed) / s.uptime_s
                            : 0.0;
   return s;

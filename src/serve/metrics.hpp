@@ -13,6 +13,7 @@
 #include "serve/cache.hpp"
 #include "serve/queue.hpp"
 #include "serve/registry.hpp"
+#include "sim/clock.hpp"
 
 namespace archline::serve {
 
@@ -57,7 +58,9 @@ class Metrics {
   static constexpr std::size_t kEndpointSlots = Registry::kMaxEndpoints + 1;
   static constexpr std::size_t kInvalidSlot = Registry::kMaxEndpoints;
 
-  Metrics();
+  /// `clock` is the time source for uptime/qps (null = the real steady
+  /// clock). Tests inject a sim::SimClock to make uptime exact.
+  explicit Metrics(const sim::ClockSource* clock = nullptr);
 
   /// Request finished (from cache or evaluated). `endpoint` is the
   /// descriptor it dispatched to (nullptr = never reached a handler);
@@ -159,6 +162,7 @@ class Metrics {
   /// The calling thread's home shard (round-robin assigned on first use).
   [[nodiscard]] CompletionShard& completion_shard() noexcept;
 
+  const sim::ClockSource* clock_;  ///< never null after construction
   std::chrono::steady_clock::time_point start_;
   std::array<CompletionShard, kCompletionShards> completion_shards_{};
   std::array<std::atomic<std::uint64_t>, kLaneCount> rejected_{};

@@ -40,7 +40,9 @@ int resolve_heavy_workers(int requested, int threads,
 
 Server::Server(ServerOptions options)
     : options_(options),
+      clock_(options.clock ? options.clock : &sim::real_clock()),
       cache_(options.cache_capacity, options.cache_shards),
+      metrics_(options.clock),
       // Heavy lane disabled (capacity 0) => Heavy requests are routed to
       // the light lane by lane_for(), restoring the unified single-queue
       // behavior — the A/B baseline for the starvation benchmark.
@@ -82,7 +84,7 @@ bool Server::submit(std::string line, Done done) {
                               ? options_.heavy_deadline_ms
                               : options_.request_deadline_ms;
   const auto deadline =
-      deadline_ms > 0 ? Clock::now() + std::chrono::milliseconds(deadline_ms)
+      deadline_ms > 0 ? clock_->now() + std::chrono::milliseconds(deadline_ms)
                       : Clock::time_point::max();
   return submit_to_lane(std::move(line), std::move(done), deadline, lane);
 }
@@ -98,7 +100,7 @@ bool Server::submit_to_lane(std::string line, Done done,
   // only stamped for requests whose latency is sampled.
   Job job{std::move(line), std::move(done),
           metrics_.sample_latency_now()
-              ? std::chrono::steady_clock::now()
+              ? clock_->now()
               : std::chrono::steady_clock::time_point{},
           deadline, lane};
   std::size_t depth = 0;
@@ -125,7 +127,7 @@ void Server::handle_into(std::string_view line, std::string& out) {
   Reply reply;
   reply.body.swap(out);
   const auto started = metrics_.sample_latency_now()
-                           ? std::chrono::steady_clock::now()
+                           ? clock_->now()
                            : std::chrono::steady_clock::time_point{};
   execute_into(line, started, reply);
   out.swap(reply.body);
@@ -141,9 +143,7 @@ void Server::execute_into(
       return;
     }
     const double latency =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      started)
-            .count();
+        std::chrono::duration<double>(clock_->now() - started).count();
     metrics_.on_completed(endpoint, ok, latency);
   };
 
@@ -175,7 +175,7 @@ void Server::run_job(Job& job, Reply& scratch) {
   // the canned error instead of burning a worker on a reply the client
   // has likely given up on.
   if (job.deadline != Clock::time_point::max() &&
-      Clock::now() > job.deadline) {
+      clock_->now() > job.deadline) {
     metrics_.on_deadline_exceeded(job.lane);
     job.done(std::string(deadline_exceeded_body()));
     return;

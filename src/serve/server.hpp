@@ -57,6 +57,7 @@
 #include "serve/protocol.hpp"
 #include "serve/queue.hpp"
 #include "serve/registry.hpp"
+#include "sim/clock.hpp"
 
 namespace archline::serve {
 
@@ -86,6 +87,10 @@ struct ServerOptions {
   int request_deadline_ms = 0;
   /// Heavy-lane deadline override; 0 falls back to request_deadline_ms.
   int heavy_deadline_ms = 0;
+  /// Time source for deadlines, latency stamps, and uptime (null = the
+  /// real steady clock). Tests inject a sim::SimClock so deadline and
+  /// uptime assertions are exact instead of sleep-calibrated.
+  const sim::ClockSource* clock = nullptr;
   ProtocolLimits limits;
 };
 
@@ -211,6 +216,7 @@ class Server {
   void worker_loop(LaneMask mask);
 
   ServerOptions options_;
+  const sim::ClockSource* clock_;  ///< never null after construction
   ShardedLruCache cache_;
   Metrics metrics_;
   LaneScheduler<Job> queue_;

@@ -88,6 +88,23 @@ struct Conn {
 
 }  // namespace
 
+int SocketOps::accept(int listen_fd) noexcept {
+  return ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK);
+}
+
+ssize_t SocketOps::recv(int fd, char* buf, std::size_t len) noexcept {
+  return ::recv(fd, buf, len, 0);
+}
+
+ssize_t SocketOps::send(int fd, const char* buf, std::size_t len) noexcept {
+  return ::send(fd, buf, len, MSG_NOSIGNAL);
+}
+
+SocketOps& real_socket_ops() noexcept {
+  static SocketOps ops;
+  return ops;
+}
+
 TcpListener::TcpListener(Server& server, TcpOptions options)
     : server_(server), options_(std::move(options)) {}
 
@@ -160,6 +177,10 @@ void TcpListener::run(const std::atomic<bool>& stop) {
   std::uint64_t next_id = kFirstConnId;
   Metrics& metrics = server_.metrics();
   const std::size_t max_line = server_.options().limits.max_request_bytes;
+  const sim::ClockSource& clock =
+      options_.clock ? *options_.clock : sim::real_clock();
+  SocketOps& ops =
+      options_.socket_ops ? *options_.socket_ops : real_socket_ops();
 
   const auto update_interest = [&](Conn& c) {
     const std::uint32_t want =
@@ -188,8 +209,7 @@ void TcpListener::run(const std::atomic<bool>& stop) {
   // the connection died (and was destroyed).
   const auto flush = [&](Conn& c) -> bool {
     while (!c.out.empty()) {
-      const ssize_t n =
-          ::send(c.fd, c.out.data(), c.out.size(), MSG_NOSIGNAL);
+      const ssize_t n = ops.send(c.fd, c.out.data(), c.out.size());
       if (n < 0) {
         if (errno == EINTR) continue;
         if (errno == EAGAIN || errno == EWOULDBLOCK) break;
@@ -197,7 +217,7 @@ void TcpListener::run(const std::atomic<bool>& stop) {
         return false;
       }
       c.out.erase(0, static_cast<std::size_t>(n));
-      c.last_activity = Clock::now();
+      c.last_activity = clock.now();
     }
     return true;
   };
@@ -260,14 +280,14 @@ void TcpListener::run(const std::atomic<bool>& stop) {
   // Returns false when the connection was destroyed.
   const auto handle_read = [&](Conn& c) -> bool {
     char chunk[65536];
-    const ssize_t n = ::recv(c.fd, chunk, sizeof chunk, 0);
+    const ssize_t n = ops.recv(c.fd, chunk, sizeof chunk);
     if (n < 0) {
       if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
         return true;
       destroy(c.id);
       return false;
     }
-    c.last_activity = Clock::now();
+    c.last_activity = clock.now();
     if (n == 0) {
       process_input(c, /*eof=*/true);
     } else {
@@ -281,7 +301,7 @@ void TcpListener::run(const std::atomic<bool>& stop) {
 
   const auto handle_accepts = [&] {
     for (int burst = 0; burst < 256; ++burst) {
-      const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+      const int fd = ops.accept(listen_fd_);
       if (fd < 0) {
         if (errno == EINTR || errno == ECONNABORTED) continue;
         break;  // EAGAIN or a real error; either way, wait for epoll
@@ -295,7 +315,7 @@ void TcpListener::run(const std::atomic<bool>& stop) {
         metrics.on_connection_rejected();
         const std::string reply = overloaded_body() + "\n";
         [[maybe_unused]] const ssize_t n =
-            ::send(fd, reply.data(), reply.size(), MSG_NOSIGNAL);
+            ops.send(fd, reply.data(), reply.size());
         ::close(fd);
         continue;
       }
@@ -303,7 +323,7 @@ void TcpListener::run(const std::atomic<bool>& stop) {
       Conn& c = conns[id];
       c.fd = fd;
       c.id = id;
-      c.last_activity = Clock::now();
+      c.last_activity = clock.now();
       c.interest = EPOLLIN;
       c.writer = std::make_shared<OrderedWriter>(
           [channel, id](const std::string& body) {
@@ -354,7 +374,7 @@ void TcpListener::run(const std::atomic<bool>& stop) {
       // Stop accepting, stop reading; keep looping until every
       // admitted request has been answered and flushed.
       stopping = true;
-      stop_at = Clock::now();
+      stop_at = clock.now();
       ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, listen_fd_, nullptr);
       std::vector<std::uint64_t> ids;
       ids.reserve(conns.size());
@@ -368,7 +388,7 @@ void TcpListener::run(const std::atomic<bool>& stop) {
       }
     }
     if (stopping && conns.empty()) break;
-    if (stopping && Clock::now() - stop_at >
+    if (stopping && clock.now() - stop_at >
                         std::chrono::milliseconds(kDrainGraceMs)) {
       // Peers that stopped reading do not get to hold shutdown hostage.
       std::vector<std::uint64_t> ids;
@@ -420,7 +440,7 @@ void TcpListener::run(const std::atomic<bool>& stop) {
     // idle_timeout_ms are closed. Ones with pending responses are
     // exempt — they are "busy", just waiting on workers or the socket.
     if (options_.idle_timeout_ms > 0) {
-      const auto now = Clock::now();
+      const auto now = clock.now();
       const auto limit = std::chrono::milliseconds(options_.idle_timeout_ms);
       std::vector<std::uint64_t> expired;
       for (auto& [id, c] : conns) {

@@ -21,13 +21,44 @@
 // Linux-only (epoll + eventfd); the stdio transport in server.hpp is
 // the portable fallback.
 
+#include <sys/types.h>
+
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
 #include "serve/server.hpp"
+#include "sim/clock.hpp"
 
 namespace archline::serve {
+
+/// The event loop's window onto the kernel socket API — the seam
+/// sim::FaultyTransport wraps to inject partial writes, split reads,
+/// EAGAIN storms, mid-frame resets, and accept failures without a
+/// misbehaving peer. Implementations mimic the syscalls they wrap:
+/// return counts / fds on success, -1 with errno set on failure, and
+/// recv() == 0 means peer EOF. The loop is level-triggered, so a
+/// wrapper may return short counts or spurious EAGAINs freely — epoll
+/// re-fires until the real fd drains.
+class SocketOps {
+ public:
+  virtual ~SocketOps() = default;
+
+  /// accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK).
+  [[nodiscard]] virtual int accept(int listen_fd) noexcept;
+
+  /// recv(fd, buf, len, 0).
+  [[nodiscard]] virtual ssize_t recv(int fd, char* buf,
+                                     std::size_t len) noexcept;
+
+  /// send(fd, buf, len, MSG_NOSIGNAL).
+  [[nodiscard]] virtual ssize_t send(int fd, const char* buf,
+                                     std::size_t len) noexcept;
+};
+
+/// The process-wide pass-through — what a null SocketOps* resolves to.
+[[nodiscard]] SocketOps& real_socket_ops() noexcept;
 
 struct TcpOptions {
   std::string bind_address = "127.0.0.1";
@@ -42,6 +73,13 @@ struct TcpOptions {
   /// Close a connection with no traffic and no pending responses for
   /// this long. 0 disables idle closing.
   int idle_timeout_ms = 0;
+  /// Time source for idle sweeps and the stop-drain grace (null = the
+  /// real steady clock). With a sim::SimClock, idle-timeout tests
+  /// advance time instead of sleeping through it.
+  const sim::ClockSource* clock = nullptr;
+  /// Socket syscall seam (null = the real kernel API). Tests install a
+  /// sim::FaultyTransport to script read/write/accept faults.
+  SocketOps* socket_ops = nullptr;
 };
 
 class TcpListener {

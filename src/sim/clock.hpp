@@ -1,0 +1,74 @@
+#pragma once
+// Injectable time source for the serve stack — the seam that makes
+// every deadline, idle-timeout, and uptime decision testable without
+// sleeping.
+//
+// serve::Server, serve::Metrics, and serve::TcpListener each take an
+// optional `const ClockSource*` (null = the real steady clock), and
+// read time exclusively through it. Production pays one virtual call
+// per clock read — noise next to the syscall underneath — and tests
+// substitute a SimClock that advances only on demand, so "a request
+// queued 10 ms past its deadline" is an exact statement, not a race
+// against the scheduler.
+//
+// The time_point type stays std::chrono::steady_clock::time_point
+// everywhere: no serve-side signatures change, sentinels like
+// time_point::max() keep working, and a SimClock can be dropped into
+// any structure that previously called steady_clock::now() directly.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace archline::sim {
+
+class ClockSource {
+ public:
+  using Clock = std::chrono::steady_clock;
+  using TimePoint = Clock::time_point;
+  using Duration = Clock::duration;
+
+  virtual ~ClockSource() = default;
+
+  [[nodiscard]] virtual TimePoint now() const noexcept = 0;
+};
+
+/// Pass-through to the real steady clock.
+class RealClock final : public ClockSource {
+ public:
+  [[nodiscard]] TimePoint now() const noexcept override {
+    return Clock::now();
+  }
+};
+
+/// The process-wide real clock — what a null ClockSource* resolves to.
+[[nodiscard]] inline const ClockSource& real_clock() noexcept {
+  static const RealClock clock;
+  return clock;
+}
+
+/// A clock that moves only when told to. Starts at the steady clock's
+/// epoch (the origin is arbitrary: every consumer measures durations or
+/// compares against deadlines built from now()). Thread-safe: readers
+/// and advancers may race, and a reader always observes either the
+/// pre- or post-advance instant, never a torn value.
+class SimClock final : public ClockSource {
+ public:
+  [[nodiscard]] TimePoint now() const noexcept override {
+    return TimePoint(Duration(ticks_.load(std::memory_order_acquire)));
+  }
+
+  void advance(Duration d) noexcept {
+    ticks_.fetch_add(d.count(), std::memory_order_acq_rel);
+  }
+
+  void advance_ms(std::int64_t ms) noexcept {
+    advance(std::chrono::duration_cast<Duration>(
+        std::chrono::milliseconds(ms)));
+  }
+
+ private:
+  std::atomic<Duration::rep> ticks_{0};
+};
+
+}  // namespace archline::sim

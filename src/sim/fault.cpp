@@ -1,0 +1,72 @@
+#include "sim/fault.hpp"
+
+#include <cerrno>
+
+namespace archline::sim {
+
+FaultyTransport::FaultyTransport(FaultScript script)
+    : FaultyTransport(script, serve::real_socket_ops()) {}
+
+FaultyTransport::FaultyTransport(FaultScript script, serve::SocketOps& inner)
+    : script_(script), inner_(inner), rng_(script.seed) {}
+
+bool FaultyTransport::roll(double p) noexcept {
+  if (p <= 0.0) return false;
+  return rng_.uniform() < p;
+}
+
+std::size_t FaultyTransport::maybe_cut(
+    std::size_t len, double p, std::atomic<std::uint64_t>& hit) noexcept {
+  if (script_.max_chunk > 0 && len > script_.max_chunk)
+    len = script_.max_chunk;
+  if (len > 1 && roll(p)) {
+    hit.fetch_add(1, std::memory_order_relaxed);
+    len = 1 + static_cast<std::size_t>(rng_.below(len - 1));
+  }
+  return len;
+}
+
+int FaultyTransport::accept(int listen_fd) noexcept {
+  counters_.accept_calls.fetch_add(1, std::memory_order_relaxed);
+  if (roll(script_.accept_fail)) {
+    counters_.accept_failures.fetch_add(1, std::memory_order_relaxed);
+    errno = EMFILE;
+    return -1;
+  }
+  return inner_.accept(listen_fd);
+}
+
+ssize_t FaultyTransport::recv(int fd, char* buf, std::size_t len) noexcept {
+  counters_.recv_calls.fetch_add(1, std::memory_order_relaxed);
+  if (roll(script_.reset)) {
+    counters_.resets.fetch_add(1, std::memory_order_relaxed);
+    errno = ECONNRESET;
+    return -1;
+  }
+  if (roll(script_.eagain)) {
+    counters_.eagains.fetch_add(1, std::memory_order_relaxed);
+    errno = EAGAIN;
+    return -1;
+  }
+  return inner_.recv(
+      fd, buf, maybe_cut(len, script_.split_read, counters_.split_reads));
+}
+
+ssize_t FaultyTransport::send(int fd, const char* buf,
+                              std::size_t len) noexcept {
+  counters_.send_calls.fetch_add(1, std::memory_order_relaxed);
+  if (roll(script_.reset)) {
+    counters_.resets.fetch_add(1, std::memory_order_relaxed);
+    errno = ECONNRESET;
+    return -1;
+  }
+  if (roll(script_.eagain)) {
+    counters_.eagains.fetch_add(1, std::memory_order_relaxed);
+    errno = EAGAIN;
+    return -1;
+  }
+  return inner_.send(
+      fd, buf, maybe_cut(len, script_.short_write, counters_.short_writes));
+}
+
+}  // namespace archline::sim

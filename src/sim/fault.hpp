@@ -1,0 +1,116 @@
+#pragma once
+// Deterministic fault injection for the serve TCP event loop.
+//
+// FaultyTransport sits in the serve::SocketOps seam (TcpOptions::
+// socket_ops) and perturbs the loop's accept/recv/send calls from a
+// seeded script: reads split at arbitrary byte offsets, writes cut
+// short, spurious EAGAINs, mid-frame connection resets, and accept
+// failures. Every perturbation the kernel or a hostile peer could
+// produce at the syscall boundary becomes a reproducible unit-test
+// input — the regression harness for the connection-lifecycle bug
+// class fixed in the epoll rewrite (dropped final un-terminated line,
+// per-line vs total-buffer too_large, half-close ordering).
+//
+// Determinism contract: a FaultyTransport draws from one stats::Rng
+// (PCG32) seeded by FaultScript::seed, consumed in call order. The
+// event loop is single-threaded, so call order is deterministic given
+// a deterministic peer; identical seeds + identical traffic =>
+// identical fault sequences.
+//
+// Safety: the loop is level-triggered, so injected EAGAINs and short
+// counts are always recoverable — epoll re-fires until the real fd
+// drains. Injected resets intentionally are NOT recoverable; that is
+// the point of a reset.
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "serve/tcp.hpp"
+#include "stats/rng.hpp"
+
+namespace archline::sim {
+
+/// Per-syscall fault probabilities, all in [0, 1]. Defaults are all
+/// zero: a default FaultScript is a transparent pass-through.
+struct FaultScript {
+  std::uint64_t seed = 1;
+
+  /// P(recv is capped at a uniform length in [1, n)): splits framed
+  /// requests at arbitrary byte offsets, including inside a JSON token.
+  double split_read = 0.0;
+  /// P(send is capped at a uniform length in [1, n)): partial writes,
+  /// forcing the loop through its EPOLLOUT re-arm path mid-response.
+  double short_write = 0.0;
+  /// P(recv/send returns -1 with EAGAIN even though the fd is ready).
+  double eagain = 0.0;
+  /// P(recv/send returns -1 with ECONNRESET): a mid-frame reset. The
+  /// real fd is untouched; the loop's destroy path closes it.
+  double reset = 0.0;
+  /// P(accept returns -1 with EMFILE). The pending connection stays in
+  /// the backlog; the level-triggered listen fd re-fires, so admission
+  /// is delayed, never lost.
+  double accept_fail = 0.0;
+  /// Hard cap on bytes moved per recv/send (0 = unlimited). Set to 1
+  /// for full byte-at-a-time torture independent of the probabilities.
+  std::size_t max_chunk = 0;
+};
+
+/// Counts of injected faults and forwarded calls — atomics because
+/// tests read them from outside the event-loop thread.
+struct FaultCounters {
+  std::atomic<std::uint64_t> recv_calls{0};
+  std::atomic<std::uint64_t> send_calls{0};
+  std::atomic<std::uint64_t> accept_calls{0};
+  std::atomic<std::uint64_t> split_reads{0};
+  std::atomic<std::uint64_t> short_writes{0};
+  std::atomic<std::uint64_t> eagains{0};
+  std::atomic<std::uint64_t> resets{0};
+  std::atomic<std::uint64_t> accept_failures{0};
+
+  [[nodiscard]] std::uint64_t injected() const noexcept {
+    return split_reads.load() + short_writes.load() + eagains.load() +
+           resets.load() + accept_failures.load();
+  }
+};
+
+/// serve::SocketOps decorator applying a FaultScript to an inner
+/// implementation (the real kernel API by default). Not thread-safe by
+/// design: it must only be called from the event-loop thread, which is
+/// already the SocketOps contract. Counters may be read from anywhere.
+class FaultyTransport final : public serve::SocketOps {
+ public:
+  explicit FaultyTransport(FaultScript script);
+  FaultyTransport(FaultScript script, serve::SocketOps& inner);
+
+  [[nodiscard]] int accept(int listen_fd) noexcept override;
+  [[nodiscard]] ssize_t recv(int fd, char* buf,
+                             std::size_t len) noexcept override;
+  [[nodiscard]] ssize_t send(int fd, const char* buf,
+                             std::size_t len) noexcept override;
+
+  [[nodiscard]] const FaultCounters& counters() const noexcept {
+    return counters_;
+  }
+
+ private:
+  /// One Bernoulli draw. Skips the RNG entirely at p == 0 so a
+  /// pass-through script consumes no randomness (scripts stay
+  /// comparable when one probability is toggled).
+  [[nodiscard]] bool roll(double p) noexcept;
+
+  /// Applies max_chunk and, with probability p, a uniform cut in
+  /// [1, len). Never returns 0 — a zero-length recv would read as EOF.
+  [[nodiscard]] std::size_t maybe_cut(std::size_t len, double p,
+                                      std::atomic<std::uint64_t>& hit)
+      noexcept;
+
+  FaultScript script_;
+  serve::SocketOps& inner_;
+  stats::Rng rng_;
+  FaultCounters counters_;
+};
+
+}  // namespace archline::sim

@@ -19,6 +19,7 @@
 #include "serve/json.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
+#include "sim/clock.hpp"
 
 namespace {
 
@@ -105,8 +106,8 @@ TEST(ServeServer, WorkerPoolCompletesAllSubmissions) {
         cv.notify_one();
       }
     })) {
-      // Backpressure: wait for the pool to catch up, then retry.
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      // Backpressure: let the pool catch up, then retry.
+      std::this_thread::yield();
     }
   }
   std::unique_lock<std::mutex> lock(m);
@@ -236,16 +237,40 @@ TEST(ServeServer, ExpiredDeadlineAnswersWithoutExecuting) {
 }
 
 TEST(ServeServer, DefaultDeadlineComesFromOptions) {
+  // On a SimClock the deadline is exact: one tick past the configured
+  // 10 ms expires the queued job; see the boundary test below for the
+  // other side. Workers never start, so the only executor is the
+  // shutdown drain — the expiry decision is fully deterministic.
+  archline::sim::SimClock clock;
   ServerOptions options = small_options();
-  options.request_deadline_ms = 1;
+  options.request_deadline_ms = 10;
+  options.clock = &clock;
   Server server(options);
   std::string body;
   ASSERT_TRUE(
       server.submit(kPredict, [&](std::string&& b) { body = std::move(b); }));
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
-  server.shutdown();  // drains; the job expired 19 ms ago
+  clock.advance(std::chrono::milliseconds(10) + std::chrono::nanoseconds(1));
+  server.shutdown();  // drains; the job expired 1 ns ago
   EXPECT_EQ(Json::parse(body).string_or("error", ""), "deadline_exceeded");
   EXPECT_EQ(server.metrics().snapshot().deadline_exceeded, 1u);
+}
+
+TEST(ServeServer, DeadlineBoundaryIsExclusive) {
+  // run_job expires a queued request only when now() is strictly past
+  // its deadline: a job drained exactly AT the deadline still executes.
+  // Unobservable with wall clocks, a one-liner with a SimClock.
+  archline::sim::SimClock clock;
+  ServerOptions options = small_options();
+  options.request_deadline_ms = 10;
+  options.clock = &clock;
+  Server server(options);
+  std::string body;
+  ASSERT_TRUE(
+      server.submit(kPredict, [&](std::string&& b) { body = std::move(b); }));
+  clock.advance_ms(10);  // exactly at the deadline, not past it
+  server.shutdown();
+  EXPECT_TRUE(Json::parse(body).bool_or("ok", false));
+  EXPECT_EQ(server.metrics().snapshot().deadline_exceeded, 0u);
 }
 
 TEST(ServeServer, OrderedWriterRestoresSubmissionOrder) {
@@ -347,11 +372,14 @@ TEST(ServeServer, DisabledHeavyLaneRoutesEverythingLight) {
 }
 
 TEST(ServeServer, HeavyDeadlineOverridesDefault) {
-  // Heavy deadline 1 ms, light deadline none: after a sleep, the queued
-  // fit expires while the queued predict still executes on the drain.
+  // Heavy deadline 1 ms, light deadline none: advance sim time past the
+  // heavy deadline and the queued fit expires while the queued predict
+  // still executes on the drain.
+  archline::sim::SimClock clock;
   ServerOptions options = small_options();
   options.request_deadline_ms = 0;
   options.heavy_deadline_ms = 1;
+  options.clock = &clock;
   Server server(options);
   std::string fit_body;
   std::string predict_body;
@@ -361,7 +389,7 @@ TEST(ServeServer, HeavyDeadlineOverridesDefault) {
   ASSERT_TRUE(server.submit(kPredict, [&](std::string&& b) {
     predict_body = std::move(b);
   }));
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  clock.advance_ms(2);
   server.shutdown();
   EXPECT_EQ(Json::parse(fit_body).string_or("error", ""),
             "deadline_exceeded");
@@ -403,7 +431,7 @@ TEST(ServeServer, PredictP99StaysBoundedUnderFitFlood) {
         cv.notify_one();
       }
     })) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      std::this_thread::yield();
     }
   }
   {
@@ -453,7 +481,7 @@ TEST(ServeServer, ConcurrentSubmittersAndCacheConsistency) {
           }
           done.fetch_add(1);
         })) {
-          std::this_thread::sleep_for(std::chrono::microseconds(100));
+          std::this_thread::yield();
         }
       }
     });

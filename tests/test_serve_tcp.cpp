@@ -1,19 +1,14 @@
 // TCP transport integration tests over real sockets: the epoll event
 // loop's framing contract (half-close answers the final un-terminated
 // line), pipelined bursts whose total size exceeds the per-line limit,
-// the hard connection cap, idle timeouts, queue deadlines, and graceful
-// stop flushing. Linux-only, like the transport itself.
+// the hard connection cap, idle timeouts (on a SimClock — exact, no
+// wall-clock waits), queue deadlines, and graceful stop flushing.
+// Linux-only, like the transport itself.
 
 #include <gtest/gtest.h>
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <sys/socket.h>
 #include <unistd.h>
 
-#include <atomic>
-#include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <string>
@@ -24,116 +19,20 @@
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "serve/tcp.hpp"
+#include "serve_tcp_testlib.hpp"
+#include "sim/clock.hpp"
 
 namespace {
 
 using namespace archline::serve;
+using serve_tcp_testlib::TcpTransport;
+using serve_tcp_testlib::connect_to;
+using serve_tcp_testlib::read_lines;
+using serve_tcp_testlib::send_all;
+using serve_tcp_testlib::wait_for_eof;
 
 const char* kPredict =
     R"({"type":"predict","platform":"GTX Titan","flops":1e9,"intensity":4})";
-
-/// Server + listener + event-loop thread with ephemeral port; tears
-/// down gracefully (stop, join, shutdown) so every test also exercises
-/// the drain path.
-class TcpTransport {
- public:
-  TcpTransport(ServerOptions server_options, TcpOptions tcp_options) {
-    server_ = std::make_unique<Server>(server_options);
-    server_->start();
-    tcp_options.port = 0;  // ephemeral
-    listener_ = std::make_unique<TcpListener>(*server_, tcp_options);
-    std::string error;
-    opened_ = listener_->open(&error);
-    EXPECT_TRUE(opened_) << error;
-    if (opened_)
-      loop_ = std::thread([this] { listener_->run(stop_); });
-  }
-
-  ~TcpTransport() {
-    stop_.store(true, std::memory_order_release);
-    if (loop_.joinable()) loop_.join();
-    server_->shutdown();
-  }
-
-  [[nodiscard]] std::uint16_t port() const { return listener_->port(); }
-  [[nodiscard]] Server& server() { return *server_; }
-
- private:
-  std::unique_ptr<Server> server_;
-  std::unique_ptr<TcpListener> listener_;
-  std::atomic<bool> stop_{false};
-  std::thread loop_;
-  bool opened_ = false;
-};
-
-int connect_to(std::uint16_t port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return -1;
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
-    ::close(fd);
-    return -1;
-  }
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-  return fd;
-}
-
-bool send_all(int fd, const std::string& data) {
-  const char* p = data.data();
-  std::size_t left = data.size();
-  while (left > 0) {
-    const ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    p += n;
-    left -= static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-/// Reads newline-delimited responses until `count` arrived or the peer
-/// closed; returns what it got. Extracts at most `count` lines — extra
-/// buffered bytes stay in `carry` for a later call (pass the same
-/// string when splitting one pipelined reply across calls).
-std::vector<std::string> read_lines(int fd, std::size_t count,
-                                    std::string* carry = nullptr) {
-  std::vector<std::string> lines;
-  std::string local;
-  std::string& buffer = carry ? *carry : local;
-  char chunk[65536];
-  for (;;) {
-    std::size_t start = 0;
-    for (std::size_t nl = buffer.find('\n', start);
-         nl != std::string::npos && lines.size() < count;
-         nl = buffer.find('\n', start)) {
-      lines.push_back(buffer.substr(start, nl - start));
-      start = nl + 1;
-    }
-    buffer.erase(0, start);
-    if (lines.size() >= count) break;
-    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;
-    buffer.append(chunk, static_cast<std::size_t>(n));
-  }
-  return lines;
-}
-
-/// recv() until EOF (or error); true when the peer closed cleanly.
-bool wait_for_eof(int fd) {
-  char chunk[4096];
-  for (;;) {
-    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
-    if (n == 0) return true;
-    if (n < 0 && errno != EINTR) return false;
-  }
-}
 
 ServerOptions small_options() {
   ServerOptions o;
@@ -265,7 +164,9 @@ TEST(ServeTcp, CapFreesUpWhenAConnectionCloses) {
   ASSERT_EQ(read_lines(fd1, 1).size(), 1u);
   ::close(fd1);
   // The slot is released once the loop notices the close; a new client
-  // must eventually be admitted and served.
+  // must eventually be admitted and served. Each attempt is a full
+  // blocking round-trip, so retries are already paced by the loop —
+  // no sleeping needed, just a wall-clock bound on the whole test.
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(10);
   bool served = false;
@@ -279,23 +180,30 @@ TEST(ServeTcp, CapFreesUpWhenAConnectionCloses) {
         served = true;
     }
     ::close(fd);
-    if (!served)
-      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    if (!served) std::this_thread::yield();
   }
   EXPECT_TRUE(served);
 }
 
 TEST(ServeTcp, IdleConnectionIsClosedAndCounted) {
+  // The idle timer runs on a SimClock: 60 s of simulated idleness is
+  // one advance call, so the test proves "closed because idle", not
+  // "closed because the test slept long enough". The poll interval is
+  // real time — it only bounds how fast the loop notices.
+  archline::sim::SimClock clock;
   TcpOptions tcp;
-  tcp.idle_timeout_ms = 100;
-  tcp.poll_interval_ms = 20;
+  tcp.idle_timeout_ms = 60'000;
+  tcp.poll_interval_ms = 5;
+  tcp.clock = &clock;
   TcpTransport transport(small_options(), tcp);
   const int fd = connect_to(transport.port());
   ASSERT_GE(fd, 0);
-  // Activity first, so the close below is provably the idle timer.
+  // Activity first, so the close below is provably the idle timer —
+  // and proof the connection survives while sim time stands still.
   ASSERT_TRUE(send_all(fd, std::string(kPredict) + "\n"));
   ASSERT_EQ(read_lines(fd, 1).size(), 1u);
-  EXPECT_TRUE(wait_for_eof(fd));  // blocks until the idle timer fires
+  clock.advance_ms(60'001);  // one tick past the limit
+  EXPECT_TRUE(wait_for_eof(fd));  // blocks until the sweep fires
   ::close(fd);
   const auto snap = transport.server().metrics().snapshot();
   EXPECT_EQ(snap.connections_idle_closed, 1u);

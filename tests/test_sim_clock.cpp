@@ -1,0 +1,100 @@
+// SimClock semantics and the clock seam through serve::Metrics and
+// serve::Server: uptime/qps are exact under an injected clock, the
+// null default resolves to the real steady clock, and concurrent
+// advance/read never tears.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "serve/metrics.hpp"
+#include "serve/server.hpp"
+#include "sim/clock.hpp"
+
+namespace {
+
+using archline::sim::SimClock;
+using namespace std::chrono;
+
+TEST(SimClock, StartsAtEpochAndAdvancesOnDemand) {
+  SimClock clock;
+  const auto t0 = clock.now();
+  EXPECT_EQ(t0.time_since_epoch().count(), 0);
+  EXPECT_EQ(clock.now(), t0);  // time does not pass by itself
+  clock.advance(milliseconds(250));
+  EXPECT_EQ(clock.now() - t0, milliseconds(250));
+  clock.advance_ms(750);
+  EXPECT_EQ(clock.now() - t0, seconds(1));
+  clock.advance(nanoseconds(1));
+  EXPECT_EQ(clock.now() - t0, seconds(1) + nanoseconds(1));
+}
+
+TEST(SimClock, RealClockTracksSteadyClock) {
+  const auto before = steady_clock::now();
+  const auto mid = archline::sim::real_clock().now();
+  const auto after = steady_clock::now();
+  EXPECT_LE(before, mid);
+  EXPECT_LE(mid, after);
+}
+
+TEST(SimClock, ConcurrentAdvanceAndReadNeverTears) {
+  // 4 advancers x 10k ticks of 1 us; readers running throughout must
+  // only ever observe monotone values, and the total must be exact.
+  SimClock clock;
+  constexpr int kThreads = 4;
+  constexpr int kTicks = 10000;
+  std::atomic<bool> go{false};
+  std::atomic<bool> done{false};
+  std::atomic<bool> regressed{false};
+  std::thread reader([&] {
+    auto last = clock.now();
+    while (!done.load(std::memory_order_acquire)) {
+      const auto now = clock.now();
+      if (now < last) regressed.store(true);
+      last = now;
+    }
+  });
+  std::vector<std::thread> advancers;
+  for (int t = 0; t < kThreads; ++t)
+    advancers.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int i = 0; i < kTicks; ++i) clock.advance(microseconds(1));
+    });
+  go.store(true, std::memory_order_release);
+  for (auto& t : advancers) t.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_FALSE(regressed.load());
+  EXPECT_EQ(clock.now().time_since_epoch(),
+            microseconds(kThreads * kTicks));
+}
+
+TEST(SimClock, MetricsUptimeIsExactUnderSimClock) {
+  SimClock clock;
+  archline::serve::Metrics metrics(&clock);
+  EXPECT_DOUBLE_EQ(metrics.snapshot().uptime_s, 0.0);
+  clock.advance_ms(2500);
+  EXPECT_DOUBLE_EQ(metrics.snapshot().uptime_s, 2.5);
+}
+
+TEST(SimClock, ServerStatsQpsIsExactUnderSimClock) {
+  // completed / uptime with both numbers exact: 4 requests over 2
+  // simulated seconds is a qps of exactly 2. No tolerance needed.
+  SimClock clock;
+  archline::serve::ServerOptions options;
+  options.threads = 1;
+  options.clock = &clock;
+  archline::serve::Server server(options);
+  const char* kPredict =
+      R"({"type":"predict","platform":"GTX Titan","intensity":4})";
+  for (int i = 0; i < 4; ++i) (void)server.handle_now(kPredict);
+  clock.advance_ms(2000);
+  const archline::serve::Json stats = archline::serve::Json::parse(
+      server.handle_now(R"({"type":"stats"})"));
+  EXPECT_DOUBLE_EQ(stats.number_or("uptime_s", -1.0), 2.0);
+  EXPECT_DOUBLE_EQ(stats.number_or("qps", -1.0), 2.0);
+}
+
+}  // namespace
