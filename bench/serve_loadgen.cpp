@@ -18,6 +18,11 @@
 //                    predicts one at a time; the reported client batch
 //                    latency IS per-predict latency under the flood —
 //                    the number the server's per-class lanes bound
+//   observe-heavy    a live-learning ingest workload: 70% observe
+//                    (streaming measured tuples, never cached), 20%
+//                    predict, 10% params. Every connection draws from
+//                    its own PCG32 stream, so the interleaving of
+//                    ingest and reads is reproducible run to run
 //
 // Modes:
 //   TCP (default)  open --connections non-blocking sockets to a running
@@ -156,6 +161,61 @@ std::vector<std::string> make_fit_pool(int keys, std::uint64_t seed) {
   return pool;
 }
 
+/// Distinct observe requests: per-platform batches of measured tuples
+/// synthesized from the platform's own model with ~1% lognormal noise —
+/// what a real measurement stream looks like, and enough signal for the
+/// server's RLS filters to converge near the Table I constants.
+std::vector<std::string> make_observe_pool(int keys, std::uint64_t seed) {
+  const auto names = platforms::platform_names();
+  stats::Rng rng(seed, /*stream=*/11);
+  std::vector<std::string> pool;
+  pool.reserve(static_cast<std::size_t>(keys));
+  for (int i = 0; i < keys; ++i) {
+    const auto& spec =
+        platforms::platform(names[static_cast<std::size_t>(i) % names.size()]);
+    const core::MachineParams m = spec.machine();
+    serve::Json obs = serve::Json::array();
+    for (int p = 0; p < 8; ++p) {
+      const double intensity = std::exp2(-3.0 + p + (i % 2) * 0.5);
+      const core::Workload w = core::Workload::from_intensity(1e9, intensity);
+      serve::Json row = serve::Json::object();
+      row.set("flops", w.flops);
+      row.set("bytes", w.bytes);
+      row.set("seconds", core::time(m, w) * rng.lognormal(0.0, 0.01));
+      row.set("joules", core::energy(m, w) * rng.lognormal(0.0, 0.01));
+      obs.push_back(std::move(row));
+    }
+    serve::Json req = serve::Json::object();
+    req.set("type", "observe");
+    req.set("platform", spec.name);
+    req.set("observations", std::move(obs));
+    pool.push_back(req.dump());
+  }
+  return pool;
+}
+
+/// One params request per platform (cacheable until a re-solve
+/// publishes — the read side of the live-learning loop).
+std::vector<std::string> make_params_pool() {
+  std::vector<std::string> pool;
+  for (const auto& name : platforms::platform_names()) {
+    serve::Json req = serve::Json::object();
+    req.set("type", "params");
+    req.set("platform", name);
+    pool.push_back(req.dump());
+  }
+  return pool;
+}
+
+/// The request pools a connection draws from; which ones are used
+/// depends on the scenario.
+struct Pools {
+  std::vector<std::string> predicts;
+  std::vector<std::string> fits;
+  std::vector<std::string> observes;
+  std::vector<std::string> params;
+};
+
 /// The deterministic request stream: thread t's k-th request.
 const std::string& pick_request(const std::vector<std::string>& predicts,
                                 const std::vector<std::string>& fits,
@@ -163,6 +223,18 @@ const std::string& pick_request(const std::vector<std::string>& predicts,
   if (rng.uniform() < fit_frac)
     return fits[static_cast<std::size_t>(rng.below(fits.size()))];
   return predicts[static_cast<std::size_t>(rng.below(predicts.size()))];
+}
+
+/// observe-heavy mix: 70% observe / 20% predict / 10% params.
+const std::string& pick_observe_heavy(const Pools& pools, stats::Rng& rng) {
+  const double r = rng.uniform();
+  if (r < 0.70)
+    return pools
+        .observes[static_cast<std::size_t>(rng.below(pools.observes.size()))];
+  if (r < 0.90)
+    return pools
+        .predicts[static_cast<std::size_t>(rng.below(pools.predicts.size()))];
+  return pools.params[static_cast<std::size_t>(rng.below(pools.params.size()))];
 }
 
 // ---- Shared accounting ----------------------------------------------------
@@ -284,6 +356,7 @@ struct ClientConn {
   double fit_frac = 0.0;       ///< this connection's request mix
   int pipeline = 1;            ///< this connection's batch depth
   bool flood = false;          ///< heavy-starvation: unique-id fits only
+  bool observe_heavy = false;  ///< 70/20/10 observe/predict/params mix
   bool record_latency = true;  ///< flood batches stay out of the stats
   long next_unique = 0;        ///< id counter for cache-defeating fits
   std::string outbox;
@@ -300,18 +373,21 @@ struct ClientConn {
 /// a single poll() loop: each connection independently sends a
 /// pipelined batch, collects its responses, records the batch latency,
 /// and starts the next batch.
-void tcp_multiplex_worker(const std::vector<std::string>& predicts,
-                          const std::vector<std::string>& fits,
-                          std::vector<ClientConn>& conns, Totals& totals) {
+void tcp_multiplex_worker(const Pools& pools, std::vector<ClientConn>& conns,
+                          Totals& totals) {
   const auto fill_batch = [&](ClientConn& c) {
     const long batch = std::min<long>(c.remaining, c.pipeline);
     for (long i = 0; i < batch; ++i) {
       if (c.flood)
         c.outbox += with_unique_id(
-            fits[static_cast<std::size_t>(c.rng.below(fits.size()))],
+            pools.fits[static_cast<std::size_t>(
+                c.rng.below(pools.fits.size()))],
             ++c.next_unique);
+      else if (c.observe_heavy)
+        c.outbox += pick_observe_heavy(pools, c.rng);
       else
-        c.outbox += pick_request(predicts, fits, c.fit_frac, c.rng);
+        c.outbox += pick_request(pools.predicts, pools.fits, c.fit_frac,
+                                 c.rng);
       c.outbox += '\n';
     }
     c.remaining -= batch;
@@ -410,13 +486,14 @@ void tcp_multiplex_worker(const std::vector<std::string>& predicts,
 // ---- In-process mode ------------------------------------------------------
 
 void inproc_worker(const Config& cfg, int thread_id, serve::Server& server,
-                   const std::vector<std::string>& predicts,
-                   const std::vector<std::string>& fits, long requests,
-                   Totals& totals) {
+                   const Pools& pools, long requests, Totals& totals) {
+  const bool observe_heavy = cfg.scenario == "observe-heavy";
   stats::Rng rng(cfg.seed, static_cast<std::uint64_t>(thread_id));
   for (long i = 0; i < requests; ++i) {
     const std::string& line =
-        pick_request(predicts, fits, cfg.fit_frac, rng);
+        observe_heavy
+            ? pick_observe_heavy(pools, rng)
+            : pick_request(pools.predicts, pools.fits, cfg.fit_frac, rng);
     const auto t0 = std::chrono::steady_clock::now();
     const std::string body = server.handle_now(line);
     totals.count(body);
@@ -584,8 +661,8 @@ void print_json_summary(const Config& cfg, Totals& totals, long done,
                "usage: %s [--host H] [--port N] [--connections N]\n"
                "          [--threads N] [--requests N] [--pipeline N]\n"
                "          [--keys N] [--fit-frac F] [--seed S]\n"
-               "          [--scenario mixed|heavy-starvation] [--inproc]\n"
-               "          [--json]\n",
+               "          [--scenario mixed|heavy-starvation|observe-heavy]\n"
+               "          [--inproc] [--json]\n",
                argv0);
   std::exit(code);
 }
@@ -621,9 +698,11 @@ int main(int argc, char** argv) {
       cfg.keys < 1 || cfg.fit_frac < 0.0 || cfg.fit_frac > 1.0 ||
       cfg.threads < 0)
     usage(argv[0], 2);
-  if (cfg.scenario != "mixed" && cfg.scenario != "heavy-starvation")
+  if (cfg.scenario != "mixed" && cfg.scenario != "heavy-starvation" &&
+      cfg.scenario != "observe-heavy")
     usage(argv[0], 2);
   const bool starvation = cfg.scenario == "heavy-starvation";
+  const bool observe_heavy = cfg.scenario == "observe-heavy";
   // The starvation scenario needs one flooder plus at least one
   // predicting client.
   if (starvation) cfg.connections = std::max(cfg.connections, 2);
@@ -633,8 +712,13 @@ int main(int argc, char** argv) {
         std::max(1u, std::thread::hardware_concurrency()));
   cfg.threads = std::min(cfg.threads, cfg.connections);
 
-  const auto predicts = make_predict_pool(cfg.keys);
-  const auto fits = make_fit_pool(cfg.fit_keys, cfg.seed);
+  Pools pools;
+  pools.predicts = make_predict_pool(cfg.keys);
+  pools.fits = make_fit_pool(cfg.fit_keys, cfg.seed);
+  if (observe_heavy) {
+    pools.observes = make_observe_pool(cfg.keys, cfg.seed);
+    pools.params = make_params_pool();
+  }
   Totals totals;
 
   const long per_conn = cfg.requests / cfg.connections;
@@ -659,26 +743,42 @@ int main(int argc, char** argv) {
     std::printf("scenario           heavy-starvation (one client floods "
                 "cache-defeating fits; the rest send predicts one at a "
                 "time; batch latency = per-predict latency)\n");
+  if (!cfg.json && observe_heavy)
+    std::printf("scenario           observe-heavy (70%% observe / 20%% "
+                "predict / 10%% params; every connection has its own "
+                "PCG32 stream)\n");
 
   double elapsed = 0.0;
   std::string stats_body;
   bool deterministic = true;
 
   if (cfg.inproc) {
-    serve::Server server;
+    serve::ServerOptions server_options;
+    // observe-heavy exercises the full live-learning loop: the
+    // background resolver re-solves and publishes while ingest and
+    // cached reads are in flight.
+    if (observe_heavy) server_options.refit_interval_ms = 50;
+    serve::Server server(server_options);
     server.start();
-    // Determinism check: byte-identical responses on replay.
-    deterministic =
-        server.handle_now(predicts[0]) == server.handle_now(predicts[0]) &&
-        server.handle_now(fits[0]) == server.handle_now(fits[0]);
+    // Determinism check: byte-identical responses on replay. (Skipped
+    // for predict under observe-heavy: a background publish between the
+    // two calls legitimately changes the reply.)
+    deterministic = observe_heavy
+                        ? server.handle_now(pools.observes[0]) ==
+                              server.handle_now(pools.observes[0])
+                        : server.handle_now(pools.predicts[0]) ==
+                                  server.handle_now(pools.predicts[0]) &&
+                              server.handle_now(pools.fits[0]) ==
+                                  server.handle_now(pools.fits[0]);
     const auto t0 = std::chrono::steady_clock::now();
     if (starvation) {
-      inproc_starvation(cfg, server, predicts, fits, per_conn, totals);
+      inproc_starvation(cfg, server, pools.predicts, pools.fits, per_conn,
+                        totals);
     } else {
       std::vector<std::thread> threads;
       for (int t = 0; t < cfg.connections; ++t)
         threads.emplace_back([&, t] {
-          inproc_worker(cfg, t, server, predicts, fits, per_conn, totals);
+          inproc_worker(cfg, t, server, pools, per_conn, totals);
         });
       for (auto& t : threads) t.join();
     }
@@ -698,10 +798,19 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::string r1, r2, f1, f2;
-    deterministic = request_once(probe, predicts[0], r1) &&
-                    request_once(probe, predicts[0], r2) &&
-                    request_once(probe, fits[0], f1) &&
-                    request_once(probe, fits[0], f2) && r1 == r2 && f1 == f2;
+    if (observe_heavy) {
+      // Observe replies are batch-local by design, so they replay
+      // byte-identically even though every call ingests; predict under
+      // a live resolver may legitimately change between calls.
+      deterministic = request_once(probe, pools.observes[0], r1) &&
+                      request_once(probe, pools.observes[0], r2) && r1 == r2;
+    } else {
+      deterministic = request_once(probe, pools.predicts[0], r1) &&
+                      request_once(probe, pools.predicts[0], r2) &&
+                      request_once(probe, pools.fits[0], f1) &&
+                      request_once(probe, pools.fits[0], f2) && r1 == r2 &&
+                      f1 == f2;
+    }
     ::close(probe);
 
     // Open every connection up front (the server's accept path is the
@@ -733,6 +842,7 @@ int main(int argc, char** argv) {
           c.pipeline = 1;
         }
       }
+      c.observe_heavy = observe_heavy;
       groups[static_cast<std::size_t>(i % cfg.threads)].push_back(
           std::move(c));
     }
@@ -741,8 +851,8 @@ int main(int argc, char** argv) {
     std::vector<std::thread> threads;
     for (int t = 0; t < cfg.threads; ++t)
       threads.emplace_back([&, t] {
-        tcp_multiplex_worker(predicts, fits,
-                             groups[static_cast<std::size_t>(t)], totals);
+        tcp_multiplex_worker(pools, groups[static_cast<std::size_t>(t)],
+                             totals);
       });
     for (auto& t : threads) t.join();
     elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() -

@@ -20,6 +20,13 @@
 //   heavy_starvation_unified same flood with the heavy lane disabled —
 //                            the pre-lane single-queue behavior, kept as
 //                            the A/B baseline showing what lanes buy
+//   observe_ingest_1t        "observe" with an 8-tuple batch: parse +
+//                            per-tuple RLS update + ring-buffer write,
+//                            never cached — the streaming ingest cost
+//   observe_under_refit_mt   same ingest on all threads while the
+//                            background resolver re-solves and publishes
+//                            every 20 ms: observe p99 with snapshot
+//                            swaps and cache invalidation in flight
 //
 // Each scenario reports ops, ops/s, sampled per-op p50/p99 latency, and
 // heap allocations per op (global operator new is instrumented). Output
@@ -44,6 +51,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/roofline.hpp"
 #include "platforms/platform_db.hpp"
 #include "serve/json.hpp"
 #include "serve/queue.hpp"
@@ -217,6 +225,37 @@ std::vector<std::string> make_predict_pool(int keys) {
     req.set("flops", 1e9);
     req.set("intensity",
             std::exp2(-4.0 + 13.0 * i / std::max(1, keys - 1)));
+    pool.push_back(req.dump());
+  }
+  return pool;
+}
+
+/// Distinct observe request lines: per-platform 8-tuple batches
+/// generated from the model (the loadgen's observe-heavy shape without
+/// the noise — the bench wants identical work per op, not realism).
+std::vector<std::string> make_observe_pool(int keys) {
+  const auto names = platforms::platform_names();
+  std::vector<std::string> pool;
+  pool.reserve(static_cast<std::size_t>(keys));
+  for (int i = 0; i < keys; ++i) {
+    const auto& spec =
+        platforms::platform(names[static_cast<std::size_t>(i) % names.size()]);
+    const core::MachineParams m = spec.machine();
+    serve::Json obs = serve::Json::array();
+    for (int p = 0; p < 8; ++p) {
+      const core::Workload w =
+          core::Workload::from_intensity(1e9, std::exp2(-3.0 + p));
+      serve::Json row = serve::Json::object();
+      row.set("flops", w.flops);
+      row.set("bytes", w.bytes);
+      row.set("seconds", core::time(m, w));
+      row.set("joules", core::energy(m, w));
+      obs.push_back(std::move(row));
+    }
+    serve::Json req = serve::Json::object();
+    req.set("type", "observe");
+    req.set("platform", spec.name);
+    req.set("observations", std::move(obs));
     pool.push_back(req.dump());
   }
   return pool;
@@ -486,6 +525,47 @@ ScenarioResult bench_predict_latency(const char* name, const Config& cfg,
   return r;
 }
 
+/// Streaming ingest cost, one thread: every op is an "observe" with an
+/// 8-tuple batch — parse, per-tuple RLS update, ring-buffer write.
+/// Never cached, so the number is the pure per-request ingest path.
+ScenarioResult bench_observe_ingest_1t(const Config& cfg,
+                                       const std::vector<std::string>& pool) {
+  serve::Server server;
+  std::size_t i = 0;
+  std::string out;
+  return run_single("observe_ingest_1t", cfg.seconds, [&] {
+    server.handle_into(pool[i], out);
+    if (++i == pool.size()) i = 0;
+  });
+}
+
+/// The ingest path under concurrent re-solves: all threads stream
+/// observes while the background resolver re-fits dirty platforms every
+/// 20 ms and publishes new snapshots (each publish bumps the cache
+/// generation). The p99 here is the "observe never waits on a re-solve"
+/// claim, measured.
+ScenarioResult bench_observe_under_refit_mt(
+    const Config& cfg, const std::vector<std::string>& pool, int threads) {
+  serve::ServerOptions opt;
+  opt.refit_interval_ms = 20;
+  serve::Server server(opt);
+  server.start();
+  struct PerThread {
+    std::size_t i = 0;
+    std::string out;
+    char pad[64];
+  };
+  std::vector<PerThread> state(static_cast<std::size_t>(threads));
+  auto r = run_multi("observe_under_refit_mt", cfg.seconds, threads,
+                     [&](int t) {
+                       PerThread& s = state[static_cast<std::size_t>(t)];
+                       server.handle_into(pool[s.i], s.out);
+                       if (++s.i == pool.size()) s.i = 0;
+                     });
+  server.shutdown();
+  return r;
+}
+
 // ---- Report ----------------------------------------------------------------
 
 serve::Json to_json(const ScenarioResult& r) {
@@ -552,6 +632,11 @@ int main(int argc, char** argv) {
                                           threads, 64, true));
   results.push_back(bench_predict_latency("heavy_starvation_unified", cfg,
                                           pool, threads, 0, true));
+  // Online-fit ingest: per-request cost alone, then with the background
+  // resolver publishing re-solves underneath.
+  const auto observes = make_observe_pool(64);
+  results.push_back(bench_observe_ingest_1t(cfg, observes));
+  results.push_back(bench_observe_under_refit_mt(cfg, observes, threads));
 
   for (const ScenarioResult& r : results)
     std::fprintf(stderr,

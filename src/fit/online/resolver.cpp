@@ -1,0 +1,67 @@
+#include "fit/online/resolver.hpp"
+
+#include <chrono>
+#include <exception>
+
+namespace archline::fit::online {
+
+BackgroundResolver::BackgroundResolver(OnlineStore& store, int interval_ms)
+    : store_(store), interval_ms_(interval_ms < 1 ? 1 : interval_ms) {}
+
+BackgroundResolver::~BackgroundResolver() { stop(); }
+
+void BackgroundResolver::start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (thread_.joinable()) return;
+  stop_ = false;
+  poked_ = false;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void BackgroundResolver::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!thread_.joinable()) return;
+    stop_ = true;
+    cv_.notify_all();
+  }
+  // Joined outside the lock; a second stop() sees joinable() == false.
+  thread_.join();
+}
+
+void BackgroundResolver::poke() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  poked_ = true;
+  cv_.notify_all();
+}
+
+void BackgroundResolver::loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                   [this] { return stop_ || poked_; });
+      if (stop_) return;
+      poked_ = false;
+    }
+    // Sweep outside the lifecycle lock: a solve can take milliseconds
+    // and stop() must stay responsive (it is only checked between
+    // platforms, so shutdown waits for at most one solve).
+    for (const std::string_view platform : store_.dirty_platforms()) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stop_) return;
+      }
+      try {
+        store_.resolve(platform);
+      } catch (const std::exception&) {
+        // Degenerate window (e.g. all tuples at one intensity): leave
+        // the previous snapshot in place and retry after more data.
+        failed_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    sweeps_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+}  // namespace archline::fit::online

@@ -1,0 +1,115 @@
+#include "fit/online/rls.hpp"
+
+#include <cmath>
+
+namespace archline::fit::online {
+
+namespace {
+
+/// Internal unit scale: regressors are (Gflop, GB, s) so theta lands in
+/// O(0.01..100) for the paper's platforms and P stays well conditioned.
+constexpr double kScale = 1e-9;
+
+/// Prior covariance magnitude: large enough that the first kDim
+/// observations dominate the prior completely, small enough that
+/// x^T P x cannot overflow for any sane tuple.
+constexpr double kPriorVariance = 1e6;
+
+}  // namespace
+
+RlsFilter::RlsFilter(double forgetting) noexcept
+    : lambda_(forgetting > 0.0 && forgetting <= 1.0 ? forgetting : 1.0) {
+  reset();
+}
+
+void RlsFilter::reset() noexcept {
+  for (int i = 0; i < kDim; ++i) {
+    theta_[i] = 0.0;
+    for (int j = 0; j < kDim; ++j) p_[i][j] = i == j ? kPriorVariance : 0.0;
+  }
+  residual_ss_ = 0.0;
+  weight_ = 0.0;
+  peak_flop_rate_ = 0.0;
+  peak_byte_rate_ = 0.0;
+  count_ = 0;
+}
+
+void RlsFilter::observe(const Sample& s) noexcept {
+  if (!(s.seconds > 0.0)) return;  // defensive; the wire layer validates
+  const double x[kDim] = {s.flops * kScale, s.bytes * kScale, s.seconds};
+  const double y = s.joules;
+
+  // Gain k = P x / (lambda + x^T P x).
+  double px[kDim];
+  double xpx = 0.0;
+  for (int i = 0; i < kDim; ++i) {
+    px[i] = 0.0;
+    for (int j = 0; j < kDim; ++j) px[i] += p_[i][j] * x[j];
+    xpx += x[i] * px[i];
+  }
+  const double denom = lambda_ + xpx;
+  // Innovation before the update; its square feeds the noise estimate.
+  double predicted = 0.0;
+  for (int i = 0; i < kDim; ++i) predicted += x[i] * theta_[i];
+  const double innovation = y - predicted;
+
+  for (int i = 0; i < kDim; ++i) {
+    const double k = px[i] / denom;
+    theta_[i] += k * innovation;
+  }
+  // P <- (P - k x^T P) / lambda, kept symmetric explicitly (the textbook
+  // update loses symmetry to rounding after ~1e5 steps).
+  for (int i = 0; i < kDim; ++i)
+    for (int j = i; j < kDim; ++j) {
+      const double v = (p_[i][j] - px[i] * px[j] / denom) / lambda_;
+      p_[i][j] = v;
+      p_[j][i] = v;
+    }
+
+  // Normalized innovation variance: e^2 * lambda / denom is the
+  // standard forgetting-RLS noise estimator (the a-priori residual
+  // shrunk by the gain), accumulated with the same forgetting.
+  residual_ss_ =
+      lambda_ * residual_ss_ + innovation * innovation * lambda_ / denom;
+  weight_ = lambda_ * weight_ + 1.0;
+
+  // Sustained peaks: decay then refresh. A rate near the platform's
+  // ceiling refreshes the max every few tuples; after a real slowdown
+  // the old peak decays away in ~1/(1-lambda) observations.
+  peak_flop_rate_ *= lambda_;
+  peak_byte_rate_ *= lambda_;
+  if (s.flops > 0.0) {
+    const double r = s.flops / s.seconds;
+    if (r > peak_flop_rate_) peak_flop_rate_ = r;
+  }
+  if (s.bytes > 0.0) {
+    const double r = s.bytes / s.seconds;
+    if (r > peak_byte_rate_) peak_byte_rate_ = r;
+  }
+  ++count_;
+}
+
+RlsEstimate RlsFilter::estimate() const noexcept {
+  RlsEstimate e;
+  e.count = count_;
+  e.effective_count = weight_;
+  e.eps_flop = theta_[0] * kScale;
+  e.eps_mem = theta_[1] * kScale;
+  e.pi1 = theta_[2];
+  // Residual degrees of freedom use the effective sample size so the
+  // variance stays honest under heavy forgetting.
+  const double dof = weight_ - static_cast<double>(kDim);
+  const double sigma2 = dof > 1.0 ? residual_ss_ / dof : 0.0;
+  const auto se = [&](int i) {
+    const double v = sigma2 * p_[i][i];
+    return v > 0.0 ? std::sqrt(v) : 0.0;
+  };
+  e.se_eps_flop = se(0) * kScale;
+  e.se_eps_mem = se(1) * kScale;
+  e.se_pi1 = se(2);
+  e.tau_flop = peak_flop_rate_ > 0.0 ? 1.0 / peak_flop_rate_ : 0.0;
+  e.tau_mem = peak_byte_rate_ > 0.0 ? 1.0 / peak_byte_rate_ : 0.0;
+  return e;
+}
+
+}  // namespace archline::fit::online

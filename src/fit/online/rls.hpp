@@ -1,0 +1,94 @@
+#pragma once
+// Recursive least-squares (RLS) with exponential forgetting over the
+// LINEAR part of the energy-roofline model.
+//
+// For a streaming observation (W flops, Q bytes, t seconds, E joules),
+// the energy equation (paper eq. 4) is exactly linear in the per-event
+// energy constants:
+//
+//   E = W*eps_flop + Q*eps_mem + t*pi1
+//
+// i.e. y = x^T theta with x = (W, Q, t) and theta = (eps_flop, eps_mem,
+// pi1). RLS maintains theta and its 3x3 inverse-information matrix P in
+// O(1) arithmetic per observation — no history is kept — and the
+// forgetting factor lambda < 1 exponentially down-weights old tuples so
+// the filter tracks parameter drift (DVFS changes, thermal aging).
+//
+// The TIME side (eq. 1) is t = max(W*tau_flop, Q*tau_mem): a kink, not
+// a linear form. The filter tracks tau_flop / tau_mem as forgetting
+// sustained peaks (the reciprocal of the best observed flop/byte rate,
+// decayed by lambda per observation so a slowdown is eventually
+// believed). The capped-model nonlinearity (delta_pi, eq. 5-7) cannot
+// be estimated incrementally at all — that is the background
+// re-solver's job (resolver.hpp), which runs the full Nelder-Mead +
+// Levenberg-Marquardt pipeline over a bounded window.
+//
+// Numerical scaling: regressors are normalized to Gflop / GB internally
+// (W, Q ~ 1e9 while t ~ 1e-1 would otherwise spread P's spectrum over
+// ~20 decades); estimates are converted back on read.
+
+#include <cstdint>
+
+namespace archline::fit::online {
+
+/// One streaming measurement tuple: what `observe` carries on the wire.
+/// (The serve layer validates bytes/seconds/joules > 0, flops >= 0
+/// before ingest.)
+struct Sample {
+  double flops = 0.0;
+  double bytes = 0.0;
+  double seconds = 0.0;
+  double joules = 0.0;
+};
+
+/// Point estimates plus uncertainty, read out of the filter at
+/// publication time. Standard errors come from the RLS covariance
+/// sigma^2 * P with sigma^2 the forgetting-weighted innovation
+/// variance; ci95 half-width is 1.96 * se.
+struct RlsEstimate {
+  double eps_flop = 0.0;  ///< J/flop
+  double eps_mem = 0.0;   ///< J/byte
+  double pi1 = 0.0;       ///< W (constant power)
+  double se_eps_flop = 0.0;
+  double se_eps_mem = 0.0;
+  double se_pi1 = 0.0;
+  double tau_flop = 0.0;  ///< s/flop sustained-peak reciprocal
+  double tau_mem = 0.0;   ///< s/byte sustained-peak reciprocal
+  std::uint64_t count = 0;       ///< tuples ingested
+  double effective_count = 0.0;  ///< sum of forgetting weights
+};
+
+class RlsFilter {
+ public:
+  static constexpr int kDim = 3;  ///< (eps_flop, eps_mem, pi1)
+
+  /// `forgetting` is lambda in (0, 1]: 1 = ordinary least squares
+  /// (infinite memory), smaller = faster tracking / noisier estimates.
+  /// The effective window is ~1/(1-lambda) observations.
+  explicit RlsFilter(double forgetting = 0.998) noexcept;
+
+  /// Ingests one tuple: one rank-1 update of theta and P, plus the
+  /// sustained-peak decay. O(kDim^2) arithmetic, no allocation.
+  void observe(const Sample& s) noexcept;
+
+  /// Current estimates (cheap: a few divisions and square roots).
+  [[nodiscard]] RlsEstimate estimate() const noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double forgetting() const noexcept { return lambda_; }
+
+  /// Back to the prior (used by tests; the serve layer never resets).
+  void reset() noexcept;
+
+ private:
+  double lambda_;
+  double theta_[kDim];        ///< scaled estimates (J/Gflop, J/GB, W)
+  double p_[kDim][kDim];      ///< scaled inverse-information matrix
+  double residual_ss_ = 0.0;  ///< forgetting-weighted squared innovations
+  double weight_ = 0.0;       ///< sum of forgetting weights (ESS)
+  double peak_flop_rate_ = 0.0;  ///< decayed max of W/t [flop/s]
+  double peak_byte_rate_ = 0.0;  ///< decayed max of Q/t [B/s]
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace archline::fit::online

@@ -48,8 +48,9 @@ auto ShardedLruCache::find_in_shard(Shard& shard, std::uint64_t h,
   return shard.index.end();
 }
 
-bool ShardedLruCache::get(std::string_view key, std::string& value_out,
-                          std::uint8_t& tag_out) {
+bool ShardedLruCache::get(std::string_view key,
+                          std::uint64_t current_generation,
+                          std::string& value_out, std::uint8_t& tag_out) {
   if (per_shard_capacity_ == 0) return false;
   const std::uint64_t h = hash_key(key);
   Shard& shard = shards_[static_cast<std::size_t>(h & shard_mask_)];
@@ -57,6 +58,18 @@ bool ShardedLruCache::get(std::string_view key, std::string& value_out,
   const auto it = find_in_shard(shard, h, key);
   if (it == shard.index.end()) {
     ++shard.misses;
+    return false;
+  }
+  if (it->second->generation_scoped &&
+      it->second->generation != current_generation) {
+    // The reply was computed under an older parameter generation: a
+    // re-solve has published since. Erase eagerly — a stale body can
+    // never become valid again, and keeping it would let an LRU-hot
+    // stale entry pin out live ones.
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    ++shard.misses;
+    ++shard.stale;
     return false;
   }
   ++shard.hits;
@@ -77,7 +90,8 @@ std::optional<std::string> ShardedLruCache::get(std::string_view key) {
 }
 
 void ShardedLruCache::put(std::string_view key, std::string value,
-                          std::uint8_t tag) {
+                          std::uint8_t tag, std::uint64_t generation,
+                          bool generation_scoped) {
   if (per_shard_capacity_ == 0) return;
   const std::uint64_t h = hash_key(key);
   Shard& shard = shards_[static_cast<std::size_t>(h & shard_mask_)];
@@ -86,10 +100,13 @@ void ShardedLruCache::put(std::string_view key, std::string value,
   if (it != shard.index.end()) {
     it->second->value = std::move(value);
     it->second->tag = tag;
+    it->second->generation = generation;
+    it->second->generation_scoped = generation_scoped;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  shard.lru.push_front(Entry{std::string(key), std::move(value), h, tag});
+  shard.lru.push_front(Entry{std::string(key), std::move(value), h,
+                             generation, tag, generation_scoped});
   shard.index.emplace(h, shard.lru.begin());
   ++shard.insertions;
   if (shard.lru.size() > per_shard_capacity_) {
@@ -113,6 +130,7 @@ ShardedLruCache::Stats ShardedLruCache::stats() const {
     std::lock_guard<std::mutex> lock(shard.mutex);
     s.hits += shard.hits;
     s.misses += shard.misses;
+    s.stale += shard.stale;
     s.insertions += shard.insertions;
     s.evictions += shard.evictions;
     s.entries += shard.lru.size();

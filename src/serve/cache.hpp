@@ -20,6 +20,15 @@
 //
 // Full keys are stored and compared (the hash only picks the shard and
 // bucket), so a hash collision can never serve the wrong response.
+//
+// Generation scoping (online fitting): an entry inserted with
+// generation_scoped = true is valid only while the global parameter
+// generation it was computed under is still current. A get() that finds
+// a scoped entry from an older generation treats it as a miss (counted
+// separately as `stale`) and erases the entry, so a published re-solve
+// invalidates every parameter-dependent reply without a cache-wide
+// sweep. Unscoped entries (e.g. "platforms", inline-machine "fit")
+// ignore the generation entirely.
 
 #include <cstdint>
 #include <list>
@@ -46,19 +55,36 @@ class ShardedLruCache {
   /// Single-copy hit: assigns the cached body into `value_out` (reusing
   /// its capacity), writes the entry's tag to `tag_out`, and refreshes
   /// recency. Returns false on a miss, leaving the outputs untouched.
+  /// A generation-scoped entry whose generation != `current_generation`
+  /// is a miss: the stale entry is erased and counted in Stats::stale.
+  [[nodiscard]] bool get(std::string_view key,
+                         std::uint64_t current_generation,
+                         std::string& value_out, std::uint8_t& tag_out);
+
+  /// Generation-free overload (pre-online callers and tests): behaves
+  /// as if the current generation were 0, so unscoped entries always
+  /// hit and scoped entries from generation 0 still work.
   [[nodiscard]] bool get(std::string_view key, std::string& value_out,
-                         std::uint8_t& tag_out);
+                         std::uint8_t& tag_out) {
+    return get(key, 0, value_out, tag_out);
+  }
 
   /// Value-only convenience overload (tag discarded).
   [[nodiscard]] std::optional<std::string> get(std::string_view key);
 
   /// Inserts or refreshes key -> (value, tag), evicting the shard's LRU
-  /// entry if that shard is full.
-  void put(std::string_view key, std::string value, std::uint8_t tag = 0);
+  /// entry if that shard is full. `generation_scoped` marks the entry
+  /// as valid only while `generation` stays current.
+  void put(std::string_view key, std::string value, std::uint8_t tag = 0,
+           std::uint64_t generation = 0, bool generation_scoped = false);
 
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    /// Generation-scoped entries found but discarded because a newer
+    /// parameter generation had been published. Every stale lookup is
+    /// ALSO counted as a miss — stale is the "why" breakdown.
+    std::uint64_t stale = 0;
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;
     std::size_t entries = 0;
@@ -96,7 +122,9 @@ class ShardedLruCache {
     std::string key;
     std::string value;
     std::uint64_t hash = 0;  ///< FNV-1a of key, computed once at insert
+    std::uint64_t generation = 0;  ///< parameter generation at insert
     std::uint8_t tag = 0;
+    bool generation_scoped = false;  ///< stale once generation moves on
   };
 
   /// The index key IS the precomputed FNV-1a hash; forwarding it as the
@@ -116,6 +144,7 @@ class ShardedLruCache {
         index;
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t stale = 0;
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;
   };

@@ -1,9 +1,11 @@
 #include "serve/endpoint_util.hpp"
 
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "core/scenarios.hpp"
+#include "fit/online/snapshot.hpp"
 #include "platforms/platform_db.hpp"
 
 namespace archline::serve {
@@ -78,8 +80,30 @@ core::MachineParams machine_from_json(const Json& spec) {
 
 }  // namespace
 
-core::MachineParams resolve_machine(const Json& req,
+core::MachineParams platform_machine(const EndpointContext& ctx,
+                                     std::string_view name,
+                                     core::Precision prec) {
+  const platforms::PlatformSpec& spec = lookup_platform(name);
+  core::MachineParams m;
+  try {
+    m = spec.machine(prec);
+  } catch (const std::exception& e) {
+    throw RequestError{"unsupported", e.what()};
+  }
+  // Online overlay: live estimates replace the static Table I machine.
+  // Only the base single-precision machine is learned from the stream;
+  // DP constants stay static (documented in docs/MODEL.md).
+  if (ctx.online && prec == core::Precision::Single) {
+    if (const std::shared_ptr<const fit::online::ParamSnapshot> snap =
+            ctx.online->published(name))
+      m = snap->machine;
+  }
+  return m;
+}
+
+core::MachineParams resolve_machine(const EndpointContext& ctx,
                                     std::string_view& name_out) {
+  const Json& req = ctx.req;
   core::MachineParams m;
   if (const Json* inline_spec = req.find("machine")) {
     if (!inline_spec->is_object()) bad("\"machine\" must be an object");
@@ -95,6 +119,15 @@ core::MachineParams resolve_machine(const Json& req,
                                           : spec.machine_at_level(level, prec);
     } catch (const std::exception& e) {
       throw RequestError{"unsupported", e.what()};
+    }
+    // Online overlay: live estimates replace the static Table I
+    // machine. Only the base SP @ DRAM machine is learned from the
+    // stream; DP and cache-level constants stay static.
+    if (ctx.online && prec == core::Precision::Single &&
+        level == core::MemLevel::DRAM) {
+      if (const std::shared_ptr<const fit::online::ParamSnapshot> snap =
+              ctx.online->published(platform_name))
+        m = snap->machine;
     }
     name_out = platform_name;
   }
@@ -115,6 +148,22 @@ core::MachineParams resolve_machine(const Json& req,
     bad(e.what());
   }
   return m;
+}
+
+fit::online::Sample parse_observation_tuple(const Json& row,
+                                            std::size_t index) {
+  if (!row.is_object())
+    bad("observation " + std::to_string(index) + " must be an object");
+  fit::online::Sample s;
+  s.flops = require_number(row, "flops");
+  s.bytes = require_number(row, "bytes");
+  s.seconds = require_number(row, "seconds");
+  s.joules = require_number(row, "joules");
+  if (!(s.flops >= 0.0) || !(s.bytes > 0.0) || !(s.seconds > 0.0) ||
+      !(s.joules > 0.0))
+    bad("observation " + std::to_string(index) +
+        " needs bytes/seconds/joules > 0 and flops >= 0");
+  return s;
 }
 
 core::Workload resolve_workload(const Json& req) {

@@ -10,6 +10,7 @@
 
 #include "core/machine_params.hpp"
 #include "core/roofline.hpp"
+#include "fit/online/rls.hpp"
 #include "platforms/spec.hpp"
 #include "serve/json.hpp"
 #include "serve/registry.hpp"
@@ -41,14 +42,33 @@ struct RequestError {
 [[nodiscard]] const platforms::PlatformSpec& lookup_platform(
     std::string_view name);
 
+/// The machine constants for a named platform at a precision: the
+/// static Table I spec, overlaid with the online store's published
+/// estimates when the context carries a store that has a snapshot for
+/// this platform. The overlay applies to the base SP @ DRAM machine
+/// only — DP and cache-level constants are not learned online and stay
+/// static. Raises unknown_platform / unsupported like lookup_platform.
+[[nodiscard]] core::MachineParams platform_machine(const EndpointContext& ctx,
+                                                   std::string_view name,
+                                                   core::Precision prec);
+
 /// Resolves the machine a request addresses: either "platform" (a
 /// Table I name, with optional precision / memory level) or an inline
 /// "machine" parameter object, then optional cap modifiers
-/// (uncapped / cap_divisor / cap_watts). `name_out` receives a label
-/// for the response — a view into the request (or a literal), so it
-/// stays valid until the reply is serialized.
-[[nodiscard]] core::MachineParams resolve_machine(const Json& req,
+/// (uncapped / cap_divisor / cap_watts). Named SP @ DRAM platforms are
+/// resolved through platform_machine, so published online estimates
+/// take effect here. `name_out` receives a label for the response — a
+/// view into the request (or a literal), so it stays valid until the
+/// reply is serialized.
+[[nodiscard]] core::MachineParams resolve_machine(const EndpointContext& ctx,
                                                   std::string_view& name_out);
+
+/// Parses one (flops, bytes, seconds, joules) wire tuple — shared by
+/// "fit" and "observe" so both validate identically: all four fields
+/// required numbers, bytes/seconds/joules > 0, flops >= 0. `index`
+/// labels the error message.
+[[nodiscard]] fit::online::Sample parse_observation_tuple(const Json& row,
+                                                          std::size_t index);
 
 /// Workload from "flops" plus either "bytes" or "intensity".
 [[nodiscard]] core::Workload resolve_workload(const Json& req);

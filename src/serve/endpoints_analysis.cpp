@@ -28,7 +28,7 @@ namespace {
 Json do_sensitivity(const EndpointContext& ctx) {
   const Json& req = ctx.req;
   std::string_view name;
-  const core::MachineParams m = resolve_machine(req, name);
+  const core::MachineParams m = resolve_machine(ctx, name);
   const core::Metric metric = parse_metric(req);
   const double intensity = require_number(req, "intensity");
   if (!(intensity > 0.0)) bad("\"intensity\" must be a positive number");
@@ -71,7 +71,7 @@ std::vector<double> number_grid(const Json& req, std::string_view key,
 Json do_scenario_sweep(const EndpointContext& ctx) {
   const Json& req = ctx.req;
   std::string_view name;
-  const core::MachineParams m = resolve_machine(req, name);
+  const core::MachineParams m = resolve_machine(ctx, name);
   // Default grids mirror the paper's figures: intensities 1/16..512 on
   // a log2 grid, divisors 1..8.
   std::vector<double> intensities =
@@ -111,13 +111,17 @@ Json do_scenario_sweep(const EndpointContext& ctx) {
 }  // namespace
 
 void register_analysis_endpoints(Registry& r) {
+  // Both resolve named platforms, so both are model_scoped (cached
+  // replies expire with the online-parameter generation).
   r.add({.name = "sensitivity",
          .klass = RequestClass::Light,
          .cacheable = true,
+         .model_scoped = true,
          .handler = &do_sensitivity});
   r.add({.name = "scenario_sweep",
          .klass = RequestClass::Heavy,
          .cacheable = true,
+         .model_scoped = true,
          .handler = &do_scenario_sweep});
 }
 

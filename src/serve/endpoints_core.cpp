@@ -30,7 +30,7 @@ namespace {
 Json do_predict(const EndpointContext& ctx) {
   const Json& req = ctx.req;
   std::string_view name;
-  const core::MachineParams m = resolve_machine(req, name);
+  const core::MachineParams m = resolve_machine(ctx, name);
   const core::Workload w = resolve_workload(req);
   Json out = begin_reply(ctx.endpoint, req);
   out.set("platform", Json::view(name));
@@ -45,15 +45,10 @@ Json do_crossover(const EndpointContext& ctx) {
   const std::string_view name_a = require_string(req, "a");
   const std::string_view name_b = require_string(req, "b");
   const core::Precision prec = parse_precision(req);
-  core::MachineParams a, b;
-  try {
-    a = lookup_platform(name_a).machine(prec);
-    b = lookup_platform(name_b).machine(prec);
-  } catch (const RequestError&) {
-    throw;
-  } catch (const std::exception& e) {
-    throw RequestError{"unsupported", e.what()};
-  }
+  // platform_machine raises unknown_platform / unsupported itself and
+  // overlays published online estimates (SP only).
+  const core::MachineParams a = platform_machine(ctx, name_a, prec);
+  const core::MachineParams b = platform_machine(ctx, name_b, prec);
   const core::Metric metric = parse_metric(req);
   const double lo = req.number_or("lo", 1.0 / 64.0);
   const double hi = req.number_or("hi", 512.0);
@@ -79,7 +74,7 @@ Json do_scenario(const EndpointContext& ctx) {
   out.set("kind", Json::view(kind));
   if (kind == "throttle") {
     std::string_view name;
-    const core::MachineParams m = resolve_machine(req, name);
+    const core::MachineParams m = resolve_machine(ctx, name);
     const double intensity = require_number(req, "intensity");
     const double cap_watts = require_number(req, "watts");
     if (!(intensity > 0.0)) bad("\"intensity\" must be positive");
@@ -97,7 +92,7 @@ Json do_scenario(const EndpointContext& ctx) {
   }
   if (kind == "aggregate") {
     std::string_view name;
-    const core::MachineParams block = resolve_machine(req, name);
+    const core::MachineParams block = resolve_machine(ctx, name);
     const double count = require_number(req, "count");
     if (count < 1.0 || count != std::floor(count) || count > 1e6)
       bad("\"count\" must be an integer in [1, 1e6]");
@@ -113,15 +108,10 @@ Json do_scenario(const EndpointContext& ctx) {
   if (kind == "power_bound") {
     const std::string_view big_name = require_string(req, "big");
     const std::string_view small_name = require_string(req, "small");
-    core::MachineParams big, small;
-    try {
-      big = lookup_platform(big_name).machine();
-      small = lookup_platform(small_name).machine();
-    } catch (const RequestError&) {
-      throw;
-    } catch (const std::exception& e) {
-      throw RequestError{"unsupported", e.what()};
-    }
+    const core::MachineParams big =
+        platform_machine(ctx, big_name, core::Precision::Single);
+    const core::MachineParams small =
+        platform_machine(ctx, small_name, core::Precision::Single);
     const double bound = require_number(req, "watts");
     const double intensity = require_number(req, "intensity");
     if (!(bound > 0.0)) bad("\"watts\" must be positive");
@@ -160,19 +150,14 @@ Json do_fit(const EndpointContext& ctx) {
   std::vector<microbench::Observation> obs;
   obs.reserve(rows.size());
   for (std::size_t i = 0; i < rows.size(); ++i) {
-    if (!rows[i].is_object())
-      bad("observation " + std::to_string(i) + " must be an object");
+    const fit::online::Sample s = parse_observation_tuple(rows[i], i);
     microbench::Observation o;
     o.kernel.label = "serve obs " + std::to_string(i);
-    o.kernel.flops = require_number(rows[i], "flops");
-    o.kernel.bytes = require_number(rows[i], "bytes");
-    o.seconds = require_number(rows[i], "seconds");
-    o.joules = require_number(rows[i], "joules");
-    if (!(o.kernel.flops >= 0.0) || !(o.kernel.bytes > 0.0) ||
-        !(o.seconds > 0.0) || !(o.joules > 0.0))
-      bad("observation " + std::to_string(i) +
-          " needs bytes/seconds/joules > 0 and flops >= 0");
-    o.watts = o.joules / o.seconds;
+    o.kernel.flops = s.flops;
+    o.kernel.bytes = s.bytes;
+    o.seconds = s.seconds;
+    o.joules = s.joules;
+    o.watts = s.joules / s.seconds;
     obs.push_back(std::move(o));
   }
   fit::FitOptions opt;
@@ -233,17 +218,25 @@ Json do_stats(const EndpointContext&) {
 void register_core_endpoints(Registry& r) {
   // Id order is frozen: these six keep their pre-registry RequestType
   // ordinals, which ride in cache entry tags and metrics slots.
+  // model_scoped: these replies resolve named platforms against the
+  // published online estimates, so cached copies expire with the
+  // parameter generation. "fit" and "platforms" stay generation-free —
+  // one is a pure function of inline observations, the other lists the
+  // static Table I specs.
   r.add({.name = "predict",
          .klass = RequestClass::Light,
          .cacheable = true,
+         .model_scoped = true,
          .handler = &do_predict});
   r.add({.name = "crossover",
          .klass = RequestClass::Light,
          .cacheable = true,
+         .model_scoped = true,
          .handler = &do_crossover});
   r.add({.name = "scenario",
          .klass = RequestClass::Light,
          .cacheable = true,
+         .model_scoped = true,
          .handler = &do_scenario});
   r.add({.name = "fit",
          .klass = RequestClass::Heavy,

@@ -219,7 +219,9 @@ const char* lane_name(std::size_t lane) noexcept {
 
 }  // namespace
 
-std::string Metrics::to_json(const ShardedLruCache::Stats& cache) const {
+std::string Metrics::to_json(
+    const ShardedLruCache::Stats& cache,
+    const fit::online::OnlineStoreStats* online) const {
   const Snapshot s = snapshot();
   const Registry& registry = Registry::instance();
   Json out = Json::object();
@@ -258,8 +260,19 @@ std::string Metrics::to_json(const ShardedLruCache::Stats& cache) const {
   cache_json.set("entries", cache.entries);
   cache_json.set("capacity", cache.capacity);
   cache_json.set("shards", cache.shards);
+  cache_json.set("stale", cache.stale);
   cache_json.set("evictions", cache.evictions);
   out.set("cache", std::move(cache_json));
+  if (online) {
+    Json online_json = Json::object();
+    online_json.set("observations", online->observations);
+    online_json.set("resolves", online->resolves);
+    online_json.set("generation", online->generation);
+    online_json.set("platforms_fitted", online->platforms_fitted);
+    // -1 until the first re-solve completes.
+    online_json.set("last_resolve_s", online->last_resolve_s);
+    out.set("online", std::move(online_json));
+  }
   Json queue = Json::object();
   queue.set("depth", s.queue_depth);
   queue.set("peak", s.queue_peak);
@@ -273,7 +286,9 @@ std::string Metrics::to_json(const ShardedLruCache::Stats& cache) const {
   return out.dump();
 }
 
-std::string Metrics::summary(const ShardedLruCache::Stats& cache) const {
+std::string Metrics::summary(
+    const ShardedLruCache::Stats& cache,
+    const fit::online::OnlineStoreStats* online) const {
   const Snapshot s = snapshot();
   const Registry& registry = Registry::instance();
   char buf[1024];
@@ -320,12 +335,23 @@ std::string Metrics::summary(const ShardedLruCache::Stats& cache) const {
   }
   std::snprintf(buf, sizeof buf,
                 "cache        %llu hits / %llu misses (%.1f%% hit rate), "
-                "%zu/%zu entries, %llu evictions\n",
+                "%zu/%zu entries, %llu evictions, %llu stale\n",
                 static_cast<unsigned long long>(cache.hits),
                 static_cast<unsigned long long>(cache.misses),
                 cache.hit_rate() * 100.0, cache.entries, cache.capacity,
-                static_cast<unsigned long long>(cache.evictions));
+                static_cast<unsigned long long>(cache.evictions),
+                static_cast<unsigned long long>(cache.stale));
   out += buf;
+  if (online) {
+    std::snprintf(buf, sizeof buf,
+                  "online       %llu observations, %llu re-solves "
+                  "(generation %llu, %zu platforms fitted, last %.3f ms)\n",
+                  static_cast<unsigned long long>(online->observations),
+                  static_cast<unsigned long long>(online->resolves),
+                  static_cast<unsigned long long>(online->generation),
+                  online->platforms_fitted, online->last_resolve_s * 1e3);
+    out += buf;
+  }
   std::snprintf(buf, sizeof buf, "queue        depth %zu, peak %zu\n",
                 s.queue_depth, s.queue_peak);
   out += buf;

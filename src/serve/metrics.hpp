@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <string>
 
+#include "fit/online/snapshot.hpp"
 #include "serve/cache.hpp"
 #include "serve/queue.hpp"
 #include "serve/registry.hpp"
@@ -134,13 +135,18 @@ class Metrics {
 
   /// The "stats" response body: {"ok":true,"type":"stats",...} with the
   /// snapshot, latency quantiles, per-lane sections, and the cache's
-  /// counters folded in.
-  [[nodiscard]] std::string to_json(const ShardedLruCache::Stats& cache)
-      const;
+  /// counters folded in. Pass the OnlineStore's stats to append the
+  /// "online" section (observation counts, parameter generation,
+  /// re-solve latency); the null default keeps pre-online callers and
+  /// direct Metrics tests unchanged.
+  [[nodiscard]] std::string to_json(
+      const ShardedLruCache::Stats& cache,
+      const fit::online::OnlineStoreStats* online = nullptr) const;
 
   /// Multi-line human-readable summary (shutdown / SIGUSR1 dump).
-  [[nodiscard]] std::string summary(const ShardedLruCache::Stats& cache)
-      const;
+  [[nodiscard]] std::string summary(
+      const ShardedLruCache::Stats& cache,
+      const fit::online::OnlineStoreStats* online = nullptr) const;
 
  private:
   /// Completion counters are the per-request write hot spot (every

@@ -45,14 +45,15 @@ const std::string& deadline_exceeded_body() {
   return body;
 }
 
-Reply handle_line(std::string_view line, const ProtocolLimits& limits) {
+Reply handle_line(std::string_view line, const ProtocolLimits& limits,
+                  fit::online::OnlineStore* online) {
   Reply reply;
-  handle_line(line, limits, reply);
+  handle_line(line, limits, reply, online);
   return reply;
 }
 
 void handle_line(std::string_view line, const ProtocolLimits& limits,
-                 Reply& reply) {
+                 Reply& reply, fit::online::OnlineStore* online) {
   // Full reset: callers reuse one Reply across requests, so stale
   // routing facts from the previous request must not leak through.
   reply.endpoint = nullptr;
@@ -106,7 +107,7 @@ void handle_line(std::string_view line, const ProtocolLimits& limits,
       reply.ok = true;
       return;
     }
-    const EndpointContext ctx{req, limits, *endpoint};
+    const EndpointContext ctx{req, limits, *endpoint, online};
     Json out = endpoint->handler(ctx);
     out.dump_to(reply.body);
     reply.ok = true;

@@ -44,8 +44,14 @@ struct Reply {
 /// protocol layer has no metrics); it returns a Reply with that
 /// endpoint, ok = true, empty body, and the caller substitutes the
 /// live snapshot.
+///
+/// `online` is the caller's online-fit store (serve::Server passes its
+/// own); it reaches handlers through EndpointContext. Null is valid —
+/// the online endpoints then answer "unsupported" and platform
+/// resolution uses the static Table I constants only.
 [[nodiscard]] Reply handle_line(std::string_view line,
-                                const ProtocolLimits& limits = {});
+                                const ProtocolLimits& limits = {},
+                                fit::online::OnlineStore* online = nullptr);
 
 /// Same, rendering into a caller-owned Reply whose body capacity is
 /// reused across calls — the hot-path form (Server workers keep one
@@ -54,7 +60,7 @@ struct Reply {
 /// must stay alive for the duration of the call — which it trivially
 /// does. Never throws.
 void handle_line(std::string_view line, const ProtocolLimits& limits,
-                 Reply& reply);
+                 Reply& reply, fit::online::OnlineStore* online = nullptr);
 
 /// Renders a structured error reply. `code` is a stable machine-readable
 /// token ("bad_request", "unknown_platform", "overloaded", ...);

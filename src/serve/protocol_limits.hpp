@@ -13,6 +13,9 @@ struct ProtocolLimits {
   std::size_t max_fit_observations = 4096;
   /// Caps scenario_sweep grids: intensities * cap_divisors points.
   std::size_t max_sweep_points = 4096;
+  /// Caps one "observe" ingest batch; larger batches bounce with
+  /// "too_large" (clients should chunk their streams).
+  std::size_t max_observe_batch = 1024;
 };
 
 }  // namespace archline::serve

@@ -40,6 +40,7 @@ const Registry& Registry::instance() {
     Registry r;
     register_core_endpoints(r);
     register_analysis_endpoints(r);
+    register_online_endpoints(r);
     return r;
   }();
   return registry;

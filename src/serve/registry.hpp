@@ -30,6 +30,10 @@
 #include "serve/json.hpp"
 #include "serve/protocol_limits.hpp"
 
+namespace archline::fit::online {
+class OnlineStore;
+}
+
 namespace archline::serve {
 
 /// Execution class: which lane a request runs on (see LaneScheduler).
@@ -45,12 +49,18 @@ inline constexpr std::size_t kRequestClassCount = 2;
 struct Endpoint;
 
 /// Context handed to an endpoint handler: the parsed request, the
-/// protocol limits (fit observation caps etc.), and the endpoint's own
-/// descriptor (so begin_reply can stamp the wire name without a lookup).
+/// protocol limits (fit observation caps etc.), the endpoint's own
+/// descriptor (so begin_reply can stamp the wire name without a lookup),
+/// and — when the caller is a Server — its online-fit store. The store
+/// is the one mutable dependency a handler may touch: `observe`/`refit`
+/// write it, `params` and the platform-resolution overlay read its
+/// published snapshots. Null for store-less callers (bare handle_line);
+/// online endpoints then answer "unsupported".
 struct EndpointContext {
   const Json& req;
   const ProtocolLimits& limits;
   const Endpoint& endpoint;
+  fit::online::OnlineStore* online = nullptr;
 };
 
 /// Handler contract: build the success reply as a Json object (the
@@ -70,6 +80,11 @@ struct Endpoint {
   /// Server substitutes the body against live state ("stats"). Such
   /// replies are never cached.
   bool server_evaluated = false;
+  /// The reply depends on the published online-fit parameters, so a
+  /// cached copy is valid only within one parameter generation: the
+  /// cache stores the generation observed before evaluation and treats
+  /// a mismatch on hit as a miss (see ShardedLruCache / OnlineStore).
+  bool model_scoped = false;
   EndpointHandler handler = nullptr;
   /// Dense id, assigned at registration in registration order. Doubles
   /// as the cache entry tag and the metrics slot.
@@ -111,10 +126,12 @@ class Registry {
 };
 
 /// Module registrars, called (in this order) by Registry::instance().
-/// Defined in endpoints_core.cpp / endpoints_analysis.cpp — the id
-/// order below is part of the wire-compatible surface (cache tags).
+/// Defined in endpoints_core.cpp / endpoints_analysis.cpp /
+/// endpoints_online.cpp — the id order below is part of the
+/// wire-compatible surface (cache tags).
 void register_core_endpoints(Registry& r);
 void register_analysis_endpoints(Registry& r);
+void register_online_endpoints(Registry& r);
 
 /// Admission-time classification without a full JSON parse: scans the
 /// raw request line for its "type" member and returns the matching

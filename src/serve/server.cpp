@@ -48,7 +48,8 @@ Server::Server(ServerOptions options)
       // behavior — the A/B baseline for the starvation benchmark.
       queue_(std::array<LaneConfig, kLaneCount>{
           LaneConfig{options.queue_capacity, kLightWeight},
-          LaneConfig{options.heavy_lane_capacity, kHeavyWeight}}) {
+          LaneConfig{options.heavy_lane_capacity, kHeavyWeight}}),
+      online_(options.online) {
   options_.threads = resolve_threads(options_.threads);
   options_.heavy_workers = resolve_heavy_workers(
       options_.heavy_workers, options_.threads, options_.heavy_lane_capacity);
@@ -69,6 +70,11 @@ void Server::start() {
   for (int i = 0; i < options_.threads; ++i) {
     const LaneMask mask = i < options_.heavy_workers ? kAllLanes : kLightOnly;
     workers_.emplace_back([this, mask] { worker_loop(mask); });
+  }
+  if (options_.refit_interval_ms > 0 && !resolver_) {
+    resolver_ = std::make_unique<fit::online::BackgroundResolver>(
+        online_, options_.refit_interval_ms);
+    resolver_->start();
   }
   running_.store(true, std::memory_order_release);
 }
@@ -147,12 +153,19 @@ void Server::execute_into(
     metrics_.on_completed(endpoint, ok, latency);
   };
 
+  // The parameter generation is captured BEFORE the lookup and reused
+  // for the put: if a re-solve publishes while this request evaluates,
+  // the entry is inserted under the old generation and is stale on
+  // arrival — the next lookup recomputes instead of serving a reply
+  // that mixes generations.
+  const std::uint64_t generation = online_.generation();
+
   // Hot path: a byte-identical request skips parsing entirely. The
   // endpoint id rides out-of-band as the entry's tag and the body is
   // copied exactly once, into reply.body's reused capacity.
   reply.body.clear();
   std::uint8_t tag = 0;
-  if (cache_.get(key, reply.body, tag)) {
+  if (cache_.get(key, generation, reply.body, tag)) {
     reply.endpoint = Registry::instance().by_id(tag);
     reply.ok = true;
     reply.cacheable = true;
@@ -160,13 +173,14 @@ void Server::execute_into(
     return;
   }
 
-  handle_line(key, options_.limits, reply);
+  handle_line(key, options_.limits, reply, &online_);
   // server_evaluated endpoints ("stats") render against live server
   // state instead of the request alone; the handler left the body empty.
   if (reply.ok && reply.endpoint && reply.endpoint->server_evaluated)
     reply.body = stats_body();
   if (reply.ok && reply.cacheable)
-    cache_.put(key, std::string(reply.body), reply.endpoint->id);
+    cache_.put(key, std::string(reply.body), reply.endpoint->id, generation,
+               reply.endpoint->model_scoped);
   finish(reply.endpoint, reply.ok);
 }
 
@@ -205,6 +219,12 @@ void Server::worker_loop(LaneMask mask) {
 
 void Server::shutdown() {
   std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  // Stop the resolver first so no re-solve publishes while workers
+  // drain — in-flight requests then see one stable generation.
+  if (resolver_) {
+    resolver_->stop();
+    resolver_.reset();
+  }
   queue_.close();
   for (std::thread& t : workers_)
     if (t.joinable()) t.join();

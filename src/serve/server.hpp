@@ -52,6 +52,8 @@
 #include <thread>
 #include <vector>
 
+#include "fit/online/resolver.hpp"
+#include "fit/online/snapshot.hpp"
 #include "serve/cache.hpp"
 #include "serve/metrics.hpp"
 #include "serve/protocol.hpp"
@@ -92,6 +94,15 @@ struct ServerOptions {
   /// uptime assertions are exact instead of sleep-calibrated.
   const sim::ClockSource* clock = nullptr;
   ProtocolLimits limits;
+  /// Online-fitting knobs (RLS forgetting factor, observation window,
+  /// re-solve budgets) for the server-owned OnlineStore.
+  fit::online::OnlineFitOptions online;
+  /// Background re-solve sweep period for platforms with unresolved
+  /// observations. 0 (the default) disables the resolver thread:
+  /// re-solves then happen only via the explicit "refit" endpoint,
+  /// which keeps single-threaded replay (--stdio, golden corpus)
+  /// deterministic.
+  int refit_interval_ms = 0;
 };
 
 class Server {
@@ -163,14 +174,32 @@ class Server {
     return cache_.stats();
   }
 
+  /// The server-owned online-fitting store (observe/params/refit state).
+  /// Exposed so transports, benchmarks, and tests can inspect published
+  /// snapshots; all ingest still flows through the endpoints.
+  [[nodiscard]] fit::online::OnlineStore& online() noexcept {
+    return online_;
+  }
+  [[nodiscard]] const fit::online::OnlineStore& online() const noexcept {
+    return online_;
+  }
+
+  /// The background resolver, or null when refit_interval_ms == 0 or
+  /// the server has not been started.
+  [[nodiscard]] fit::online::BackgroundResolver* resolver() noexcept {
+    return resolver_.get();
+  }
+
   /// The "stats" response body against live counters.
   [[nodiscard]] std::string stats_body() const {
-    return metrics_.to_json(cache_.stats());
+    const fit::online::OnlineStoreStats online = online_.stats();
+    return metrics_.to_json(cache_.stats(), &online);
   }
 
   /// Human-readable metrics dump (shutdown summary, SIGUSR1).
   [[nodiscard]] std::string stats_text() const {
-    return metrics_.summary(cache_.stats());
+    const fit::online::OnlineStoreStats online = online_.stats();
+    return metrics_.summary(cache_.stats(), &online);
   }
 
  private:
@@ -220,6 +249,11 @@ class Server {
   ShardedLruCache cache_;
   Metrics metrics_;
   LaneScheduler<Job> queue_;
+  fit::online::OnlineStore online_;
+  /// Created by start() when refit_interval_ms > 0; stopped and
+  /// destroyed by shutdown(). Declared after online_ (it holds a
+  /// reference into it).
+  std::unique_ptr<fit::online::BackgroundResolver> resolver_;
   std::vector<std::thread> workers_;
   std::atomic<bool> running_{false};
   std::mutex lifecycle_mutex_;  ///< serializes start/shutdown

@@ -5,12 +5,18 @@
 // and the loadgen replay-verification work — so any byte drift in a
 // reply is an API break, caught here.
 //
-// Each request runs through Server::handle_now TWICE: the first pass
-// exercises the full parse -> registry dispatch -> render path (cache
-// miss), the second must return the identical bytes from the cache.
-// A reply-shape change that is intentional must regenerate the corpus
-// by piping tests/data/serve_golden_requests.txt through
-// `archline_serverd --stdio --quiet` into serve_golden_replies.txt.
+// Each CACHEABLE request runs through Server::handle_now TWICE: the
+// first pass exercises the full parse -> registry dispatch -> render
+// path (cache miss), the second must return the identical bytes from
+// the cache. Non-cacheable endpoints (observe, refit) run ONCE — they
+// mutate the online-fit store, so replaying them would put the server
+// in a different state than the single-pass `--stdio` regeneration run
+// that produced the expected replies. A reply-shape change that is
+// intentional must regenerate the corpus by piping
+// tests/data/serve_golden_requests.txt through
+// `archline_serverd --stdio --serial --quiet` into
+// serve_golden_replies.txt (--serial executes lines in input order,
+// which the state-mutating observe/refit entries require).
 
 #include <gtest/gtest.h>
 
@@ -18,6 +24,8 @@
 #include <string>
 #include <vector>
 
+#include "serve/json.hpp"
+#include "serve/registry.hpp"
 #include "serve/server.hpp"
 
 #ifndef ARCHLINE_TEST_DATA_DIR
@@ -35,6 +43,22 @@ std::vector<std::string> read_lines(const std::string& path) {
   return lines;
 }
 
+/// True when the request dispatches to a cacheable endpoint — i.e. the
+/// replay on pass 2 is a pure function of the request. Malformed lines
+/// and unknown types count as cacheable: their error replies never
+/// mutate state, so replaying them is byte-stable either way.
+bool replay_is_pure(const std::string& line) {
+  try {
+    const Json req = Json::parse(line);
+    const Json* type = req.find("type");
+    if (!type || !type->is_string()) return true;
+    const Endpoint* e = Registry::instance().find(type->as_string_view());
+    return !e || e->cacheable;
+  } catch (const std::exception&) {
+    return true;
+  }
+}
+
 TEST(ServeGolden, EveryRequestShapeRepliesByteIdentically) {
   const std::string dir = ARCHLINE_TEST_DATA_DIR;
   const auto requests = read_lines(dir + "/serve_golden_requests.txt");
@@ -50,9 +74,12 @@ TEST(ServeGolden, EveryRequestShapeRepliesByteIdentically) {
     // Pass 1: full evaluation (cache miss).
     EXPECT_EQ(server.handle_now(requests[i]), replies[i])
         << "miss path diverged on line " << i + 1 << ": " << requests[i];
-    // Pass 2: cached replay must be the same bytes.
-    EXPECT_EQ(server.handle_now(requests[i]), replies[i])
-        << "hit path diverged on line " << i + 1 << ": " << requests[i];
+    // Pass 2: cached replay must be the same bytes. Skipped for
+    // state-mutating endpoints (observe/refit) so the server walks the
+    // exact state sequence of the single-pass regeneration run.
+    if (replay_is_pure(requests[i]))
+      EXPECT_EQ(server.handle_now(requests[i]), replies[i])
+          << "hit path diverged on line " << i + 1 << ": " << requests[i];
   }
 
   // The corpus must exercise both hot paths: successful cacheable

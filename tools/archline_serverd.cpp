@@ -10,13 +10,29 @@
 //                    [--queue N] [--heavy-lane-capacity N]
 //                    [--heavy-workers N] [--cache N] [--shards N]
 //                    [--max-conns N] [--idle-timeout-ms N]
-//                    [--deadline-ms N] [--heavy-deadline-ms N] [--stdio]
+//                    [--deadline-ms N] [--heavy-deadline-ms N]
+//                    [--refit-interval-ms N] [--forgetting-factor F]
+//                    [--stdio]
+//
+// Online fitting (docs/MODEL.md "Online fitting"): the "observe"
+// endpoint streams measured (flops, bytes, seconds, joules) tuples into
+// a per-platform RLS filter. --refit-interval-ms N starts a background
+// thread that re-solves the full capped model every N ms for platforms
+// with fresh observations (0 = re-solve only on explicit "refit"
+// requests — the default, which keeps --stdio replay deterministic).
+// --forgetting-factor sets the RLS decay in (0, 1]: lower values track
+// drifting hardware faster at the cost of wider confidence intervals.
 //
 // Transports:
 //   default   TCP listener on --bind:--port (port 0 = ephemeral,
 //             printed on startup)
 //   --stdio   read requests from stdin, write responses to stdout
 //             (for tests, pipes, and socket-less sandboxes)
+//   --serial  with --stdio: handle each line synchronously on the main
+//             thread instead of through the worker pool. Requests then
+//             EXECUTE in input order — required when regenerating the
+//             golden corpus, whose observe/refit lines mutate server
+//             state and so must replay in exactly the order written
 //
 // Signals:
 //   SIGINT/SIGTERM  graceful shutdown: stop accepting, drain the
@@ -48,7 +64,8 @@ void on_usr1(int) { g_dump_stats = 1; }
       "          [--heavy-lane-capacity N] [--heavy-workers N]\n"
       "          [--cache N] [--shards N] [--max-conns N]\n"
       "          [--idle-timeout-ms N] [--deadline-ms N]\n"
-      "          [--heavy-deadline-ms N] [--stdio] [--quiet]\n",
+      "          [--heavy-deadline-ms N] [--refit-interval-ms N]\n"
+      "          [--forgetting-factor F] [--stdio] [--serial] [--quiet]\n",
       argv0);
   std::exit(code);
 }
@@ -63,6 +80,16 @@ long parse_long(const char* argv0, const char* flag, const char* value) {
   return v;
 }
 
+double parse_double(const char* argv0, const char* flag, const char* value) {
+  char* end = nullptr;
+  const double v = std::strtod(value, &end);
+  if (!end || *end != '\0') {
+    std::fprintf(stderr, "%s: bad value for %s: %s\n", argv0, flag, value);
+    usage(argv0, 2);
+  }
+  return v;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -71,6 +98,7 @@ int main(int argc, char** argv) {
   ServerOptions options;
   TcpOptions tcp;
   bool stdio_mode = false;
+  bool serial = false;
   bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -114,8 +142,22 @@ int main(int argc, char** argv) {
     else if (arg == "--heavy-deadline-ms")
       options.heavy_deadline_ms = static_cast<int>(
           parse_long(argv[0], "--heavy-deadline-ms", value()));
-    else if (arg == "--stdio")
+    else if (arg == "--refit-interval-ms")
+      options.refit_interval_ms = static_cast<int>(
+          parse_long(argv[0], "--refit-interval-ms", value()));
+    else if (arg == "--forgetting-factor") {
+      const double f =
+          parse_double(argv[0], "--forgetting-factor", value());
+      if (!(f > 0.0) || f > 1.0) {
+        std::fprintf(stderr,
+                     "%s: --forgetting-factor must be in (0, 1]\n", argv[0]);
+        usage(argv[0], 2);
+      }
+      options.online.forgetting = f;
+    } else if (arg == "--stdio")
       stdio_mode = true;
+    else if (arg == "--serial")
+      serial = true;
     else if (arg == "--quiet")
       quiet = true;
     else if (arg == "--help" || arg == "-h")
@@ -135,7 +177,20 @@ int main(int argc, char** argv) {
   server.start();
 
   if (stdio_mode) {
-    run_stream(server, std::cin, std::cout);
+    if (serial) {
+      // Synchronous in-order execution on this thread: the state
+      // sequence is exactly the input order, which is what the golden
+      // corpus regeneration needs (observe/refit lines mutate state).
+      std::string line, reply;
+      while (std::getline(std::cin, line)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+        server.handle_into(line, reply);
+        std::cout << reply << '\n';
+      }
+      std::cout.flush();
+    } else {
+      run_stream(server, std::cin, std::cout);
+    }
     server.shutdown();
     if (!quiet)
       std::fprintf(stderr, "%s\n", server.stats_text().c_str());
