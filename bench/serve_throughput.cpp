@@ -27,6 +27,13 @@
 //                            background resolver re-solves and publishes
 //                            every 20 ms: observe p99 with snapshot
 //                            swaps and cache invalidation in flight
+//   tcp_cached_shard{1,2,4}  the one transport-inclusive scenario: a real
+//                            TcpListener with N event-loop shards on
+//                            loopback, 2N closed-loop clients pipelining
+//                            depth-64 warmed predicts — the shard-scaling
+//                            headline (aggregate replies/s vs N). Run on
+//                            a multi-core host; a 1-CPU container
+//                            serializes the shards and shows ~flat scaling
 //
 // Each scenario reports ops, ops/s, sampled per-op p50/p99 latency, and
 // heap allocations per op (global operator new is instrumented). Output
@@ -39,6 +46,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
@@ -51,11 +59,18 @@
 #include <thread>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "core/roofline.hpp"
 #include "platforms/platform_db.hpp"
 #include "serve/json.hpp"
 #include "serve/queue.hpp"
 #include "serve/server.hpp"
+#include "serve/tcp.hpp"
 
 // ---- Allocation counter ----------------------------------------------------
 // Counts every global operator new so scenarios can report allocs/op.
@@ -566,6 +581,132 @@ ScenarioResult bench_observe_under_refit_mt(
   return r;
 }
 
+/// Blocking loopback client socket (bench-local; the tests have their
+/// own copy in serve_tcp_testlib.hpp, which bench targets cannot see).
+int tcp_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+bool tcp_send_all(int fd, const std::string& data) {
+  const char* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    const ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Aggregate cached-hit throughput through the real TCP front end with
+/// `shards` event-loop shards: 2*shards closed-loop clients, each
+/// pipelining `kPipelineDepth` warmed predicts per round trip. The only
+/// scenario here that includes the transport — its ops/s at shard
+/// counts 1/2/4 is the front-end scaling claim.
+ScenarioResult bench_tcp_cached_shards(const Config& cfg, const char* name,
+                                       const std::vector<std::string>& pool,
+                                       int shards) {
+  constexpr int kPipelineDepth = 64;
+  serve::ServerOptions opt;
+  opt.threads = 2;  // after warm-up, hits are answered on the shard itself
+  serve::Server server(opt);
+  server.start();
+  serve::TcpOptions tcp;
+  tcp.port = 0;
+  tcp.shards = shards;
+  tcp.poll_interval_ms = 5;
+  serve::TcpListener listener(server, tcp);
+  std::string error;
+  if (!listener.open(&error)) {
+    std::fprintf(stderr, "serve_throughput: %s: %s\n", name, error.c_str());
+    std::exit(1);
+  }
+  std::atomic<bool> stop{false};
+  std::thread loop([&] { listener.run(stop); });
+
+  const int clients = 2 * shards;
+  std::atomic<std::uint64_t> total_ops{0};
+  std::vector<double> samples;  // thread 0's per-reply latency estimates
+  samples.reserve(1 << 20);
+  const auto start = Clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(cfg.seconds));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      const int fd = tcp_connect(listener.port());
+      if (fd < 0) return;
+      // Each client cycles a distinct window of the warmed pool so the
+      // shards serve a mix of keys, not one hot line.
+      std::string block;
+      std::size_t at = static_cast<std::size_t>(c) * 7 % pool.size();
+      std::uint64_t ops = 0;
+      char chunk[65536];
+      for (;;) {
+        block.clear();
+        for (int i = 0; i < kPipelineDepth; ++i) {
+          block += pool[at];
+          block += '\n';
+          if (++at == pool.size()) at = 0;
+        }
+        const auto t0 = Clock::now();
+        if (!tcp_send_all(fd, block)) break;
+        int newlines = 0;
+        while (newlines < kPipelineDepth) {
+          const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+          if (n <= 0) {
+            if (n < 0 && errno == EINTR) continue;
+            break;
+          }
+          for (ssize_t b = 0; b < n; ++b)
+            if (chunk[b] == '\n') ++newlines;
+        }
+        if (newlines < kPipelineDepth) break;
+        const auto t1 = Clock::now();
+        ops += static_cast<std::uint64_t>(kPipelineDepth);
+        if (c == 0 && samples.size() < samples.capacity())
+          samples.push_back(
+              std::chrono::duration<double, std::nano>(t1 - t0).count() /
+              kPipelineDepth);
+        if (t1 >= deadline) break;
+      }
+      ::close(fd);
+      total_ops.fetch_add(ops, std::memory_order_relaxed);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto end = Clock::now();
+  stop.store(true, std::memory_order_release);
+  loop.join();
+  server.shutdown();
+
+  ScenarioResult r;
+  r.name = name;
+  r.ops = total_ops.load();
+  r.seconds = std::chrono::duration<double>(end - start).count();
+  r.p50_ns = percentile_ns(samples, 0.50);
+  r.p99_ns = percentile_ns(samples, 0.99);
+  return r;
+}
+
 // ---- Report ----------------------------------------------------------------
 
 serve::Json to_json(const ScenarioResult& r) {
@@ -637,6 +778,11 @@ int main(int argc, char** argv) {
   const auto observes = make_observe_pool(64);
   results.push_back(bench_observe_ingest_1t(cfg, observes));
   results.push_back(bench_observe_under_refit_mt(cfg, observes, threads));
+  // Front-end shard scaling: the same warmed predict pool through the
+  // real TCP transport at 1, 2, and 4 event-loop shards.
+  results.push_back(bench_tcp_cached_shards(cfg, "tcp_cached_shard1", pool, 1));
+  results.push_back(bench_tcp_cached_shards(cfg, "tcp_cached_shard2", pool, 2));
+  results.push_back(bench_tcp_cached_shards(cfg, "tcp_cached_shard4", pool, 4));
 
   for (const ScenarioResult& r : results)
     std::fprintf(stderr,

@@ -133,21 +133,35 @@ void Metrics::on_deadline_exceeded(std::size_t lane) noexcept {
   deadline_exceeded_[lane].fetch_add(1, std::memory_order_relaxed);
 }
 
-void Metrics::on_connection_opened() noexcept {
-  connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-  connections_open_.fetch_add(1, std::memory_order_relaxed);
+void Metrics::set_transport_shards(std::size_t n) noexcept {
+  transport_shards_.store(n < kMaxTransportShards ? n : kMaxTransportShards,
+                          std::memory_order_relaxed);
 }
 
-void Metrics::on_connection_closed() noexcept {
-  connections_open_.fetch_sub(1, std::memory_order_relaxed);
+void Metrics::on_connection_opened(std::size_t shard) noexcept {
+  TransportShard& s = transport_shard(shard);
+  s.accepted.fetch_add(1, std::memory_order_relaxed);
+  s.open.fetch_add(1, std::memory_order_relaxed);
 }
 
-void Metrics::on_connection_rejected() noexcept {
-  connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+void Metrics::on_connection_closed(std::size_t shard) noexcept {
+  transport_shard(shard).open.fetch_sub(1, std::memory_order_relaxed);
 }
 
-void Metrics::on_connection_idle_closed() noexcept {
-  connections_idle_closed_.fetch_add(1, std::memory_order_relaxed);
+void Metrics::on_connection_rejected(std::size_t shard) noexcept {
+  transport_shard(shard).rejected.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Metrics::on_connection_idle_closed(std::size_t shard) noexcept {
+  transport_shard(shard).idle_closed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Metrics::on_shard_request(std::size_t shard) noexcept {
+  transport_shard(shard).requests.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Metrics::on_shard_cached(std::size_t shard) noexcept {
+  transport_shard(shard).cached_inline.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Metrics::on_lane_depth(std::size_t lane, std::size_t depth) noexcept {
@@ -188,13 +202,21 @@ Metrics::Snapshot Metrics::snapshot() const noexcept {
     s.queue_depth += l.depth;
     if (l.peak > s.queue_peak) s.queue_peak = l.peak;
   }
-  s.connections_open = connections_open_.load(std::memory_order_relaxed);
-  s.connections_accepted =
-      connections_accepted_.load(std::memory_order_relaxed);
-  s.connections_rejected =
-      connections_rejected_.load(std::memory_order_relaxed);
-  s.connections_idle_closed =
-      connections_idle_closed_.load(std::memory_order_relaxed);
+  s.transport_shards = transport_shards_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kMaxTransportShards; ++i) {
+    const TransportShard& t = transport_shards_counters_[i];
+    Snapshot::TransportShardSnapshot& row = s.shards[i];
+    row.open = t.open.load(std::memory_order_relaxed);
+    row.accepted = t.accepted.load(std::memory_order_relaxed);
+    row.rejected = t.rejected.load(std::memory_order_relaxed);
+    row.idle_closed = t.idle_closed.load(std::memory_order_relaxed);
+    row.requests = t.requests.load(std::memory_order_relaxed);
+    row.cached_inline = t.cached_inline.load(std::memory_order_relaxed);
+    s.connections_open += row.open;
+    s.connections_accepted += row.accepted;
+    s.connections_rejected += row.rejected;
+    s.connections_idle_closed += row.idle_closed;
+  }
   s.uptime_s = std::chrono::duration<double>(clock_->now() - start_).count();
   s.qps = s.uptime_s > 0.0 ? static_cast<double>(s.completed) / s.uptime_s
                            : 0.0;
@@ -282,6 +304,25 @@ std::string Metrics::to_json(
   conns.set("accepted", s.connections_accepted);
   conns.set("rejected", s.connections_rejected);
   conns.set("idle_closed", s.connections_idle_closed);
+  if (s.transport_shards > 0) {
+    // Per-event-loop-shard breakdown; only rendered when a sharded
+    // transport declared itself, so non-TCP deployments keep the old
+    // shape.
+    Json shards = Json::array();
+    shards.reserve(s.transport_shards);
+    for (std::size_t i = 0; i < s.transport_shards; ++i) {
+      const Snapshot::TransportShardSnapshot& row = s.shards[i];
+      Json shard = Json::object();
+      shard.set("open", row.open);
+      shard.set("accepted", row.accepted);
+      shard.set("rejected", row.rejected);
+      shard.set("idle_closed", row.idle_closed);
+      shard.set("requests", row.requests);
+      shard.set("cached_inline", row.cached_inline);
+      shards.push_back(std::move(shard));
+    }
+    conns.set("shards", std::move(shards));
+  }
   out.set("connections", std::move(conns));
   return out.dump();
 }
@@ -363,6 +404,20 @@ std::string Metrics::summary(
                 static_cast<unsigned long long>(s.connections_rejected),
                 static_cast<unsigned long long>(s.connections_idle_closed));
   out += buf;
+  if (s.transport_shards > 1) {
+    for (std::size_t i = 0; i < s.transport_shards; ++i) {
+      const Snapshot::TransportShardSnapshot& row = s.shards[i];
+      std::snprintf(
+          buf, sizeof buf,
+          "  shard %-2zu    %llu open, %llu accepted, %llu requests, "
+          "%llu cached-inline\n",
+          i, static_cast<unsigned long long>(row.open),
+          static_cast<unsigned long long>(row.accepted),
+          static_cast<unsigned long long>(row.requests),
+          static_cast<unsigned long long>(row.cached_inline));
+      out += buf;
+    }
+  }
   out += "--------------------------------";
   return out;
 }

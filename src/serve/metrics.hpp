@@ -99,11 +99,28 @@ class Metrics {
   /// and high water per lane).
   void on_lane_depth(std::size_t lane, std::size_t depth) noexcept;
 
-  /// Connection lifecycle, reported by the TCP event loop.
-  void on_connection_opened() noexcept;    ///< accepted++ and open++
-  void on_connection_closed() noexcept;    ///< open--
-  void on_connection_rejected() noexcept;  ///< over the connection cap
-  void on_connection_idle_closed() noexcept;  ///< idle timeout fired
+  /// Upper bound on TCP event-loop shards tracked individually
+  /// (matches TcpListener::kMaxShards).
+  static constexpr std::size_t kMaxTransportShards = 16;
+
+  /// Declares how many event-loop shards the transport runs — sizes the
+  /// per-shard section of the stats snapshot. 0 (the default) means "no
+  /// sharded transport": counters still work (everything lands on shard
+  /// 0) and the per-shard stats section is omitted.
+  void set_transport_shards(std::size_t n) noexcept;
+
+  /// Connection lifecycle, reported by the TCP event loop; `shard` is
+  /// the owning event-loop shard (callers without shards use 0).
+  void on_connection_opened(std::size_t shard = 0) noexcept;  ///< accepted++, open++
+  void on_connection_closed(std::size_t shard = 0) noexcept;  ///< open--
+  void on_connection_rejected(std::size_t shard = 0) noexcept;  ///< over the cap
+  void on_connection_idle_closed(std::size_t shard = 0) noexcept;  ///< idle timer
+
+  /// One request line admitted for processing by a transport shard.
+  void on_shard_request(std::size_t shard) noexcept;
+  /// A request a shard answered inline from its cache partition —
+  /// never touched the worker pool or another core.
+  void on_shard_cached(std::size_t shard) noexcept;
 
   struct LaneSnapshot {
     std::uint64_t rejected = 0;           ///< overload rejections
@@ -126,6 +143,19 @@ class Metrics {
     std::uint64_t connections_accepted = 0;  ///< lifetime accepts
     std::uint64_t connections_rejected = 0;  ///< refused at the cap
     std::uint64_t connections_idle_closed = 0;  ///< closed by idle timer
+    /// Per-event-loop-shard transport counters; entries [0,
+    /// transport_shards) are meaningful. The connection_* aggregates
+    /// above are the sums over all shards.
+    struct TransportShardSnapshot {
+      std::uint64_t open = 0;
+      std::uint64_t accepted = 0;
+      std::uint64_t rejected = 0;
+      std::uint64_t idle_closed = 0;
+      std::uint64_t requests = 0;       ///< lines admitted by this shard
+      std::uint64_t cached_inline = 0;  ///< answered from the partition
+    };
+    std::size_t transport_shards = 0;  ///< 0 = no sharded transport
+    std::array<TransportShardSnapshot, kMaxTransportShards> shards{};
     double uptime_s = 0.0;
     double qps = 0.0;                   ///< completed / uptime
     LatencyHistogram::Snapshot latency;  ///< all classes merged
@@ -175,10 +205,26 @@ class Metrics {
   std::array<std::atomic<std::uint64_t>, kLaneCount> deadline_exceeded_{};
   std::array<std::atomic<std::uint64_t>, kLaneCount> lane_depth_{};
   std::array<std::atomic<std::uint64_t>, kLaneCount> lane_peak_{};
-  std::atomic<std::uint64_t> connections_open_{0};
-  std::atomic<std::uint64_t> connections_accepted_{0};
-  std::atomic<std::uint64_t> connections_rejected_{0};
-  std::atomic<std::uint64_t> connections_idle_closed_{0};
+  /// Connection/request counters striped by transport shard: each
+  /// event-loop thread writes only its own cache line. Shard indexes at
+  /// or beyond kMaxTransportShards clamp to the last slot (counts stay
+  /// exact in aggregate; per-shard attribution saturates).
+  struct alignas(64) TransportShard {
+    std::atomic<std::uint64_t> open{0};
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> rejected{0};
+    std::atomic<std::uint64_t> idle_closed{0};
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> cached_inline{0};
+  };
+  [[nodiscard]] TransportShard& transport_shard(std::size_t shard) noexcept {
+    return transport_shards_counters_[shard < kMaxTransportShards
+                                          ? shard
+                                          : kMaxTransportShards - 1];
+  }
+
+  std::atomic<std::size_t> transport_shards_{0};
+  std::array<TransportShard, kMaxTransportShards> transport_shards_counters_{};
 };
 
 }  // namespace archline::serve

@@ -100,15 +100,31 @@ bool Server::submit(std::string line, Done done, Clock::time_point deadline) {
                         lane_for(line));
 }
 
+bool Server::submit(std::string line, Done done,
+                    std::shared_ptr<ShardedLruCache> cache,
+                    bool cache_prechecked) {
+  const std::size_t lane = lane_for(line);
+  const int deadline_ms = lane == kHeavyLane && options_.heavy_deadline_ms > 0
+                              ? options_.heavy_deadline_ms
+                              : options_.request_deadline_ms;
+  const auto deadline =
+      deadline_ms > 0 ? clock_->now() + std::chrono::milliseconds(deadline_ms)
+                      : Clock::time_point::max();
+  return submit_to_lane(std::move(line), std::move(done), deadline, lane,
+                        std::move(cache), cache_prechecked);
+}
+
 bool Server::submit_to_lane(std::string line, Done done,
-                            Clock::time_point deadline, std::size_t lane) {
+                            Clock::time_point deadline, std::size_t lane,
+                            std::shared_ptr<ShardedLruCache> cache,
+                            bool cache_prechecked) {
   // `admitted` anchors queue-inclusive latency; like handle_into, it is
   // only stamped for requests whose latency is sampled.
   Job job{std::move(line), std::move(done),
           metrics_.sample_latency_now()
               ? clock_->now()
               : std::chrono::steady_clock::time_point{},
-          deadline, lane};
+          deadline, lane, std::move(cache), cache_prechecked};
   std::size_t depth = 0;
   if (!queue_.try_push(lane, std::move(job), &depth)) {
     metrics_.on_rejected(lane);
@@ -139,9 +155,69 @@ void Server::handle_into(std::string_view line, std::string& out) {
   out.swap(reply.body);
 }
 
+bool Server::try_serve_cached(std::string_view line, ShardedLruCache& cache,
+                              std::string& out) {
+  const std::string_view key = trim(line);
+  if (key.empty()) return false;
+  const auto started = metrics_.sample_latency_now()
+                           ? clock_->now()
+                           : std::chrono::steady_clock::time_point{};
+  const std::uint64_t generation = online_.generation();
+  out.clear();
+  std::uint8_t tag = 0;
+  if (!cache.get(key, generation, out, tag)) return false;
+  const Endpoint* endpoint = Registry::instance().by_id(tag);
+  if (started == std::chrono::steady_clock::time_point{}) {
+    metrics_.on_completed(endpoint, true);
+  } else {
+    metrics_.on_completed(
+        endpoint, true,
+        std::chrono::duration<double>(clock_->now() - started).count());
+  }
+  return true;
+}
+
+void Server::add_cache_partition(
+    std::shared_ptr<const ShardedLruCache> partition) {
+  if (!partition) return;
+  std::lock_guard<std::mutex> lock(partitions_mutex_);
+  partitions_.push_back(std::move(partition));
+}
+
+void Server::remove_cache_partition(const ShardedLruCache* partition) {
+  std::lock_guard<std::mutex> lock(partitions_mutex_);
+  partitions_.erase(
+      std::remove_if(partitions_.begin(), partitions_.end(),
+                     [partition](const auto& p) { return p.get() == partition; }),
+      partitions_.end());
+}
+
+ShardedLruCache::Stats Server::cache_stats() const {
+  ShardedLruCache::Stats total = cache_.stats();
+  std::lock_guard<std::mutex> lock(partitions_mutex_);
+  for (const auto& p : partitions_) {
+    const ShardedLruCache::Stats s = p->stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.stale += s.stale;
+    total.insertions += s.insertions;
+    total.evictions += s.evictions;
+    total.entries += s.entries;
+    total.capacity += s.capacity;
+    total.shards += s.shards;
+  }
+  return total;
+}
+
 void Server::execute_into(
     std::string_view line, std::chrono::steady_clock::time_point started,
     Reply& reply) {
+  execute_into(line, started, reply, cache_, /*skip_probe=*/false);
+}
+
+void Server::execute_into(
+    std::string_view line, std::chrono::steady_clock::time_point started,
+    Reply& reply, ShardedLruCache& cache, bool skip_probe) {
   const std::string_view key = trim(line);
   const auto finish = [&](const Endpoint* endpoint, bool ok) {
     if (started == std::chrono::steady_clock::time_point{}) {
@@ -165,7 +241,7 @@ void Server::execute_into(
   // copied exactly once, into reply.body's reused capacity.
   reply.body.clear();
   std::uint8_t tag = 0;
-  if (cache_.get(key, generation, reply.body, tag)) {
+  if (!skip_probe && cache.get(key, generation, reply.body, tag)) {
     reply.endpoint = Registry::instance().by_id(tag);
     reply.ok = true;
     reply.cacheable = true;
@@ -179,8 +255,8 @@ void Server::execute_into(
   if (reply.ok && reply.endpoint && reply.endpoint->server_evaluated)
     reply.body = stats_body();
   if (reply.ok && reply.cacheable)
-    cache_.put(key, std::string(reply.body), reply.endpoint->id, generation,
-               reply.endpoint->model_scoped);
+    cache.put(key, std::string(reply.body), reply.endpoint->id, generation,
+              reply.endpoint->model_scoped);
   finish(reply.endpoint, reply.ok);
 }
 
@@ -194,7 +270,9 @@ void Server::run_job(Job& job, Reply& scratch) {
     job.done(std::string(deadline_exceeded_body()));
     return;
   }
-  execute_into(job.line, job.admitted, scratch);
+  execute_into(job.line, job.admitted, scratch,
+               job.cache ? *job.cache : cache_,
+               job.cache != nullptr && job.cache_prechecked);
   // Ownership of the body transfers to the transport; the scratch
   // buffer re-grows on the next request (one allocation per response is
   // the floor while `done` takes ownership).

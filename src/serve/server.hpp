@@ -147,6 +147,35 @@ class Server {
   [[nodiscard]] bool submit(std::string line, Done done,
                             Clock::time_point deadline);
 
+  /// Submit against a transport-owned response-cache partition instead
+  /// of the server-wide cache: the lookup and the miss-fill both go to
+  /// `cache` (null falls back to the server cache). `cache_prechecked`
+  /// means the transport already probed the partition on its own thread
+  /// (and counted the miss), so the worker skips the re-probe and goes
+  /// straight to evaluation. The sharded TCP loop uses this so each
+  /// shard's hits never leave its core while misses still fill that
+  /// shard's partition.
+  [[nodiscard]] bool submit(std::string line, Done done,
+                            std::shared_ptr<ShardedLruCache> cache,
+                            bool cache_prechecked);
+
+  /// Loop-thread cache probe: trims `line`, looks it up in `cache`
+  /// under the current parameter generation, and on a hit renders the
+  /// body into `out` (capacity reused) and records the completion in
+  /// metrics. Returns false on a miss (which is counted — pair with
+  /// submit(..., cache, /*cache_prechecked=*/true) to avoid counting
+  /// it twice).
+  [[nodiscard]] bool try_serve_cached(std::string_view line,
+                                      ShardedLruCache& cache,
+                                      std::string& out);
+
+  /// Registers / unregisters a transport-owned cache partition so
+  /// cache_stats() and the "stats" endpoint aggregate it. The registry
+  /// holds a shared_ptr: a partition stays valid for queued jobs even
+  /// after its transport shard is gone.
+  void add_cache_partition(std::shared_ptr<const ShardedLruCache> partition);
+  void remove_cache_partition(const ShardedLruCache* partition);
+
   /// Synchronous execution on the calling thread (tests, simple
   /// transports, the in-process loadgen). Same cache/metrics path as
   /// the worker pool; lanes are bypassed (no queueing happens).
@@ -170,9 +199,9 @@ class Server {
   [[nodiscard]] const ServerOptions& options() const noexcept {
     return options_;
   }
-  [[nodiscard]] ShardedLruCache::Stats cache_stats() const {
-    return cache_.stats();
-  }
+  /// Aggregated cache statistics: the server-wide cache plus every
+  /// registered transport partition (hits/misses/entries/... summed).
+  [[nodiscard]] ShardedLruCache::Stats cache_stats() const;
 
   /// The server-owned online-fitting store (observe/params/refit state).
   /// Exposed so transports, benchmarks, and tests can inspect published
@@ -190,16 +219,17 @@ class Server {
     return resolver_.get();
   }
 
-  /// The "stats" response body against live counters.
+  /// The "stats" response body against live counters (cache numbers
+  /// aggregate the transport partitions).
   [[nodiscard]] std::string stats_body() const {
     const fit::online::OnlineStoreStats online = online_.stats();
-    return metrics_.to_json(cache_.stats(), &online);
+    return metrics_.to_json(cache_stats(), &online);
   }
 
   /// Human-readable metrics dump (shutdown summary, SIGUSR1).
   [[nodiscard]] std::string stats_text() const {
     const fit::online::OnlineStoreStats online = online_.stats();
-    return metrics_.summary(cache_.stats(), &online);
+    return metrics_.summary(cache_stats(), &online);
   }
 
  private:
@@ -209,6 +239,11 @@ class Server {
     std::chrono::steady_clock::time_point admitted;
     Clock::time_point deadline = Clock::time_point::max();
     std::size_t lane = kLightLane;
+    /// Transport-owned cache partition for this job (null = the server
+    /// cache). shared_ptr: the job may outlive the transport shard.
+    std::shared_ptr<ShardedLruCache> cache;
+    /// The transport already probed (and miss-counted) the partition.
+    bool cache_prechecked = false;
   };
 
   /// How many jobs a worker takes from its lanes per lock crossing.
@@ -221,11 +256,12 @@ class Server {
   /// heavy-lane-disabled fallback).
   [[nodiscard]] std::size_t lane_for(std::string_view line) const noexcept;
 
-  /// Shared tail of both submit overloads once the lane and deadline
+  /// Shared tail of the submit overloads once the lane and deadline
   /// are settled.
-  [[nodiscard]] bool submit_to_lane(std::string line, Done done,
-                                    Clock::time_point deadline,
-                                    std::size_t lane);
+  [[nodiscard]] bool submit_to_lane(
+      std::string line, Done done, Clock::time_point deadline,
+      std::size_t lane, std::shared_ptr<ShardedLruCache> cache = nullptr,
+      bool cache_prechecked = false);
 
   /// Cache + registry execution shared by workers and handle_now /
   /// handle_into. The response is rendered into reply.body (capacity
@@ -237,6 +273,13 @@ class Server {
                     std::chrono::steady_clock::time_point started,
                     Reply& reply);
 
+  /// Same, against an explicit cache. `skip_probe` suppresses the
+  /// lookup (the transport already probed and counted the miss); the
+  /// miss-fill still goes to `cache`.
+  void execute_into(std::string_view line,
+                    std::chrono::steady_clock::time_point started,
+                    Reply& reply, ShardedLruCache& cache, bool skip_probe);
+
   /// Deadline check + execute + done; shared by workers and the
   /// shutdown drain so queue-expired jobs are answered identically on
   /// both paths. `scratch` is the worker's reusable reply buffer.
@@ -247,6 +290,9 @@ class Server {
   ServerOptions options_;
   const sim::ClockSource* clock_;  ///< never null after construction
   ShardedLruCache cache_;
+  /// Transport-owned cache partitions registered for stats aggregation.
+  mutable std::mutex partitions_mutex_;
+  std::vector<std::shared_ptr<const ShardedLruCache>> partitions_;
   Metrics metrics_;
   LaneScheduler<Job> queue_;
   fit::online::OnlineStore online_;

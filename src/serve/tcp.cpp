@@ -7,17 +7,22 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "serve/iobuf.hpp"
 
 namespace archline::serve {
 
@@ -25,10 +30,13 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/// How long the loop keeps flushing pending responses to peers that
-/// have stopped reading once a stop was requested, before force-closing
-/// them. Bounds shutdown against misbehaving clients.
-constexpr int kDrainGraceMs = 5000;
+/// Frame separator shared by every iovec the flush path builds.
+constexpr char kNewline = '\n';
+
+/// Most reply segments one sendv() call gathers. 64 replies per
+/// syscall amortizes the crossing thoroughly; IOV_MAX is 1024, so the
+/// 2-segments-per-reply layout stays far under the kernel limit.
+constexpr int kMaxIov = 64;
 
 bool set_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
@@ -36,11 +44,11 @@ bool set_nonblocking(int fd) {
 }
 
 /// Worker threads finish responses out on their own schedule; this is
-/// the hand-off back to the event loop. complete() under the writer's
+/// the hand-off back to the owning shard. complete() under the writer's
 /// lock pushes each connection's responses here in FIFO order, and the
-/// eventfd wakes epoll_wait. After close() pushes are dropped — that is
-/// what makes it safe for straggler callbacks (queue drain during
-/// Server::shutdown) to outlive the loop.
+/// eventfd wakes that shard's epoll_wait. After close() pushes are
+/// dropped — that is what makes it safe for straggler callbacks (queue
+/// drain during Server::shutdown) to outlive the loop.
 struct CompletionChannel {
   std::mutex mutex;
   std::vector<std::pair<std::uint64_t, std::string>> ready;
@@ -68,16 +76,61 @@ struct CompletionChannel {
   }
 };
 
-/// Everything the loop knows about one socket. `submitted` counts
-/// sequence numbers reserved on the writer; `written` counts responses
-/// framed into `out`; the connection may close only when they agree and
-/// `out` has drained.
+/// Handoff-fallback plumbing: the acceptor shard pushes freshly
+/// accepted fds here; the owning shard's eventfd wakes it to admit
+/// them. After close_incoming() (owner teardown) pushes close the fd
+/// instead of parking it — nobody would ever drain it.
+struct HandoffQueue {
+  std::mutex mutex;
+  std::vector<int> fds;
+  int event_fd = -1;
+  bool closed = false;
+
+  void push(int fd) {
+    std::unique_lock<std::mutex> lock(mutex);
+    if (closed) {
+      lock.unlock();
+      ::close(fd);
+      return;
+    }
+    fds.push_back(fd);
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n =
+        ::write(event_fd, &one, sizeof one);
+  }
+
+  void take(std::vector<int>& out) {
+    std::lock_guard<std::mutex> lock(mutex);
+    out.swap(fds);
+  }
+
+  void close_incoming() {
+    std::lock_guard<std::mutex> lock(mutex);
+    closed = true;
+    for (const int fd : fds) ::close(fd);
+    fds.clear();
+  }
+};
+
+/// Everything a shard knows about one socket. `submitted` counts
+/// requests accepted from the wire; `written` counts responses framed
+/// for sending; the connection may close only when they agree and the
+/// outbound buffers have drained.
+///
+/// Outbound data lives in two places, always sent in this order:
+///   * `out`    — partially-sent residue and copied inline-hit frames
+///                (cursor buffer: consuming sent bytes is O(1));
+///   * `pending`— whole reply bodies not yet touched by sendv(), moved
+///                in from workers with zero copies; flush() gathers
+///                them (+ newline separators) into one writev.
 struct Conn {
   int fd = -1;
   std::uint64_t id = 0;
   std::shared_ptr<OrderedWriter> writer;
-  std::string in;   ///< residual partial line (no newline yet)
-  std::string out;  ///< framed responses awaiting send
+  ConsumableBuffer in;   ///< residual partial line (no newline yet)
+  ConsumableBuffer out;  ///< framed bytes awaiting (re)send
+  std::vector<std::string> pending;  ///< un-sent reply bodies, FIFO
+  std::size_t pending_next = 0;      ///< first un-sent index in pending
   std::uint64_t submitted = 0;
   std::uint64_t written = 0;
   /// No further reads: peer EOF, an oversized line, or server stop.
@@ -86,186 +139,225 @@ struct Conn {
   Clock::time_point last_activity;
 };
 
-}  // namespace
-
-int SocketOps::accept(int listen_fd) noexcept {
-  return ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK);
+[[nodiscard]] bool has_outbound(const Conn& c) noexcept {
+  return !c.out.empty() || c.pending_next < c.pending.size();
 }
 
-ssize_t SocketOps::recv(int fd, char* buf, std::size_t len) noexcept {
-  return ::recv(fd, buf, len, 0);
-}
+/// One event-loop shard: its own epoll instance, connection table,
+/// completion channel, and (optionally) listen socket, handoff inbox,
+/// and response-cache partition. Everything here is touched by exactly
+/// one thread; the CompletionChannel and HandoffQueue are the only
+/// cross-thread doors, and both are internally locked.
+class ShardLoop {
+ public:
+  // epoll_event.data.u64 routing within one shard.
+  static constexpr std::uint64_t kListenId = 0;
+  static constexpr std::uint64_t kWakeId = 1;
+  static constexpr std::uint64_t kHandoffId = 2;
+  static constexpr std::uint64_t kFirstConnId = 3;
 
-ssize_t SocketOps::send(int fd, const char* buf, std::size_t len) noexcept {
-  return ::send(fd, buf, len, MSG_NOSIGNAL);
-}
+  ShardLoop(Server& server, const TcpOptions& options, int shard,
+            int shard_count, int listen_fd,
+            std::shared_ptr<ShardedLruCache> cache, std::size_t max_conns,
+            HandoffQueue* inbox, std::vector<HandoffQueue*> targets)
+      : server_(server),
+        options_(options),
+        shard_(static_cast<std::size_t>(shard)),
+        shard_count_(static_cast<std::uint64_t>(shard_count)),
+        listen_fd_(listen_fd),
+        cache_(std::move(cache)),
+        max_conns_(max_conns),
+        inbox_(inbox),
+        targets_(std::move(targets)),
+        metrics_(server.metrics()),
+        max_line_(server.options().limits.max_request_bytes),
+        clock_(options.clock ? *options.clock : sim::real_clock()),
+        ops_(options.socket_ops ? *options.socket_ops : real_socket_ops()) {}
 
-SocketOps& real_socket_ops() noexcept {
-  static SocketOps ops;
-  return ops;
-}
+  void run(const std::atomic<bool>& stop);
 
-TcpListener::TcpListener(Server& server, TcpOptions options)
-    : server_(server), options_(std::move(options)) {}
-
-TcpListener::~TcpListener() {
-  if (listen_fd_ >= 0) ::close(listen_fd_);
-}
-
-bool TcpListener::open(std::string* error) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    if (error) *error = std::string("socket: ") + std::strerror(errno);
-    return false;
-  }
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
-      1) {
-    if (error) *error = "invalid bind address: " + options_.bind_address;
-    return false;
-  }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
-      0) {
-    if (error) *error = std::string("bind: ") + std::strerror(errno);
-    return false;
-  }
-  if (::listen(listen_fd_, options_.backlog) < 0) {
-    if (error) *error = std::string("listen: ") + std::strerror(errno);
-    return false;
-  }
-  if (!set_nonblocking(listen_fd_)) {
-    if (error) *error = std::string("fcntl: ") + std::strerror(errno);
-    return false;
-  }
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof bound;
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
-                    &bound_len) == 0)
-    port_ = ntohs(bound.sin_port);
-  return true;
-}
-
-void TcpListener::run(const std::atomic<bool>& stop) {
-  // epoll_event.data.u64 routing: 0 = listen socket, 1 = completion
-  // eventfd, >= kFirstConnId = a connection.
-  constexpr std::uint64_t kListenId = 0;
-  constexpr std::uint64_t kWakeId = 1;
-  constexpr std::uint64_t kFirstConnId = 2;
-
-  const int epoll_fd = ::epoll_create1(0);
-  if (epoll_fd < 0) return;
-  auto channel = std::make_shared<CompletionChannel>();
-  channel->event_fd = ::eventfd(0, EFD_NONBLOCK);
-  if (channel->event_fd < 0) {
-    ::close(epoll_fd);
-    return;
-  }
-
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.u64 = kListenId;
-  ::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, listen_fd_, &ev);
-  ev.data.u64 = kWakeId;
-  ::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, channel->event_fd, &ev);
-
-  std::unordered_map<std::uint64_t, Conn> conns;
-  std::uint64_t next_id = kFirstConnId;
-  Metrics& metrics = server_.metrics();
-  const std::size_t max_line = server_.options().limits.max_request_bytes;
-  const sim::ClockSource& clock =
-      options_.clock ? *options_.clock : sim::real_clock();
-  SocketOps& ops =
-      options_.socket_ops ? *options_.socket_ops : real_socket_ops();
-
-  const auto update_interest = [&](Conn& c) {
+ private:
+  void update_interest(Conn& c) {
     const std::uint32_t want =
-        (c.half_closed ? 0u : EPOLLIN) | (c.out.empty() ? 0u : EPOLLOUT);
+        (c.half_closed ? 0u : EPOLLIN) | (has_outbound(c) ? 0u : 0u) |
+        (has_outbound(c) ? EPOLLOUT : 0u);
     if (want == c.interest) return;
     epoll_event mod{};
     mod.events = want;
     mod.data.u64 = c.id;
-    ::epoll_ctl(epoll_fd, EPOLL_CTL_MOD, c.fd, &mod);
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c.fd, &mod);
     c.interest = want;
-  };
+  }
 
-  const auto destroy = [&](std::uint64_t id, bool idle_timeout = false) {
-    auto it = conns.find(id);
-    if (it == conns.end()) return;
+  void destroy(std::uint64_t id, bool idle_timeout = false) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;
     // Counters first: a peer that observes the EOF must already see the
     // close reflected in a stats snapshot.
-    metrics.on_connection_closed();
-    if (idle_timeout) metrics.on_connection_idle_closed();
-    ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, it->second.fd, nullptr);
+    metrics_.on_connection_closed(shard_);
+    if (idle_timeout) metrics_.on_connection_idle_closed(shard_);
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second.fd, nullptr);
     ::close(it->second.fd);
-    conns.erase(it);
-  };
+    conns_.erase(it);
+  }
 
-  // Sends as much of c.out as the socket accepts. Returns false when
-  // the connection died (and was destroyed).
-  const auto flush = [&](Conn& c) -> bool {
-    while (!c.out.empty()) {
-      const ssize_t n = ops.send(c.fd, c.out.data(), c.out.size());
+  /// Accounts `n` sent bytes against out-then-pending, in send order.
+  /// A reply cut mid-body moves its unsent tail into `out` (the next
+  /// writev resumes there), so partial progress is O(tail), never a
+  /// front-erase of everything buffered.
+  void consume_outbound(Conn& c, std::size_t n) {
+    const std::size_t from_out = std::min(n, c.out.size());
+    c.out.consume(from_out);
+    n -= from_out;
+    while (n > 0) {
+      std::string& body = c.pending[c.pending_next];
+      const std::size_t framed = body.size() + 1;  // + newline
+      if (n >= framed) {
+        n -= framed;
+        ++c.pending_next;
+        continue;
+      }
+      // Partial mid-reply: out is empty here (writev consumed it
+      // first), so the tail lands at the front of the send order.
+      c.out.append(body.data() + n, body.size() - n);
+      c.out.push_back(kNewline);
+      ++c.pending_next;
+      n = 0;
+    }
+    if (c.pending_next == c.pending.size()) {
+      c.pending.clear();
+      c.pending_next = 0;
+    } else if (c.pending_next >= 64) {
+      // Bound the dead prefix under a never-draining pipeline.
+      c.pending.erase(c.pending.begin(),
+                      c.pending.begin() +
+                          static_cast<std::ptrdiff_t>(c.pending_next));
+      c.pending_next = 0;
+    }
+  }
+
+  /// Gathers everything outbound into as few sendv() calls as the
+  /// socket accepts. Returns false when the connection died (and was
+  /// destroyed).
+  bool flush(Conn& c) {
+    while (has_outbound(c)) {
+      std::array<iovec, kMaxIov> iov;
+      int cnt = 0;
+      if (!c.out.empty()) {
+        iov[static_cast<std::size_t>(cnt++)] =
+            iovec{const_cast<char*>(c.out.data()), c.out.size()};
+      }
+      for (std::size_t i = c.pending_next;
+           i < c.pending.size() && cnt + 2 <= kMaxIov; ++i) {
+        std::string& body = c.pending[i];
+        iov[static_cast<std::size_t>(cnt++)] =
+            iovec{body.data(), body.size()};
+        iov[static_cast<std::size_t>(cnt++)] =
+            iovec{const_cast<char*>(&kNewline), 1};
+      }
+      const ssize_t n = ops_.sendv(c.fd, iov.data(), cnt);
       if (n < 0) {
         if (errno == EINTR) continue;
         if (errno == EAGAIN || errno == EWOULDBLOCK) break;
         destroy(c.id);
         return false;
       }
-      c.out.erase(0, static_cast<std::size_t>(n));
-      c.last_activity = clock.now();
+      if (n == 0) break;  // defensive: no progress, no spin
+      c.last_activity = clock_.now();
+      consume_outbound(c, static_cast<std::size_t>(n));
     }
     return true;
-  };
+  }
 
-  // Close once nothing can ever arrive for this connection again.
-  // Returns false when the connection was closed.
-  const auto maybe_close = [&](Conn& c) -> bool {
-    if (c.half_closed && c.written == c.submitted && c.out.empty()) {
+  /// Close once nothing can ever arrive for this connection again.
+  /// Returns false when the connection was closed.
+  bool maybe_close(Conn& c) {
+    if (c.half_closed && c.written == c.submitted && !has_outbound(c)) {
       destroy(c.id);
       return false;
     }
     return true;
-  };
+  }
 
-  const auto submit_line = [&](Conn& c, std::string line) {
+  /// A worker-completed reply: takes ownership, zero copies.
+  void frame_owned(Conn& c, std::string&& body) {
+    ++c.written;
+    c.pending.push_back(std::move(body));
+  }
+
+  /// An inline cache hit: the body lives in the loop's reusable scratch
+  /// buffer, so it is copied out — into `out` when FIFO allows (its
+  /// capacity is reused across hits; zero allocations steady-state),
+  /// else into pending.
+  void frame_copy(Conn& c, const std::string& body) {
+    ++c.written;
+    if (c.pending_next == c.pending.size()) {
+      c.pending.clear();
+      c.pending_next = 0;
+      c.out.append(body.data(), body.size());
+      c.out.push_back(kNewline);
+    } else {
+      c.pending.push_back(body);
+    }
+  }
+
+  void submit_line(Conn& c, std::string_view line) {
     if (line.empty() || line == "\r") return;
+    metrics_.on_shard_request(shard_);
+    if (cache_) {
+      // Shard-local cache probe on the loop thread: a hit never
+      // touches the worker pool or another core. FIFO safety: with
+      // nothing in flight the reply is framed directly; otherwise it
+      // is sequenced through the OrderedWriter behind the in-flight
+      // responses.
+      const bool in_order = c.submitted == c.written;
+      if (server_.try_serve_cached(line, *cache_, scratch_)) {
+        metrics_.on_shard_cached(shard_);
+        ++c.submitted;
+        if (in_order) {
+          frame_copy(c, scratch_);
+        } else {
+          const std::uint64_t seq = c.writer->next_sequence();
+          c.writer->complete(seq, std::string(scratch_));
+        }
+        return;
+      }
+      // Probe missed (and was counted); the worker skips the re-probe
+      // and its miss-fill lands in this shard's partition.
+    }
     const std::uint64_t seq = c.writer->next_sequence();
     ++c.submitted;
     std::shared_ptr<OrderedWriter> writer = c.writer;
     const bool admitted = server_.submit(
-        std::move(line), [writer, seq](std::string&& body) {
+        std::string(line),
+        [writer, seq](std::string&& body) {
           writer->complete(seq, std::move(body));
-        });
+        },
+        cache_, /*cache_prechecked=*/cache_ != nullptr);
     if (!admitted)
       c.writer->complete(seq, std::string(overloaded_body()));
-  };
+  }
 
   // Extracts complete lines FIRST, so a burst of small pipelined
   // requests is never mistaken for one oversized line; only the
   // residual partial line is bounded. On EOF the final un-terminated
   // line is a real request and gets a real reply.
-  const auto process_input = [&](Conn& c, bool eof) {
+  void process_input(Conn& c, bool eof) {
+    const std::string_view buf = c.in.view();
     std::size_t start = 0;
-    for (std::size_t nl = c.in.find('\n', start); nl != std::string::npos;
-         nl = c.in.find('\n', start)) {
-      std::string line = c.in.substr(start, nl - start);
+    for (std::size_t nl = buf.find('\n', start);
+         nl != std::string_view::npos; nl = buf.find('\n', start)) {
+      submit_line(c, buf.substr(start, nl - start));
       start = nl + 1;
-      submit_line(c, std::move(line));
     }
-    c.in.erase(0, start);
+    c.in.consume(start);
     if (eof) {
       if (!c.in.empty()) {
-        std::string line = std::move(c.in);
+        submit_line(c, c.in.view());
         c.in.clear();
-        submit_line(c, std::move(line));
       }
       c.half_closed = true;
-    } else if (c.in.size() > max_line) {
+    } else if (c.in.size() > max_line_) {
       // A line this long can only ever be rejected; answer now and
       // stop reading rather than buffering without bound.
       const std::uint64_t seq = c.writer->next_sequence();
@@ -275,19 +367,19 @@ void TcpListener::run(const std::atomic<bool>& stop) {
       c.in.clear();
       c.half_closed = true;
     }
-  };
+  }
 
   // Returns false when the connection was destroyed.
-  const auto handle_read = [&](Conn& c) -> bool {
+  bool handle_read(Conn& c) {
     char chunk[65536];
-    const ssize_t n = ops.recv(c.fd, chunk, sizeof chunk);
+    const ssize_t n = ops_.recv(c.fd, chunk, sizeof chunk);
     if (n < 0) {
       if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
         return true;
       destroy(c.id);
       return false;
     }
-    c.last_activity = clock.now();
+    c.last_activity = clock_.now();
     if (n == 0) {
       process_input(c, /*eof=*/true);
     } else {
@@ -297,111 +389,204 @@ void TcpListener::run(const std::atomic<bool>& stop) {
     if (!maybe_close(c)) return false;
     update_interest(c);
     return true;
-  };
+  }
 
-  const auto handle_accepts = [&] {
+  /// Registers an accepted (or handed-off) fd with this shard, or
+  /// rejects it against the shard's connection slice.
+  void admit(int fd) {
+    if (conns_.size() >= max_conns_) {
+      // Admission control at the door: a canned overloaded reply
+      // (best effort — the socket buffer of a fresh connection
+      // always has room for one line) and an immediate close.
+      metrics_.on_connection_rejected(shard_);
+      const std::string reply = overloaded_body() + "\n";
+      [[maybe_unused]] const ssize_t n =
+          ops_.send(fd, reply.data(), reply.size());
+      ::close(fd);
+      return;
+    }
+    const std::uint64_t id = next_id_++;
+    Conn& c = conns_[id];
+    c.fd = fd;
+    c.id = id;
+    c.last_activity = clock_.now();
+    c.interest = EPOLLIN;
+    std::shared_ptr<CompletionChannel> channel = channel_;
+    c.writer = std::make_shared<OrderedWriter>(
+        [channel, id](const std::string& body) {
+          channel->push(id, body);
+        });
+    epoll_event add{};
+    add.events = EPOLLIN;
+    add.data.u64 = id;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &add);
+    metrics_.on_connection_opened(shard_);
+  }
+
+  void handle_accepts() {
     for (int burst = 0; burst < 256; ++burst) {
-      const int fd = ops.accept(listen_fd_);
+      const int fd = ops_.accept(listen_fd_);
       if (fd < 0) {
         if (errno == EINTR || errno == ECONNABORTED) continue;
         break;  // EAGAIN or a real error; either way, wait for epoll
       }
       const int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-      if (conns.size() >= options_.max_connections) {
-        // Admission control at the door: a canned overloaded reply
-        // (best effort — the socket buffer of a fresh connection
-        // always has room for one line) and an immediate close.
-        metrics.on_connection_rejected();
-        const std::string reply = overloaded_body() + "\n";
-        [[maybe_unused]] const ssize_t n =
-            ops.send(fd, reply.data(), reply.size());
+      if (!targets_.empty()) {
+        // Handoff fallback: deterministic round-robin placement in
+        // accept order, self included.
+        const std::uint64_t target = next_target_++ % shard_count_;
+        if (target != static_cast<std::uint64_t>(shard_)) {
+          targets_[static_cast<std::size_t>(target)]->push(fd);
+          continue;
+        }
+      }
+      admit(fd);
+    }
+  }
+
+  void drain_handoff() {
+    std::uint64_t counter = 0;
+    [[maybe_unused]] const ssize_t n =
+        ::read(inbox_->event_fd, &counter, sizeof counter);
+    handed_.clear();
+    inbox_->take(handed_);
+    for (const int fd : handed_) {
+      if (stopping_) {
+        // Raced the stop: treat like a connection still in the backlog
+        // — never admitted, silently closed.
         ::close(fd);
         continue;
       }
-      const std::uint64_t id = next_id++;
-      Conn& c = conns[id];
-      c.fd = fd;
-      c.id = id;
-      c.last_activity = clock.now();
-      c.interest = EPOLLIN;
-      c.writer = std::make_shared<OrderedWriter>(
-          [channel, id](const std::string& body) {
-            channel->push(id, body);
-          });
-      epoll_event add{};
-      add.events = EPOLLIN;
-      add.data.u64 = id;
-      ::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &add);
-      metrics.on_connection_opened();
+      admit(fd);
     }
-  };
+  }
 
-  std::vector<std::pair<std::uint64_t, std::string>> ready;
-  const auto drain_completions = [&] {
+  void drain_completions() {
     std::uint64_t counter = 0;
     [[maybe_unused]] const ssize_t n =
-        ::read(channel->event_fd, &counter, sizeof counter);
-    ready.clear();
-    channel->take(ready);
-    // Frame everything first, then flush each touched connection once.
-    std::vector<std::uint64_t> touched;
-    for (auto& [id, body] : ready) {
-      auto it = conns.find(id);
-      if (it == conns.end()) continue;  // connection already gone
-      Conn& c = it->second;
-      c.out += body;
-      c.out += '\n';
-      ++c.written;
-      if (touched.empty() || touched.back() != id) touched.push_back(id);
+        ::read(channel_->event_fd, &counter, sizeof counter);
+    ready_.clear();
+    channel_->take(ready_);
+    // Frame everything first, then flush each touched connection once —
+    // this is what turns a burst of pipelined completions into a
+    // single writev per connection.
+    touched_.clear();
+    for (auto& [id, body] : ready_) {
+      auto it = conns_.find(id);
+      if (it == conns_.end()) continue;  // connection already gone
+      frame_owned(it->second, std::move(body));
+      if (touched_.empty() || touched_.back() != id) touched_.push_back(id);
     }
-    for (const std::uint64_t id : touched) {
-      auto it = conns.find(id);
-      if (it == conns.end()) continue;
+    for (const std::uint64_t id : touched_) {
+      auto it = conns_.find(id);
+      if (it == conns_.end()) continue;
       Conn& c = it->second;
       if (!flush(c)) continue;
       if (!maybe_close(c)) continue;
       update_interest(c);
     }
-  };
+  }
 
-  bool stopping = false;
-  Clock::time_point stop_at{};
+  Server& server_;
+  const TcpOptions& options_;
+  const std::size_t shard_;
+  const std::uint64_t shard_count_;
+  const int listen_fd_;  ///< -1: this shard does not accept
+  const std::shared_ptr<ShardedLruCache> cache_;  ///< null: no caching
+  const std::size_t max_conns_;
+  HandoffQueue* const inbox_;  ///< null unless handoff-mode non-acceptor
+  const std::vector<HandoffQueue*> targets_;  ///< non-empty: acceptor
+  Metrics& metrics_;
+  const std::size_t max_line_;
+  const sim::ClockSource& clock_;
+  SocketOps& ops_;
+
+  int epoll_fd_ = -1;
+  std::shared_ptr<CompletionChannel> channel_;
+  std::unordered_map<std::uint64_t, Conn> conns_;
+  std::uint64_t next_id_ = kFirstConnId;
+  std::uint64_t next_target_ = 0;
+  bool stopping_ = false;
+  Clock::time_point stop_at_{};
+  std::string scratch_;  ///< inline cache-hit reply buffer (reused)
+  std::vector<std::pair<std::uint64_t, std::string>> ready_;
+  std::vector<std::uint64_t> touched_;
+  std::vector<int> handed_;
+};
+
+void ShardLoop::run(const std::atomic<bool>& stop) {
+  epoll_fd_ = ::epoll_create1(0);
+  if (epoll_fd_ < 0) return;
+  channel_ = std::make_shared<CompletionChannel>();
+  channel_->event_fd = ::eventfd(0, EFD_NONBLOCK);
+  if (channel_->event_fd < 0) {
+    ::close(epoll_fd_);
+    return;
+  }
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  if (listen_fd_ >= 0) {
+    ev.data.u64 = kListenId;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  }
+  ev.data.u64 = kWakeId;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, channel_->event_fd, &ev);
+  if (inbox_) {
+    ev.data.u64 = kHandoffId;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, inbox_->event_fd, &ev);
+  }
+
   std::array<epoll_event, 64> events;
 
   while (true) {
-    if (!stopping && stop.load(std::memory_order_acquire)) {
+    if (!stopping_ && stop.load(std::memory_order_acquire)) {
       // Stop accepting, stop reading; keep looping until every
       // admitted request has been answered and flushed.
-      stopping = true;
-      stop_at = clock.now();
-      ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, listen_fd_, nullptr);
+      stopping_ = true;
+      stop_at_ = clock_.now();
+      if (listen_fd_ >= 0)
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
       std::vector<std::uint64_t> ids;
-      ids.reserve(conns.size());
-      for (auto& [id, c] : conns) ids.push_back(id);
+      ids.reserve(conns_.size());
+      for (auto& [id, c] : conns_) ids.push_back(id);
       for (const std::uint64_t id : ids) {
-        auto it = conns.find(id);
-        if (it == conns.end()) continue;
+        auto it = conns_.find(id);
+        if (it == conns_.end()) continue;
         it->second.half_closed = true;
         if (!maybe_close(it->second)) continue;
         update_interest(it->second);
       }
     }
-    if (stopping && conns.empty()) break;
-    if (stopping && clock.now() - stop_at >
-                        std::chrono::milliseconds(kDrainGraceMs)) {
+    if (stopping_ && conns_.empty()) break;
+    const auto grace = std::chrono::milliseconds(options_.drain_grace_ms);
+    if (stopping_ && clock_.now() - stop_at_ > grace) {
       // Peers that stopped reading do not get to hold shutdown hostage.
       std::vector<std::uint64_t> ids;
-      ids.reserve(conns.size());
-      for (auto& [id, c] : conns) ids.push_back(id);
+      ids.reserve(conns_.size());
+      for (auto& [id, c] : conns_) ids.push_back(id);
       for (const std::uint64_t id : ids) destroy(id);
       break;
     }
 
+    int timeout = options_.poll_interval_ms;
+    if (stopping_) {
+      // The grace check above only runs when epoll_wait returns, so the
+      // wait itself must never outlive the remaining grace: clamp the
+      // timeout to it (+1ms to land past the strict `>` boundary).
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              grace - (clock_.now() - stop_at_))
+              .count() +
+          1;
+      if (remaining < static_cast<long long>(timeout))
+        timeout = static_cast<int>(std::max<long long>(0, remaining));
+    }
+
     const int n_events =
-        ::epoll_wait(epoll_fd, events.data(),
-                     static_cast<int>(events.size()),
-                     options_.poll_interval_ms);
+        ::epoll_wait(epoll_fd_, events.data(),
+                     static_cast<int>(events.size()), timeout);
     if (n_events < 0) {
       if (errno == EINTR) continue;
       break;
@@ -412,15 +597,19 @@ void TcpListener::run(const std::atomic<bool>& stop) {
       const std::uint32_t flags =
           events[static_cast<std::size_t>(i)].events;
       if (id == kListenId) {
-        if (!stopping) handle_accepts();
+        if (!stopping_) handle_accepts();
         continue;
       }
       if (id == kWakeId) {
         drain_completions();
         continue;
       }
-      auto it = conns.find(id);
-      if (it == conns.end()) continue;  // destroyed earlier this batch
+      if (id == kHandoffId) {
+        drain_handoff();
+        continue;
+      }
+      auto it = conns_.find(id);
+      if (it == conns_.end()) continue;  // destroyed earlier this batch
       Conn& c = it->second;
       if (flags & (EPOLLHUP | EPOLLERR)) {
         destroy(id);
@@ -440,11 +629,11 @@ void TcpListener::run(const std::atomic<bool>& stop) {
     // idle_timeout_ms are closed. Ones with pending responses are
     // exempt — they are "busy", just waiting on workers or the socket.
     if (options_.idle_timeout_ms > 0) {
-      const auto now = clock.now();
+      const auto now = clock_.now();
       const auto limit = std::chrono::milliseconds(options_.idle_timeout_ms);
       std::vector<std::uint64_t> expired;
-      for (auto& [id, c] : conns) {
-        const bool pending = c.submitted != c.written || !c.out.empty();
+      for (auto& [id, c] : conns_) {
+        const bool pending = c.submitted != c.written || has_outbound(c);
         if (!pending && now - c.last_activity > limit) expired.push_back(id);
       }
       for (const std::uint64_t id : expired)
@@ -454,12 +643,249 @@ void TcpListener::run(const std::atomic<bool>& stop) {
 
   // Straggler callbacks (e.g. the queue drain inside Server::shutdown)
   // may still fire after this point; mark the channel closed so their
-  // pushes are dropped instead of touching freed fds.
-  channel->close();
-  ::close(channel->event_fd);
-  channel->event_fd = -1;
-  for (auto& [id, c] : conns) ::close(c.fd);
-  ::close(epoll_fd);
+  // pushes are dropped instead of touching freed fds. Likewise the
+  // handoff inbox: fds the acceptor pushes from here on are closed at
+  // the push.
+  channel_->close();
+  ::close(channel_->event_fd);
+  channel_->event_fd = -1;
+  if (inbox_) inbox_->close_incoming();
+  for (auto& [id, c] : conns_) ::close(c.fd);
+  ::close(epoll_fd_);
+}
+
+}  // namespace
+
+int SocketOps::accept(int listen_fd) noexcept {
+  return ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK);
+}
+
+ssize_t SocketOps::recv(int fd, char* buf, std::size_t len) noexcept {
+  return ::recv(fd, buf, len, 0);
+}
+
+ssize_t SocketOps::send(int fd, const char* buf, std::size_t len) noexcept {
+  return ::send(fd, buf, len, MSG_NOSIGNAL);
+}
+
+ssize_t SocketOps::sendv(int fd, const struct iovec* iov,
+                         int iovcnt) noexcept {
+  // Mock-friendly default: one segment through the (possibly
+  // overridden) send() — a legal short write the loop recovers from.
+  // The real implementation below gathers everything.
+  for (int i = 0; i < iovcnt; ++i) {
+    if (iov[i].iov_len == 0) continue;
+    return send(fd, static_cast<const char*>(iov[i].iov_base),
+                iov[i].iov_len);
+  }
+  return 0;
+}
+
+namespace {
+
+/// The kernel-backed SocketOps: sendv is a true scatter-gather
+/// sendmsg, everything else inherits the real syscalls.
+class RealSocketOps final : public SocketOps {
+ public:
+  [[nodiscard]] ssize_t sendv(int fd, const struct iovec* iov,
+                              int iovcnt) noexcept override {
+    msghdr msg{};
+    msg.msg_iov = const_cast<struct iovec*>(iov);
+    msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+    return ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+  }
+};
+
+}  // namespace
+
+SocketOps& real_socket_ops() noexcept {
+  static RealSocketOps ops;
+  return ops;
+}
+
+TcpListener::TcpListener(Server& server, TcpOptions options)
+    : server_(server), options_(std::move(options)) {}
+
+TcpListener::~TcpListener() {
+  close_listeners();
+  drop_partitions();
+}
+
+void TcpListener::close_listeners() noexcept {
+  for (const int fd : listen_fds_) ::close(fd);
+  listen_fds_.clear();
+}
+
+void TcpListener::drop_partitions() noexcept {
+  for (const auto& p : partitions_) server_.remove_cache_partition(p.get());
+  partitions_.clear();
+}
+
+int TcpListener::open_socket(std::uint16_t port, bool reuseport,
+                             std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error) *error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (reuseport &&
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof one) != 0) {
+    if (error)
+      *error = std::string("setsockopt(SO_REUSEPORT): ") +
+               std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    if (error) *error = "invalid bind address: " + options_.bind_address;
+    ::close(fd);
+    return -1;
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    if (error) *error = std::string("bind: ") + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, options_.backlog) < 0) {
+    if (error) *error = std::string("listen: ") + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  if (!set_nonblocking(fd)) {
+    if (error) *error = std::string("fcntl: ") + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool TcpListener::open(std::string* error) {
+  // Re-open support without leaks: whatever a previous open created is
+  // released first, successful or not.
+  close_listeners();
+  drop_partitions();
+  port_ = 0;
+  reuseport_ = false;
+
+  shards_ = std::clamp(options_.shards, 1, kMaxShards);
+  if (options_.max_connections > 0 &&
+      static_cast<std::size_t>(shards_) > options_.max_connections)
+    shards_ = static_cast<int>(options_.max_connections);
+
+  const bool want_reuseport = options_.use_reuseport && shards_ > 1;
+  int fd = open_socket(options_.port, want_reuseport, error);
+  if (fd < 0 && want_reuseport) {
+    // Kernel without SO_REUSEPORT: fall back to the acceptor-handoff
+    // mode on a plain socket.
+    fd = open_socket(options_.port, false, error);
+  }
+  if (fd < 0) return false;
+  listen_fds_.push_back(fd);
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0)
+    port_ = ntohs(bound.sin_port);
+
+  if (want_reuseport) {
+    // Probe whether the option actually stuck (old kernels accept the
+    // setsockopt but don't balance; SO_REUSEPORT has been reliable
+    // since 3.9 — the getsockopt check covers the exotic cases).
+    int set = 0;
+    socklen_t len = sizeof set;
+    reuseport_ = ::getsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &set, &len) == 0 &&
+                 set != 0;
+  }
+  if (reuseport_) {
+    for (int i = 1; i < shards_; ++i) {
+      const int extra = open_socket(port_, true, error);
+      if (extra < 0) {
+        // Sibling bind failed (port raced away, limits): fall back to
+        // handoff mode rather than failing a bindable configuration.
+        while (listen_fds_.size() > 1) {
+          ::close(listen_fds_.back());
+          listen_fds_.pop_back();
+        }
+        reuseport_ = false;
+        break;
+      }
+      listen_fds_.push_back(extra);
+    }
+  }
+
+  // Per-shard response-cache partitions, each a slice of the server's
+  // configured capacity. Generation scoping (entries remember the
+  // online-parameter generation they were filled under) makes refit
+  // invalidation work per-partition for free.
+  const std::size_t cache_capacity = server_.options().cache_capacity;
+  if (cache_capacity > 0) {
+    const std::size_t per_shard = std::max<std::size_t>(
+        1, cache_capacity / static_cast<std::size_t>(shards_));
+    partitions_.reserve(static_cast<std::size_t>(shards_));
+    for (int i = 0; i < shards_; ++i) {
+      auto partition = std::make_shared<ShardedLruCache>(per_shard,
+                                                         /*shards=*/4);
+      server_.add_cache_partition(partition);
+      partitions_.push_back(std::move(partition));
+    }
+  }
+  return true;
+}
+
+void TcpListener::run(const std::atomic<bool>& stop) {
+  if (listen_fds_.empty()) return;
+  server_.metrics().set_transport_shards(static_cast<std::size_t>(shards_));
+
+  // The connection cap is divided across shards, remainder first — so
+  // the sum is exactly max_connections and shards=1 keeps the old
+  // whole-cap semantics.
+  const std::size_t n = static_cast<std::size_t>(shards_);
+  std::vector<std::size_t> caps(n);
+  for (std::size_t i = 0; i < n; ++i)
+    caps[i] = options_.max_connections / n +
+              (i < options_.max_connections % n ? 1 : 0);
+
+  const bool handoff_mode = !reuseport_ && shards_ > 1;
+  std::vector<std::unique_ptr<HandoffQueue>> handoff(n);
+  std::vector<HandoffQueue*> targets;
+  if (handoff_mode) {
+    targets.assign(n, nullptr);
+    for (std::size_t i = 1; i < n; ++i) {
+      handoff[i] = std::make_unique<HandoffQueue>();
+      handoff[i]->event_fd = ::eventfd(0, EFD_NONBLOCK);
+      targets[i] = handoff[i].get();
+    }
+  }
+
+  const auto run_shard = [&](int shard) {
+    const std::size_t i = static_cast<std::size_t>(shard);
+    const int lfd = reuseport_ ? listen_fds_[i]
+                               : (shard == 0 ? listen_fds_[0] : -1);
+    ShardLoop loop(server_, options_, shard, shards_, lfd,
+                   partitions_.empty() ? nullptr : partitions_[i], caps[i],
+                   handoff_mode && shard > 0 ? handoff[i].get() : nullptr,
+                   handoff_mode && shard == 0 ? targets
+                                              : std::vector<HandoffQueue*>{});
+    loop.run(stop);
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(n - 1);
+  for (int i = 1; i < shards_; ++i)
+    threads.emplace_back(run_shard, i);
+  run_shard(0);
+  for (std::thread& t : threads) t.join();
+  // Handoff eventfds outlive every shard (the acceptor may write to a
+  // peer's fd right up to its own exit), so they close here, after all
+  // joins.
+  for (const auto& q : handoff)
+    if (q && q->event_fd >= 0) ::close(q->event_fd);
 }
 
 }  // namespace archline::serve

@@ -27,6 +27,11 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "serve/tcp.hpp"
 #include "stats/rng.hpp"
@@ -90,6 +95,13 @@ class FaultyTransport final : public serve::SocketOps {
                              std::size_t len) noexcept override;
   [[nodiscard]] ssize_t send(int fd, const char* buf,
                              std::size_t len) noexcept override;
+  /// Scatter-gather send with the same fault model as send(): one
+  /// reset/eagain roll per call, then a short-write cut applied to the
+  /// TOTAL gathered length — so writev batching still gets torn at
+  /// arbitrary byte offsets, including inside a reply and between two
+  /// batched replies.
+  [[nodiscard]] ssize_t sendv(int fd, const struct iovec* iov,
+                              int iovcnt) noexcept override;
 
   [[nodiscard]] const FaultCounters& counters() const noexcept {
     return counters_;
@@ -111,6 +123,66 @@ class FaultyTransport final : public serve::SocketOps {
   serve::SocketOps& inner_;
   stats::Rng rng_;
   FaultCounters counters_;
+};
+
+/// FaultyTransport for sharded event loops (TcpOptions::shards > 1,
+/// where every shard thread calls the SocketOps seam concurrently):
+/// each calling thread lazily gets its OWN FaultyTransport child,
+/// seeded `script.seed + k * 1000003` in first-call order, so every
+/// shard sees an independent deterministic fault stream and no RNG
+/// state is ever shared across threads.
+///
+/// Determinism is per-thread, not global: which connections land on
+/// which shard (and therefore which stream perturbs them) depends on
+/// kernel REUSEPORT hashing / accept order. Campaigns against sharded
+/// loops assert protocol correctness under faults, not byte-identical
+/// fault placement across runs — use a single shard (or one
+/// FaultyTransport) when the exact fault sequence must replay.
+class ShardedFaultyTransport final : public serve::SocketOps {
+ public:
+  explicit ShardedFaultyTransport(FaultScript script);
+  ShardedFaultyTransport(FaultScript script, serve::SocketOps& inner);
+
+  [[nodiscard]] int accept(int listen_fd) noexcept override;
+  [[nodiscard]] ssize_t recv(int fd, char* buf,
+                             std::size_t len) noexcept override;
+  [[nodiscard]] ssize_t send(int fd, const char* buf,
+                             std::size_t len) noexcept override;
+  [[nodiscard]] ssize_t sendv(int fd, const struct iovec* iov,
+                              int iovcnt) noexcept override;
+
+  /// Aggregated fault totals across every per-thread child (plain
+  /// values, safe to compare in tests after the loop has stopped).
+  struct Totals {
+    std::uint64_t recv_calls = 0;
+    std::uint64_t send_calls = 0;
+    std::uint64_t accept_calls = 0;
+    std::uint64_t split_reads = 0;
+    std::uint64_t short_writes = 0;
+    std::uint64_t eagains = 0;
+    std::uint64_t resets = 0;
+    std::uint64_t accept_failures = 0;
+
+    [[nodiscard]] std::uint64_t injected() const noexcept {
+      return split_reads + short_writes + eagains + resets + accept_failures;
+    }
+  };
+  [[nodiscard]] Totals totals() const;
+
+  /// Number of distinct threads that have called through so far.
+  [[nodiscard]] std::size_t thread_count() const;
+
+ private:
+  /// The calling thread's child, created on first use. A mutex-guarded
+  /// id lookup per call — fine for fault campaigns, which measure
+  /// correctness, not throughput.
+  [[nodiscard]] FaultyTransport& child() noexcept;
+
+  FaultScript script_;
+  serve::SocketOps& inner_;
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::thread::id, std::unique_ptr<FaultyTransport>>>
+      children_;
 };
 
 }  // namespace archline::sim

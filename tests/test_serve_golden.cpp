@@ -20,6 +20,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <fstream>
 #include <string>
 #include <vector>
@@ -27,6 +29,8 @@
 #include "serve/json.hpp"
 #include "serve/registry.hpp"
 #include "serve/server.hpp"
+#include "serve/tcp.hpp"
+#include "serve_tcp_testlib.hpp"
 
 #ifndef ARCHLINE_TEST_DATA_DIR
 #error "ARCHLINE_TEST_DATA_DIR must point at tests/data"
@@ -87,6 +91,42 @@ TEST(ServeGolden, EveryRequestShapeRepliesByteIdentically) {
   const auto cache = server.cache_stats();
   EXPECT_GT(cache.hits, 0u);
   EXPECT_GT(server.metrics().snapshot().errors, 0u);
+}
+
+TEST(ServeGolden, ShardedTransportRepliesByteIdentically) {
+  // The same corpus through a four-shard TCP front end. Replays run
+  // closed-loop (send one line, await its reply) over a connection that
+  // rotates every request, so deterministic handoff placement walks the
+  // corpus across every shard — the state-mutating observe/refit lines
+  // still execute in exactly the regeneration order, and shard-local
+  // cache partitions must not change a single reply byte.
+  const std::string dir = ARCHLINE_TEST_DATA_DIR;
+  const auto requests = read_lines(dir + "/serve_golden_requests.txt");
+  const auto replies = read_lines(dir + "/serve_golden_replies.txt");
+  ASSERT_FALSE(requests.empty()) << "corpus missing or unreadable";
+  ASSERT_EQ(requests.size(), replies.size());
+
+  ServerOptions options;
+  options.threads = 2;
+  archline::serve::TcpOptions tcp;
+  tcp.shards = 4;
+  tcp.use_reuseport = false;  // round-robin: the corpus visits every shard
+  serve_tcp_testlib::TcpTransport transport(options, tcp);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const int fd = serve_tcp_testlib::connect_to(transport.port());
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(serve_tcp_testlib::send_all(fd, requests[i] + "\n"));
+    const auto got = serve_tcp_testlib::read_lines(fd, 1);
+    ::close(fd);
+    ASSERT_EQ(got.size(), 1u) << "no reply on line " << i + 1;
+    EXPECT_EQ(got[0], replies[i])
+        << "sharded replay diverged on line " << i + 1 << ": " << requests[i];
+  }
+  const auto snap = transport.server().metrics().snapshot();
+  ASSERT_EQ(snap.transport_shards, 4u);
+  for (std::size_t s = 0; s < 4; ++s)
+    EXPECT_GT(snap.shards[s].requests, 0u)
+        << "shard " << s << " never saw a corpus line";
 }
 
 }  // namespace

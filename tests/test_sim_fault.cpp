@@ -10,8 +10,10 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "serve/json.hpp"
@@ -26,6 +28,7 @@ using namespace archline::serve;
 using archline::sim::FaultCounters;
 using archline::sim::FaultScript;
 using archline::sim::FaultyTransport;
+using archline::sim::ShardedFaultyTransport;
 using serve_tcp_testlib::TcpTransport;
 using serve_tcp_testlib::connect_to;
 using serve_tcp_testlib::read_lines;
@@ -168,15 +171,118 @@ TEST(SimFault, InjectedErrorsSetErrno) {
   EXPECT_TRUE(inner.send_lens.empty());
 }
 
+// ---- Unit: scatter-gather sends -------------------------------------------
+
+/// Inner SocketOps recording every sendv gather list it receives.
+class GatherRecordingOps final : public SocketOps {
+ public:
+  int accept(int) noexcept override { return 99; }
+  ssize_t recv(int, char* buf, std::size_t len) noexcept override {
+    std::memset(buf, 'x', len);
+    return static_cast<ssize_t>(len);
+  }
+  ssize_t send(int, const char*, std::size_t len) noexcept override {
+    return static_cast<ssize_t>(len);
+  }
+  ssize_t sendv(int, const struct iovec* iov, int iovcnt) noexcept override {
+    std::vector<std::size_t> lens;
+    std::size_t total = 0;
+    for (int i = 0; i < iovcnt; ++i) {
+      lens.push_back(iov[i].iov_len);
+      total += iov[i].iov_len;
+    }
+    calls.push_back(std::move(lens));
+    return static_cast<ssize_t>(total);
+  }
+  std::vector<std::vector<std::size_t>> calls;
+};
+
+TEST(SimFault, BaseSendvDefaultRoutesThroughSend) {
+  // SocketOps implementations that only override send() (every mock
+  // written before writev batching) still work: the base sendv default
+  // forwards the first non-empty segment through send(), which is a
+  // legal short write the loop already handles.
+  RecordingOps inner;
+  char a[3], b[5];
+  struct iovec iov[3] = {{a, 0}, {a, sizeof a}, {b, sizeof b}};
+  EXPECT_EQ(inner.sendv(7, iov, 3), 3);
+  EXPECT_EQ(inner.send_lens, (std::vector<std::size_t>{3}));
+}
+
+TEST(SimFault, SendvCutsApplyToTheWholeGatherList) {
+  // A short-write cut applies to the TOTAL gathered length, and the
+  // forwarded list is a byte-exact prefix: whole leading segments, then
+  // at most one trimmed segment, never a zero-length one.
+  GatherRecordingOps inner;
+  FaultScript script;
+  script.seed = 11;
+  script.short_write = 1.0;
+  FaultyTransport faulty(script, inner);
+  char a[40], b[1], c[200];
+  struct iovec iov[3] = {{a, sizeof a}, {b, sizeof b}, {c, sizeof c}};
+  const std::size_t seg[3] = {sizeof a, sizeof b, sizeof c};
+  const std::size_t total = sizeof a + sizeof b + sizeof c;
+  for (int i = 0; i < 200; ++i) {
+    const ssize_t n = faulty.sendv(7, iov, 3);
+    ASSERT_GT(n, 0);
+    ASSERT_LT(static_cast<std::size_t>(n), total);  // p=1: always cut
+    const auto& fwd = inner.calls.back();
+    std::size_t fwd_total = 0, at = 0;
+    for (std::size_t j = 0; j < fwd.size(); ++j, ++at) {
+      ASSERT_GT(fwd[j], 0u);
+      // Prefix property: all but the last forwarded segment are whole.
+      if (j + 1 < fwd.size()) ASSERT_EQ(fwd[j], seg[at]);
+      else ASSERT_LE(fwd[j], seg[at]);
+      fwd_total += fwd[j];
+    }
+    EXPECT_EQ(fwd_total, static_cast<std::size_t>(n));
+  }
+  EXPECT_EQ(faulty.counters().short_writes.load(), 200u);
+}
+
+TEST(SimFault, SendvEmptyGatherListIsANoOp) {
+  GatherRecordingOps inner;
+  FaultScript script;
+  script.seed = 12;
+  script.short_write = 1.0;
+  FaultyTransport faulty(script, inner);
+  char a[1];
+  struct iovec iov[2] = {{a, 0}, {a, 0}};
+  EXPECT_EQ(faulty.sendv(7, iov, 2), 0);
+  EXPECT_TRUE(inner.calls.empty());
+}
+
+TEST(SimFault, ShardedTransportGivesEachThreadItsOwnStream) {
+  // Each calling thread gets an independent deterministic child; the
+  // totals aggregate across all of them.
+  GatherRecordingOps inner;
+  FaultScript script;
+  script.seed = 13;
+  script.split_read = 0.5;
+  ShardedFaultyTransport sharded(script, inner);
+  char buf[256];
+  for (int i = 0; i < 50; ++i) (void)sharded.recv(3, buf, sizeof buf);
+  std::thread other([&] {
+    char local[256];
+    for (int i = 0; i < 50; ++i) (void)sharded.recv(3, local, sizeof local);
+  });
+  other.join();
+  EXPECT_EQ(sharded.thread_count(), 2u);
+  const auto totals = sharded.totals();
+  EXPECT_EQ(totals.recv_calls, 100u);
+  EXPECT_GT(totals.split_reads, 0u);
+}
+
 // ---- End to end: the epoll loop under fire --------------------------------
 
 /// Runs `count` pipelined predicts through a faulty transport and
 /// checks the full protocol contract survived.
-void run_pipelined_campaign(FaultyTransport& faulty, int count) {
+void run_pipelined_campaign(FaultyTransport& faulty, int count,
+                            ServerOptions options = small_options()) {
   TcpOptions tcp;
   tcp.socket_ops = &faulty;
   tcp.poll_interval_ms = 5;
-  TcpTransport transport(small_options(), tcp);
+  TcpTransport transport(options, tcp);
   const int fd = connect_to(transport.port());
   ASSERT_GE(fd, 0);
   std::string block;
@@ -308,6 +414,108 @@ TEST(SimFault, AcceptFailuresDelayButNeverLoseConnections) {
   }
   const auto snap = transport.server().metrics().snapshot();
   EXPECT_EQ(snap.connections_accepted, 8u);
+}
+
+TEST(SimFault, HundredsOfRepliesThroughShortWritesStayLinear) {
+  // Regression for the quadratic flush path: with the peer reading
+  // slowly and 90% of writes cut short (≤128 bytes each), a pipeline of
+  // 400 replies used to erase the front of the outbound buffer on EVERY
+  // partial send — O(bytes²) memmove traffic that turned this exact
+  // campaign into seconds of copying. The cursor-based buffers make it
+  // proportional to bytes moved; the generous wall-clock bound only
+  // trips on a quadratic regression.
+  FaultScript script;
+  script.seed = 808;
+  script.short_write = 0.9;
+  script.max_chunk = 128;
+  FaultyTransport faulty(script);
+  ServerOptions options = small_options();
+  options.queue_capacity = 1024;  // the whole pipeline fits the lane
+  options.cache_capacity = 1024;
+  const auto t0 = std::chrono::steady_clock::now();
+  run_pipelined_campaign(faulty, 400, options);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GT(faulty.counters().short_writes.load(), 100u);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+            30);
+}
+
+// ---- End to end: sharded loops under fire ---------------------------------
+
+/// `conns` clients, each pipelining `per_conn` predicts with distinct
+/// ids, against a sharded loop behind `ops`. Per-connection FIFO and
+/// byte-level protocol correctness must survive whatever `ops` injects.
+void run_sharded_campaign(SocketOps& ops, TcpOptions tcp, int conns,
+                          int per_conn) {
+  tcp.socket_ops = &ops;
+  tcp.poll_interval_ms = 5;
+  TcpTransport transport(small_options(), tcp);
+  std::vector<int> fds;
+  for (int c = 0; c < conns; ++c) {
+    const int fd = connect_to(transport.port());
+    ASSERT_GE(fd, 0);
+    std::string block;
+    for (int i = 0; i < per_conn; ++i) {
+      Json req = Json::object();
+      req.set("type", "predict");
+      req.set("platform", "GTX Titan");
+      req.set("id", c * 1000 + i);
+      req.set("intensity", 1.0 + i);
+      block += req.dump();
+      block += '\n';
+    }
+    ASSERT_TRUE(send_all(fd, block));
+    fds.push_back(fd);
+  }
+  for (int c = 0; c < conns; ++c) {
+    const auto lines =
+        read_lines(fds[static_cast<std::size_t>(c)],
+                   static_cast<std::size_t>(per_conn));
+    ASSERT_EQ(lines.size(), static_cast<std::size_t>(per_conn));
+    for (int i = 0; i < per_conn; ++i) {
+      const Json body = Json::parse(lines[static_cast<std::size_t>(i)]);
+      EXPECT_TRUE(body.bool_or("ok", false)) << lines[static_cast<std::size_t>(i)];
+      EXPECT_EQ(body.number_or("id", -1), c * 1000 + i);
+    }
+    ::close(fds[static_cast<std::size_t>(c)]);
+  }
+}
+
+TEST(SimFault, ShardedHandoffLoopSurvivesEverythingAtOnce) {
+  // Four shards in deterministic handoff mode, eight connections spread
+  // round-robin — every shard thread runs its own fault stream and
+  // every connection still gets its replies back in order.
+  FaultScript script;
+  script.seed = 909;
+  script.split_read = 0.5;
+  script.short_write = 0.5;
+  script.eagain = 0.3;
+  ShardedFaultyTransport faulty(script);
+  TcpOptions tcp;
+  tcp.shards = 4;
+  tcp.use_reuseport = false;
+  run_sharded_campaign(faulty, tcp, 8, 8);
+  EXPECT_GT(faulty.totals().injected(), 0u);
+  // Round-robin placement guarantees every shard served connections, so
+  // every shard thread must have drawn from its own stream.
+  EXPECT_EQ(faulty.thread_count(), 4u);
+}
+
+TEST(SimFault, ShardedReuseportLoopSurvivesEverythingAtOnce) {
+  // Same campaign with kernel SO_REUSEPORT placement: the spread is the
+  // kernel's choice, so only correctness and fault totals are asserted.
+  FaultScript script;
+  script.seed = 910;
+  script.split_read = 0.5;
+  script.short_write = 0.5;
+  script.eagain = 0.3;
+  ShardedFaultyTransport faulty(script);
+  TcpOptions tcp;
+  tcp.shards = 4;
+  run_sharded_campaign(faulty, tcp, 8, 8);
+  EXPECT_GT(faulty.totals().injected(), 0u);
+  EXPECT_GE(faulty.thread_count(), 1u);
+  EXPECT_LE(faulty.thread_count(), 4u);
 }
 
 }  // namespace

@@ -6,13 +6,21 @@
 // wire format and the registry that defines the endpoint table.
 //
 // Usage:
-//   archline_serverd [--port N] [--bind ADDR] [--threads N]
-//                    [--queue N] [--heavy-lane-capacity N]
-//                    [--heavy-workers N] [--cache N] [--shards N]
-//                    [--max-conns N] [--idle-timeout-ms N]
+//   archline_serverd [--port N] [--bind ADDR] [--shards N]
+//                    [--no-reuseport] [--threads N] [--queue N]
+//                    [--heavy-lane-capacity N] [--heavy-workers N]
+//                    [--cache N] [--cache-shards N] [--max-conns N]
+//                    [--idle-timeout-ms N] [--drain-grace-ms N]
 //                    [--deadline-ms N] [--heavy-deadline-ms N]
 //                    [--refit-interval-ms N] [--forgetting-factor F]
 //                    [--stdio]
+//
+// --shards N runs N thread-per-core event-loop shards, each with its
+// own SO_REUSEPORT listener (or a round-robin fd handoff from shard 0
+// with --no-reuseport / on kernels without SO_REUSEPORT), connection
+// table, and response-cache partition. NOTE: before the sharded front
+// end, --shards set the cache's internal lock striping — that knob is
+// now --cache-shards.
 //
 // Online fitting (docs/MODEL.md "Online fitting"): the "observe"
 // endpoint streams measured (flops, bytes, seconds, joules) tuples into
@@ -60,10 +68,12 @@ void on_usr1(int) { g_dump_stats = 1; }
 [[noreturn]] void usage(const char* argv0, int code) {
   std::fprintf(
       stderr,
-      "usage: %s [--port N] [--bind ADDR] [--threads N] [--queue N]\n"
+      "usage: %s [--port N] [--bind ADDR] [--shards N] [--no-reuseport]\n"
+      "          [--threads N] [--queue N]\n"
       "          [--heavy-lane-capacity N] [--heavy-workers N]\n"
-      "          [--cache N] [--shards N] [--max-conns N]\n"
-      "          [--idle-timeout-ms N] [--deadline-ms N]\n"
+      "          [--cache N] [--cache-shards N] [--max-conns N]\n"
+      "          [--idle-timeout-ms N] [--drain-grace-ms N]\n"
+      "          [--deadline-ms N]\n"
       "          [--heavy-deadline-ms N] [--refit-interval-ms N]\n"
       "          [--forgetting-factor F] [--stdio] [--serial] [--quiet]\n",
       argv0);
@@ -128,14 +138,22 @@ int main(int argc, char** argv) {
       options.cache_capacity = static_cast<std::size_t>(
           parse_long(argv[0], "--cache", value()));
     else if (arg == "--shards")
-      options.cache_shards = static_cast<std::size_t>(
+      tcp.shards = static_cast<int>(
           parse_long(argv[0], "--shards", value()));
+    else if (arg == "--no-reuseport")
+      tcp.use_reuseport = false;
+    else if (arg == "--cache-shards")
+      options.cache_shards = static_cast<std::size_t>(
+          parse_long(argv[0], "--cache-shards", value()));
     else if (arg == "--max-conns")
       tcp.max_connections = static_cast<std::size_t>(
           parse_long(argv[0], "--max-conns", value()));
     else if (arg == "--idle-timeout-ms")
       tcp.idle_timeout_ms = static_cast<int>(
           parse_long(argv[0], "--idle-timeout-ms", value()));
+    else if (arg == "--drain-grace-ms")
+      tcp.drain_grace_ms = static_cast<int>(
+          parse_long(argv[0], "--drain-grace-ms", value()));
     else if (arg == "--deadline-ms")
       options.request_deadline_ms = static_cast<int>(
           parse_long(argv[0], "--deadline-ms", value()));
@@ -205,10 +223,12 @@ int main(int argc, char** argv) {
   }
   if (!quiet)
     std::fprintf(stderr,
-                 "archline_serverd: listening on %s:%u (%d workers, "
-                 "%d heavy-capable, lanes %zu/%zu, cache %zu/%zu shards, "
-                 "max %zu conns)\n",
+                 "archline_serverd: listening on %s:%u (%d shards via %s, "
+                 "%d workers, %d heavy-capable, lanes %zu/%zu, "
+                 "cache %zu/%zu shards, max %zu conns)\n",
                  tcp.bind_address.c_str(), listener.port(),
+                 listener.shard_count(),
+                 listener.reuseport_active() ? "SO_REUSEPORT" : "handoff",
                  server.options().threads, server.options().heavy_workers,
                  options.queue_capacity, options.heavy_lane_capacity,
                  options.cache_capacity, options.cache_shards,
