@@ -23,6 +23,12 @@
 //                    predict, 10% params. Every connection draws from
 //                    its own PCG32 stream, so the interleaving of
 //                    ingest and reads is reproducible run to run
+//   batch-predict    pure predict_batch traffic with a deterministic
+//                    spread of batch sizes (1, 8, 64, 256 cycling over
+//                    the key pool), so one run crosses the classifier
+//                    boundary and exercises both the Light and Heavy
+//                    lanes; replies are cacheable, so the determinism
+//                    check replays byte-identically
 //
 // Modes:
 //   TCP (default)  open --connections non-blocking sockets to a running
@@ -207,6 +213,40 @@ std::vector<std::string> make_params_pool() {
   return pool;
 }
 
+/// Distinct predict_batch requests with a deterministic spread of
+/// batch sizes (1, 8, 64, 256 cycling over the pool): one run crosses
+/// the batch classifier boundary, so both the Light lane (small
+/// batches) and the Heavy lane (large ones) see traffic. Every element
+/// is a plain predict body, so replies are cacheable and replay
+/// byte-identically.
+std::vector<std::string> make_batch_predict_pool(int keys) {
+  static constexpr int kSizes[] = {1, 8, 64, 256};
+  const auto names = platforms::platform_names();
+  std::vector<std::string> pool;
+  pool.reserve(static_cast<std::size_t>(keys));
+  for (int i = 0; i < keys; ++i) {
+    const int batch = kSizes[static_cast<std::size_t>(i) % 4];
+    serve::Json elements = serve::Json::array();
+    for (int e = 0; e < batch; ++e) {
+      serve::Json row = serve::Json::object();
+      row.set("flops", 1e9);
+      // 1/16 .. 512 flop/B across key and element index together, so
+      // distinct keys stay distinct and elements within a batch span
+      // the roofline.
+      row.set("intensity",
+              std::exp2(-4.0 +
+                        13.0 * (i + e) / std::max(1, keys + batch - 2)));
+      elements.push_back(std::move(row));
+    }
+    serve::Json req = serve::Json::object();
+    req.set("type", "predict_batch");
+    req.set("platform", names[static_cast<std::size_t>(i) % names.size()]);
+    req.set("elements", std::move(elements));
+    pool.push_back(req.dump());
+  }
+  return pool;
+}
+
 /// The request pools a connection draws from; which ones are used
 /// depends on the scenario.
 struct Pools {
@@ -214,6 +254,7 @@ struct Pools {
   std::vector<std::string> fits;
   std::vector<std::string> observes;
   std::vector<std::string> params;
+  std::vector<std::string> batches;  ///< batch-predict scenario only
 };
 
 /// The deterministic request stream: thread t's k-th request.
@@ -357,6 +398,7 @@ struct ClientConn {
   int pipeline = 1;            ///< this connection's batch depth
   bool flood = false;          ///< heavy-starvation: unique-id fits only
   bool observe_heavy = false;  ///< 70/20/10 observe/predict/params mix
+  bool batch_predict = false;  ///< predict_batch requests only
   bool record_latency = true;  ///< flood batches stay out of the stats
   long next_unique = 0;        ///< id counter for cache-defeating fits
   std::string outbox;
@@ -385,6 +427,9 @@ void tcp_multiplex_worker(const Pools& pools, std::vector<ClientConn>& conns,
             ++c.next_unique);
       else if (c.observe_heavy)
         c.outbox += pick_observe_heavy(pools, c.rng);
+      else if (c.batch_predict)
+        c.outbox += pools.batches[static_cast<std::size_t>(
+            c.rng.below(pools.batches.size()))];
       else
         c.outbox += pick_request(pools.predicts, pools.fits, c.fit_frac,
                                  c.rng);
@@ -488,10 +533,14 @@ void tcp_multiplex_worker(const Pools& pools, std::vector<ClientConn>& conns,
 void inproc_worker(const Config& cfg, int thread_id, serve::Server& server,
                    const Pools& pools, long requests, Totals& totals) {
   const bool observe_heavy = cfg.scenario == "observe-heavy";
+  const bool batch_predict = cfg.scenario == "batch-predict";
   stats::Rng rng(cfg.seed, static_cast<std::uint64_t>(thread_id));
   for (long i = 0; i < requests; ++i) {
     const std::string& line =
-        observe_heavy
+        batch_predict
+            ? pools.batches[static_cast<std::size_t>(
+                  rng.below(pools.batches.size()))]
+        : observe_heavy
             ? pick_observe_heavy(pools, rng)
             : pick_request(pools.predicts, pools.fits, cfg.fit_frac, rng);
     const auto t0 = std::chrono::steady_clock::now();
@@ -661,7 +710,8 @@ void print_json_summary(const Config& cfg, Totals& totals, long done,
                "usage: %s [--host H] [--port N] [--connections N]\n"
                "          [--threads N] [--requests N] [--pipeline N]\n"
                "          [--keys N] [--fit-frac F] [--seed S]\n"
-               "          [--scenario mixed|heavy-starvation|observe-heavy]\n"
+               "          [--scenario mixed|heavy-starvation|observe-heavy|"
+               "batch-predict]\n"
                "          [--inproc] [--json]\n",
                argv0);
   std::exit(code);
@@ -699,10 +749,11 @@ int main(int argc, char** argv) {
       cfg.threads < 0)
     usage(argv[0], 2);
   if (cfg.scenario != "mixed" && cfg.scenario != "heavy-starvation" &&
-      cfg.scenario != "observe-heavy")
+      cfg.scenario != "observe-heavy" && cfg.scenario != "batch-predict")
     usage(argv[0], 2);
   const bool starvation = cfg.scenario == "heavy-starvation";
   const bool observe_heavy = cfg.scenario == "observe-heavy";
+  const bool batch_predict = cfg.scenario == "batch-predict";
   // The starvation scenario needs one flooder plus at least one
   // predicting client.
   if (starvation) cfg.connections = std::max(cfg.connections, 2);
@@ -719,6 +770,7 @@ int main(int argc, char** argv) {
     pools.observes = make_observe_pool(cfg.keys, cfg.seed);
     pools.params = make_params_pool();
   }
+  if (batch_predict) pools.batches = make_batch_predict_pool(cfg.keys);
   Totals totals;
 
   const long per_conn = cfg.requests / cfg.connections;
@@ -747,6 +799,10 @@ int main(int argc, char** argv) {
     std::printf("scenario           observe-heavy (70%% observe / 20%% "
                 "predict / 10%% params; every connection has its own "
                 "PCG32 stream)\n");
+  if (!cfg.json && batch_predict)
+    std::printf("scenario           batch-predict (pure predict_batch "
+                "traffic, batch sizes 1/8/64/256 spread over the key "
+                "pool; crosses the Light/Heavy classifier boundary)\n");
 
   double elapsed = 0.0;
   std::string stats_body;
@@ -766,6 +822,9 @@ int main(int argc, char** argv) {
     deterministic = observe_heavy
                         ? server.handle_now(pools.observes[0]) ==
                               server.handle_now(pools.observes[0])
+                    : batch_predict
+                        ? server.handle_now(pools.batches[0]) ==
+                              server.handle_now(pools.batches[0])
                         : server.handle_now(pools.predicts[0]) ==
                                   server.handle_now(pools.predicts[0]) &&
                               server.handle_now(pools.fits[0]) ==
@@ -804,6 +863,9 @@ int main(int argc, char** argv) {
       // a live resolver may legitimately change between calls.
       deterministic = request_once(probe, pools.observes[0], r1) &&
                       request_once(probe, pools.observes[0], r2) && r1 == r2;
+    } else if (batch_predict) {
+      deterministic = request_once(probe, pools.batches[0], r1) &&
+                      request_once(probe, pools.batches[0], r2) && r1 == r2;
     } else {
       deterministic = request_once(probe, pools.predicts[0], r1) &&
                       request_once(probe, pools.predicts[0], r2) &&
@@ -843,6 +905,7 @@ int main(int argc, char** argv) {
         }
       }
       c.observe_heavy = observe_heavy;
+      c.batch_predict = batch_predict;
       groups[static_cast<std::size_t>(i % cfg.threads)].push_back(
           std::move(c));
     }

@@ -1,16 +1,26 @@
 // serve_throughput — in-process microbenchmark of the serving hot path.
 //
-// No sockets, no pipelining: each scenario drives serve::Server (or one
-// of its parts) directly, so the numbers isolate per-request cost —
-// cache lookup, JSON parse, protocol dispatch, queue hand-off — from
-// transport effects. serve_loadgen measures the whole daemon; this tool
-// answers "what does one request cost, and where".
+// Most scenarios drive serve::Server (or one of its parts) directly —
+// no sockets, no pipelining — so the numbers isolate per-request cost:
+// cache lookup, JSON parse, protocol dispatch, queue hand-off. The
+// tcp_* and predict_batch_{1,64,256} scenarios additionally cross the
+// real TCP front end. serve_loadgen measures the whole daemon; this
+// tool answers "what does one request cost, and where".
 //
 // Scenarios:
 //   cached_hit_1t    handle_now() on a warmed key pool, one thread
 //   cached_hit_mt    same, all hardware threads hammering one server
 //   worker_pool_mt   submit() through the lane scheduler + worker pool
 //   miss_predict_1t  predict with the cache disabled (parse + eval + dump)
+//   predict_batch_{1,64,256}  predict_batch with N elements per request
+//                    through the TCP front end, one request per round
+//                    trip, cache disabled: the client-visible cost.
+//                    ops are REQUESTS: per-prediction cost is
+//                    1/(ops_per_s*N), and the batching headline is
+//                    per-prediction(batch_1) vs per-prediction(batch_256)
+//   predict_batch_inproc_{1,64,256}  same pools through bare
+//                    handle_into (no transport): the SoA evaluate +
+//                    render marginal cost per element
 //   json_parse_1t    Json::parse of a representative predict line
 //   queue_spsc       LaneScheduler push/pop ping between two threads
 //   queue_spsc_batch same, consumer drains with pop_n(64) (server shape)
@@ -27,7 +37,7 @@
 //                            background resolver re-solves and publishes
 //                            every 20 ms: observe p99 with snapshot
 //                            swaps and cache invalidation in flight
-//   tcp_cached_shard{1,2,4}  the one transport-inclusive scenario: a real
+//   tcp_cached_shard{1,2,4}  the front-end scaling scenario: a real
 //                            TcpListener with N event-loop shards on
 //                            loopback, 2N closed-loop clients pipelining
 //                            depth-64 warmed predicts — the shard-scaling
@@ -245,6 +255,29 @@ std::vector<std::string> make_predict_pool(int keys) {
   return pool;
 }
 
+/// Distinct predict_batch lines: `batch` workload elements per request
+/// spanning the predict pool's intensity range, platforms round-robin.
+std::vector<std::string> make_batch_pool(int keys, int batch) {
+  const auto names = platforms::platform_names();
+  std::vector<std::string> pool;
+  pool.reserve(static_cast<std::size_t>(keys));
+  for (int i = 0; i < keys; ++i) {
+    std::string req = R"({"type":"predict_batch","platform":")";
+    req += names[static_cast<std::size_t>(i) % names.size()];
+    req += R"(","elements":[)";
+    for (int e = 0; e < batch; ++e) {
+      if (e != 0) req += ',';
+      req += R"({"flops":1e9,"intensity":)";
+      serve::Json::append_number(
+          req, std::exp2(-4.0 + 13.0 * (i + e) / std::max(1, keys + batch)));
+      req += '}';
+    }
+    req += "]}";
+    pool.push_back(std::move(req));
+  }
+  return pool;
+}
+
 /// Distinct observe request lines: per-platform 8-tuple batches
 /// generated from the model (the loadgen's observe-heavy shape without
 /// the noise — the bench wants identical work per op, not realism).
@@ -354,6 +387,21 @@ ScenarioResult bench_miss_predict_1t(const Config& cfg,
     if (++i == pool.size()) i = 0;
   });
   return r;
+}
+
+/// predict_batch on the miss path: ops are requests, each carrying a
+/// fixed element count, so per-PREDICTION cost is latency / batch size.
+ScenarioResult bench_miss_batch_1t(const Config& cfg, const char* name,
+                                   const std::vector<std::string>& pool) {
+  serve::ServerOptions opt;
+  opt.cache_capacity = 0;  // every request takes the full miss path
+  serve::Server server(opt);
+  std::size_t i = 0;
+  std::string out;
+  return run_single(name, cfg.seconds, [&] {
+    server.handle_into(pool[i], out);
+    if (++i == pool.size()) i = 0;
+  });
 }
 
 ScenarioResult bench_json_parse_1t(const Config& cfg,
@@ -616,9 +664,8 @@ bool tcp_send_all(int fd, const std::string& data) {
 
 /// Aggregate cached-hit throughput through the real TCP front end with
 /// `shards` event-loop shards: 2*shards closed-loop clients, each
-/// pipelining `kPipelineDepth` warmed predicts per round trip. The only
-/// scenario here that includes the transport — its ops/s at shard
-/// counts 1/2/4 is the front-end scaling claim.
+/// pipelining `kPipelineDepth` warmed predicts per round trip. Its
+/// ops/s at shard counts 1/2/4 is the front-end scaling claim.
 ScenarioResult bench_tcp_cached_shards(const Config& cfg, const char* name,
                                        const std::vector<std::string>& pool,
                                        int shards) {
@@ -707,6 +754,90 @@ ScenarioResult bench_tcp_cached_shards(const Config& cfg, const char* name,
   return r;
 }
 
+
+/// predict_batch through the real TCP front end, one request per round
+/// trip (depth 1, cache off): the per-PREDICTION cost a client actually
+/// pays — frame + shard read + queue + SoA evaluate + render + reply
+/// write — is latency / batch size. This is the batching headline:
+/// every term but the per-element evaluate/render amortizes across the
+/// batch, so ops here are REQUESTS and per-prediction cost is
+/// 1 / (ops_per_s * batch). The inproc predict_batch_inproc_* trio
+/// isolates the handle_into marginal cost without the transport.
+ScenarioResult bench_tcp_batch(const Config& cfg, const char* name,
+                               const std::vector<std::string>& pool) {
+  serve::ServerOptions opt;
+  opt.cache_capacity = 0;  // every request takes the full miss path
+  opt.threads = 2;
+  serve::Server server(opt);
+  server.start();
+  serve::TcpOptions tcp;
+  tcp.port = 0;
+  tcp.shards = 1;
+  tcp.poll_interval_ms = 5;
+  serve::TcpListener listener(server, tcp);
+  std::string error;
+  if (!listener.open(&error)) {
+    std::fprintf(stderr, "serve_throughput: %s: %s\n", name, error.c_str());
+    std::exit(1);
+  }
+  std::atomic<bool> stop{false};
+  std::thread loop([&] { listener.run(stop); });
+
+  std::uint64_t ops = 0;
+  std::vector<double> samples;
+  samples.reserve(1 << 20);
+  const auto start = Clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(cfg.seconds));
+  auto end = start;
+  const int fd = tcp_connect(listener.port());
+  if (fd >= 0) {
+    std::size_t at = 0;
+    std::string line;
+    char chunk[65536];
+    for (;;) {
+      line.assign(pool[at]);
+      line += '\n';
+      if (++at == pool.size()) at = 0;
+      const auto t0 = Clock::now();
+      if (!tcp_send_all(fd, line)) break;
+      bool got = false;
+      while (!got) {
+        const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+        if (n <= 0) {
+          if (n < 0 && errno == EINTR) continue;
+          break;
+        }
+        for (ssize_t b = 0; b < n; ++b)
+          if (chunk[b] == '\n') got = true;
+      }
+      if (!got) break;
+      const auto t1 = Clock::now();
+      ++ops;
+      if (samples.size() < samples.capacity())
+        samples.push_back(
+            std::chrono::duration<double, std::nano>(t1 - t0).count());
+      if (t1 >= deadline) {
+        end = t1;
+        break;
+      }
+    }
+    ::close(fd);
+  }
+  stop.store(true, std::memory_order_release);
+  loop.join();
+  server.shutdown();
+
+  ScenarioResult r;
+  r.name = name;
+  r.ops = ops;
+  r.seconds = std::chrono::duration<double>(end - start).count();
+  r.p50_ns = percentile_ns(samples, 0.50);
+  r.p99_ns = percentile_ns(samples, 0.99);
+  return r;
+}
+
 // ---- Report ----------------------------------------------------------------
 
 serve::Json to_json(const ScenarioResult& r) {
@@ -760,6 +891,24 @@ int main(int argc, char** argv) {
   results.push_back(bench_cached_hit_mt(cfg, pool, threads));
   results.push_back(bench_worker_pool_mt(cfg, pool, std::max(1, threads / 2)));
   results.push_back(bench_miss_predict_1t(cfg, pool));
+  // The batching headline, measured where clients feel it: through the
+  // TCP front end, one request per round trip, cache off. Everything a
+  // request pays once — framing, shard read, queue hop, reply write —
+  // amortizes across the batch; per-prediction cost = 1/(ops_per_s*N).
+  results.push_back(
+      bench_tcp_batch(cfg, "predict_batch_1", make_batch_pool(64, 1)));
+  results.push_back(
+      bench_tcp_batch(cfg, "predict_batch_64", make_batch_pool(64, 64)));
+  results.push_back(
+      bench_tcp_batch(cfg, "predict_batch_256", make_batch_pool(16, 256)));
+  // The same trio without the transport: bare handle_into marginal
+  // cost, isolating the SoA evaluate + render per element.
+  results.push_back(bench_miss_batch_1t(cfg, "predict_batch_inproc_1",
+                                        make_batch_pool(64, 1)));
+  results.push_back(bench_miss_batch_1t(cfg, "predict_batch_inproc_64",
+                                        make_batch_pool(64, 64)));
+  results.push_back(bench_miss_batch_1t(cfg, "predict_batch_inproc_256",
+                                        make_batch_pool(16, 256)));
   results.push_back(bench_json_parse_1t(cfg, pool));
   results.push_back(bench_json_parse_insitu_1t(cfg, pool));
   results.push_back(bench_queue_spsc(cfg, "queue_spsc", 1));

@@ -1,0 +1,179 @@
+// Explicit AVX2 lanes for the two hot kernels. Compiled with -mavx2
+// ONLY — never -mfma: FMA contraction would change rounding and break
+// the bit-identity contract in kernels.hpp. Every vector statement
+// below mirrors one scalar statement in kernels_impl.hpp, in the same
+// order, using only mul/add/div/max/cmp/blend; remainder tails reuse
+// the shared scalar row bodies.
+//
+// Tie behavior of _mm256_max_pd (returns the second operand when equal)
+// differs from std::max (returns the first) only in which *bit pattern*
+// of an equal pair survives; all inputs here are products/quotients of
+// non-negative finite values, so equal lanes are bit-equal and the
+// results match.
+
+#include <immintrin.h>
+
+#include "core/kernels.hpp"
+#include "core/kernels_impl.hpp"
+
+namespace archline::core {
+
+bool avx2_compiled_in() noexcept { return true; }
+
+namespace {
+
+/// Per-lane regime bytes from the (t_cap == t) and (t_mem == t) masks,
+/// honoring the scalar tie order PowerCap > Memory > Compute.
+inline void store_regimes(int cap_mask, int mem_mask, std::size_t n,
+                          Regime* out) {
+  for (std::size_t l = 0; l < n; ++l) {
+    const int bit = 1 << l;
+    out[l] = (cap_mask & bit)   ? Regime::PowerCap
+             : (mem_mask & bit) ? Regime::Memory
+                                : Regime::Compute;
+  }
+}
+
+}  // namespace
+
+void predict_batch_avx2(const MachineParams& m, const WorkloadBatch& in,
+                        PredictionBatch& out) {
+  const std::size_t n = in.size();
+  out.resize(n);
+  const detail::PredictConsts c(m);
+  const double* f = in.flops.data();
+  const double* b = in.bytes.data();
+
+  const __m256d tau_flop = _mm256_set1_pd(c.tau_flop);
+  const __m256d tau_mem = _mm256_set1_pd(c.tau_mem);
+  const __m256d eps_flop = _mm256_set1_pd(c.eps_flop);
+  const __m256d eps_mem = _mm256_set1_pd(c.eps_mem);
+  const __m256d pi1 = _mm256_set1_pd(c.pi1);
+  const __m256d delta_pi = _mm256_set1_pd(c.delta_pi);
+  const __m256d zero = _mm256_setzero_pd();
+
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vf = _mm256_loadu_pd(f + i);
+    const __m256d vb = _mm256_loadu_pd(b + i);
+    const __m256d t_flop = _mm256_mul_pd(vf, tau_flop);
+    const __m256d t_mem = _mm256_mul_pd(vb, tau_mem);
+    const __m256d lin = _mm256_add_pd(_mm256_mul_pd(vf, eps_flop),
+                                      _mm256_mul_pd(vb, eps_mem));
+    const __m256d t_cap =
+        c.capped ? _mm256_div_pd(lin, delta_pi) : zero;
+    const __m256d t =
+        _mm256_max_pd(_mm256_max_pd(t_flop, t_mem), t_cap);
+    const __m256d e = _mm256_add_pd(lin, _mm256_mul_pd(pi1, t));
+    // avg_power: pi1 where t <= 0, else e/t (the masked lanes' e/t may
+    // be inf/NaN; they are blended away, matching the scalar branch).
+    const __m256d t_le0 = _mm256_cmp_pd(t, zero, _CMP_LE_OQ);
+    const __m256d power =
+        _mm256_blendv_pd(_mm256_div_pd(e, t), pi1, t_le0);
+
+    _mm256_storeu_pd(out.intensity.data() + i, _mm256_div_pd(vf, vb));
+    _mm256_storeu_pd(out.time_s.data() + i, t);
+    _mm256_storeu_pd(out.energy_j.data() + i, e);
+    _mm256_storeu_pd(out.avg_power_w.data() + i, power);
+    _mm256_storeu_pd(out.performance.data() + i, _mm256_div_pd(vf, t));
+    _mm256_storeu_pd(out.efficiency.data() + i, _mm256_div_pd(vf, e));
+
+    const int cap_mask =
+        c.capped
+            ? _mm256_movemask_pd(_mm256_cmp_pd(t_cap, t, _CMP_EQ_OQ))
+            : 0;
+    const int mem_mask =
+        _mm256_movemask_pd(_mm256_cmp_pd(t_mem, t, _CMP_EQ_OQ));
+    store_regimes(cap_mask, mem_mask, 4, out.regime.data() + i);
+  }
+  if (i < n)
+    detail::predict_rows(c, f + i, b + i, n - i, out.intensity.data() + i,
+                         out.time_s.data() + i, out.energy_j.data() + i,
+                         out.avg_power_w.data() + i,
+                         out.performance.data() + i,
+                         out.efficiency.data() + i, out.regime.data() + i);
+}
+
+void metric_curves_avx2(const MachineParams& m,
+                        std::span<const double> intensities,
+                        MetricCurve& out) {
+  const std::size_t n = intensities.size();
+  out.resize(n);
+  const detail::CurveConsts c(m);
+  const double* I = intensities.data();
+
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d tau_flop = _mm256_set1_pd(c.tau_flop);
+  const __m256d tau_mem = _mm256_set1_pd(c.tau_mem);
+  const __m256d eps_flop = _mm256_set1_pd(c.eps_flop);
+  const __m256d eps_mem = _mm256_set1_pd(c.eps_mem);
+  const __m256d pi1 = _mm256_set1_pd(c.pi1);
+  const __m256d delta_pi = _mm256_set1_pd(c.delta_pi);
+  const __m256d tb = _mm256_set1_pd(c.tb);
+  const __m256d beps = _mm256_set1_pd(c.beps);
+  const __m256d pi_flop = _mm256_set1_pd(c.pi_flop);
+  const __m256d pi_mem = _mm256_set1_pd(c.pi_mem);
+  const __m256d b_hi = _mm256_set1_pd(c.b_hi);
+  const __m256d b_lo = _mm256_set1_pd(c.b_lo);
+  const __m256d hi_c0 = _mm256_set1_pd(c.hi_c0);
+  const __m256d hi_c1 = _mm256_set1_pd(c.hi_c1);
+  const __m256d mid = _mm256_set1_pd(c.mid);
+  const __m256d cap_coef = _mm256_set1_pd(c.cap_coef);
+
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vI = _mm256_loadu_pd(I + i);
+
+    // power: select hi / lo / mid with the scalar precedence (hi wins).
+    const __m256d hi_v =
+        _mm256_add_pd(hi_c0, _mm256_div_pd(hi_c1, vI));
+    const __m256d lo_v = _mm256_add_pd(
+        _mm256_add_pd(pi1, _mm256_div_pd(_mm256_mul_pd(pi_flop, vI), tb)),
+        pi_mem);
+    const __m256d m_hi = _mm256_cmp_pd(vI, b_hi, _CMP_GE_OQ);
+    const __m256d m_lo = _mm256_cmp_pd(vI, b_lo, _CMP_LE_OQ);
+    __m256d power = _mm256_blendv_pd(mid, lo_v, m_lo);
+    power = _mm256_blendv_pd(power, hi_v, m_hi);
+    _mm256_storeu_pd(out.power.data() + i, power);
+
+    // performance / efficiency via time_per_flop.
+    const __m256d free_term = _mm256_max_pd(one, _mm256_div_pd(tb, vI));
+    const __m256d shared = _mm256_add_pd(one, _mm256_div_pd(beps, vI));
+    __m256d tpf;
+    if (c.capped) {
+      const __m256d cap_term = _mm256_mul_pd(cap_coef, shared);
+      tpf = _mm256_mul_pd(tau_flop, _mm256_max_pd(free_term, cap_term));
+    } else {
+      tpf = _mm256_mul_pd(tau_flop, free_term);
+    }
+    _mm256_storeu_pd(out.performance.data() + i, _mm256_div_pd(one, tpf));
+    const __m256d epf = _mm256_add_pd(_mm256_mul_pd(eps_flop, shared),
+                                      _mm256_mul_pd(pi1, tpf));
+    _mm256_storeu_pd(out.efficiency.data() + i, _mm256_div_pd(one, epf));
+
+    // regime_at: unit workload, bytes = 1/I first (see kernels_impl).
+    const __m256d bytes = _mm256_div_pd(one, vI);
+    const __m256d t_flop = tau_flop;
+    const __m256d t_mem = _mm256_mul_pd(bytes, tau_mem);
+    const __m256d lin =
+        _mm256_add_pd(eps_flop, _mm256_mul_pd(bytes, eps_mem));
+    const __m256d t_cap =
+        c.capped ? _mm256_div_pd(lin, delta_pi) : zero;
+    const __m256d t =
+        _mm256_max_pd(_mm256_max_pd(t_flop, t_mem), t_cap);
+    const int cap_mask =
+        c.capped
+            ? _mm256_movemask_pd(_mm256_cmp_pd(t_cap, t, _CMP_EQ_OQ))
+            : 0;
+    const int mem_mask =
+        _mm256_movemask_pd(_mm256_cmp_pd(t_mem, t, _CMP_EQ_OQ));
+    store_regimes(cap_mask, mem_mask, 4, out.regime.data() + i);
+  }
+  if (i < n)
+    detail::curve_rows(c, I + i, n - i, out.power.data() + i,
+                       out.performance.data() + i, out.efficiency.data() + i,
+                       out.regime.data() + i);
+}
+
+}  // namespace archline::core

@@ -1,0 +1,24 @@
+// Portable stand-in for kernels_avx2.cpp, selected by the build when
+// the target is not x86-64 or when ARCHLINE_DISABLE_AVX2=ON (the CI
+// no-AVX2 leg). The _avx2 entry points stay linkable — they delegate to
+// the scalar kernels — and avx2_compiled_in() reports false so the
+// dispatcher never prefers them.
+
+#include "core/kernels.hpp"
+
+namespace archline::core {
+
+bool avx2_compiled_in() noexcept { return false; }
+
+void predict_batch_avx2(const MachineParams& m, const WorkloadBatch& in,
+                        PredictionBatch& out) {
+  predict_batch_scalar(m, in, out);
+}
+
+void metric_curves_avx2(const MachineParams& m,
+                        std::span<const double> intensities,
+                        MetricCurve& out) {
+  metric_curves_scalar(m, intensities, out);
+}
+
+}  // namespace archline::core

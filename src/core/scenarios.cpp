@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/kernels.hpp"
+
 namespace archline::core {
 
 MachineParams with_cap_scaled(const MachineParams& m, double k) {
@@ -47,16 +49,20 @@ std::vector<ThrottlePoint> throttle_sweep(
     const std::vector<double>& cap_divisors) {
   std::vector<ThrottlePoint> out;
   out.reserve(intensities.size() * cap_divisors.size());
+  // One batch-kernel call per cap level evaluates the whole intensity
+  // grid (bit-identical to the per-point closed forms; kernels.hpp).
+  MetricCurve curve;
   for (const double k : cap_divisors) {
     const MachineParams capped = with_cap_scaled(m, k);
-    for (const double intensity : intensities) {
+    metric_curves(capped, intensities, curve);
+    for (std::size_t i = 0; i < intensities.size(); ++i) {
       ThrottlePoint p;
-      p.intensity = intensity;
+      p.intensity = intensities[i];
       p.cap_divisor = k;
-      p.power = avg_power_closed_form(capped, intensity);
-      p.performance = performance(capped, intensity);
-      p.efficiency = energy_efficiency(capped, intensity);
-      p.regime = regime_at(capped, intensity);
+      p.power = curve.power[i];
+      p.performance = curve.performance[i];
+      p.efficiency = curve.efficiency[i];
+      p.regime = curve.regime[i];
       out.push_back(p);
     }
   }

@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <vector>
+
+#include "core/kernels.hpp"
 
 namespace archline::core {
 
@@ -63,8 +66,37 @@ SensitivityProfile sensitivity_profile(const MachineParams& m, Metric metric,
   SensitivityProfile s;
   s.intensity = intensity;
   s.metric = metric;
-  for (std::size_t i = 0; i < kAllParams.size(); ++i)
-    s.values[i] = elasticity(m, kAllParams[i], metric, intensity);
+  // Batch shape: the 12 perturbed machines (6 params x up/down, minus
+  // the guarded ones) are built first, evaluated in ONE
+  // metric_value_machines call, then combined into central differences.
+  // Guards and step match elasticity() so the two stay bit-identical
+  // (tests/test_kernels.cpp pins this).
+  constexpr double kLogStep = 1e-4;  // elasticity()'s default log_step
+  const double up = std::exp(kLogStep);
+  const double down = std::exp(-kLogStep);
+  std::vector<MachineParams> machines;
+  machines.reserve(2 * kAllParams.size());
+  std::array<bool, kAllParams.size()> guarded{};
+  for (std::size_t i = 0; i < kAllParams.size(); ++i) {
+    const Param p = kAllParams[i];
+    guarded[i] = (p == Param::Pi1 && m.pi1 == 0.0) ||
+                 (p == Param::DeltaPi && m.uncapped());
+    if (guarded[i]) continue;
+    machines.push_back(with_param_scaled(m, p, up));
+    machines.push_back(with_param_scaled(m, p, down));
+  }
+  std::vector<double> values(machines.size());
+  metric_value_machines(machines, metric, intensity, values.data());
+  std::size_t next = 0;
+  for (std::size_t i = 0; i < kAllParams.size(); ++i) {
+    if (guarded[i]) {
+      s.values[i] = 0.0;
+      continue;
+    }
+    const double hi = values[next++];
+    const double lo = values[next++];
+    s.values[i] = (std::log(hi) - std::log(lo)) / (2.0 * kLogStep);
+  }
   return s;
 }
 

@@ -1,6 +1,7 @@
 #include "experiments/exp_crossover.hpp"
 
 #include "core/analysis.hpp"
+#include "core/kernels.hpp"
 #include "platforms/platform_db.hpp"
 
 namespace archline::experiments {
@@ -10,20 +11,30 @@ CrossoverMatrix run_crossover_matrix(const CrossoverOptions& options) {
   m.metric = options.metric;
   m.platforms = platforms::platform_names();
 
-  for (const std::string& row : m.platforms) {
-    const core::MachineParams a = platforms::platform(row).machine();
-    for (const std::string& col : m.platforms) {
+  // The low-end metric values feed every pair's row_wins_low check:
+  // evaluate them once per PLATFORM through the machine-batch kernel
+  // (N evaluations) instead of twice per ordered pair (2*N*(N-1)).
+  const std::size_t count = m.platforms.size();
+  std::vector<core::MachineParams> machines;
+  machines.reserve(count);
+  for (const std::string& name : m.platforms)
+    machines.push_back(platforms::platform(name).machine());
+  std::vector<double> value_lo(count);
+  core::metric_value_machines(machines, options.metric, options.intensity_lo,
+                              value_lo.data());
+
+  for (std::size_t row = 0; row < count; ++row) {
+    for (std::size_t col = 0; col < count; ++col) {
       if (row == col) continue;
-      const core::MachineParams b = platforms::platform(col).machine();
       CrossoverCell cell;
-      cell.row_platform = row;
-      cell.col_platform = col;
+      cell.row_platform = m.platforms[row];
+      cell.col_platform = m.platforms[col];
+      // The bisection itself stays scalar: it is a serial root search
+      // whose 200 data-dependent steps cannot batch across the pair.
       const double crossing = core::crossover_intensity(
-          a, b, options.metric, options.intensity_lo,
+          machines[row], machines[col], options.metric, options.intensity_lo,
           options.intensity_hi);
-      cell.row_wins_low =
-          core::metric_value(a, options.metric, options.intensity_lo) >
-          core::metric_value(b, options.metric, options.intensity_lo);
+      cell.row_wins_low = value_lo[row] > value_lo[col];
       if (crossing > 0.0) {
         cell.crossover = crossing;
         ++m.pairs_with_crossover;
@@ -41,36 +52,38 @@ std::vector<ParetoPoint> run_pareto_frontier(double intensity_lo,
                                              int points_per_octave) {
   const std::vector<double> grid =
       core::intensity_grid(intensity_lo, intensity_hi, points_per_octave);
+
+  // Platform-major evaluation: one metric_curves call per platform
+  // covers the whole grid (performance and efficiency in the same
+  // pass), then the per-intensity dominance checks read the columns.
+  std::vector<std::string> names;
+  std::vector<core::MetricCurve> curves;
+  for (const platforms::PlatformSpec& spec : platforms::all_platforms()) {
+    names.push_back(spec.name);
+    core::MetricCurve curve;
+    core::metric_curves(spec.machine(), grid, curve);
+    curves.push_back(std::move(curve));
+  }
+
   std::vector<ParetoPoint> out;
   out.reserve(grid.size());
-
-  struct Candidate {
-    std::string name;
-    double perf = 0.0;
-    double eff = 0.0;
-  };
-
-  for (const double intensity : grid) {
-    std::vector<Candidate> cands;
-    for (const platforms::PlatformSpec& spec : platforms::all_platforms()) {
-      const core::MachineParams m = spec.machine();
-      cands.push_back(Candidate{.name = spec.name,
-                                .perf = core::performance(m, intensity),
-                                .eff = core::energy_efficiency(m, intensity)});
-    }
+  for (std::size_t g = 0; g < grid.size(); ++g) {
     ParetoPoint p;
-    p.intensity = intensity;
-    for (const Candidate& c : cands) {
+    p.intensity = grid[g];
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      const double perf = curves[i].performance[g];
+      const double eff = curves[i].efficiency[g];
       bool dominated = false;
-      for (const Candidate& other : cands) {
-        if (&other == &c) continue;
-        if (other.perf >= c.perf && other.eff >= c.eff &&
-            (other.perf > c.perf || other.eff > c.eff)) {
+      for (std::size_t j = 0; j < names.size(); ++j) {
+        if (j == i) continue;
+        const double operf = curves[j].performance[g];
+        const double oeff = curves[j].efficiency[g];
+        if (operf >= perf && oeff >= eff && (operf > perf || oeff > eff)) {
           dominated = true;
           break;
         }
       }
-      if (!dominated) p.frontier.push_back(c.name);
+      if (!dominated) p.frontier.push_back(names[i]);
     }
     out.push_back(std::move(p));
   }

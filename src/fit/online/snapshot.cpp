@@ -56,9 +56,19 @@ bool OnlineStore::known(std::string_view platform) const noexcept {
   return find(platform) != nullptr;
 }
 
+OnlineStore::PlatformRef OnlineStore::find_platform(
+    std::string_view platform) const noexcept {
+  return PlatformRef(find(platform));
+}
+
 std::uint64_t OnlineStore::observe(std::string_view platform,
                                    std::span<const Sample> batch) {
-  PlatformState* p = find(platform);
+  return observe(find_platform(platform), batch);
+}
+
+std::uint64_t OnlineStore::observe(PlatformRef platform,
+                                   std::span<const Sample> batch) {
+  PlatformState* p = platform.state_;
   if (!p) return 0;
   std::lock_guard<std::mutex> lock(p->ingest_mutex);
   for (const Sample& s : batch) {

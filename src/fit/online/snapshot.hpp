@@ -84,7 +84,30 @@ struct OnlineStoreStats {
 };
 
 class OnlineStore {
+  struct PlatformState;
+
  public:
+  /// Opaque pre-resolved platform handle: the name lookup done once.
+  /// The ingest hot path resolves the request's platform name a single
+  /// time (find_platform) and feeds the handle to observe(), instead of
+  /// paying one scan to validate the name and a second inside the
+  /// string-keyed observe(). Handles stay valid for the store's
+  /// lifetime (the platform set is fixed at construction and state
+  /// addresses are stable). A default-constructed / not-found handle is
+  /// falsy; observing through it is a no-op.
+  class PlatformRef {
+   public:
+    PlatformRef() = default;
+    [[nodiscard]] explicit operator bool() const noexcept {
+      return state_ != nullptr;
+    }
+
+   private:
+    friend class OnlineStore;
+    explicit PlatformRef(PlatformState* state) noexcept : state_(state) {}
+    PlatformState* state_ = nullptr;
+  };
+
   explicit OnlineStore(OnlineFitOptions options = {});
 
   OnlineStore(const OnlineStore&) = delete;
@@ -93,11 +116,18 @@ class OnlineStore {
   /// True when `platform` is a Table I name (the fixed key set).
   [[nodiscard]] bool known(std::string_view platform) const noexcept;
 
+  /// Resolves a platform name to its handle (falsy for unknown names).
+  [[nodiscard]] PlatformRef find_platform(
+      std::string_view platform) const noexcept;
+
   /// Ingests a batch: O(1) per tuple under the platform's ingest mutex.
   /// Unknown platforms are ignored (the serve layer validates first and
   /// raises unknown_platform). Returns the platform's new tuple total.
   std::uint64_t observe(std::string_view platform,
                         std::span<const Sample> batch);
+
+  /// Handle form of observe() — no name scan. Falsy handles return 0.
+  std::uint64_t observe(PlatformRef platform, std::span<const Sample> batch);
 
   /// The platform's current published snapshot; null before the first
   /// publish or for unknown platforms. Lock-free to read after the

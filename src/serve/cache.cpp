@@ -89,10 +89,13 @@ std::optional<std::string> ShardedLruCache::get(std::string_view key) {
   return value;
 }
 
-void ShardedLruCache::put(std::string_view key, std::string value,
+void ShardedLruCache::put(std::string_view key, std::string_view value_view,
                           std::uint8_t tag, std::uint64_t generation,
                           bool generation_scoped) {
-  if (per_shard_capacity_ == 0) return;
+  if (per_shard_capacity_ == 0) return;  // before the copy: a disabled
+                                         // cache must not tax the miss
+                                         // path with a body-sized alloc
+  std::string value(value_view);  // copied outside the shard lock
   const std::uint64_t h = hash_key(key);
   Shard& shard = shards_[static_cast<std::size_t>(h & shard_mask_)];
   std::lock_guard<std::mutex> lock(shard.mutex);

@@ -74,9 +74,12 @@ class ShardedLruCache {
 
   /// Inserts or refreshes key -> (value, tag), evicting the shard's LRU
   /// entry if that shard is full. `generation_scoped` marks the entry
-  /// as valid only while `generation` stays current.
-  void put(std::string_view key, std::string value, std::uint8_t tag = 0,
-           std::uint64_t generation = 0, bool generation_scoped = false);
+  /// as valid only while `generation` stays current. The value is
+  /// copied internally — and only after the disabled-cache early-out,
+  /// so capacity 0 costs no allocation.
+  void put(std::string_view key, std::string_view value,
+           std::uint8_t tag = 0, std::uint64_t generation = 0,
+           bool generation_scoped = false);
 
   struct Stats {
     std::uint64_t hits = 0;

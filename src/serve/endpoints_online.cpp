@@ -75,7 +75,13 @@ Json estimate_row(double value, double se) {
 
 Json do_observe(const EndpointContext& ctx) {
   OnlineStore& store = require_store(ctx);
-  const std::string_view platform = require_platform(ctx);
+  // Ingest hot path: resolve the platform name ONCE, to a store handle.
+  // The store's key set is exactly the Table I names (it is built from
+  // all_platforms()), so a handle miss is the unknown-platform case —
+  // lookup_platform then raises the standard self-correcting error.
+  const std::string_view platform = require_string(ctx.req, "platform");
+  const OnlineStore::PlatformRef ref = store.find_platform(platform);
+  if (!ref) (void)lookup_platform(platform);
   const Json* obs_json = ctx.req.find("observations");
   if (!obs_json || !obs_json->is_array())
     bad("\"observations\" must be an array");
@@ -90,7 +96,7 @@ Json do_observe(const EndpointContext& ctx) {
   batch.reserve(rows.size());
   for (std::size_t i = 0; i < rows.size(); ++i)
     batch.push_back(parse_observation_tuple(rows[i], i));
-  store.observe(platform, batch);
+  store.observe(ref, batch);
   Json out = begin_reply(ctx.endpoint, ctx.req);
   out.set("platform", Json::view(platform));
   // Batch-local facts only: the reply must be a pure function of the

@@ -1,5 +1,7 @@
 #include "serve/json.hpp"
 
+#include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -10,8 +12,8 @@ namespace archline::serve {
 namespace {
 
 [[noreturn]] void type_error(const char* want, Json::Type got) {
-  static const char* const names[] = {"null",   "bool",  "number",
-                                      "string", "array", "object"};
+  static const char* const names[] = {"null",  "bool",   "number", "string",
+                                      "array", "object", "raw"};
   throw JsonError(std::string("expected ") + want + ", got " +
                       names[static_cast<int>(got)],
                   0);
@@ -74,6 +76,11 @@ void Json::push_back(Json value) {
   arr_.push_back(std::move(value));
 }
 
+std::string Json::take_raw() {
+  if (type_ != Type::Raw) type_error("raw", type_);
+  return std::move(str_);
+}
+
 void Json::reserve(std::size_t n) {
   if (type_ == Type::Array)
     arr_.reserve(n);
@@ -122,6 +129,7 @@ bool Json::operator==(const Json& other) const noexcept {
              (other.owned_ ? std::string_view(other.str_) : other.view_);
     case Type::Array: return arr_ == other.arr_;
     case Type::Object: return obj_ == other.obj_;
+    case Type::Raw: return str_ == other.str_;
   }
   return false;
 }
@@ -134,6 +142,17 @@ namespace {
 /// flat objects; 8 covers every request shape in one allocation while
 /// wasting little on smaller documents.
 constexpr std::size_t kReserveHint = 8;
+
+/// Nested objects (batch elements, inline machine specs) run 2-6
+/// members. The smaller hint matters beyond the wasted bytes: 4 pairs
+/// keep the member vector's allocation under glibc's tcache ceiling,
+/// so a 256-element batch does 256 fast-bin mallocs instead of 256
+/// slow-path ones.
+constexpr std::size_t kNestedReserveHint = 4;
+
+/// Ceiling on the array() comma pre-scan estimate, so a hostile
+/// document can't make reserve() grab unbounded memory up front.
+constexpr std::size_t kArrayReserveCap = 4096;
 
 class Parser {
  public:
@@ -213,7 +232,7 @@ class Parser {
       --depth_;
       return obj;
     }
-    obj.reserve(kReserveHint);
+    obj.reserve(depth_ == 1 ? kReserveHint : kNestedReserveHint);
     while (true) {
       skip_ws();
       if (eof() || peek() != '"') fail("expected object key string");
@@ -241,7 +260,20 @@ class Parser {
       --depth_;
       return arr;
     }
-    arr.reserve(kReserveHint);
+    // Shallow arrays can be huge (predict_batch "elements"), and every
+    // growth step move-relocates fat Json nodes. Commas in the rest of
+    // the document upper-bound the element count (members inside the
+    // elements only over-reserve), so one vectorizable byte scan buys a
+    // single allocation with no relocations. Deep arrays skip the scan
+    // — rescanning per nesting level would turn parsing quadratic.
+    std::size_t hint = kReserveHint;
+    if (depth_ <= 2) {
+      std::size_t commas = 0;
+      for (std::size_t i = pos_; i < text_.size(); ++i)
+        if (text_[i] == ',') ++commas;
+      hint = std::min(commas + 1, kArrayReserveCap);
+    }
+    arr.reserve(hint);
     while (true) {
       arr.push_back(value());
       skip_ws();
@@ -400,12 +432,23 @@ class Parser {
         fail("expected digits in exponent");
       while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
     }
-    // strtod from a stack buffer: no heap traffic, and unlike
-    // from_chars it keeps C-locale-independent underflow-to-zero
-    // semantics identical to the previous implementation. Any number
-    // too long for the buffer (absurd but legal JSON) takes the
-    // original std::string path.
+    // from_chars first: correctly rounded like strtod but ~6x faster
+    // (no locale machinery), and it reads straight from the input —
+    // no copy at all. It reports extreme magnitudes (overflow to inf,
+    // underflow past the smallest subnormal) as result_out_of_range
+    // without storing a value, so those rare cases fall through to the
+    // strtod path below, which keeps the previous implementation's
+    // semantics exactly: underflow parses as 0.0, overflow fails.
     const std::size_t len = pos_ - start;
+    {
+      double v = 0.0;
+      const auto [ptr, ec] =
+          std::from_chars(text_.data() + start, text_.data() + pos_, v);
+      if (ec == std::errc{} && ptr == text_.data() + pos_) {
+        if (!std::isfinite(v)) fail("number out of range");
+        return Json(v);
+      }
+    }
     char buf[64];
     if (len < sizeof buf) {
       std::memcpy(buf, text_.data() + start, len);
@@ -460,33 +503,161 @@ Json Json::parse_in_situ(std::string_view text, int max_depth) {
   return Parser(text, max_depth, /*in_situ=*/true).run();
 }
 
-std::string Json::format_number(double v) {
-  if (!std::isfinite(v)) return "null";
-  // Integers up to 2^53 print exactly without an exponent or decimal
-  // point; everything else uses the shortest %.17g that round-trips.
+namespace {
+
+/// Renders format_number's bytes into `buf` (>= 40 bytes), returning
+/// the length. The format is definitionally "the first precision in
+/// 1..17 whose %.*g round-trips" — the original implementation probed
+/// every precision with snprintf+strtod per number, which dominated
+/// reply rendering (up to 34 libc calls for a 17-digit double). This
+/// version gets the shortest round-trip digit count d in one
+/// std::to_chars call and rebuilds glibc's %g presentation from the
+/// to_chars digits directly:
+///
+///   * no round-tripping string has fewer than d digits, so the probe
+///     loop can never stop before d; and when the value's round-trip
+///     interval is SYMMETRIC, the correctly-rounded d-digit decimal
+///     (what %.*g prints) is at least as close to v as to_chars's
+///     round-tripping one, hence also round-trips and equals it — so
+///     the loop stops exactly at d with exactly these digits.
+///   * the interval is asymmetric only at binade boundaries (mantissa
+///     bits all zero, i.e. v = ±2^k): there to_chars may round-trip
+///     with a digit string the probe loop rejects, so powers of two
+///     take a probe path instead — starting at d (a proven lower
+///     bound), which still skips almost the whole 1..17 scan.
+///   * %g presentation rules: scientific iff exponent < -4 or >= d,
+///     exponent sign always printed and zero-padded to two digits,
+///     trailing zeros stripped (shortest digits never have any).
+///
+/// tests/test_serve_protocol.cpp holds the old loop as a reference
+/// oracle and asserts byte equality over random doubles; the golden
+/// corpus pins the format on every reply shape.
+std::size_t render_number_impl(char* buf, double v) {
+  if (!std::isfinite(v)) {
+    std::memcpy(buf, "null", 4);
+    return 4;
+  }
   if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%.0f", v);
-    return buf;
+    // Integers up to 2^53 print exactly without an exponent or decimal
+    // point ("%.0f"), including the "-0" negative-zero spelling.
+    if (v == 0.0 && std::signbit(v)) {
+      buf[0] = '-';
+      buf[1] = '0';
+      return 2;
+    }
+    const auto r = std::to_chars(buf, buf + 32, static_cast<long long>(v));
+    return static_cast<std::size_t>(r.ptr - buf);
   }
-  char buf[32];
-  // Find the shortest precision that round-trips the value so dumps are
-  // both deterministic and readable (0.1 prints "0.1", not 0.1000...01).
-  for (int prec = 1; prec <= 17; ++prec) {
-    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
-    if (std::strtod(buf, nullptr) == v) return buf;
+  // Shortest round-trip mantissa digits + decimal exponent. to_chars
+  // scientific output is "[-]d[.ffff]e±x[x..]": the mantissa is reused
+  // by block memcpy below instead of a digit-at-a-time copy — this
+  // function sits under every rendered number in every reply.
+  char sci[40];
+  const auto r =
+      std::to_chars(sci, sci + sizeof sci, v, std::chars_format::scientific);
+  const char* p = sci;
+  char* out = buf;
+  if (*p == '-') {
+    *out++ = '-';
+    ++p;
   }
-  return buf;
+  const char* e = static_cast<const char*>(
+      std::memchr(p, 'e', static_cast<std::size_t>(r.ptr - p)));
+  const int nd = e - p == 1 ? 1 : static_cast<int>(e - p - 1);
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  if ((bits & 0x000FFFFFFFFFFFFFull) == 0) {
+    // v is ±2^k: the binade boundary, where the round-trip interval is
+    // asymmetric (the ulp below is half the ulp above). Only here can
+    // the correctly-rounded nd-digit decimal — what %.*g prints — fail
+    // to round-trip even though to_chars's nd-digit string succeeds,
+    // so the bytes must come from the probe itself. nd stays a valid
+    // lower bound (no shorter string round-trips at all), so the probe
+    // starts there, not at 1.
+    for (int prec = nd; prec <= 17; ++prec) {
+      const int len = std::snprintf(buf, 40, "%.*g", prec, v);
+      if (std::strtod(buf, nullptr) == v) return static_cast<std::size_t>(len);
+    }
+  }
+  const char* q = e + 1;
+  int exp_sign = 1;
+  if (*q == '+') {
+    ++q;
+  } else if (*q == '-') {
+    exp_sign = -1;
+    ++q;
+  }
+  int exp10 = 0;
+  while (q != r.ptr) exp10 = exp10 * 10 + (*q++ - '0');
+  exp10 *= exp_sign;
+
+  if (exp10 < -4 || exp10 >= nd) {
+    // Scientific: d.ddde±XX with at least two exponent digits. The
+    // mantissa ("d" or "d.ffff") is already in %g form — copy it whole.
+    std::memcpy(out, p, static_cast<std::size_t>(e - p));
+    out += e - p;
+    *out++ = 'e';
+    *out++ = exp10 < 0 ? '-' : '+';
+    int x = exp10 < 0 ? -exp10 : exp10;
+    char etmp[8];
+    int en = 0;
+    do {
+      etmp[en++] = static_cast<char>('0' + x % 10);
+      x /= 10;
+    } while (x != 0);
+    if (en < 2) *out++ = '0';
+    while (en > 0) *out++ = etmp[--en];
+  } else if (exp10 >= 0) {
+    // Fixed, >= 1: dd[.dd] — exp10 < nd guarantees the digits cover
+    // the integer part. Digits live at p[0] then p[2..]: two block
+    // copies around the shifted decimal point.
+    *out++ = p[0];
+    std::memcpy(out, p + 2, static_cast<std::size_t>(exp10));
+    out += exp10;
+    if (nd > exp10 + 1) {
+      *out++ = '.';
+      std::memcpy(out, p + 2 + exp10, static_cast<std::size_t>(nd - exp10 - 1));
+      out += nd - exp10 - 1;
+    }
+  } else {
+    // Fixed, < 1: 0.[00]dd.
+    *out++ = '0';
+    *out++ = '.';
+    for (int z = 0; z < -exp10 - 1; ++z) *out++ = '0';
+    *out++ = p[0];
+    if (nd > 1) {
+      std::memcpy(out, p + 2, static_cast<std::size_t>(nd - 1));
+      out += nd - 1;
+    }
+  }
+  return static_cast<std::size_t>(out - buf);
+}
+
+}  // namespace
+
+std::string Json::format_number(double v) {
+  char buf[40];
+  return std::string(buf, render_number_impl(buf, v));
+}
+
+void Json::append_number(std::string& out, double v) {
+  char buf[40];
+  out.append(buf, render_number_impl(buf, v));
+}
+
+std::size_t Json::render_number(char* buf, double v) {
+  return render_number_impl(buf, v);
 }
 
 void Json::dump_to(std::string& out) const {
   switch (type_) {
     case Type::Null: out += "null"; break;
     case Type::Bool: out += bool_ ? "true" : "false"; break;
-    case Type::Number: out += format_number(num_); break;
+    case Type::Number: append_number(out, num_); break;
     case Type::String:
       dump_string(owned_ ? std::string_view(str_) : view_, out);
       break;
+    case Type::Raw: out += str_; break;
     case Type::Array: {
       out += '[';
       for (std::size_t i = 0; i < arr_.size(); ++i) {

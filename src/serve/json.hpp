@@ -49,7 +49,7 @@ class JsonError : public std::runtime_error {
 
 class Json {
  public:
-  enum class Type { Null, Bool, Number, String, Array, Object };
+  enum class Type { Null, Bool, Number, String, Array, Object, Raw };
 
   using Array = std::vector<Json>;
   /// Insertion-ordered key/value pairs: preserves author order on dump()
@@ -88,6 +88,26 @@ class Json {
     return j;
   }
 
+  /// A PRE-SERIALIZED node: dump() appends the payload verbatim, no
+  /// quoting or escaping. The caller guarantees the payload is one
+  /// complete, valid JSON value — this is the batch endpoints' escape
+  /// hatch for rendering large result arrays without building a node
+  /// per element. The parser never produces Raw nodes; equality
+  /// compares the payload bytes.
+  [[nodiscard]] static Json raw(std::string payload) {
+    Json j;
+    j.type_ = Type::Raw;
+    j.str_ = std::move(payload);
+    return j;
+  }
+
+  /// Steals a Raw node's payload (the node keeps type Raw with an empty
+  /// payload). This lets the protocol layer move a handler-rendered
+  /// reply body out instead of re-copying it through dump() — the
+  /// zero-copy exit for raw() full-reply handlers. Throws JsonError on
+  /// any other node type.
+  [[nodiscard]] std::string take_raw();
+
   [[nodiscard]] Type type() const noexcept { return type_; }
   [[nodiscard]] bool is_null() const noexcept { return type_ == Type::Null; }
   [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::Bool; }
@@ -101,6 +121,7 @@ class Json {
   [[nodiscard]] bool is_object() const noexcept {
     return type_ == Type::Object;
   }
+  [[nodiscard]] bool is_raw() const noexcept { return type_ == Type::Raw; }
 
   // Checked accessors; throw JsonError(position 0) on type mismatch.
   [[nodiscard]] bool as_bool() const;
@@ -174,6 +195,17 @@ class Json {
   /// round-trips the double ("1e9" style exponents, "Infinity"/"NaN"
   /// never emitted — non-finite values serialize as null).
   [[nodiscard]] static std::string format_number(double v);
+
+  /// Appends format_number(v)'s exact bytes to `out` without the
+  /// temporary string — the hot-path form used by dump() itself and by
+  /// handlers that serialize numbers directly (predict_batch rows).
+  static void append_number(std::string& out, double v);
+
+  /// format_number(v)'s exact bytes written straight into `buf` (which
+  /// must hold >= 40 bytes); returns the byte count. The zero-copy form
+  /// for handlers that assemble whole rows in a stack buffer before one
+  /// bulk append (predict_batch).
+  static std::size_t render_number(char* buf, double v);
 
  private:
   Type type_;

@@ -109,7 +109,14 @@ void handle_line(std::string_view line, const ProtocolLimits& limits,
     }
     const EndpointContext ctx{req, limits, *endpoint, online};
     Json out = endpoint->handler(ctx);
-    out.dump_to(reply.body);
+    if (out.is_raw()) {
+      // The handler rendered the complete reply itself (predict_batch
+      // does this for its result rows); the payload moves straight into
+      // the body — the only copy of a large batch reply is its render.
+      reply.body = out.take_raw();
+    } else {
+      out.dump_to(reply.body);
+    }
     reply.ok = true;
     reply.cacheable = endpoint->cacheable;
   } catch (const RequestError& e) {

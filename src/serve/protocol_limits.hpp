@@ -16,6 +16,9 @@ struct ProtocolLimits {
   /// Caps one "observe" ingest batch; larger batches bounce with
   /// "too_large" (clients should chunk their streams).
   std::size_t max_observe_batch = 1024;
+  /// Caps one "predict_batch" element array; larger batches bounce with
+  /// "too_large" (clients should chunk, same contract as observe).
+  std::size_t max_predict_batch = 1024;
 };
 
 }  // namespace archline::serve

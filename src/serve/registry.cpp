@@ -41,6 +41,7 @@ const Registry& Registry::instance() {
     register_core_endpoints(r);
     register_analysis_endpoints(r);
     register_online_endpoints(r);
+    register_batch_endpoints(r);
     return r;
   }();
   return registry;
@@ -92,7 +93,8 @@ RequestClass classify_line(std::string_view line) noexcept {
     if (i >= line.size() || line[i] != '"') return RequestClass::Light;
     const Endpoint* ep =
         Registry::instance().find(line.substr(begin, i - begin));
-    return ep ? ep->klass : RequestClass::Light;
+    if (ep == nullptr) return RequestClass::Light;
+    return ep->classify ? ep->classify(line) : ep->klass;
   }
   return RequestClass::Light;
 }

@@ -86,6 +86,13 @@ struct Endpoint {
   /// a mismatch on hit as a miss (see ShardedLruCache / OnlineStore).
   bool model_scoped = false;
   EndpointHandler handler = nullptr;
+  /// Optional per-endpoint admission classifier: refines the static
+  /// `klass` from the RAW request line (no parse) so size-dependent
+  /// endpoints can split lanes — predict_batch runs small batches on
+  /// the Light lane and large ones on Heavy. Must be cheap and
+  /// allocation-free; like classify_line itself, the verdict affects
+  /// lane choice only, never reply bytes. Null means "use klass".
+  RequestClass (*classify)(std::string_view line) noexcept = nullptr;
   /// Dense id, assigned at registration in registration order. Doubles
   /// as the cache entry tag and the metrics slot.
   std::uint8_t id = 0;
@@ -127,11 +134,12 @@ class Registry {
 
 /// Module registrars, called (in this order) by Registry::instance().
 /// Defined in endpoints_core.cpp / endpoints_analysis.cpp /
-/// endpoints_online.cpp — the id order below is part of the
-/// wire-compatible surface (cache tags).
+/// endpoints_online.cpp / endpoints_batch.cpp — the id order below is
+/// part of the wire-compatible surface (cache tags).
 void register_core_endpoints(Registry& r);
 void register_analysis_endpoints(Registry& r);
 void register_online_endpoints(Registry& r);
+void register_batch_endpoints(Registry& r);
 
 /// Admission-time classification without a full JSON parse: scans the
 /// raw request line for its "type" member and returns the matching

@@ -255,7 +255,7 @@ void Server::execute_into(
   if (reply.ok && reply.endpoint && reply.endpoint->server_evaluated)
     reply.body = stats_body();
   if (reply.ok && reply.cacheable)
-    cache.put(key, std::string(reply.body), reply.endpoint->id, generation,
+    cache.put(key, reply.body, reply.endpoint->id, generation,
               reply.endpoint->model_scoped);
   finish(reply.endpoint, reply.ok);
 }

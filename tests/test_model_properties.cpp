@@ -109,8 +109,9 @@ TEST(ModelProperties, AveragePowerStaysInsideTheCapWindow) {
       const double slack = 1e-9 * m.max_power();
       EXPECT_GE(p, m.pi1 - slack);
       EXPECT_LE(p, m.max_power() + slack);
-      if (!m.uncapped())
+      if (!m.uncapped()) {
         EXPECT_LE(p, m.pi1 + m.delta_pi + slack);
+      }
     }
   }
 }

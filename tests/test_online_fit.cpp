@@ -290,8 +290,9 @@ TEST(OnlineFit, ConcurrentObserveReadResolveIsRaceFree) {
     });
   threads.emplace_back([&] {  // reader
     while (!stop.load(std::memory_order_acquire)) {
-      if (const auto snap = store.published("GTX Titan"))
+      if (const auto snap = store.published("GTX Titan")) {
         EXPECT_GE(snap->epoch, 1u);
+      }
       (void)store.stats();
       (void)store.dirty_platforms();
       std::this_thread::sleep_for(std::chrono::microseconds(50));

@@ -81,9 +81,10 @@ TEST(ServeGolden, EveryRequestShapeRepliesByteIdentically) {
     // Pass 2: cached replay must be the same bytes. Skipped for
     // state-mutating endpoints (observe/refit) so the server walks the
     // exact state sequence of the single-pass regeneration run.
-    if (replay_is_pure(requests[i]))
+    if (replay_is_pure(requests[i])) {
       EXPECT_EQ(server.handle_now(requests[i]), replies[i])
           << "hit path diverged on line " << i + 1 << ": " << requests[i];
+    }
   }
 
   // The corpus must exercise both hot paths: successful cacheable

@@ -5,7 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
 #include <string>
 
 #include "core/analysis.hpp"
@@ -47,6 +52,51 @@ TEST(ServeJson, NumberFormatRoundTripsDoubles) {
                          9.007199254740992e15}) {
     const std::string s = Json::format_number(x);
     EXPECT_EQ(std::strtod(s.c_str(), nullptr), x) << s;
+  }
+}
+
+// format_number is DEFINED as "the first precision in 1..17 whose %.*g
+// round-trips" but implemented without the probe loop (json.cpp). This
+// pins the implementation to the definition byte-for-byte: edge values,
+// every power of two and ten (the binade boundaries where shortest
+// digits and %g probing can legitimately disagree), and a large random
+// sample of bit patterns.
+std::string reference_format(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+TEST(ServeJson, NumberFormatMatchesProbeLoopOracle) {
+  const auto check = [](double v) {
+    ASSERT_EQ(Json::format_number(v), reference_format(v))
+        << "bits " << std::hex << std::bit_cast<std::uint64_t>(v);
+  };
+  for (const double v :
+       {0.0, -0.0, 0.1, 0.5, 1e-5, 9.99999e-5, 1e15, 1e16,
+        9007199254740991.0, 9007199254740993.0, 4.9406564584124654e-324,
+        2.2250738585072014e-308, 1.7976931348623157e308, 1.0 / 3.0,
+        0.30000000000000004, 6.02214076e23}) {
+    check(v);
+    check(-v);
+  }
+  for (int e = -320; e <= 308; ++e) {
+    check(std::pow(10.0, e));
+    check(3.0 * std::pow(10.0, e));
+  }
+  for (int e = -1070; e <= 1020; ++e) check(std::ldexp(1.0, e));
+  std::mt19937_64 rng(12345);
+  for (int i = 0; i < 200000; ++i) {
+    const double v = std::bit_cast<double>(rng());
+    if (std::isfinite(v)) check(v);
   }
 }
 
@@ -203,6 +253,89 @@ TEST(ServeProtocol, PredictUnsupportedPrecisionIsStructured) {
       R"({"type":"predict","platform":"NUC GPU","precision":"dp","intensity":1})");
   EXPECT_FALSE(reply.ok);
   EXPECT_EQ(Json::parse(reply.body).string_or("error", ""), "unsupported");
+}
+
+// ---- predict_batch --------------------------------------------------------
+
+std::string batch_request(std::size_t elements) {
+  std::string req =
+      R"({"type":"predict_batch","platform":"GTX Titan","elements":[)";
+  for (std::size_t i = 0; i < elements; ++i) {
+    if (i != 0) req += ',';
+    req += R"({"flops":1e9,"intensity":)";
+    req += Json::format_number(0.125 * static_cast<double>(i + 1));
+    req += '}';
+  }
+  req += "]}";
+  return req;
+}
+
+TEST(ServeProtocol, PredictBatchRowsByteIdenticalToSinglePredicts) {
+  const serve::Reply batch = serve::handle_line(batch_request(9));
+  ASSERT_TRUE(batch.ok) << batch.body;
+  EXPECT_TRUE(batch.cacheable);
+  ASSERT_NE(batch.endpoint, nullptr);
+  EXPECT_EQ(batch.endpoint->name, "predict_batch");
+  const Json out = Json::parse(batch.body);
+  EXPECT_EQ(out.number_or("count", 0), 9.0);
+  const Json* results = out.find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->as_array().size(), 9u);
+  for (std::size_t i = 0; i < 9; ++i) {
+    std::string single_req =
+        R"({"type":"predict","platform":"GTX Titan","flops":1e9,"intensity":)";
+    single_req += Json::format_number(0.125 * static_cast<double>(i + 1));
+    single_req += '}';
+    const serve::Reply single = serve::handle_line(single_req);
+    ASSERT_TRUE(single.ok) << single.body;
+    // The single reply's prediction block starts at "intensity" and runs
+    // to the closing brace; the batch row must be THOSE bytes (dump() is
+    // canonical, so parse+redump preserves them).
+    const std::size_t start = single.body.find("\"intensity\"");
+    ASSERT_NE(start, std::string::npos);
+    const std::string block =
+        "{" + single.body.substr(start, single.body.size() - start - 1) + "}";
+    EXPECT_EQ(results->as_array()[i].dump(), block) << "element " << i;
+  }
+}
+
+TEST(ServeProtocol, PredictBatchValidatesElements) {
+  for (const char* line :
+       {R"({"type":"predict_batch","platform":"GTX Titan"})",
+        R"({"type":"predict_batch","platform":"GTX Titan","elements":3})",
+        R"({"type":"predict_batch","platform":"GTX Titan","elements":[]})",
+        R"({"type":"predict_batch","platform":"GTX Titan","elements":[7]})"}) {
+    const serve::Reply reply = serve::handle_line(line);
+    EXPECT_FALSE(reply.ok) << line;
+    EXPECT_EQ(Json::parse(reply.body).string_or("error", ""), "bad_request")
+        << line;
+  }
+  // Element errors are indexed so clients can find the bad row.
+  const serve::Reply reply = serve::handle_line(
+      R"({"type":"predict_batch","platform":"GTX Titan",)"
+      R"("elements":[{"intensity":1},{"flops":1e9}]})");
+  EXPECT_FALSE(reply.ok);
+  const Json parsed = Json::parse(reply.body);
+  EXPECT_EQ(parsed.string_or("error", ""), "bad_request");
+  EXPECT_TRUE(parsed.string_or("message", "").find("element 1:") !=
+              std::string::npos)
+      << parsed.string_or("message", "");
+}
+
+TEST(ServeProtocol, PredictBatchEnforcesSizeLimit) {
+  const serve::Reply reply = serve::handle_line(batch_request(1025));
+  EXPECT_FALSE(reply.ok);
+  EXPECT_EQ(Json::parse(reply.body).string_or("error", ""), "too_large");
+}
+
+TEST(ServeProtocol, PredictBatchClassifiesByBatchSize) {
+  // <= 64 elements: closed-form cheap, Light lane; above: Heavy. The
+  // per-endpoint classifier reads the raw line (no parse).
+  EXPECT_EQ(serve::classify_line(batch_request(1)), serve::RequestClass::Light);
+  EXPECT_EQ(serve::classify_line(batch_request(64)),
+            serve::RequestClass::Light);
+  EXPECT_EQ(serve::classify_line(batch_request(256)),
+            serve::RequestClass::Heavy);
 }
 
 TEST(ServeProtocol, CrossoverMatchesAnalysis) {
