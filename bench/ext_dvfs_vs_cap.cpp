@@ -6,6 +6,10 @@
 
 #include "bench/common.hpp"
 #include "core/dvfs.hpp"
+#include "core/operating_point.hpp"
+#include "core/policy.hpp"
+#include "core/roofline.hpp"
+#include "core/scenarios.hpp"
 #include "platforms/platform_db.hpp"
 #include "report/si.hpp"
 #include "report/table.hpp"
@@ -69,5 +73,59 @@ int main() {
       "intensity-dependent, which is exactly the kind of question the "
       "extended roofline\nmodel makes answerable analytically.\n\n");
   bench::write_csv(csv, "ext_dvfs_vs_cap.csv");
+
+  // -------------------------------------------------------------------
+  // The same question over the platforms' DISCRETE operating-point
+  // ladders (the continuous sweep above is the limit case): per point,
+  // the raw eq. (1)-(3) outcomes; per objective, what the policy engine
+  // would pick given a relaxed deadline. This section is additive — the
+  // comparison table above is pinned byte-for-byte against the
+  // pre-refactor build.
+  std::printf(
+      "Discrete ladders: each platform's default operating points at "
+      "I = 8 flop/B,\nand the policy engine's pick per objective "
+      "(period = 2x nominal time).\n\n");
+  rp::Table lt({"Platform", "point", "time", "energy", "avg W", "EDP",
+                "regime"});
+  rp::CsvWriter lcsv({"platform", "point", "freq_scale", "time_s",
+                      "energy_j", "avg_power_w", "edp"});
+  const core::Workload lw = core::Workload::from_intensity(1e12, 8.0);
+  for (const char* name : {"GTX Titan", "Xeon Phi", "Arndale CPU"}) {
+    const platforms::PlatformSpec& spec = platforms::platform(name);
+    const core::MachineParams m = spec.machine();
+    const auto rows =
+        core::operating_point_sweep(m, spec.operating_points.points, lw);
+    for (const auto& r : rows) {
+      const auto& p = spec.operating_points.points[r.point_index];
+      lt.add_row({name, p.label, rp::si_format(r.time_s, "s", 3),
+                  rp::si_format(r.energy_j, "J", 3),
+                  rp::sig_format(r.avg_power_w, 3),
+                  rp::si_format(r.edp, "Js", 3),
+                  core::regime_name(r.regime)});
+      lcsv.add_row({name, p.label, rp::sig_format(p.freq_scale, 5),
+                    rp::sig_format(r.time_s, 5), rp::sig_format(r.energy_j, 5),
+                    rp::sig_format(r.avg_power_w, 5),
+                    rp::sig_format(r.edp, 5)});
+    }
+    core::PolicyRequest preq;
+    preq.workload = lw;
+    preq.period_s = 2.0 * core::time(m, lw);
+    for (const core::Objective obj :
+         {core::Objective::MinEnergy, core::Objective::MinTime,
+          core::Objective::MinEdp}) {
+      preq.objective = obj;
+      const core::PolicyAdvice a =
+          core::policy_advise(m, spec.operating_points, preq);
+      if (!a.has_recommendation()) continue;
+      const core::PlanEvaluation& best = a.recommended();
+      std::printf("  %-12s %-10s -> %s @ %s (E=%s, T=%s)\n", name,
+                  core::to_string(obj), core::to_string(best.kind),
+                  spec.operating_points.points[best.point_index].label.c_str(),
+                  rp::si_format(best.energy_j, "J", 3).c_str(),
+                  rp::si_format(best.time_s, "s", 3).c_str());
+    }
+  }
+  std::printf("\n%s\n", lt.to_text().c_str());
+  bench::write_csv(lcsv, "ext_dvfs_ladder.csv");
   return 0;
 }

@@ -29,6 +29,15 @@
 //                    boundary and exercises both the Light and Heavy
 //                    lanes; replies are cacheable, so the determinism
 //                    check replays byte-identically
+//   trace-replay     an embedded codec-like trace: 12-frame GOPs
+//                    (IBBPBBPBBPBB) of per-frame predicts whose
+//                    flops/intensity follow the frame type, with one
+//                    policy_advise at each GOP boundary (objective
+//                    cycling min_energy/min_time/min_edp, period = 2x
+//                    the GOP's nominal time). Connections replay the
+//                    same trace from staggered offsets, so the mix is
+//                    cache-heavy the way a steady control loop is; all
+//                    replies are cacheable and replay byte-identically
 //
 // Modes:
 //   TCP (default)  open --connections non-blocking sockets to a running
@@ -200,6 +209,54 @@ std::vector<std::string> make_observe_pool(int keys, std::uint64_t seed) {
   return pool;
 }
 
+/// The embedded codec-like trace: for each platform, one GOP of
+/// IBBPBBPBBPBB frames. Every frame is a predict whose flops and
+/// intensity follow the frame type (I-frames are the heavy full-refresh
+/// decode, B-frames the light bidirectional ones), and each GOP opens
+/// with a policy_advise for the whole GOP's work against a 2x-nominal
+/// deadline — the "which P-state do I decode the next GOP at" question
+/// a power-aware media pipeline would ask. Fully deterministic: no RNG,
+/// so every connection replays the identical line sequence.
+std::vector<std::string> make_trace_pool() {
+  static constexpr char kGop[] = "IBBPBBPBBPBB";
+  static const char* kObjectives[] = {"min_energy", "min_time", "min_edp"};
+  const auto names = platforms::platform_names();
+  std::vector<std::string> trace;
+  trace.reserve(names.size() * (sizeof kGop));
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const auto& spec = platforms::platform(names[i]);
+    const core::MachineParams m = spec.machine();
+    // Per-frame workloads: I = full refresh, P = forward delta,
+    // B = cheap bidirectional fill. Totals drive the GOP-level advise.
+    double gop_flops = 0.0;
+    double gop_bytes = 0.0;
+    std::vector<std::string> frames;
+    for (const char* f = kGop; *f; ++f) {
+      const double flops = *f == 'I' ? 8e9 : *f == 'P' ? 3e9 : 1e9;
+      const double intensity = *f == 'I' ? 4.0 : *f == 'P' ? 8.0 : 16.0;
+      gop_flops += flops;
+      gop_bytes += flops / intensity;
+      serve::Json req = serve::Json::object();
+      req.set("type", "predict");
+      req.set("platform", spec.name);
+      req.set("flops", flops);
+      req.set("intensity", intensity);
+      frames.push_back(req.dump());
+    }
+    const core::Workload gop{gop_flops, gop_bytes};
+    serve::Json advise = serve::Json::object();
+    advise.set("type", "policy_advise");
+    advise.set("platform", spec.name);
+    advise.set("objective", kObjectives[i % 3]);
+    advise.set("flops", gop_flops);
+    advise.set("bytes", gop_bytes);
+    advise.set("period_s", 2.0 * core::time(m, gop));
+    trace.push_back(advise.dump());
+    for (auto& frame : frames) trace.push_back(std::move(frame));
+  }
+  return trace;
+}
+
 /// One params request per platform (cacheable until a re-solve
 /// publishes — the read side of the live-learning loop).
 std::vector<std::string> make_params_pool() {
@@ -255,6 +312,7 @@ struct Pools {
   std::vector<std::string> observes;
   std::vector<std::string> params;
   std::vector<std::string> batches;  ///< batch-predict scenario only
+  std::vector<std::string> trace;    ///< trace-replay scenario only
 };
 
 /// The deterministic request stream: thread t's k-th request.
@@ -399,6 +457,8 @@ struct ClientConn {
   bool flood = false;          ///< heavy-starvation: unique-id fits only
   bool observe_heavy = false;  ///< 70/20/10 observe/predict/params mix
   bool batch_predict = false;  ///< predict_batch requests only
+  bool trace_replay = false;   ///< sequential GOP trace, no RNG
+  std::size_t trace_at = 0;    ///< next trace line (wraps)
   bool record_latency = true;  ///< flood batches stay out of the stats
   long next_unique = 0;        ///< id counter for cache-defeating fits
   std::string outbox;
@@ -430,6 +490,8 @@ void tcp_multiplex_worker(const Pools& pools, std::vector<ClientConn>& conns,
       else if (c.batch_predict)
         c.outbox += pools.batches[static_cast<std::size_t>(
             c.rng.below(pools.batches.size()))];
+      else if (c.trace_replay)
+        c.outbox += pools.trace[c.trace_at++ % pools.trace.size()];
       else
         c.outbox += pick_request(pools.predicts, pools.fits, c.fit_frac,
                                  c.rng);
@@ -534,10 +596,16 @@ void inproc_worker(const Config& cfg, int thread_id, serve::Server& server,
                    const Pools& pools, long requests, Totals& totals) {
   const bool observe_heavy = cfg.scenario == "observe-heavy";
   const bool batch_predict = cfg.scenario == "batch-predict";
+  const bool trace_replay = cfg.scenario == "trace-replay";
   stats::Rng rng(cfg.seed, static_cast<std::uint64_t>(thread_id));
+  // Trace replay is sequential; stagger threads one GOP apart so they
+  // exercise distinct cache lines while still overlapping.
+  std::size_t trace_at = static_cast<std::size_t>(thread_id) * 13;
   for (long i = 0; i < requests; ++i) {
     const std::string& line =
-        batch_predict
+        trace_replay
+            ? pools.trace[trace_at++ % pools.trace.size()]
+        : batch_predict
             ? pools.batches[static_cast<std::size_t>(
                   rng.below(pools.batches.size()))]
         : observe_heavy
@@ -711,7 +779,7 @@ void print_json_summary(const Config& cfg, Totals& totals, long done,
                "          [--threads N] [--requests N] [--pipeline N]\n"
                "          [--keys N] [--fit-frac F] [--seed S]\n"
                "          [--scenario mixed|heavy-starvation|observe-heavy|"
-               "batch-predict]\n"
+               "batch-predict|trace-replay]\n"
                "          [--inproc] [--json]\n",
                argv0);
   std::exit(code);
@@ -749,11 +817,13 @@ int main(int argc, char** argv) {
       cfg.threads < 0)
     usage(argv[0], 2);
   if (cfg.scenario != "mixed" && cfg.scenario != "heavy-starvation" &&
-      cfg.scenario != "observe-heavy" && cfg.scenario != "batch-predict")
+      cfg.scenario != "observe-heavy" && cfg.scenario != "batch-predict" &&
+      cfg.scenario != "trace-replay")
     usage(argv[0], 2);
   const bool starvation = cfg.scenario == "heavy-starvation";
   const bool observe_heavy = cfg.scenario == "observe-heavy";
   const bool batch_predict = cfg.scenario == "batch-predict";
+  const bool trace_replay = cfg.scenario == "trace-replay";
   // The starvation scenario needs one flooder plus at least one
   // predicting client.
   if (starvation) cfg.connections = std::max(cfg.connections, 2);
@@ -771,6 +841,7 @@ int main(int argc, char** argv) {
     pools.params = make_params_pool();
   }
   if (batch_predict) pools.batches = make_batch_predict_pool(cfg.keys);
+  if (trace_replay) pools.trace = make_trace_pool();
   Totals totals;
 
   const long per_conn = cfg.requests / cfg.connections;
@@ -803,6 +874,12 @@ int main(int argc, char** argv) {
     std::printf("scenario           batch-predict (pure predict_batch "
                 "traffic, batch sizes 1/8/64/256 spread over the key "
                 "pool; crosses the Light/Heavy classifier boundary)\n");
+  if (!cfg.json && trace_replay)
+    std::printf("scenario           trace-replay (codec-like GOP trace: "
+                "12 predicts per GOP + policy_advise at each boundary, "
+                "%zu lines per cycle, connections staggered one GOP "
+                "apart)\n",
+                pools.trace.size());
 
   double elapsed = 0.0;
   std::string stats_body;
@@ -825,6 +902,12 @@ int main(int argc, char** argv) {
                     : batch_predict
                         ? server.handle_now(pools.batches[0]) ==
                               server.handle_now(pools.batches[0])
+                    : trace_replay
+                        // trace[0] is a policy_advise, trace[1] a predict
+                        ? server.handle_now(pools.trace[0]) ==
+                                  server.handle_now(pools.trace[0]) &&
+                              server.handle_now(pools.trace[1]) ==
+                                  server.handle_now(pools.trace[1])
                         : server.handle_now(pools.predicts[0]) ==
                                   server.handle_now(pools.predicts[0]) &&
                               server.handle_now(pools.fits[0]) ==
@@ -866,6 +949,13 @@ int main(int argc, char** argv) {
     } else if (batch_predict) {
       deterministic = request_once(probe, pools.batches[0], r1) &&
                       request_once(probe, pools.batches[0], r2) && r1 == r2;
+    } else if (trace_replay) {
+      // trace[0] is a policy_advise, trace[1] a predict: both cacheable.
+      deterministic = request_once(probe, pools.trace[0], r1) &&
+                      request_once(probe, pools.trace[0], r2) &&
+                      request_once(probe, pools.trace[1], f1) &&
+                      request_once(probe, pools.trace[1], f2) && r1 == r2 &&
+                      f1 == f2;
     } else {
       deterministic = request_once(probe, pools.predicts[0], r1) &&
                       request_once(probe, pools.predicts[0], r2) &&
@@ -906,6 +996,9 @@ int main(int argc, char** argv) {
       }
       c.observe_heavy = observe_heavy;
       c.batch_predict = batch_predict;
+      c.trace_replay = trace_replay;
+      // Stagger connections one 13-line GOP apart along the trace.
+      if (trace_replay) c.trace_at = static_cast<std::size_t>(i) * 13;
       groups[static_cast<std::size_t>(i % cfg.threads)].push_back(
           std::move(c));
     }

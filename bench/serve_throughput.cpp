@@ -37,6 +37,12 @@
 //                            background resolver re-solves and publishes
 //                            every 20 ms: observe p99 with snapshot
 //                            swaps and cache invalidation in flight
+//   policy_advise_hit        policy_advise on a warmed key pool: the
+//                            steady-state probe cost of a control loop
+//                            re-asking the same question each period
+//   policy_advise_miss       same pool, cache off: parse + full ladder
+//                            sweep (race/steady/cap plans per operating
+//                            point) + argmin + plan-table render
 //   tcp_cached_shard{1,2,4}  the front-end scaling scenario: a real
 //                            TcpListener with N event-loop shards on
 //                            loopback, 2N closed-loop clients pipelining
@@ -304,6 +310,34 @@ std::vector<std::string> make_observe_pool(int keys) {
     req.set("type", "observe");
     req.set("platform", spec.name);
     req.set("observations", std::move(obs));
+    pool.push_back(req.dump());
+  }
+  return pool;
+}
+
+/// Distinct policy_advise lines: platforms x objectives x workload
+/// sizes, period = 2x the platform's nominal time so every request has
+/// a feasible plan set. A miss evaluates race/steady/cap plans over the
+/// whole operating-point ladder and renders the full plan table; a hit
+/// is one cache probe like any other cacheable endpoint.
+std::vector<std::string> make_policy_pool(int keys) {
+  static const char* kObjectives[] = {"min_energy", "min_time", "min_edp"};
+  const auto names = platforms::platform_names();
+  std::vector<std::string> pool;
+  pool.reserve(static_cast<std::size_t>(keys));
+  for (int i = 0; i < keys; ++i) {
+    const auto& spec =
+        platforms::platform(names[static_cast<std::size_t>(i) % names.size()]);
+    const core::MachineParams m = spec.machine();
+    const core::Workload w = core::Workload::from_intensity(
+        1e9 * (1 + i % 4), std::exp2(1.0 + i % 5));
+    serve::Json req = serve::Json::object();
+    req.set("type", "policy_advise");
+    req.set("platform", spec.name);
+    req.set("objective", kObjectives[static_cast<std::size_t>(i) % 3]);
+    req.set("flops", w.flops);
+    req.set("bytes", w.bytes);
+    req.set("period_s", 2.0 * core::time(m, w));
     pool.push_back(req.dump());
   }
   return pool;
@@ -586,6 +620,27 @@ ScenarioResult bench_predict_latency(const char* name, const Config& cfg,
   r.p50_ns = percentile_ns(samples, 0.50);
   r.p99_ns = percentile_ns(samples, 0.99);
   return r;
+}
+
+/// policy_advise cost, one thread. `warm` pre-answers the pool so every
+/// op is a cache probe (the steady-state cost of a control loop asking
+/// the same question each period); without it the cache is off and every
+/// op pays the full miss path — parse, ladder sweep (race/steady/cap
+/// plans per operating point), argmin, plan-table render.
+ScenarioResult bench_policy_advise_1t(const Config& cfg, const char* name,
+                                      const std::vector<std::string>& pool,
+                                      bool warm) {
+  serve::ServerOptions opt;
+  if (!warm) opt.cache_capacity = 0;
+  serve::Server server(opt);
+  if (warm)
+    for (const std::string& line : pool) (void)server.handle_now(line);
+  std::size_t i = 0;
+  std::string out;
+  return run_single(name, cfg.seconds, [&] {
+    server.handle_into(pool[i], out);
+    if (++i == pool.size()) i = 0;
+  });
 }
 
 /// Streaming ingest cost, one thread: every op is an "observe" with an
@@ -922,6 +977,13 @@ int main(int argc, char** argv) {
                                           threads, 64, true));
   results.push_back(bench_predict_latency("heavy_starvation_unified", cfg,
                                           pool, threads, 0, true));
+  // The policy engine's endpoint: steady-state (cached) probe cost and
+  // the full ladder-sweep miss cost.
+  const auto policies = make_policy_pool(64);
+  results.push_back(
+      bench_policy_advise_1t(cfg, "policy_advise_hit", policies, true));
+  results.push_back(
+      bench_policy_advise_1t(cfg, "policy_advise_miss", policies, false));
   // Online-fit ingest: per-request cost alone, then with the background
   // resolver publishing re-solves underneath.
   const auto observes = make_observe_pool(64);

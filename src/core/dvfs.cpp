@@ -1,6 +1,7 @@
 #include "core/dvfs.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 
 #include "core/roofline.hpp"
@@ -15,21 +16,49 @@ void DvfsModel::validate() const {
     throw std::invalid_argument("DvfsModel: min_scale outside (0, 1]");
 }
 
-MachineParams apply_dvfs(const MachineParams& m, double s,
-                         const DvfsModel& model) {
+OperatingPoint dvfs_operating_point(const DvfsModel& model, double s) {
   model.validate();
   if (!(s >= model.min_scale) || s > 1.0)
-    throw std::invalid_argument("apply_dvfs: scale outside [min_scale, 1]");
-  const double energy_scale =
-      model.leakage_fraction + (1.0 - model.leakage_fraction) * s * s;
-  MachineParams out = m;
-  out.tau_flop = m.tau_flop / s;
-  out.eps_flop = m.eps_flop * energy_scale;
-  if (model.scale_memory) {
-    out.tau_mem = m.tau_mem / s;
-    out.eps_mem = m.eps_mem * energy_scale;
+    throw std::invalid_argument(
+        "dvfs_operating_point: scale outside [min_scale, 1]");
+  OperatingPoint p;
+  char label[32];
+  std::snprintf(label, sizeof label, "%.2fx", s);
+  p.label = label;
+  p.freq_scale = s;
+  p.energy_scale = dvfs_energy_scale(model.leakage_fraction, s);
+  p.scale_memory = model.scale_memory;
+  return p;
+}
+
+OperatingPointTable dvfs_ladder(const DvfsModel& model, std::size_t count,
+                                double idle_watts) {
+  model.validate();
+  if (count < 2)
+    throw std::invalid_argument("dvfs_ladder: need at least 2 points");
+  if (!(idle_watts >= 0.0))
+    throw std::invalid_argument("dvfs_ladder: idle_watts must be >= 0");
+  OperatingPointTable table;
+  table.points.reserve(count);
+  const double span = 1.0 - model.min_scale;
+  for (std::size_t i = 0; i < count; ++i) {
+    // Endpoint-exact spacing: the first point is min_scale, the last is
+    // exactly 1.0 (no accumulated rounding past the generator's domain).
+    const double s = i + 1 == count
+                         ? 1.0
+                         : model.min_scale + span * static_cast<double>(i) /
+                                                 static_cast<double>(count - 1);
+    OperatingPoint p = dvfs_operating_point(model, s);
+    p.idle_watts = idle_watts;
+    table.points.push_back(std::move(p));
   }
-  return out;
+  table.validate();
+  return table;
+}
+
+MachineParams apply_dvfs(const MachineParams& m, double s,
+                         const DvfsModel& model) {
+  return apply_operating_point(m, dvfs_operating_point(model, s));
 }
 
 namespace {

@@ -10,8 +10,18 @@
 // power do not scale. Comparing the two answers a question the paper
 // leaves implicit: when does throttling beat down-clocking, and by how
 // much, as a function of intensity?
+//
+// DvfsModel is the *continuous generator* behind the discrete
+// OperatingPoint model (operating_point.hpp): dvfs_operating_point()
+// materializes the state at one frequency scale, dvfs_ladder() a whole
+// table of them. apply_dvfs() remains as the one-call form and is
+// defined as apply_operating_point(m, dvfs_operating_point(model, s)) —
+// bit-identical to its pre-refactor arithmetic.
+
+#include <cstddef>
 
 #include "core/machine_params.hpp"
+#include "core/operating_point.hpp"
 
 namespace archline::core {
 
@@ -29,6 +39,19 @@ struct DvfsModel {
 
   void validate() const;
 };
+
+/// The discrete operating point this model generates at frequency scale
+/// s in [min_scale, 1]: energy_scale = leakage + (1 - leakage) s^2,
+/// label "<s>x". pi1/idle are left at their defaults (inherit / 0);
+/// platform tables supply their own.
+[[nodiscard]] OperatingPoint dvfs_operating_point(const DvfsModel& model,
+                                                  double s);
+
+/// A table of `count` (>= 2) evenly spaced points from min_scale to 1.
+/// `idle_watts` is the park power stamped on every point.
+[[nodiscard]] OperatingPointTable dvfs_ladder(const DvfsModel& model,
+                                              std::size_t count,
+                                              double idle_watts = 0.0);
 
 /// The machine at frequency scale s in [min_scale, 1]: rates scale by s,
 /// dynamic per-op energy by s^2, pi1 and delta_pi unchanged.

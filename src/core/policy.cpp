@@ -1,0 +1,172 @@
+#include "core/policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/scenarios.hpp"
+
+namespace archline::core {
+
+const char* to_string(Objective o) noexcept {
+  switch (o) {
+    case Objective::MinEnergy: return "min_energy";
+    case Objective::MinTime: return "min_time";
+    case Objective::MinEdp: return "min_edp";
+    case Objective::PowerCap: return "power_cap";
+  }
+  return "?";
+}
+
+const char* to_string(PlanKind k) noexcept {
+  switch (k) {
+    case PlanKind::RaceToIdle: return "race_to_idle";
+    case PlanKind::SlowAndSteady: return "slow_and_steady";
+    case PlanKind::CapThrottled: return "cap_throttled";
+  }
+  return "?";
+}
+
+void PolicyRequest::validate() const {
+  if (!(workload.flops > 0.0) || !(workload.bytes > 0.0))
+    throw std::invalid_argument("PolicyRequest: workload must be positive");
+  if (!(period_s >= 0.0) || !std::isfinite(period_s))
+    throw std::invalid_argument(
+        "PolicyRequest: period_s must be >= 0 and finite");
+  if (!(power_cap_w >= 0.0) || !std::isfinite(power_cap_w))
+    throw std::invalid_argument(
+        "PolicyRequest: power_cap_w must be >= 0 and finite");
+  if (objective == Objective::PowerCap && !(power_cap_w > 0.0))
+    throw std::invalid_argument(
+        "PolicyRequest: power_cap objective needs power_cap_w > 0");
+}
+
+const PlanEvaluation& PolicyAdvice::recommended() const {
+  if (best == npos)
+    throw std::logic_error("PolicyAdvice: no feasible plan to recommend");
+  return plans[best];
+}
+
+namespace {
+
+/// Slight slack on the period/cap comparisons so a plan engineered to
+/// land exactly on the boundary is not rejected by the last ulp.
+constexpr double kBoundTol = 1e-12;
+
+double objective_value_of(const PlanEvaluation& e, const PolicyRequest& req) {
+  switch (req.objective) {
+    case Objective::MinEnergy: return e.energy_j;
+    case Objective::MinTime: return e.busy_s;
+    case Objective::MinEdp: return e.edp;
+    case Objective::PowerCap: return e.busy_s;
+  }
+  return e.energy_j;
+}
+
+/// Fills the derived fields shared by every plan shape: the full window
+/// (period when set, else the busy time), parked-slack energy, average
+/// power, EDP, feasibility vs. the period, and the objective value.
+void finish_plan(PlanEvaluation& e, const PolicyRequest& req,
+                 double park_watts, double run_energy_j) {
+  const double period = req.period_s;
+  e.feasible = period == 0.0 || e.busy_s <= period * (1.0 + kBoundTol);
+  e.time_s = period > 0.0 ? std::max(period, e.busy_s) : e.busy_s;
+  e.energy_j = run_energy_j + (e.time_s - e.busy_s) * park_watts;
+  e.avg_power_w = e.energy_j / e.time_s;
+  e.edp = e.energy_j * e.busy_s;
+  if (req.objective == Objective::PowerCap &&
+      e.avg_power_w > req.power_cap_w * (1.0 + kBoundTol))
+    e.feasible = false;
+  if (e.feasible) e.objective_value = objective_value_of(e, req);
+}
+
+}  // namespace
+
+PolicyAdvice policy_advise(std::span<const MachineParams> machines,
+                           std::span<const OperatingPoint> points,
+                           double park_watts, const PolicyRequest& request) {
+  request.validate();
+  if (machines.size() != points.size())
+    throw std::invalid_argument(
+        "policy_advise: machines/points size mismatch");
+  if (machines.empty())
+    throw std::invalid_argument("policy_advise: no operating points");
+
+  const Workload& w = request.workload;
+  PolicyAdvice advice;
+  advice.request = request;
+  advice.park_watts = park_watts;
+  const bool cap_plans = request.power_cap_w > 0.0;
+  advice.plans.reserve(machines.size() * (cap_plans ? 3 : 2));
+
+  for (std::size_t i = 0; i < machines.size(); ++i) {
+    const MachineParams& m = machines[i];
+    const double t_run = time(m, w);
+    const double e_run = energy(m, w);
+    const double dyn = w.flops * m.eps_flop + w.bytes * m.eps_mem;
+    const Regime run_regime = regime(m, w);
+
+    {
+      PlanEvaluation e;
+      e.point_index = i;
+      e.kind = PlanKind::RaceToIdle;
+      e.busy_s = t_run;
+      e.regime = run_regime;
+      finish_plan(e, request, park_watts, e_run);
+      advice.plans.push_back(e);
+    }
+    {
+      // Slow-and-steady stretches the issue rate so execution fills the
+      // whole period: dynamic energy is rate-independent, the running
+      // constant power is paid for the stretched window. Stretching
+      // cannot finish FASTER than flat-out, so busy >= t_run always.
+      PlanEvaluation e;
+      e.point_index = i;
+      e.kind = PlanKind::SlowAndSteady;
+      e.busy_s = request.period_s > 0.0 ? std::max(request.period_s, t_run)
+                                        : t_run;
+      e.regime = run_regime;
+      // The whole window is busy — no parked slack — so finish_plan's
+      // slack term is zero by construction; energy is dyn + pi1 * busy.
+      // A point that cannot meet the period stretches PAST it
+      // (busy = t_run > period) and finish_plan marks it infeasible.
+      finish_plan(e, request, park_watts, dyn + m.pi1 * e.busy_s);
+      advice.plans.push_back(e);
+    }
+    if (cap_plans) {
+      PlanEvaluation e;
+      e.point_index = i;
+      e.kind = PlanKind::CapThrottled;
+      if (request.power_cap_w > m.pi1 * (1.0 + kBoundTol)) {
+        // Throttle, never un-cap: the target can only reduce the
+        // point's usable power.
+        const MachineParams capped =
+            with_cap(m, std::min(m.delta_pi, request.power_cap_w - m.pi1));
+        e.busy_s = time(capped, w);
+        e.regime = regime(capped, w);
+        finish_plan(e, request, park_watts, energy(capped, w));
+      }
+      advice.plans.push_back(e);
+    }
+  }
+
+  for (std::size_t i = 0; i < advice.plans.size(); ++i) {
+    const PlanEvaluation& e = advice.plans[i];
+    if (!e.feasible) continue;
+    if (advice.best == PolicyAdvice::npos ||
+        e.objective_value < advice.plans[advice.best].objective_value)
+      advice.best = i;
+  }
+  return advice;
+}
+
+PolicyAdvice policy_advise(const MachineParams& base,
+                           const OperatingPointTable& table,
+                           const PolicyRequest& request) {
+  table.validate();
+  const std::vector<MachineParams> machines =
+      machines_at_points(base, table.points);
+  return policy_advise(machines, table.points, table.park_watts(), request);
+}
+
+}  // namespace archline::core

@@ -1,0 +1,125 @@
+#pragma once
+// Energy-policy engine over DVFS operating points.
+//
+// Given a workload, a period (deadline), and an objective, evaluate the
+// three classical execution plans at every operating point and
+// recommend the (point, plan) pair minimizing the objective:
+//
+//   * race-to-idle: run the work flat out at point i, then park for the
+//     remaining slack of the period at the table's deepest idle power.
+//       T_busy = T_i (eq. 1 at point i),  E = E_i + (P - T_i) * park
+//   * slow-and-steady: duty-cycle point i so execution fills the period
+//     exactly — per-op dynamic energy is unchanged, but the running
+//     constant power pi1_i is paid for the whole stretched window:
+//       T_busy = P,  E = W eps_flop,i + Q eps_mem,i + pi1_i * P
+//   * cap-throttled: the paper's §V-D mechanism — reduce the usable
+//     power at point i so total power never exceeds the target, run to
+//     completion under eq. (1)'s power-limited term, then park:
+//       T_busy = T(cap_i),  E = E(cap_i) + (P - T_busy) * park
+//
+// "Racing to Idle" (arXiv 2507.20063) shows the race/steady winner
+// flips with the idle-power floor; with this model the break-even is
+// analytic (pinned in tests/test_policy.cpp): race-to-idle at point f
+// beats slow-and-steady at point s exactly while
+//   park < (dyn_s - dyn_f + pi1_s P - pi1_f T_f) / (P - T_f).
+//
+// With no period (period_s = 0) the plans coincide with plain
+// run-to-completion at each point and the sweep reduces to picking the
+// best operating point for the objective.
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "core/machine_params.hpp"
+#include "core/operating_point.hpp"
+#include "core/roofline.hpp"
+
+namespace archline::core {
+
+enum class Objective {
+  MinEnergy,  ///< minimize total energy over the window
+  MinTime,    ///< minimize time-to-completion (busy time)
+  MinEdp,     ///< minimize energy x time-to-completion
+  PowerCap,   ///< fastest completion whose average power fits the cap
+};
+
+[[nodiscard]] const char* to_string(Objective o) noexcept;
+
+enum class PlanKind {
+  RaceToIdle,
+  SlowAndSteady,
+  CapThrottled,
+};
+
+[[nodiscard]] const char* to_string(PlanKind k) noexcept;
+
+struct PolicyRequest {
+  Workload workload;
+  Objective objective = Objective::MinEnergy;
+  /// Period / deadline [s]. 0 means "no deadline": plans run to
+  /// completion with no parked slack.
+  double period_s = 0.0;
+  /// Average-power budget [W]. Required (> 0) for Objective::PowerCap;
+  /// when set it also enables cap-throttled plans for the other
+  /// objectives.
+  double power_cap_w = 0.0;
+
+  /// Throws std::invalid_argument on a non-positive workload, a
+  /// negative/non-finite period, or PowerCap without a positive cap.
+  void validate() const;
+};
+
+/// One evaluated (operating point, plan) pair. Infeasible plans (the
+/// point cannot meet the period, or the cap is below the point's
+/// constant power) keep feasible = false and an infinite objective.
+struct PlanEvaluation {
+  std::size_t point_index = 0;
+  PlanKind kind = PlanKind::RaceToIdle;
+  bool feasible = false;
+  double busy_s = 0.0;       ///< time-to-completion (active execution)
+  double time_s = 0.0;       ///< full window (== period when one is set)
+  double energy_j = 0.0;     ///< total over time_s, parked slack included
+  double avg_power_w = 0.0;  ///< energy_j / time_s
+  double edp = 0.0;          ///< energy_j * busy_s
+  double objective_value = std::numeric_limits<double>::infinity();
+  Regime regime = Regime::Compute;  ///< regime of the active execution
+};
+
+struct PolicyAdvice {
+  PolicyRequest request;
+  double park_watts = 0.0;
+  /// Every (point, plan) evaluated: points in table order, plans in
+  /// {race_to_idle, slow_and_steady, cap_throttled} order per point
+  /// (cap-throttled rows only when a power cap was given).
+  std::vector<PlanEvaluation> plans;
+  /// Index into `plans` of the recommendation, or npos when no plan is
+  /// feasible. Ties break toward the earlier row (slower point first,
+  /// race-to-idle before slow-and-steady).
+  std::size_t best = npos;
+
+  static constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
+
+  [[nodiscard]] bool has_recommendation() const noexcept {
+    return best != npos;
+  }
+  [[nodiscard]] const PlanEvaluation& recommended() const;
+};
+
+/// The engine, machines supplied per point (machines.size() must equal
+/// points.size()). This is the form the serving layer uses: the online
+/// snapshot carries pre-built per-point machines so learned constants
+/// steer the recommendation.
+[[nodiscard]] PolicyAdvice policy_advise(std::span<const MachineParams> machines,
+                                         std::span<const OperatingPoint> points,
+                                         double park_watts,
+                                         const PolicyRequest& request);
+
+/// Convenience: derive the per-point machines from a base machine and a
+/// table (park power = table.park_watts()).
+[[nodiscard]] PolicyAdvice policy_advise(const MachineParams& base,
+                                         const OperatingPointTable& table,
+                                         const PolicyRequest& request);
+
+}  // namespace archline::core

@@ -97,6 +97,26 @@ ThrottleRequirement throttle_requirement(const MachineParams& m,
   return r;
 }
 
+std::vector<OperatingPointOutcome> operating_point_sweep(
+    const MachineParams& base, std::span<const OperatingPoint> points,
+    const Workload& w) {
+  std::vector<OperatingPointOutcome> out;
+  out.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const MachineParams m = apply_operating_point(base, points[i]);
+    OperatingPointOutcome o;
+    o.point_index = i;
+    o.freq_scale = points[i].freq_scale;
+    o.time_s = time(m, w);
+    o.energy_j = energy(m, w);
+    o.avg_power_w = avg_power(m, w);
+    o.edp = o.energy_j * o.time_s;
+    o.regime = regime(m, w);
+    out.push_back(o);
+  }
+  return out;
+}
+
 PowerBoundComparison power_bound_comparison(const MachineParams& big,
                                             const MachineParams& small,
                                             double bound_watts,

@@ -8,10 +8,12 @@
 //   * power bounding: reduce a big block's node power to a bound and ask
 //     how many small blocks match that bound and how they compare (§V-D-j).
 
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/machine_params.hpp"
+#include "core/operating_point.hpp"
 #include "core/roofline.hpp"
 
 namespace archline::core {
@@ -92,5 +94,25 @@ struct ThrottleRequirement {
 /// (which may differ from m.delta_pi). cap_watts must be positive.
 [[nodiscard]] ThrottleRequirement throttle_requirement(
     const MachineParams& m, double intensity, double cap_watts);
+
+/// One row of an operating-point sweep: the workload's predicted
+/// time/energy/power at a single DVFS state (the fourth scenario
+/// family, added with the operating-point refactor).
+struct OperatingPointOutcome {
+  std::size_t point_index = 0;
+  double freq_scale = 1.0;
+  double time_s = 0.0;
+  double energy_j = 0.0;
+  double avg_power_w = 0.0;
+  double edp = 0.0;  ///< energy_j * time_s
+  Regime regime = Regime::Compute;
+};
+
+/// Evaluates one workload at every point of a table, in table order —
+/// the raw material behind policy_advise's plan rows and the
+/// ext_dvfs_vs_cap bench's DVFS column.
+[[nodiscard]] std::vector<OperatingPointOutcome> operating_point_sweep(
+    const MachineParams& base, std::span<const OperatingPoint> points,
+    const Workload& w);
 
 }  // namespace archline::core

@@ -12,9 +12,12 @@
 // {eps_flop, eps_mem, pi1-charge} sum to -1 for efficiency).
 
 #include <array>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/machine_params.hpp"
+#include "core/operating_point.hpp"
 #include "core/roofline.hpp"
 
 namespace archline::core {
@@ -61,5 +64,13 @@ struct SensitivityProfile {
 [[nodiscard]] SensitivityProfile sensitivity_profile(const MachineParams& m,
                                                      Metric metric,
                                                      double intensity);
+
+/// Sensitivity swept across a DVFS ladder: the profile of the machine
+/// at each operating point, in table order. Which constant dominates
+/// typically shifts as the clock drops — flop-time limits fade, the
+/// pi1 charge grows — and this makes that shift quantitative.
+[[nodiscard]] std::vector<SensitivityProfile> sensitivity_over_points(
+    const MachineParams& base, std::span<const OperatingPoint> points,
+    Metric metric, double intensity);
 
 }  // namespace archline::core

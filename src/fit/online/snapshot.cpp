@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "core/operating_point.hpp"
 #include "fit/model_fit.hpp"
 #include "microbench/suite.hpp"
 #include "platforms/platform_db.hpp"
@@ -168,6 +169,14 @@ std::shared_ptr<const ParamSnapshot> OnlineStore::resolve(
   snapshot->r_squared = solved.r_squared_perf;
   snapshot->converged = solved.converged;
   snapshot->window_observations = solved.observations;
+  // Per-operating-point overlay: the learned machine applied across the
+  // platform's DVFS ladder, so downstream policy recommendations are
+  // steered by the live constants without per-request re-derivation.
+  if (const platforms::PlatformSpec* spec =
+          platforms::find_platform(p->name)) {
+    snapshot->op_machines = core::machines_at_points(
+        snapshot->machine, spec->operating_points.points);
+  }
 
   // Publish: epoch under the pointer mutex, generation after — a reader
   // that sees the new generation may briefly still load the old

@@ -54,6 +54,12 @@ struct ParamSnapshot {
   double r_squared = 0.0;
   bool converged = false;
   std::size_t window_observations = 0;  ///< tuples the solver saw
+  /// The learned machine pre-applied at every point of the platform's
+  /// DVFS ladder (platform_db order; empty when the platform has no
+  /// ladder). Built once at publish time so policy_advise reads its
+  /// per-point machines lock-free from the snapshot instead of
+  /// re-deriving them per request.
+  std::vector<core::MachineParams> op_machines;
 };
 
 struct OnlineFitOptions {

@@ -275,6 +275,12 @@ std::vector<PlatformSpec> build_table1() {
     t.push_back(std::move(p));
   }
 
+  // Every Table I platform gets its class's synthesized DVFS ladder,
+  // anchored on the row's fitted pi1 and measured idle power.
+  for (PlatformSpec& p : t)
+    p.operating_points =
+        default_operating_points(p.device_class, p.pi1, p.idle_power);
+
   for (const PlatformSpec& p : t) p.validate();
   return t;
 }

@@ -1,6 +1,7 @@
 #include "platforms/spec.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 
 namespace archline::platforms {
@@ -85,6 +86,15 @@ core::MachineParams PlatformSpec::machine_at_level(core::MemLevel level,
   return m;
 }
 
+core::MachineParams PlatformSpec::machine_at_point(std::size_t point_index,
+                                                   core::Precision p) const {
+  if (point_index >= operating_points.size())
+    throw std::out_of_range(name + ": no operating point " +
+                            std::to_string(point_index));
+  return core::apply_operating_point(machine(p),
+                                     operating_points.points[point_index]);
+}
+
 const EnergyPoint& PlatformSpec::random_access() const {
   if (!mem_rand)
     throw std::invalid_argument(name + ": random access not measured");
@@ -144,6 +154,64 @@ void PlatformSpec::validate() const {
     fail("sustained DP flops exceed vendor claim");
   if (mem_stream.throughput > peak_bandwidth * 1.01)
     fail("sustained bandwidth exceeds vendor claim");
+
+  // The ladder (when present) must be internally consistent and end at
+  // the nominal 1.0x state Table I was measured at.
+  if (!operating_points.empty()) {
+    try {
+      operating_points.validate();
+    } catch (const std::exception& e) {
+      fail(e.what());
+    }
+    if (operating_points.nominal().freq_scale != 1.0)
+      fail("operating-point ladder must end at the nominal 1.0x state");
+  }
+}
+
+core::OperatingPointTable default_operating_points(DeviceClass c, double pi1,
+                                                   double idle_power) {
+  // Per-class ladder shape: frequency scales and the leakage fraction
+  // L of the dynamic-energy model. Mobile parts reach deeper floors
+  // (wide DVFS ranges), desktop GPUs and the Phi idle hot and shallow.
+  struct ClassLadder {
+    double scales[4];
+    double leakage;
+  };
+  const ClassLadder ladder = [&]() -> ClassLadder {
+    switch (c) {
+      case DeviceClass::ServerCpu:
+        return {{0.50, 0.70, 0.85, 1.0}, 0.30};
+      case DeviceClass::MobileCpu:
+        return {{0.40, 0.60, 0.80, 1.0}, 0.20};
+      case DeviceClass::DesktopGpu:
+        return {{0.55, 0.70, 0.85, 1.0}, 0.35};
+      case DeviceClass::MobileGpu:
+        return {{0.35, 0.55, 0.80, 1.0}, 0.25};
+      case DeviceClass::Manycore:
+        return {{0.60, 0.75, 0.90, 1.0}, 0.40};
+    }
+    return {{0.50, 0.70, 0.85, 1.0}, 0.30};
+  }();
+
+  core::OperatingPointTable table;
+  table.points.reserve(4);
+  for (double s : ladder.scales) {
+    core::OperatingPoint p;
+    char label[32];
+    std::snprintf(label, sizeof label, "%.2fx", s);
+    p.label = label;
+    p.freq_scale = s;
+    p.energy_scale = core::dvfs_energy_scale(ladder.leakage, s);
+    p.scale_memory = false;  // DRAM keeps its own clock on every class
+    // Constant/idle power: the leakage share tracks V^2, the rest does
+    // not — pi(s) = pi * ((1 - L) + L s^2). Nominal inherits exactly.
+    const double power_scale = (1.0 - ladder.leakage) + ladder.leakage * s * s;
+    p.pi1_watts = s == 1.0 ? -1.0 : pi1 * power_scale;
+    p.idle_watts = idle_power * power_scale;
+    table.points.push_back(std::move(p));
+  }
+  table.validate();
+  return table;
 }
 
 }  // namespace archline::platforms

@@ -7,11 +7,13 @@
 // memory level / access pattern, which is how the rest of the library
 // consumes a platform.
 
+#include <cstddef>
 #include <optional>
 #include <string>
 
 #include "core/machine_params.hpp"
 #include "core/memory.hpp"
+#include "core/operating_point.hpp"
 #include "core/random_model.hpp"
 
 namespace archline::platforms {
@@ -65,6 +67,13 @@ struct PlatformSpec {
   /// (capped vs uncapped error distributions differ at p < .05)?
   bool ks_significant_in_paper = false;
 
+  /// The platform's DVFS ladder, ascending freq_scale with the nominal
+  /// (1.0x) state last. Table I measures only the nominal point, so the
+  /// ladder is synthesized per device class from the fitted pi1 /
+  /// idle_power constants (default_operating_points); an empty table is
+  /// legal for hand-built specs and means "nominal only".
+  core::OperatingPointTable operating_points;
+
   // ---- Derived views ------------------------------------------------
 
   [[nodiscard]] bool has_double() const noexcept {
@@ -104,9 +113,27 @@ struct PlatformSpec {
   /// context). Throws if random access was not measured.
   [[nodiscard]] core::RandomAccessMachine random_machine() const;
 
+  /// MachineParams at one operating point of this spec's ladder (index
+  /// into operating_points.points). Throws when the index is out of
+  /// range or the precision unsupported.
+  [[nodiscard]] core::MachineParams machine_at_point(
+      std::size_t point_index,
+      core::Precision p = core::Precision::Single) const;
+
   /// Checks internal consistency (positive costs, eps_L1 <= eps_L2 <=
-  /// eps_mem where present, sustained <= claimed peak with small slack).
+  /// eps_mem where present, sustained <= claimed peak with small slack,
+  /// a valid operating-point ladder when one is present).
   void validate() const;
 };
+
+/// The synthesized DVFS ladder for a device class: four points whose
+/// frequency span, leakage fraction, and count reflect typical governor
+/// tables for the class. Per point, the constant and idle powers follow
+/// the mild voltage-tracking model pi(s) = pi * ((1 - L) + L s^2) — the
+/// leakage share of the constant power scales with V^2, the rest (DRAM
+/// refresh, VRMs, fans) does not. The nominal point inherits pi1
+/// exactly, so every existing nominal-point prediction is unchanged.
+[[nodiscard]] core::OperatingPointTable default_operating_points(
+    DeviceClass c, double pi1, double idle_power);
 
 }  // namespace archline::platforms

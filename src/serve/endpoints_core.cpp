@@ -18,6 +18,7 @@
 #include "core/roofline.hpp"
 #include "core/scenarios.hpp"
 #include "fit/model_fit.hpp"
+#include "fit/online/snapshot.hpp"
 #include "microbench/suite.hpp"
 #include "platforms/platform_db.hpp"
 #include "serve/endpoint_util.hpp"
@@ -147,10 +148,27 @@ Json do_fit(const EndpointContext& ctx) {
   if (rows.size() > ctx.limits.max_fit_observations)
     bad("too many observations (max " +
         std::to_string(ctx.limits.max_fit_observations) + ")");
+  // "seed_online": true additionally feeds the tuples into the named
+  // platform's online window (the streaming `observe` path), so a bulk
+  // calibration upload primes the live model in one request. Validated
+  // up front: the request must name a platform and the server must run
+  // an online store.
+  const bool seed_online = req.bool_or("seed_online", false);
+  std::string_view seed_platform;
+  if (seed_online) {
+    if (!ctx.online)
+      throw RequestError{"unsupported",
+                         "online fitting is not enabled on this server"};
+    seed_platform = require_string(req, "platform");
+    lookup_platform(seed_platform);  // raises unknown_platform on a miss
+  }
   std::vector<microbench::Observation> obs;
   obs.reserve(rows.size());
+  std::vector<fit::online::Sample> samples;
+  if (seed_online) samples.reserve(rows.size());
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const fit::online::Sample s = parse_observation_tuple(rows[i], i);
+    if (seed_online) samples.push_back(s);
     microbench::Observation o;
     o.kernel.label = "serve obs " + std::to_string(i);
     o.kernel.flops = s.flops;
@@ -185,7 +203,22 @@ Json do_fit(const EndpointContext& ctx) {
   out.set("rss", result.rss);
   out.set("r_squared_perf", result.r_squared_perf);
   out.set("converged", result.converged);
+  // Seeding happens only after a successful fit: a rejected batch never
+  // contaminates the online window. The reply records what was seeded
+  // so clients can confirm the side effect took place.
+  if (seed_online) {
+    ctx.online->observe(seed_platform, samples);
+    out.set("seeded_platform", Json::view(seed_platform));
+    out.set("seeded", static_cast<double>(samples.size()));
+  }
   return out;
+}
+
+/// Cache exemption for "fit": a seeding request mutates the online
+/// store, so its reply must never be served from (or stored into) the
+/// response cache — a cached replay would drop the side effect.
+bool fit_cache_exempt(const Json& req) noexcept {
+  return req.bool_or("seed_online", false);
 }
 
 Json do_platforms(const EndpointContext& ctx) {
@@ -199,7 +232,19 @@ Json do_platforms(const EndpointContext& ctx) {
     row.set("peak_bandwidth", spec.peak_bandwidth);
     row.set("pi1_w", spec.pi1);
     row.set("delta_pi_w", spec.delta_pi);
+    row.set("idle_w", spec.idle_power);
     row.set("has_dp", spec.has_double());
+    Json ops = Json::array();
+    for (const core::OperatingPoint& p : spec.operating_points.points) {
+      Json op = Json::object();
+      op.set("label", p.label);
+      op.set("freq_scale", p.freq_scale);
+      op.set("energy_scale", p.energy_scale);
+      op.set("pi1_w", p.pi1_watts < 0.0 ? spec.pi1 : p.pi1_watts);
+      op.set("idle_w", p.idle_watts);
+      ops.push_back(std::move(op));
+    }
+    row.set("operating_points", std::move(ops));
     list.push_back(std::move(row));
   }
   out.set("platforms", std::move(list));
@@ -241,7 +286,8 @@ void register_core_endpoints(Registry& r) {
   r.add({.name = "fit",
          .klass = RequestClass::Heavy,
          .cacheable = true,
-         .handler = &do_fit});
+         .handler = &do_fit,
+         .cache_exempt = &fit_cache_exempt});
   r.add({.name = "platforms",
          .klass = RequestClass::Light,
          .cacheable = true,

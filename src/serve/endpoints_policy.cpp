@@ -1,0 +1,163 @@
+// The energy-policy surface: "policy_advise" runs the operating-point /
+// execution-plan sweep of core/policy.hpp for a named platform and
+// returns the recommended (point, plan) pair plus the full evaluated
+// table, so clients can audit the argmin themselves.
+//
+// Closed-form all the way down (a handful of eq. (1)-(7) evaluations
+// per operating point), so the endpoint is Light and cacheable. It is
+// model_scoped: the per-point machines are derived from the online
+// store's published estimates when present, so cached replies expire
+// with the parameter generation like predict's do.
+
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/machine_params.hpp"
+#include "core/operating_point.hpp"
+#include "core/policy.hpp"
+#include "core/roofline.hpp"
+#include "fit/online/snapshot.hpp"
+#include "platforms/platform_db.hpp"
+#include "serve/endpoint_util.hpp"
+#include "serve/registry.hpp"
+
+namespace archline::serve {
+
+namespace {
+
+core::Objective parse_objective(const Json& req) {
+  const std::string_view o = req.string_view_or("objective", "min_energy");
+  if (o == "min_energy") return core::Objective::MinEnergy;
+  if (o == "min_time") return core::Objective::MinTime;
+  if (o == "min_edp") return core::Objective::MinEdp;
+  if (o == "power_cap") return core::Objective::PowerCap;
+  bad("unknown objective \"" + std::string(o) +
+      "\" (expected \"min_energy\", \"min_time\", \"min_edp\", or "
+      "\"power_cap\")");
+}
+
+/// The operating-point block shared by the recommendation and the
+/// platforms listing: label, scales, and the *effective* constant power
+/// of the per-point machine (inherit resolved, online overlay applied).
+Json point_json(const core::OperatingPoint& p, const core::MachineParams& m) {
+  Json out = Json::object();
+  out.set("label", Json::view(p.label));
+  out.set("freq_scale", p.freq_scale);
+  out.set("energy_scale", p.energy_scale);
+  out.set("pi1_w", m.pi1);
+  out.set("idle_w", p.idle_watts);
+  return out;
+}
+
+Json plan_json(const core::PlanEvaluation& e,
+               std::span<const core::OperatingPoint> points) {
+  Json row = Json::object();
+  row.set("point", Json::view(points[e.point_index].label));
+  row.set("point_index", static_cast<double>(e.point_index));
+  row.set("plan", Json::view(core::to_string(e.kind)));
+  row.set("feasible", e.feasible);
+  if (e.feasible) {
+    row.set("busy_s", e.busy_s);
+    row.set("time_s", e.time_s);
+    row.set("energy_j", e.energy_j);
+    row.set("avg_power_w", e.avg_power_w);
+    row.set("edp", e.edp);
+    row.set("objective_value", e.objective_value);
+    row.set("regime", core::regime_name(e.regime));
+  }
+  return row;
+}
+
+Json do_policy_advise(const EndpointContext& ctx) {
+  const Json& req = ctx.req;
+  const std::string_view name = require_string(req, "platform");
+  const platforms::PlatformSpec& spec = lookup_platform(name);
+  if (spec.operating_points.empty())
+    throw RequestError{"unsupported",
+                       "platform \"" + std::string(name) +
+                           "\" has no operating-point table"};
+  const core::Precision prec = parse_precision(req);
+  const core::Objective objective = parse_objective(req);
+
+  core::PolicyRequest preq;
+  preq.workload = resolve_workload(req);
+  preq.objective = objective;
+  preq.period_s = req.number_or("period_s", 0.0);
+  preq.power_cap_w = req.number_or("power_cap_w", 0.0);
+  try {
+    preq.validate();
+  } catch (const std::exception& e) {
+    bad(e.what());
+  }
+
+  // Per-point machines: the online snapshot pre-builds them at publish
+  // time (learned constants swept across the ladder); when none is
+  // published — or the precision is not the learned SP machine — derive
+  // them from the static/overlaid base. platform_machine raises
+  // "unsupported" itself for DP on SP-only parts.
+  const std::span<const core::OperatingPoint> points =
+      spec.operating_points.points;
+  std::vector<core::MachineParams> machines;
+  std::shared_ptr<const fit::online::ParamSnapshot> snap;
+  if (ctx.online && prec == core::Precision::Single)
+    snap = ctx.online->published(name);
+  if (snap && snap->op_machines.size() == points.size()) {
+    machines = snap->op_machines;
+  } else {
+    machines = core::machines_at_points(platform_machine(ctx, name, prec),
+                                        points);
+  }
+
+  const core::PolicyAdvice advice = core::policy_advise(
+      machines, points, spec.operating_points.park_watts(), preq);
+  if (!advice.has_recommendation())
+    throw RequestError{
+        "infeasible",
+        "no operating point admits a feasible plan for this request "
+        "(period too short or power cap below constant power)"};
+
+  Json out = begin_reply(ctx.endpoint, req);
+  out.set("platform", Json::view(name));
+  out.set("objective", Json::view(core::to_string(objective)));
+  out.set("flops", preq.workload.flops);
+  out.set("bytes", preq.workload.bytes);
+  out.set("intensity", preq.workload.intensity());
+  if (preq.period_s > 0.0) out.set("period_s", preq.period_s);
+  if (preq.power_cap_w > 0.0) out.set("power_cap_w", preq.power_cap_w);
+  out.set("park_w", advice.park_watts);
+
+  const core::PlanEvaluation& best = advice.recommended();
+  Json rec = Json::object();
+  rec.set("point",
+          point_json(points[best.point_index], machines[best.point_index]));
+  rec.set("plan", Json::view(core::to_string(best.kind)));
+  rec.set("busy_s", best.busy_s);
+  rec.set("time_s", best.time_s);
+  rec.set("energy_j", best.energy_j);
+  rec.set("avg_power_w", best.avg_power_w);
+  rec.set("edp", best.edp);
+  rec.set("objective_value", best.objective_value);
+  rec.set("regime", core::regime_name(best.regime));
+  out.set("recommended", std::move(rec));
+
+  Json plans = Json::array();
+  for (const core::PlanEvaluation& e : advice.plans)
+    plans.push_back(plan_json(e, points));
+  out.set("plans", std::move(plans));
+  return out;
+}
+
+}  // namespace
+
+void register_policy_endpoints(Registry& r) {
+  r.add({.name = "policy_advise",
+         .klass = RequestClass::Light,
+         .cacheable = true,
+         .model_scoped = true,
+         .handler = &do_policy_advise});
+}
+
+}  // namespace archline::serve

@@ -118,7 +118,11 @@ void handle_line(std::string_view line, const ProtocolLimits& limits,
       out.dump_to(reply.body);
     }
     reply.ok = true;
-    reply.cacheable = endpoint->cacheable;
+    // A per-request exemption (seed_online fit) beats the static flag:
+    // side-effecting evaluations must never be replayed from the cache.
+    reply.cacheable =
+        endpoint->cacheable &&
+        !(endpoint->cache_exempt && endpoint->cache_exempt(req));
   } catch (const RequestError& e) {
     error_body_into(e.code, e.message, id, reply.body);
   } catch (const std::exception& e) {

@@ -42,6 +42,7 @@ const Registry& Registry::instance() {
     register_analysis_endpoints(r);
     register_online_endpoints(r);
     register_batch_endpoints(r);
+    register_policy_endpoints(r);
     return r;
   }();
   return registry;

@@ -93,6 +93,14 @@ struct Endpoint {
   /// allocation-free; like classify_line itself, the verdict affects
   /// lane choice only, never reply bytes. Null means "use klass".
   RequestClass (*classify)(std::string_view line) noexcept = nullptr;
+  /// Optional per-request cache exemption: a statically cacheable
+  /// endpoint can declare that THIS request's reply must not enter (or
+  /// be served from) the response cache because evaluating it has a
+  /// side effect — "fit" with "seed_online": true feeds its inline
+  /// observations into the online store, and a cached replay would
+  /// silently drop the seeding. Runs on the parsed request after the
+  /// handler succeeds; null means "cacheable as declared".
+  bool (*cache_exempt)(const Json& req) noexcept = nullptr;
   /// Dense id, assigned at registration in registration order. Doubles
   /// as the cache entry tag and the metrics slot.
   std::uint8_t id = 0;
@@ -134,12 +142,14 @@ class Registry {
 
 /// Module registrars, called (in this order) by Registry::instance().
 /// Defined in endpoints_core.cpp / endpoints_analysis.cpp /
-/// endpoints_online.cpp / endpoints_batch.cpp — the id order below is
-/// part of the wire-compatible surface (cache tags).
+/// endpoints_online.cpp / endpoints_batch.cpp / endpoints_policy.cpp —
+/// the id order below is part of the wire-compatible surface (cache
+/// tags).
 void register_core_endpoints(Registry& r);
 void register_analysis_endpoints(Registry& r);
 void register_online_endpoints(Registry& r);
 void register_batch_endpoints(Registry& r);
+void register_policy_endpoints(Registry& r);
 
 /// Admission-time classification without a full JSON parse: scans the
 /// raw request line for its "type" member and returns the matching

@@ -2,6 +2,8 @@
 
 #include <arpa/inet.h>
 #include <fcntl.h>
+#include <pthread.h>
+#include <sched.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/epoll.h>
@@ -14,6 +16,7 @@
 #include <array>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <memory>
 #include <mutex>
@@ -863,8 +866,35 @@ void TcpListener::run(const std::atomic<bool>& stop) {
     }
   }
 
+  // Shard-thread pinning: shard i -> CPU i, applied by each loop thread
+  // to itself (shard 0 pins the caller of run()). Requested but
+  // impossible (fewer online CPUs than shards) degrades to a logged
+  // no-op — a laptop running a 4-shard config should serve, not die.
+  bool pin = options_.pin_shards;
+  if (pin) {
+    const long ncpu = ::sysconf(_SC_NPROCESSORS_ONLN);
+    if (ncpu > 0 && ncpu < static_cast<long>(shards_)) {
+      std::fprintf(stderr,
+                   "archline-serve: --pin-shards ignored: %d shards but only "
+                   "%ld online CPUs\n",
+                   shards_, ncpu);
+      pin = false;
+    }
+  }
+
   const auto run_shard = [&](int shard) {
     const std::size_t i = static_cast<std::size_t>(shard);
+    if (pin) {
+      cpu_set_t set;
+      CPU_ZERO(&set);
+      CPU_SET(static_cast<std::size_t>(shard), &set);
+      if (const int rc =
+              ::pthread_setaffinity_np(::pthread_self(), sizeof set, &set);
+          rc != 0)
+        std::fprintf(stderr,
+                     "archline-serve: pinning shard %d to CPU %d failed: %s\n",
+                     shard, shard, std::strerror(rc));
+    }
     const int lfd = reuseport_ ? listen_fds_[i]
                                : (shard == 0 ? listen_fds_[0] : -1);
     ShardLoop loop(server_, options_, shard, shards_, lfd,

@@ -106,6 +106,12 @@ struct TcpOptions {
   /// in accept order, which is deterministic and therefore what the
   /// cross-shard tests pin.
   bool use_reuseport = true;
+  /// Pin each shard's loop thread to CPU `shard` (shard 0 pins the
+  /// thread that called run()). Off by default: pinning helps steady
+  /// benchmark numbers on a quiet machine but fights the scheduler on a
+  /// shared one. When the machine has fewer online CPUs than shards the
+  /// request is logged to stderr and ignored (no-op, not an error).
+  bool pin_shards = false;
   /// Once a stop is requested, how long shards keep flushing pending
   /// responses to peers that have stopped reading before force-closing
   /// them. Bounds shutdown against misbehaving clients. While

@@ -1,0 +1,202 @@
+// Tests for the operating-point layer: point/table validation, the
+// apply transform, equivalence with the legacy continuous apply_dvfs()
+// path, ladder generation, and the per-platform default tables.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "core/dvfs.hpp"
+#include "core/operating_point.hpp"
+#include "core/roofline.hpp"
+#include "platforms/platform_db.hpp"
+#include "platforms/spec.hpp"
+
+namespace {
+
+namespace co = archline::core;
+namespace pl = archline::platforms;
+
+co::MachineParams titan() { return pl::platform("GTX Titan").machine(); }
+
+co::OperatingPoint point(double s, double e) {
+  co::OperatingPoint p;
+  p.label = "test";
+  p.freq_scale = s;
+  p.energy_scale = e;
+  return p;
+}
+
+TEST(OperatingPoint, ValidationRules) {
+  EXPECT_NO_THROW(point(0.5, 0.5).validate());
+  EXPECT_THROW(point(0.0, 0.5).validate(), std::invalid_argument);
+  EXPECT_THROW(point(-1.0, 0.5).validate(), std::invalid_argument);
+  EXPECT_THROW(point(0.5, 0.0).validate(), std::invalid_argument);
+  co::OperatingPoint p = point(0.5, 0.5);
+  p.idle_watts = -1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = point(0.5, 0.5);
+  p.freq_scale = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  // Turbo states (> 1) are legal.
+  EXPECT_NO_THROW(point(1.25, 1.4).validate());
+}
+
+TEST(OperatingPoint, EnergyScaleModel) {
+  EXPECT_DOUBLE_EQ(co::dvfs_energy_scale(0.3, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(co::dvfs_energy_scale(0.3, 0.5), 0.3 + 0.7 * 0.25);
+  EXPECT_DOUBLE_EQ(co::dvfs_energy_scale(0.0, 0.5), 0.25);
+}
+
+TEST(ApplyOperatingPoint, UnitPointIsIdentity) {
+  const co::MachineParams m = titan();
+  const co::MachineParams s = co::apply_operating_point(m, point(1.0, 1.0));
+  EXPECT_DOUBLE_EQ(s.tau_flop, m.tau_flop);
+  EXPECT_DOUBLE_EQ(s.eps_flop, m.eps_flop);
+  EXPECT_DOUBLE_EQ(s.tau_mem, m.tau_mem);
+  EXPECT_DOUBLE_EQ(s.eps_mem, m.eps_mem);
+  EXPECT_DOUBLE_EQ(s.pi1, m.pi1);
+  EXPECT_DOUBLE_EQ(s.delta_pi, m.delta_pi);
+}
+
+TEST(ApplyOperatingPoint, ScalesTimesAndDynamicEnergy) {
+  const co::MachineParams m = titan();
+  const co::MachineParams s = co::apply_operating_point(m, point(0.5, 0.475));
+  EXPECT_DOUBLE_EQ(s.peak_flops(), 0.5 * m.peak_flops());
+  EXPECT_DOUBLE_EQ(s.eps_flop, 0.475 * m.eps_flop);
+  // Memory domain untouched unless the point opts in.
+  EXPECT_DOUBLE_EQ(s.tau_mem, m.tau_mem);
+  EXPECT_DOUBLE_EQ(s.eps_mem, m.eps_mem);
+}
+
+TEST(ApplyOperatingPoint, MemoryDomainOptIn) {
+  co::OperatingPoint p = point(0.5, 0.475);
+  p.scale_memory = true;
+  const co::MachineParams s = co::apply_operating_point(titan(), p);
+  EXPECT_DOUBLE_EQ(s.peak_bandwidth(), 0.5 * titan().peak_bandwidth());
+  EXPECT_DOUBLE_EQ(s.eps_mem, 0.475 * titan().eps_mem);
+}
+
+TEST(ApplyOperatingPoint, Pi1InheritVsOverride) {
+  const co::MachineParams m = titan();
+  co::OperatingPoint p = point(0.7, 0.8);
+  EXPECT_DOUBLE_EQ(co::apply_operating_point(m, p).pi1, m.pi1);  // inherit
+  p.pi1_watts = 12.5;
+  EXPECT_DOUBLE_EQ(co::apply_operating_point(m, p).pi1, 12.5);
+  // delta_pi is an external limit, never a P-state property.
+  EXPECT_DOUBLE_EQ(co::apply_operating_point(m, p).delta_pi, m.delta_pi);
+}
+
+TEST(ApplyOperatingPoint, MatchesLegacyApplyDvfsExactly) {
+  // apply_dvfs() is now a thin wrapper over the operating-point
+  // transform; the two must agree bit-for-bit so every pre-refactor
+  // DVFS result (bisection included) is reproduced.
+  const co::MachineParams m = titan();
+  const co::DvfsModel model{.leakage_fraction = 0.3, .scale_memory = false,
+                            .min_scale = 0.2};
+  for (const double s : {0.2, 0.35, 0.5, 0.77, 0.9, 1.0}) {
+    const co::MachineParams legacy = co::apply_dvfs(m, s, model);
+    const co::MachineParams via_point =
+        co::apply_operating_point(m, co::dvfs_operating_point(model, s));
+    EXPECT_EQ(legacy.tau_flop, via_point.tau_flop) << "s=" << s;
+    EXPECT_EQ(legacy.eps_flop, via_point.eps_flop) << "s=" << s;
+    EXPECT_EQ(legacy.tau_mem, via_point.tau_mem) << "s=" << s;
+    EXPECT_EQ(legacy.eps_mem, via_point.eps_mem) << "s=" << s;
+    EXPECT_EQ(legacy.pi1, via_point.pi1) << "s=" << s;
+    EXPECT_EQ(legacy.delta_pi, via_point.delta_pi) << "s=" << s;
+  }
+}
+
+TEST(DvfsOperatingPoint, RejectsOutOfRangeScale) {
+  const co::DvfsModel model;
+  EXPECT_THROW((void)co::dvfs_operating_point(model, 0.1),
+               std::invalid_argument);
+  EXPECT_THROW((void)co::dvfs_operating_point(model, 1.1),
+               std::invalid_argument);
+}
+
+TEST(DvfsLadder, EvenlySpacedAndValid) {
+  const co::DvfsModel model{.leakage_fraction = 0.3, .scale_memory = false,
+                            .min_scale = 0.2};
+  const co::OperatingPointTable t = co::dvfs_ladder(model, 5, 2.0);
+  ASSERT_EQ(t.size(), 5u);
+  EXPECT_NO_THROW(t.validate());
+  EXPECT_DOUBLE_EQ(t.points.front().freq_scale, 0.2);
+  EXPECT_DOUBLE_EQ(t.points.back().freq_scale, 1.0);  // exactly nominal
+  EXPECT_DOUBLE_EQ(t.nominal().freq_scale, 1.0);
+  for (const co::OperatingPoint& p : t.points) {
+    EXPECT_DOUBLE_EQ(p.energy_scale,
+                     co::dvfs_energy_scale(0.3, p.freq_scale));
+    EXPECT_DOUBLE_EQ(p.idle_watts, 2.0);
+  }
+  EXPECT_THROW((void)co::dvfs_ladder(model, 1), std::invalid_argument);
+}
+
+TEST(OperatingPointTable, ValidationAndParkWatts) {
+  co::OperatingPointTable t;
+  EXPECT_THROW(t.validate(), std::invalid_argument);  // empty
+  EXPECT_DOUBLE_EQ(t.park_watts(), 0.0);
+  t.points = {point(0.5, 0.4), point(1.0, 1.0)};
+  t.points[0].idle_watts = 3.0;
+  t.points[1].idle_watts = 7.0;
+  EXPECT_NO_THROW(t.validate());
+  EXPECT_DOUBLE_EQ(t.park_watts(), 3.0);
+  EXPECT_DOUBLE_EQ(t.nominal().freq_scale, 1.0);
+  // Non-ascending freq_scale is rejected.
+  std::swap(t.points[0], t.points[1]);
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t.points[0] = t.points[1];
+  EXPECT_THROW(t.validate(), std::invalid_argument);  // equal scales
+}
+
+TEST(MachinesAtPoints, TableOrderAndValues) {
+  const co::MachineParams m = titan();
+  const std::vector<co::OperatingPoint> pts = {point(0.5, 0.4),
+                                               point(1.0, 1.0)};
+  const std::vector<co::MachineParams> ms = co::machines_at_points(m, pts);
+  ASSERT_EQ(ms.size(), 2u);
+  EXPECT_DOUBLE_EQ(ms[0].tau_flop, m.tau_flop / 0.5);
+  EXPECT_DOUBLE_EQ(ms[0].eps_flop, m.eps_flop * 0.4);
+  EXPECT_DOUBLE_EQ(ms[1].tau_flop, m.tau_flop);
+}
+
+TEST(DefaultOperatingPoints, EveryPlatformCarriesAValidLadder) {
+  for (const pl::PlatformSpec& spec : pl::all_platforms()) {
+    const co::OperatingPointTable& t = spec.operating_points;
+    ASSERT_FALSE(t.empty()) << spec.name;
+    EXPECT_NO_THROW(t.validate()) << spec.name;
+    // Nominal point: exactly 1.0x, inheriting the spec's pi1.
+    EXPECT_DOUBLE_EQ(t.nominal().freq_scale, 1.0) << spec.name;
+    EXPECT_LT(t.nominal().pi1_watts, 0.0) << spec.name;
+    EXPECT_DOUBLE_EQ(t.nominal().energy_scale, 1.0) << spec.name;
+    // Park power never exceeds the spec's own idle power, and every
+    // sub-nominal point runs at reduced constant power.
+    EXPECT_LE(t.park_watts(), spec.idle_power + 1e-12) << spec.name;
+    for (const co::OperatingPoint& p : t.points) {
+      EXPECT_FALSE(p.scale_memory) << spec.name;  // discrete DRAM domain
+      if (p.freq_scale < 1.0) {
+        EXPECT_GT(p.pi1_watts, 0.0) << spec.name;
+        EXPECT_LT(p.pi1_watts, spec.pi1) << spec.name;
+        EXPECT_LT(p.energy_scale, 1.0) << spec.name;
+      }
+    }
+  }
+}
+
+TEST(DefaultOperatingPoints, MachineAtPointMatchesApply) {
+  const pl::PlatformSpec& spec = pl::platform("GTX Titan");
+  ASSERT_FALSE(spec.operating_points.empty());
+  const co::MachineParams direct = spec.machine_at_point(0);
+  const co::MachineParams via = co::apply_operating_point(
+      spec.machine(), spec.operating_points.points[0]);
+  EXPECT_EQ(direct.tau_flop, via.tau_flop);
+  EXPECT_EQ(direct.eps_flop, via.eps_flop);
+  EXPECT_EQ(direct.pi1, via.pi1);
+  EXPECT_THROW((void)spec.machine_at_point(spec.operating_points.size()),
+               std::out_of_range);
+}
+
+}  // namespace

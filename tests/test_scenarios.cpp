@@ -4,6 +4,7 @@
 
 #include <stdexcept>
 
+#include "core/roofline.hpp"
 #include "core/scenarios.hpp"
 #include "platforms/platform_db.hpp"
 
@@ -221,6 +222,27 @@ TEST(ThrottleRequirement, BadArgumentsThrow) {
                std::invalid_argument);
   EXPECT_THROW((void)co::throttle_requirement(titan(), 0.0, 10.0),
                std::invalid_argument);
+}
+
+
+TEST(OperatingPointSweep, TableOrderAndConsistency) {
+  const pl::PlatformSpec& spec = pl::platform("GTX Titan");
+  const co::Workload w{.flops = 1e12, .bytes = 1e11};
+  const auto rows =
+      co::operating_point_sweep(titan(), spec.operating_points.points, w);
+  ASSERT_EQ(rows.size(), spec.operating_points.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const co::MachineParams at = spec.machine_at_point(i);
+    EXPECT_EQ(rows[i].point_index, i);
+    EXPECT_DOUBLE_EQ(rows[i].freq_scale,
+                     spec.operating_points.points[i].freq_scale);
+    EXPECT_DOUBLE_EQ(rows[i].time_s, co::time(at, w));
+    EXPECT_DOUBLE_EQ(rows[i].energy_j, co::energy(at, w));
+    EXPECT_DOUBLE_EQ(rows[i].avg_power_w, co::avg_power(at, w));
+    EXPECT_DOUBLE_EQ(rows[i].edp, rows[i].energy_j * rows[i].time_s);
+  }
+  // The nominal (last) row is the plain eq. (1)-(3) prediction.
+  EXPECT_DOUBLE_EQ(rows.back().time_s, co::time(titan(), w));
 }
 
 }  // namespace

@@ -57,7 +57,11 @@ bool replay_is_pure(const std::string& line) {
     const Json* type = req.find("type");
     if (!type || !type->is_string()) return true;
     const Endpoint* e = Registry::instance().find(type->as_string_view());
-    return !e || e->cacheable;
+    if (!e) return true;
+    if (!e->cacheable) return false;
+    // Per-request exemptions (fit with "seed_online") mutate state too:
+    // replaying one would seed the online window twice.
+    return !(e->cache_exempt && e->cache_exempt(req));
   } catch (const std::exception&) {
     return true;
   }

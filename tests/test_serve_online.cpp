@@ -14,8 +14,10 @@
 #include <thread>
 #include <vector>
 
+#include "core/policy.hpp"
 #include "fit/model_fit.hpp"
 #include "microbench/suite.hpp"
+#include "platforms/platform_db.hpp"
 #include "serve/json.hpp"
 #include "serve/registry.hpp"
 #include "serve/server.hpp"
@@ -263,6 +265,124 @@ TEST(ServeOnline, StreamingThousandTuplesWithBackgroundResolver) {
   EXPECT_GE(online->number_or("platforms_fitted", 0), 1.0);
 
   server.shutdown();
+}
+
+/// One "fit" request whose observations also seed the online window.
+std::string seeded_fit_line(const std::string& platform,
+                            std::span<const Tuple> batch) {
+  std::ostringstream out;
+  out.precision(17);
+  out << R"({"type":"fit","platform":")" << platform
+      << R"(","seed_online":true,"observations":[)";
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (i) out << ',';
+    out << R"({"flops":)" << batch[i].flops << R"(,"bytes":)" << batch[i].bytes
+        << R"(,"seconds":)" << batch[i].seconds << R"(,"joules":)"
+        << batch[i].joules << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+// The seed_online satellite: a bulk calibration upload ("fit" with
+// "seed_online": true) must land its tuples in the platform's online
+// window, so a subsequent refit + params reflects exactly those tuples.
+TEST(ServeOnline, SeededFitPrimesTheOnlineWindow) {
+  Server server(test_options());
+  const auto batch = make_batch(24, 0.0, 7);
+
+  const Json fit = Json::parse(
+      server.handle_now(seeded_fit_line("GTX Titan", batch)));
+  ASSERT_TRUE(fit.bool_or("ok", false));
+  EXPECT_EQ(fit.string_or("seeded_platform", ""), "GTX Titan");
+  EXPECT_EQ(fit.number_or("seeded", 0), 24.0);
+  EXPECT_EQ(server.online().observations("GTX Titan"), 24u);
+
+  // The seeded tuples are the whole window: refit publishes a snapshot
+  // fitted to them, and params reports their count and constants.
+  ASSERT_TRUE(Json::parse(server.handle_now(
+                  R"({"type":"refit","platform":"GTX Titan"})"))
+                  .bool_or("ok", false));
+  const Json params = Json::parse(
+      server.handle_now(R"({"type":"params","platform":"GTX Titan"})"));
+  ASSERT_TRUE(params.bool_or("ok", false));
+  EXPECT_TRUE(params.bool_or("fitted", false));
+  EXPECT_EQ(params.number_or("observations", 0), 24.0);
+  const Json* machine = params.find("machine");
+  ASSERT_NE(machine, nullptr);
+  const double eps_flop = machine->number_or("eps_flop", 0.0);
+  EXPECT_LT(std::abs(eps_flop - kEpsFlop) / kEpsFlop, 0.10) << eps_flop;
+  // And the published machine matches the seeded fit's own solution on
+  // the time constants (same solver, same data).
+  const Json* fit_machine = fit.find("machine");
+  ASSERT_NE(fit_machine, nullptr);
+  EXPECT_NEAR(machine->number_or("tau_flop", 0.0),
+              fit_machine->number_or("tau_flop", 1.0), 1e-6);
+
+  // Seeding requests are cache-exempt: the byte-identical request must
+  // re-execute (and re-seed), never replay from the response cache.
+  const auto hits_before = server.cache_stats().hits;
+  (void)server.handle_now(seeded_fit_line("GTX Titan", batch));
+  EXPECT_EQ(server.cache_stats().hits, hits_before);
+  EXPECT_EQ(server.online().observations("GTX Titan"), 48u);
+
+  // Validation is up front: a seed against an unknown platform fails
+  // before any fitting work, and a plain fit still caches.
+  EXPECT_EQ(Json::parse(server.handle_now(
+                R"({"type":"fit","platform":"Nope","seed_online":true,)"
+                R"("observations":[{"flops":1,"bytes":1,"seconds":1,"joules":1}]})"))
+                .string_or("error", ""),
+            "unknown_platform");
+}
+
+// policy_advise rides the same generation scoping as predict: a cached
+// recommendation must not survive a refit, and the post-refit
+// recommendation must be computed from the snapshot's per-point
+// machines.
+TEST(ServeOnline, PolicyAdviseTracksTheLearnedModel) {
+  Server server(test_options());
+  const char* kAdvise =
+      R"({"type":"policy_advise","platform":"GTX Titan",)"
+      R"("objective":"min_energy","flops":1e12,"intensity":8,"period_s":60.0})";
+  const std::string before = server.handle_now(kAdvise);
+  ASSERT_TRUE(Json::parse(before).bool_or("ok", false)) << before;
+  EXPECT_EQ(server.handle_now(kAdvise), before);  // cache hit
+  EXPECT_GE(server.cache_stats().hits, 1u);
+
+  const auto batch = make_batch(24, 0.0, 9);
+  (void)server.handle_now(observe_line("GTX Titan", batch));
+  ASSERT_TRUE(Json::parse(server.handle_now(
+                  R"({"type":"refit","platform":"GTX Titan"})"))
+                  .bool_or("ok", false));
+
+  const std::string after = server.handle_now(kAdvise);
+  EXPECT_NE(after, before)
+      << "policy_advise still serving the pre-refit generation";
+
+  // The reply's recommended energy must equal a hand-derived evaluation
+  // against the published snapshot's per-point machines — the endpoint
+  // and the core engine must agree to double precision.
+  const auto snap = server.online().published("GTX Titan");
+  ASSERT_NE(snap, nullptr);
+  const auto& spec = archline::platforms::platform("GTX Titan");
+  ASSERT_EQ(snap->op_machines.size(), spec.operating_points.size());
+  archline::core::PolicyRequest preq;
+  preq.workload =
+      archline::core::Workload::from_intensity(1e12, 8.0);
+  preq.objective = archline::core::Objective::MinEnergy;
+  preq.period_s = 60.0;
+  const archline::core::PolicyAdvice advice = archline::core::policy_advise(
+      snap->op_machines, spec.operating_points.points,
+      spec.operating_points.park_watts(), preq);
+  ASSERT_TRUE(advice.has_recommendation());
+  const Json reply = Json::parse(after);
+  const Json* rec = reply.find("recommended");
+  ASSERT_NE(rec, nullptr);
+  EXPECT_NEAR(rec->number_or("energy_j", 0.0),
+              advice.recommended().energy_j,
+              1e-9 * advice.recommended().energy_j);
+  EXPECT_EQ(rec->string_or("plan", ""),
+            archline::core::to_string(advice.recommended().kind));
 }
 
 // Observe keeps flowing while synchronous refits run on other threads —

@@ -7,7 +7,8 @@
 //
 // Usage:
 //   archline_serverd [--port N] [--bind ADDR] [--shards N]
-//                    [--no-reuseport] [--threads N] [--queue N]
+//                    [--no-reuseport] [--pin-shards]
+//                    [--threads N] [--queue N]
 //                    [--heavy-lane-capacity N] [--heavy-workers N]
 //                    [--cache N] [--cache-shards N] [--max-conns N]
 //                    [--idle-timeout-ms N] [--drain-grace-ms N]
@@ -20,7 +21,9 @@
 // with --no-reuseport / on kernels without SO_REUSEPORT), connection
 // table, and response-cache partition. NOTE: before the sharded front
 // end, --shards set the cache's internal lock striping — that knob is
-// now --cache-shards.
+// now --cache-shards. --pin-shards additionally pins shard i's loop
+// thread to CPU i (ignored, with a stderr note, when the machine has
+// fewer online CPUs than shards).
 //
 // Online fitting (docs/MODEL.md "Online fitting"): the "observe"
 // endpoint streams measured (flops, bytes, seconds, joules) tuples into
@@ -69,6 +72,7 @@ void on_usr1(int) { g_dump_stats = 1; }
   std::fprintf(
       stderr,
       "usage: %s [--port N] [--bind ADDR] [--shards N] [--no-reuseport]\n"
+      "          [--pin-shards]\n"
       "          [--threads N] [--queue N]\n"
       "          [--heavy-lane-capacity N] [--heavy-workers N]\n"
       "          [--cache N] [--cache-shards N] [--max-conns N]\n"
@@ -142,6 +146,8 @@ int main(int argc, char** argv) {
           parse_long(argv[0], "--shards", value()));
     else if (arg == "--no-reuseport")
       tcp.use_reuseport = false;
+    else if (arg == "--pin-shards")
+      tcp.pin_shards = true;
     else if (arg == "--cache-shards")
       options.cache_shards = static_cast<std::size_t>(
           parse_long(argv[0], "--cache-shards", value()));
