@@ -78,8 +78,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -344,15 +346,39 @@ struct Totals {
   std::atomic<long> overloaded{0};
   std::mutex latency_mutex;
   std::vector<double> batch_latencies_s;  ///< per pipelined batch
+  std::mutex errors_mutex;
+  /// Every non-ok reply by its wire "error" code (includes
+  /// "overloaded"), plus "unanswered" for requests that died with their
+  /// connection — field-compatible with CampaignReport.errors_by_code.
+  std::map<std::string, long> errors_by_code;
 
   void count(const std::string& body) {
     if (body.rfind("{\"ok\":true", 0) == 0) {
       ok.fetch_add(1, std::memory_order_relaxed);
-    } else if (body.find("\"overloaded\"") != std::string::npos) {
-      overloaded.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      errors.fetch_add(1, std::memory_order_relaxed);
+      return;
     }
+    std::string code = "unknown";
+    static constexpr std::string_view kKey = "\"error\":\"";
+    const std::size_t at = body.find(kKey);
+    if (at != std::string::npos) {
+      const std::size_t begin = at + kKey.size();
+      const std::size_t end = body.find('"', begin);
+      if (end != std::string::npos) code = body.substr(begin, end - begin);
+    }
+    if (code == "overloaded")
+      overloaded.fetch_add(1, std::memory_order_relaxed);
+    else
+      errors.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(errors_mutex);
+    ++errors_by_code[code];
+  }
+
+  /// Requests that will never see a reply (connection failed or died).
+  void count_unanswered(long n) {
+    if (n <= 0) return;
+    errors.fetch_add(n, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(errors_mutex);
+    errors_by_code["unanswered"] += n;
   }
 
   void record_batch_latency(double s) {
@@ -502,8 +528,7 @@ void tcp_multiplex_worker(const Pools& pools, std::vector<ClientConn>& conns,
     c.batch_start = std::chrono::steady_clock::now();
   };
   const auto fail = [&](ClientConn& c) {
-    totals.errors.fetch_add(c.remaining + c.awaiting,
-                            std::memory_order_relaxed);
+    totals.count_unanswered(c.remaining + c.awaiting);
     c.failed = true;
     ::close(c.fd);
     c.fd = -1;
@@ -744,11 +769,18 @@ void print_json_summary(const Config& cfg, Totals& totals, long done,
     batch.set("p50_ms", percentile(totals.batch_latencies_s, 0.50) * 1e3);
     batch.set("p95_ms", percentile(totals.batch_latencies_s, 0.95) * 1e3);
     batch.set("p99_ms", percentile(totals.batch_latencies_s, 0.99) * 1e3);
+    batch.set("p999_ms", percentile(totals.batch_latencies_s, 0.999) * 1e3);
     batch.set("batches", totals.batch_latencies_s.size());
     batch.set("pipeline", cfg.inproc || cfg.scenario == "heavy-starvation"
                               ? 1
                               : cfg.pipeline);
     out.set("client_batch_latency", std::move(batch));
+  }
+  {
+    std::lock_guard<std::mutex> lock(totals.errors_mutex);
+    serve::Json codes = serve::Json::object();
+    for (const auto& [code, n] : totals.errors_by_code) codes.set(code, n);
+    out.set("errors_by_code", std::move(codes));
   }
   try {
     const serve::Json stats = serve::Json::parse(stats_body);
@@ -756,6 +788,7 @@ void print_json_summary(const Config& cfg, Totals& totals, long done,
       serve::Json server_lat = serve::Json::object();
       server_lat.set("p50_ns", lat->number_or("p50_s", 0) * 1e9);
       server_lat.set("p99_ns", lat->number_or("p99_s", 0) * 1e9);
+      server_lat.set("p999_ns", lat->number_or("p999_s", 0) * 1e9);
       server_lat.set("sampled", lat->number_or("count", 0));
       out.set("server_latency", std::move(server_lat));
     }
@@ -976,7 +1009,7 @@ int main(int argc, char** argv) {
       if (c.fd < 0) {
         std::fprintf(stderr, "loadgen: connection %d failed: %s\n", i,
                      std::strerror(errno));
-        totals.errors.fetch_add(per_conn, std::memory_order_relaxed);
+        totals.count_unanswered(per_conn);
         continue;
       }
       const int flags = ::fcntl(c.fd, F_GETFL, 0);

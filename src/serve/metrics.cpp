@@ -231,6 +231,7 @@ Json latency_json(const LatencyHistogram::Snapshot& latency) {
   out.set("p50_s", latency.quantile(0.50));
   out.set("p95_s", latency.quantile(0.95));
   out.set("p99_s", latency.quantile(0.99));
+  out.set("p999_s", latency.quantile(0.999));
   return out;
 }
 

@@ -1,0 +1,86 @@
+#pragma once
+// Arrival processes for simulated traffic campaigns (sim::Campaign).
+//
+// A campaign drives tens of thousands of virtual connections through
+// the serve stack in virtual time; each connection draws its request
+// initiation instants from an ArrivalProcess. Three families cover the
+// load shapes the SLO harness cares about:
+//
+//   * Poisson    — open-loop memoryless traffic at a constant rate;
+//                  the baseline "steady production" shape.
+//   * OnOff      — bursty duty cycles: silence for off_s, then a burst
+//                  window of on_s at rate_hz. With phase 0 on every
+//                  connection the bursts synchronize across the fleet —
+//                  the adversarial thundering-herd case the race-to-idle
+//                  literature (arXiv 2507.20063) shows flips policy
+//                  conclusions.
+//   * Diurnal    — a raised-cosine ramp between base_rate_hz and
+//                  rate_hz over period_s: the slow swell that exercises
+//                  admission and cache warmth at both extremes.
+//
+// Sampling is Lewis–Shedler thinning against the peak rate, so all
+// three families share one exact, allocation-free sampler whose draws
+// come only from the caller's Rng — identical seeds yield identical
+// arrival sequences, which is what makes CampaignReports byte-identical
+// across runs.
+
+#include <cstdint>
+
+#include "stats/rng.hpp"
+
+namespace archline::sim {
+
+/// Declarative description of one connection's arrival process. A
+/// plain struct (no virtuals) so campaign configs can be compared,
+/// logged, and built from CLI flags without a factory layer.
+struct ArrivalSpec {
+  enum class Kind : std::uint8_t { Poisson, OnOff, Diurnal };
+
+  Kind kind = Kind::Poisson;
+
+  /// Peak request rate [1/s]: the Poisson rate, the in-burst OnOff
+  /// rate, or the Diurnal crest rate. Must be > 0.
+  double rate_hz = 10.0;
+
+  /// Diurnal trough rate [1/s]; ignored by the other kinds.
+  double base_rate_hz = 0.0;
+
+  /// OnOff burst / silence windows [s].
+  double on_s = 0.1;
+  double off_s = 0.9;
+
+  /// Diurnal period [s].
+  double period_s = 10.0;
+
+  /// Per-connection phase offset [s], added to t before evaluating the
+  /// OnOff / Diurnal envelope. 0 on every connection synchronizes the
+  /// bursts (the adversarial default); a campaign can spread phases to
+  /// model uncorrelated clients.
+  double phase_s = 0.0;
+
+  [[nodiscard]] static ArrivalSpec poisson(double rate_hz);
+  [[nodiscard]] static ArrivalSpec on_off(double rate_hz, double on_s,
+                                          double off_s);
+  [[nodiscard]] static ArrivalSpec diurnal(double base_rate_hz,
+                                           double peak_rate_hz,
+                                           double period_s);
+
+  /// Instantaneous rate lambda(t) [1/s] at absolute virtual time t [s].
+  [[nodiscard]] double rate_at(double t_s) const noexcept;
+
+  /// The thinning envelope: max over t of rate_at(t).
+  [[nodiscard]] double peak_rate() const noexcept { return rate_hz; }
+
+  /// Throws std::invalid_argument on non-positive rates/windows or a
+  /// Diurnal base above the peak.
+  void validate() const;
+};
+
+/// Next arrival strictly after t_s for `spec`, by thinning against
+/// peak_rate(). Consumes rng draws; deterministic given (spec, t_s,
+/// rng state). Returns infinity when the process can never fire
+/// (peak rate 0).
+[[nodiscard]] double next_arrival(const ArrivalSpec& spec, double t_s,
+                                  stats::Rng& rng);
+
+}  // namespace archline::sim

@@ -14,6 +14,7 @@
 #include "core/roofline.hpp"
 #include "platforms/platform_db.hpp"
 #include "platforms/spec.hpp"
+#include "stats/rng.hpp"
 
 namespace {
 
@@ -150,6 +151,93 @@ TEST(OperatingPointTable, ValidationAndParkWatts) {
   EXPECT_THROW(t.validate(), std::invalid_argument);
   t.points[0] = t.points[1];
   EXPECT_THROW(t.validate(), std::invalid_argument);  // equal scales
+}
+
+TEST(OperatingPointTable, SinglePointLadder) {
+  co::OperatingPointTable t;
+  t.points = {point(1.0, 1.0)};
+  t.points[0].idle_watts = 4.5;
+  t.points[0].pi1_watts = 11.0;
+  EXPECT_NO_THROW(t.validate());
+  EXPECT_EQ(t.size(), 1u);
+  // With one point it is simultaneously the nominal state and the
+  // deepest park state.
+  EXPECT_DOUBLE_EQ(t.nominal().freq_scale, 1.0);
+  EXPECT_DOUBLE_EQ(t.park_watts(), 4.5);
+  const std::vector<co::MachineParams> ms =
+      co::machines_at_points(titan(), t.points);
+  ASSERT_EQ(ms.size(), 1u);
+  EXPECT_DOUBLE_EQ(ms[0].pi1, 11.0);
+}
+
+TEST(OperatingPointTable, DuplicateFrequencyScalesRejectedAnywhere) {
+  // A duplicate anywhere in the ladder — not just adjacent to the
+  // front — must fail strict-ascent validation, even when every point
+  // is individually valid.
+  for (std::size_t dup = 1; dup < 4; ++dup) {
+    co::OperatingPointTable t;
+    t.points = {point(0.25, 0.2), point(0.5, 0.4), point(0.75, 0.7),
+                point(1.0, 1.0)};
+    t.points[dup].freq_scale = t.points[dup - 1].freq_scale;
+    EXPECT_THROW(t.validate(), std::invalid_argument) << "dup at " << dup;
+  }
+}
+
+TEST(OperatingPointTable, ParkWattsIgnoresPi1Overrides) {
+  // park_watts is the deepest *idle* power; the running constant power
+  // pi1 — overridden or inherited — must not leak into it.
+  co::OperatingPointTable t;
+  t.points = {point(0.5, 0.4), point(0.75, 0.7), point(1.0, 1.0)};
+  t.points[0].idle_watts = 6.0;
+  t.points[0].pi1_watts = 1.0;  // running power below every idle_watts
+  t.points[1].idle_watts = 2.0;
+  t.points[1].pi1_watts = 40.0;
+  t.points[2].idle_watts = 9.0;
+  t.points[2].pi1_watts = -1.0;  // inherit
+  EXPECT_NO_THROW(t.validate());
+  EXPECT_DOUBLE_EQ(t.park_watts(), 2.0);
+  // The overrides still reach the per-point machines.
+  const co::MachineParams base = titan();
+  const std::vector<co::MachineParams> ms =
+      co::machines_at_points(base, t.points);
+  EXPECT_DOUBLE_EQ(ms[0].pi1, 1.0);
+  EXPECT_DOUBLE_EQ(ms[1].pi1, 40.0);
+  EXPECT_DOUBLE_EQ(ms[2].pi1, base.pi1);
+}
+
+TEST(OperatingPointTable, ParkWattsPropertyOnRandomLadders) {
+  // Property, over seeded random ladders mixing pi1 overrides and
+  // inherits: validate() accepts strictly ascending scales, park_watts
+  // equals the minimum idle_watts, nominal() is the fastest point, and
+  // breaking the ascent anywhere is rejected.
+  archline::stats::Rng rng(2026, 5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = 1 + static_cast<int>(rng.below(8));
+    co::OperatingPointTable t;
+    double scale = 0.0;
+    double min_idle = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < n; ++i) {
+      scale += 0.05 + rng.uniform(0.0, 0.45);  // strictly ascending
+      co::OperatingPoint p = point(scale, rng.uniform(0.1, 1.5));
+      p.idle_watts = rng.uniform(0.0, 20.0);
+      p.pi1_watts = rng.uniform() < 0.5 ? -1.0 : rng.uniform(0.5, 50.0);
+      min_idle = std::min(min_idle, p.idle_watts);
+      t.points.push_back(p);
+    }
+    ASSERT_NO_THROW(t.validate()) << "trial " << trial;
+    EXPECT_DOUBLE_EQ(t.park_watts(), min_idle) << "trial " << trial;
+    EXPECT_DOUBLE_EQ(t.nominal().freq_scale, scale) << "trial " << trial;
+    if (n >= 2) {
+      const std::size_t at = 1 + rng.below(static_cast<std::uint64_t>(n - 1));
+      co::OperatingPointTable broken = t;
+      broken.points[at].freq_scale = broken.points[at - 1].freq_scale;
+      EXPECT_THROW(broken.validate(), std::invalid_argument)
+          << "trial " << trial << " flat at " << at;
+      broken.points[at].freq_scale = broken.points[at - 1].freq_scale - 0.01;
+      EXPECT_THROW(broken.validate(), std::invalid_argument)
+          << "trial " << trial << " descent at " << at;
+    }
+  }
 }
 
 TEST(MachinesAtPoints, TableOrderAndValues) {

@@ -61,16 +61,18 @@ int open_fd_count() {
 
 /// Eight synthetic roofline observations for "GTX Titan" — enough for
 /// min_resolve_observations, generated from a hard roofline (peak
-/// 2 GF/s, 10 GB/s, 60 W) so the refit solver converges and publishes
-/// a generation that differs wildly from the platform defaults.
-std::string observe_line() {
+/// `peak_flops`, 10 GB/s, 60 W) so the refit solver converges and
+/// publishes a generation that differs wildly from the platform
+/// defaults. Vary the peak across calls to make successive refits
+/// publish distinguishable generations.
+std::string observe_line(double peak_flops = 2e9) {
   std::ostringstream out;
   out << R"({"type":"observe","platform":"GTX Titan","observations":[)";
   for (int i = 0; i < 8; ++i) {
     const double intensity = 0.25 * static_cast<double>(1 << i);
     const double flops = 1e8;
     const double bytes = flops / intensity;
-    const double seconds = std::max(flops / 2e9, bytes / 1e10);
+    const double seconds = std::max(flops / peak_flops, bytes / 1e10);
     const double joules = 60.0 * seconds;
     if (i) out << ',';
     out << R"({"flops":)" << flops << R"(,"bytes":)" << bytes
@@ -296,6 +298,90 @@ TEST(ServeTcpShard, PartitionsAgreeAcrossShardsAndRefitInvalidatesAll) {
 
   ::close(fds[0]);
   ::close(fds[1]);
+}
+
+TEST(ServeTcpShard, ChurnedRefitsNeverServeAStaleGeneration) {
+  TcpOptions tcp;
+  tcp.shards = 4;
+  tcp.use_reuseport = false;  // pin conn i -> shard i
+  TcpTransport transport(small_options(), tcp);
+
+  constexpr int kShards = 4;
+  const char* kBatch =
+      R"({"type":"predict_batch","platform":"GTX Titan","elements":)"
+      R"([{"flops":1e9,"intensity":4},{"flops":2e9,"intensity":0.5}]})";
+  const char* kPolicy =
+      R"({"type":"policy_advise","platform":"GTX Titan",)"
+      R"("objective":"min_edp","flops":1e12,"intensity":8})";
+
+  // Serial connects, each confirmed served before the next, so accept
+  // order pins conn i to shard i. The warm predict also seeds every
+  // partition with the pre-refit generation.
+  int fds[kShards];
+  std::string prev_predict;
+  for (int i = 0; i < kShards; ++i) {
+    fds[i] = connect_to(transport.port());
+    ASSERT_GE(fds[i], 0);
+    ASSERT_TRUE(send_all(fds[i], std::string(kPredict) + "\n"));
+    const auto lines = read_lines(fds[i], 1);
+    ASSERT_EQ(lines.size(), 1u);
+    prev_predict = lines[0];
+  }
+
+  const ShardedLruCache::Stats start = transport.server().cache_stats();
+  constexpr int kRounds = 5;
+  for (int round = 0; round < kRounds; ++round) {
+    // Publish a new generation through a rotating shard. Every other
+    // shard only learns about it through generation-scoped
+    // invalidation — none of them saw the refit request.
+    const int publisher = round % kShards;
+    const double peak = 2e9 * std::pow(4.0, round + 1);
+    ASSERT_TRUE(send_all(fds[publisher], observe_line(peak) + "\n"));
+    auto lines = read_lines(fds[publisher], 1);
+    ASSERT_EQ(lines.size(), 1u);
+    ASSERT_TRUE(Json::parse(lines[0]).bool_or("ok", false)) << lines[0];
+    ASSERT_TRUE(send_all(fds[publisher],
+                         R"({"type":"refit","platform":"GTX Titan"})" "\n"));
+    lines = read_lines(fds[publisher], 1);
+    ASSERT_EQ(lines.size(), 1u);
+    ASSERT_TRUE(Json::parse(lines[0]).bool_or("ok", false)) << lines[0];
+
+    // Two passes over every shard and every cacheable endpoint: the
+    // first pass may compute-and-insert, the second must come from the
+    // partition's cached copy. All partitions must agree byte-for-byte
+    // and the consensus must move whenever a refit lands.
+    for (const char* request : {kPredict, kBatch, kPolicy}) {
+      std::string bodies[2][kShards];
+      for (int pass = 0; pass < 2; ++pass) {
+        for (int i = 0; i < kShards; ++i) {
+          ASSERT_TRUE(send_all(fds[i], std::string(request) + "\n"));
+          const auto replies = read_lines(fds[i], 1);
+          ASSERT_EQ(replies.size(), 1u);
+          bodies[pass][i] = replies[0];
+        }
+      }
+      for (int i = 0; i < kShards; ++i) {
+        EXPECT_EQ(bodies[0][i], bodies[0][0])
+            << "partitions disagree in round " << round << ": " << request;
+        EXPECT_EQ(bodies[1][i], bodies[0][i])
+            << "cached copy diverged in round " << round << ": " << request;
+      }
+      if (request == kPredict) {
+        EXPECT_NE(bodies[0][0], prev_predict)
+            << "round " << round << " served a pre-refit generation";
+        prev_predict = bodies[0][0];
+      }
+    }
+  }
+
+  // Each refit must have killed at least the cached predict entry
+  // (stale is counted on next access), and the second passes must have
+  // actually been partition hits.
+  const ShardedLruCache::Stats end = transport.server().cache_stats();
+  EXPECT_GE(end.stale - start.stale, static_cast<std::size_t>(kRounds));
+  EXPECT_GT(end.hits, start.hits);
+
+  for (const int fd : fds) ::close(fd);
 }
 
 // ---- Bugfix regression: drain grace vs. poll interval --------------------
